@@ -1,0 +1,226 @@
+package anns_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/anns"
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func testPoints(t *testing.T, d, n int) []anns.Point {
+	t.Helper()
+	r := rng.New(1000)
+	pts := make([]anns.Point, n)
+	for i := range pts {
+		pts[i] = hamming.Random(r, d)
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	pts := testPoints(t, 128, 10)
+	cases := []struct {
+		name string
+		opts anns.Options
+		pts  []anns.Point
+	}{
+		{"no dimension", anns.Options{}, pts},
+		{"one point", anns.Options{Dimension: 128}, pts[:1]},
+		{"bad gamma", anns.Options{Dimension: 128, Gamma: 1}, pts},
+		{"bad rounds", anns.Options{Dimension: 128, Rounds: -1}, pts},
+		{"soph k=1", anns.Options{Dimension: 128, Rounds: 1, Algorithm: anns.Sophisticated}, pts},
+		{"bad reps", anns.Options{Dimension: 128, Repetitions: -2}, pts},
+		{"wrong width", anns.Options{Dimension: 64}, pts},
+	}
+	for _, c := range cases {
+		if _, err := anns.Build(c.pts, c.opts); err == nil {
+			t.Errorf("%s: Build accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	d := 512
+	pts := testPoints(t, d, 120)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Rounds: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 120 {
+		t.Error("Len")
+	}
+	r := rng.New(2000)
+	ok := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		x := hamming.AtDistance(r, pts[trial], d, 15)
+		res, err := idx.Query(x)
+		if err != nil {
+			continue
+		}
+		if res.Rounds > 3 {
+			t.Fatalf("rounds %d", res.Rounds)
+		}
+		if res.Index < 0 || res.Index >= len(pts) {
+			t.Fatalf("index %d", res.Index)
+		}
+		if res.Distance != bitvec.Distance(pts[res.Index], x) {
+			t.Fatal("reported distance wrong")
+		}
+		if hamming.IsApproxNearest(pts, x, pts[res.Index], 2) {
+			ok++
+		}
+	}
+	if ok < trials*3/4 {
+		t.Errorf("approx-correct %d/%d", ok, trials)
+	}
+}
+
+func TestQueryNear(t *testing.T) {
+	d := 512
+	pts := testPoints(t, d, 120)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3000)
+	// YES case.
+	x := hamming.AtDistance(r, pts[0], d, 6)
+	res, err := idx.QueryNear(x, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes != 1 || res.Rounds != 1 {
+		t.Errorf("lambda accounting: %+v", res)
+	}
+	if res.Index >= 0 && res.Distance > 12 {
+		t.Errorf("answer at distance %d > γλ", res.Distance)
+	}
+	// NO case: uniform point sits at ≈ d/2.
+	far := hamming.Random(r, d)
+	res, err = idx.QueryNear(far, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index >= 0 {
+		t.Errorf("NO instance answered with point at distance %d", res.Distance)
+	}
+}
+
+func TestSophisticatedAlgorithm(t *testing.T) {
+	d := 512
+	pts := testPoints(t, d, 120)
+	idx, err := anns.Build(pts, anns.Options{
+		Dimension: d, Rounds: 8, Algorithm: anns.Sophisticated, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4000)
+	x := hamming.AtDistance(r, pts[3], d, 20)
+	res, err := idx.Query(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 8 {
+		t.Errorf("rounds %d", res.Rounds)
+	}
+}
+
+func TestRepetitions(t *testing.T) {
+	d := 256
+	pts := testPoints(t, d, 80)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Rounds: 2, Repetitions: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5000)
+	x := hamming.AtDistance(r, pts[9], d, 12)
+	res, err := idx.Query(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 2 {
+		t.Errorf("boosted rounds %d", res.Rounds)
+	}
+	if res.Probes < 3 {
+		t.Errorf("boosted probes %d suspiciously few", res.Probes)
+	}
+}
+
+func TestNewPointHelpers(t *testing.T) {
+	p := anns.NewPoint([]bool{true, false, true})
+	if !p.Get(0) || p.Get(1) || !p.Get(2) {
+		t.Error("NewPoint bits wrong")
+	}
+	q, err := anns.NewPointFromBytes([]byte{0b101}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitvec.Equal(p, q) {
+		t.Error("byte and bool constructions disagree")
+	}
+	if _, err := anns.NewPointFromBytes([]byte{1}, 100); err == nil {
+		t.Error("short byte slice accepted")
+	}
+}
+
+func TestOptionsAccessor(t *testing.T) {
+	pts := testPoints(t, 128, 20)
+	idx, err := anns.Build(pts, anns.Options{Dimension: 128, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := idx.Options()
+	if o.Gamma != 2 || o.Rounds != 2 || o.Repetitions != 1 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}
+
+func TestSpaceAccessor(t *testing.T) {
+	pts := testPoints(t, 256, 40)
+	idx, err := anns.Build(pts, anns.Options{Dimension: 256, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.Space()
+	if before.MaterializedCells != 0 {
+		t.Errorf("fresh index materialized %d cells", before.MaterializedCells)
+	}
+	if before.NominalLog2Cells < 64 {
+		t.Errorf("nominal log2 cells %v suspiciously small for a poly(n) table", before.NominalLog2Cells)
+	}
+	r := rng.New(8000)
+	x := hamming.AtDistance(r, pts[0], 256, 10)
+	if _, err := idx.Query(x); err != nil {
+		t.Logf("query failed (within error budget): %v", err)
+	}
+	after := idx.Space()
+	if after.MaterializedCells == 0 {
+		t.Error("query materialized no cells")
+	}
+	if after.NominalLog2Cells != before.NominalLog2Cells {
+		t.Error("nominal size changed with queries")
+	}
+}
+
+func TestQueryFailureMessage(t *testing.T) {
+	// Whatever happens, errors must carry the package prefix.
+	pts := testPoints(t, 128, 20)
+	idx, err := anns.Build(pts, anns.Options{Dimension: 128, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6000)
+	for trial := 0; trial < 50; trial++ {
+		x := hamming.Random(r, 128)
+		if _, err := idx.Query(x); err != nil {
+			if !strings.Contains(err.Error(), "anns:") {
+				t.Errorf("error without prefix: %v", err)
+			}
+		}
+	}
+}

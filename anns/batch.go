@@ -1,0 +1,84 @@
+package anns
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs a query's position with its outcome.
+type BatchResult struct {
+	Result
+	Err error
+}
+
+// BatchQuery answers many queries concurrently over a fixed worker pool.
+// Queries are independent in the cell-probe model (each runs its own
+// k-round prober against the shared tables), so they parallelize cleanly;
+// the table oracles are safe for concurrent probing and memoize shared
+// cells across workers.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0). Results are returned in
+// input order.
+func (ix *Index) BatchQuery(xs []Point, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	out := make([]BatchResult, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := ix.Query(xs[i])
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range xs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// BatchQueryNear is the λ-ANNS counterpart of BatchQuery: every query
+// costs exactly one probe, making the batch embarrassingly parallel.
+func (ix *Index) BatchQueryNear(xs []Point, lambda float64, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	out := make([]BatchResult, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := ix.QueryNear(xs[i], lambda)
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range xs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

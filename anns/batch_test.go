@@ -1,0 +1,104 @@
+package anns_test
+
+import (
+	"testing"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func TestBatchQueryMatchesSequential(t *testing.T) {
+	d := 512
+	pts := testPoints(t, d, 100)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Rounds: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7000)
+	queries := make([]anns.Point, 24)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, pts[i], d, 18)
+	}
+	batch := idx.BatchQuery(queries, 4)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, q := range queries {
+		seq, seqErr := idx.Query(q)
+		if (seqErr == nil) != (batch[i].Err == nil) {
+			t.Fatalf("query %d: error mismatch %v vs %v", i, seqErr, batch[i].Err)
+		}
+		if seqErr == nil && (seq.Index != batch[i].Index || seq.Probes != batch[i].Probes) {
+			t.Fatalf("query %d: batch (%d, %d probes) vs sequential (%d, %d probes)",
+				i, batch[i].Index, batch[i].Probes, seq.Index, seq.Probes)
+		}
+	}
+}
+
+func TestBatchQueryWorkerCounts(t *testing.T) {
+	d := 256
+	pts := testPoints(t, d, 50)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7100)
+	queries := make([]anns.Point, 9)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, pts[i], d, 10)
+	}
+	for _, workers := range []int{-1, 0, 1, 3, 100} {
+		out := idx.BatchQuery(queries, workers)
+		if len(out) != len(queries) {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+	}
+	if out := idx.BatchQuery(nil, 4); len(out) != 0 {
+		t.Error("empty batch nonempty result")
+	}
+}
+
+func TestBatchQueryNear(t *testing.T) {
+	d := 512
+	pts := testPoints(t, d, 100)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7200)
+	queries := make([]anns.Point, 16)
+	for i := range queries {
+		if i%2 == 0 {
+			queries[i] = hamming.AtDistance(r, pts[i], d, 6)
+		} else {
+			queries[i] = hamming.Random(r, d)
+		}
+	}
+	out := idx.BatchQueryNear(queries, 6, 4)
+	for i, res := range out {
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", i, res.Err)
+		}
+		if res.Probes != 1 {
+			t.Fatalf("query %d used %d probes", i, res.Probes)
+		}
+	}
+}
+
+// TestBatchQueryRace is meaningful under -race: many workers share the
+// same lazy table oracles.
+func TestBatchQueryRace(t *testing.T) {
+	d := 256
+	pts := testPoints(t, d, 60)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Rounds: 2, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7300)
+	queries := make([]anns.Point, 64)
+	for i := range queries {
+		queries[i] = hamming.Random(r, d)
+	}
+	idx.BatchQuery(queries, 8)
+}

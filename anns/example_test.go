@@ -1,0 +1,57 @@
+package anns_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+// ExampleBuild shows the basic build/query flow with deterministic output.
+func ExampleBuild() {
+	const d = 256
+	r := rng.New(5)
+	points := make([]anns.Point, 100)
+	for i := range points {
+		points[i] = hamming.Random(r, d)
+	}
+	query := hamming.Random(r, d)
+	points[42] = hamming.AtDistance(r, query, d, 10) // planted neighbor
+
+	idx, err := anns.Build(points, anns.Options{Dimension: d, Rounds: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := idx.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found point %d at distance %d within %d rounds\n",
+		res.Index, res.Distance, res.Rounds)
+	// Output: found point 42 at distance 10 within 2 rounds
+}
+
+// ExampleIndex_QueryNear demonstrates the 1-probe λ-near-neighbor answer.
+func ExampleIndex_QueryNear() {
+	const d = 256
+	r := rng.New(6)
+	points := make([]anns.Point, 100)
+	for i := range points {
+		points[i] = hamming.Random(r, d)
+	}
+	query := hamming.AtDistance(r, points[7], d, 5)
+
+	idx, err := anns.Build(points, anns.Options{Dimension: d, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := idx.QueryNear(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probes=%d found=%v within gamma*lambda=%v\n",
+		res.Probes, res.Index >= 0, res.Distance <= 10)
+	// Output: probes=1 found=true within gamma*lambda=true
+}

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// One benchmark per experiment of DESIGN.md §4. Each iteration regenerates
+// the experiment's table(s) at quick scale; cmd/annsbench runs the full
+// sweeps. Reported metrics: wall time per regeneration plus, for the
+// tradeoff experiments, a probes/query reference figure.
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := eval.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := eval.Config{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkE1Algo1Tradeoff(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2Algo2LargeK(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3LowerBoundGap(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4PhaseTransition(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5LambdaANN(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6VsLSH(b *testing.B)              { benchExperiment(b, "E6") }
+func BenchmarkE7SketchAssumptions(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8Space(b *testing.B)              { benchExperiment(b, "E8") }
+func BenchmarkE9LPMReduction(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10CommTranslation(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11ThresholdAblation(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12BoostingAblation(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13GammaAblation(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14LPMSchemes(b *testing.B)        { benchExperiment(b, "E14") }
+
+// BenchmarkQueryAlgo1 measures a single Algorithm 1 query end to end (the
+// library's hot path) and reports probes/query as a custom metric.
+func BenchmarkQueryAlgo1(b *testing.B) {
+	r := rng.New(1)
+	in := workload.PlantedNN(r, 1024, 300, 64, 40)
+	idx := core.BuildIndex(in.DB, 1024, core.Params{Gamma: 2, Seed: 2})
+	a := core.NewAlgo1(idx, 3)
+	// Warm the lazy per-level sketches so the loop measures queries.
+	a.Query(in.Queries[0].X)
+	b.ReportAllocs()
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		res := a.Query(in.Queries[i%len(in.Queries)].X)
+		probes += res.Stats.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/query")
+}
+
+// BenchmarkQueryAlgo2 is the Algorithm 2 counterpart.
+func BenchmarkQueryAlgo2(b *testing.B) {
+	r := rng.New(3)
+	in := workload.PlantedNN(r, 1024, 300, 64, 40)
+	idx := core.BuildIndex(in.DB, 1024, core.Params{Gamma: 2, K: 8, Seed: 4})
+	a := core.NewAlgo2(idx, 8)
+	a.Query(in.Queries[0].X)
+	b.ReportAllocs()
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		res := a.Query(in.Queries[i%len(in.Queries)].X)
+		probes += res.Stats.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/query")
+}
+
+// BenchmarkBuildIndex measures preprocessing cost (family + tables).
+func BenchmarkBuildIndex(b *testing.B) {
+	r := rng.New(5)
+	in := workload.PlantedNN(r, 1024, 300, 1, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildIndex(in.DB, 1024, core.Params{Gamma: 2, Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,91 @@
+// Command annsbench runs the experiment suite E1–E10 (DESIGN.md §4) and
+// prints the regenerated tables.
+//
+// Usage:
+//
+//	annsbench [-run E1,E3] [-seed 42] [-quick] [-format text|markdown|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Uint64("seed", 42, "base random seed")
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	format := flag.String("format", "text", "output format: text, markdown, or csv")
+	list := flag.Bool("list", false, "list experiments and exit")
+	outDir := flag.String("out", "", "also write one <id>.md and <id>.csv per experiment into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range eval.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := eval.Config{Seed: *seed, Quick: *quick}
+	var selected []eval.Experiment
+	if *runIDs == "" {
+		selected = eval.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := eval.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "annsbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "annsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(cfg)
+		for ti, t := range tables {
+			switch *format {
+			case "markdown":
+				fmt.Println(t.Markdown())
+			case "csv":
+				fmt.Println(t.CSV())
+			default:
+				fmt.Println(t.Text())
+			}
+			if *outDir != "" {
+				base := e.ID
+				if ti > 0 {
+					base = fmt.Sprintf("%s-%d", e.ID, ti)
+				}
+				if err := writeFile(*outDir, base+".md", t.Markdown()); err != nil {
+					fmt.Fprintf(os.Stderr, "annsbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := writeFile(*outDir, base+".csv", t.CSV()); err != nil {
+					fmt.Fprintf(os.Stderr, "annsbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeFile(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

@@ -1,0 +1,54 @@
+// Command annsgen generates synthetic Hamming-space datasets and writes
+// them in the repro dataset format for cmd/annsquery and external tooling.
+//
+// Usage:
+//
+//	annsgen -out data.bin -kind planted -d 1024 -n 500 -q 50 -dist 40
+//	annsgen -out data.bin -kind uniform -d 1024 -n 500 -q 50
+//	annsgen -out data.bin -kind clustered -d 1024 -n 500 -q 50 -clusters 8 -rad 30
+//	annsgen -out data.bin -kind annulus -d 1024 -n 500 -q 50 -lambda 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "dataset.bin", "output path")
+	kind := flag.String("kind", "planted", "uniform | planted | clustered | annulus")
+	d := flag.Int("d", 1024, "dimension")
+	n := flag.Int("n", 500, "database size")
+	q := flag.Int("q", 50, "query count")
+	dist := flag.Int("dist", 40, "planted NN distance (kind=planted)")
+	clusters := flag.Int("clusters", 8, "cluster count (kind=clustered)")
+	rad := flag.Int("rad", 30, "cluster radius (kind=clustered)")
+	lambda := flag.Int("lambda", 8, "near threshold (kind=annulus)")
+	gamma := flag.Float64("gamma", 2, "approximation ratio (kind=annulus)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var in *workload.Instance
+	switch *kind {
+	case "uniform":
+		in = workload.Uniform(r, *d, *n, *q)
+	case "planted":
+		in = workload.PlantedNN(r, *d, *n, *q, *dist)
+	case "clustered":
+		in = workload.Clustered(r, *d, *n, *q, *clusters, *rad)
+	case "annulus":
+		in = workload.Annulus(r, *d, *n, *q, *lambda, *gamma)
+	default:
+		log.Fatalf("annsgen: unknown kind %q", *kind)
+	}
+	if err := dataset.Save(*out, in); err != nil {
+		log.Fatalf("annsgen: %v", err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, in)
+}

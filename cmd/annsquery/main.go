@@ -1,0 +1,93 @@
+// Command annsquery loads a dataset produced by cmd/annsgen, builds the
+// cell-probe index, runs the stored query stream, and reports per-query
+// answers plus aggregate cell-probe accounting.
+//
+// Usage:
+//
+//	annsquery -in data.bin -k 3 [-algo simple|soph] [-gamma 2] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/anns"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func main() {
+	in := flag.String("in", "dataset.bin", "input dataset path")
+	k := flag.Int("k", 3, "adaptivity budget (rounds)")
+	algo := flag.String("algo", "simple", "simple (Algorithm 1) | soph (Algorithm 2)")
+	gamma := flag.Float64("gamma", 2, "approximation ratio")
+	reps := flag.Int("reps", 1, "independent repetitions (success boosting)")
+	seed := flag.Uint64("seed", 42, "public randomness seed")
+	verbose := flag.Bool("v", false, "print every query")
+	flag.Parse()
+
+	inst, err := dataset.Load(*in)
+	if err != nil {
+		log.Fatalf("annsquery: %v", err)
+	}
+	fmt.Printf("loaded %s\n", inst)
+
+	opts := anns.Options{
+		Dimension:   inst.D,
+		Gamma:       *gamma,
+		Rounds:      *k,
+		Repetitions: *reps,
+		Seed:        *seed,
+	}
+	if *algo == "soph" {
+		opts.Algorithm = anns.Sophisticated
+	} else if *algo != "simple" {
+		log.Fatalf("annsquery: unknown -algo %q", *algo)
+	}
+
+	start := time.Now()
+	points := make([]anns.Point, len(inst.DB))
+	copy(points, inst.DB)
+	idx, err := anns.Build(points, opts)
+	if err != nil {
+		log.Fatalf("annsquery: %v", err)
+	}
+	fmt.Printf("index built in %v (k=%d, γ=%v, algo=%s)\n",
+		time.Since(start).Round(time.Millisecond), *k, *gamma, *algo)
+
+	ok, failed := 0, 0
+	totalProbes, maxRounds := 0, 0
+	for i, q := range inst.Queries {
+		res, err := idx.Query(q.X)
+		if err != nil {
+			failed++
+			if *verbose {
+				fmt.Printf("query %3d: FAILED (%v)\n", i, err)
+			}
+			continue
+		}
+		totalProbes += res.Probes
+		if res.Rounds > maxRounds {
+			maxRounds = res.Rounds
+		}
+		good := float64(res.Distance) <= *gamma*float64(q.NNDist)
+		if good {
+			ok++
+		}
+		if *verbose {
+			fmt.Printf("query %3d: point #%d dist=%d (exact %d) probes=%d rounds=%d %v\n",
+				i, res.Index, res.Distance, q.NNDist, res.Probes, res.Rounds, good)
+		}
+	}
+	nq := len(inst.Queries)
+	fmt.Printf("\n%d queries: %d γ-approximate, %d failed\n", nq, ok, failed)
+	if nq > failed {
+		fmt.Printf("avg probes/query: %.1f   max rounds: %d\n",
+			float64(totalProbes)/float64(nq-failed), maxRounds)
+	}
+	th := eval.Theory{D: inst.D, Gamma: *gamma}
+	fmt.Printf("theory: k(log d)^{1/k} = %.1f   lower bound = %.2f\n",
+		th.Algo1Probes(*k), th.LowerBound(*k))
+}

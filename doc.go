@@ -1,0 +1,12 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Mingmou Liu, Xiaoyin Pan, Yitong Yin.
+//	"Randomized approximate nearest neighbor search with limited
+//	adaptivity." SPAA 2016 (arXiv:1602.04421).
+//
+// The public API lives in package repro/anns; the experiment harness that
+// regenerates the paper's theorem-level tradeoffs is repro/internal/eval,
+// driven by cmd/annsbench and by the benchmarks in bench_test.go.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

@@ -1,0 +1,55 @@
+// Clustered runs Algorithm 2 on a clustered database — the workload whose
+// jumping level-set sizes |B_i| exercise the coarse-approximation
+// machinery — and prints which shrinking-phase branch each query took
+// (CASE 1/2/3 of §3.2) alongside the round/probe accounting.
+//
+// Run with: go run ./examples/clustered
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		d = 16384
+		n = 200
+		k = 12
+	)
+	r := rng.New(30)
+	in := workload.Clustered(r, d, n, 30, 4, 256)
+	fmt.Printf("workload: %s — 4 tight clusters, queries at cluster boundaries\n", in)
+
+	idx := core.BuildIndex(in.DB, d, core.Params{Gamma: 2, K: k, Seed: 31})
+	a2 := core.NewAlgo2(idx, k)
+	m := eval.RunScheme(a2, in, 2)
+	if m.Queries == 0 {
+		log.Fatal("no queries ran")
+	}
+
+	c := a2.Cases()
+	fmt.Printf("\nAlgorithm 2 (k=%d, τ=%d, s=%.2f):\n", k, a2.Tau(), a2.S())
+	fmt.Printf("  success:         %.2f\n", m.Success.Rate())
+	fmt.Printf("  probes/query:    %.1f (worst %d, bound %d)\n",
+		m.Probes.Mean, m.ProbesWorst, a2.ProbeBound())
+	fmt.Printf("  rounds/query:    %.1f (budget %d, enforced)\n", m.Rounds.Mean, k)
+	fmt.Printf("\nshrinking-phase branches over the whole stream:\n")
+	fmt.Printf("  CASE 1 (gap collapses, no 2nd round): %d\n", c.Case1)
+	fmt.Printf("  CASE 2 (both thresholds move):        %d\n", c.Case2)
+	fmt.Printf("  CASE 3 (|C_u| shrinks by ~n^{-1/s}):  %d\n", c.Case3)
+	fmt.Printf("  completion rounds:                    %d\n", c.Completions)
+
+	// Algorithm 1 on the same index for contrast.
+	m1 := eval.RunScheme(core.NewAlgo1(idx, k), in, 2)
+	fmt.Printf("\nAlgorithm 1 at the same k: %.1f probes/query, %.1f rounds —\n",
+		m1.Probes.Mean, m1.Rounds.Mean)
+	fmt.Println("Algorithm 2 spends more probes here (simulable d is far below its")
+	fmt.Println("asymptotic regime) but demonstrates the CASE-3 size-shrinking moves")
+	fmt.Println("that give Theorem 3 its k + ((log d)/k)^{c/k} bound at scale.")
+}

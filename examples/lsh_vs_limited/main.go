@@ -1,0 +1,51 @@
+// lsh_vs_limited reproduces the paper's §1 motivation as a head-to-head:
+// classic LSH (non-adaptive, cheap table, n^ρ probes) against Algorithm 1
+// with k=1 (non-adaptive, large polynomial table, O(log d) probes) and
+// k=3 (three rounds), on the same planted-neighbor workloads.
+//
+// Run with: go run ./examples/lsh_vs_limited
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func main() {
+	const d = 1024
+	fmt.Printf("%-6s  %-22s  %-22s  %-22s\n", "n",
+		"LSH (1 round)", "algo1 k=1 (1 round)", "algo1 k=3 (3 rounds)")
+	fmt.Printf("%-6s  %-22s  %-22s  %-22s\n", "",
+		"probes / success", "probes / success", "probes / success")
+
+	for _, n := range []int{128, 256, 512, 1024} {
+		r := rng.New(uint64(n))
+		in := workload.PlantedNN(r, d, n, 15, d/24)
+
+		lsh := baseline.NewNearestLSH(r.Split(1), in.DB, d, 2)
+		mLSH := eval.RunRaw("lsh", func(x bitvec.Vector) (int, int, int) {
+			idx, st := lsh.Query(x)
+			return idx, st.Probes, st.Rounds
+		}, in, 2)
+
+		idx := core.BuildIndex(in.DB, d, core.Params{Gamma: 2, Seed: 77})
+		m1 := eval.RunScheme(core.NewAlgo1(idx, 1), in, 2)
+		m3 := eval.RunScheme(core.NewAlgo1(idx, 3), in, 2)
+
+		fmt.Printf("%-6d  %7.0f / %-11.2f  %7.0f / %-11.2f  %7.0f / %-11.2f\n",
+			n,
+			mLSH.Probes.Mean, mLSH.Success.Rate(),
+			m1.Probes.Mean, m1.Success.Rate(),
+			m3.Probes.Mean, m3.Success.Rate())
+	}
+
+	fmt.Println("\nLSH's probe count grows ≈ √n (ρ = 1/γ = 1/2) while the cell-probe")
+	fmt.Println("schemes stay flat in n — the efficiency the paper buys with table size:")
+	fmt.Println("LSH stores O(n^{1+ρ}) buckets, Algorithm 1 a poly(n)-cell table.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: build an index over random points in {0,1}^1024, plant a
+// near neighbor, and query it under a 3-round adaptivity budget.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func main() {
+	const (
+		d = 1024 // Hamming-cube dimension
+		n = 500  // database size
+	)
+	r := rng.New(7)
+
+	// A database of uniform random points (mutual distance ≈ d/2) …
+	points := make([]anns.Point, n)
+	for i := range points {
+		points[i] = hamming.Random(r, d)
+	}
+	// … plus a query with a planted nearest neighbor at distance 40.
+	query := hamming.Random(r, d)
+	points[n-1] = hamming.AtDistance(r, query, d, 40)
+
+	idx, err := anns.Build(points, anns.Options{
+		Dimension: d,
+		Gamma:     2, // approximation ratio
+		Rounds:    3, // adaptivity budget k
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := idx.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answer: point #%d at Hamming distance %d\n", res.Index, res.Distance)
+	fmt.Printf("cost:   %d cell-probes in %d rounds (max %d in parallel)\n",
+		res.Probes, res.Rounds, res.MaxParallel)
+	fmt.Printf("(exact nearest neighbor is at distance %d; γ=2 allows up to %d)\n",
+		40, 80)
+
+	// The λ-near-neighbor variant costs exactly one probe (Theorem 11).
+	near, err := idx.QueryNear(query, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if near.Index >= 0 {
+		fmt.Printf("λ-ANNS: found point #%d at distance %d with %d probe\n",
+			near.Index, near.Distance, near.Probes)
+	} else {
+		fmt.Println("λ-ANNS: no λ-near neighbor (NO answer)")
+	}
+}

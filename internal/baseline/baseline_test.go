@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func testDB(t *testing.T, d, n int) []bitvec.Vector {
+	t.Helper()
+	r := rng.New(55)
+	db := make([]bitvec.Vector, n)
+	for i := range db {
+		db[i] = hamming.Random(r, d)
+	}
+	return db
+}
+
+func TestLSHParams(t *testing.T) {
+	kappa, l, rho := LSHParams(1024, 256, 16, 2)
+	if rho <= 0 || rho >= 1 {
+		t.Errorf("rho = %v", rho)
+	}
+	// Bit-sampling rho is close to 1/gamma for lambda << d.
+	if math.Abs(rho-0.5) > 0.05 {
+		t.Errorf("rho = %v, want ≈ 0.5", rho)
+	}
+	if kappa < 1 || kappa > 1024 || l < 1 {
+		t.Errorf("kappa=%d l=%d", kappa, l)
+	}
+	// L ≈ n^rho.
+	if float64(l) < math.Pow(256, rho)-1 || float64(l) > math.Pow(256, rho)+2 {
+		t.Errorf("l = %d, want ≈ %v", l, math.Pow(256, rho))
+	}
+}
+
+func TestLSHFindsPlantedNeighbor(t *testing.T) {
+	d := 1024
+	db := testDB(t, d, 200)
+	r := rng.New(56)
+	s := NewLSH(r, db, d, 16, 2)
+	hits := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		x := hamming.AtDistance(r, db[trial], d, 12)
+		idx, st := s.QueryNear(x)
+		if st.Rounds != 1 {
+			t.Fatalf("LSH used %d rounds", st.Rounds)
+		}
+		if st.Probes < s.L {
+			t.Fatalf("LSH probed %d < L=%d buckets", st.Probes, s.L)
+		}
+		if idx >= 0 && float64(bitvec.Distance(db[idx], x)) <= 32 {
+			hits++
+		}
+	}
+	if hits < trials*2/3 {
+		t.Errorf("LSH found planted neighbor %d/%d", hits, trials)
+	}
+}
+
+func TestLSHRejectsFarQueries(t *testing.T) {
+	d := 1024
+	db := testDB(t, d, 100)
+	r := rng.New(57)
+	s := NewLSH(r, db, d, 8, 2)
+	for trial := 0; trial < 10; trial++ {
+		x := hamming.Random(r, d) // distance ≈ 512 from everything
+		if idx, _ := s.QueryNear(x); idx >= 0 {
+			t.Errorf("far query matched point %d", idx)
+		}
+	}
+}
+
+func TestNearestLSHQuality(t *testing.T) {
+	d := 512
+	db := testDB(t, d, 150)
+	r := rng.New(58)
+	s := NewNearestLSH(r, db, d, 2)
+	ok := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		x := hamming.AtDistance(r, db[trial], d, 20)
+		idx, st := s.Query(x)
+		if st.Rounds != 1 {
+			t.Fatalf("NearestLSH used %d rounds", st.Rounds)
+		}
+		if idx >= 0 && hamming.IsApproxNearest(db, x, db[idx], 2) {
+			ok++
+		}
+	}
+	if ok < trials*2/3 {
+		t.Errorf("NearestLSH approx-correct on %d/%d", ok, trials)
+	}
+	if s.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestNearestLSHProbesGrowWithN(t *testing.T) {
+	d := 512
+	r := rng.New(59)
+	var prev float64
+	for _, n := range []int{50, 200, 800} {
+		db := testDB(t, d, n)
+		s := NewNearestLSH(r.Split(uint64(n)), db, d, 2)
+		x := hamming.AtDistance(r, db[0], d, 15)
+		_, st := s.Query(x)
+		if float64(st.Probes) < prev {
+			t.Errorf("probes decreased with n: %d at n=%d (prev %v)", st.Probes, n, prev)
+		}
+		prev = float64(st.Probes)
+	}
+}
+
+func TestLinearScanExact(t *testing.T) {
+	d := 256
+	db := testDB(t, d, 80)
+	s := NewLinearScan(db)
+	r := rng.New(60)
+	for trial := 0; trial < 15; trial++ {
+		x := hamming.AtDistance(r, db[trial], d, 9)
+		idx, st := s.Query(x)
+		wantIdx, wantDist := hamming.Nearest(db, x)
+		if bitvec.Distance(db[idx], x) != wantDist {
+			t.Errorf("linear scan found distance %d, want %d (idx %d vs %d)",
+				bitvec.Distance(db[idx], x), wantDist, idx, wantIdx)
+		}
+		if st.Probes != len(db) || st.Rounds != 1 {
+			t.Errorf("linear scan stats %+v", st)
+		}
+	}
+}
+
+func TestBinarySearchCorrectAndLogarithmic(t *testing.T) {
+	d := 1024
+	db := testDB(t, d, 150)
+	idx := core.BuildIndex(db, d, core.Params{Gamma: 2, Seed: 61})
+	b := NewBinarySearch(idx)
+	r := rng.New(62)
+	ok := 0
+	maxProbes := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		x := hamming.AtDistance(r, db[trial], d, 30)
+		res := b.Query(x)
+		if res.Failed() {
+			continue
+		}
+		if res.Stats.Probes > maxProbes {
+			maxProbes = res.Stats.Probes
+		}
+		if hamming.IsApproxNearest(db, x, db[res.Index], 2) {
+			ok++
+		}
+	}
+	if ok < trials*3/4 {
+		t.Errorf("binary search correct on %d/%d", ok, trials)
+	}
+	// Probes ≈ log2(L) + 3: degenerate pair + top probe + search.
+	bound := int(math.Ceil(math.Log2(float64(idx.Fam.L+1)))) + 4
+	if maxProbes > bound {
+		t.Errorf("binary search used %d probes, want ≤ %d", maxProbes, bound)
+	}
+	if b.Rounds() < 3 {
+		t.Error("rounds accessor too small")
+	}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBinarySearchDegenerate(t *testing.T) {
+	d := 256
+	db := testDB(t, d, 50)
+	idx := core.BuildIndex(db, d, core.Params{Gamma: 2, Seed: 63})
+	b := NewBinarySearch(idx)
+	res := b.Query(db[9])
+	if res.Failed() || !res.Degenerate {
+		t.Fatalf("member query: %+v", res)
+	}
+}

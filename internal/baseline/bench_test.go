@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func benchSetup(b *testing.B, d, n int) ([]bitvec.Vector, []bitvec.Vector) {
+	b.Helper()
+	r := rng.New(42)
+	db := make([]bitvec.Vector, n)
+	for i := range db {
+		db[i] = hamming.Random(r, d)
+	}
+	qs := make([]bitvec.Vector, 16)
+	for i := range qs {
+		qs[i] = hamming.AtDistance(r, db[i], d, 20)
+	}
+	return db, qs
+}
+
+func BenchmarkLSHQuery(b *testing.B) {
+	db, qs := benchSetup(b, 1024, 400)
+	s := NewNearestLSH(rng.New(43), db, 1024, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		_, st := s.Query(qs[i%len(qs)])
+		probes += st.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/query")
+}
+
+func BenchmarkLinearScanQuery(b *testing.B) {
+	db, qs := benchSetup(b, 1024, 400)
+	s := NewLinearScan(db)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Query(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkBinarySearchQuery(b *testing.B) {
+	db, qs := benchSetup(b, 1024, 400)
+	idx := core.BuildIndex(db, 1024, core.Params{Gamma: 2, Seed: 44})
+	s := NewBinarySearch(idx)
+	s.Query(qs[0]) // warm lazy sketches
+	b.ReportAllocs()
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		probes += s.Query(qs[i%len(qs)]).Stats.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/query")
+}

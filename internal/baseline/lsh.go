@@ -1,0 +1,173 @@
+// Package baseline implements the comparison data structures the paper's
+// introduction measures itself against:
+//
+//   - LSH: classic bit-sampling locality-sensitive hashing (Indyk–Motwani)
+//     for Hamming space, with the standard radius-level reduction from
+//     nearest-neighbor search to (λ, γλ)-near neighbor. Non-adaptive: all
+//     probes depend only on the query (1 round), and the probe count grows
+//     as n^ρ — the O~(d·n^ρ) regime discussed in §1.
+//   - LinearScan: the exact 1-round scan (n probes), the ground-truth
+//     comparator.
+//   - BinarySearch: the fully adaptive scheme probing one ball table per
+//     round via binary search over the ⌈log_α d⌉ levels, giving
+//     Θ(log log d) probes — the Chakrabarti–Regev regime Algorithm 2
+//     approaches as k grows.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/rng"
+)
+
+// LSH is a bit-sampling LSH structure for one radius (lambda, gamma*lambda).
+type LSH struct {
+	D      int
+	Lambda float64
+	Gamma  float64
+	Kappa  int                // sampled bits per hash
+	L      int                // number of hash tables
+	coords [][]int            // per-table sampled coordinates
+	tables []map[string][]int // bucket key -> database point indices
+	db     []bitvec.Vector
+}
+
+// LSHParams returns the textbook parameter choice for n points at radius
+// lambda with approximation gamma: κ = ⌈ln n / ln(1/p₂)⌉ with
+// p₂ = 1 − γλ/d, and L = ⌈n^ρ⌉ with ρ = ln p₁ / ln p₂, p₁ = 1 − λ/d.
+func LSHParams(d, n int, lambda, gamma float64) (kappa, l int, rho float64) {
+	p1 := 1 - lambda/float64(d)
+	p2 := 1 - gamma*lambda/float64(d)
+	if p2 <= 0 {
+		p2 = 1 / float64(d)
+	}
+	if p1 >= 1 {
+		p1 = 1 - 1/float64(2*d)
+	}
+	rho = math.Log(p1) / math.Log(p2)
+	kappa = int(math.Ceil(math.Log(float64(n)) / math.Log(1/p2)))
+	if kappa < 1 {
+		kappa = 1
+	}
+	if kappa > d {
+		kappa = d
+	}
+	l = int(math.Ceil(math.Pow(float64(n), rho)))
+	if l < 1 {
+		l = 1
+	}
+	return kappa, l, rho
+}
+
+// NewLSH builds the structure for the database at one radius.
+func NewLSH(r *rng.Source, db []bitvec.Vector, d int, lambda, gamma float64) *LSH {
+	kappa, l, _ := LSHParams(d, len(db), lambda, gamma)
+	s := &LSH{D: d, Lambda: lambda, Gamma: gamma, Kappa: kappa, L: l, db: db}
+	for j := 0; j < l; j++ {
+		coords := r.Sample(d, kappa)
+		s.coords = append(s.coords, coords)
+		tab := make(map[string][]int)
+		for i, z := range db {
+			key := projectKey(z, coords)
+			tab[key] = append(tab[key], i)
+		}
+		s.tables = append(s.tables, tab)
+	}
+	return s
+}
+
+func projectKey(x bitvec.Vector, coords []int) string {
+	key := make([]byte, (len(coords)+7)/8)
+	for i, c := range coords {
+		if x.Get(c) {
+			key[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return string(key)
+}
+
+// QueryNear probes the L buckets for x and returns a point within
+// gamma*lambda if one is found. Probe accounting: one probe per bucket
+// head plus one probe per candidate point read (the cell-probe model's
+// word holds one point); all probes depend only on x, hence 1 round.
+func (s *LSH) QueryNear(x bitvec.Vector) (idx int, stats cellprobe.Stats) {
+	stats.Rounds = 1
+	limit := 3 * s.L // the standard 3L-candidate cutoff keeps cost O(L)
+	scanned := 0
+	best, bestDist := -1, -1
+	thr := int(math.Floor(s.Gamma * s.Lambda))
+	for j := 0; j < s.L; j++ {
+		stats.Probes++ // bucket head
+		bucket := s.tables[j][projectKey(x, s.coords[j])]
+		for _, cand := range bucket {
+			if scanned >= limit {
+				break
+			}
+			scanned++
+			stats.Probes++ // candidate read
+			d := bitvec.Distance(s.db[cand], x)
+			if d <= thr && (best < 0 || d < bestDist) {
+				best, bestDist = cand, d
+			}
+		}
+	}
+	stats.ProbesPerRound = []int{stats.Probes}
+	return best, stats
+}
+
+// NearestLSH reduces nearest-neighbor search to near-neighbor structures
+// at radii αⁱ (α = √γ), all probed in parallel: the whole query is one
+// round, as the paper's §1 describes LSH ("each cell-probe relies only on
+// the query").
+type NearestLSH struct {
+	Alpha  float64
+	levels []*LSH
+	db     []bitvec.Vector
+}
+
+// NewNearestLSH builds near-neighbor structures for every level radius.
+func NewNearestLSH(r *rng.Source, db []bitvec.Vector, d int, gamma float64) *NearestLSH {
+	alpha := math.Sqrt(gamma)
+	n := &NearestLSH{Alpha: alpha, db: db}
+	L := int(math.Ceil(math.Log(float64(d)) / math.Log(alpha)))
+	for i := 0; i <= L; i++ {
+		lambda := math.Pow(alpha, float64(i))
+		if lambda > float64(d) {
+			lambda = float64(d)
+		}
+		n.levels = append(n.levels, NewLSH(r.Split(uint64(i)), db, d, lambda, gamma))
+	}
+	return n
+}
+
+// Query returns an approximate nearest neighbor and the probe accounting.
+// The answer is the hit at the smallest radius level.
+func (s *NearestLSH) Query(x bitvec.Vector) (int, cellprobe.Stats) {
+	var stats cellprobe.Stats
+	stats.Rounds = 1
+	best, bestDist := -1, -1
+	for _, lv := range s.levels {
+		idx, st := lv.QueryNear(x)
+		stats.Probes += st.Probes
+		if idx >= 0 {
+			d := bitvec.Distance(s.db[idx], x)
+			if best < 0 || d < bestDist {
+				best, bestDist = idx, d
+			}
+		}
+	}
+	stats.ProbesPerRound = []int{stats.Probes}
+	return best, stats
+}
+
+// Describe reports the parameterization for the E6 table.
+func (s *NearestLSH) Describe() string {
+	if len(s.levels) == 0 {
+		return "lsh(empty)"
+	}
+	mid := s.levels[len(s.levels)/2]
+	return fmt.Sprintf("lsh(levels=%d, mid: kappa=%d L=%d)", len(s.levels), mid.Kappa, mid.L)
+}

@@ -1,0 +1,29 @@
+package baseline
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+)
+
+// LinearScan is the exact comparator: read every database point (n probes,
+// all address-independent, hence one round) and return the true nearest
+// neighbor. In the cell-probe model this is the trivial non-adaptive
+// scheme with a linear-size table.
+type LinearScan struct {
+	db []bitvec.Vector
+}
+
+// NewLinearScan wraps the database.
+func NewLinearScan(db []bitvec.Vector) *LinearScan { return &LinearScan{db: db} }
+
+// Query returns the exact nearest neighbor with n probes in 1 round.
+func (s *LinearScan) Query(x bitvec.Vector) (int, cellprobe.Stats) {
+	best, bestDist := 0, bitvec.Distance(s.db[0], x)
+	for i := 1; i < len(s.db); i++ {
+		if d := bitvec.Distance(s.db[i], x); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	st := cellprobe.Stats{Rounds: 1, Probes: len(s.db), ProbesPerRound: []int{len(s.db)}}
+	return best, st
+}

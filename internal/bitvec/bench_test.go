@@ -1,0 +1,56 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+func benchVectors(d int) (Vector, Vector) {
+	a, b := New(d), New(d)
+	for i := 0; i < d; i += 3 {
+		a.Set(i, true)
+	}
+	for i := 0; i < d; i += 5 {
+		b.Set(i, true)
+	}
+	return a, b
+}
+
+func BenchmarkDistance1024(b *testing.B) {
+	x, y := benchVectors(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(x, y)
+	}
+}
+
+func BenchmarkDistance65536(b *testing.B) {
+	x, y := benchVectors(65536)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(x, y)
+	}
+}
+
+func BenchmarkDistanceAtMostEarlyExit(b *testing.B) {
+	x, y := benchVectors(65536)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DistanceAtMost(x, y, 16) // fails fast: answer ≫ 16
+	}
+}
+
+func BenchmarkParity(b *testing.B) {
+	x, y := benchVectors(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parity(x, y)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	x, _ := benchVectors(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Key()
+	}
+}

@@ -1,0 +1,218 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct{ d, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := Words(c.d); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestWordsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Words(-1) did not panic")
+		}
+	}()
+	Words(-1)
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Errorf("fresh vector has bit %d set", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Errorf("Set(%d) did not stick", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Errorf("Flip(%d) did not clear", i)
+		}
+		v.Flip(i)
+		if !v.Get(i) {
+			t.Errorf("double Flip(%d) did not set", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Errorf("Set(%d, false) did not clear", i)
+		}
+	}
+}
+
+func TestPopCountAndDistance(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(3, true)
+	a.Set(64, true)
+	a.Set(99, true)
+	b.Set(3, true)
+	b.Set(65, true)
+	if got := a.PopCount(); got != 3 {
+		t.Errorf("PopCount = %d, want 3", got)
+	}
+	// Differ at 64, 65, 99.
+	if got := Distance(a, b); got != 3 {
+		t.Errorf("Distance = %d, want 3", got)
+	}
+	if Distance(a, a) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distance on mismatched lengths did not panic")
+		}
+	}()
+	Distance(New(64), New(128))
+}
+
+func TestDistanceAtMost(t *testing.T) {
+	a := New(256)
+	b := New(256)
+	for i := 0; i < 10; i++ {
+		b.Set(i*20, true)
+	}
+	for thr := 0; thr < 12; thr++ {
+		want := Distance(a, b) <= thr
+		if got := DistanceAtMost(a, b, thr); got != want {
+			t.Errorf("DistanceAtMost(thr=%d) = %v, want %v", thr, got, want)
+		}
+	}
+}
+
+func TestXorAndParity(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Set(1, true)
+	a.Set(69, true)
+	b.Set(1, true)
+	b.Set(5, true)
+	c := a.Clone().Xor(b)
+	if c.Get(1) || !c.Get(5) || !c.Get(69) {
+		t.Errorf("xor wrong: %v", c)
+	}
+	// Parity of overlap: a AND b = {1} -> odd.
+	if Parity(a, b) != 1 {
+		t.Error("Parity(a,b) != 1")
+	}
+	b.Set(69, true)
+	if Parity(a, b) != 0 {
+		t.Error("Parity after adding overlap bit != 0")
+	}
+}
+
+func TestAndPopCount(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	for i := 0; i < 128; i += 2 {
+		a.Set(i, true)
+	}
+	for i := 0; i < 128; i += 4 {
+		b.Set(i, true)
+	}
+	if got := AndPopCount(a, b); got != 32 {
+		t.Errorf("AndPopCount = %d, want 32", got)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(90)
+	a.Set(89, true)
+	b := a.Clone()
+	if !Equal(a, b) {
+		t.Error("clone not equal")
+	}
+	b.Flip(0)
+	if Equal(a, b) {
+		t.Error("mutated clone still equal")
+	}
+	if Equal(New(64), New(128)) {
+		t.Error("different lengths equal")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	v := New(100)
+	if !v.IsZero() {
+		t.Error("fresh vector not zero")
+	}
+	v.Set(77, true)
+	if v.IsZero() {
+		t.Error("vector with bit set is zero")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	v := New(130)
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	got, err := FromKey(v.Key(), 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, got) {
+		t.Errorf("roundtrip mismatch: %v vs %v", v, got)
+	}
+}
+
+func TestFromKeyRejectsBadLength(t *testing.T) {
+	if _, err := FromKey("short", 130); err == nil {
+		t.Error("FromKey accepted wrong-length key")
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	b.Set(13, true)
+	if a.Hash() == b.Hash() {
+		t.Error("hash collision on trivially different vectors")
+	}
+	if a.Hash() != New(64).Hash() {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestTruncateToDim(t *testing.T) {
+	v := Vector{^uint64(0), ^uint64(0)}
+	v.TruncateToDim(70)
+	if got := v.PopCount(); got != 70 {
+		t.Errorf("after truncate PopCount = %d, want 70", got)
+	}
+	// Multiple of 64: no-op.
+	w := Vector{^uint64(0)}
+	w.TruncateToDim(64)
+	if w.PopCount() != 64 {
+		t.Error("TruncateToDim(64) clobbered bits")
+	}
+}
+
+func TestStringAndFromString(t *testing.T) {
+	s := "0110000000000000000000000000000000000000000000000000000000000001"
+	v, err := FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Get(1) || !v.Get(2) || !v.Get(63) || v.Get(0) {
+		t.Errorf("FromString bits wrong: %v", v)
+	}
+	if v.String() != s {
+		t.Errorf("String roundtrip: %q", v.String())
+	}
+	if _, err := FromString("01x"); err == nil {
+		t.Error("FromString accepted invalid char")
+	}
+}

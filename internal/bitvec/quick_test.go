@@ -1,0 +1,127 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVector produces a random Vector of the given word length for
+// testing/quick generators.
+func genVector(r *rand.Rand, words, dim int) Vector {
+	v := make(Vector, words)
+	for i := range v {
+		v[i] = r.Uint64()
+	}
+	return v.TruncateToDim(dim)
+}
+
+const (
+	qWords = 3
+	qDim   = 170
+)
+
+// triple is a generator of three same-dimension vectors.
+type triple struct{ A, B, C Vector }
+
+func (triple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(triple{
+		A: genVector(r, qWords, qDim),
+		B: genVector(r, qWords, qDim),
+		C: genVector(r, qWords, qDim),
+	})
+}
+
+func TestQuickMetricAxioms(t *testing.T) {
+	// Hamming distance is a metric: identity, symmetry, triangle.
+	f := func(tr triple) bool {
+		dAB := Distance(tr.A, tr.B)
+		dBA := Distance(tr.B, tr.A)
+		dAC := Distance(tr.A, tr.C)
+		dCB := Distance(tr.C, tr.B)
+		return Distance(tr.A, tr.A) == 0 &&
+			dAB == dBA &&
+			(dAB != 0 || Equal(tr.A, tr.B)) &&
+			dAB <= dAC+dCB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceIsXorPopcount(t *testing.T) {
+	f := func(tr triple) bool {
+		return Distance(tr.A, tr.B) == tr.A.Clone().Xor(tr.B).PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(tr triple) bool {
+		return Equal(tr.A.Clone().Xor(tr.B).Xor(tr.B), tr.A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParityBilinear(t *testing.T) {
+	// <r, a⊕b> = <r,a> ⊕ <r,b> — the property sketch application relies on.
+	f := func(tr triple) bool {
+		lhs := Parity(tr.C, tr.A.Clone().Xor(tr.B))
+		rhs := Parity(tr.C, tr.A) ^ Parity(tr.C, tr.B)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyRoundTrip(t *testing.T) {
+	f := func(tr triple) bool {
+		v, err := FromKey(tr.A.Key(), qDim)
+		return err == nil && Equal(v, tr.A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(tr triple) bool {
+		if Equal(tr.A, tr.B) {
+			return tr.A.Key() == tr.B.Key()
+		}
+		return tr.A.Key() != tr.B.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceAtMostAgrees(t *testing.T) {
+	f := func(tr triple, thr uint8) bool {
+		lim := int(thr % 180)
+		return DistanceAtMost(tr.A, tr.B, lim) == (Distance(tr.A, tr.B) <= lim)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFlipChangesDistanceByOne(t *testing.T) {
+	f := func(tr triple, pos uint8) bool {
+		i := int(pos) % qDim
+		before := Distance(tr.A, tr.B)
+		b := tr.B.Clone()
+		b.Flip(i)
+		after := Distance(tr.A, b)
+		return after == before+1 || after == before-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+package cellprobe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWordString(t *testing.T) {
+	if EmptyWord.String() != "EMPTY" {
+		t.Error(EmptyWord.String())
+	}
+	if PointWord(3).String() != "point(3)" {
+		t.Error(PointWord(3).String())
+	}
+	if IntWord(7).String() != "int(7)" {
+		t.Error(IntWord(7).String())
+	}
+}
+
+func TestOracleMemoizesAndMeters(t *testing.T) {
+	var meter Meter
+	evals := 0
+	o := NewOracle("t", 10, 8, &meter, func(addr string) Word {
+		evals++
+		return IntWord(len(addr))
+	})
+	if w := o.Lookup("abc"); w.Value != 3 {
+		t.Fatalf("lookup = %v", w)
+	}
+	o.Lookup("abc")
+	o.Lookup("abcd")
+	if evals != 2 {
+		t.Errorf("fn evaluated %d times, want 2", evals)
+	}
+	if meter.CellEvals() != 2 || meter.MemoHits() != 1 {
+		t.Errorf("meter evals=%d hits=%d", meter.CellEvals(), meter.MemoHits())
+	}
+	if o.MemoSize() != 2 {
+		t.Errorf("memo size %d", o.MemoSize())
+	}
+	if o.ID() != "t" || o.NominalLogCells() != 10 || o.WordBits() != 8 {
+		t.Error("oracle metadata wrong")
+	}
+}
+
+func TestOracleConcurrentLookups(t *testing.T) {
+	o := NewOracle("t", 4, 8, nil, func(addr string) Word { return IntWord(len(addr)) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				addr := fmt.Sprintf("a%d", i%10)
+				if w := o.Lookup(addr); w.Value != len(addr) {
+					t.Errorf("bad value %v for %q", w, addr)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestProberRoundAccounting(t *testing.T) {
+	o := NewOracle("t", 6.5, 33, nil, func(addr string) Word { return EmptyWord })
+	p := NewProber(3)
+	refs := []Ref{{o, "a"}, {o, "b"}, {o, "c"}}
+	if _, err := p.Round(refs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Round(refs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Rounds != 2 || st.Probes != 4 {
+		t.Errorf("stats %+v", st)
+	}
+	if len(st.ProbesPerRound) != 2 || st.ProbesPerRound[0] != 3 || st.ProbesPerRound[1] != 1 {
+		t.Errorf("per-round %v", st.ProbesPerRound)
+	}
+	if st.MaxProbesInRound() != 3 {
+		t.Errorf("max per round %d", st.MaxProbesInRound())
+	}
+	if st.BitsRead != 4*33 {
+		t.Errorf("bits read %d", st.BitsRead)
+	}
+	// ceil(6.5) = 7 address bits per probe.
+	if st.AddrBitsSent != 4*7 {
+		t.Errorf("addr bits %d", st.AddrBitsSent)
+	}
+}
+
+func TestProberEnforcesRoundBudget(t *testing.T) {
+	o := NewOracle("t", 4, 8, nil, func(string) Word { return EmptyWord })
+	p := NewProber(2)
+	for i := 0; i < 2; i++ {
+		if _, err := p.Round([]Ref{{o, "x"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := p.Round([]Ref{{o, "x"}})
+	if !errors.Is(err, ErrRoundsExhausted) {
+		t.Fatalf("expected ErrRoundsExhausted, got %v", err)
+	}
+	// Stats unchanged by the failed attempt.
+	if p.Stats().Rounds != 2 {
+		t.Error("failed round counted")
+	}
+}
+
+func TestProberUnlimited(t *testing.T) {
+	o := NewOracle("t", 4, 8, nil, func(string) Word { return EmptyWord })
+	p := NewProber(0)
+	for i := 0; i < 50; i++ {
+		if _, err := p.Round([]Ref{{o, "x"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats().Rounds != 50 {
+		t.Error("unlimited prober miscounted")
+	}
+	if p.RoundsLeft() < 1<<30 {
+		t.Error("unlimited RoundsLeft too small")
+	}
+}
+
+func TestProberRejectsEmptyRound(t *testing.T) {
+	p := NewProber(2)
+	if _, err := p.Round(nil); err == nil {
+		t.Fatal("empty round accepted")
+	}
+}
+
+func TestProberRoundsLeft(t *testing.T) {
+	o := NewOracle("t", 4, 8, nil, func(string) Word { return EmptyWord })
+	p := NewProber(3)
+	if p.RoundsLeft() != 3 {
+		t.Error("initial RoundsLeft")
+	}
+	p.Round([]Ref{{o, "x"}})
+	if p.RoundsLeft() != 2 {
+		t.Error("RoundsLeft after one round")
+	}
+}
+
+func TestRecordingProberTranscript(t *testing.T) {
+	o := NewOracle("tab", 4, 8, nil, func(addr string) Word { return IntWord(len(addr)) })
+	p := NewRecordingProber(2)
+	p.Round([]Ref{{o, "aa"}, {o, "b"}})
+	p.Round([]Ref{{o, "ccc"}})
+	tr := p.Transcript()
+	if len(tr) != 3 {
+		t.Fatalf("transcript length %d", len(tr))
+	}
+	if tr[0].Round != 0 || tr[2].Round != 1 {
+		t.Error("round tags wrong")
+	}
+	if tr[0].TableID != "tab" || tr[0].Addr != "aa" || tr[0].Content.Value != 2 {
+		t.Errorf("entry %+v", tr[0])
+	}
+	// Non-recording prober keeps no transcript.
+	q := NewProber(2)
+	q.Round([]Ref{{o, "x"}})
+	if q.Transcript() != nil {
+		t.Error("non-recording prober has transcript")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Rounds: 2, Probes: 5, ProbesPerRound: []int{3, 2}, BitsRead: 50, AddrBitsSent: 20}
+	b := Stats{Rounds: 3, Probes: 4, ProbesPerRound: []int{1, 1, 2}, BitsRead: 40, AddrBitsSent: 12}
+	a.Add(b)
+	if a.Rounds != 3 || a.Probes != 9 || a.BitsRead != 90 || a.AddrBitsSent != 32 {
+		t.Errorf("after add: %+v", a)
+	}
+	want := []int{4, 3, 2}
+	for i, w := range want {
+		if a.ProbesPerRound[i] != w {
+			t.Errorf("per-round[%d] = %d, want %d", i, a.ProbesPerRound[i], w)
+		}
+	}
+}
+
+func TestCeilLog(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{{0.3, 1}, {1, 1}, {1.5, 2}, {7, 7}, {7.01, 8}}
+	for _, c := range cases {
+		if got := ceilLog(c.in); got != c.want {
+			t.Errorf("ceilLog(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

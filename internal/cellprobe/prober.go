@@ -1,0 +1,143 @@
+package cellprobe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRoundsExhausted is returned by Prober.Round when the algorithm
+// attempts more rounds than its adaptivity budget k allows.
+var ErrRoundsExhausted = errors.New("cellprobe: round budget exhausted")
+
+// Ref addresses one cell: a table and an address within it.
+type Ref struct {
+	Table Table
+	Addr  string
+}
+
+// Stats is the model-level accounting of one query execution.
+type Stats struct {
+	Rounds         int   // rounds of parallel probes used
+	Probes         int   // total cell-probes
+	ProbesPerRound []int // per-round parallel probe counts
+	BitsRead       int64 // Σ wordBits over probed cells (communication view)
+	AddrBitsSent   int64 // Σ ⌈log₂ cells⌉ over probes (Prop. 18 Alice side)
+}
+
+// MaxProbesInRound returns the largest single-round probe count.
+func (s Stats) MaxProbesInRound() int {
+	m := 0
+	for _, p := range s.ProbesPerRound {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Add accumulates other into s (for aggregating boosted / repeated runs).
+func (s *Stats) Add(other Stats) {
+	if other.Rounds > s.Rounds {
+		s.Rounds = other.Rounds
+	}
+	s.Probes += other.Probes
+	s.BitsRead += other.BitsRead
+	s.AddrBitsSent += other.AddrBitsSent
+	for i, p := range other.ProbesPerRound {
+		if i < len(s.ProbesPerRound) {
+			s.ProbesPerRound[i] += p
+		} else {
+			s.ProbesPerRound = append(s.ProbesPerRound, p)
+		}
+	}
+}
+
+// TranscriptEntry records one probe for the communication translation
+// (Proposition 18) and for debugging.
+type TranscriptEntry struct {
+	Round   int
+	TableID string
+	Addr    string
+	Content Word
+}
+
+// Prober mediates all table access of a cell-probing algorithm and
+// enforces limited adaptivity: the algorithm submits a whole round of
+// probes at once (so intra-round probes cannot depend on each other by
+// construction) and no more than k rounds are allowed.
+type Prober struct {
+	k          int // 0 means unlimited (fully adaptive accounting only)
+	stats      Stats
+	record     bool
+	transcript []TranscriptEntry
+}
+
+// NewProber returns a prober with a round budget of k (0 = unlimited).
+func NewProber(k int) *Prober {
+	return &Prober{k: k}
+}
+
+// NewRecordingProber additionally keeps a full transcript, which the
+// communication-protocol translation consumes.
+func NewRecordingProber(k int) *Prober {
+	return &Prober{k: k, record: true}
+}
+
+// RoundBudget returns k (0 = unlimited).
+func (p *Prober) RoundBudget() int { return p.k }
+
+// RoundsLeft returns how many rounds remain (MaxInt-ish when unlimited).
+func (p *Prober) RoundsLeft() int {
+	if p.k == 0 {
+		return int(^uint(0) >> 1)
+	}
+	return p.k - p.stats.Rounds
+}
+
+// Round executes one round of parallel probes and returns the contents in
+// the same order as refs. An empty refs slice is rejected: the model has no
+// zero-probe rounds.
+func (p *Prober) Round(refs []Ref) ([]Word, error) {
+	if len(refs) == 0 {
+		return nil, errors.New("cellprobe: empty probe round")
+	}
+	if p.k > 0 && p.stats.Rounds >= p.k {
+		return nil, fmt.Errorf("%w: budget k=%d", ErrRoundsExhausted, p.k)
+	}
+	round := p.stats.Rounds
+	p.stats.Rounds++
+	p.stats.Probes += len(refs)
+	p.stats.ProbesPerRound = append(p.stats.ProbesPerRound, len(refs))
+	out := make([]Word, len(refs))
+	for i, r := range refs {
+		out[i] = r.Table.Lookup(r.Addr)
+		p.stats.BitsRead += int64(r.Table.WordBits())
+		p.stats.AddrBitsSent += int64(ceilLog(r.Table.NominalLogCells()))
+		if p.record {
+			p.transcript = append(p.transcript, TranscriptEntry{
+				Round:   round,
+				TableID: r.Table.ID(),
+				Addr:    r.Addr,
+				Content: out[i],
+			})
+		}
+	}
+	return out, nil
+}
+
+func ceilLog(logCells float64) int {
+	c := int(logCells)
+	if float64(c) < logCells {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Stats returns the accumulated accounting.
+func (p *Prober) Stats() Stats { return p.stats }
+
+// Transcript returns the recorded probe sequence (nil unless recording).
+func (p *Prober) Transcript() []TranscriptEntry { return p.transcript }

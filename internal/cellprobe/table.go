@@ -1,0 +1,119 @@
+package cellprobe
+
+import "sync"
+
+// Table is a table structure in the cell-probe model: a code assigning a
+// word to every address of its address space. Implementations must be safe
+// for concurrent Lookup calls (benchmarks probe in parallel).
+type Table interface {
+	// ID identifies the table in transcripts (e.g. "T[3]" or "aux[3]").
+	ID() string
+	// Lookup returns the content of the cell at addr. The address encoding
+	// is table specific; addresses are opaque strings to the prober.
+	Lookup(addr string) Word
+	// NominalLogCells returns log₂ of the table's cell count in the model
+	// (the paper's n^{O(1)} accounting), independent of how many cells the
+	// simulator ever evaluates.
+	NominalLogCells() float64
+	// WordBits returns the model word size w of this table in bits.
+	WordBits() int
+}
+
+// Meter counts simulation-side work that is *not* a model quantity: how
+// many distinct cells were lazily evaluated and how many were served from
+// the memo. Experiment E8 reports these against the nominal sizes.
+type Meter struct {
+	mu        sync.Mutex
+	cellEvals int64
+	memoHits  int64
+}
+
+// CellEvals returns the number of distinct lazy cell evaluations.
+func (m *Meter) CellEvals() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cellEvals
+}
+
+// MemoHits returns the number of lookups served from the memo.
+func (m *Meter) MemoHits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.memoHits
+}
+
+func (m *Meter) addEval() {
+	m.mu.Lock()
+	m.cellEvals++
+	m.mu.Unlock()
+}
+
+func (m *Meter) addHit() {
+	m.mu.Lock()
+	m.memoHits++
+	m.mu.Unlock()
+}
+
+// Oracle is a Table whose cells are computed on demand by a pure function
+// of the address and memoized. The function must be deterministic — it
+// represents the content the preprocessing stage would have stored.
+type Oracle struct {
+	id       string
+	logCells float64
+	wordBits int
+	fn       func(addr string) Word
+	meter    *Meter
+
+	mu   sync.RWMutex
+	memo map[string]Word
+}
+
+// NewOracle builds an oracle-backed table. meter may be nil.
+func NewOracle(id string, logCells float64, wordBits int, meter *Meter, fn func(addr string) Word) *Oracle {
+	return &Oracle{
+		id:       id,
+		logCells: logCells,
+		wordBits: wordBits,
+		fn:       fn,
+		meter:    meter,
+		memo:     make(map[string]Word),
+	}
+}
+
+// ID implements Table.
+func (o *Oracle) ID() string { return o.id }
+
+// NominalLogCells implements Table.
+func (o *Oracle) NominalLogCells() float64 { return o.logCells }
+
+// WordBits implements Table.
+func (o *Oracle) WordBits() int { return o.wordBits }
+
+// Lookup implements Table, evaluating and memoizing the cell on first use.
+func (o *Oracle) Lookup(addr string) Word {
+	o.mu.RLock()
+	w, ok := o.memo[addr]
+	o.mu.RUnlock()
+	if ok {
+		if o.meter != nil {
+			o.meter.addHit()
+		}
+		return w
+	}
+	w = o.fn(addr)
+	o.mu.Lock()
+	// Another goroutine may have raced us; determinism makes that benign.
+	o.memo[addr] = w
+	o.mu.Unlock()
+	if o.meter != nil {
+		o.meter.addEval()
+	}
+	return w
+}
+
+// MemoSize returns the number of materialized cells.
+func (o *Oracle) MemoSize() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.memo)
+}

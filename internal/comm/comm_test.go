@@ -1,0 +1,288 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/cellprobe"
+)
+
+// eqProblem: Alice and Bob hold 3-bit values; Alice must output 1 iff they
+// are equal. A 2-message protocol solves it exactly.
+func eqProblem() Problem {
+	return Problem{NX: 8, NY: 8, Correct: func(x, y, z int) bool {
+		want := 0
+		if x == y {
+			want = 1
+		}
+		return z == want
+	}}
+}
+
+// eqProtocol is the trivial ⟨(3),(3),2⟩ᴬ protocol: Alice sends x, Bob
+// echoes y... actually Bob sends whether they match is impossible (he does
+// not know the answer semantics); Bob sends y and Alice compares.
+func eqProtocol() *Deterministic {
+	return &Deterministic{
+		NX: 8, NY: 8, AliceStarts: true,
+		Bits: []int{3, 3},
+		Msg: []func(int, []int) int{
+			func(x int, _ []int) int { return x },
+			func(y int, _ []int) int { return y },
+		},
+		Output: func(x int, tr []int) int {
+			if x == tr[1] {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+func TestRunAndErr(t *testing.T) {
+	p := eqProtocol()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, tr := p.Run(5, 5)
+	if out != 1 || len(tr) != 2 {
+		t.Fatalf("Run(5,5) = %d, tr %v", out, tr)
+	}
+	out, _ = p.Run(5, 6)
+	if out != 0 {
+		t.Fatal("Run(5,6) = 1")
+	}
+	if e := Err(p, eqProblem()); e != 0 {
+		t.Errorf("exact protocol has error %v", e)
+	}
+}
+
+func TestErrOnDistribution(t *testing.T) {
+	// A broken protocol that always outputs 1 errs exactly on unequal pairs.
+	p := eqProtocol()
+	p.Output = func(int, []int) int { return 1 }
+	pairs := [][2]int{{1, 1}, {1, 2}, {3, 3}, {4, 5}}
+	if e := ErrOn(p, eqProblem(), pairs); e != 0.5 {
+		t.Errorf("ErrOn = %v, want 0.5", e)
+	}
+	if ErrOn(p, eqProblem(), nil) != 0 {
+		t.Error("empty distribution not 0")
+	}
+}
+
+func TestBitAccounting(t *testing.T) {
+	p := &Deterministic{
+		NX: 2, NY: 2, AliceStarts: true,
+		Bits: []int{3, 5, 2, 7},
+		Msg: []func(int, []int) int{
+			func(int, []int) int { return 0 },
+			func(int, []int) int { return 0 },
+			func(int, []int) int { return 0 },
+			func(int, []int) int { return 0 },
+		},
+		Output: func(int, []int) int { return 0 },
+	}
+	if p.TotalBits() != 17 || p.AliceBits() != 5 || p.BobBits() != 12 {
+		t.Errorf("bits: total=%d alice=%d bob=%d", p.TotalBits(), p.AliceBits(), p.BobBits())
+	}
+	// Bob-first protocol flips the split.
+	p.AliceStarts = false
+	if p.AliceBits() != 12 || p.BobBits() != 5 {
+		t.Error("bob-first split wrong")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := eqProtocol()
+	p.Bits = []int{4}
+	if p.Validate() == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	p = eqProtocol()
+	p.Bits[0] = 63
+	if p.Validate() == nil {
+		t.Error("oversized message accepted")
+	}
+	p = eqProtocol()
+	p.Output = nil
+	if p.Validate() == nil {
+		t.Error("missing output accepted")
+	}
+}
+
+func TestRunPanicsOnOversizedMessage(t *testing.T) {
+	p := eqProtocol()
+	p.Msg[0] = func(int, []int) int { return 8 } // needs 4 bits, declared 3
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized message did not panic")
+		}
+	}()
+	p.Run(0, 0)
+}
+
+// TestSwitchFirstMessageEquivalence is the central Lemma 20 check: the
+// switched protocol computes the identical output on *every* input pair,
+// with one fewer round and the stated size trade.
+func TestSwitchFirstMessageEquivalence(t *testing.T) {
+	p := eqProtocol()
+	q, err := SwitchFirstMessage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.AliceStarts {
+		t.Error("switched protocol still Alice-first")
+	}
+	if len(q.Msg) != len(p.Msg) {
+		// 2-message original: Bob's packed opening + Alice's merged m1.
+		t.Logf("message counts: %d -> %d", len(p.Msg), len(q.Msg))
+	}
+	if q.Bits[0] != p.Bits[1]*(1<<uint(p.Bits[0])) {
+		t.Errorf("opening size %d, want b1·2^a1 = %d", q.Bits[0], p.Bits[1]*(1<<uint(p.Bits[0])))
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			wantOut, _ := p.Run(x, y)
+			gotOut, _ := q.Run(x, y)
+			if wantOut != gotOut {
+				t.Fatalf("outputs differ at (%d,%d): %d vs %d", x, y, wantOut, gotOut)
+			}
+		}
+	}
+}
+
+// TestSwitchFourMessageProtocol exercises the reconstruction path for a
+// protocol with messages after the merged pair.
+func TestSwitchFourMessageProtocol(t *testing.T) {
+	// Problem: output (x + y) mod 4, via a chatty 4-message protocol whose
+	// later messages depend on the earlier transcript.
+	p := &Deterministic{
+		NX: 4, NY: 4, AliceStarts: true,
+		Bits: []int{2, 2, 2, 2},
+		Msg: []func(int, []int) int{
+			func(x int, _ []int) int { return x },
+			func(y int, tr []int) int { return (y + tr[0]) % 4 },
+			func(x int, tr []int) int { return (x ^ tr[1]) % 4 },
+			func(y int, tr []int) int { return (y + tr[2]) % 4 },
+		},
+		Output: func(x int, tr []int) int { return (x + tr[3] + tr[1]) % 4 },
+	}
+	q, err := SwitchFirstMessage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			wantOut, _ := p.Run(x, y)
+			gotOut, _ := q.Run(x, y)
+			if wantOut != gotOut {
+				t.Fatalf("outputs differ at (%d,%d): %d vs %d", x, y, wantOut, gotOut)
+			}
+		}
+	}
+	// One less message.
+	if len(q.Msg) != len(p.Msg)-1 {
+		t.Errorf("switched protocol has %d messages, want %d", len(q.Msg), len(p.Msg)-1)
+	}
+}
+
+func TestSwitchRejects(t *testing.T) {
+	p := eqProtocol()
+	p.AliceStarts = false
+	if _, err := SwitchFirstMessage(p); err == nil {
+		t.Error("Bob-first protocol accepted")
+	}
+	big := eqProtocol()
+	big.Bits = []int{20, 20}
+	if _, err := SwitchFirstMessage(big); err == nil {
+		t.Error("untabulatable sizes accepted")
+	}
+}
+
+// TestClaim26ZeroCommunicationLPM verifies the paper's terminal claim: a
+// protocol with no communication solving LPM over Σ with |DB| = 1 succeeds
+// with probability at most 1/|Σ| — exhaustively, for every deterministic
+// zero-communication strategy on a small alphabet.
+func TestClaim26ZeroCommunicationLPM(t *testing.T) {
+	const sigma = 5
+	// LPM with m=1, n=1: Bob holds one symbol y, Alice holds x; the correct
+	// answer is y itself (the only database string). Alice must output y
+	// without communication. Any deterministic Alice is a function of x
+	// only; over uniform y, each x succeeds on exactly one y.
+	prob := Problem{NX: sigma, NY: sigma, Correct: func(x, y, z int) bool { return z == y }}
+	for strategy := 0; strategy < sigma; strategy++ {
+		strategy := strategy
+		p := &Deterministic{
+			NX: sigma, NY: sigma, AliceStarts: true,
+			Bits:   nil,
+			Msg:    nil,
+			Output: func(x int, _ []int) int { return (x + strategy) % sigma },
+		}
+		if e := Err(p, prob); e < 1-1.0/sigma-1e-12 {
+			t.Errorf("strategy %d: error %v below 1 − 1/|Σ|", strategy, e)
+		}
+	}
+}
+
+func TestTranslateAccounting(t *testing.T) {
+	o1 := cellprobe.NewOracle("t1", 10, 64, nil, func(string) cellprobe.Word { return cellprobe.EmptyWord })
+	o2 := cellprobe.NewOracle("t2", 6.2, 32, nil, func(string) cellprobe.Word { return cellprobe.EmptyWord })
+	dir := map[string]cellprobe.Table{"t1": o1, "t2": o2}
+	p := cellprobe.NewRecordingProber(2)
+	p.Round([]cellprobe.Ref{{Table: o1, Addr: "a"}, {Table: o2, Addr: "b"}})
+	p.Round([]cellprobe.Ref{{Table: o1, Addr: "c"}})
+	tr := Translate(p.Transcript(), func(id string) cellprobe.Table { return dir[id] })
+	if tr.ProbeRounds != 2 || tr.CommRounds != 4 {
+		t.Errorf("rounds: %+v", tr)
+	}
+	// Round 0: addresses 10 + 7 bits; contents 64 + 32 bits.
+	if tr.A[0] != 17 || tr.B[0] != 96 {
+		t.Errorf("round 0 sizes a=%d b=%d", tr.A[0], tr.B[0])
+	}
+	if tr.A[1] != 10 || tr.B[1] != 64 {
+		t.Errorf("round 1 sizes a=%d b=%d", tr.A[1], tr.B[1])
+	}
+	if tr.AliceTotal != 27 || tr.BobTotal != 160 {
+		t.Errorf("totals %d/%d", tr.AliceTotal, tr.BobTotal)
+	}
+}
+
+func TestNewmanSample(t *testing.T) {
+	// Family of protocols: protocol s computes equality correctly except on
+	// the single diagonal input (s mod 8), mimicking seed-dependent error.
+	prob := eqProblem()
+	var family []*Deterministic
+	for s := 0; s < 40; s++ {
+		s := s
+		p := eqProtocol()
+		p.Output = func(x int, tr []int) int {
+			if x == s%8 && tr[1] == s%8 {
+				return 0 // err on this diagonal point
+			}
+			if x == tr[1] {
+				return 1
+			}
+			return 0
+		}
+		family = append(family, p)
+	}
+	seeds := make([]int, 40)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	// Each input pair errs on at most ⌈40/8⌉ = 5 of 40 protocols, so a
+	// sample of 8 with target error 1/2 must verify.
+	chosen := NewmanSample(family, prob, seeds, 8, 0.5)
+	if chosen == nil {
+		t.Fatal("Newman sample failed")
+	}
+	if len(chosen) != 8 {
+		t.Errorf("sample size %d", len(chosen))
+	}
+	// Impossible target: every protocol errs somewhere, target 0 fails.
+	if NewmanSample(family, prob, seeds, 8, 0) != nil {
+		t.Error("zero-error sample accepted")
+	}
+	if NewmanSample(family, prob, seeds, 100, 0.5) != nil {
+		t.Error("oversized sample accepted")
+	}
+}

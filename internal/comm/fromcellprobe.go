@@ -1,0 +1,91 @@
+package comm
+
+import (
+	"repro/internal/cellprobe"
+)
+
+// Translation is the result of Proposition 18: a k-round cell-probing
+// execution rendered as a 2k-round communication protocol. Alice (the
+// cell-probing algorithm) sends the addresses of round i's t_i probes
+// (a_i = t_i·⌈log₂ s⌉ bits); Bob (the table) replies with the contents
+// (b_i = t_i·w bits).
+type Translation struct {
+	ProbeRounds int     // k
+	CommRounds  int     // 2k
+	A           []int64 // Alice's per-round message sizes in bits
+	B           []int64 // Bob's per-round message sizes in bits
+	AliceTotal  int64
+	BobTotal    int64
+}
+
+// Translate converts a recorded probe transcript into the Proposition 18
+// message-size accounting. Each probed table contributes ⌈log₂ cells⌉
+// address bits and its word size in content bits.
+func Translate(entries []cellprobe.TranscriptEntry, lookup func(tableID string) cellprobe.Table) Translation {
+	var tr Translation
+	byRound := map[int][]cellprobe.TranscriptEntry{}
+	maxRound := -1
+	for _, e := range entries {
+		byRound[e.Round] = append(byRound[e.Round], e)
+		if e.Round > maxRound {
+			maxRound = e.Round
+		}
+	}
+	tr.ProbeRounds = maxRound + 1
+	tr.CommRounds = 2 * tr.ProbeRounds
+	for r := 0; r <= maxRound; r++ {
+		var aBits, bBits int64
+		for _, e := range byRound[r] {
+			t := lookup(e.TableID)
+			aBits += int64(ceilLogCells(t))
+			bBits += int64(t.WordBits())
+		}
+		tr.A = append(tr.A, aBits)
+		tr.B = append(tr.B, bBits)
+		tr.AliceTotal += aBits
+		tr.BobTotal += bBits
+	}
+	return tr
+}
+
+func ceilLogCells(t cellprobe.Table) int {
+	lc := t.NominalLogCells()
+	c := int(lc)
+	if float64(c) < lc {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// NewmanSample demonstrates the finite-domain content of Newman's theorem
+// (used by Lemma 5): given a public-coin protocol presented as a family of
+// deterministic protocols indexed by seed, find a small multiset of seeds
+// whose majority vote has error ≤ targetErr on *every* input pair.
+// Returns the chosen seeds, or nil if the sample budget fails (callers
+// retry with more seeds, mirroring the probabilistic argument).
+func NewmanSample(protocols []*Deterministic, prob Problem, seeds []int, sampleSize int, targetErr float64) []int {
+	if sampleSize > len(seeds) || sampleSize < 1 {
+		return nil
+	}
+	chosen := seeds[:sampleSize]
+	// Verify: for every input pair, the fraction of chosen seeds erring
+	// must be ≤ targetErr.
+	for x := 0; x < prob.NX; x++ {
+		for y := 0; y < prob.NY; y++ {
+			bad := 0
+			for _, s := range chosen {
+				out, _ := protocols[s].Run(x, y)
+				if !prob.Correct(x, y, out) {
+					bad++
+				}
+			}
+			if float64(bad) > targetErr*float64(sampleSize) {
+				return nil
+			}
+		}
+	}
+	return chosen
+}

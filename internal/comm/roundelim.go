@@ -1,0 +1,203 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/lpm"
+	"repro/internal/rng"
+)
+
+// This file implements the *constructive* halves of the round elimination
+// lemma for LPM (Lemma 19): the input-embedding protocols Q′′ (Part I) and
+// Q′ (Part II) of §4.2. The lemma's existential steps (choosing the pair
+// (i, σ) by averaging, Yao's min-max) pick parameters; given parameters,
+// the embeddings below are concrete protocol transformations, and the
+// tests verify the correctness-transfer property the proofs rely on:
+// running the big protocol on embedded inputs and projecting the answer
+// solves the small LPM instance.
+//
+// Strings are over a finite alphabet, represented as []int as in package
+// lpm. A "protocol" here is abstracted to an answering oracle
+// func(x, db) answer — the embeddings are input transformations and are
+// independent of how the big instance is solved (the paper applies them to
+// communication protocols; we apply them to any solver, including actual
+// cell-probing schemes).
+
+// LPMSolver answers LPM instances: given query x and database db (both of
+// strings over the same alphabet), return the index of a database string
+// with maximal LCP.
+type LPMSolver func(x []int, db [][]int) int
+
+// TrieSolver is the reference LPMSolver.
+func TrieSolver(x []int, db [][]int) int {
+	in := &lpm.Instance{Sigma: maxSymbol(db, x) + 1, M: len(db[0]), DB: db}
+	idx, _ := lpm.NewTrie(in).Query(x)
+	return idx
+}
+
+func maxSymbol(db [][]int, x []int) int {
+	m := 0
+	for _, s := range db {
+		for _, c := range s {
+			if c > m {
+				m = c
+			}
+		}
+	}
+	for _, c := range x {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// PartIEmbedding is the Part I (query-side) reduction: solve
+// LPM_{m/p, n} using a solver for LPM_{m, n}. Alice's short query x is
+// embedded as σ ‖ x ‖ X_{i+1} … X_p (prefix σ of i−1 blocks, then x, then
+// random suffix blocks), and every database string y as σ ‖ y ‖ s^{p−i}
+// (the same prefix, then the fixed filler block s). The answer block at
+// position i of the returned string is the LPM answer for the short
+// instance.
+type PartIEmbedding struct {
+	P         int     // blocks per long string
+	I         int     // the block position carrying the live instance (1-based)
+	BlockLen  int     // symbols per block (m/p)
+	Sigma     int     // alphabet size
+	Prefix    [][]int // the fixed prefix σ: I−1 blocks
+	Filler    []int   // the fixed block s for Bob's suffix
+	SuffixRng *rng.Source
+}
+
+// NewPartIEmbedding draws a random prefix and filler, mirroring the
+// averaging step's choice of (i, σ).
+func NewPartIEmbedding(r *rng.Source, p, i, blockLen, sigma int) (*PartIEmbedding, error) {
+	if i < 1 || i > p {
+		return nil, fmt.Errorf("comm: block position %d outside [1, %d]", i, p)
+	}
+	e := &PartIEmbedding{P: p, I: i, BlockLen: blockLen, Sigma: sigma, SuffixRng: r.Split(1)}
+	for b := 0; b < i-1; b++ {
+		e.Prefix = append(e.Prefix, randomBlock(r, blockLen, sigma))
+	}
+	e.Filler = randomBlock(r, blockLen, sigma)
+	return e, nil
+}
+
+func randomBlock(r *rng.Source, blockLen, sigma int) []int {
+	b := make([]int, blockLen)
+	for j := range b {
+		b[j] = r.Intn(sigma)
+	}
+	return b
+}
+
+// EmbedQuery builds x̃ = σ ‖ x ‖ X_{i+1} … X_p with fresh random suffix
+// blocks (Alice's private coins in the proof).
+func (e *PartIEmbedding) EmbedQuery(x []int) []int {
+	out := make([]int, 0, e.P*e.BlockLen)
+	for _, b := range e.Prefix {
+		out = append(out, b...)
+	}
+	out = append(out, x...)
+	for b := e.I; b < e.P; b++ {
+		out = append(out, randomBlock(e.SuffixRng, e.BlockLen, e.Sigma)...)
+	}
+	return out
+}
+
+// EmbedDB builds ỹ = σ ‖ y ‖ s^{p−i} for every database string.
+func (e *PartIEmbedding) EmbedDB(db [][]int) [][]int {
+	out := make([][]int, len(db))
+	for i, y := range db {
+		long := make([]int, 0, e.P*e.BlockLen)
+		for _, b := range e.Prefix {
+			long = append(long, b...)
+		}
+		long = append(long, y...)
+		for b := e.I; b < e.P; b++ {
+			long = append(long, e.Filler...)
+		}
+		out[i] = long
+	}
+	return out
+}
+
+// Solve answers the short instance through the long-instance solver.
+// The returned index refers to the short database (embedding preserves
+// indices).
+func (e *PartIEmbedding) Solve(solver LPMSolver, x []int, db [][]int) int {
+	return solver(e.EmbedQuery(x), e.EmbedDB(db))
+}
+
+// PartIIEmbedding is the Part II (database-side) reduction: solve
+// LPM_{m−1, n/q} using a solver for LPM_{m, n}. The short database is
+// prefixed with a distinguished symbol s_i; q−1 decoy databases are
+// prefixed with the other distinguished symbols and mixed in. A query is
+// prefixed with s_i; the long answer falls in the live sub-database
+// because s_i matches only its strings' first symbol.
+type PartIIEmbedding struct {
+	Q       int       // number of sub-databases mixed together
+	I       int       // the live slot (0-based)
+	Symbols []int     // q distinct first symbols s_1..s_q
+	Decoys  [][][]int // q databases; slot I is replaced by the live one
+}
+
+// NewPartIIEmbedding draws decoy databases (Bob's private coins in the
+// proof) of the given shape.
+func NewPartIIEmbedding(r *rng.Source, q, i, nShort, mShort, sigma int) (*PartIIEmbedding, error) {
+	if sigma < q {
+		return nil, fmt.Errorf("comm: need |Σ| ≥ q distinct prefix symbols (%d < %d)", sigma, q)
+	}
+	if i < 0 || i >= q {
+		return nil, fmt.Errorf("comm: live slot %d outside [0, %d)", i, q)
+	}
+	e := &PartIIEmbedding{Q: q, I: i}
+	for s := 0; s < q; s++ {
+		e.Symbols = append(e.Symbols, s)
+	}
+	for s := 0; s < q; s++ {
+		var db [][]int
+		for j := 0; j < nShort; j++ {
+			db = append(db, randomBlock(r.Split(uint64(s*1000+j)), mShort, sigma))
+		}
+		e.Decoys = append(e.Decoys, db)
+	}
+	return e, nil
+}
+
+// EmbedDB mixes the live short database into the decoys: sub-database s
+// holds strings s_s ‖ y. Returns the long database plus the index range
+// [lo, hi) occupied by the live strings.
+func (e *PartIIEmbedding) EmbedDB(db [][]int) (long [][]int, lo, hi int) {
+	for s := 0; s < e.Q; s++ {
+		src := e.Decoys[s]
+		if s == e.I {
+			src = db
+			lo = len(long)
+			hi = lo + len(db)
+		}
+		for _, y := range src {
+			long = append(long, append([]int{e.Symbols[s]}, y...))
+		}
+	}
+	return long, lo, hi
+}
+
+// EmbedQuery prefixes x with the live slot's symbol.
+func (e *PartIIEmbedding) EmbedQuery(x []int) []int {
+	return append([]int{e.Symbols[e.I]}, x...)
+}
+
+// Solve answers the short instance through the long-instance solver,
+// mapping the long answer index back into the short database.
+func (e *PartIIEmbedding) Solve(solver LPMSolver, x []int, db [][]int) (int, error) {
+	long, lo, hi := e.EmbedDB(db)
+	ans := solver(e.EmbedQuery(x), long)
+	if ans < lo || ans >= hi {
+		// The long answer's first symbol must be s_i (the live prefix
+		// matches at least one symbol; decoys match zero) — anything else
+		// means the long solver erred.
+		return -1, fmt.Errorf("comm: long answer %d outside live range [%d, %d)", ans, lo, hi)
+	}
+	return ans - lo, nil
+}

@@ -1,0 +1,99 @@
+package comm
+
+import "fmt"
+
+// SwitchFirstMessage is Lemma 20 (the message switching lemma), executed
+// concretely: given a deterministic ⟨A,B,2k⟩ᴬ-protocol (Alice speaks
+// first), produce an equivalent ⟨A′,B′,2k−1⟩ᴮ-protocol in which Bob opens
+// by sending his round-1 responses to *all* 2^{a₁} possible Alice
+// messages (b₁·2^{a₁} bits), after which Alice — who can now compute
+// Bob's reply locally — merges her first two messages into one.
+//
+// The transformed protocol computes exactly the same output on every
+// input pair; the cost is the message-size trade the lemma states:
+// A′ = (a₁+a₂, a₃, …), B′ = (b₁·2^{a₁}, b₂, …).
+func SwitchFirstMessage(p *Deterministic) (*Deterministic, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.AliceStarts {
+		return nil, fmt.Errorf("comm: switching needs an Alice-first protocol")
+	}
+	if len(p.Msg) < 2 {
+		return nil, fmt.Errorf("comm: switching needs at least two messages")
+	}
+	a1 := p.Bits[0]
+	b1 := p.Bits[1]
+	if a1+b1 > 24 || b1*(1<<uint(a1)) > 60 {
+		return nil, fmt.Errorf("comm: first-round sizes a1=%d b1=%d too large to tabulate", a1, b1)
+	}
+	numA := 1 << uint(a1)
+	bigB := b1 * numA // Bob's new opening message size in bits
+
+	rest := []int{}
+	if len(p.Bits) > 3 {
+		rest = p.Bits[3:]
+	}
+	q := &Deterministic{
+		NX: p.NX, NY: p.NY,
+		AliceStarts: false,
+		Bits:        append([]int{bigB, a1 + p.bitsAt(2)}, rest...),
+	}
+	// decodeBob extracts Bob's original round-1 reply to Alice message ma
+	// from the packed opening message.
+	decodeBob := func(packed, ma int) int {
+		return (packed >> uint(ma*b1)) & ((1 << uint(b1)) - 1)
+	}
+	// Bob's opening: tabulate his original first response for every
+	// possible Alice message.
+	q.Msg = append(q.Msg, func(y int, _ []int) int {
+		packed := 0
+		for ma := 0; ma < numA; ma++ {
+			r := p.Msg[1](y, []int{ma})
+			packed |= r << uint(ma*b1)
+		}
+		return packed
+	})
+	// Alice's merged message: her original m1, concatenated with her
+	// original m2 computed using Bob's (now locally known) reply.
+	q.Msg = append(q.Msg, func(x int, tr []int) int {
+		m1 := p.Msg[0](x, nil)
+		if len(p.Msg) == 2 {
+			return m1
+		}
+		r1 := decodeBob(tr[0], m1)
+		m2 := p.Msg[2](x, []int{m1, r1})
+		return m1 | m2<<uint(a1)
+	})
+	// Remaining messages: reconstruct the original transcript prefix from
+	// the packed opening plus merged message, then defer to the original.
+	reconstruct := func(tr []int) []int {
+		m1 := tr[1] & ((1 << uint(a1)) - 1)
+		r1 := decodeBob(tr[0], m1)
+		orig := []int{m1, r1}
+		if len(p.Msg) > 2 {
+			orig = append(orig, tr[1]>>uint(a1))
+		}
+		orig = append(orig, tr[2:]...)
+		return orig
+	}
+	for i := 3; i < len(p.Msg); i++ {
+		i := i
+		q.Msg = append(q.Msg, func(own int, tr []int) int {
+			return p.Msg[i](own, reconstruct(tr)[:i])
+		})
+	}
+	q.Output = func(x int, tr []int) int {
+		return p.Output(x, reconstruct(tr))
+	}
+	return q, nil
+}
+
+// bitsAt returns p.Bits[i], or 0 past the end (used when the original
+// protocol has exactly two messages).
+func (p *Deterministic) bitsAt(i int) int {
+	if i >= len(p.Bits) {
+		return 0
+	}
+	return p.Bits[i]
+}

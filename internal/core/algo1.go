@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+)
+
+// Algo1 is the simple k-round scheme of Theorem 9 (Algorithm 1 in the
+// paper): a τ-way search over the ⌈log_α d⌉+1 ball levels. It maintains
+// thresholds l < u with the invariant C_l = ∅ and C_u ≠ ∅; each shrinking
+// round probes τ−1 grid levels in parallel and narrows [l, u] by a factor
+// ~τ, and the completion round scans the remaining gap. Any point found in
+// the first nonempty level C_i with C_{i−1} = ∅ is a γ-approximate nearest
+// neighbor (Assumption 2: B_i ⊆ C_i ⊆ B_{i+1}).
+type Algo1 struct {
+	idx *Index
+	k   int
+	tau int
+}
+
+// NewAlgo1 builds the scheme with round budget k ≥ 1 on the shared index.
+// τ is the smallest integer ≥ 2 with τ·(τ/2)^{k−1} ≥ ⌈log_α d⌉, realizing
+// the paper's τ = Θ((log d)^{1/k}).
+func NewAlgo1(idx *Index, k int) *Algo1 {
+	if k < 1 {
+		panic("core: Algo1 needs k >= 1")
+	}
+	return &Algo1{idx: idx, k: k, tau: algo1Tau(idx.Fam.L, k)}
+}
+
+func algo1Tau(levels, k int) int {
+	if k == 1 {
+		// No shrinking rounds: the completion round scans every level.
+		return levels + 1
+	}
+	for tau := 2; ; tau++ {
+		// τ·(τ/2)^{k−1} ≥ levels, computed in floats to avoid overflow.
+		prod := float64(tau)
+		for i := 1; i < k; i++ {
+			prod *= float64(tau) / 2
+			if prod >= float64(levels) {
+				break
+			}
+		}
+		if prod >= float64(levels) {
+			return tau
+		}
+	}
+}
+
+// Name implements Scheme.
+func (a *Algo1) Name() string { return fmt.Sprintf("algo1(k=%d)", a.k) }
+
+// Rounds implements Scheme.
+func (a *Algo1) Rounds() int { return a.k }
+
+// Tau exposes the per-round parallelism for the tradeoff experiments.
+func (a *Algo1) Tau() int { return a.tau }
+
+// ProbeBound returns the scheme's worst-case probe count
+// (τ−1)(k−1) + τ + 2, the quantity Theorem 9 bounds by O(k(log d)^{1/k}).
+func (a *Algo1) ProbeBound() int {
+	if a.k == 1 {
+		return a.idx.Fam.L + 2
+	}
+	return (a.tau-1)*(a.k-1) + a.tau + 2
+}
+
+// Query implements Scheme.
+func (a *Algo1) Query(x bitvec.Vector) Result {
+	return a.QueryWithProber(x, cellprobe.NewProber(a.k))
+}
+
+// QueryWithProber runs the algorithm against a caller-supplied prober
+// (used by the communication translation to record transcripts).
+func (a *Algo1) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
+	idx := a.idx
+	qs := newQuerySketches(idx.Fam, x)
+	l, u := 0, idx.Fam.L
+	first := true
+
+	for {
+		completion := u-l < a.tau || p.RoundsLeft() <= 1
+		var refs []cellprobe.Ref
+		if first {
+			refs = degenerateRefs(idx, x)
+		}
+		var grid []int
+		if completion {
+			for i := l + 1; i <= u; i++ {
+				grid = append(grid, i)
+			}
+		} else {
+			grid = shrinkGrid(l, u, a.tau)
+		}
+		for _, i := range grid {
+			refs = append(refs, cellprobe.Ref{
+				Table: idx.Tables.Ball[i].Table(),
+				Addr:  idx.Tables.Ball[i].AddressOfSketch(qs.accurate(i)),
+			})
+		}
+		words, err := p.Round(refs)
+		if err != nil {
+			return Result{Index: -1, Stats: p.Stats(), Err: err}
+		}
+		if first {
+			if ans, ok := degenerateAnswer(words[0], words[1]); ok {
+				return Result{Index: ans, Stats: p.Stats(), Degenerate: true}
+			}
+			words = words[2:]
+			first = false
+		}
+		if completion {
+			for gi, w := range words {
+				if w.Kind == cellprobe.Point {
+					return Result{Index: w.Index, Stats: p.Stats()}
+				}
+				_ = gi
+			}
+			return Result{Index: -1, Stats: p.Stats(), Violated: true, Err: errNoAnswer(l, u)}
+		}
+		// Shrinking round: r* is the smallest grid position with a nonempty
+		// level; the gap collapses to (ρ(r*−1), ρ(r*)].
+		rStar := len(grid) // == τ−1 positions; τ means "none nonempty"
+		for gi, w := range words {
+			if w.Kind == cellprobe.Point {
+				rStar = gi
+				break
+			}
+		}
+		var newL, newU int
+		if rStar == len(grid) {
+			newL, newU = grid[len(grid)-1], u
+		} else if rStar == 0 {
+			newL, newU = l, grid[0]
+		} else {
+			newL, newU = grid[rStar-1], grid[rStar]
+		}
+		if newL < l || newU > u || newL >= newU {
+			return Result{Index: -1, Stats: p.Stats(), Violated: true,
+				Err: fmt.Errorf("core: invariant broke: [%d,%d] -> [%d,%d]", l, u, newL, newU)}
+		}
+		l, u = newL, newU
+	}
+}
+
+// shrinkGrid returns the probe levels ρ(r) = ⌊l + r(u−l)/τ⌋ for r = 1..τ−1.
+// The guard u−l ≥ τ makes consecutive grid points distinct.
+func shrinkGrid(l, u, tau int) []int {
+	grid := make([]int, 0, tau-1)
+	for r := 1; r <= tau-1; r++ {
+		grid = append(grid, l+r*(u-l)/tau)
+	}
+	return grid
+}

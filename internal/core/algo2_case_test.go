@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// TestAlgo2ExercisesPhases verifies that on a large enough instance the
+// shrinking phases actually run (the algorithm is not just a completion
+// scan) and that the case distribution is sane: every completed query ends
+// in exactly one completion, and phases occurred.
+func TestAlgo2ExercisesPhases(t *testing.T) {
+	r := rng.New(400)
+	const d, n = 16384, 150
+	in := workload.PlantedNN(r, d, n, 20, d/32)
+	idx := BuildIndex(in.DB, d, Params{Gamma: 2, K: 12, Seed: 401})
+	a := NewAlgo2(idx, 12)
+	answered := 0
+	for _, qu := range in.Queries {
+		res := a.Query(qu.X)
+		if !res.Failed() && !res.Degenerate {
+			answered++
+		}
+	}
+	c := a.Cases()
+	if c.Completions == 0 {
+		t.Fatal("no completions recorded")
+	}
+	phases := c.Case1 + c.Case2 + c.Case3
+	if phases == 0 {
+		t.Errorf("no shrinking phases ran at d=%d, k=12 (tau=%d)", d, a.Tau())
+	}
+	t.Logf("cases: %+v over %d answered queries", c, answered)
+}
+
+// TestAlgo2Case3OnClusters drives the |C_u|-shrinking branch: clustered
+// databases make |B_i| jump by large factors, which is when some
+// D_{u,ρ(r)} holds a large fraction of C_u at a small level and the
+// follow-up probe finds C_{ρ(r*−1)−1} nonempty.
+func TestAlgo2Case3OnClusters(t *testing.T) {
+	r := rng.New(402)
+	const d, n = 16384, 160
+	in := workload.Clustered(r, d, n, 25, 3, d/64)
+	idx := BuildIndex(in.DB, d, Params{Gamma: 2, K: 12, Seed: 403})
+	a := NewAlgo2(idx, 12)
+	for _, qu := range in.Queries {
+		a.Query(qu.X)
+	}
+	c := a.Cases()
+	t.Logf("clustered cases: %+v", c)
+	if c.Case1+c.Case2+c.Case3 == 0 {
+		t.Error("no phases ran on the clustered workload")
+	}
+	// Correctness still holds on the clustered workload.
+	ok := 0
+	for _, qu := range in.Queries {
+		res := a.Query(qu.X)
+		if !res.Failed() && hamming.IsApproxNearest(in.DB, qu.X, in.DB[res.Index], 2) {
+			ok++
+		}
+	}
+	if ok < len(in.Queries)*3/4 {
+		t.Errorf("clustered success %d/%d", ok, len(in.Queries))
+	}
+}
+
+// TestAlgo2ProbeBoundHolds sweeps workloads and verifies equation (4)'s
+// bound is respected by every query.
+func TestAlgo2ProbeBoundHolds(t *testing.T) {
+	r := rng.New(404)
+	const d, n = 4096, 120
+	in := workload.PlantedNN(r, d, n, 15, d/32)
+	for _, k := range []int{6, 10, 14} {
+		idx := BuildIndex(in.DB, d, Params{Gamma: 2, K: k, Seed: 405})
+		a := NewAlgo2(idx, k)
+		for _, qu := range in.Queries {
+			res := a.Query(qu.X)
+			if res.Stats.Probes > a.ProbeBound() {
+				t.Errorf("k=%d: %d probes > bound %d", k, res.Stats.Probes, a.ProbeBound())
+			}
+		}
+	}
+}
+
+// TestAlgo2AgainstAlgo1Answers cross-checks the two schemes: on the same
+// index both must return γ-valid answers for the same queries (they may
+// disagree on which point, but both within γ).
+func TestAlgo2AgainstAlgo1Answers(t *testing.T) {
+	r := rng.New(406)
+	const d, n = 4096, 130
+	in := workload.PlantedNN(r, d, n, 20, d/32)
+	idx := BuildIndex(in.DB, d, Params{Gamma: 2, K: 10, Seed: 407})
+	a1 := NewAlgo1(idx, 10)
+	a2 := NewAlgo2(idx, 10)
+	both := 0
+	for _, qu := range in.Queries {
+		r1 := a1.Query(qu.X)
+		r2 := a2.Query(qu.X)
+		if r1.Failed() || r2.Failed() {
+			continue
+		}
+		ok1 := hamming.IsApproxNearest(in.DB, qu.X, in.DB[r1.Index], 2)
+		ok2 := hamming.IsApproxNearest(in.DB, qu.X, in.DB[r2.Index], 2)
+		if ok1 && ok2 {
+			both++
+		}
+	}
+	if both < len(in.Queries)*3/4 {
+		t.Errorf("both schemes valid on only %d/%d", both, len(in.Queries))
+	}
+}
+
+// TestAlgo2DegenerateMember mirrors the Algo1 degenerate tests.
+func TestAlgo2DegenerateMember(t *testing.T) {
+	r := rng.New(408)
+	db := make([]bitvec.Vector, 60)
+	for i := range db {
+		db[i] = hamming.Random(r, 512)
+	}
+	idx := BuildIndex(db, 512, Params{Gamma: 2, K: 6, Seed: 409})
+	a := NewAlgo2(idx, 6)
+	res := a.Query(db[17])
+	if res.Failed() || !res.Degenerate {
+		t.Fatalf("member query: %+v", res)
+	}
+	if !bitvec.Equal(db[res.Index], db[17]) {
+		t.Error("wrong member returned")
+	}
+}

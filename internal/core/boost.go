@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Boosted amplifies a scheme's success probability by independent parallel
+// repetition (§2): because the correctness of candidate answers is
+// monotone once the query is known — nearer is never worse — running R
+// independent copies in parallel and keeping the returned point closest to
+// x turns success probability p into 1−(1−p)^R, without adding rounds.
+//
+// Independence requires independent public randomness, so a Boosted scheme
+// owns R full indexes built from distinct seeds; this multiplies space by
+// R, matching the paper's "polynomial addition to the table size".
+type Boosted struct {
+	schemes []Scheme
+	dbs     [][]bitvec.Vector
+	name    string
+}
+
+// SchemeFactory builds one repetition from a seed.
+type SchemeFactory func(seed uint64) (Scheme, *Index)
+
+// NewBoosted builds R independent repetitions using the factory with seeds
+// baseSeed, baseSeed+1, ….
+func NewBoosted(r int, baseSeed uint64, factory SchemeFactory) *Boosted {
+	if r < 1 {
+		panic("core: Boosted needs r >= 1")
+	}
+	b := &Boosted{}
+	for i := 0; i < r; i++ {
+		s, idx := factory(baseSeed + uint64(i))
+		b.schemes = append(b.schemes, s)
+		b.dbs = append(b.dbs, idx.DB)
+	}
+	b.name = fmt.Sprintf("boosted(%s, r=%d)", b.schemes[0].Name(), r)
+	return b
+}
+
+// Name implements Scheme.
+func (b *Boosted) Name() string { return b.name }
+
+// Rounds implements Scheme: repetitions run in parallel, so the round
+// count is the maximum over copies.
+func (b *Boosted) Rounds() int {
+	r := 0
+	for _, s := range b.schemes {
+		if s.Rounds() > r {
+			r = s.Rounds()
+		}
+	}
+	return r
+}
+
+// Query implements Scheme: it merges the repetitions' results, keeping the
+// candidate closest to x. Stats are merged as parallel composition: probes
+// add, rounds take the maximum.
+func (b *Boosted) Query(x bitvec.Vector) Result {
+	best := Result{Index: -1}
+	bestDist := -1
+	for i, s := range b.schemes {
+		r := s.Query(x)
+		if i == 0 {
+			best.Stats = r.Stats
+		} else {
+			best.Stats.Add(r.Stats)
+		}
+		best.Degenerate = best.Degenerate || r.Degenerate
+		best.Violated = best.Violated || r.Violated
+		if r.Index >= 0 {
+			d := bitvec.Distance(b.dbs[i][r.Index], x)
+			if bestDist < 0 || d < bestDist {
+				bestDist = d
+				best.Index = r.Index
+				best.Err = nil
+			}
+		} else if best.Index < 0 && best.Err == nil {
+			best.Err = r.Err
+		}
+	}
+	return best
+}
+
+var _ Scheme = (*Boosted)(nil)

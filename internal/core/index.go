@@ -1,0 +1,170 @@
+// Package core implements the paper's cell-probing schemes:
+//
+//   - Algo1: the simple k-round scheme of Theorem 2/9, O(k·(log d)^{1/k})
+//     probes for every k ≥ 1;
+//   - Algo2: the sophisticated scheme of Theorem 3/10 for larger k,
+//     O(k + ((log d)/k)^{c/k}) probes, using the coarse approximations
+//     D_{i,j} through the auxiliary tables;
+//   - Lambda: the folklore 1-probe scheme for approximate λ-near neighbor
+//     search of Theorem 11;
+//   - Boosted: success amplification by independent parallel repetition
+//     (§2, public-coin remark), preserving the number of rounds.
+//
+// All schemes are public-coin: the sketch family drawn from Params.Seed is
+// shared between the table oracles and the querier, exactly as in §3's
+// presentation; Lemma 5 / Proposition 6 convert this to a private-coin
+// scheme with an O(dn) table blowup, which we account analytically.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// Params configures an index. Zero values select documented defaults.
+type Params struct {
+	Gamma float64 // approximation ratio γ > 1 (default 2)
+	C1    float64 // accurate sketch rows multiplier (default sketch.DefaultC1)
+	C2    float64 // coarse sketch rows multiplier (default sketch.DefaultC2)
+	CExp  float64 // Algorithm 2's constant c > 2 (default 3)
+	K     int     // round budget for the schemes built on this index (default 2)
+	S     float64 // Algorithm 2's s; 0 derives it from K and CExp per §3.2
+	Seed  uint64  // public randomness seed
+
+	// CutFraction and LiteralDeltaCut are forwarded to the sketch family
+	// for the threshold-placement ablation (sketch.Params documentation).
+	CutFraction     float64
+	LiteralDeltaCut bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Gamma == 0 {
+		p.Gamma = 2
+	}
+	if p.CExp == 0 {
+		p.CExp = 3
+	}
+	if p.K == 0 {
+		p.K = 2
+	}
+	if p.S == 0 {
+		// s = (1/4 − 1/(2c))·k − 1/4, clamped to ≥ 1 so that small round
+		// budgets (below the paper's k > 5c²/(c−2) regime) still run; with
+		// s = 1 Algorithm 2 degrades gracefully toward Algorithm 1.
+		p.S = (0.25-1/(2*p.CExp))*float64(p.K) - 0.25
+		if p.S < 1 {
+			p.S = 1
+		}
+	}
+	return p
+}
+
+// Index is the preprocessed data structure: the database, the public
+// sketch family, and every table the schemes probe.
+type Index struct {
+	P      Params
+	D      int
+	DB     []bitvec.Vector
+	Fam    *sketch.Family
+	Tables *table.Set
+}
+
+// BuildIndex preprocesses the database of d-dimensional points.
+func BuildIndex(db []bitvec.Vector, d int, p Params) *Index {
+	if len(db) == 0 {
+		panic("core: empty database")
+	}
+	p = p.withDefaults()
+	fam := sketch.NewFamily(sketch.Params{
+		D: d, N: len(db), Gamma: p.Gamma,
+		C1: p.C1, C2: p.C2, S: p.S, Seed: p.Seed,
+		CutFraction: p.CutFraction, LiteralDeltaCut: p.LiteralDeltaCut,
+	})
+	return &Index{P: p, D: d, DB: db, Fam: fam, Tables: table.NewSet(fam, db)}
+}
+
+// Result is the outcome of one query execution.
+type Result struct {
+	Index      int             // returned database point index; -1 on failure
+	Stats      cellprobe.Stats // probe/round accounting
+	Degenerate bool            // answered by a degenerate-case membership probe
+	Violated   bool            // a run-time check caught an assumption violation
+	Err        error
+}
+
+// Failed reports whether the scheme produced no answer.
+func (r Result) Failed() bool { return r.Index < 0 || r.Err != nil }
+
+// Scheme is a cell-probing scheme over a shared index.
+type Scheme interface {
+	// Query answers one query point.
+	Query(x bitvec.Vector) Result
+	// Name identifies the scheme in reports.
+	Name() string
+	// Rounds returns the scheme's round budget k.
+	Rounds() int
+}
+
+// querySketches caches the per-level query sketches M_i·x (and N_j·x when
+// present) for one query execution. Computing them is the algorithm's own
+// work (it owns x and the public randomness) and costs no probes.
+type querySketches struct {
+	fam    *sketch.Family
+	x      bitvec.Vector
+	acc    []bitvec.Vector
+	coarse []bitvec.Vector
+}
+
+func newQuerySketches(fam *sketch.Family, x bitvec.Vector) *querySketches {
+	qs := &querySketches{fam: fam, x: x, acc: make([]bitvec.Vector, fam.L+1)}
+	if fam.Coarse != nil {
+		qs.coarse = make([]bitvec.Vector, fam.L+1)
+	}
+	return qs
+}
+
+func (qs *querySketches) accurate(i int) bitvec.Vector {
+	if qs.acc[i] == nil {
+		qs.acc[i] = qs.fam.Accurate[i].Apply(qs.x)
+	}
+	return qs.acc[i]
+}
+
+func (qs *querySketches) coarseAt(j int) bitvec.Vector {
+	if qs.coarse == nil {
+		panic("core: scheme needs a coarse sketch family (Params.S > 0)")
+	}
+	if qs.coarse[j] == nil {
+		qs.coarse[j] = qs.fam.Coarse[j].Apply(qs.x)
+	}
+	return qs.coarse[j]
+}
+
+// degenerateRefs returns the two first-round membership probes of §3.1.
+func degenerateRefs(idx *Index, x bitvec.Vector) []cellprobe.Ref {
+	return []cellprobe.Ref{
+		{Table: idx.Tables.Exact.Table(), Addr: idx.Tables.Exact.Address(x)},
+		{Table: idx.Tables.Near.Table(), Addr: idx.Tables.Near.Address(x)},
+	}
+}
+
+// degenerateAnswer inspects the two membership words; ok reports a hit.
+func degenerateAnswer(exact, near cellprobe.Word) (idx int, ok bool) {
+	if exact.Kind == cellprobe.Point {
+		return exact.Index, true
+	}
+	if near.Kind == cellprobe.Point {
+		return near.Index, true
+	}
+	return -1, false
+}
+
+// errNoAnswer is produced when the completion round finds every probed
+// level EMPTY — possible only when the sketch assumptions failed.
+func errNoAnswer(l, u int) error {
+	return fmt.Errorf("core: completion found no nonempty level in (%d, %d]", l, u)
+}

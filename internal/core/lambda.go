@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+)
+
+// Lambda is the folklore 1-probe scheme of Theorem 11 for the approximate
+// λ-near neighbor *search* problem λ-ANNS: given λ, probe the single cell
+// T_i[M_i x] at level i = ⌈log_α λ⌉. If some database point lies within
+// distance λ of x then B_i ≠ ∅, so (Assumption 2) C_i ≠ ∅ and the cell
+// holds a point at distance ≤ αⁱ⁺¹ ≤ γλ; if no point lies within γλ then
+// B_{i+1} = ∅ ⊇ C_i and the cell is EMPTY.
+type Lambda struct {
+	idx *Index
+}
+
+// NewLambda builds the 1-probe scheme over the shared index.
+func NewLambda(idx *Index) *Lambda { return &Lambda{idx: idx} }
+
+// Name implements Scheme.
+func (s *Lambda) Name() string { return "lambda-anns" }
+
+// Rounds implements Scheme (always one round).
+func (s *Lambda) Rounds() int { return 1 }
+
+// Level returns the probed level i = ⌈log_α λ⌉ clamped into [0, L].
+func (s *Lambda) Level(lambda float64) int {
+	if lambda < 1 {
+		lambda = 1
+	}
+	i := int(math.Ceil(math.Log(lambda) / math.Log(s.idx.Fam.Alpha)))
+	if i < 0 {
+		i = 0
+	}
+	if i > s.idx.Fam.L {
+		i = s.idx.Fam.L
+	}
+	return i
+}
+
+// QueryNear answers the λ-ANNS problem with exactly one cell-probe.
+// Index ≥ 0 means "a point within γλ was found"; Index < 0 with nil Err is
+// the legitimate NO answer (no λ-near neighbor exists, up to the scheme's
+// error probability).
+func (s *Lambda) QueryNear(x bitvec.Vector, lambda float64) Result {
+	p := cellprobe.NewProber(1)
+	i := s.Level(lambda)
+	bt := s.idx.Tables.Ball[i]
+	words, err := p.Round([]cellprobe.Ref{{
+		Table: bt.Table(),
+		Addr:  bt.Address(x),
+	}})
+	if err != nil {
+		return Result{Index: -1, Stats: p.Stats(), Err: err}
+	}
+	if words[0].Kind == cellprobe.Point {
+		return Result{Index: words[0].Index, Stats: p.Stats()}
+	}
+	return Result{Index: -1, Stats: p.Stats()}
+}
+
+// Query implements Scheme by treating λ = 1; full ANNS callers should use
+// Algo1/Algo2, but the interface conformance keeps reporting uniform.
+func (s *Lambda) Query(x bitvec.Vector) Result { return s.QueryNear(x, 1) }
+
+var _ Scheme = (*Lambda)(nil)
+
+// String renders the decision semantics for documentation/tests.
+func (s *Lambda) String() string {
+	return fmt.Sprintf("lambda-anns(gamma=%v, levels=%d)", s.idx.P.Gamma, s.idx.Fam.L+1)
+}

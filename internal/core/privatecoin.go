@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// PrivateCoin realizes Lemma 5 / Proposition 6 at simulable scale: a
+// public-coin scheme becomes a standard (private-coin) one by storing one
+// table per possible value of an ℓ-bit random string and letting the
+// querier pick the sub-table with its own private randomness.
+//
+// The paper's ℓ = log(log|A| + log|B| + O(1)) comes from Newman's theorem:
+// a small multiset of shared random strings suffices to keep the error
+// bounded on every input. Here the multiset is 2^ℓ independently drawn
+// sketch families; the table size multiplies by 2^ℓ (the Proposition 6
+// O(dn) factor) while rounds and probes are untouched — which the tests
+// and experiment E12 verify.
+type PrivateCoin struct {
+	copies  []Scheme
+	indexes []*Index
+	coins   *rng.Source
+	name    string
+}
+
+// NewPrivateCoin draws 2^ell public-coin copies via the factory (seeded
+// baseSeed, baseSeed+1, …) and a private coin stream for query-time
+// selection.
+func NewPrivateCoin(ell int, baseSeed uint64, privateSeed uint64, factory SchemeFactory) *PrivateCoin {
+	if ell < 0 || ell > 12 {
+		panic("core: PrivateCoin needs 0 <= ell <= 12 at simulable scale")
+	}
+	pc := &PrivateCoin{coins: rng.New(privateSeed)}
+	n := 1 << uint(ell)
+	for i := 0; i < n; i++ {
+		s, idx := factory(baseSeed + uint64(i))
+		pc.copies = append(pc.copies, s)
+		pc.indexes = append(pc.indexes, idx)
+	}
+	pc.name = fmt.Sprintf("private-coin(%s, ell=%d)", pc.copies[0].Name(), ell)
+	return pc
+}
+
+// Name implements Scheme.
+func (pc *PrivateCoin) Name() string { return pc.name }
+
+// Rounds implements Scheme.
+func (pc *PrivateCoin) Rounds() int { return pc.copies[0].Rounds() }
+
+// Query implements Scheme: the private coins select the sub-table; the
+// probe/round accounting is exactly the chosen copy's (selecting a
+// sub-table is address arithmetic, not a probe).
+func (pc *PrivateCoin) Query(x bitvec.Vector) Result {
+	return pc.copies[pc.coins.Intn(len(pc.copies))].Query(x)
+}
+
+// Copies returns the number of stored sub-tables (the table-size factor).
+func (pc *PrivateCoin) Copies() int { return len(pc.copies) }
+
+// NominalLogCells reports log₂ of the combined table size: the paper's
+// s·2^ℓ accounting.
+func (pc *PrivateCoin) NominalLogCells() float64 {
+	return pc.indexes[0].Tables.Space().NominalLogCells + log2int(len(pc.copies))
+}
+
+func log2int(n int) float64 {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return float64(b)
+}
+
+var _ Scheme = (*PrivateCoin)(nil)

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func privateCoinFactory(t *testing.T, d int, db []bitvec.Vector) SchemeFactory {
+	t.Helper()
+	return func(seed uint64) (Scheme, *Index) {
+		idx := BuildIndex(db, d, Params{Gamma: 2, Seed: seed})
+		return NewAlgo1(idx, 2), idx
+	}
+}
+
+func TestPrivateCoinStructure(t *testing.T) {
+	r := rng.New(200)
+	db := make([]bitvec.Vector, 60)
+	for i := range db {
+		db[i] = hamming.Random(r, 256)
+	}
+	pc := NewPrivateCoin(2, 300, 400, privateCoinFactory(t, 256, db))
+	if pc.Copies() != 4 {
+		t.Errorf("copies = %d, want 2^2", pc.Copies())
+	}
+	if pc.Rounds() != 2 {
+		t.Errorf("rounds = %d", pc.Rounds())
+	}
+	if pc.Name() == "" {
+		t.Error("empty name")
+	}
+	// Table size accounting: base + ell bits.
+	base, _ := privateCoinFactory(t, 256, db)(300)
+	_ = base
+	single := BuildIndex(db, 256, Params{Gamma: 2, Seed: 300})
+	if got, want := pc.NominalLogCells(), single.Tables.Space().NominalLogCells+2; got < want-0.5 || got > want+0.5 {
+		t.Errorf("nominal log cells %v, want ≈ %v", got, want)
+	}
+}
+
+func TestPrivateCoinQueryCostsMatchPublicCoin(t *testing.T) {
+	// Lemma 5's point: rounds and probes are untouched by the transform.
+	r := rng.New(201)
+	db := make([]bitvec.Vector, 80)
+	for i := range db {
+		db[i] = hamming.Random(r, 512)
+	}
+	pc := NewPrivateCoin(2, 500, 501, privateCoinFactory(t, 512, db))
+	pub, _ := privateCoinFactory(t, 512, db)(500)
+	pubScheme := pub.(*Algo1)
+	ok := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		x := hamming.AtDistance(r, db[trial], 512, 20)
+		res := pc.Query(x)
+		if res.Stats.Rounds > 2 {
+			t.Fatalf("private-coin used %d rounds", res.Stats.Rounds)
+		}
+		if res.Stats.Probes > pubScheme.ProbeBound() {
+			t.Fatalf("private-coin used %d probes > public bound %d",
+				res.Stats.Probes, pubScheme.ProbeBound())
+		}
+		if !res.Failed() && hamming.IsApproxNearest(db, x, db[res.Index], 2) {
+			ok++
+		}
+	}
+	if ok < trials*3/4 {
+		t.Errorf("private-coin correct on %d/%d", ok, trials)
+	}
+}
+
+func TestPrivateCoinUsesDifferentCopies(t *testing.T) {
+	r := rng.New(202)
+	db := make([]bitvec.Vector, 40)
+	for i := range db {
+		db[i] = hamming.Random(r, 256)
+	}
+	pc := NewPrivateCoin(3, 600, 601, privateCoinFactory(t, 256, db))
+	// With 8 copies and many queries, at least two distinct probe counts
+	// or answers should appear for a fixed query... probe counts may tie;
+	// instead check the selection stream itself is non-constant by
+	// querying many times and watching for any variation in stats.
+	x := hamming.AtDistance(r, db[7], 256, 30)
+	seen := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		res := pc.Query(x)
+		seen[res.Stats.Probes] = true
+	}
+	// Not a hard guarantee, but 8 independent families almost surely
+	// disagree somewhere in probe counts over 32 draws.
+	if len(seen) < 2 {
+		t.Log("all copies gave identical probe counts (possible but unlikely); not failing")
+	}
+}
+
+func TestPrivateCoinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized ell did not panic")
+		}
+	}()
+	NewPrivateCoin(13, 1, 2, nil)
+}
+
+func TestLiteralDeltaCutBreaksLowerNesting(t *testing.T) {
+	// The ablation's mechanism, as a unit test: with the literal Definition
+	// 7 threshold, points at distance exactly αⁱ are mostly *excluded* from
+	// C_i (threshold below their expected sketch distance), while the
+	// midpoint reading includes them.
+	r := rng.New(203)
+	db := make([]bitvec.Vector, 50)
+	for i := range db {
+		db[i] = hamming.Random(r, 1024)
+	}
+	x := hamming.Random(r, 1024)
+	level := 12 // radius α^12 = 64
+	radius := 64
+	// Plant points at exactly the level radius.
+	for i := 0; i < 10; i++ {
+		db[i] = hamming.AtDistance(r, x, 1024, radius)
+	}
+	count := func(p Params) int {
+		idx := BuildIndex(db, 1024, p)
+		sx := idx.Fam.Accurate[level].Apply(x)
+		n := 0
+		for _, m := range idx.Tables.Ball[level].MembersOfC(sx) {
+			if m < 10 {
+				n++
+			}
+		}
+		return n
+	}
+	mid := count(Params{Gamma: 2, Seed: 204})
+	lit := count(Params{Gamma: 2, Seed: 204, LiteralDeltaCut: true})
+	if mid < 8 {
+		t.Errorf("midpoint cut captured only %d/10 boundary points", mid)
+	}
+	if lit >= mid {
+		t.Errorf("literal cut captured %d ≥ midpoint's %d — expected exclusion", lit, mid)
+	}
+}
+
+func TestCutFractionMonotone(t *testing.T) {
+	// Larger cut fraction ⇒ looser threshold ⇒ larger C_i.
+	r := rng.New(205)
+	db := make([]bitvec.Vector, 60)
+	for i := range db {
+		db[i] = hamming.Random(r, 512)
+	}
+	x := hamming.Random(r, 512)
+	sizes := []int{}
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		idx := BuildIndex(db, 512, Params{Gamma: 2, Seed: 206, CutFraction: frac})
+		sx := idx.Fam.Accurate[idx.Fam.L-1].Apply(x)
+		sizes = append(sizes, idx.Tables.Ball[idx.Fam.L-1].CountC(sx))
+	}
+	if sizes[0] > sizes[1] || sizes[1] > sizes[2] {
+		t.Errorf("C sizes not monotone in cut fraction: %v", sizes)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+// sharedQuickIndex is built once: property tests draw random queries
+// against it.
+var quickIdx *Index
+
+func getQuickIndex() *Index {
+	if quickIdx == nil {
+		r := rng.New(321)
+		db := make([]bitvec.Vector, 70)
+		for i := range db {
+			db[i] = hamming.Random(r, 256)
+		}
+		quickIdx = BuildIndex(db, 256, Params{Gamma: 2, K: 6, Seed: 22})
+	}
+	return quickIdx
+}
+
+// quickQuery generates a random query point: either near a database point
+// or uniform, exercising both regimes.
+type quickQuery struct {
+	X bitvec.Vector
+	K int
+}
+
+func (quickQuery) Generate(r *rand.Rand, _ int) reflect.Value {
+	idx := getQuickIndex()
+	src := rng.New(r.Uint64())
+	var x bitvec.Vector
+	if r.Intn(2) == 0 {
+		base := idx.DB[r.Intn(len(idx.DB))]
+		x = hamming.AtDistance(src, base, 256, r.Intn(120))
+	} else {
+		x = hamming.Random(src, 256)
+	}
+	return reflect.ValueOf(quickQuery{X: x, K: 1 + r.Intn(5)})
+}
+
+// TestQuickAlgo1Budget: for every random query and round budget, Algorithm
+// 1 never exceeds its round budget, never exceeds its probe bound, and per
+// round issues at most τ+2 parallel probes.
+func TestQuickAlgo1Budget(t *testing.T) {
+	f := func(q quickQuery) bool {
+		a := NewAlgo1(getQuickIndex(), q.K)
+		res := a.Query(q.X)
+		return res.Stats.Rounds <= q.K &&
+			res.Stats.Probes <= a.ProbeBound() &&
+			res.Stats.MaxProbesInRound() <= a.Tau()+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAlgo2Budget: same discipline for Algorithm 2 (k ≥ 2).
+func TestQuickAlgo2Budget(t *testing.T) {
+	f := func(q quickQuery) bool {
+		k := q.K
+		if k < 2 {
+			k = 2
+		}
+		a := NewAlgo2(getQuickIndex(), k)
+		res := a.Query(q.X)
+		return res.Stats.Rounds <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAnswerIsDatabasePoint: any non-failed answer indexes a real
+// database point, and a degenerate answer is within distance 1.
+func TestQuickAnswerValid(t *testing.T) {
+	f := func(q quickQuery) bool {
+		idx := getQuickIndex()
+		a := NewAlgo1(idx, q.K)
+		res := a.Query(q.X)
+		if res.Failed() {
+			return true
+		}
+		if res.Index < 0 || res.Index >= len(idx.DB) {
+			return false
+		}
+		if res.Degenerate && bitvec.Distance(idx.DB[res.Index], q.X) > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterministicInSeed: the same query against the same index
+// yields the same answer and accounting (all randomness is in the family).
+func TestQuickDeterministic(t *testing.T) {
+	f := func(q quickQuery) bool {
+		a := NewAlgo1(getQuickIndex(), q.K)
+		r1 := a.Query(q.X)
+		r2 := a.Query(q.X)
+		return r1.Index == r2.Index && r1.Stats.Probes == r2.Stats.Probes &&
+			r1.Stats.Rounds == r2.Stats.Rounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

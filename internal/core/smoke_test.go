@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// TestAlgo1Smoke is the first end-to-end check: Algorithm 1 returns
+// γ-approximate nearest neighbors on a planted workload, within its round
+// and probe budgets.
+func TestAlgo1Smoke(t *testing.T) {
+	r := rng.New(1)
+	const d, n, q = 512, 200, 20
+	in := workload.PlantedNN(r, d, n, q, 24)
+	idx := core.BuildIndex(in.DB, d, core.Params{Gamma: 2, Seed: 7})
+	for _, k := range []int{1, 2, 3, 4} {
+		a := core.NewAlgo1(idx, k)
+		ok := 0
+		for _, qu := range in.Queries {
+			res := a.Query(qu.X)
+			if res.Failed() {
+				t.Logf("k=%d query failed: %v", k, res.Err)
+				continue
+			}
+			if res.Stats.Rounds > k {
+				t.Fatalf("k=%d used %d rounds", k, res.Stats.Rounds)
+			}
+			if res.Stats.Probes > a.ProbeBound() {
+				t.Fatalf("k=%d used %d probes > bound %d", k, res.Stats.Probes, a.ProbeBound())
+			}
+			if hamming.IsApproxNearest(in.DB, qu.X, in.DB[res.Index], 2) {
+				ok++
+			}
+		}
+		if ok < q*3/4 {
+			t.Errorf("k=%d: only %d/%d queries gamma-approximate", k, ok, q)
+		}
+	}
+}
+
+func TestAlgo2Smoke(t *testing.T) {
+	r := rng.New(2)
+	const d, n, q = 512, 200, 20
+	in := workload.PlantedNN(r, d, n, q, 24)
+	idx := core.BuildIndex(in.DB, d, core.Params{Gamma: 2, K: 6, Seed: 7})
+	a := core.NewAlgo2(idx, 6)
+	ok := 0
+	for _, qu := range in.Queries {
+		res := a.Query(qu.X)
+		if res.Failed() {
+			t.Logf("query failed: %v", res.Err)
+			continue
+		}
+		if res.Stats.Rounds > 6 {
+			t.Fatalf("used %d rounds", res.Stats.Rounds)
+		}
+		if hamming.IsApproxNearest(in.DB, qu.X, in.DB[res.Index], 2) {
+			ok++
+		}
+	}
+	if ok < q*3/4 {
+		t.Errorf("only %d/%d queries gamma-approximate", ok, q)
+	}
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	in := workload.PlantedNN(r, 192, 40, 8, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != in.Name || got.D != in.D {
+		t.Errorf("header mismatch: %s vs %s", got, in)
+	}
+	if len(got.DB) != len(in.DB) || len(got.Queries) != len(in.Queries) {
+		t.Fatal("size mismatch")
+	}
+	for i := range in.DB {
+		if !bitvec.Equal(got.DB[i], in.DB[i]) {
+			t.Fatalf("db point %d differs", i)
+		}
+	}
+	for i := range in.Queries {
+		if !bitvec.Equal(got.Queries[i].X, in.Queries[i].X) ||
+			got.Queries[i].NNDist != in.Queries[i].NNDist ||
+			got.Queries[i].NNIndex != in.Queries[i].NNIndex {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	r := rng.New(2)
+	in := workload.Uniform(r, 128, 20, 4)
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.DB) != 20 || len(got.Queries) != 4 {
+		t.Error("load shape wrong")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	in := workload.Uniform(rng.New(3), 64, 5, 1)
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic inside the gob payload.
+	data := bytes.Replace(buf.Bytes(), []byte("repro-anns-dataset-v1"), []byte("repro-anns-dataset-v9"), 1)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

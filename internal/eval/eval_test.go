@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestTheoryCurves(t *testing.T) {
+	th := Theory{D: 1 << 20, Gamma: 2}
+	// Algo1 bound decreases then increases in k, minimized near log log d.
+	if th.Algo1Probes(1) <= th.Algo1Probes(4) {
+		t.Error("Algo1 bound not decreasing from k=1")
+	}
+	// Lower bound is decreasing in k.
+	prev := th.LowerBound(1)
+	for k := 2; k <= 6; k++ {
+		cur := th.LowerBound(k)
+		if cur >= prev {
+			t.Fatalf("lower bound not decreasing at k=%d", k)
+		}
+		prev = cur
+	}
+	// Upper bound dominates the lower bound everywhere.
+	for k := 1; k <= 8; k++ {
+		if th.Algo1Probes(k) < th.LowerBound(k) {
+			t.Fatalf("theory upper below lower at k=%d", k)
+		}
+	}
+	if th.FullyAdaptive() <= 1 {
+		t.Error("fully adaptive bound too small")
+	}
+	if th.PhaseTransitionK() < 2 {
+		t.Error("phase transition k")
+	}
+	if th.LowerBoundValidK() < 1 {
+		t.Error("valid k cap")
+	}
+	if th.LSHRho() != 0.5 {
+		t.Error("rho")
+	}
+}
+
+func TestTheoryGrowsWithDimension(t *testing.T) {
+	small := Theory{D: 256, Gamma: 2}
+	big := Theory{D: 1 << 20, Gamma: 2}
+	for k := 1; k <= 4; k++ {
+		if big.Algo1Probes(k) <= small.Algo1Probes(k) {
+			t.Errorf("k=%d: bound not increasing in d", k)
+		}
+		if big.LowerBound(k) <= small.LowerBound(k) {
+			t.Errorf("k=%d: lower bound not increasing in d", k)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14 (E1-E10 + ablations E11-E13 + E14)", len(all))
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// Ordered E1..E14.
+	if all[0].ID != "E1" || all[9].ID != "E10" || all[13].ID != "E14" {
+		t.Errorf("ordering: %s .. %s", all[0].ID, all[12].ID)
+	}
+	if _, ok := ByID("E3"); !ok {
+		t.Error("ByID(E3) missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "T", Title: "demo", Caption: "cap",
+		Headers: []string{"a", "b"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", 3)
+	text := tab.Text()
+	for _, want := range []string{"demo", "cap", "a", "2.5", "x"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "### T: demo") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestRunSchemeMetrics(t *testing.T) {
+	r := rng.New(9)
+	in := workload.PlantedNN(r, 256, 80, 10, 8)
+	idx := core.BuildIndex(in.DB, 256, core.Params{Gamma: 2, Seed: 10})
+	m := RunScheme(core.NewAlgo1(idx, 2), in, 2)
+	if m.Queries != 10 || m.Success.Trials != 10 {
+		t.Errorf("metrics %+v", m)
+	}
+	if m.Probes.N != 10 || m.Probes.Mean <= 0 {
+		t.Error("probe summary missing")
+	}
+	if m.RoundsWorst > 2 {
+		t.Errorf("rounds worst %d", m.RoundsWorst)
+	}
+	if !GroundTruthOK(in) {
+		t.Error("ground truth check failed")
+	}
+}
+
+func TestRunRaw(t *testing.T) {
+	r := rng.New(11)
+	in := workload.PlantedNN(r, 256, 60, 8, 8)
+	scan := baseline.NewLinearScan(in.DB)
+	m := RunRaw("exact", func(x bitvec.Vector) (int, int, int) {
+		idx, st := scan.Query(x)
+		return idx, st.Probes, st.Rounds
+	}, in, 2)
+	if m.Success.Rate() != 1 {
+		t.Errorf("exact scan success %v", m.Success.Rate())
+	}
+	if m.Probes.Mean != 60 {
+		t.Errorf("scan probes %v", m.Probes.Mean)
+	}
+	if m.Scheme != "exact" {
+		t.Error("scheme name lost")
+	}
+}
+
+func TestExperimentsQuickMode(t *testing.T) {
+	// Integration: every experiment runs in quick mode and yields at least
+	// one non-empty table. This is the end-to-end harness test.
+	if testing.Short() {
+		t.Skip("quick-mode experiment sweep skipped in -short")
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Headers) == 0 || len(tab.Rows) == 0 {
+					t.Errorf("table %s empty", tab.ID)
+				}
+				if tab.Text() == "" {
+					t.Error("empty rendering")
+				}
+			}
+		})
+	}
+}

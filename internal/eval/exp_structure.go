@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/cellprobe"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/lpm"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E9",
+		Title: "LPM → ANNS reduction (Lemma 14/16)",
+		Claim: "γ-approximate NN on the embedded instance yields exact longest-prefix-match answers",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "Cell-probe → communication translation (Prop. 18)",
+		Claim: "k probe rounds become 2k communication rounds with aᵢ = tᵢ⌈log s⌉, bᵢ = tᵢ·w bits",
+		Run:   runE10,
+	})
+}
+
+func runE9(cfg Config) []*Table {
+	d, sigma, m := 16384, 4, 3
+	nStrings, q := 40, 40
+	if cfg.Quick {
+		d, q = 4096, 15
+		m = 2
+	}
+	r := rng.New(cfg.Seed)
+	in := randomLPM(r, sigma, m, nStrings)
+	rd, err := lpm.NewReduction(r.Split(1), in, d, 2)
+	t := &Table{
+		ID:      "E9",
+		Title:   "LPM solved through the ANNS reduction",
+		Caption: fmt.Sprintf("σ=%d, m=%d, n=%d strings embedded into {0,1}^%d via the γ-separated ball tree", sigma, m, nStrings, d),
+		Headers: []string{"check", "result"},
+	}
+	if err != nil {
+		t.AddRow("tree construction", "FAILED: "+err.Error())
+		return []*Table{t}
+	}
+	if err := rd.Tree.CheckSeparation(); err != nil {
+		t.AddRow("γ-separation invariant", "FAILED: "+err.Error())
+		return []*Table{t}
+	}
+	t.AddRow("γ-separation invariant", "holds at every level")
+
+	idx := core.BuildIndex(rd.Points, d, core.Params{Gamma: 2, Seed: cfg.Seed + 7})
+	a := core.NewAlgo1(idx, 2)
+	trie := lpm.NewTrie(in)
+	var gapOK, match stats.Proportion
+	var probes []float64
+	for i := 0; i < q; i++ {
+		x := randomString(r, sigma, m)
+		if rd.VerifyGap(x) == nil {
+			gapOK.Successes++
+		}
+		gapOK.Trials++
+		res := a.Query(rd.QueryPoint(x))
+		probes = append(probes, float64(res.Stats.Probes))
+		match.Trials++
+		if res.Index >= 0 {
+			_, wantLCP := trie.Query(x)
+			if lpm.LCP(in.DB[res.Index], x) == wantLCP {
+				match.Successes++
+			}
+		}
+	}
+	t.AddRow("distance-gap property on queries", gapOK.String())
+	t.AddRow("ANNS answer attains max LCP", match.String())
+	t.AddRow("ANNS probes per query", stats.Summarize(probes).String())
+	return []*Table{t}
+}
+
+func randomLPM(r *rng.Source, sigma, m, n int) *lpm.Instance {
+	in := &lpm.Instance{Sigma: sigma, M: m}
+	for i := 0; i < n; i++ {
+		in.DB = append(in.DB, randomString(r, sigma, m))
+	}
+	return in
+}
+
+func randomString(r *rng.Source, sigma, m int) []int {
+	s := make([]int, m)
+	for i := range s {
+		s[i] = r.Intn(sigma)
+	}
+	return s
+}
+
+func runE10(cfg Config) []*Table {
+	d, n, q := 1024, 200, 8
+	if cfg.Quick {
+		q = 4
+	}
+	r := rng.New(cfg.Seed)
+	in := tradeoffInstance(cfg.Seed, d, n, q)
+	_ = r
+	idx := core.BuildIndex(in.DB, d, core.Params{Gamma: 2, Seed: cfg.Seed + 1})
+	t := &Table{
+		ID:      "E10",
+		Title:   "Proposition 18 message accounting",
+		Caption: "every probe round contributes one Alice message (addresses) and one Bob message (contents)",
+		Headers: []string{"k", "probe rounds(max)", "comm rounds(max)", "alice bits(mean)", "bob bits(mean)", "bits/probe ≈ log s + w"},
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		a := core.NewAlgo1(idx, k)
+		var commRounds, probeRounds int
+		var aliceBits, bobBits, probes float64
+		for _, qu := range in.Queries {
+			p := cellprobe.NewRecordingProber(k)
+			res := a.QueryWithProber(qu.X, p)
+			tables := tableDirectory(idx)
+			tr := comm.Translate(p.Transcript(), func(id string) cellprobe.Table { return tables[id] })
+			if tr.ProbeRounds > probeRounds {
+				probeRounds = tr.ProbeRounds
+			}
+			if tr.CommRounds > commRounds {
+				commRounds = tr.CommRounds
+			}
+			aliceBits += float64(tr.AliceTotal)
+			bobBits += float64(tr.BobTotal)
+			probes += float64(res.Stats.Probes)
+		}
+		nq := float64(len(in.Queries))
+		t.AddRow(k, probeRounds, commRounds, aliceBits/nq, bobBits/nq,
+			fmt.Sprintf("%.0f", (aliceBits+bobBits)/probes))
+	}
+	return []*Table{t}
+}
+
+// tableDirectory maps table IDs to tables for the translation lookup.
+func tableDirectory(idx *core.Index) map[string]cellprobe.Table {
+	dir := map[string]cellprobe.Table{}
+	for _, b := range idx.Tables.Ball {
+		dir[b.Table().ID()] = b.Table()
+	}
+	for _, a := range idx.Tables.Aux {
+		if a != nil {
+			dir[a.Table().ID()] = a.Table()
+		}
+	}
+	dir[idx.Tables.Exact.Table().ID()] = idx.Tables.Exact.Table()
+	dir[idx.Tables.Near.Table().ID()] = idx.Tables.Near.Table()
+	return dir
+}

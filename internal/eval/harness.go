@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/hamming"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Metrics aggregates one scheme's behaviour over a query stream.
+type Metrics struct {
+	Scheme      string
+	Queries     int
+	Success     stats.Proportion // γ-approximate answers
+	Failures    int              // no answer returned
+	Violations  int              // run-time assumption-violation detections
+	Degenerate  int              // answered by the degenerate-case probes
+	Probes      stats.Summary
+	Rounds      stats.Summary
+	MaxPerRound stats.Summary // per-query max parallel probes in a round
+	ApproxRatio stats.Summary // dist(answer)/dist(exact NN), failures skipped
+	ProbesWorst int
+	RoundsWorst int
+}
+
+// RunScheme executes the scheme over every query of the instance and
+// verifies answers against the precomputed exact ground truth.
+func RunScheme(s core.Scheme, in *workload.Instance, gamma float64) Metrics {
+	m := Metrics{Scheme: s.Name(), Queries: len(in.Queries)}
+	var probes, rounds, maxPer, ratios []float64
+	for _, q := range in.Queries {
+		res := s.Query(q.X)
+		probes = append(probes, float64(res.Stats.Probes))
+		rounds = append(rounds, float64(res.Stats.Rounds))
+		maxPer = append(maxPer, float64(res.Stats.MaxProbesInRound()))
+		if res.Stats.Probes > m.ProbesWorst {
+			m.ProbesWorst = res.Stats.Probes
+		}
+		if res.Stats.Rounds > m.RoundsWorst {
+			m.RoundsWorst = res.Stats.Rounds
+		}
+		if res.Violated {
+			m.Violations++
+		}
+		if res.Degenerate {
+			m.Degenerate++
+		}
+		m.Success.Trials++
+		if res.Failed() {
+			m.Failures++
+			continue
+		}
+		got := bitvec.Distance(in.DB[res.Index], q.X)
+		if float64(got) <= gamma*float64(q.NNDist) {
+			m.Success.Successes++
+		}
+		if q.NNDist > 0 {
+			ratios = append(ratios, float64(got)/float64(q.NNDist))
+		} else if got == 0 {
+			ratios = append(ratios, 1)
+		}
+	}
+	m.Probes = stats.Summarize(probes)
+	m.Rounds = stats.Summarize(rounds)
+	m.MaxPerRound = stats.Summarize(maxPer)
+	m.ApproxRatio = stats.Summarize(ratios)
+	return m
+}
+
+// RawQuery is a schemeless runner used by baselines that do not implement
+// core.Scheme (LSH, linear scan): fn answers one query and reports probes.
+type RawQuery func(x bitvec.Vector) (idx, probes, rounds int)
+
+// RunRaw executes fn over the instance's queries with the same accounting.
+func RunRaw(name string, fn RawQuery, in *workload.Instance, gamma float64) Metrics {
+	m := Metrics{Scheme: name, Queries: len(in.Queries)}
+	var probes, rounds []float64
+	for _, q := range in.Queries {
+		idx, p, r := fn(q.X)
+		probes = append(probes, float64(p))
+		rounds = append(rounds, float64(r))
+		if p > m.ProbesWorst {
+			m.ProbesWorst = p
+		}
+		if r > m.RoundsWorst {
+			m.RoundsWorst = r
+		}
+		m.Success.Trials++
+		if idx < 0 {
+			m.Failures++
+			continue
+		}
+		got := bitvec.Distance(in.DB[idx], q.X)
+		if float64(got) <= gamma*float64(q.NNDist) {
+			m.Success.Successes++
+		}
+	}
+	m.Probes = stats.Summarize(probes)
+	m.Rounds = stats.Summarize(rounds)
+	return m
+}
+
+// GroundTruthOK double-checks an instance's stored ground truth (tests).
+func GroundTruthOK(in *workload.Instance) bool {
+	for _, q := range in.Queries {
+		if _, d := hamming.Nearest(in.DB, q.X); d != q.NNDist {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	Seed  uint64
+	Quick bool // reduced sweeps for -short test runs
+}
+
+// Experiment is one entry of the suite defined in DESIGN.md §4.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string // the paper statement this experiment reproduces
+	Run   func(cfg Config) []*Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("eval: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments ordered by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idOrder(out[i].ID) < idOrder(out[j].ID) })
+	return out
+}
+
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

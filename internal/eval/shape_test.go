@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func newSeededSource(seed uint64) *rng.Source { return rng.New(seed) }
+
+// TestTheorem2ShapeRegression is the reproduction's headline claim as a
+// CI guard: Algorithm 1's measured probe count stays within a constant
+// factor of k·(log_α d)^{1/k} across the (d, k) sweep. If a future change
+// breaks the tradeoff — τ selection, grid arithmetic, round accounting —
+// this fails before any benchmark is read.
+func TestTheorem2ShapeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short")
+	}
+	const lo, hi = 0.4, 2.0 // measured/theory must stay within [lo, hi]
+	for _, d := range []int{256, 1024, 4096} {
+		in := tradeoffInstance(42, d, 200, 15)
+		idx := core.BuildIndex(in.DB, d, core.Params{Gamma: 2, Seed: 43})
+		th := Theory{D: d, Gamma: 2}
+		for _, k := range []int{1, 2, 3, 4, 6} {
+			a := core.NewAlgo1(idx, k)
+			m := RunScheme(a, in, 2)
+			ratio := m.Probes.Mean / th.Algo1Probes(k)
+			if ratio < lo || ratio > hi {
+				t.Errorf("d=%d k=%d: measured/theory = %.2f outside [%.1f, %.1f]",
+					d, k, ratio, lo, hi)
+			}
+			if m.Success.Rate() < 0.75 {
+				t.Errorf("d=%d k=%d: success %.2f below the 3/4 budget", d, k, m.Success.Rate())
+			}
+			if m.RoundsWorst > k {
+				t.Errorf("d=%d k=%d: round budget exceeded (%d)", d, k, m.RoundsWorst)
+			}
+		}
+	}
+}
+
+// TestTheorem4DominanceRegression guards the lower-bound relationship: no
+// measured configuration may dip below the Theorem 4 curve (that would
+// mean the simulator is miscounting probes, since the bound is proved).
+func TestTheorem4DominanceRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short")
+	}
+	d := 1024
+	in := tradeoffInstance(44, d, 200, 15)
+	idx := core.BuildIndex(in.DB, d, core.Params{Gamma: 2, Seed: 45})
+	th := Theory{D: d, Gamma: 2}
+	for k := 1; k <= 6; k++ {
+		m := RunScheme(core.NewAlgo1(idx, k), in, 2)
+		if m.Probes.Mean < th.LowerBound(k) {
+			t.Errorf("k=%d: measured %.2f below the proven lower bound %.2f — probe accounting broken",
+				k, m.Probes.Mean, th.LowerBound(k))
+		}
+	}
+}
+
+// TestLambdaOneProbeRegression pins Theorem 11's defining property.
+func TestLambdaOneProbeRegression(t *testing.T) {
+	r := newSeededSource(46)
+	in := workload.Annulus(r, 512, 128, 40, 6, 2)
+	idx := core.BuildIndex(in.DB, 512, core.Params{Gamma: 2, Seed: 47})
+	s := core.NewLambda(idx)
+	for _, q := range in.Queries {
+		res := s.QueryNear(q.X, 6)
+		if res.Stats.Probes != 1 || res.Stats.Rounds != 1 {
+			t.Fatalf("lambda-ANNS used %d probes in %d rounds", res.Stats.Probes, res.Stats.Rounds)
+		}
+	}
+}

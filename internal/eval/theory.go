@@ -1,0 +1,85 @@
+// Package eval is the benchmark harness: it runs the paper's schemes and
+// the baselines over synthetic workloads, collects cell-probe accounting,
+// and renders the experiment tables E1–E10 listed in DESIGN.md §4. Since
+// the paper is a theory paper, the "figures" being regenerated are its
+// theorem-level tradeoff curves; package eval also evaluates those
+// closed-form bounds so that measured and predicted columns sit side by
+// side.
+package eval
+
+import "math"
+
+// Theory evaluates the closed-form bounds of the paper for one (d, γ).
+type Theory struct {
+	D     int
+	Gamma float64
+}
+
+// logAlphaD returns log_α d = 2·log_γ d, the number of ball levels.
+func (t Theory) logAlphaD() float64 {
+	alpha := math.Sqrt(t.Gamma)
+	return math.Log(float64(t.D)) / math.Log(alpha)
+}
+
+// Algo1Probes is Theorem 2's bound k·(log d)^{1/k} (unscaled: the constant
+// is calibrated per-plot by the harness, shape is the claim).
+func (t Theory) Algo1Probes(k int) float64 {
+	return float64(k) * math.Pow(t.logAlphaD(), 1/float64(k))
+}
+
+// Algo2Probes is Theorem 3's bound k + ((1/k)·log d)^{c/k}.
+func (t Theory) Algo2Probes(k int, c float64) float64 {
+	base := t.logAlphaD() / float64(k)
+	if base < 1 {
+		base = 1
+	}
+	return float64(k) + math.Pow(base, c/float64(k))
+}
+
+// LowerBound is Theorem 4's Ω((1/k)·(log_γ d)^{1/k}).
+func (t Theory) LowerBound(k int) float64 {
+	logd := math.Log(float64(t.D)) / math.Log(t.Gamma)
+	if logd < 1 {
+		logd = 1
+	}
+	return math.Pow(logd, 1/float64(k)) / float64(k)
+}
+
+// FullyAdaptive is Theorem 1's Θ(log log d / log log log d) tight bound for
+// unconstrained adaptivity (Chakrabarti–Regev).
+func (t Theory) FullyAdaptive() float64 {
+	ll := math.Log2(math.Log2(float64(t.D)))
+	lll := math.Log2(ll)
+	if lll < 1 {
+		lll = 1
+	}
+	return ll / lll
+}
+
+// PhaseTransitionK is the round budget Θ(log log d / log log log d) at
+// which the paper's phase transition sits.
+func (t Theory) PhaseTransitionK() int {
+	k := int(math.Round(t.FullyAdaptive()))
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// LowerBoundValidK is Theorem 4's validity cap log log d/(2 log log log d).
+func (t Theory) LowerBoundValidK() int {
+	ll := math.Log2(math.Log2(float64(t.D)))
+	lll := math.Log2(ll)
+	if lll < 1 {
+		lll = 1
+	}
+	k := int(math.Floor(ll / (2 * lll)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// LSHRho is the bit-sampling exponent ρ ≈ 1/γ governing the baseline's
+// n^ρ probe growth.
+func (t Theory) LSHRho() float64 { return 1 / t.Gamma }

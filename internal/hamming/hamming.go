@@ -1,0 +1,134 @@
+// Package hamming provides Hamming-space utilities shared by the schemes,
+// workload generators, and the LPM reduction: random point generation,
+// sampling at exact or bounded distance, log-domain ball volumes, and an
+// exact nearest-neighbor scan used as ground truth.
+package hamming
+
+import (
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Random returns a uniform point of {0,1}^d.
+func Random(r *rng.Source, d int) bitvec.Vector {
+	v := bitvec.New(d)
+	for i := range v {
+		v[i] = r.Uint64()
+	}
+	return v.TruncateToDim(d)
+}
+
+// AtDistance returns a uniform point at exact Hamming distance dist from x.
+// Panics if dist < 0 or dist > d.
+func AtDistance(r *rng.Source, x bitvec.Vector, d, dist int) bitvec.Vector {
+	if dist < 0 || dist > d {
+		panic("hamming: distance out of range")
+	}
+	y := x.Clone()
+	for _, i := range r.Sample(d, dist) {
+		y.Flip(i)
+	}
+	return y
+}
+
+// WithinDistance returns a uniform point of the ball of radius rad around x
+// (uniform over the ball, using log-volume weights per shell).
+func WithinDistance(r *rng.Source, x bitvec.Vector, d, rad int) bitvec.Vector {
+	if rad < 0 {
+		panic("hamming: negative radius")
+	}
+	if rad > d {
+		rad = d
+	}
+	// Choose the shell proportionally to C(d, k) using Gumbel-max on
+	// log-weights to avoid overflow.
+	best, bestScore := 0, math.Inf(-1)
+	for k := 0; k <= rad; k++ {
+		score := LogBinomial(d, k) - math.Log(-math.Log(r.Float64()))
+		if score > bestScore {
+			best, bestScore = k, score
+		}
+	}
+	return AtDistance(r, x, d, best)
+}
+
+// LogBinomial returns ln C(n, k). Returns -Inf for k < 0 or k > n.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// LogBallVolume returns ln |Ball(radius)| in {0,1}^d, i.e.
+// ln Σ_{k=0..radius} C(d, k), computed stably in the log domain.
+func LogBallVolume(d, radius int) float64 {
+	if radius < 0 {
+		return math.Inf(-1)
+	}
+	if radius >= d {
+		return float64(d) * math.Ln2
+	}
+	acc := math.Inf(-1)
+	for k := 0; k <= radius; k++ {
+		acc = logAdd(acc, LogBinomial(d, k))
+	}
+	return acc
+}
+
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// Nearest returns the index of a database point nearest to x, together
+// with the distance, by exact linear scan. Panics on an empty database.
+func Nearest(db []bitvec.Vector, x bitvec.Vector) (idx, dist int) {
+	if len(db) == 0 {
+		panic("hamming: empty database")
+	}
+	idx, dist = 0, bitvec.Distance(db[0], x)
+	for i := 1; i < len(db); i++ {
+		if d := bitvec.Distance(db[i], x); d < dist {
+			idx, dist = i, d
+		}
+	}
+	return idx, dist
+}
+
+// MinDistance returns min_z dist(x, z) over the database.
+func MinDistance(db []bitvec.Vector, x bitvec.Vector) int {
+	_, d := Nearest(db, x)
+	return d
+}
+
+// IsApproxNearest reports whether y is a γ-approximate nearest neighbor of
+// x in db: dist(x, y) <= gamma * min_z dist(x, z).
+func IsApproxNearest(db []bitvec.Vector, x, y bitvec.Vector, gamma float64) bool {
+	return float64(bitvec.Distance(x, y)) <= gamma*float64(MinDistance(db, x))
+}
+
+// CountWithin returns |{z in db : dist(x, z) <= radius}|, the exact |B_i|
+// used when validating the sketch approximations (Lemma 8 checks).
+func CountWithin(db []bitvec.Vector, x bitvec.Vector, radius int) int {
+	n := 0
+	for _, z := range db {
+		if bitvec.DistanceAtMost(z, x, radius) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package hamming
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestRandomDimension(t *testing.T) {
+	r := rng.New(1)
+	v := Random(r, 100)
+	if len(v) != bitvec.Words(100) {
+		t.Fatalf("wrong word count %d", len(v))
+	}
+	// Trailing bits beyond d must be zero.
+	for i := 100; i < 128; i++ {
+		if v.Get(i) {
+			t.Errorf("bit %d beyond dimension set", i)
+		}
+	}
+}
+
+func TestRandomIsBalanced(t *testing.T) {
+	r := rng.New(2)
+	total := 0
+	for i := 0; i < 200; i++ {
+		total += Random(r, 256).PopCount()
+	}
+	mean := float64(total) / 200
+	if mean < 118 || mean > 138 {
+		t.Errorf("mean popcount %v far from 128", mean)
+	}
+}
+
+func TestAtDistanceExact(t *testing.T) {
+	r := rng.New(3)
+	x := Random(r, 300)
+	for _, dist := range []int{0, 1, 5, 150, 300} {
+		y := AtDistance(r, x, 300, dist)
+		if got := bitvec.Distance(x, y); got != dist {
+			t.Errorf("AtDistance(%d) produced distance %d", dist, got)
+		}
+	}
+}
+
+func TestAtDistancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtDistance out of range did not panic")
+		}
+	}()
+	r := rng.New(4)
+	AtDistance(r, Random(r, 10), 10, 11)
+}
+
+func TestWithinDistance(t *testing.T) {
+	r := rng.New(5)
+	x := Random(r, 200)
+	for i := 0; i < 100; i++ {
+		y := WithinDistance(r, x, 200, 7)
+		if d := bitvec.Distance(x, y); d > 7 {
+			t.Fatalf("WithinDistance(7) produced distance %d", d)
+		}
+	}
+	// Radius above d clamps.
+	y := WithinDistance(r, x, 200, 500)
+	if d := bitvec.Distance(x, y); d > 200 {
+		t.Fatalf("clamped radius violated: %d", d)
+	}
+}
+
+func TestWithinDistanceWeightsShells(t *testing.T) {
+	// With rad = d the distribution should concentrate near d/2 (volume),
+	// not near 0.
+	r := rng.New(6)
+	x := Random(r, 128)
+	sum := 0
+	for i := 0; i < 200; i++ {
+		sum += bitvec.Distance(x, WithinDistance(r, x, 128, 128))
+	}
+	mean := float64(sum) / 200
+	if mean < 55 || mean > 73 {
+		t.Errorf("ball sampling mean distance %v, want ≈ 64", mean)
+	}
+}
+
+func TestLogBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {20, 10, 184756},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogBinomial(c.n, c.k))
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogBinomial(5, 6), -1) || !math.IsInf(LogBinomial(5, -1), -1) {
+		t.Error("out-of-range binomial not -Inf")
+	}
+}
+
+func TestLogBallVolume(t *testing.T) {
+	// |Ball(1)| in {0,1}^10 = 1 + 10 = 11.
+	got := math.Exp(LogBallVolume(10, 1))
+	if math.Abs(got-11) > 1e-9 {
+		t.Errorf("ball volume = %v, want 11", got)
+	}
+	// Radius >= d: whole cube.
+	if math.Abs(LogBallVolume(16, 16)-16*math.Ln2) > 1e-9 {
+		t.Error("full ball volume wrong")
+	}
+	if !math.IsInf(LogBallVolume(10, -1), -1) {
+		t.Error("negative radius not -Inf")
+	}
+	// Monotone in radius.
+	prev := math.Inf(-1)
+	for rad := 0; rad <= 12; rad++ {
+		v := LogBallVolume(12, rad)
+		if v < prev {
+			t.Fatalf("volume decreased at radius %d", rad)
+		}
+		prev = v
+	}
+}
+
+func TestNearestAndHelpers(t *testing.T) {
+	r := rng.New(7)
+	db := []bitvec.Vector{}
+	for i := 0; i < 50; i++ {
+		db = append(db, Random(r, 128))
+	}
+	x := AtDistance(r, db[17], 128, 4)
+	idx, dist := Nearest(db, x)
+	// db[17] is at distance 4; random others are ≈ 64 away.
+	if idx != 17 || dist != 4 {
+		t.Errorf("Nearest = (%d, %d), want (17, 4)", idx, dist)
+	}
+	if MinDistance(db, x) != 4 {
+		t.Error("MinDistance disagrees")
+	}
+	if !IsApproxNearest(db, x, db[17], 1) {
+		t.Error("exact NN not 1-approximate")
+	}
+	if IsApproxNearest(db, x, db[(17+1)%50], 2) {
+		t.Error("far point accepted as 2-approximate")
+	}
+	if got := CountWithin(db, x, 4); got != 1 {
+		t.Errorf("CountWithin = %d, want 1", got)
+	}
+	if got := CountWithin(db, x, 128); got != 50 {
+		t.Errorf("CountWithin(d) = %d, want 50", got)
+	}
+}
+
+func TestNearestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nearest on empty db did not panic")
+		}
+	}()
+	Nearest(nil, bitvec.New(8))
+}

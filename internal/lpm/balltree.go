@@ -1,0 +1,157 @@
+package lpm
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+// BallTree is the recursive γ-separated family of Hamming balls of
+// Lemma 16: a σ-ary tree of depth `depth` whose depth-t nodes are balls of
+// radius d/shrink^t, children nested inside their parent, and every level
+// a γ-separated family (pairwise point-to-point distance across distinct
+// balls exceeds γ times any ball's diameter at that level).
+type BallTree struct {
+	D      int
+	Gamma  float64
+	Sigma  int
+	Depth  int
+	Shrink float64
+	Root   *BallNode
+}
+
+// BallNode is one Hamming ball in the tree.
+type BallNode struct {
+	Center   bitvec.Vector
+	Radius   float64
+	Children []*BallNode // nil at leaves; length Sigma otherwise
+}
+
+// NewBallTree constructs the tree, rejection-sampling child centers until
+// each sibling family is γ-separated (as Lemma 15 guarantees exists; at
+// our scales a handful of retries suffice). Returns an error if the
+// requested depth is geometrically infeasible for dimension d.
+func NewBallTree(r *rng.Source, d int, gamma float64, sigma, depth int) (*BallTree, error) {
+	if gamma <= 1 {
+		return nil, fmt.Errorf("lpm: gamma must exceed 1")
+	}
+	shrink := 8 * gamma // the paper's per-level radius factor
+	// Leaf radius d/shrink^depth must stay ≥ 1 for balls to be nontrivial
+	// (the paper keeps it ≥ d^0.995 for its asymptotic regime).
+	rad := float64(d)
+	for t := 0; t < depth; t++ {
+		rad /= shrink
+	}
+	if rad < 1 {
+		return nil, fmt.Errorf("lpm: depth %d too large for d=%d (leaf radius %.2f < 1)", depth, d, rad)
+	}
+	tree := &BallTree{D: d, Gamma: gamma, Sigma: sigma, Depth: depth, Shrink: shrink}
+	root := &BallNode{Center: hamming.Random(r, d), Radius: float64(d) / 2}
+	tree.Root = root
+	if err := tree.grow(r, root, depth); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+func (t *BallTree) grow(r *rng.Source, node *BallNode, levels int) error {
+	if levels == 0 {
+		return nil
+	}
+	childRad := node.Radius / t.Shrink
+	// Separation requirement between distinct sibling balls: point-to-point
+	// distance > γ · diameter = γ·2·childRad, i.e. center distance
+	// > 2·childRad·(γ+1).
+	minCenterDist := int(2*childRad*(t.Gamma+1)) + 1
+	// Children must nest inside the parent: centers within R − childRad.
+	off := int(node.Radius - childRad)
+	if off < minCenterDist/2 {
+		return fmt.Errorf("lpm: ball at radius %.1f cannot host %d separated children", node.Radius, t.Sigma)
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		centers := make([]bitvec.Vector, t.Sigma)
+		for i := range centers {
+			centers[i] = hamming.AtDistance(r, node.Center, t.D, off/2+r.Intn(off/2+1))
+		}
+		if separated(centers, minCenterDist) {
+			node.Children = make([]*BallNode, t.Sigma)
+			for i, c := range centers {
+				node.Children[i] = &BallNode{Center: c, Radius: childRad}
+				if err := t.grow(r, node.Children[i], levels-1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("lpm: could not separate %d children at radius %.1f after %d attempts",
+		t.Sigma, childRad, maxAttempts)
+}
+
+func separated(centers []bitvec.Vector, minDist int) bool {
+	for i := 0; i < len(centers); i++ {
+		for j := i + 1; j < len(centers); j++ {
+			if bitvec.DistanceAtMost(centers[i], centers[j], minDist-1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Walk follows the symbol string from the root and returns the node path
+// (path[0] = root, path[t] = node reached after t symbols).
+func (t *BallTree) Walk(s []int) []*BallNode {
+	path := []*BallNode{t.Root}
+	node := t.Root
+	for _, c := range s {
+		if node.Children == nil {
+			break
+		}
+		if c < 0 || c >= len(node.Children) {
+			panic(fmt.Sprintf("lpm: symbol %d outside branching %d", c, len(node.Children)))
+		}
+		node = node.Children[c]
+		path = append(path, node)
+	}
+	return path
+}
+
+// Embed maps a string to the center of the ball reached by walking it.
+func (t *BallTree) Embed(s []int) bitvec.Vector {
+	path := t.Walk(s)
+	return path[len(path)-1].Center
+}
+
+// CheckSeparation verifies the γ-separation invariant at every level by
+// exhaustive pairwise comparison; used by tests and the E9 experiment.
+func (t *BallTree) CheckSeparation() error {
+	level := []*BallNode{t.Root}
+	for depth := 0; len(level) > 0; depth++ {
+		var next []*BallNode
+		for _, n := range level {
+			next = append(next, n.Children...)
+		}
+		if len(next) > 1 {
+			// All balls at one depth share a radius. Point-to-point distance
+			// across distinct balls is at least centerDist − 2·rad, which
+			// must exceed γ·(2·rad): centers ≥ 2·rad·(γ+1) apart.
+			rad := next[0].Radius
+			need := 2 * rad * (t.Gamma + 1)
+			for i := 0; i < len(next); i++ {
+				for j := i + 1; j < len(next); j++ {
+					cd := bitvec.Distance(next[i].Center, next[j].Center)
+					if float64(cd) < need {
+						return fmt.Errorf("lpm: depth %d balls %d,%d too close: center dist %d, need %.1f",
+							depth+1, i, j, cd, need)
+					}
+				}
+			}
+		}
+		level = next
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package lpm
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func distanceBetween(a, b bitvec.Vector) int { return bitvec.Distance(a, b) }
+
+func randInstance(r *rng.Source, sigma, m, n int) *Instance {
+	in := &Instance{Sigma: sigma, M: m}
+	for i := 0; i < n; i++ {
+		s := make([]int, m)
+		for j := range s {
+			s[j] = r.Intn(sigma)
+		}
+		in.DB = append(in.DB, s)
+	}
+	return in
+}
+
+func TestLCP(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 3},
+		{[]int{1, 2, 3}, []int{1, 2, 4}, 2},
+		{[]int{1}, []int{2}, 0},
+		{[]int{}, []int{1}, 0},
+		{[]int{1, 2}, []int{1, 2, 3}, 2},
+	}
+	for _, c := range cases {
+		if got := LCP(c.a, c.b); got != c.want {
+			t.Errorf("LCP(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Instance{Sigma: 3, M: 2, DB: [][]int{{0, 2}, {1, 1}}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	badLen := &Instance{Sigma: 3, M: 2, DB: [][]int{{0}}}
+	if badLen.Validate() == nil {
+		t.Error("wrong length accepted")
+	}
+	badSym := &Instance{Sigma: 3, M: 2, DB: [][]int{{0, 3}}}
+	if badSym.Validate() == nil {
+		t.Error("out-of-alphabet symbol accepted")
+	}
+}
+
+func TestTrieMatchesBruteForce(t *testing.T) {
+	r := rng.New(70)
+	for trial := 0; trial < 20; trial++ {
+		in := randInstance(r, 3, 5, 30)
+		trie := NewTrie(in)
+		for q := 0; q < 20; q++ {
+			x := make([]int, 5)
+			for j := range x {
+				x[j] = r.Intn(3)
+			}
+			idx, lcp := trie.Query(x)
+			if lcp != in.BestLCP(x) {
+				t.Fatalf("trie LCP %d, brute %d", lcp, in.BestLCP(x))
+			}
+			if !in.IsCorrect(x, idx) {
+				t.Fatalf("trie answer %d not a valid LPM answer", idx)
+			}
+		}
+	}
+}
+
+func TestIsCorrectRejects(t *testing.T) {
+	in := &Instance{Sigma: 2, M: 3, DB: [][]int{{0, 0, 0}, {1, 1, 1}}}
+	x := []int{0, 0, 1}
+	if !in.IsCorrect(x, 0) {
+		t.Error("correct answer rejected")
+	}
+	if in.IsCorrect(x, 1) {
+		t.Error("wrong answer accepted")
+	}
+	if in.IsCorrect(x, -1) || in.IsCorrect(x, 5) {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestBallTreeConstruction(t *testing.T) {
+	r := rng.New(71)
+	tree, err := NewBallTree(r, 8192, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckSeparation(); err != nil {
+		t.Fatal(err)
+	}
+	// Shape: depth-3 complete 4-ary tree.
+	var count func(n *BallNode) int
+	count = func(n *BallNode) int {
+		if n.Children == nil {
+			return 1
+		}
+		total := 0
+		for _, c := range n.Children {
+			total += count(c)
+		}
+		return total
+	}
+	if got := count(tree.Root); got != 64 {
+		t.Errorf("leaf count %d, want 64", got)
+	}
+}
+
+func TestBallTreeNesting(t *testing.T) {
+	r := rng.New(72)
+	tree, err := NewBallTree(r, 4096, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *BallNode)
+	walk = func(n *BallNode) {
+		for _, c := range n.Children {
+			// Child ball inside parent: centerDist + childRad <= parentRad.
+			cd := distanceBetween(n.Center, c.Center)
+			if float64(cd)+c.Radius > n.Radius {
+				t.Errorf("child not nested: centerDist %d + rad %.1f > parent %.1f",
+					cd, c.Radius, n.Radius)
+			}
+			walk(c)
+		}
+	}
+	walk(tree.Root)
+}
+
+func TestBallTreeInfeasibleDepth(t *testing.T) {
+	r := rng.New(73)
+	if _, err := NewBallTree(r, 256, 2, 4, 5); err == nil {
+		t.Error("geometrically infeasible tree accepted")
+	}
+	if _, err := NewBallTree(r, 256, 1, 4, 1); err == nil {
+		t.Error("gamma <= 1 accepted")
+	}
+}
+
+func TestWalkAndEmbed(t *testing.T) {
+	r := rng.New(74)
+	tree, err := NewBallTree(r, 4096, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tree.Walk([]int{1, 2})
+	if len(path) != 3 {
+		t.Fatalf("path length %d", len(path))
+	}
+	if path[2] != tree.Root.Children[1].Children[2] {
+		t.Error("walk took wrong branch")
+	}
+	emb := tree.Embed([]int{1, 2})
+	if distanceBetween(emb, path[2].Center) != 0 {
+		t.Error("embed is not the leaf center")
+	}
+}
+
+func TestReductionGapProperty(t *testing.T) {
+	r := rng.New(75)
+	in := randInstance(r, 3, 2, 15)
+	rd, err := NewReduction(r.Split(1), in, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 25; q++ {
+		x := make([]int, 2)
+		for j := range x {
+			x[j] = r.Intn(3)
+		}
+		if err := rd.VerifyGap(x); err != nil {
+			t.Errorf("gap property: %v", err)
+		}
+	}
+}
+
+func TestReductionNearestIsLPMAnswer(t *testing.T) {
+	r := rng.New(76)
+	in := randInstance(r, 4, 3, 25)
+	rd, err := NewReduction(r.Split(2), in, 16384, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 20; q++ {
+		x := make([]int, 3)
+		for j := range x {
+			x[j] = r.Intn(4)
+		}
+		px := rd.QueryPoint(x)
+		// Exact nearest embedded point must be an exact LPM answer.
+		best, bestDist := 0, distanceBetween(px, rd.Points[0])
+		for i := 1; i < len(rd.Points); i++ {
+			if d := distanceBetween(px, rd.Points[i]); d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if !in.IsCorrect(x, best) {
+			t.Errorf("nearest embedded point %d is not an LPM answer for %v", best, x)
+		}
+	}
+}
+
+func TestReductionRejectsInvalidInstance(t *testing.T) {
+	r := rng.New(77)
+	bad := &Instance{Sigma: 2, M: 2, DB: [][]int{{0, 5}}}
+	if _, err := NewReduction(r, bad, 4096, 2); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package lpm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// stringPair generates two strings over a small alphabet for LCP
+// property tests.
+type stringPair struct{ A, B []int }
+
+func (stringPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	mk := func() []int {
+		s := make([]int, 6)
+		for i := range s {
+			s[i] = r.Intn(3)
+		}
+		return s
+	}
+	return reflect.ValueOf(stringPair{A: mk(), B: mk()})
+}
+
+func TestQuickLCPSymmetric(t *testing.T) {
+	f := func(p stringPair) bool { return LCP(p.A, p.B) == LCP(p.B, p.A) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLCPBoundedAndExact(t *testing.T) {
+	f := func(p stringPair) bool {
+		l := LCP(p.A, p.B)
+		if l < 0 || l > len(p.A) {
+			return false
+		}
+		for i := 0; i < l; i++ {
+			if p.A[i] != p.B[i] {
+				return false
+			}
+		}
+		return l == len(p.A) || l == len(p.B) || p.A[l] != p.B[l]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLCPSelf(t *testing.T) {
+	f := func(p stringPair) bool { return LCP(p.A, p.A) == len(p.A) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// instanceAndQuery generates a whole LPM instance plus query.
+type instanceAndQuery struct {
+	In *Instance
+	X  []int
+}
+
+func (instanceAndQuery) Generate(r *rand.Rand, _ int) reflect.Value {
+	const sigma, m = 3, 4
+	in := &Instance{Sigma: sigma, M: m}
+	n := 2 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		s := make([]int, m)
+		for j := range s {
+			s[j] = r.Intn(sigma)
+		}
+		in.DB = append(in.DB, s)
+	}
+	x := make([]int, m)
+	for j := range x {
+		x[j] = r.Intn(sigma)
+	}
+	return reflect.ValueOf(instanceAndQuery{In: in, X: x})
+}
+
+// TestQuickTrieAlwaysCorrect: the trie's answer is always a valid LPM
+// answer and its reported LCP equals the brute-force maximum.
+func TestQuickTrieAlwaysCorrect(t *testing.T) {
+	f := func(iq instanceAndQuery) bool {
+		idx, lcp := NewTrie(iq.In).Query(iq.X)
+		return iq.In.IsCorrect(iq.X, idx) && lcp == iq.In.BestLCP(iq.X)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSchemesMatchTrie: both cell-probe schemes attain the maximal
+// LCP on arbitrary instances.
+func TestQuickSchemesMatchTrie(t *testing.T) {
+	f := func(iq instanceAndQuery) bool {
+		pt := NewPrefixTable(iq.In, nil)
+		walk := &WalkScheme{T: pt}
+		bin := &BinSearchScheme{T: pt}
+		want := iq.In.BestLCP(iq.X)
+		wAns, _ := walk.Query(iq.X)
+		bAns, _ := bin.Query(iq.X)
+		return LCP(iq.In.DB[wAns], iq.X) == want && LCP(iq.In.DB[bAns], iq.X) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

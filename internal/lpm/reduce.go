@@ -1,0 +1,82 @@
+package lpm
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Reduction is Lemma 14's mapping from an LPM instance to an ANNS instance:
+// database string i embeds to the center of the depth-M ball reached by
+// walking the γ-separated tree along the string's symbols, and a query
+// string embeds the same way.
+//
+// Correctness transfer (the property the paper's reduction rests on): if
+// the best LCP with the query is t, the exact nearest embedded point lies
+// within the common depth-t ball (distance ≤ 2·rad_t) while every string
+// diverging earlier, at depth t' < t, sits in a different ball of the
+// depth-(t'+1) γ-separated family (distance > γ·2·rad_{t'+1} ≥ γ·2·rad_t).
+// Hence any γ-approximate nearest neighbor of the embedded query is an
+// *exact* LPM answer.
+type Reduction struct {
+	Tree   *BallTree
+	In     *Instance
+	D      int
+	Points []bitvec.Vector // Points[i] = embedding of In.DB[i]
+}
+
+// NewReduction embeds the instance into {0,1}^d. The dimension must
+// satisfy d/(8γ)^M ≥ 1; larger d gives more slack for center sampling.
+func NewReduction(r *rng.Source, in *Instance, d int, gamma float64) (*Reduction, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	tree, err := NewBallTree(r, d, gamma, in.Sigma, in.M)
+	if err != nil {
+		return nil, err
+	}
+	rd := &Reduction{Tree: tree, In: in, D: d}
+	for _, s := range in.DB {
+		rd.Points = append(rd.Points, tree.Embed(s))
+	}
+	return rd, nil
+}
+
+// QueryPoint embeds a query string.
+func (rd *Reduction) QueryPoint(x []int) bitvec.Vector { return rd.Tree.Embed(x) }
+
+// VerifyGap checks, for one query, the distance-gap property stated above
+// against the actual embedded points — the invariant tests and E9 assert.
+func (rd *Reduction) VerifyGap(x []int) error {
+	best := rd.In.BestLCP(x)
+	px := rd.QueryPoint(x)
+	// Radius of depth-t balls.
+	radAt := func(t int) float64 {
+		r := float64(rd.D) / 2
+		for i := 0; i < t; i++ {
+			r /= rd.Tree.Shrink
+		}
+		return r
+	}
+	for i, s := range rd.In.DB {
+		l := LCP(s, x)
+		dist := float64(bitvec.Distance(px, rd.Points[i]))
+		if l == len(x) && dist != 0 {
+			// Full-prefix matches may still differ beyond M in the paper's
+			// unbounded strings; with equal length they embed identically.
+			return fmt.Errorf("lpm: full match %d embedded at distance %v", i, dist)
+		}
+		if dist > 2*radAt(l) {
+			return fmt.Errorf("lpm: string %d (lcp=%d) at distance %v > diameter %v",
+				i, l, dist, 2*radAt(l))
+		}
+		if l < best {
+			if dist <= rd.Tree.Gamma*2*radAt(l+1) {
+				return fmt.Errorf("lpm: string %d (lcp=%d < best %d) at distance %v not separated (need > %v)",
+					i, l, best, dist, rd.Tree.Gamma*2*radAt(l+1))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package lpm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cellprobe"
+)
+
+// Cell-probe schemes for LPM itself. The paper's lower bound (Theorem 24
+// via Lemma 14) is proved against LPM, so the repository also provides the
+// standard upper bounds for it in the same instrumented model:
+//
+//   - WalkScheme: the trie walk — m rounds of 1 probe (fully adaptive,
+//     cheap table);
+//   - BinSearchScheme: binary search over prefix lengths — ⌈log₂(m+1)⌉
+//     rounds of 1 probe (prefix existence is monotone in length), the
+//     classic exponential-table LPM scheme whose round structure the
+//     reduction transports to ANNS.
+//
+// Both are built on a prefix table: the cell at address ⟨t, x[:t]⟩ stores
+// a database string with prefix x[:t] if one exists, else EMPTY.
+
+// PrefixTable is the shared oracle table: address = serialized prefix,
+// content = representative database index or EMPTY.
+type PrefixTable struct {
+	in     *Instance
+	trie   *Trie
+	oracle *cellprobe.Oracle
+}
+
+// NewPrefixTable builds the prefix table for an instance.
+func NewPrefixTable(in *Instance, meter *cellprobe.Meter) *PrefixTable {
+	t := &PrefixTable{in: in, trie: NewTrie(in)}
+	// Nominal cells: Σ^m prefixes per length, m+1 lengths: (m+1)·|Σ|^m.
+	logCells := float64(in.M)*math.Log2(float64(in.Sigma)) + math.Log2(float64(in.M+1))
+	if logCells < 1 {
+		logCells = 1
+	}
+	wordBits := bitsFor(len(in.DB) + 1)
+	t.oracle = cellprobe.NewOracle("lpm-prefix", logCells, wordBits, meter, t.eval)
+	return t
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for v := 2; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// Address serializes the prefix x[:t].
+func (t *PrefixTable) Address(x []int, length int) string {
+	buf := make([]byte, 0, 2+2*length)
+	buf = append(buf, byte(length), byte(length>>8))
+	for _, c := range x[:length] {
+		buf = append(buf, byte(c), byte(c>>8))
+	}
+	return string(buf)
+}
+
+func (t *PrefixTable) eval(addr string) cellprobe.Word {
+	if len(addr) < 2 || len(addr)%2 != 0 {
+		return cellprobe.EmptyWord
+	}
+	length := int(addr[0]) | int(addr[1])<<8
+	if len(addr) != 2+2*length {
+		return cellprobe.EmptyWord
+	}
+	prefix := make([]int, length)
+	for i := 0; i < length; i++ {
+		prefix[i] = int(addr[2+2*i]) | int(addr[3+2*i])<<8
+	}
+	idx, lcp := t.trie.Query(prefix)
+	if lcp != length {
+		return cellprobe.EmptyWord
+	}
+	return cellprobe.PointWord(idx)
+}
+
+// Table exposes the cell-probe view.
+func (t *PrefixTable) Table() cellprobe.Table { return t.oracle }
+
+// WalkScheme answers LPM by walking prefix lengths 1, 2, …, m until the
+// first EMPTY cell: fully adaptive, at most m rounds of one probe.
+type WalkScheme struct {
+	T *PrefixTable
+}
+
+// Query returns (answer index, stats). The answer is the representative
+// of the longest existing prefix (the root representative when even the
+// first symbol misses).
+func (s *WalkScheme) Query(x []int) (int, cellprobe.Stats) {
+	p := cellprobe.NewProber(0)
+	best := s.rootRepresentative()
+	for t := 1; t <= len(x); t++ {
+		words, err := p.Round([]cellprobe.Ref{{Table: s.T.Table(), Addr: s.T.Address(x, t)}})
+		if err != nil || words[0].Kind != cellprobe.Point {
+			break
+		}
+		best = words[0].Index
+	}
+	return best, p.Stats()
+}
+
+func (s *WalkScheme) rootRepresentative() int {
+	if len(s.T.in.DB) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// BinSearchScheme answers LPM by binary search over the prefix length:
+// "some database string has prefix x[:t]" is monotone (downward closed)
+// in t, so ⌈log₂(m+1)⌉ adaptive probes find the maximal t.
+type BinSearchScheme struct {
+	T *PrefixTable
+}
+
+// Query returns (answer index, stats).
+func (s *BinSearchScheme) Query(x []int) (int, cellprobe.Stats) {
+	p := cellprobe.NewProber(0)
+	lo, hi := 0, len(x) // invariant: prefix length lo exists, hi+1 doesn't
+	best := s.rootRep()
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		words, err := p.Round([]cellprobe.Ref{{Table: s.T.Table(), Addr: s.T.Address(x, mid)}})
+		if err != nil {
+			return best, p.Stats()
+		}
+		if words[0].Kind == cellprobe.Point {
+			best = words[0].Index
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, p.Stats()
+}
+
+func (s *BinSearchScheme) rootRep() int {
+	if len(s.T.in.DB) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// ProbeBoundBinSearch is the ⌈log₂(m+1)⌉ probe bound of the binary-search
+// scheme, for tests and reports.
+func ProbeBoundBinSearch(m int) int {
+	return int(math.Ceil(math.Log2(float64(m + 1))))
+}
+
+// String renders a scheme description for reports.
+func (s *BinSearchScheme) String() string {
+	return fmt.Sprintf("lpm-binsearch(m=%d, ≤%d probes)", s.T.in.M, ProbeBoundBinSearch(s.T.in.M))
+}

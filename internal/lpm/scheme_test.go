@@ -1,0 +1,129 @@
+package lpm
+
+import (
+	"testing"
+
+	"repro/internal/cellprobe"
+	"repro/internal/rng"
+)
+
+func TestPrefixTableCells(t *testing.T) {
+	in := &Instance{Sigma: 3, M: 3, DB: [][]int{{0, 1, 2}, {0, 2, 2}, {1, 0, 0}}}
+	pt := NewPrefixTable(in, nil)
+	// Existing prefixes return a string carrying that prefix.
+	cases := []struct {
+		prefix []int
+		exists bool
+	}{
+		{[]int{0}, true},
+		{[]int{0, 1}, true},
+		{[]int{0, 1, 2}, true},
+		{[]int{1, 0, 0}, true},
+		{[]int{2}, false},
+		{[]int{0, 0}, false},
+		{[]int{1, 1}, false},
+	}
+	for _, c := range cases {
+		w := pt.Table().Lookup(pt.Address(c.prefix, len(c.prefix)))
+		if c.exists {
+			if w.Kind != cellprobe.Point {
+				t.Errorf("prefix %v: EMPTY, want a point", c.prefix)
+				continue
+			}
+			if LCP(in.DB[w.Index], c.prefix) != len(c.prefix) {
+				t.Errorf("prefix %v: representative %d does not carry it", c.prefix, w.Index)
+			}
+		} else if w.Kind != cellprobe.Empty {
+			t.Errorf("prefix %v: got %v, want EMPTY", c.prefix, w)
+		}
+	}
+	// Malformed addresses are EMPTY.
+	if w := pt.Table().Lookup("x"); w.Kind != cellprobe.Empty {
+		t.Error("malformed address not EMPTY")
+	}
+}
+
+func TestWalkSchemeExact(t *testing.T) {
+	r := rng.New(10)
+	in := randInstance(r, 4, 5, 25)
+	pt := NewPrefixTable(in, nil)
+	s := &WalkScheme{T: pt}
+	for q := 0; q < 40; q++ {
+		x := make([]int, 5)
+		for j := range x {
+			x[j] = r.Intn(4)
+		}
+		ans, st := s.Query(x)
+		if !in.IsCorrect(x, ans) {
+			t.Fatalf("walk answer %d not maximal-LCP for %v", ans, x)
+		}
+		// Probes = LCP+1 (the failing step) capped at m.
+		want := in.BestLCP(x) + 1
+		if want > 5 {
+			want = 5
+		}
+		if st.Probes != want {
+			t.Errorf("walk probes %d, want %d", st.Probes, want)
+		}
+		if st.Rounds != st.Probes {
+			t.Error("walk not one probe per round")
+		}
+	}
+}
+
+func TestBinSearchSchemeExactAndLogarithmic(t *testing.T) {
+	r := rng.New(11)
+	in := randInstance(r, 3, 8, 30)
+	pt := NewPrefixTable(in, nil)
+	s := &BinSearchScheme{T: pt}
+	bound := ProbeBoundBinSearch(8)
+	for q := 0; q < 40; q++ {
+		x := make([]int, 8)
+		for j := range x {
+			x[j] = r.Intn(3)
+		}
+		ans, st := s.Query(x)
+		if !in.IsCorrect(x, ans) {
+			t.Fatalf("binsearch answer %d not maximal-LCP for %v", ans, x)
+		}
+		if st.Probes > bound {
+			t.Errorf("binsearch used %d probes > bound %d", st.Probes, bound)
+		}
+		if st.Rounds != st.Probes {
+			t.Error("binsearch not one probe per round")
+		}
+	}
+	if s.String() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestSchemesAgree(t *testing.T) {
+	r := rng.New(12)
+	in := randInstance(r, 5, 6, 40)
+	pt := NewPrefixTable(in, nil)
+	walk := &WalkScheme{T: pt}
+	bin := &BinSearchScheme{T: pt}
+	trie := NewTrie(in)
+	for q := 0; q < 30; q++ {
+		x := make([]int, 6)
+		for j := range x {
+			x[j] = r.Intn(5)
+		}
+		wAns, _ := walk.Query(x)
+		bAns, _ := bin.Query(x)
+		_, wantLCP := trie.Query(x)
+		if LCP(in.DB[wAns], x) != wantLCP || LCP(in.DB[bAns], x) != wantLCP {
+			t.Fatalf("schemes disagree with trie on %v", x)
+		}
+	}
+}
+
+func TestProbeBoundBinSearch(t *testing.T) {
+	cases := []struct{ m, want int }{{1, 1}, {3, 2}, {7, 3}, {8, 4}, {100, 7}}
+	for _, c := range cases {
+		if got := ProbeBoundBinSearch(c.m); got != c.want {
+			t.Errorf("bound(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package rng provides seeded, splittable randomness for the reproduction.
+//
+// Every randomized component in the repository draws from an rng.Source so
+// that (a) experiments are reproducible from a single seed, and (b) the
+// public-coin presentation of the paper — the table oracles and the
+// cell-probing algorithm sharing one random string — is literal: both sides
+// are handed the same Source-derived stream.
+//
+// The generator is PCG-XSH-RR 64/32 implemented locally (stdlib only, and
+// math/rand's global state would break splittability).
+package rng
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random stream.
+type Source struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMult = 6364136223846793005
+
+// New returns a Source seeded from seed with a fixed stream id.
+func New(seed uint64) *Source {
+	return NewStream(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewStream returns a Source with an explicit stream selector, allowing
+// many independent streams from one seed.
+func NewStream(seed, stream uint64) *Source {
+	s := &Source{inc: stream<<1 | 1}
+	s.state = 0
+	s.Uint32()
+	s.state += seed
+	s.Uint32()
+	return s
+}
+
+// Split derives an independent child stream labelled by tag. Splitting is
+// deterministic: the same parent seed and tag always yield the same child.
+func (s *Source) Split(tag uint64) *Source {
+	// Mix the tag through SplitMix64 so adjacent tags decorrelate.
+	z := tag + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewStream(s.peek()^z, z|1)
+}
+
+// peek mixes current state without advancing it, for Split derivation.
+func (s *Source) peek() uint64 {
+	return s.state * pcgMult
+}
+
+// Uint32 returns the next 32 random bits.
+func (s *Source) Uint32() uint32 {
+	old := s.state
+	s.state = old*pcgMult + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint(old >> 59)
+	return bits.RotateLeft32(xorshifted, -int(rot))
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). Panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := uint64(n)
+	x := s.Uint64()
+	hi, lo := bits.Mul64(x, v)
+	if lo < v {
+		thresh := -v % v
+		for lo < thresh {
+			x = s.Uint64()
+			hi, lo = bits.Mul64(x, v)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm fills a permutation of [0, n) into a fresh slice (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct integers from [0, n) in increasing order.
+// Panics if k > n. Uses Floyd's algorithm: O(k) expected time.
+func (s *Source) Sample(n, k int) []int {
+	if k > n {
+		panic("rng: Sample k > n")
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := s.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Floyd yields an unordered set; sort small k by insertion.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Binomial draws from Binomial(n, p) by inversion for small n·p and by
+// direct trials otherwise. Exact distribution is not load-bearing anywhere;
+// it is used by workload generators.
+func (s *Source) Binomial(n int, p float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,188 @@
+package rng
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/64 times", same)
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	a1 := New(7).Split(3)
+	a2 := New(7).Split(3)
+	b := New(7).Split(4)
+	for i := 0; i < 50; i++ {
+		x := a1.Uint64()
+		if x != a2.Uint64() {
+			t.Fatal("same split tag diverged")
+		}
+		if x == b.Uint64() {
+			t.Fatal("adjacent split tags correlated")
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	a.Split(1)
+	a.Split(2)
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(10) value %d appeared %d/10000 times", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.47 || mean > 0.53 {
+		t.Errorf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(13)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if hits < 2200 || hits > 2800 {
+		t.Errorf("Bernoulli(0.25) hit %d/10000", hits)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := New(19)
+	for trial := 0; trial < 50; trial++ {
+		s := r.Sample(30, 7)
+		if len(s) != 7 {
+			t.Fatalf("Sample returned %d items", len(s))
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatalf("Sample not strictly increasing: %v", s)
+			}
+		}
+		for _, v := range s {
+			if v < 0 || v >= 30 {
+				t.Fatalf("Sample out of range: %v", s)
+			}
+		}
+	}
+	full := r.Sample(5, 5)
+	if len(full) != 5 {
+		t.Errorf("Sample(n, n) returned %v", full)
+	}
+}
+
+func TestSamplePanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3, 4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(23)
+	sum := 0
+	for i := 0; i < 2000; i++ {
+		sum += r.Binomial(40, 0.3)
+	}
+	mean := float64(sum) / 2000
+	if mean < 11 || mean > 13 {
+		t.Errorf("Binomial(40, .3) mean %v, want ≈ 12", mean)
+	}
+}
+
+func TestUint32Distribution(t *testing.T) {
+	r := New(29)
+	var ones int
+	for i := 0; i < 1000; i++ {
+		v := r.Uint32()
+		for b := 0; b < 32; b++ {
+			if v&(1<<uint(b)) != 0 {
+				ones++
+			}
+		}
+	}
+	total := 1000 * 32
+	if ones < total*45/100 || ones > total*55/100 {
+		t.Errorf("bit bias: %d/%d ones", ones, total)
+	}
+}

@@ -1,0 +1,43 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func BenchmarkApply1024x96(b *testing.B) {
+	r := rng.New(1)
+	m := NewBernoulli(r, 96, 1024, 0.05)
+	x := hamming.Random(r, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Apply(x)
+	}
+}
+
+func BenchmarkApply16384x192(b *testing.B) {
+	r := rng.New(2)
+	m := NewBernoulli(r, 192, 16384, 0.01)
+	x := hamming.Random(r, 16384)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Apply(x)
+	}
+}
+
+func BenchmarkNewBernoulliSparse(b *testing.B) {
+	r := rng.New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewBernoulli(r, 96, 16384, 1.0/4096)
+	}
+}
+
+func BenchmarkNewFamily(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewFamily(Params{D: 1024, N: 256, Gamma: 2, S: 1.5, Seed: uint64(i)})
+	}
+}

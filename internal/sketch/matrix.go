@@ -1,0 +1,105 @@
+// Package sketch implements the randomized dimension-reduction substrate of
+// Definition 7 in the paper: for each distance scale αⁱ a random Boolean
+// matrix whose entries are i.i.d. Bernoulli(1/(4αⁱ)), applied to points over
+// GF(2). The accurate matrices M_i (c₁·log n rows) define the ball
+// approximations C_i, and the coarse matrices N_j ((c₂/s)·log n rows) define
+// the weak approximations D_{i,j} used by Algorithm 2.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Matrix is a random Boolean matrix with dense bit-packed rows.
+type Matrix struct {
+	NumRows int
+	Dim     int
+	P       float64 // per-entry Bernoulli parameter the matrix was drawn with
+	rows    []bitvec.Vector
+}
+
+// NewBernoulli draws a rows×d matrix with i.i.d. Bernoulli(p) entries from
+// the given source. Rows are sampled by geometric gap skipping, so sparse
+// scales (large αⁱ) cost O(d·p) per row rather than O(d).
+func NewBernoulli(r *rng.Source, numRows, d int, p float64) *Matrix {
+	if numRows <= 0 || d <= 0 {
+		panic(fmt.Sprintf("sketch: invalid matrix shape %dx%d", numRows, d))
+	}
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("sketch: invalid Bernoulli parameter %v", p))
+	}
+	m := &Matrix{NumRows: numRows, Dim: d, P: p, rows: make([]bitvec.Vector, numRows)}
+	logq := math.Log1p(-p) // ln(1-p) < 0
+	for i := range m.rows {
+		row := bitvec.New(d)
+		if p >= 0.2 {
+			// Dense regime: direct per-bit sampling is cheaper than skipping.
+			for j := 0; j < d; j++ {
+				if r.Bernoulli(p) {
+					row.Set(j, true)
+				}
+			}
+		} else {
+			for j := skip(r, logq); j < d; j += 1 + skip(r, logq) {
+				row.Set(j, true)
+			}
+		}
+		m.rows[i] = row
+	}
+	return m
+}
+
+// skip draws a geometric gap: the number of failures before the next
+// success of a Bernoulli(p) process, where logq = ln(1-p).
+func skip(r *rng.Source, logq float64) int {
+	u := r.Float64()
+	if u == 0 {
+		u = 0.5
+	}
+	g := math.Log(u) / logq
+	if g >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(g)
+}
+
+// Row returns row i (shared storage; callers must not mutate it).
+func (m *Matrix) Row(i int) bitvec.Vector { return m.rows[i] }
+
+// Apply computes y = Mx over GF(2): bit i of the result is the parity of
+// the AND of row i with x. The result has m.NumRows bits.
+func (m *Matrix) Apply(x bitvec.Vector) bitvec.Vector {
+	y := bitvec.New(m.NumRows)
+	for i, row := range m.rows {
+		if bitvec.Parity(row, x) == 1 {
+			y.Set(i, true)
+		}
+	}
+	return y
+}
+
+// SketchDistance returns the Hamming distance between two sketches. It is a
+// convenience alias that documents intent at call sites.
+func SketchDistance(a, b bitvec.Vector) int { return bitvec.Distance(a, b) }
+
+// ExpectedFraction returns the expected normalized sketch distance between
+// two points at Hamming distance dist, for a matrix drawn with parameter p:
+// each row's parity bits differ independently with probability
+// ½(1 − (1−2p)^dist).
+func ExpectedFraction(p float64, dist float64) float64 {
+	return 0.5 * (1 - math.Pow(1-2*p, dist))
+}
+
+// Delta is the paper's δ(β, α): with p = 1/(4β), it equals the gap between
+// the expected normalized sketch distances at point distances αβ and β,
+//
+//	δ(β,α) = ½(1−1/(2β))^β · [1 − (1−1/(2β))^{(α−1)β}]
+//	       = f(αβ) − f(β)   where f(D) = ½(1 − (1−1/(2β))^D).
+func Delta(beta, alpha float64) float64 {
+	base := 1 - 1/(2*beta)
+	return 0.5 * math.Pow(base, beta) * (1 - math.Pow(base, (alpha-1)*beta))
+}

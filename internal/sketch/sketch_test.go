@@ -1,0 +1,301 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func TestNewBernoulliShape(t *testing.T) {
+	r := rng.New(1)
+	m := NewBernoulli(r, 32, 200, 0.1)
+	if m.NumRows != 32 || m.Dim != 200 {
+		t.Fatalf("shape %dx%d", m.NumRows, m.Dim)
+	}
+	for i := 0; i < 32; i++ {
+		row := m.Row(i)
+		for b := 200; b < len(row)*64; b++ {
+			if row.Get(b) {
+				t.Fatalf("row %d has bit %d beyond dimension", i, b)
+			}
+		}
+	}
+}
+
+func TestNewBernoulliDensity(t *testing.T) {
+	r := rng.New(2)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5} {
+		m := NewBernoulli(r, 64, 1000, p)
+		total := 0
+		for i := 0; i < m.NumRows; i++ {
+			total += m.Row(i).PopCount()
+		}
+		got := float64(total) / float64(64*1000)
+		if math.Abs(got-p) > 0.03*math.Max(1, p/0.1) {
+			t.Errorf("p=%v: measured density %v", p, got)
+		}
+	}
+}
+
+func TestNewBernoulliPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBernoulli(rng.New(1), 0, 10, 0.1) },
+		func() { NewBernoulli(rng.New(1), 10, 0, 0.1) },
+		func() { NewBernoulli(rng.New(1), 10, 10, 0) },
+		func() { NewBernoulli(rng.New(1), 10, 10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid matrix construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestApplyLinearity(t *testing.T) {
+	// Sketching is linear over GF(2): M(x ⊕ y) = Mx ⊕ My. This is the
+	// property that turns point distance into sketch distance.
+	r := rng.New(3)
+	m := NewBernoulli(r, 48, 300, 0.2)
+	for trial := 0; trial < 20; trial++ {
+		x := hamming.Random(r, 300)
+		y := hamming.Random(r, 300)
+		lhs := m.Apply(x.Clone().Xor(y))
+		rhs := m.Apply(x).Xor(m.Apply(y))
+		if !bitvec.Equal(lhs, rhs) {
+			t.Fatal("Apply not linear over GF(2)")
+		}
+	}
+}
+
+func TestApplyZero(t *testing.T) {
+	r := rng.New(4)
+	m := NewBernoulli(r, 16, 100, 0.3)
+	if !m.Apply(bitvec.New(100)).IsZero() {
+		t.Error("sketch of zero vector not zero")
+	}
+}
+
+func TestExpectedFractionFormula(t *testing.T) {
+	// Monte-Carlo check: fraction of differing sketch bits between points
+	// at distance D matches ½(1−(1−2p)^D).
+	r := rng.New(5)
+	const d, rows, dist = 600, 400, 40
+	p := 0.02
+	m := NewBernoulli(r, rows, d, p)
+	x := hamming.Random(r, d)
+	y := hamming.AtDistance(r, x, d, dist)
+	got := float64(bitvec.Distance(m.Apply(x), m.Apply(y))) / rows
+	want := ExpectedFraction(p, dist)
+	if math.Abs(got-want) > 0.08 {
+		t.Errorf("sketch distance fraction %v, expected %v", got, want)
+	}
+}
+
+func TestExpectedFractionProperties(t *testing.T) {
+	// Increasing in distance, bounded by 1/2, zero at distance 0.
+	if ExpectedFraction(0.1, 0) != 0 {
+		t.Error("f(0) != 0")
+	}
+	prev := 0.0
+	for dist := 1.0; dist < 200; dist *= 2 {
+		f := ExpectedFraction(0.05, dist)
+		if f < prev || f > 0.5 {
+			t.Fatalf("f not monotone into [0, .5]: f(%v)=%v", dist, f)
+		}
+		prev = f
+	}
+}
+
+func TestDeltaIsGapBetweenExpectations(t *testing.T) {
+	// δ(β,α) = f(αβ) − f(β) with p = 1/(4β) (DESIGN.md §3.3).
+	for _, beta := range []float64{1, 2, 8, 64, 1024} {
+		alpha := math.Sqrt2
+		p := 1 / (4 * beta)
+		want := ExpectedFraction(p, alpha*beta) - ExpectedFraction(p, beta)
+		got := Delta(beta, alpha)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("beta=%v: Delta=%v, gap=%v", beta, got, want)
+		}
+		if got <= 0 {
+			t.Errorf("beta=%v: Delta not positive", beta)
+		}
+	}
+}
+
+func TestNewFamilyStructure(t *testing.T) {
+	f := NewFamily(Params{D: 1024, N: 256, Gamma: 2, S: 2, Seed: 9})
+	alpha := math.Sqrt2
+	if math.Abs(f.Alpha-alpha) > 1e-12 {
+		t.Errorf("alpha = %v", f.Alpha)
+	}
+	wantL := int(math.Ceil(math.Log(1024) / math.Log(alpha)))
+	if f.L != wantL {
+		t.Errorf("L = %d, want %d", f.L, wantL)
+	}
+	if len(f.Accurate) != f.L+1 || len(f.Coarse) != f.L+1 {
+		t.Fatal("family level count wrong")
+	}
+	if f.CoarseRows() >= f.AccurateRows() {
+		t.Errorf("coarse rows %d not smaller than accurate %d (s=2)", f.CoarseRows(), f.AccurateRows())
+	}
+	// Radii grow geometrically and top exceeds d.
+	if f.Radius(f.L) < 1024 {
+		t.Errorf("top radius %v below d", f.Radius(f.L))
+	}
+}
+
+func TestNewFamilyNoCoarse(t *testing.T) {
+	f := NewFamily(Params{D: 256, N: 128, Gamma: 2, Seed: 1})
+	if f.Coarse != nil {
+		t.Error("coarse family built without S")
+	}
+	if f.CoarseRows() != 0 {
+		t.Error("CoarseRows nonzero without coarse family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CoarseThreshold without coarse family did not panic")
+		}
+	}()
+	f.CoarseThreshold(0)
+}
+
+func TestNewFamilyPanics(t *testing.T) {
+	for _, p := range []Params{
+		{D: 1024, N: 256, Gamma: 1},
+		{D: 1, N: 256, Gamma: 2},
+		{D: 1024, N: 1, Gamma: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFamily(%+v) did not panic", p)
+				}
+			}()
+			NewFamily(p)
+		}()
+	}
+}
+
+func TestThresholdSeparatesScales(t *testing.T) {
+	// The membership cut must sit strictly between the expected sketch
+	// fractions at radius αⁱ and αⁱ⁺¹ — that is what yields
+	// B_i ⊆ C_i ⊆ B_{i+1} with concentration.
+	f := NewFamily(Params{D: 4096, N: 512, Gamma: 2, Seed: 11})
+	rows := float64(f.AccurateRows())
+	for i := 0; i <= f.L; i++ {
+		beta := f.Radius(i)
+		p := 1 / (4 * beta)
+		lo := ExpectedFraction(p, beta) * rows
+		hi := ExpectedFraction(p, f.Radius(i+1)) * rows
+		thr := float64(f.AccurateThreshold(i))
+		if thr <= lo-1 || thr >= hi {
+			t.Errorf("level %d: threshold %v outside (%v, %v)", i, thr, lo, hi)
+		}
+	}
+}
+
+func TestInCMatchesThreshold(t *testing.T) {
+	f := NewFamily(Params{D: 512, N: 128, Gamma: 2, S: 1.5, Seed: 13})
+	r := rng.New(14)
+	x := hamming.Random(r, 512)
+	z := hamming.AtDistance(r, x, 512, 16)
+	i := 8
+	sx := f.Accurate[i].Apply(x)
+	sz := f.Accurate[i].Apply(z)
+	want := bitvec.Distance(sx, sz) <= f.AccurateThreshold(i)
+	if f.InC(i, sx, sz) != want {
+		t.Error("InC disagrees with threshold")
+	}
+	cx := f.Coarse[i].Apply(x)
+	cz := f.Coarse[i].Apply(z)
+	wantD := bitvec.Distance(cx, cz) <= f.CoarseThreshold(i)
+	if f.InD(i, cx, cz) != wantD {
+		t.Error("InD disagrees with threshold")
+	}
+}
+
+func TestFamilyClassificationQuality(t *testing.T) {
+	// Points well inside radius αⁱ are (almost always) in C_i; points well
+	// outside αⁱ⁺¹ are (almost always) out.
+	f := NewFamily(Params{D: 2048, N: 256, Gamma: 2, Seed: 15})
+	r := rng.New(16)
+	x := hamming.Random(r, 2048)
+	i := 12 // radius α^12 = 64
+	near := int(f.Radius(i) / 2)
+	far := int(f.Radius(i+1) * 2)
+	sx := f.Accurate[i].Apply(x)
+	nearIn, farIn := 0, 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		zn := hamming.AtDistance(r, x, 2048, near)
+		zf := hamming.AtDistance(r, x, 2048, far)
+		if f.InC(i, sx, f.Accurate[i].Apply(zn)) {
+			nearIn++
+		}
+		if f.InC(i, sx, f.Accurate[i].Apply(zf)) {
+			farIn++
+		}
+	}
+	if nearIn < trials*9/10 {
+		t.Errorf("near points classified in only %d/%d", nearIn, trials)
+	}
+	if farIn > trials/10 {
+		t.Errorf("far points classified in %d/%d", farIn, trials)
+	}
+}
+
+func TestCutFractionMovesThreshold(t *testing.T) {
+	base := Params{D: 1024, N: 256, Gamma: 2, Seed: 50}
+	var prev int
+	for i, frac := range []float64{0.25, 0.5, 0.75} {
+		p := base
+		p.CutFraction = frac
+		f := NewFamily(p)
+		thr := f.AccurateThreshold(10)
+		if i > 0 && thr < prev {
+			t.Errorf("threshold not monotone in CutFraction at frac=%v", frac)
+		}
+		prev = thr
+	}
+	// Zero CutFraction means 0.5.
+	def := NewFamily(base)
+	explicit := base
+	explicit.CutFraction = 0.5
+	if def.AccurateThreshold(10) != NewFamily(explicit).AccurateThreshold(10) {
+		t.Error("default CutFraction is not 0.5")
+	}
+}
+
+func TestLiteralDeltaCutBelowExpectation(t *testing.T) {
+	p := Params{D: 1024, N: 256, Gamma: 2, Seed: 51, LiteralDeltaCut: true}
+	f := NewFamily(p)
+	rows := float64(f.AccurateRows())
+	for _, i := range []int{4, 8, 12} {
+		beta := f.Radius(i)
+		expAtBeta := ExpectedFraction(1/(4*beta), beta) * rows
+		if thr := float64(f.AccurateThreshold(i)); thr >= expAtBeta {
+			t.Errorf("level %d: literal threshold %v not below expectation %v", i, thr, expAtBeta)
+		}
+	}
+}
+
+func TestFamilyDeterministicInSeed(t *testing.T) {
+	p := Params{D: 512, N: 128, Gamma: 2, S: 1, Seed: 77}
+	a := NewFamily(p)
+	b := NewFamily(p)
+	for i := 0; i <= a.L; i++ {
+		for row := 0; row < a.AccurateRows(); row++ {
+			if !bitvec.Equal(a.Accurate[i].Row(row), b.Accurate[i].Row(row)) {
+				t.Fatal("same seed produced different matrices")
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means, quantiles, Wilson score intervals for success rates, and
+// fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum, sumSq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		v := (sumSq - sum*sum/float64(len(xs))) / float64(len(xs)-1)
+		if v > 0 {
+			s.Std = math.Sqrt(v)
+		}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile of a sorted sample by linear
+// interpolation. q is clamped into [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeInts is Summarize over integer observations.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f±%.2f med=%.1f p90=%.1f max=%.0f",
+		s.N, s.Mean, s.Std, s.Median, s.P90, s.Max)
+}
+
+// Proportion is a success count with a Wilson 95% confidence interval.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Rate returns the point estimate (NaN for zero trials).
+func (p Proportion) Rate() float64 {
+	if p.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// Wilson returns the 95% Wilson score interval.
+func (p Proportion) Wilson() (lo, hi float64) {
+	if p.Trials == 0 {
+		return math.NaN(), math.NaN()
+	}
+	const z = 1.96
+	n := float64(p.Trials)
+	phat := p.Rate()
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	return center - half, center + half
+}
+
+func (p Proportion) String() string {
+	lo, hi := p.Wilson()
+	return fmt.Sprintf("%d/%d = %.3f [%.3f, %.3f]", p.Successes, p.Trials, p.Rate(), lo, hi)
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	Under   int
+	Over    int
+}
+
+// NewHistogram creates nbuckets buckets over [lo, hi).
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if hi <= lo || nbuckets < 1 {
+		panic("stats: invalid histogram range")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, nbuckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("%+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std %v", s.Std)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary nonzero")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Errorf("single-sample summary %+v", one)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if s.Mean != 4 || s.N != 3 {
+		t.Errorf("%+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5}, {-1, 0}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Successes: 75, Trials: 100}
+	if p.Rate() != 0.75 {
+		t.Error("rate")
+	}
+	lo, hi := p.Wilson()
+	if lo >= 0.75 || hi <= 0.75 {
+		t.Errorf("interval [%v, %v] excludes the point estimate", lo, hi)
+	}
+	if lo < 0.64 || hi > 0.84 {
+		t.Errorf("interval [%v, %v] implausibly wide for n=100", lo, hi)
+	}
+	if p.String() == "" {
+		t.Error("empty rendering")
+	}
+	empty := Proportion{}
+	if !math.IsNaN(empty.Rate()) {
+		t.Error("zero-trial rate not NaN")
+	}
+	l2, h2 := empty.Wilson()
+	if !math.IsNaN(l2) || !math.IsNaN(h2) {
+		t.Error("zero-trial interval not NaN")
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	a := Proportion{Successes: 5, Trials: 10}
+	b := Proportion{Successes: 500, Trials: 1000}
+	al, ah := a.Wilson()
+	bl, bh := b.Wilson()
+	if (bh - bl) >= (ah - al) {
+		t.Error("interval did not shrink with sample size")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[4] != 1 {
+		t.Errorf("buckets %v", h.Buckets)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total %d", h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

@@ -1,0 +1,66 @@
+// Package table implements the paper's table structures on top of the
+// cell-probe oracle machinery:
+//
+//   - BallTable: the tables T_0 … T_{⌈log_α d⌉} of Theorem 9, whose cell at
+//     address j stores some database point z with dist(j, M_i z) below the
+//     level threshold, or EMPTY;
+//   - AuxTable: Algorithm 2's auxiliary tables T̃_{i,j}, whose cells answer
+//     "which of these coarse sets D_{i,·} is large relative to C_i";
+//   - Membership tables for the two degenerate cases (x ∈ B, and x within
+//     distance 1 of B), standing in for the paper's perfect hashing.
+//
+// Cells are computed lazily (see package cellprobe); the content of every
+// cell is exactly what the paper's preprocessing would have stored.
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// addrWriter serializes structured addresses (the auxiliary tables'
+// ⟨levels, sketches⟩ payload) into opaque address strings.
+type addrWriter struct{ buf []byte }
+
+func (w *addrWriter) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.buf = append(w.buf, tmp[:n]...)
+}
+
+func (w *addrWriter) bytes(b string) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *addrWriter) String() string { return string(w.buf) }
+
+// addrReader parses addresses written by addrWriter.
+type addrReader struct {
+	buf string
+	pos int
+}
+
+func (r *addrReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint([]byte(r.buf[r.pos:]))
+	if n <= 0 {
+		return 0, fmt.Errorf("table: malformed address varint at %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *addrReader) bytes() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+int(n) > len(r.buf) {
+		return "", fmt.Errorf("table: truncated address payload at %d", r.pos)
+	}
+	s := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *addrReader) done() bool { return r.pos == len(r.buf) }

@@ -1,0 +1,158 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+)
+
+// AuxTable implements Algorithm 2's auxiliary tables T̃_{i,·} for one level
+// i. In the paper there is a table T̃_{i,j} for every accurate sketch value
+// j ∈ {0,1}^{c₁ log n}; here j is folded into the cell address (addressing
+// a table and addressing memory are the same thing in the model), so one
+// oracle serves the whole family at level i.
+//
+// Address layout (see DESIGN.md §3, substitution note): the cell address
+// carries ⟨j, w₀, (level₁, w₁), …, (level_{w₀}, w_{w₀})⟩ where j = M_i x,
+// w_q = N_{level_q} x. Carrying the explicit level grid instead of the
+// paper's ⟨l, u⟩ pair removes a rounding mismatch between the table's and
+// the algorithm's grid formulas while keeping the address space within the
+// same poly(n)·polylog(d) cell budget.
+//
+// The cell content is the paper's: the smallest q ≤ w₀ such that
+// |D_{i,level_q}| > n^{-1/s}·|C_i|, or the "none" sentinel otherwise
+// (paper: s+1; here Int(0), which the algorithm treats identically).
+type AuxTable struct {
+	Level  int
+	set    *Set
+	oracle *cellprobe.Oracle
+}
+
+func newAuxTable(set *Set, level int, meter *cellprobe.Meter) *AuxTable {
+	t := &AuxTable{Level: level, set: set}
+	fam := set.Fam
+	// Nominal cells: accurate sketch j (c₁ log n bits) × up to s coarse
+	// sketches ((c₂/s) log n bits each) × level indices (≤ log₂(L+1) bits
+	// each) × the count w₀. This is the model's poly(n) accounting.
+	s := int(fam.P.S)
+	if s < 1 {
+		s = 1
+	}
+	logCells := float64(fam.AccurateRows()) +
+		float64(s*fam.CoarseRows()) +
+		float64(s+1)*log2ceil(fam.L+2)
+	t.oracle = cellprobe.NewOracle(
+		fmt.Sprintf("aux[%d]", level),
+		logCells,
+		bitsForSmallInt(s+2),
+		meter,
+		t.eval,
+	)
+	return t
+}
+
+func log2ceil(n int) float64 {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return float64(b)
+}
+
+func bitsForSmallInt(max int) int {
+	return int(log2ceil(max + 1))
+}
+
+// Table returns the cell-probe view.
+func (t *AuxTable) Table() cellprobe.Table { return t.oracle }
+
+// AuxQuery is one group of Algorithm 2's first shrinking-phase round: the
+// query sketch under M_level plus up to s (level, coarse-sketch) pairs.
+type AuxQuery struct {
+	SketchX bitvec.Vector   // M_level · x
+	Levels  []int           // grid levels ρ(r) for this group, low to high
+	Coarse  []bitvec.Vector // N_{Levels[q]} · x, parallel to Levels
+}
+
+// Address serializes q into the cell address probed by the algorithm.
+func (t *AuxTable) Address(q AuxQuery) string {
+	if len(q.Levels) != len(q.Coarse) {
+		panic("table: AuxQuery levels/coarse length mismatch")
+	}
+	var w addrWriter
+	w.bytes(q.SketchX.Key())
+	w.uvarint(uint64(len(q.Levels)))
+	for i, lv := range q.Levels {
+		w.uvarint(uint64(lv))
+		w.bytes(q.Coarse[i].Key())
+	}
+	return w.String()
+}
+
+// eval computes the stored content for an address: it reconstructs the
+// sets C_i and D_{i,level_q} from the database and the public randomness,
+// then applies the size test of the table-construction step of §3.2.
+func (t *AuxTable) eval(addr string) cellprobe.Word {
+	fam := t.set.Fam
+	r := &addrReader{buf: addr}
+	jKey, err := r.bytes()
+	if err != nil {
+		return cellprobe.IntWord(0)
+	}
+	j, err := bitvec.FromKey(jKey, fam.AccurateRows())
+	if err != nil {
+		return cellprobe.IntWord(0)
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return cellprobe.IntWord(0)
+	}
+	// Reconstruct C_i = {z : dist(j, M_i z) ≤ θ_i}.
+	ball := t.set.Ball[t.Level]
+	members := ball.MembersOfC(j)
+	cSize := len(members)
+	cut := t.set.sizeCut(cSize)
+	for q := uint64(1); q <= count; q++ {
+		lv, err := r.uvarint()
+		if err != nil {
+			return cellprobe.IntWord(0)
+		}
+		wKey, err := r.bytes()
+		if err != nil {
+			return cellprobe.IntWord(0)
+		}
+		wq, err := bitvec.FromKey(wKey, fam.CoarseRows())
+		if err != nil {
+			return cellprobe.IntWord(0)
+		}
+		if int(lv) > fam.L {
+			return cellprobe.IntWord(0)
+		}
+		dSize := t.dSize(members, int(lv), wq)
+		if dSize > cut {
+			return cellprobe.IntWord(int(q))
+		}
+	}
+	if !r.done() {
+		return cellprobe.IntWord(0)
+	}
+	return cellprobe.IntWord(0) // none: every tested D is small
+}
+
+// dSize computes |D_{i,level}| = |{z ∈ C_i : dist(w, N_level z) ≤ θ'_level}|.
+func (t *AuxTable) dSize(cMembers []int, level int, w bitvec.Vector) int {
+	fam := t.set.Fam
+	thr := fam.CoarseThreshold(level)
+	sketches := t.set.coarseDBSketches(level)
+	n := 0
+	for _, idx := range cMembers {
+		if bitvec.DistanceAtMost(w, sketches[idx], thr) {
+			n++
+		}
+	}
+	return n
+}

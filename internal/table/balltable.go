@@ -1,0 +1,130 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/sketch"
+)
+
+// BallTable is one of the tables T_i of Theorem 9. Its address space is
+// {0,1}^{c₁ log n} (every possible value of the sketch M_i·x); the cell at
+// address j stores a database point z with dist(j, M_i z) ≤ θ_i if one
+// exists, and EMPTY otherwise. Probing T_i[M_i x] therefore returns a point
+// of C_i (the sketch approximation of the ball B_i) or certifies C_i = ∅.
+type BallTable struct {
+	Level  int
+	fam    *sketch.Family
+	db     []bitvec.Vector
+	oracle *cellprobe.Oracle
+
+	sketchOnce sync.Once
+	dbSketches []bitvec.Vector // M_i z for every database point, built lazily
+}
+
+// NewBallTable builds T_level for the database under the shared family.
+func NewBallTable(fam *sketch.Family, db []bitvec.Vector, level int, meter *cellprobe.Meter) *BallTable {
+	t := &BallTable{Level: level, fam: fam, db: db}
+	rows := fam.AccurateRows()
+	// Model accounting: 2^{rows} cells, each one word of O(d) bits (a point).
+	t.oracle = cellprobe.NewOracle(
+		fmt.Sprintf("T[%d]", level),
+		float64(rows),
+		wordBitsForPoint(fam.P.D),
+		meter,
+		t.eval,
+	)
+	return t
+}
+
+func wordBitsForPoint(d int) int {
+	// A cell stores either EMPTY or one d-bit point; one extra bit tags the
+	// two cases. Word size is O(d) as in Theorems 9/10.
+	return d + 1
+}
+
+// Table returns the cell-probe view of this table.
+func (t *BallTable) Table() cellprobe.Table { return t.oracle }
+
+// Address returns the address the algorithm probes for query x: the sketch
+// M_level·x, serialized.
+func (t *BallTable) Address(x bitvec.Vector) string {
+	return t.fam.Accurate[t.Level].Apply(x).Key()
+}
+
+// AddressOfSketch returns the address for an already-computed sketch.
+func (t *BallTable) AddressOfSketch(sk bitvec.Vector) string { return sk.Key() }
+
+func (t *BallTable) ensureSketches() {
+	t.sketchOnce.Do(func() {
+		m := t.fam.Accurate[t.Level]
+		t.dbSketches = make([]bitvec.Vector, len(t.db))
+		for i, z := range t.db {
+			t.dbSketches[i] = m.Apply(z)
+		}
+	})
+}
+
+// eval computes the cell content the preprocessing stage would store at
+// address addr: an arbitrary (here: first) database point whose sketch is
+// within the level threshold of addr, else EMPTY.
+func (t *BallTable) eval(addr string) cellprobe.Word {
+	t.ensureSketches()
+	j, err := bitvec.FromKey(addr, t.fam.AccurateRows())
+	if err != nil {
+		// Malformed addresses do not occur in the model (every bit string of
+		// the right length is a valid address); treat as EMPTY defensively.
+		return cellprobe.EmptyWord
+	}
+	thr := t.fam.AccurateThreshold(t.Level)
+	for i, zs := range t.dbSketches {
+		if bitvec.DistanceAtMost(j, zs, thr) {
+			return cellprobe.PointWord(i)
+		}
+	}
+	return cellprobe.EmptyWord
+}
+
+// MembersOfC returns the indices of all database points in C_level for the
+// given query sketch. This is *not* a model operation — it is used by tests
+// and by the Lemma 8 validation experiment (E7).
+func (t *BallTable) MembersOfC(sketchX bitvec.Vector) []int {
+	t.ensureSketches()
+	thr := t.fam.AccurateThreshold(t.Level)
+	var out []int
+	for i, zs := range t.dbSketches {
+		if bitvec.DistanceAtMost(sketchX, zs, thr) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountC returns |C_level| for the given query sketch (test/validation use).
+func (t *BallTable) CountC(sketchX bitvec.Vector) int {
+	t.ensureSketches()
+	thr := t.fam.AccurateThreshold(t.Level)
+	n := 0
+	for _, zs := range t.dbSketches {
+		if bitvec.DistanceAtMost(sketchX, zs, thr) {
+			n++
+		}
+	}
+	return n
+}
+
+// DBSketch exposes the memoized sketch of database point i (package-internal
+// plumbing for the auxiliary tables, which intersect with C_level).
+func (t *BallTable) DBSketch(i int) bitvec.Vector {
+	t.ensureSketches()
+	return t.dbSketches[i]
+}
+
+// NominalLogCellsTotal returns log₂ of the combined cell count of all L+1
+// ball tables, for the space experiment: (L+1)·2^{c₁ log n} cells.
+func NominalLogCellsTotal(fam *sketch.Family) float64 {
+	return float64(fam.AccurateRows()) + math.Log2(float64(fam.L+1))
+}

@@ -1,0 +1,73 @@
+package table
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+)
+
+// Membership handles the two degenerate cases of §3.1: "is x a database
+// point" and "is x within Hamming distance 1 of the database". The paper
+// solves each with perfect hashing on a table of quadratic size and one
+// probe; here the oracle plays the perfectly-hashed table — the address is
+// the query point, the cell holds the matching database point or EMPTY.
+type Membership struct {
+	radius int // 0: exact membership; 1: the N₁(B) neighborhood
+	db     []bitvec.Vector
+	index  map[string]int // exact point -> database index
+	oracle *cellprobe.Oracle
+}
+
+// NewMembership builds the degenerate-case table for radius 0 or 1.
+func NewMembership(db []bitvec.Vector, d, radius int, meter *cellprobe.Meter) *Membership {
+	if radius != 0 && radius != 1 {
+		panic("table: membership radius must be 0 or 1")
+	}
+	m := &Membership{radius: radius, db: db, index: make(map[string]int, len(db))}
+	for i, z := range db {
+		if _, dup := m.index[z.Key()]; !dup {
+			m.index[z.Key()] = i
+		}
+	}
+	id := "member[B]"
+	// Perfect hashing of n keys needs O(n²) cells (or O(n) with two levels);
+	// we account the classic quadratic-size FKS top level. For radius 1 the
+	// key set is N₁(B) with at most (d+1)n points.
+	logCells := 2 * log2ceil(len(db)+1)
+	if radius == 1 {
+		id = "member[N1(B)]"
+		logCells = 2 * (log2ceil(len(db)+1) + log2ceil(d+1))
+	}
+	m.oracle = cellprobe.NewOracle(id, logCells, wordBitsForPoint(d), meter, m.eval)
+	return m
+}
+
+// Table returns the cell-probe view.
+func (m *Membership) Table() cellprobe.Table { return m.oracle }
+
+// Address returns the cell address for query x.
+func (m *Membership) Address(x bitvec.Vector) string { return x.Key() }
+
+func (m *Membership) eval(addr string) cellprobe.Word {
+	if i, ok := m.index[addr]; ok {
+		return cellprobe.PointWord(i)
+	}
+	if m.radius == 0 {
+		return cellprobe.EmptyWord
+	}
+	// Radius 1: the cell for x stores any z ∈ B with dist(x, z) ≤ 1. A scan
+	// with early cutoff reproduces what preprocessing would store.
+	x, err := bitvec.FromKey(addr, wordBitsFromKeyLen(len(addr)))
+	if err != nil {
+		return cellprobe.EmptyWord
+	}
+	for i, z := range m.db {
+		if bitvec.DistanceAtMost(x, z, 1) {
+			return cellprobe.PointWord(i)
+		}
+	}
+	return cellprobe.EmptyWord
+}
+
+// wordBitsFromKeyLen recovers a bit length compatible with a Key string of
+// the given byte length (keys are whole 64-bit words).
+func wordBitsFromKeyLen(n int) int { return n * 8 }

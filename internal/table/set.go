@@ -1,0 +1,132 @@
+package table
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/sketch"
+)
+
+// Set bundles every table the schemes probe for one (database, family)
+// pair: the ball tables T_0..T_L, the auxiliary tables of Algorithm 2 (when
+// the family has a coarse component), and the two degenerate-case
+// membership tables. It also owns the lazily computed per-level coarse
+// sketches of the database that the auxiliary oracles share.
+type Set struct {
+	Fam   *sketch.Family
+	DB    []bitvec.Vector
+	Meter *cellprobe.Meter
+
+	Ball  []*BallTable
+	Aux   []*AuxTable // nil when Fam.Coarse == nil
+	Exact *Membership
+	Near  *Membership
+
+	coarseMu  sync.Mutex
+	coarseOne []sync.Once
+	coarseDB  [][]bitvec.Vector
+}
+
+// NewSet builds all tables for the database under the shared family.
+func NewSet(fam *sketch.Family, db []bitvec.Vector) *Set {
+	s := &Set{Fam: fam, DB: db, Meter: &cellprobe.Meter{}}
+	s.Ball = make([]*BallTable, fam.L+1)
+	for i := 0; i <= fam.L; i++ {
+		s.Ball[i] = NewBallTable(fam, db, i, s.Meter)
+	}
+	if fam.Coarse != nil {
+		s.Aux = make([]*AuxTable, fam.L+1)
+		for i := 0; i <= fam.L; i++ {
+			s.Aux[i] = newAuxTable(s, i, s.Meter)
+		}
+		s.coarseOne = make([]sync.Once, fam.L+1)
+		s.coarseDB = make([][]bitvec.Vector, fam.L+1)
+	}
+	s.Exact = NewMembership(db, fam.P.D, 0, s.Meter)
+	s.Near = NewMembership(db, fam.P.D, 1, s.Meter)
+	return s
+}
+
+// sizeCut returns the Algorithm 2 size threshold n^{-1/s}·|C| as an integer
+// cut: |D| > cut means D is "large".
+func (s *Set) sizeCut(cSize int) int {
+	sv := s.Fam.P.S
+	if sv <= 0 {
+		sv = 1
+	}
+	return int(math.Floor(math.Pow(float64(s.Fam.P.N), -1/sv) * float64(cSize)))
+}
+
+// coarseDBSketches returns N_level·z for every database point, computed
+// once per level on first use.
+func (s *Set) coarseDBSketches(level int) []bitvec.Vector {
+	s.coarseOne[level].Do(func() {
+		m := s.Fam.Coarse[level]
+		sk := make([]bitvec.Vector, len(s.DB))
+		for i, z := range s.DB {
+			sk[i] = m.Apply(z)
+		}
+		s.coarseMu.Lock()
+		s.coarseDB[level] = sk
+		s.coarseMu.Unlock()
+	})
+	s.coarseMu.Lock()
+	defer s.coarseMu.Unlock()
+	return s.coarseDB[level]
+}
+
+// SpaceReport summarizes nominal (model) and simulated (materialized) space.
+type SpaceReport struct {
+	NominalLogCells  float64 // log₂ of total model cell count over all tables
+	MaterializedWord int     // cells actually evaluated by the simulator
+	CellEvals        int64
+	MemoHits         int64
+}
+
+// Space computes the space accounting used by experiment E8.
+func (s *Set) Space() SpaceReport {
+	logs := make([]float64, 0, 2*len(s.Ball)+2)
+	materialized := 0
+	add := func(t cellprobe.Table) {
+		logs = append(logs, t.NominalLogCells())
+		if o, ok := t.(*cellprobe.Oracle); ok {
+			materialized += o.MemoSize()
+		}
+	}
+	for _, b := range s.Ball {
+		add(b.Table())
+	}
+	for _, a := range s.Aux {
+		if a != nil {
+			add(a.Table())
+		}
+	}
+	add(s.Exact.Table())
+	add(s.Near.Table())
+	return SpaceReport{
+		NominalLogCells:  logSumExp2(logs),
+		MaterializedWord: materialized,
+		CellEvals:        s.Meter.CellEvals(),
+		MemoHits:         s.Meter.MemoHits(),
+	}
+}
+
+// logSumExp2 returns log₂(Σ 2^{x}) over the inputs, stably.
+func logSumExp2(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp2(x - m)
+	}
+	return m + math.Log2(sum)
+}

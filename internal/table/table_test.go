@@ -1,0 +1,309 @@
+package table
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+func testFamily(t *testing.T, d, n int, s float64) (*sketch.Family, []bitvec.Vector) {
+	t.Helper()
+	fam := sketch.NewFamily(sketch.Params{D: d, N: n, Gamma: 2, S: s, Seed: 3})
+	r := rng.New(4)
+	db := make([]bitvec.Vector, n)
+	for i := range db {
+		db[i] = hamming.Random(r, d)
+	}
+	return fam, db
+}
+
+func TestAddrCodecRoundTrip(t *testing.T) {
+	var w addrWriter
+	w.uvarint(0)
+	w.uvarint(300)
+	w.bytes("hello")
+	w.uvarint(1 << 40)
+	r := &addrReader{buf: w.String()}
+	if v, err := r.uvarint(); err != nil || v != 0 {
+		t.Fatalf("uvarint: %v %v", v, err)
+	}
+	if v, err := r.uvarint(); err != nil || v != 300 {
+		t.Fatalf("uvarint: %v %v", v, err)
+	}
+	if s, err := r.bytes(); err != nil || s != "hello" {
+		t.Fatalf("bytes: %q %v", s, err)
+	}
+	if v, err := r.uvarint(); err != nil || v != 1<<40 {
+		t.Fatalf("uvarint: %v %v", v, err)
+	}
+	if !r.done() {
+		t.Error("reader not done")
+	}
+}
+
+func TestAddrCodecMalformed(t *testing.T) {
+	r := &addrReader{buf: "\xff"} // unterminated varint
+	if _, err := r.uvarint(); err == nil {
+		t.Error("malformed varint accepted")
+	}
+	var w addrWriter
+	w.uvarint(100) // length prefix with no payload
+	r2 := &addrReader{buf: w.String()}
+	if _, err := r2.bytes(); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestBallTableCellSemantics(t *testing.T) {
+	// The cell at the query's own sketch address must contain a point iff
+	// C_i is nonempty, and the stored point must be within the threshold.
+	fam, db := testFamily(t, 512, 60, 0)
+	set := NewSet(fam, db)
+	r := rng.New(9)
+	x := hamming.AtDistance(r, db[7], 512, 10)
+	for _, i := range []int{3, 8, fam.L} {
+		bt := set.Ball[i]
+		sx := fam.Accurate[i].Apply(x)
+		w := bt.Table().Lookup(bt.AddressOfSketch(sx))
+		members := bt.MembersOfC(sx)
+		if len(members) == 0 {
+			if w.Kind != cellprobe.Empty {
+				t.Errorf("level %d: cell non-empty but C empty", i)
+			}
+			continue
+		}
+		if w.Kind != cellprobe.Point {
+			t.Errorf("level %d: cell EMPTY but |C|=%d", i, len(members))
+			continue
+		}
+		thr := fam.AccurateThreshold(i)
+		zs := bt.DBSketch(w.Index)
+		if bitvec.Distance(sx, zs) > thr {
+			t.Errorf("level %d: stored point at sketch distance %d > %d",
+				i, bitvec.Distance(sx, zs), thr)
+		}
+	}
+}
+
+func TestBallTableEmptyForFarAddress(t *testing.T) {
+	fam, db := testFamily(t, 512, 40, 0)
+	set := NewSet(fam, db)
+	// A random address at a small level has (whp) no nearby db sketch.
+	r := rng.New(10)
+	addr := hamming.Random(r, fam.AccurateRows()).Key()
+	w := set.Ball[0].Table().Lookup(addr)
+	if w.Kind != cellprobe.Empty {
+		// Not impossible, but wildly unlikely: treat as failure.
+		t.Errorf("random address at level 0 matched point %v", w)
+	}
+	// Malformed address is EMPTY by convention.
+	if got := set.Ball[0].Table().Lookup("bogus"); got.Kind != cellprobe.Empty {
+		t.Error("malformed address not EMPTY")
+	}
+}
+
+func TestBallTableCountAndMembersAgree(t *testing.T) {
+	fam, db := testFamily(t, 256, 50, 0)
+	set := NewSet(fam, db)
+	r := rng.New(11)
+	x := hamming.Random(r, 256)
+	for i := 0; i <= fam.L; i += 5 {
+		sx := fam.Accurate[i].Apply(x)
+		if got, want := set.Ball[i].CountC(sx), len(set.Ball[i].MembersOfC(sx)); got != want {
+			t.Errorf("level %d: CountC=%d, len(Members)=%d", i, got, want)
+		}
+	}
+}
+
+func TestMembershipExact(t *testing.T) {
+	fam, db := testFamily(t, 256, 30, 0)
+	set := NewSet(fam, db)
+	m := set.Exact
+	for i, z := range db {
+		w := m.Table().Lookup(m.Address(z))
+		if w.Kind != cellprobe.Point {
+			t.Fatalf("db point %d not found", i)
+		}
+		if !bitvec.Equal(db[w.Index], z) {
+			t.Fatalf("membership returned wrong point for %d", i)
+		}
+	}
+	r := rng.New(12)
+	x := hamming.Random(r, 256)
+	if w := m.Table().Lookup(m.Address(x)); w.Kind != cellprobe.Empty {
+		t.Error("random point claimed to be a member")
+	}
+}
+
+func TestMembershipNear(t *testing.T) {
+	fam, db := testFamily(t, 256, 30, 0)
+	set := NewSet(fam, db)
+	m := set.Near
+	r := rng.New(13)
+	// Distance 1 from db[5]: must hit.
+	x := hamming.AtDistance(r, db[5], 256, 1)
+	w := m.Table().Lookup(m.Address(x))
+	if w.Kind != cellprobe.Point {
+		t.Fatal("distance-1 neighbor not found")
+	}
+	if bitvec.Distance(db[w.Index], x) > 1 {
+		t.Errorf("near membership returned point at distance %d", bitvec.Distance(db[w.Index], x))
+	}
+	// Exact member also hits.
+	if w := m.Table().Lookup(m.Address(db[5])); w.Kind != cellprobe.Point {
+		t.Error("member itself not found in near table")
+	}
+	// Far point misses.
+	far := hamming.AtDistance(r, db[5], 256, 100)
+	if w := m.Table().Lookup(m.Address(far)); w.Kind != cellprobe.Empty {
+		t.Error("far point found in near table")
+	}
+}
+
+func TestMembershipRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid radius did not panic")
+		}
+	}()
+	NewMembership(nil, 16, 2, nil)
+}
+
+func TestAuxTableMatchesDirectComputation(t *testing.T) {
+	fam, db := testFamily(t, 512, 80, 2)
+	set := NewSet(fam, db)
+	r := rng.New(14)
+	x := hamming.AtDistance(r, db[3], 512, 20)
+	u := fam.L - 2
+	aux := set.Aux[u]
+	sx := fam.Accurate[u].Apply(x)
+	levels := []int{u / 4, u / 2, 3 * u / 4}
+	q := AuxQuery{SketchX: sx, Levels: levels}
+	for _, lv := range levels {
+		q.Coarse = append(q.Coarse, fam.Coarse[lv].Apply(x))
+	}
+	w := aux.Table().Lookup(aux.Address(q))
+	if w.Kind != cellprobe.Int {
+		t.Fatalf("aux cell kind %v", w.Kind)
+	}
+	// Direct recomputation of the table-construction rule.
+	members := set.Ball[u].MembersOfC(sx)
+	cut := set.sizeCut(len(members))
+	want := 0
+	for qi, lv := range levels {
+		dSize := 0
+		cx := fam.Coarse[lv].Apply(x)
+		for _, mIdx := range members {
+			if fam.InD(lv, cx, fam.Coarse[lv].Apply(db[mIdx])) {
+				dSize++
+			}
+		}
+		if dSize > cut {
+			want = qi + 1
+			break
+		}
+	}
+	if w.Value != want {
+		t.Errorf("aux cell = %d, direct computation = %d", w.Value, want)
+	}
+}
+
+func TestAuxTableMalformedAddress(t *testing.T) {
+	fam, db := testFamily(t, 256, 20, 1)
+	set := NewSet(fam, db)
+	if w := set.Aux[2].Table().Lookup("junk"); w.Kind != cellprobe.Int || w.Value != 0 {
+		t.Errorf("malformed aux address returned %v", w)
+	}
+}
+
+func TestAuxQueryLengthMismatchPanics(t *testing.T) {
+	fam, db := testFamily(t, 256, 20, 1)
+	set := NewSet(fam, db)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched AuxQuery did not panic")
+		}
+	}()
+	set.Aux[1].Address(AuxQuery{SketchX: bitvec.New(fam.AccurateRows()), Levels: []int{1}})
+}
+
+func TestSetSpaceReport(t *testing.T) {
+	fam, db := testFamily(t, 256, 40, 1)
+	set := NewSet(fam, db)
+	sp0 := set.Space()
+	if sp0.MaterializedWord != 0 {
+		t.Errorf("fresh set materialized %d cells", sp0.MaterializedWord)
+	}
+	// Touch some cells.
+	r := rng.New(15)
+	x := hamming.Random(r, 256)
+	for i := 0; i <= fam.L; i += 3 {
+		bt := set.Ball[i]
+		bt.Table().Lookup(bt.Address(x))
+	}
+	sp := set.Space()
+	if sp.MaterializedWord == 0 || sp.CellEvals == 0 {
+		t.Error("touched cells not reported")
+	}
+	if sp.NominalLogCells <= float64(fam.AccurateRows()) {
+		t.Errorf("nominal log cells %v suspiciously small", sp.NominalLogCells)
+	}
+}
+
+func TestSizeCut(t *testing.T) {
+	fam, db := testFamily(t, 256, 100, 2)
+	set := NewSet(fam, db)
+	// n^{-1/2} * 100 = 10.
+	if got := set.sizeCut(100); got != 10 {
+		t.Errorf("sizeCut(100) = %d, want 10", got)
+	}
+	if got := set.sizeCut(0); got != 0 {
+		t.Errorf("sizeCut(0) = %d", got)
+	}
+}
+
+// TestWordSizeBudget audits Theorems 9/10's word-size claim across every
+// table in a set: all words are O(d) bits — concretely, at most d+1 for
+// point-bearing cells and O(log s) for auxiliary integer cells.
+func TestWordSizeBudget(t *testing.T) {
+	fam, db := testFamily(t, 512, 60, 2)
+	set := NewSet(fam, db)
+	budget := fam.P.D + 1
+	for _, b := range set.Ball {
+		if w := b.Table().WordBits(); w > budget {
+			t.Errorf("%s word size %d > %d", b.Table().ID(), w, budget)
+		}
+	}
+	for _, a := range set.Aux {
+		if w := a.Table().WordBits(); w > budget {
+			t.Errorf("%s word size %d > %d", a.Table().ID(), w, budget)
+		}
+		// Aux cells store an index in [0, s+1]: a handful of bits.
+		if w := a.Table().WordBits(); w > 16 {
+			t.Errorf("%s aux word size %d implausibly large", a.Table().ID(), w)
+		}
+	}
+	if w := set.Exact.Table().WordBits(); w > budget {
+		t.Errorf("exact membership word size %d > %d", w, budget)
+	}
+	if w := set.Near.Table().WordBits(); w > budget {
+		t.Errorf("near membership word size %d > %d", w, budget)
+	}
+}
+
+func TestCoarseSketchesMemoized(t *testing.T) {
+	fam, db := testFamily(t, 256, 30, 1)
+	set := NewSet(fam, db)
+	a := set.coarseDBSketches(2)
+	b := set.coarseDBSketches(2)
+	if &a[0][0] != &b[0][0] {
+		t.Error("coarse sketches recomputed")
+	}
+	if len(a) != len(db) {
+		t.Error("wrong sketch count")
+	}
+}

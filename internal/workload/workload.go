@@ -1,0 +1,194 @@
+// Package workload generates the synthetic databases and query streams the
+// experiments run on. The paper has no datasets (it is a cell-probe theory
+// paper); these generators produce the structured instances its theorems
+// quantify over: databases in {0,1}^d with a planted nearest neighbor at a
+// controlled distance, annulus-separated instances for the λ-ANN decision
+// problem, and clustered databases that stress the sketch approximations.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+// Instance is one database plus a stream of queries with ground truth.
+type Instance struct {
+	Name    string
+	D       int
+	DB      []bitvec.Vector
+	Queries []Query
+}
+
+// Query is a query point with precomputed ground truth.
+type Query struct {
+	X       bitvec.Vector
+	NNIndex int // exact nearest neighbor index in DB
+	NNDist  int // exact nearest distance
+}
+
+func (in *Instance) String() string {
+	return fmt.Sprintf("%s(d=%d, n=%d, q=%d)", in.Name, in.D, len(in.DB), len(in.Queries))
+}
+
+// Uniform returns n i.i.d. uniform database points and q uniform queries.
+// In high dimension uniform queries sit at distance ≈ d/2 from everything,
+// so this exercises the outermost levels.
+func Uniform(r *rng.Source, d, n, q int) *Instance {
+	in := &Instance{Name: "uniform", D: d}
+	for i := 0; i < n; i++ {
+		in.DB = append(in.DB, hamming.Random(r, d))
+	}
+	for i := 0; i < q; i++ {
+		x := hamming.Random(r, d)
+		nn, dist := hamming.Nearest(in.DB, x)
+		in.Queries = append(in.Queries, Query{X: x, NNIndex: nn, NNDist: dist})
+	}
+	return in
+}
+
+// PlantedNN returns a database of uniform points plus, for each query, a
+// planted point at exact distance dist from the query. Uniform chaff sits
+// at ≈ d/2, so for dist ≪ d/2 the planted point is the unique nearest
+// neighbor and the search is non-degenerate at a controlled scale.
+// Queries reuse one shared database; each query plants its own point.
+func PlantedNN(r *rng.Source, d, n, q, dist int) *Instance {
+	if dist < 0 || dist > d {
+		panic("workload: planted distance out of range")
+	}
+	in := &Instance{Name: fmt.Sprintf("planted(r=%d)", dist), D: d}
+	chaff := n - q
+	if chaff < 1 {
+		panic("workload: need n > q to hold planted points")
+	}
+	for i := 0; i < chaff; i++ {
+		in.DB = append(in.DB, hamming.Random(r, d))
+	}
+	for i := 0; i < q; i++ {
+		x := hamming.Random(r, d)
+		in.DB = append(in.DB, hamming.AtDistance(r, x, d, dist))
+		in.Queries = append(in.Queries, Query{X: x})
+	}
+	for qi := range in.Queries {
+		nn, nd := hamming.Nearest(in.DB, in.Queries[qi].X)
+		in.Queries[qi].NNIndex = nn
+		in.Queries[qi].NNDist = nd
+	}
+	return in
+}
+
+// Clustered returns a database of k clusters of radius rad around random
+// centers, with queries placed near cluster boundaries. Clusters create
+// level sets |B_i| that jump by large factors — the regime Algorithm 2's
+// |C_u| shrinking case exploits.
+func Clustered(r *rng.Source, d, n, q, clusters, rad int) *Instance {
+	if clusters < 1 {
+		panic("workload: need at least one cluster")
+	}
+	in := &Instance{Name: fmt.Sprintf("clustered(c=%d,rad=%d)", clusters, rad), D: d}
+	centers := make([]bitvec.Vector, clusters)
+	for i := range centers {
+		centers[i] = hamming.Random(r, d)
+	}
+	for i := 0; i < n; i++ {
+		c := centers[i%clusters]
+		in.DB = append(in.DB, hamming.WithinDistance(r, c, d, rad))
+	}
+	for i := 0; i < q; i++ {
+		c := centers[r.Intn(clusters)]
+		x := hamming.AtDistance(r, c, d, min(2*rad, d))
+		nn, nd := hamming.Nearest(in.DB, x)
+		in.Queries = append(in.Queries, Query{X: x, NNIndex: nn, NNDist: nd})
+	}
+	return in
+}
+
+// Annulus returns an instance for the λ-ANN decision problem: half the
+// queries have a planted point at distance ≤ lambda ("YES"), the other
+// half have every database point at distance > gamma·lambda ("NO").
+// The Query.NNDist field carries the ground truth for the decision.
+func Annulus(r *rng.Source, d, n, q int, lambda int, gamma float64) *Instance {
+	in := &Instance{Name: fmt.Sprintf("annulus(λ=%d,γ=%v)", lambda, gamma), D: d}
+	// Chaff far from everything: uniform points sit near d/2, which must
+	// exceed gamma*lambda for clean NO instances.
+	if float64(lambda)*gamma >= float64(d)/4 {
+		panic("workload: annulus needs gamma*lambda << d/2")
+	}
+	chaff := n - (q+1)/2
+	if chaff < 1 {
+		panic("workload: need n large enough for annulus chaff")
+	}
+	for i := 0; i < chaff; i++ {
+		in.DB = append(in.DB, hamming.Random(r, d))
+	}
+	for i := 0; i < q; i++ {
+		x := hamming.Random(r, d)
+		if i%2 == 0 { // YES: plant within lambda
+			in.DB = append(in.DB, hamming.WithinDistance(r, x, d, lambda))
+		}
+		in.Queries = append(in.Queries, Query{X: x})
+	}
+	for qi := range in.Queries {
+		nn, nd := hamming.Nearest(in.DB, in.Queries[qi].X)
+		in.Queries[qi].NNIndex = nn
+		in.Queries[qi].NNDist = nd
+	}
+	return in
+}
+
+// Graded returns an instance where each query has planted points at a
+// geometric ladder of distances base, base·step, base·step², … — the
+// workload that exposes approximation-quality differences: returning a
+// point one rung too high shows up as an approximation ratio of ≈ step.
+func Graded(r *rng.Source, d, n, q int, base int, step float64, rungs int) *Instance {
+	if rungs < 1 || base < 1 {
+		panic("workload: graded needs base >= 1, rungs >= 1")
+	}
+	in := &Instance{Name: fmt.Sprintf("graded(base=%d,step=%v,rungs=%d)", base, step, rungs), D: d}
+	chaff := n - q*rungs
+	if chaff < 1 {
+		panic("workload: need n > q*rungs for graded instance")
+	}
+	for i := 0; i < chaff; i++ {
+		in.DB = append(in.DB, hamming.Random(r, d))
+	}
+	for i := 0; i < q; i++ {
+		x := hamming.Random(r, d)
+		dist := float64(base)
+		for rung := 0; rung < rungs; rung++ {
+			di := int(dist)
+			if di > d {
+				di = d
+			}
+			in.DB = append(in.DB, hamming.AtDistance(r, x, d, di))
+			dist *= step
+		}
+		in.Queries = append(in.Queries, Query{X: x})
+	}
+	for qi := range in.Queries {
+		nn, nd := hamming.Nearest(in.DB, in.Queries[qi].X)
+		in.Queries[qi].NNIndex = nn
+		in.Queries[qi].NNDist = nd
+	}
+	return in
+}
+
+// BitFlipQueries derives q queries by flipping flips random bits of random
+// database points — the classic "perturbed member" query model.
+func BitFlipQueries(r *rng.Source, in *Instance, q, flips int) {
+	for i := 0; i < q; i++ {
+		base := in.DB[r.Intn(len(in.DB))]
+		x := hamming.AtDistance(r, base, in.D, flips)
+		nn, nd := hamming.Nearest(in.DB, x)
+		in.Queries = append(in.Queries, Query{X: x, NNIndex: nn, NNDist: nd})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func TestUniformShape(t *testing.T) {
+	r := rng.New(1)
+	in := Uniform(r, 128, 40, 10)
+	if len(in.DB) != 40 || len(in.Queries) != 10 || in.D != 128 {
+		t.Fatalf("shape: %s", in)
+	}
+	for _, q := range in.Queries {
+		wantIdx, wantDist := hamming.Nearest(in.DB, q.X)
+		if q.NNDist != wantDist {
+			t.Errorf("ground truth dist %d, want %d (idx %d)", q.NNDist, wantDist, wantIdx)
+		}
+	}
+}
+
+func TestPlantedNNControlsDistance(t *testing.T) {
+	r := rng.New(2)
+	in := PlantedNN(r, 512, 100, 20, 11)
+	if len(in.DB) != 100 {
+		t.Fatalf("db size %d", len(in.DB))
+	}
+	for _, q := range in.Queries {
+		if q.NNDist > 11 {
+			t.Errorf("planted query has NN at %d > 11", q.NNDist)
+		}
+	}
+}
+
+func TestPlantedNNPanics(t *testing.T) {
+	r := rng.New(3)
+	for _, fn := range []func(){
+		func() { PlantedNN(r, 64, 10, 10, 5) },  // n == q: no chaff
+		func() { PlantedNN(r, 64, 20, 5, 100) }, // distance > d
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid PlantedNN did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClustered(t *testing.T) {
+	r := rng.New(4)
+	in := Clustered(r, 256, 60, 10, 4, 10)
+	if len(in.DB) != 60 || len(in.Queries) != 10 {
+		t.Fatalf("shape: %s", in)
+	}
+	if !strings.Contains(in.Name, "clustered") {
+		t.Error(in.Name)
+	}
+	// Points in the same cluster (i ≡ j mod 4) are within 2·rad of each
+	// other; cross-cluster points are ≈ d/2 apart.
+	same := bitvec.Distance(in.DB[0], in.DB[4])
+	if same > 20 {
+		t.Errorf("same-cluster distance %d", same)
+	}
+	cross := bitvec.Distance(in.DB[0], in.DB[1])
+	if cross < 60 {
+		t.Errorf("cross-cluster distance %d suspiciously small", cross)
+	}
+}
+
+func TestAnnulus(t *testing.T) {
+	r := rng.New(5)
+	in := Annulus(r, 512, 100, 40, 6, 2)
+	yes, no := 0, 0
+	for _, q := range in.Queries {
+		if q.NNDist <= 6 {
+			yes++
+		}
+		if float64(q.NNDist) > 12 {
+			no++
+		}
+	}
+	if yes < 15 {
+		t.Errorf("only %d YES queries", yes)
+	}
+	if no < 15 {
+		t.Errorf("only %d NO queries", no)
+	}
+}
+
+func TestAnnulusPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("annulus with gamma*lambda ~ d/2 did not panic")
+		}
+	}()
+	Annulus(rng.New(6), 64, 30, 10, 20, 2)
+}
+
+func TestGraded(t *testing.T) {
+	r := rng.New(8)
+	in := Graded(r, 1024, 150, 10, 10, 2, 4)
+	if len(in.DB) != 150 || len(in.Queries) != 10 {
+		t.Fatalf("shape: %s", in)
+	}
+	for qi, q := range in.Queries {
+		// Nearest planted rung is at distance 10.
+		if q.NNDist > 10 {
+			t.Errorf("query %d: NN at %d, want <= 10", qi, q.NNDist)
+		}
+		// Each rung distance must be realized by some db point.
+		for _, want := range []int{10, 20, 40, 80} {
+			found := false
+			for _, z := range in.DB {
+				if bitvec.Distance(z, q.X) == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("query %d: no point at rung distance %d", qi, want)
+			}
+		}
+	}
+}
+
+func TestGradedPanics(t *testing.T) {
+	r := rng.New(9)
+	for _, fn := range []func(){
+		func() { Graded(r, 128, 10, 5, 4, 2, 3) }, // n <= q*rungs
+		func() { Graded(r, 128, 50, 5, 0, 2, 3) }, // base < 1
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Graded did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitFlipQueries(t *testing.T) {
+	r := rng.New(7)
+	in := Uniform(r, 128, 30, 0)
+	BitFlipQueries(r, in, 12, 3)
+	if len(in.Queries) != 12 {
+		t.Fatalf("got %d queries", len(in.Queries))
+	}
+	for _, q := range in.Queries {
+		if q.NNDist > 3 {
+			t.Errorf("bit-flip query NN at %d > 3", q.NNDist)
+		}
+	}
+}
