@@ -1,6 +1,7 @@
 package anns
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,6 +10,55 @@ import (
 type BatchResult struct {
 	Result
 	Err error
+}
+
+// batchRun is the shared worker pool behind every batch entry point: n
+// independent jobs fanned over a fixed pool, results in input order.
+// When ctx is cancelled the dispatcher stops handing out jobs and every
+// job not yet started resolves to ctx.Err(); jobs already running finish
+// (a cell-probe query is not interruptible mid-round).
+func batchRun(ctx context.Context, n, workers int, run func(i int) (Result, error)) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]BatchResult, n)
+	if n == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Result: Result{Index: -1, Distance: -1}, Err: err}
+					continue
+				}
+				res, err := run(i)
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	done := ctx.Done()
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-done:
+			for j := i; j < n; j++ {
+				out[j] = BatchResult{Result: Result{Index: -1, Distance: -1}, Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
 }
 
 // BatchQuery answers many queries concurrently over a fixed worker pool.
@@ -20,65 +70,30 @@ type BatchResult struct {
 // workers <= 0 selects runtime.GOMAXPROCS(0). Results are returned in
 // input order.
 func (ix *Index) BatchQuery(xs []Point, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(xs) {
-		workers = len(xs)
-	}
-	out := make([]BatchResult, len(xs))
-	if len(xs) == 0 {
-		return out
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				res, err := ix.Query(xs[i])
-				out[i] = BatchResult{Result: res, Err: err}
-			}
-		}()
-	}
-	for i := range xs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
+	return ix.BatchQueryContext(context.Background(), xs, workers)
+}
+
+// BatchQueryContext is BatchQuery under a context: once ctx is cancelled
+// or its deadline passes, no further queries are dispatched and the
+// remaining slots carry ctx.Err(). Queries already in flight run to
+// completion, so the returned slice always has len(xs) entries in input
+// order.
+func (ix *Index) BatchQueryContext(ctx context.Context, xs []Point, workers int) []BatchResult {
+	return batchRun(ctx, len(xs), workers, func(i int) (Result, error) {
+		return ix.Query(xs[i])
+	})
 }
 
 // BatchQueryNear is the λ-ANNS counterpart of BatchQuery: every query
 // costs exactly one probe, making the batch embarrassingly parallel.
 func (ix *Index) BatchQueryNear(xs []Point, lambda float64, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(xs) {
-		workers = len(xs)
-	}
-	out := make([]BatchResult, len(xs))
-	if len(xs) == 0 {
-		return out
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				res, err := ix.QueryNear(xs[i], lambda)
-				out[i] = BatchResult{Result: res, Err: err}
-			}
-		}()
-	}
-	for i := range xs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
+	return ix.BatchQueryNearContext(context.Background(), xs, lambda, workers)
+}
+
+// BatchQueryNearContext is BatchQueryNear with cancellation semantics
+// identical to BatchQueryContext.
+func (ix *Index) BatchQueryNearContext(ctx context.Context, xs []Point, lambda float64, workers int) []BatchResult {
+	return batchRun(ctx, len(xs), workers, func(i int) (Result, error) {
+		return ix.QueryNear(xs[i], lambda)
+	})
 }

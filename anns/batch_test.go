@@ -1,7 +1,10 @@
 package anns_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/anns"
 	"repro/internal/hamming"
@@ -101,4 +104,67 @@ func TestBatchQueryRace(t *testing.T) {
 		queries[i] = hamming.Random(r, d)
 	}
 	idx.BatchQuery(queries, 8)
+}
+
+func TestBatchQueryContextCancelled(t *testing.T) {
+	d := 256
+	pts := testPoints(t, d, 40)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Rounds: 2, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7400)
+	queries := make([]anns.Point, 32)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, pts[i%len(pts)], d, 10)
+	}
+
+	// Already-cancelled context: nothing may run; every slot carries the
+	// context error and the no-answer sentinel.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := idx.BatchQueryContext(ctx, queries, 4)
+	if len(out) != len(queries) {
+		t.Fatalf("%d results", len(out))
+	}
+	for i, b := range out {
+		if !errors.Is(b.Err, context.Canceled) {
+			t.Fatalf("entry %d: err = %v, want context.Canceled", i, b.Err)
+		}
+		if b.Index != -1 || b.Distance != -1 {
+			t.Fatalf("entry %d: cancelled slot carries answer (%d, %d)", i, b.Index, b.Distance)
+		}
+	}
+
+	// Background context: wrapper and context variant agree.
+	got := idx.BatchQueryContext(context.Background(), queries[:8], 2)
+	want := idx.BatchQuery(queries[:8], 2)
+	for i := range got {
+		if (got[i].Err == nil) != (want[i].Err == nil) || got[i].Index != want[i].Index {
+			t.Fatalf("entry %d: context variant (%d, %v) vs wrapper (%d, %v)",
+				i, got[i].Index, got[i].Err, want[i].Index, want[i].Err)
+		}
+	}
+}
+
+func TestBatchQueryNearContextDeadline(t *testing.T) {
+	d := 256
+	pts := testPoints(t, d, 40)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7500)
+	queries := make([]anns.Point, 16)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, pts[i], d, 5)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	out := idx.BatchQueryNearContext(ctx, queries, 4, 4)
+	for i, b := range out {
+		if !errors.Is(b.Err, context.DeadlineExceeded) {
+			t.Fatalf("entry %d: err = %v, want deadline exceeded", i, b.Err)
+		}
+	}
 }

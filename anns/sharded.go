@@ -1,0 +1,227 @@
+package anns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ShardedIndex partitions one logical database across S independently
+// seeded shards, each a full *Index over its slice of the points. A query
+// fans out to every shard concurrently and the per-shard answers are
+// merged by Hamming distance, so the logical answer quality matches a
+// single index over the union (the true nearest neighbor lives in exactly
+// one shard, and that shard sees it as its own nearest neighbor at an
+// easier — smaller n — scale).
+//
+// The cell-probe accounting is aggregated the way the model charges a
+// parallel machine: the shards probe simultaneously, so Rounds is the
+// maximum over shards while Probes and MaxParallel sum across them. The
+// paper's adaptivity/efficiency tradeoff therefore stays observable at
+// serving scale: sharding buys wall-clock parallelism and smaller
+// per-shard tables at the price of an S-fold probe (work) blowup.
+type ShardedIndex struct {
+	opts   Options
+	shards []*Index
+	// global[s][j] is the position in the original Build slice of shard
+	// s's j-th point, mapping shard-local answers back to logical indices.
+	global [][]int
+	n      int
+}
+
+// splitSeed derives shard s's seed from the user seed via a splitmix64
+// step, so shards draw independent public randomness even for adjacent
+// or zero user seeds.
+func splitSeed(seed uint64, s int) uint64 {
+	z := seed + uint64(s+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// BuildSharded partitions points round-robin across shards indices and
+// builds one Index per shard. Options are applied per shard (each shard
+// gets its own derived seed); the points slice is retained, not copied.
+// Every shard must receive at least 2 points, so len(points) >= 2*shards.
+func BuildSharded(points []Point, shards int, opts Options) (*ShardedIndex, error) {
+	if shards < 1 {
+		return nil, errors.New("anns: BuildSharded needs at least 1 shard")
+	}
+	if len(points) < 2*shards {
+		return nil, fmt.Errorf("anns: %d points cannot fill %d shards with 2 points each",
+			len(points), shards)
+	}
+	sx := &ShardedIndex{
+		opts:   opts,
+		shards: make([]*Index, shards),
+		global: make([][]int, shards),
+		n:      len(points),
+	}
+	parts := make([][]Point, shards)
+	for i, p := range points {
+		s := i % shards
+		parts[s] = append(parts[s], p)
+		sx.global[s] = append(sx.global[s], i)
+	}
+	for s := range parts {
+		o := opts
+		o.Seed = splitSeed(opts.Seed, s)
+		idx, err := Build(parts[s], o)
+		if err != nil {
+			return nil, fmt.Errorf("anns: building shard %d/%d: %w", s, shards, err)
+		}
+		sx.shards[s] = idx
+	}
+	// Build normalizes defaults (Gamma, Rounds, Repetitions); adopt them.
+	norm := sx.shards[0].Options()
+	norm.Seed = opts.Seed
+	sx.opts = norm
+	return sx, nil
+}
+
+// mergeShardResults folds per-shard outcomes into one logical Result.
+// ok[s] marks shards whose query succeeded (for QueryNear, returned YES).
+func (sx *ShardedIndex) mergeShardResults(results []Result, ok []bool) Result {
+	out := Result{Index: -1, Distance: -1}
+	for s, r := range results {
+		if r.Rounds > out.Rounds {
+			out.Rounds = r.Rounds
+		}
+		out.Probes += r.Probes
+		out.MaxParallel += r.MaxParallel
+		if !ok[s] {
+			continue
+		}
+		if out.Index < 0 || r.Distance < out.Distance {
+			out.Index = sx.global[s][r.Index]
+			out.Distance = r.Distance
+		}
+	}
+	return out
+}
+
+// Query fans x out to every shard concurrently and returns the closest
+// answer across shards, with aggregated accounting (Rounds = max over
+// shards, Probes and MaxParallel summed). It fails only when every shard
+// fails; a shard-level failure can at worst hide that shard's candidate,
+// degrading the answer the same way one lost repetition degrades a
+// boosted single index.
+func (sx *ShardedIndex) Query(x Point) (Result, error) {
+	results := make([]Result, len(sx.shards))
+	ok := make([]bool, len(sx.shards))
+	var wg sync.WaitGroup
+	for s := range sx.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			res, err := sx.shards[s].Query(x)
+			results[s] = res
+			ok[s] = err == nil
+		}(s)
+	}
+	wg.Wait()
+	out := sx.mergeShardResults(results, ok)
+	if out.Index < 0 {
+		return out, errors.New("anns: query failed on every shard")
+	}
+	return out, nil
+}
+
+// QueryNear answers the λ-near-neighbor decision over the sharded
+// database: YES from any shard (closest witness wins) beats NO, and the
+// logical answer is NO only when every shard answers NO. Shard-level
+// errors surface only if no shard produced an answer at all.
+func (sx *ShardedIndex) QueryNear(x Point, lambda float64) (Result, error) {
+	results := make([]Result, len(sx.shards))
+	ok := make([]bool, len(sx.shards))
+	errs := make([]error, len(sx.shards))
+	var wg sync.WaitGroup
+	for s := range sx.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			res, err := sx.shards[s].QueryNear(x, lambda)
+			results[s] = res
+			errs[s] = err
+			ok[s] = err == nil && res.Index >= 0
+		}(s)
+	}
+	wg.Wait()
+	out := sx.mergeShardResults(results, ok)
+	if out.Index < 0 {
+		// All shards said NO (or errored); NO is an answer, errors are not.
+		for _, err := range errs {
+			if err == nil {
+				return out, nil
+			}
+		}
+		return out, fmt.Errorf("anns: near query failed on every shard: %w", errs[0])
+	}
+	return out, nil
+}
+
+// BatchQuery answers many queries over a fixed worker pool, each worker
+// running the full shard fan-out. Results are in input order.
+func (sx *ShardedIndex) BatchQuery(xs []Point, workers int) []BatchResult {
+	return sx.BatchQueryContext(context.Background(), xs, workers)
+}
+
+// BatchQueryContext is BatchQuery under a context, with the same
+// cancellation semantics as (*Index).BatchQueryContext.
+func (sx *ShardedIndex) BatchQueryContext(ctx context.Context, xs []Point, workers int) []BatchResult {
+	return batchRun(ctx, len(xs), workers, func(i int) (Result, error) {
+		return sx.Query(xs[i])
+	})
+}
+
+// BatchQueryNear is the λ-ANNS batch entry point over all shards.
+func (sx *ShardedIndex) BatchQueryNear(xs []Point, lambda float64, workers int) []BatchResult {
+	return batchRun(context.Background(), len(xs), workers, func(i int) (Result, error) {
+		return sx.QueryNear(xs[i], lambda)
+	})
+}
+
+// Len returns the logical database size (sum over shards).
+func (sx *ShardedIndex) Len() int { return sx.n }
+
+// Shards returns the shard count.
+func (sx *ShardedIndex) Shards() int { return len(sx.shards) }
+
+// Options returns the normalized options the shards were built with (the
+// Seed field is the user seed; each shard derives its own from it).
+func (sx *ShardedIndex) Options() Options { return sx.opts }
+
+// Space rolls the per-shard storage accounting up to the subsystem:
+// MaterializedCells sums, and NominalLog2Cells is log₂ of the summed
+// nominal cell counts (a log-sum-exp, since the per-shard counts only
+// exist as logarithms).
+func (sx *ShardedIndex) Space() Space {
+	var out Space
+	maxLog := math.Inf(-1)
+	logs := make([]float64, len(sx.shards))
+	for s, ix := range sx.shards {
+		sp := ix.Space()
+		out.MaterializedCells += sp.MaterializedCells
+		logs[s] = sp.NominalLog2Cells
+		if sp.NominalLog2Cells > maxLog {
+			maxLog = sp.NominalLog2Cells
+		}
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp2(l - maxLog)
+	}
+	out.NominalLog2Cells = maxLog + math.Log2(sum)
+	return out
+}
+
+// ShardSpaces returns each shard's own storage accounting, in shard order.
+func (sx *ShardedIndex) ShardSpaces() []Space {
+	out := make([]Space, len(sx.shards))
+	for s, ix := range sx.shards {
+		out[s] = ix.Space()
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Command annsd is the query-serving daemon: it builds a sharded
+// cell-probe index over a generated workload (or an annsgen dataset) and
+// serves it over HTTP via internal/server.
+//
+// Usage:
+//
+//	annsd -addr :7080 -shards 4 -k 3 -kind planted -d 512 -n 4096 -q 512
+//	annsd -addr :7080 -in data.bin -shards 8 -algo soph -k 4
+//
+// Endpoints: POST /v1/query, /v1/batch, /v1/near; GET /healthz, /statsz.
+// Drive it with cmd/annsload.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/anns"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":7080", "listen address")
+	in := flag.String("in", "", "dataset file from cmd/annsgen (overrides generator flags)")
+	spec := workload.DefaultSpec()
+	spec.RegisterFlags(flag.CommandLine)
+
+	k := flag.Int("k", 3, "adaptivity budget (rounds)")
+	algo := flag.String("algo", "simple", "simple (Algorithm 1) | soph (Algorithm 2)")
+	gamma := flag.Float64("gamma", 2, "approximation ratio")
+	reps := flag.Int("reps", 1, "independent repetitions (success boosting)")
+	seed := flag.Uint64("seed", 42, "public randomness seed (shards derive their own)")
+	shards := flag.Int("shards", 4, "shard count")
+
+	workers := flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "admission queue depth")
+	batchWorkers := flag.Int("batch-workers", 0, "per-batch worker pool (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 4096, "max points per /v1/batch request")
+	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+	flag.Parse()
+
+	var inst *workload.Instance
+	var err error
+	if *in != "" {
+		inst, err = dataset.Load(*in)
+	} else {
+		inst, err = spec.Generate()
+	}
+	if err != nil {
+		log.Fatalf("annsd: %v", err)
+	}
+	log.Printf("workload: %s", inst)
+
+	opts := anns.Options{
+		Dimension:   inst.D,
+		Gamma:       *gamma,
+		Rounds:      *k,
+		Repetitions: *reps,
+		Seed:        *seed,
+	}
+	switch *algo {
+	case "simple":
+	case "soph":
+		opts.Algorithm = anns.Sophisticated
+	default:
+		log.Fatalf("annsd: unknown -algo %q", *algo)
+	}
+
+	start := time.Now()
+	points := make([]anns.Point, len(inst.DB))
+	copy(points, inst.DB)
+	idx, err := anns.BuildSharded(points, *shards, opts)
+	if err != nil {
+		log.Fatalf("annsd: %v", err)
+	}
+	sp := idx.Space()
+	log.Printf("index: %d shards over n=%d built in %v (k=%d, γ=%v, algo=%s); nominal log₂ cells %.1f",
+		idx.Shards(), idx.Len(), time.Since(start).Round(time.Millisecond), *k, *gamma, *algo,
+		sp.NominalLog2Cells)
+
+	srv, err := server.New(idx, server.Config{
+		Dimension:      inst.D,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		BatchWorkers:   *batchWorkers,
+		MaxBatch:       *maxBatch,
+		DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("annsd: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("annsd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			log.Printf("annsd: shutdown: %v", err)
+		}
+		snap := srv.Stats()
+		fmt.Printf("served %d queries (%d near, %d batches), %d errors, %d probes total\n",
+			snap.Queries, snap.Near, snap.Batches, snap.Errors, snap.Probes)
+	}
+}

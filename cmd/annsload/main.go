@@ -1,0 +1,350 @@
+// Command annsload is the load harness for cmd/annsd: it regenerates the
+// same workload the server indexed (same generator flags + seed, or the
+// same annsgen dataset), drives /v1/query under closed-loop or open-loop
+// (Poisson) arrivals with an optional target-QPS ramp, and reports
+// client-side latency quantiles, achieved QPS, recall against the ground
+// truth, and the aggregate cell-probe accounting — finishing with the
+// server's own /statsz counters.
+//
+// Usage:
+//
+//	annsload -addr http://127.0.0.1:7080 -mode closed -conc 16 -queries 10000
+//	annsload -addr http://127.0.0.1:7080 -mode open -qps 800 -ramp 4 -queries 20000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7080", "annsd base URL")
+	in := flag.String("in", "", "dataset file the server was started with (overrides generator flags)")
+	spec := workload.DefaultSpec()
+	spec.RegisterFlags(flag.CommandLine)
+
+	mode := flag.String("mode", "closed", "closed (fixed concurrency) | open (Poisson arrivals)")
+	conc := flag.Int("conc", 16, "closed-loop concurrency")
+	qps := flag.Float64("qps", 500, "open-loop target arrival rate (final ramp step)")
+	ramp := flag.Int("ramp", 1, "open-loop ramp steps up to -qps (1 = constant rate)")
+	total := flag.Int("queries", 10000, "total queries to issue")
+	gamma := flag.Float64("gamma", 2, "approximation ratio for the recall criterion")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms sent to the server (0 = server default)")
+	outstanding := flag.Int("max-outstanding", 1024, "open-loop cap on in-flight requests")
+	lseed := flag.Int64("lseed", 1, "load generator seed (Poisson arrivals)")
+	flag.Parse()
+
+	var inst *workload.Instance
+	var err error
+	if *in != "" {
+		inst, err = dataset.Load(*in)
+	} else {
+		inst, err = spec.Generate()
+	}
+	if err != nil {
+		log.Fatalf("annsload: %v", err)
+	}
+	if len(inst.Queries) == 0 {
+		log.Fatalf("annsload: workload has no queries")
+	}
+	log.Printf("workload: %s", inst)
+
+	// Size the connection pool for whichever mode bounds concurrency, or
+	// open-loop bursts past the pool churn TCP handshakes into the very
+	// latencies being measured.
+	pool := 2 * *conc
+	if *mode == "open" && *outstanding > pool {
+		pool = *outstanding
+	}
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        pool,
+			MaxIdleConnsPerHost: pool,
+		},
+	}
+	checkHealth(client, *addr, inst)
+
+	// Pre-encode the query stream once; the run cycles through it.
+	encoded := make([][]byte, len(inst.Queries))
+	for i, q := range inst.Queries {
+		body, err := json.Marshal(server.QueryRequest{
+			Point:     server.EncodePoint(q.X),
+			TimeoutMS: *timeoutMS,
+		})
+		if err != nil {
+			log.Fatalf("annsload: %v", err)
+		}
+		encoded[i] = body
+	}
+
+	run := &runner{
+		client:  client,
+		url:     *addr + "/v1/query",
+		inst:    inst,
+		encoded: encoded,
+		gamma:   *gamma,
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "closed":
+		run.closedLoop(*conc, *total)
+	case "open":
+		run.openLoop(*qps, *ramp, *total, *outstanding, *lseed)
+	default:
+		log.Fatalf("annsload: unknown -mode %q", *mode)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("\n=== aggregate (%s loop, %d queries in %v) ===\n", *mode, *total, wall.Round(time.Millisecond))
+	run.report(run.all(), wall)
+	if n, h, a := atomic.LoadInt64(&run.netErrs), atomic.LoadInt64(&run.httpErrs), atomic.LoadInt64(&run.appErrs); n+h+a > 0 {
+		fmt.Printf("failures: net=%d http=%d app=%d\n", n, h, a)
+	}
+	printServerStats(client, *addr)
+}
+
+// checkHealth verifies the server is up and serving the same instance.
+func checkHealth(client *http.Client, addr string, inst *workload.Instance) {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		log.Fatalf("annsload: server unreachable: %v", err)
+	}
+	defer resp.Body.Close()
+	var h server.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		log.Fatalf("annsload: bad /healthz body: %v", err)
+	}
+	log.Printf("server: status=%s n=%d shards=%d dim=%d", h.Status, h.N, h.Shards, h.Dim)
+	if h.Dim != inst.D || h.N != len(inst.DB) {
+		log.Printf("WARNING: server instance (n=%d, d=%d) differs from local workload (n=%d, d=%d); recall will be meaningless",
+			h.N, h.Dim, len(inst.DB), inst.D)
+	}
+}
+
+// sample is one completed request, as the reporter consumes it.
+type sample struct {
+	latency time.Duration
+	ok      bool // transport + HTTP + query all succeeded
+	good    bool // γ-approximate vs ground truth
+	probes  int
+	rounds  int
+	maxPar  int
+}
+
+type runner struct {
+	client  *http.Client
+	url     string
+	inst    *workload.Instance
+	encoded [][]byte
+	gamma   float64
+
+	mu       sync.Mutex
+	samples  []sample
+	netErrs  int64
+	httpErrs int64
+	appErrs  int64
+}
+
+// issue sends query i (mod the stream length) and records the outcome.
+func (r *runner) issue(i int) {
+	qi := i % len(r.encoded)
+	t0 := time.Now()
+	resp, err := r.client.Post(r.url, "application/json", bytes.NewReader(r.encoded[qi]))
+	lat := time.Since(t0)
+	s := sample{latency: lat}
+	if err != nil {
+		atomic.AddInt64(&r.netErrs, 1)
+		r.record(s)
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		atomic.AddInt64(&r.httpErrs, 1)
+		r.record(s)
+		return
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		atomic.AddInt64(&r.httpErrs, 1)
+		r.record(s)
+		return
+	}
+	s.probes, s.rounds, s.maxPar = qr.Probes, qr.Rounds, qr.MaxParallel
+	if qr.Error != "" {
+		atomic.AddInt64(&r.appErrs, 1)
+		r.record(s)
+		return
+	}
+	s.ok = true
+	truth := r.inst.Queries[qi]
+	s.good = qr.Index >= 0 && float64(qr.Distance) <= r.gamma*float64(truth.NNDist)
+	r.record(s)
+}
+
+func (r *runner) record(s sample) {
+	r.mu.Lock()
+	r.samples = append(r.samples, s)
+	r.mu.Unlock()
+}
+
+func (r *runner) all() []sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]sample(nil), r.samples...)
+}
+
+func (r *runner) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// closedLoop keeps conc requests in flight until total have been issued.
+func (r *runner) closedLoop(conc, total int) {
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= total {
+					return
+				}
+				r.issue(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop issues total queries with Poisson arrivals, ramping the target
+// rate over steps equal slices up to qps. Arrivals beyond the in-flight
+// cap block the arrival process (and show up as a QPS shortfall in the
+// report rather than as client-side meltdown).
+func (r *runner) openLoop(qps float64, steps, total, maxOutstanding int, seed int64) {
+	if steps < 1 {
+		steps = 1
+	}
+	if qps <= 0 {
+		log.Fatalf("annsload: open loop needs -qps > 0")
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	sem := make(chan struct{}, maxOutstanding)
+	var wg sync.WaitGroup
+	issued := 0
+	for s := 0; s < steps; s++ {
+		rate := qps * float64(s+1) / float64(steps)
+		stepTotal := total / steps
+		if s == steps-1 {
+			stepTotal = total - issued
+		}
+		stepStart := time.Now()
+		before := r.count()
+		next := time.Now()
+		for i := 0; i < stepTotal; i++ {
+			next = next.Add(time.Duration(rnd.ExpFloat64() / rate * float64(time.Second)))
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.issue(i)
+				<-sem
+			}(issued + i)
+		}
+		issued += stepTotal
+		wg.Wait()
+		stepWall := time.Since(stepStart)
+		fmt.Printf("\n--- ramp step %d/%d: target %.0f qps, %d queries ---\n", s+1, steps, rate, stepTotal)
+		r.report(r.all()[before:], stepWall)
+	}
+}
+
+// report prints the latency/recall/accounting summary for one sample set.
+func (r *runner) report(ss []sample, wall time.Duration) {
+	if len(ss) == 0 {
+		fmt.Println("no samples")
+		return
+	}
+	// Quantiles cover successful requests only: a 503 rejection returns
+	// near-instantly and a transport error can take the full client
+	// timeout, and either would distort the latency admitted queries saw.
+	lats := make([]float64, 0, len(ss))
+	probes := make([]int, 0, len(ss))
+	recall := stats.Proportion{}
+	totalProbes, maxRounds, maxPar, okCount := 0, 0, 0, 0
+	for _, s := range ss {
+		if s.ok {
+			okCount++
+			lats = append(lats, float64(s.latency.Microseconds())/1000)
+			probes = append(probes, s.probes)
+			totalProbes += s.probes
+			if s.rounds > maxRounds {
+				maxRounds = s.rounds
+			}
+			if s.maxPar > maxPar {
+				maxPar = s.maxPar
+			}
+			recall.Trials++
+			if s.good {
+				recall.Successes++
+			}
+		}
+	}
+	sort.Float64s(lats)
+	fmt.Printf("queries: %d ok, %d failed   achieved QPS: %.1f\n",
+		okCount, len(ss)-okCount, float64(len(ss))/wall.Seconds())
+	if len(lats) > 0 {
+		fmt.Printf("latency ms (ok only): p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			stats.Quantile(lats, 0.50), stats.Quantile(lats, 0.95),
+			stats.Quantile(lats, 0.99), lats[len(lats)-1])
+	}
+	fmt.Printf("recall (γ=%v): %v\n", r.gamma, recall)
+	if okCount > 0 {
+		fmt.Printf("probes/query: %v   total probes: %d   max rounds: %d   max parallel: %d\n",
+			stats.SummarizeInts(probes), totalProbes, maxRounds, maxPar)
+	}
+}
+
+// printServerStats fetches /statsz so the report ends with the server's
+// own view in the shared stats schema.
+func printServerStats(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/statsz")
+	if err != nil {
+		log.Printf("annsload: /statsz unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var snap server.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Printf("annsload: bad /statsz body: %v", err)
+		return
+	}
+	fmt.Printf("\n=== server /statsz ===\n")
+	fmt.Printf("queries=%d near=%d batches=%d errors=%d rejected=%d deadline_exceeded=%d\n",
+		snap.Queries, snap.Near, snap.Batches, snap.Errors, snap.Rejected, snap.DeadlineExceeded)
+	fmt.Printf("probes=%d rounds=%d max_rounds=%d max_parallel=%d qps=%.1f error_rate=%.4f workers=%d\n",
+		snap.Probes, snap.Rounds, snap.MaxRounds, snap.MaxParallel, snap.QPS, snap.ErrorRate, snap.Workers)
+}

@@ -8,14 +8,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/anns"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/server"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -58,35 +62,71 @@ func main() {
 		time.Since(start).Round(time.Millisecond), *k, *gamma, *algo)
 
 	ok, failed := 0, 0
-	totalProbes, maxRounds := 0, 0
+	var totalProbes, totalRounds, maxRounds, maxParallel int
+	var probeDist, parallelDist []int
+	// Accumulate pure query time so the statsz QPS measures the index,
+	// not the -v printing below.
+	var qtime time.Duration
 	for i, q := range inst.Queries {
+		t0 := time.Now()
 		res, err := idx.Query(q.X)
+		qtime += time.Since(t0)
+		// Failed queries still pay for their probes in the model.
+		totalProbes += res.Probes
+		totalRounds += res.Rounds
+		if res.Rounds > maxRounds {
+			maxRounds = res.Rounds
+		}
+		if res.MaxParallel > maxParallel {
+			maxParallel = res.MaxParallel
+		}
+		probeDist = append(probeDist, res.Probes)
+		parallelDist = append(parallelDist, res.MaxParallel)
 		if err != nil {
 			failed++
 			if *verbose {
-				fmt.Printf("query %3d: FAILED (%v)\n", i, err)
+				fmt.Printf("query %3d: FAILED probes=%d rounds=%d maxpar=%d (%v)\n",
+					i, res.Probes, res.Rounds, res.MaxParallel, err)
 			}
 			continue
-		}
-		totalProbes += res.Probes
-		if res.Rounds > maxRounds {
-			maxRounds = res.Rounds
 		}
 		good := float64(res.Distance) <= *gamma*float64(q.NNDist)
 		if good {
 			ok++
 		}
 		if *verbose {
-			fmt.Printf("query %3d: point #%d dist=%d (exact %d) probes=%d rounds=%d %v\n",
-				i, res.Index, res.Distance, q.NNDist, res.Probes, res.Rounds, good)
+			fmt.Printf("query %3d: point #%d dist=%d (exact %d) probes=%d rounds=%d maxpar=%d %v\n",
+				i, res.Index, res.Distance, q.NNDist, res.Probes, res.Rounds, res.MaxParallel, good)
 		}
 	}
 	nq := len(inst.Queries)
 	fmt.Printf("\n%d queries: %d γ-approximate, %d failed\n", nq, ok, failed)
-	if nq > failed {
-		fmt.Printf("avg probes/query: %.1f   max rounds: %d\n",
-			float64(totalProbes)/float64(nq-failed), maxRounds)
+	fmt.Printf("probes/query: %v\n", stats.SummarizeInts(probeDist))
+	fmt.Printf("max parallel/query: %v\n", stats.SummarizeInts(parallelDist))
+	if nq > 0 {
+		fmt.Printf("avg probes/query: %.1f   max rounds: %d   max parallel: %d\n",
+			float64(totalProbes)/float64(nq), maxRounds, maxParallel)
 	}
+
+	// Emit the same stats schema internal/server serves at /statsz, so
+	// CLI runs and server runs can be diffed field for field.
+	snap := server.StatsSnapshot{
+		UptimeMS:    qtime.Milliseconds(),
+		Queries:     int64(nq),
+		Errors:      int64(failed),
+		Probes:      int64(totalProbes),
+		Rounds:      int64(totalRounds),
+		MaxRounds:   int64(maxRounds),
+		MaxParallel: int64(maxParallel),
+	}
+	if sec := qtime.Seconds(); sec > 0 {
+		snap.QPS = float64(nq) / sec
+	}
+	if nq > 0 {
+		snap.ErrorRate = float64(failed) / float64(nq)
+	}
+	fmt.Printf("statsz: ")
+	json.NewEncoder(os.Stdout).Encode(snap)
 	th := eval.Theory{D: inst.D, Gamma: *gamma}
 	fmt.Printf("theory: k(log d)^{1/k} = %.1f   lower bound = %.2f\n",
 		th.Algo1Probes(*k), th.LowerBound(*k))

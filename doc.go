@@ -9,4 +9,25 @@
 // driven by cmd/annsbench and by the benchmarks in bench_test.go.
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// On top of the library sits a three-layer serving subsystem:
+//
+//   - anns.ShardedIndex (sharding layer): partitions one logical
+//     database across independently seeded shards, fans each query out
+//     concurrently, and merges by Hamming distance while aggregating the
+//     cell-probe accounting (rounds = max over shards, probes and max
+//     parallelism summed), keeping the paper's adaptivity/efficiency
+//     tradeoff observable at serving scale.
+//   - repro/internal/server (service layer): an HTTP API (POST
+//     /v1/query, /v1/batch, /v1/near; GET /healthz, /statsz) with a
+//     bounded admission queue, a fixed worker pool reusing the BatchQuery
+//     pool pattern, per-request context deadlines, and atomic QPS /
+//     error-rate / probe counters.
+//   - cmd/annsd and cmd/annsload (load layer): the serving daemon over
+//     generated or annsgen workloads, and a closed-loop / open-loop
+//     (Poisson, target-QPS ramp) load harness reporting p50/p95/p99
+//     latency, achieved QPS, recall, and aggregate probe accounting.
+//
+// See internal/server/README.md for the wire format and a copy-paste
+// serving session.
 package repro

@@ -1,0 +1,438 @@
+// Package server is the query-serving layer of the reproduction: an HTTP
+// front end over an anns.Index or anns.ShardedIndex with a bounded
+// admission queue, a fixed worker pool, per-request deadlines, and atomic
+// serving metrics.
+//
+// The three-layer serving subsystem (see README.md):
+//
+//	anns.ShardedIndex   sharding: fan-out + Hamming-distance merge
+//	internal/server     admission queue, workers, deadlines, /statsz
+//	cmd/annsd+annsload  process entry points and load harness
+//
+// Endpoints: POST /v1/query, POST /v1/batch, POST /v1/near,
+// GET /healthz, GET /statsz. Bodies and answers are JSON (wire.go).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/anns"
+)
+
+// Searcher is the index surface the server needs; both *anns.Index and
+// *anns.ShardedIndex satisfy it.
+type Searcher interface {
+	Query(x anns.Point) (anns.Result, error)
+	QueryNear(x anns.Point, lambda float64) (anns.Result, error)
+	BatchQueryContext(ctx context.Context, xs []anns.Point, workers int) []anns.BatchResult
+	Len() int
+}
+
+// Config tunes the serving layer. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	// Dimension is the Hamming dimension queries must decode to. Required.
+	Dimension int
+	// Workers is the request worker pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full is rejected with 503. Default 1024.
+	QueueDepth int
+	// BatchWorkers is the intra-batch pool each /v1/batch request uses.
+	// Default GOMAXPROCS.
+	BatchWorkers int
+	// MaxBatch caps len(points) of one /v1/batch request. Default 4096.
+	MaxBatch int
+	// DefaultTimeout is the per-request deadline when the request does not
+	// set timeout_ms. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. Default 30s.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// task is one admitted unit of work: run executes on a pool worker (and
+// must not block on the requester), done is closed when the task has been
+// executed or skipped. ran is written by the worker before closing done,
+// so readers that observed the close may read it without further
+// synchronization.
+type task struct {
+	ctx  context.Context
+	run  func()
+	done chan struct{}
+	ran  bool
+}
+
+// metrics is the server's atomic counter block, exported via /statsz.
+type metrics struct {
+	queries, batches, near     atomic.Int64
+	errors, rejected, deadline atomic.Int64
+	probes, rounds             atomic.Int64
+	maxRounds, maxParallel     atomic.Int64
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// record folds one answered query into the counters.
+func (m *metrics) record(res anns.Result, err error) {
+	m.probes.Add(int64(res.Probes))
+	m.rounds.Add(int64(res.Rounds))
+	atomicMax(&m.maxRounds, int64(res.Rounds))
+	atomicMax(&m.maxParallel, int64(res.MaxParallel))
+	if err != nil {
+		m.errors.Add(1)
+	}
+}
+
+// Server is the HTTP serving layer. Construct with New, expose with
+// Handler or ListenAndServe, and stop with Close/Shutdown.
+type Server struct {
+	cfg   Config
+	idx   Searcher
+	mux   *http.ServeMux
+	queue chan *task
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+	start time.Time
+	m     metrics
+
+	httpMu sync.Mutex
+	httpS  *http.Server
+}
+
+// New builds a Server over idx and starts its worker pool.
+func New(idx Searcher, cfg Config) (*Server, error) {
+	if idx == nil {
+		return nil, errors.New("server: nil Searcher")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Dimension < 2 {
+		return nil, errors.New("server: Config.Dimension must be at least 2")
+	}
+	s := &Server{
+		cfg:   cfg,
+		idx:   idx,
+		mux:   http.NewServeMux(),
+		queue: make(chan *task, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/near", s.handleNear)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case t := <-s.queue:
+			s.runTask(t)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// runTask executes one admitted task. A panic inside the index must not
+// kill the pool worker or leave the requester hung on done, so it is
+// recovered here and surfaces as a counted error (the requester sees it
+// as t.ran == false with a live context, i.e. a 500).
+func (s *Server) runTask(t *task) {
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.errors.Add(1)
+		}
+	}()
+	if t.ctx.Err() == nil {
+		t.run()
+		t.ran = true
+	}
+}
+
+// Handler returns the HTTP handler (for httptest and custom servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.mux}
+	s.httpMu.Lock()
+	s.httpS = hs
+	s.httpMu.Unlock()
+	err := hs.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully drains the HTTP listener, then stops the workers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	hs := s.httpS
+	s.httpMu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	s.Close()
+	return err
+}
+
+// Close stops the worker pool. Requests still queued resolve via their
+// deadlines. Safe to call more than once.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+// timeout resolves the per-request deadline from the optional timeout_ms.
+func (s *Server) timeout(ms int) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// admit queues run under a deadline of d and waits for it to finish.
+// It writes the 503/504 error answers itself and reports whether the
+// caller may write the success answer.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, d time.Duration, run func(ctx context.Context)) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	t := &task{ctx: ctx, run: func() { run(ctx) }, done: make(chan struct{})}
+	select {
+	case s.queue <- t:
+	default:
+		s.m.rejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "admission queue full"})
+		return false
+	}
+	select {
+	case <-t.done:
+		// A worker may dequeue a task whose deadline already passed and
+		// skip it; that close races with ctx.Done below, so only t.ran
+		// distinguishes an answered request from an expired one.
+		if t.ran {
+			return true
+		}
+	case <-ctx.Done():
+	}
+	if err := ctx.Err(); err != nil {
+		s.m.deadline.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
+	} else {
+		// done closed, not ran, context live: the task panicked.
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "internal error"})
+	}
+	return false
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	x, err := DecodePoint(req.Point, s.cfg.Dimension)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	var resp QueryResponse
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(context.Context) {
+		res, qerr := s.idx.Query(x)
+		s.m.queries.Add(1)
+		s.m.record(res, qerr)
+		resp = toResponse(res, qerr)
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
+	var req NearRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Lambda <= 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "lambda must be positive"})
+		return
+	}
+	x, err := DecodePoint(req.Point, s.cfg.Dimension)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	var resp QueryResponse
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(context.Context) {
+		res, qerr := s.idx.QueryNear(x, req.Lambda)
+		s.m.near.Add(1)
+		s.m.record(res, qerr)
+		resp = toResponse(res, qerr)
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty points"})
+		return
+	}
+	if len(req.Points) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			ErrorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Points), s.cfg.MaxBatch)})
+		return
+	}
+	xs := make([]anns.Point, len(req.Points))
+	for i, enc := range req.Points {
+		x, err := DecodePoint(enc, s.cfg.Dimension)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: fmt.Sprintf("point %d: %v", i, err)})
+			return
+		}
+		xs[i] = x
+	}
+	var resp BatchResponse
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(ctx context.Context) {
+		batch := s.idx.BatchQueryContext(ctx, xs, s.cfg.BatchWorkers)
+		s.m.batches.Add(1)
+		resp.Results = make([]QueryResponse, len(batch))
+		executed := int64(0)
+		for i, b := range batch {
+			resp.Results[i] = toResponse(b.Result, b.Err)
+			// Slots the deadline cancelled before dispatch never ran a
+			// query; charging them to errors would corrupt error_rate
+			// (the scheme's failure probability, not load shedding).
+			if errors.Is(b.Err, context.Canceled) || errors.Is(b.Err, context.DeadlineExceeded) {
+				continue
+			}
+			executed++
+			s.m.record(b.Result, b.Err)
+		}
+		s.m.queries.Add(executed)
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:   "ok",
+		N:        s.idx.Len(),
+		Shards:   1,
+		Dim:      s.cfg.Dimension,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+	}
+	if sh, ok := s.idx.(interface{ Shards() int }); ok {
+		h.Shards = sh.Shards()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// Stats returns the current counter snapshot (also served at /statsz).
+func (s *Server) Stats() StatsSnapshot {
+	up := time.Since(s.start)
+	snap := StatsSnapshot{
+		UptimeMS:         up.Milliseconds(),
+		Queries:          s.m.queries.Load(),
+		Batches:          s.m.batches.Load(),
+		Near:             s.m.near.Load(),
+		Errors:           s.m.errors.Load(),
+		Rejected:         s.m.rejected.Load(),
+		DeadlineExceeded: s.m.deadline.Load(),
+		Probes:           s.m.probes.Load(),
+		Rounds:           s.m.rounds.Load(),
+		MaxRounds:        s.m.maxRounds.Load(),
+		MaxParallel:      s.m.maxParallel.Load(),
+		QueueLen:         len(s.queue),
+		Workers:          s.cfg.Workers,
+	}
+	if sec := up.Seconds(); sec > 0 {
+		snap.QPS = float64(snap.Queries+snap.Near) / sec
+	}
+	if total := snap.Queries + snap.Near; total > 0 {
+		snap.ErrorRate = float64(snap.Errors) / float64(total)
+	}
+	return snap
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"repro/anns"
+	"repro/internal/bitvec"
+)
+
+// The wire format is JSON over HTTP. Points travel as standard base64 of
+// their packed little-endian byte image: bit i of the point is bit i%8 of
+// byte i/8, exactly the layout of anns.NewPointFromBytes and
+// bitvec.Vector.Key. Every answer carries the same stats schema the CLI
+// tools print: index, distance, rounds, probes, max_parallel.
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Point is the base64-encoded packed query point.
+	Point string `json:"point"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// NearRequest is the body of POST /v1/near (the λ-near-neighbor decision).
+type NearRequest struct {
+	Point     string  `json:"point"`
+	Lambda    float64 `json:"lambda"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Points    []string `json:"points"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is one query's answer in the shared stats schema. A
+// failed query carries its accounting plus a non-empty Error and
+// Index = -1 (for /v1/near, Index = -1 with empty Error is the NO answer).
+type QueryResponse struct {
+	Index       int    `json:"index"`
+	Distance    int    `json:"distance"`
+	Rounds      int    `json:"rounds"`
+	Probes      int    `json:"probes"`
+	MaxParallel int    `json:"max_parallel"`
+	Error       string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body answering POST /v1/batch, results in input
+// order.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status   string `json:"status"`
+	N        int    `json:"n"`
+	Shards   int    `json:"shards"`
+	Dim      int    `json:"dim"`
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+// StatsSnapshot is the body of GET /statsz: monotonic totals since start
+// plus derived rates. cmd/annsquery prints the same schema so CLI and
+// server reports line up field for field.
+type StatsSnapshot struct {
+	UptimeMS         int64   `json:"uptime_ms"`
+	Queries          int64   `json:"queries"`
+	Batches          int64   `json:"batches"`
+	Near             int64   `json:"near"`
+	Errors           int64   `json:"errors"`
+	Rejected         int64   `json:"rejected"`
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+	Probes           int64   `json:"probes"`
+	Rounds           int64   `json:"rounds"`
+	MaxRounds        int64   `json:"max_rounds"`
+	MaxParallel      int64   `json:"max_parallel"`
+	QPS              float64 `json:"qps"`
+	ErrorRate        float64 `json:"error_rate"`
+	QueueLen         int     `json:"queue_len"`
+	Workers          int     `json:"workers"`
+}
+
+// EncodePoint serializes a point into the wire encoding.
+func EncodePoint(p anns.Point) string {
+	return base64.StdEncoding.EncodeToString([]byte(bitvec.Vector(p).Key()))
+}
+
+// DecodePoint parses the wire encoding back into a point of dimension d.
+// The encoded image must be exactly Words(d)*8 bytes — a longer payload
+// is rejected rather than silently truncated, so a client built for the
+// wrong dimension gets a 400 instead of plausible wrong answers.
+func DecodePoint(enc string, d int) (anns.Point, error) {
+	raw, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, fmt.Errorf("server: point is not valid base64: %w", err)
+	}
+	if want := bitvec.Words(d) * 8; len(raw) != want {
+		return nil, fmt.Errorf("server: point image is %d bytes, want %d for dimension %d",
+			len(raw), want, d)
+	}
+	return anns.NewPointFromBytes(raw, d)
+}
+
+// toResponse converts an API result + error into the wire schema.
+func toResponse(res anns.Result, err error) QueryResponse {
+	out := QueryResponse{
+		Index:       res.Index,
+		Distance:    res.Distance,
+		Rounds:      res.Rounds,
+		Probes:      res.Probes,
+		MaxParallel: res.MaxParallel,
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	return out
+}

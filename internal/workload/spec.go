@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Spec is a flag-friendly description of a generated instance. Two
+// processes holding the same Spec generate bit-identical instances (the
+// generators are deterministic in the seed), which is how cmd/annsd and
+// cmd/annsload agree on ground truth without shipping it over the wire.
+type Spec struct {
+	Kind     string // uniform | planted | clustered | annulus | graded
+	D, N, Q  int
+	Dist     int     // planted NN distance (planted)
+	Clusters int     // cluster count (clustered)
+	Rad      int     // cluster radius (clustered)
+	Lambda   int     // near threshold (annulus)
+	Gamma    float64 // separation ratio (annulus)
+	Base     int     // first rung (graded)
+	Step     float64 // rung ratio (graded)
+	Rungs    int     // rung count (graded)
+	Seed     uint64
+}
+
+// Generate materializes the instance the spec describes. Parameter
+// combinations the generators reject (they panic, as library misuse)
+// surface here as errors, since a Spec usually arrives from flags.
+func (s Spec) Generate() (in *Instance, err error) {
+	if s.D < 2 || s.N < 2 || s.Q < 1 {
+		return nil, fmt.Errorf("workload: spec needs d >= 2, n >= 2, q >= 1 (got d=%d n=%d q=%d)",
+			s.D, s.N, s.Q)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			in, err = nil, fmt.Errorf("workload: invalid spec: %v", r)
+		}
+	}()
+	r := rng.New(s.Seed)
+	switch s.Kind {
+	case "uniform":
+		return Uniform(r, s.D, s.N, s.Q), nil
+	case "planted":
+		return PlantedNN(r, s.D, s.N, s.Q, s.Dist), nil
+	case "clustered":
+		return Clustered(r, s.D, s.N, s.Q, s.Clusters, s.Rad), nil
+	case "annulus":
+		return Annulus(r, s.D, s.N, s.Q, s.Lambda, s.Gamma), nil
+	case "graded":
+		return Graded(r, s.D, s.N, s.Q, s.Base, s.Step, s.Rungs), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %q", s.Kind)
+	}
+}
+
+// RegisterFlags exposes every Spec field on fs, with the receiver's
+// current values as defaults. cmd/annsd and cmd/annsload both call this,
+// which is what keeps their generator flag sets (and hence their view of
+// the instance) in lockstep.
+func (s *Spec) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&s.Kind, "kind", s.Kind, "workload kind: uniform | planted | clustered | annulus | graded")
+	fs.IntVar(&s.D, "d", s.D, "dimension")
+	fs.IntVar(&s.N, "n", s.N, "database size")
+	fs.IntVar(&s.Q, "q", s.Q, "distinct query points (the load harness cycles through them)")
+	fs.IntVar(&s.Dist, "dist", s.Dist, "planted NN distance (kind=planted)")
+	fs.IntVar(&s.Clusters, "clusters", s.Clusters, "cluster count (kind=clustered)")
+	fs.IntVar(&s.Rad, "rad", s.Rad, "cluster radius (kind=clustered)")
+	fs.IntVar(&s.Lambda, "lambda", s.Lambda, "near threshold (kind=annulus)")
+	fs.Float64Var(&s.Gamma, "wgamma", s.Gamma, "separation ratio (kind=annulus)")
+	fs.IntVar(&s.Base, "base", s.Base, "first rung distance (kind=graded)")
+	fs.Float64Var(&s.Step, "step", s.Step, "rung ratio (kind=graded)")
+	fs.IntVar(&s.Rungs, "rungs", s.Rungs, "rung count (kind=graded)")
+	fs.Uint64Var(&s.Seed, "wseed", s.Seed, "workload generator seed")
+}
+
+// DefaultSpec is the starting point both serving CLIs register flags
+// over: a planted-NN instance big enough to be non-degenerate yet quick
+// to index.
+func DefaultSpec() Spec {
+	return Spec{
+		Kind: "planted", D: 512, N: 4096, Q: 512,
+		Dist: 40, Clusters: 8, Rad: 30, Lambda: 8, Gamma: 2,
+		Base: 8, Step: 2, Rungs: 3, Seed: 1,
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// TestSpecDeterminism is the property cmd/annsd and cmd/annsload lean on:
+// the same spec generates bit-identical instances in separate processes.
+func TestSpecDeterminism(t *testing.T) {
+	spec := Spec{Kind: "planted", D: 192, N: 60, Q: 10, Dist: 12, Seed: 7}
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.DB) != len(b.DB) || len(a.Queries) != len(b.Queries) {
+		t.Fatal("sizes differ across generations")
+	}
+	for i := range a.DB {
+		if !bitvec.Equal(a.DB[i], b.DB[i]) {
+			t.Fatalf("db point %d differs", i)
+		}
+	}
+	for i := range a.Queries {
+		if !bitvec.Equal(a.Queries[i].X, b.Queries[i].X) ||
+			a.Queries[i].NNDist != b.Queries[i].NNDist {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestSpecKinds(t *testing.T) {
+	base := DefaultSpec()
+	base.D, base.N, base.Q = 128, 48, 6
+	base.Dist, base.Lambda, base.Rad = 10, 6, 10
+	for _, kind := range []string{"uniform", "planted", "clustered", "annulus", "graded"} {
+		s := base
+		s.Kind = kind
+		in, err := s.Generate()
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if len(in.Queries) != s.Q {
+			t.Errorf("%s: %d queries, want %d", kind, len(in.Queries), s.Q)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := (Spec{Kind: "nope", D: 64, N: 10, Q: 2}).Generate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (Spec{Kind: "uniform", D: 1, N: 10, Q: 2}).Generate(); err == nil {
+		t.Error("d=1 accepted")
+	}
+	// Generator panics must surface as errors (planted needs n > q).
+	if _, err := (Spec{Kind: "planted", D: 64, N: 4, Q: 8, Dist: 5}).Generate(); err == nil {
+		t.Error("planted with n <= q accepted")
+	}
+}
+
+func TestSpecRegisterFlags(t *testing.T) {
+	s := DefaultSpec()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-kind", "uniform", "-d", "256", "-n", "99", "-wseed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "uniform" || s.D != 256 || s.N != 99 || s.Seed != 5 {
+		t.Errorf("flags did not land: %+v", s)
+	}
+	if s.Q != DefaultSpec().Q {
+		t.Errorf("untouched field lost its default: %+v", s)
+	}
+}
