@@ -1,0 +1,129 @@
+package anns
+
+import (
+	"testing"
+
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+// Steady-state allocation ceilings of the zero-allocation query engine.
+// The single-index paths run on pooled query contexts and binary cell
+// addresses, so after the lazy cells and sketches are warmed a query
+// performs no heap allocation at all; the sharded fan-out pays only for
+// its per-shard goroutines. These tests pin those ceilings so an
+// accidental reintroduction of per-probe allocation fails CI
+// (run explicitly: GOFLAGS=-count=1 go test -run TestAllocs ./anns).
+
+const (
+	// allocCeilingQuery bounds Index.Query and Index.QueryNear: the warm
+	// path allocates nothing; 1.5 tolerates a stray pool refill under GC.
+	allocCeilingQuery = 1.5
+	// allocCeilingSharded bounds the ShardedIndex merge path: one
+	// goroutine spawn per shard (4 here) plus the wait-group round trip.
+	// Everything else — per-shard contexts, result slots — is pooled.
+	allocCeilingSharded = 24
+)
+
+// skipIfRace skips allocation-ceiling tests under the race detector,
+// whose instrumentation allocates on paths that are free in production.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation ceilings are measured without -race instrumentation")
+	}
+}
+
+func allocFixture(t *testing.T, n, d int, shards int) (*Index, *ShardedIndex, []Point) {
+	t.Helper()
+	r := rng.New(71)
+	db := make([]Point, n)
+	for i := range db {
+		db[i] = hamming.Random(r, d)
+	}
+	queries := make([]Point, 16)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, db[i], d, d/16)
+	}
+	ix, err := Build(db, Options{Dimension: d, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := BuildSharded(db, shards, Options{Dimension: d, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, sx, queries
+}
+
+func TestAllocsQuery(t *testing.T) {
+	skipIfRace(t)
+	ix, _, queries := allocFixture(t, 128, 256, 4)
+	for _, q := range queries { // warm lazy cells, sketches, pooled ctxs
+		ix.Query(q)
+	}
+	i := 0
+	got := testing.AllocsPerRun(100, func() {
+		ix.Query(queries[i%len(queries)])
+		i++
+	})
+	if got > allocCeilingQuery {
+		t.Errorf("Index.Query allocates %.1f/op at steady state, ceiling %v",
+			got, allocCeilingQuery)
+	}
+}
+
+func TestAllocsQueryNear(t *testing.T) {
+	skipIfRace(t)
+	ix, _, queries := allocFixture(t, 128, 256, 4)
+	for _, q := range queries {
+		ix.QueryNear(q, 16)
+	}
+	i := 0
+	got := testing.AllocsPerRun(100, func() {
+		ix.QueryNear(queries[i%len(queries)], 16)
+		i++
+	})
+	if got > allocCeilingQuery {
+		t.Errorf("Index.QueryNear allocates %.1f/op at steady state, ceiling %v",
+			got, allocCeilingQuery)
+	}
+}
+
+func TestAllocsShardedMerge(t *testing.T) {
+	skipIfRace(t)
+	_, sx, queries := allocFixture(t, 128, 256, 4)
+	for _, q := range queries {
+		sx.Query(q)
+	}
+	i := 0
+	got := testing.AllocsPerRun(100, func() {
+		sx.Query(queries[i%len(queries)])
+		i++
+	})
+	if got > allocCeilingSharded {
+		t.Errorf("ShardedIndex.Query allocates %.1f/op at steady state, ceiling %v",
+			got, allocCeilingSharded)
+	}
+}
+
+// TestAllocsScratchReuse pins the per-worker reuse contract: a held
+// Scratch makes repeated queries allocation-free without touching the
+// shared pool at all.
+func TestAllocsScratchReuse(t *testing.T) {
+	skipIfRace(t)
+	ix, _, queries := allocFixture(t, 128, 256, 4)
+	sc := NewScratch()
+	for _, q := range queries {
+		ix.QueryScratch(q, sc)
+	}
+	i := 0
+	got := testing.AllocsPerRun(100, func() {
+		ix.QueryScratch(queries[i%len(queries)], sc)
+		i++
+	})
+	if got > allocCeilingQuery {
+		t.Errorf("Index.QueryScratch allocates %.1f/op at steady state, ceiling %v",
+			got, allocCeilingQuery)
+	}
+}

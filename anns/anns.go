@@ -17,6 +17,7 @@ package anns
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
@@ -103,7 +104,7 @@ type Result struct {
 // Index is a built data structure.
 type Index struct {
 	opts      Options
-	scheme    core.Scheme
+	scheme    core.CtxScheme
 	lambda    *core.Lambda
 	coreIndex *core.Index
 	db        []Point
@@ -164,30 +165,75 @@ func Build(points []Point, opts Options) (*Index, error) {
 	out := &Index{opts: opts, db: points}
 	if opts.Repetitions == 1 {
 		s, idx := build(opts.Seed)
-		out.scheme = s
+		out.scheme = s.(core.CtxScheme)
 		out.lambda = core.NewLambda(idx)
 		out.coreIndex = idx
 	} else {
-		out.scheme = core.NewBoosted(opts.Repetitions, opts.Seed, build)
-		_, idx := build(opts.Seed)
+		boosted := core.NewBoosted(opts.Repetitions, opts.Seed, build)
+		out.scheme = boosted
+		// The boosted scheme's first repetition *is* the seed-0 index;
+		// reuse it for the λ-ANNS path and space accounting instead of
+		// preprocessing the same (points, seed) pair a second time.
+		idx := boosted.Index(0)
 		out.lambda = core.NewLambda(idx)
 		out.coreIndex = idx
 	}
 	return out, nil
 }
 
-// Query returns a γ-approximate nearest neighbor of x using at most
-// Options.Rounds rounds of parallel cell-probes. A failure (possible with
-// probability bounded by the scheme's error) yields an error.
-func (ix *Index) Query(x Point) (Result, error) {
-	res := ix.scheme.Query(x)
-	out := Result{
+// Scratch is a reusable query-execution scratchpad wrapping the core
+// layer's pooled QueryCtx: probe buffers, per-level sketch scratch, and
+// round accounting. Long-lived callers (batch workers, server workers)
+// hold one Scratch and thread it through every query so that steady-state
+// execution allocates nothing; one-shot callers can ignore it — Query and
+// QueryNear draw from the shared pool internally. A Scratch is not safe
+// for concurrent use.
+type Scratch struct {
+	c *core.QueryCtx
+}
+
+// NewScratch returns a fresh scratchpad.
+func NewScratch() *Scratch { return &Scratch{c: core.NewQueryCtx()} }
+
+// scratchPool recycles warmed scratchpads for the internal batch workers,
+// so a batch reuses contexts across calls instead of building fresh ones
+// per worker per batch.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func acquireScratch() *Scratch   { return scratchPool.Get().(*Scratch) }
+func releaseScratch(sc *Scratch) { scratchPool.Put(sc) }
+
+// toResult converts a core result into the public accounting. All fields
+// are plain values, so nothing retains context-owned memory.
+func toResult(res core.Result) Result {
+	return Result{
 		Index:       res.Index,
 		Distance:    -1,
 		Rounds:      res.Stats.Rounds,
 		Probes:      res.Stats.Probes,
 		MaxParallel: res.Stats.MaxProbesInRound(),
 	}
+}
+
+// Query returns a γ-approximate nearest neighbor of x using at most
+// Options.Rounds rounds of parallel cell-probes. A failure (possible with
+// probability bounded by the scheme's error) yields an error.
+func (ix *Index) Query(x Point) (Result, error) {
+	c := core.AcquireQueryCtx()
+	out, err := ix.queryCtx(x, c)
+	core.ReleaseQueryCtx(c)
+	return out, err
+}
+
+// QueryScratch is Query on a caller-held scratchpad (per-worker reuse
+// instead of per-call pool traffic).
+func (ix *Index) QueryScratch(x Point, sc *Scratch) (Result, error) {
+	return ix.queryCtx(x, sc.c)
+}
+
+func (ix *Index) queryCtx(x Point, c *core.QueryCtx) (Result, error) {
+	res := ix.scheme.QueryWithCtx(x, c)
+	out := toResult(res)
 	if res.Failed() {
 		if res.Err != nil {
 			return out, fmt.Errorf("anns: query failed: %w", res.Err)
@@ -204,14 +250,20 @@ func (ix *Index) Query(x Point) (Result, error) {
 // probability) a point within Gamma·lambda; if no point is within
 // Gamma·lambda it returns Index = -1 with a nil error (the NO answer).
 func (ix *Index) QueryNear(x Point, lambda float64) (Result, error) {
-	res := ix.lambda.QueryNear(x, lambda)
-	out := Result{
-		Index:       res.Index,
-		Distance:    -1,
-		Rounds:      res.Stats.Rounds,
-		Probes:      res.Stats.Probes,
-		MaxParallel: res.Stats.MaxProbesInRound(),
-	}
+	c := core.AcquireQueryCtx()
+	out, err := ix.queryNearCtx(x, lambda, c)
+	core.ReleaseQueryCtx(c)
+	return out, err
+}
+
+// QueryNearScratch is QueryNear on a caller-held scratchpad.
+func (ix *Index) QueryNearScratch(x Point, lambda float64, sc *Scratch) (Result, error) {
+	return ix.queryNearCtx(x, lambda, sc.c)
+}
+
+func (ix *Index) queryNearCtx(x Point, lambda float64, c *core.QueryCtx) (Result, error) {
+	res := ix.lambda.QueryNearWithCtx(x, lambda, c)
+	out := toResult(res)
 	if res.Err != nil {
 		return out, fmt.Errorf("anns: near query failed: %w", res.Err)
 	}

@@ -14,10 +14,13 @@ type BatchResult struct {
 
 // batchRun is the shared worker pool behind every batch entry point: n
 // independent jobs fanned over a fixed pool, results in input order.
-// When ctx is cancelled the dispatcher stops handing out jobs and every
-// job not yet started resolves to ctx.Err(); jobs already running finish
-// (a cell-probe query is not interruptible mid-round).
-func batchRun(ctx context.Context, n, workers int, run func(i int) (Result, error)) []BatchResult {
+// Each worker owns one Scratch for its whole lifetime and threads it
+// through every job, so a batch reuses pooled query contexts per worker
+// instead of per call. When ctx is cancelled the dispatcher stops handing
+// out jobs and every job not yet started resolves to ctx.Err(); jobs
+// already running finish (a cell-probe query is not interruptible
+// mid-round).
+func batchRun(ctx context.Context, n, workers int, run func(i int, sc *Scratch) (Result, error)) []BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -34,12 +37,14 @@ func batchRun(ctx context.Context, n, workers int, run func(i int) (Result, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := acquireScratch()
+			defer releaseScratch(sc)
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					out[i] = BatchResult{Result: Result{Index: -1, Distance: -1}, Err: err}
 					continue
 				}
-				res, err := run(i)
+				res, err := run(i, sc)
 				out[i] = BatchResult{Result: res, Err: err}
 			}
 		}()
@@ -79,8 +84,8 @@ func (ix *Index) BatchQuery(xs []Point, workers int) []BatchResult {
 // completion, so the returned slice always has len(xs) entries in input
 // order.
 func (ix *Index) BatchQueryContext(ctx context.Context, xs []Point, workers int) []BatchResult {
-	return batchRun(ctx, len(xs), workers, func(i int) (Result, error) {
-		return ix.Query(xs[i])
+	return batchRun(ctx, len(xs), workers, func(i int, sc *Scratch) (Result, error) {
+		return ix.QueryScratch(xs[i], sc)
 	})
 }
 
@@ -93,7 +98,7 @@ func (ix *Index) BatchQueryNear(xs []Point, lambda float64, workers int) []Batch
 // BatchQueryNearContext is BatchQueryNear with cancellation semantics
 // identical to BatchQueryContext.
 func (ix *Index) BatchQueryNearContext(ctx context.Context, xs []Point, lambda float64, workers int) []BatchResult {
-	return batchRun(ctx, len(xs), workers, func(i int) (Result, error) {
-		return ix.QueryNear(xs[i], lambda)
+	return batchRun(ctx, len(xs), workers, func(i int, sc *Scratch) (Result, error) {
+		return ix.QueryNearScratch(xs[i], lambda, sc)
 	})
 }

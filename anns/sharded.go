@@ -81,6 +81,33 @@ func BuildSharded(points []Point, shards int, opts Options) (*ShardedIndex, erro
 	return sx, nil
 }
 
+// shardScratch is the reusable fan-out state of one sharded query: the
+// per-shard result slots and the wait group. Pooled so the merge path
+// does not reallocate them per call.
+type shardScratch struct {
+	results []Result
+	ok      []bool
+	errs    []error
+}
+
+var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+func acquireShardScratch(n int) *shardScratch {
+	s := shardScratchPool.Get().(*shardScratch)
+	if cap(s.results) < n {
+		s.results = make([]Result, n)
+		s.ok = make([]bool, n)
+		s.errs = make([]error, n)
+	}
+	s.results = s.results[:n]
+	s.ok = s.ok[:n]
+	s.errs = s.errs[:n]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	return s
+}
+
 // mergeShardResults folds per-shard outcomes into one logical Result.
 // ok[s] marks shards whose query succeeded (for QueryNear, returned YES).
 func (sx *ShardedIndex) mergeShardResults(results []Result, ok []bool) Result {
@@ -109,24 +136,40 @@ func (sx *ShardedIndex) mergeShardResults(results []Result, ok []bool) Result {
 // degrading the answer the same way one lost repetition degrades a
 // boosted single index.
 func (sx *ShardedIndex) Query(x Point) (Result, error) {
-	results := make([]Result, len(sx.shards))
-	ok := make([]bool, len(sx.shards))
+	sc := acquireShardScratch(len(sx.shards))
+	defer shardScratchPool.Put(sc)
 	var wg sync.WaitGroup
 	for s := range sx.shards {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			// Each shard goroutine draws its own pooled query context;
+			// a caller-held Scratch cannot be shared across the
+			// concurrent fan-out.
 			res, err := sx.shards[s].Query(x)
-			results[s] = res
-			ok[s] = err == nil
+			sc.results[s] = res
+			sc.ok[s] = err == nil
 		}(s)
 	}
 	wg.Wait()
-	out := sx.mergeShardResults(results, ok)
+	out := sx.mergeShardResults(sc.results, sc.ok)
 	if out.Index < 0 {
 		return out, errors.New("anns: query failed on every shard")
 	}
 	return out, nil
+}
+
+// QueryScratch implements the Scratch-taking query surface uniformly with
+// *Index. The sharded fan-out runs on per-shard pooled contexts (see
+// Query), so the caller's scratchpad is not consumed — but server workers
+// can hold one code path for both index kinds.
+func (sx *ShardedIndex) QueryScratch(x Point, _ *Scratch) (Result, error) {
+	return sx.Query(x)
+}
+
+// QueryNearScratch is the λ-ANNS counterpart of QueryScratch.
+func (sx *ShardedIndex) QueryNearScratch(x Point, lambda float64, _ *Scratch) (Result, error) {
+	return sx.QueryNear(x, lambda)
 }
 
 // QueryNear answers the λ-near-neighbor decision over the sharded
@@ -134,30 +177,29 @@ func (sx *ShardedIndex) Query(x Point) (Result, error) {
 // logical answer is NO only when every shard answers NO. Shard-level
 // errors surface only if no shard produced an answer at all.
 func (sx *ShardedIndex) QueryNear(x Point, lambda float64) (Result, error) {
-	results := make([]Result, len(sx.shards))
-	ok := make([]bool, len(sx.shards))
-	errs := make([]error, len(sx.shards))
+	sc := acquireShardScratch(len(sx.shards))
+	defer shardScratchPool.Put(sc)
 	var wg sync.WaitGroup
 	for s := range sx.shards {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
 			res, err := sx.shards[s].QueryNear(x, lambda)
-			results[s] = res
-			errs[s] = err
-			ok[s] = err == nil && res.Index >= 0
+			sc.results[s] = res
+			sc.errs[s] = err
+			sc.ok[s] = err == nil && res.Index >= 0
 		}(s)
 	}
 	wg.Wait()
-	out := sx.mergeShardResults(results, ok)
+	out := sx.mergeShardResults(sc.results, sc.ok)
 	if out.Index < 0 {
 		// All shards said NO (or errored); NO is an answer, errors are not.
-		for _, err := range errs {
+		for _, err := range sc.errs {
 			if err == nil {
 				return out, nil
 			}
 		}
-		return out, fmt.Errorf("anns: near query failed on every shard: %w", errs[0])
+		return out, fmt.Errorf("anns: near query failed on every shard: %w", sc.errs[0])
 	}
 	return out, nil
 }
@@ -171,15 +213,15 @@ func (sx *ShardedIndex) BatchQuery(xs []Point, workers int) []BatchResult {
 // BatchQueryContext is BatchQuery under a context, with the same
 // cancellation semantics as (*Index).BatchQueryContext.
 func (sx *ShardedIndex) BatchQueryContext(ctx context.Context, xs []Point, workers int) []BatchResult {
-	return batchRun(ctx, len(xs), workers, func(i int) (Result, error) {
-		return sx.Query(xs[i])
+	return batchRun(ctx, len(xs), workers, func(i int, sc *Scratch) (Result, error) {
+		return sx.QueryScratch(xs[i], sc)
 	})
 }
 
 // BatchQueryNear is the λ-ANNS batch entry point over all shards.
 func (sx *ShardedIndex) BatchQueryNear(xs []Point, lambda float64, workers int) []BatchResult {
-	return batchRun(context.Background(), len(xs), workers, func(i int) (Result, error) {
-		return sx.QueryNear(xs[i], lambda)
+	return batchRun(context.Background(), len(xs), workers, func(i int, sc *Scratch) (Result, error) {
+		return sx.QueryNearScratch(xs[i], lambda, sc)
 	})
 }
 

@@ -62,9 +62,9 @@ func main() {
 		for j := range x {
 			x[j] = r.Intn(*sigma)
 		}
-		p := cellprobe.NewRecordingProber(2)
-		res := scheme.QueryWithProber(rd.QueryPoint(x), p)
-		lastTranscript = p.Transcript()
+		c := core.NewRecordingQueryCtx()
+		res := scheme.QueryWithCtx(rd.QueryPoint(x), c)
+		lastTranscript = c.Probe().Transcript()
 		probesTotal += res.Stats.Probes
 		_, wantLCP := trie.Query(x)
 		got := -1
@@ -82,13 +82,7 @@ func main() {
 		correct, *q, float64(probesTotal)/float64(*q))
 
 	// Proposition 18 on the final query's transcript.
-	dir := map[string]cellprobe.Table{}
-	for _, b := range idx.Tables.Ball {
-		dir[b.Table().ID()] = b.Table()
-	}
-	dir[idx.Tables.Exact.Table().ID()] = idx.Tables.Exact.Table()
-	dir[idx.Tables.Near.Table().ID()] = idx.Tables.Near.Table()
-	tr := comm.Translate(lastTranscript, func(id string) cellprobe.Table { return dir[id] })
+	tr := comm.Translate(lastTranscript)
 	fmt.Printf("\nProposition 18 view of the last query: %d probe rounds → %d communication rounds\n",
 		tr.ProbeRounds, tr.CommRounds)
 	for i := range tr.A {

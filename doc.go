@@ -28,6 +28,36 @@
 //     (Poisson, target-QPS ramp) load harness reporting p50/p95/p99
 //     latency, achieved QPS, recall, and aggregate probe accounting.
 //
+// # Query execution model
+//
+// The whole query path, from the cell-probe simulator to the HTTP
+// workers, runs on pooled execution contexts and binary cell addresses,
+// so a warmed query allocates nothing:
+//
+//   - cellprobe.Addr is the binary cell address: a typed table tag
+//     (T[i], aux[i], member[B], …) plus the packed payload words of the
+//     sketch or query point. It is comparable and keys the lazy oracle
+//     memo directly — no string serialization anywhere on the probe path.
+//   - cellprobe.QueryCtx owns one query's execution state: the staged
+//     probe refs of the current round, the round's result words, the
+//     Stats accounting, and (optionally) the transcript the Proposition
+//     18 communication translation consumes. Algorithms stage a whole
+//     round (Stage) and execute it at once (Flush), which is also how
+//     limited adaptivity is enforced.
+//   - core.QueryCtx wraps that with the per-level sketch scratch
+//     (M_i·x, N_j·x), the shrinking-grid buffer, and the boosted-stats
+//     accumulator. Contexts come from a process-wide sync.Pool; the
+//     schemes' Query methods draw one per call, while the serving layers
+//     (anns batch workers, the HTTP worker pool) hold one per worker via
+//     anns.Scratch and thread it through every query they serve.
+//
+// The pooling changes no model quantity: accounting invariants are
+// unchanged (per query: Rounds, Probes, ProbesPerRound, BitsRead and
+// AddrBitsSent are byte-identical to the pre-pooling engine; across
+// shards and boosted repetitions: rounds = max, probes = sum). Alloc
+// ceilings are pinned by TestAllocs* in package anns and the before/after
+// record lives in BENCH_query_engine.json.
+//
 // See internal/server/README.md for the wire format and a copy-paste
 // serving session.
 package repro

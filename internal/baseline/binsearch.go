@@ -38,16 +38,14 @@ func (b *BinarySearch) Rounds() int {
 // Query implements core.Scheme.
 func (b *BinarySearch) Query(x bitvec.Vector) core.Result {
 	idx := b.idx
-	p := cellprobe.NewProber(0) // unlimited rounds; we only count
+	p := cellprobe.NewQueryCtx(0) // unlimited rounds; we only count
 	sk := make([]bitvec.Vector, idx.Fam.L+1)
 	probe := func(i int) (cellprobe.Word, error) {
 		if sk[i] == nil {
 			sk[i] = idx.Fam.Accurate[i].Apply(x)
 		}
-		w, err := p.Round([]cellprobe.Ref{{
-			Table: idx.Tables.Ball[i].Table(),
-			Addr:  idx.Tables.Ball[i].AddressOfSketch(sk[i]),
-		}})
+		p.Stage(idx.Tables.Ball[i].Table(), idx.Tables.Ball[i].AddressOfSketch(sk[i]))
+		w, err := p.Flush()
 		if err != nil {
 			return cellprobe.EmptyWord, err
 		}
@@ -56,10 +54,9 @@ func (b *BinarySearch) Query(x bitvec.Vector) core.Result {
 
 	// Degenerate membership round (kept separate: this scheme is a round
 	// comparator, not a round-budget scheme).
-	dw, err := p.Round([]cellprobe.Ref{
-		{Table: idx.Tables.Exact.Table(), Addr: idx.Tables.Exact.Address(x)},
-		{Table: idx.Tables.Near.Table(), Addr: idx.Tables.Near.Address(x)},
-	})
+	p.Stage(idx.Tables.Exact.Table(), idx.Tables.Exact.Address(x))
+	p.Stage(idx.Tables.Near.Table(), idx.Tables.Near.Address(x))
+	dw, err := p.Flush()
 	if err != nil {
 		return core.Result{Index: -1, Stats: p.Stats(), Err: err}
 	}

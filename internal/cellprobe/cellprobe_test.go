@@ -2,10 +2,12 @@ package cellprobe
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"testing"
 )
+
+// wordAddr builds a one-word test address on the generic test table.
+func wordAddr(v uint64) Addr { return VecAddr(GenericTag(0), []uint64{v}) }
 
 func TestWordString(t *testing.T) {
 	if EmptyWord.String() != "EMPTY" {
@@ -19,18 +21,104 @@ func TestWordString(t *testing.T) {
 	}
 }
 
+func TestTagStrings(t *testing.T) {
+	cases := []struct {
+		tag  Tag
+		want string
+	}{
+		{BallTag(3), "T[3]"},
+		{AuxTag(2), "aux[2]"},
+		{MemberTag(0), "member[B]"},
+		{MemberTag(1), "member[N1(B)]"},
+		{PrefixTag(), "lpm-prefix"},
+		{GenericTag(7), "tbl[7]"},
+	}
+	for _, c := range cases {
+		if got := c.tag.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.tag, got, c.want)
+		}
+	}
+}
+
+func TestAddrInlineAndOverflow(t *testing.T) {
+	short := []uint64{1, 2, 3}
+	a := VecAddr(BallTag(1), short)
+	if a.Len() != 3 || a.Word(0) != 1 || a.Word(2) != 3 {
+		t.Fatalf("inline addr %+v", a)
+	}
+	b := VecAddr(BallTag(1), short)
+	if a != b {
+		t.Fatal("identical inline addresses compare unequal")
+	}
+	if VecAddr(BallTag(2), short) == a {
+		t.Fatal("tag not part of identity")
+	}
+
+	long := make([]uint64, AddrWords+3)
+	for i := range long {
+		long[i] = uint64(i * 7)
+	}
+	la := VecAddr(AuxTag(0), long)
+	lb := VecAddr(AuxTag(0), long)
+	if la != lb {
+		t.Fatal("identical overflow addresses compare unequal")
+	}
+	if la.Len() != len(long) {
+		t.Fatalf("overflow len %d", la.Len())
+	}
+	for i, w := range long {
+		if la.Word(i) != w {
+			t.Fatalf("overflow word %d = %d, want %d", i, la.Word(i), w)
+		}
+	}
+	got := la.AppendPayload(nil)
+	for i, w := range long {
+		if got[i] != w {
+			t.Fatalf("AppendPayload[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestAddrBuilderMatchesVecAddr(t *testing.T) {
+	words := []uint64{9, 8, 7, 6}
+	var b AddrBuilder
+	b.Reset(AuxTag(4))
+	b.Vec(words[:2])
+	b.Uint(words[2])
+	b.Uint(words[3])
+	if b.Addr() != VecAddr(AuxTag(4), words) {
+		t.Fatal("builder and VecAddr disagree on inline payload")
+	}
+	// Overflow path: builder and VecAddr must still agree.
+	long := make([]uint64, AddrWords+5)
+	for i := range long {
+		long[i] = uint64(i) * 13
+	}
+	b.Reset(AuxTag(4))
+	b.Vec(long)
+	if b.Addr() != VecAddr(AuxTag(4), long) {
+		t.Fatal("builder and VecAddr disagree on overflow payload")
+	}
+	// A builder reset after overflow must produce clean inline addresses.
+	b.Reset(BallTag(0))
+	b.Uint(5)
+	if b.Addr() != VecAddr(BallTag(0), []uint64{5}) {
+		t.Fatal("builder dirty after overflow reset")
+	}
+}
+
 func TestOracleMemoizesAndMeters(t *testing.T) {
 	var meter Meter
 	evals := 0
-	o := NewOracle("t", 10, 8, &meter, func(addr string) Word {
+	o := NewOracle(GenericTag(1), 10, 8, &meter, func(addr Addr) Word {
 		evals++
-		return IntWord(len(addr))
+		return IntWord(int(addr.Word(0)))
 	})
-	if w := o.Lookup("abc"); w.Value != 3 {
+	if w := o.Lookup(wordAddr(3)); w.Value != 3 {
 		t.Fatalf("lookup = %v", w)
 	}
-	o.Lookup("abc")
-	o.Lookup("abcd")
+	o.Lookup(wordAddr(3))
+	o.Lookup(wordAddr(4))
 	if evals != 2 {
 		t.Errorf("fn evaluated %d times, want 2", evals)
 	}
@@ -40,22 +128,22 @@ func TestOracleMemoizesAndMeters(t *testing.T) {
 	if o.MemoSize() != 2 {
 		t.Errorf("memo size %d", o.MemoSize())
 	}
-	if o.ID() != "t" || o.NominalLogCells() != 10 || o.WordBits() != 8 {
+	if o.ID() != "tbl[1]" || o.Tag() != GenericTag(1) || o.NominalLogCells() != 10 || o.WordBits() != 8 {
 		t.Error("oracle metadata wrong")
 	}
 }
 
 func TestOracleConcurrentLookups(t *testing.T) {
-	o := NewOracle("t", 4, 8, nil, func(addr string) Word { return IntWord(len(addr)) })
+	o := NewOracle(GenericTag(0), 4, 8, nil, func(addr Addr) Word { return IntWord(int(addr.Word(0))) })
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				addr := fmt.Sprintf("a%d", i%10)
-				if w := o.Lookup(addr); w.Value != len(addr) {
-					t.Errorf("bad value %v for %q", w, addr)
+				v := uint64(i % 10)
+				if w := o.Lookup(wordAddr(v)); w.Value != int(v) {
+					t.Errorf("bad value %v for %d", w, v)
 					return
 				}
 			}
@@ -64,17 +152,20 @@ func TestOracleConcurrentLookups(t *testing.T) {
 	wg.Wait()
 }
 
-func TestProberRoundAccounting(t *testing.T) {
-	o := NewOracle("t", 6.5, 33, nil, func(addr string) Word { return EmptyWord })
-	p := NewProber(3)
-	refs := []Ref{{o, "a"}, {o, "b"}, {o, "c"}}
-	if _, err := p.Round(refs); err != nil {
+func TestQueryCtxRoundAccounting(t *testing.T) {
+	o := NewOracle(GenericTag(0), 6.5, 33, nil, func(Addr) Word { return EmptyWord })
+	c := NewQueryCtx(3)
+	c.Stage(o, wordAddr(1))
+	c.Stage(o, wordAddr(2))
+	c.Stage(o, wordAddr(3))
+	if _, err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Round(refs[:1]); err != nil {
+	c.Stage(o, wordAddr(1))
+	if _, err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	st := p.Stats()
+	st := c.Stats()
 	if st.Rounds != 2 || st.Probes != 4 {
 		t.Errorf("stats %+v", st)
 	}
@@ -93,79 +184,105 @@ func TestProberRoundAccounting(t *testing.T) {
 	}
 }
 
-func TestProberEnforcesRoundBudget(t *testing.T) {
-	o := NewOracle("t", 4, 8, nil, func(string) Word { return EmptyWord })
-	p := NewProber(2)
+func TestQueryCtxEnforcesRoundBudget(t *testing.T) {
+	o := NewOracle(GenericTag(0), 4, 8, nil, func(Addr) Word { return EmptyWord })
+	c := NewQueryCtx(2)
 	for i := 0; i < 2; i++ {
-		if _, err := p.Round([]Ref{{o, "x"}}); err != nil {
+		if _, err := c.Round([]Ref{{o, wordAddr(0)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, err := p.Round([]Ref{{o, "x"}})
+	_, err := c.Round([]Ref{{o, wordAddr(0)}})
 	if !errors.Is(err, ErrRoundsExhausted) {
 		t.Fatalf("expected ErrRoundsExhausted, got %v", err)
 	}
-	// Stats unchanged by the failed attempt.
-	if p.Stats().Rounds != 2 {
+	// Stats unchanged by the failed attempt, and the staged refs were
+	// discarded (a later legal round must not replay them).
+	if c.Stats().Rounds != 2 {
 		t.Error("failed round counted")
 	}
 }
 
-func TestProberUnlimited(t *testing.T) {
-	o := NewOracle("t", 4, 8, nil, func(string) Word { return EmptyWord })
-	p := NewProber(0)
+func TestQueryCtxUnlimited(t *testing.T) {
+	o := NewOracle(GenericTag(0), 4, 8, nil, func(Addr) Word { return EmptyWord })
+	c := NewQueryCtx(0)
 	for i := 0; i < 50; i++ {
-		if _, err := p.Round([]Ref{{o, "x"}}); err != nil {
+		if _, err := c.Round([]Ref{{o, wordAddr(0)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if p.Stats().Rounds != 50 {
-		t.Error("unlimited prober miscounted")
+	if c.Stats().Rounds != 50 {
+		t.Error("unlimited ctx miscounted")
 	}
-	if p.RoundsLeft() < 1<<30 {
+	if c.RoundsLeft() < 1<<30 {
 		t.Error("unlimited RoundsLeft too small")
 	}
 }
 
-func TestProberRejectsEmptyRound(t *testing.T) {
-	p := NewProber(2)
-	if _, err := p.Round(nil); err == nil {
+func TestQueryCtxRejectsEmptyRound(t *testing.T) {
+	c := NewQueryCtx(2)
+	if _, err := c.Flush(); err == nil {
 		t.Fatal("empty round accepted")
 	}
 }
 
-func TestProberRoundsLeft(t *testing.T) {
-	o := NewOracle("t", 4, 8, nil, func(string) Word { return EmptyWord })
-	p := NewProber(3)
-	if p.RoundsLeft() != 3 {
+func TestQueryCtxRoundsLeft(t *testing.T) {
+	o := NewOracle(GenericTag(0), 4, 8, nil, func(Addr) Word { return EmptyWord })
+	c := NewQueryCtx(3)
+	if c.RoundsLeft() != 3 {
 		t.Error("initial RoundsLeft")
 	}
-	p.Round([]Ref{{o, "x"}})
-	if p.RoundsLeft() != 2 {
+	c.Round([]Ref{{o, wordAddr(0)}})
+	if c.RoundsLeft() != 2 {
 		t.Error("RoundsLeft after one round")
 	}
 }
 
-func TestRecordingProberTranscript(t *testing.T) {
-	o := NewOracle("tab", 4, 8, nil, func(addr string) Word { return IntWord(len(addr)) })
-	p := NewRecordingProber(2)
-	p.Round([]Ref{{o, "aa"}, {o, "b"}})
-	p.Round([]Ref{{o, "ccc"}})
-	tr := p.Transcript()
+func TestQueryCtxReuseAfterReset(t *testing.T) {
+	o := NewOracle(GenericTag(0), 4, 8, nil, func(Addr) Word { return EmptyWord })
+	c := NewQueryCtx(2)
+	c.Round([]Ref{{o, wordAddr(0)}, {o, wordAddr(1)}})
+	c.Reset(1)
+	if st := c.Stats(); st.Rounds != 0 || st.Probes != 0 || len(st.ProbesPerRound) != 0 {
+		t.Fatalf("stats survived reset: %+v", st)
+	}
+	if _, err := c.Round([]Ref{{o, wordAddr(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Round([]Ref{{o, wordAddr(3)}}); !errors.Is(err, ErrRoundsExhausted) {
+		t.Fatalf("budget not re-armed by reset: %v", err)
+	}
+}
+
+func TestStatsClone(t *testing.T) {
+	s := Stats{Rounds: 2, Probes: 3, ProbesPerRound: []int{2, 1}}
+	cl := s.Clone()
+	s.ProbesPerRound[0] = 99
+	if cl.ProbesPerRound[0] != 2 {
+		t.Error("clone aliases source")
+	}
+}
+
+func TestRecordingQueryCtxTranscript(t *testing.T) {
+	o := NewOracle(GenericTag(3), 4, 8, nil, func(addr Addr) Word { return IntWord(int(addr.Word(0))) })
+	c := NewRecordingQueryCtx(2)
+	c.Round([]Ref{{o, wordAddr(2)}, {o, wordAddr(1)}})
+	c.Round([]Ref{{o, wordAddr(3)}})
+	tr := c.Transcript()
 	if len(tr) != 3 {
 		t.Fatalf("transcript length %d", len(tr))
 	}
 	if tr[0].Round != 0 || tr[2].Round != 1 {
 		t.Error("round tags wrong")
 	}
-	if tr[0].TableID != "tab" || tr[0].Addr != "aa" || tr[0].Content.Value != 2 {
+	if tr[0].Table.ID() != "tbl[3]" || tr[0].Addr != wordAddr(2) || tr[0].Content.Value != 2 {
 		t.Errorf("entry %+v", tr[0])
 	}
-	// Non-recording prober keeps no transcript.
-	q := NewProber(2)
-	q.Round([]Ref{{o, "x"}})
+	// Non-recording ctx keeps no transcript.
+	q := NewQueryCtx(2)
+	q.Round([]Ref{{o, wordAddr(0)}})
 	if q.Transcript() != nil {
-		t.Error("non-recording prober has transcript")
+		t.Error("non-recording ctx has transcript")
 	}
 }
 

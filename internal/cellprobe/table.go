@@ -4,13 +4,16 @@ import "sync"
 
 // Table is a table structure in the cell-probe model: a code assigning a
 // word to every address of its address space. Implementations must be safe
-// for concurrent Lookup calls (benchmarks probe in parallel).
+// for concurrent Lookup calls (queries probe in parallel).
 type Table interface {
-	// ID identifies the table in transcripts (e.g. "T[3]" or "aux[3]").
+	// Tag is the table's typed identity (class + level), embedded in every
+	// address probed against it.
+	Tag() Tag
+	// ID renders the tag for transcripts and reports (e.g. "T[3]").
 	ID() string
-	// Lookup returns the content of the cell at addr. The address encoding
-	// is table specific; addresses are opaque strings to the prober.
-	Lookup(addr string) Word
+	// Lookup returns the content of the cell at addr. The payload encoding
+	// is table specific; addresses are opaque to the prober.
+	Lookup(addr Addr) Word
 	// NominalLogCells returns log₂ of the table's cell count in the model
 	// (the paper's n^{O(1)} accounting), independent of how many cells the
 	// simulator ever evaluates.
@@ -56,32 +59,37 @@ func (m *Meter) addHit() {
 
 // Oracle is a Table whose cells are computed on demand by a pure function
 // of the address and memoized. The function must be deterministic — it
-// represents the content the preprocessing stage would have stored.
+// represents the content the preprocessing stage would have stored. The
+// memo is keyed directly on the binary Addr (comparable, no string
+// round-trips), so steady-state lookups allocate nothing.
 type Oracle struct {
-	id       string
+	tag      Tag
 	logCells float64
 	wordBits int
-	fn       func(addr string) Word
+	fn       func(addr Addr) Word
 	meter    *Meter
 
 	mu   sync.RWMutex
-	memo map[string]Word
+	memo map[Addr]Word
 }
 
 // NewOracle builds an oracle-backed table. meter may be nil.
-func NewOracle(id string, logCells float64, wordBits int, meter *Meter, fn func(addr string) Word) *Oracle {
+func NewOracle(tag Tag, logCells float64, wordBits int, meter *Meter, fn func(addr Addr) Word) *Oracle {
 	return &Oracle{
-		id:       id,
+		tag:      tag,
 		logCells: logCells,
 		wordBits: wordBits,
 		fn:       fn,
 		meter:    meter,
-		memo:     make(map[string]Word),
+		memo:     make(map[Addr]Word),
 	}
 }
 
+// Tag implements Table.
+func (o *Oracle) Tag() Tag { return o.tag }
+
 // ID implements Table.
-func (o *Oracle) ID() string { return o.id }
+func (o *Oracle) ID() string { return o.tag.String() }
 
 // NominalLogCells implements Table.
 func (o *Oracle) NominalLogCells() float64 { return o.logCells }
@@ -90,7 +98,7 @@ func (o *Oracle) NominalLogCells() float64 { return o.logCells }
 func (o *Oracle) WordBits() int { return o.wordBits }
 
 // Lookup implements Table, evaluating and memoizing the cell on first use.
-func (o *Oracle) Lookup(addr string) Word {
+func (o *Oracle) Lookup(addr Addr) Word {
 	o.mu.RLock()
 	w, ok := o.memo[addr]
 	o.mu.RUnlock()

@@ -224,13 +224,13 @@ func TestClaim26ZeroCommunicationLPM(t *testing.T) {
 }
 
 func TestTranslateAccounting(t *testing.T) {
-	o1 := cellprobe.NewOracle("t1", 10, 64, nil, func(string) cellprobe.Word { return cellprobe.EmptyWord })
-	o2 := cellprobe.NewOracle("t2", 6.2, 32, nil, func(string) cellprobe.Word { return cellprobe.EmptyWord })
-	dir := map[string]cellprobe.Table{"t1": o1, "t2": o2}
-	p := cellprobe.NewRecordingProber(2)
-	p.Round([]cellprobe.Ref{{Table: o1, Addr: "a"}, {Table: o2, Addr: "b"}})
-	p.Round([]cellprobe.Ref{{Table: o1, Addr: "c"}})
-	tr := Translate(p.Transcript(), func(id string) cellprobe.Table { return dir[id] })
+	o1 := cellprobe.NewOracle(cellprobe.GenericTag(1), 10, 64, nil, func(cellprobe.Addr) cellprobe.Word { return cellprobe.EmptyWord })
+	o2 := cellprobe.NewOracle(cellprobe.GenericTag(2), 6.2, 32, nil, func(cellprobe.Addr) cellprobe.Word { return cellprobe.EmptyWord })
+	addr := func(t cellprobe.Tag, v uint64) cellprobe.Addr { return cellprobe.VecAddr(t, []uint64{v}) }
+	p := cellprobe.NewRecordingQueryCtx(2)
+	p.Round([]cellprobe.Ref{{Table: o1, Addr: addr(o1.Tag(), 1)}, {Table: o2, Addr: addr(o2.Tag(), 2)}})
+	p.Round([]cellprobe.Ref{{Table: o1, Addr: addr(o1.Tag(), 3)}})
+	tr := Translate(p.Transcript())
 	if tr.ProbeRounds != 2 || tr.CommRounds != 4 {
 		t.Errorf("rounds: %+v", tr)
 	}

@@ -20,8 +20,9 @@ type Translation struct {
 
 // Translate converts a recorded probe transcript into the Proposition 18
 // message-size accounting. Each probed table contributes ⌈log₂ cells⌉
-// address bits and its word size in content bits.
-func Translate(entries []cellprobe.TranscriptEntry, lookup func(tableID string) cellprobe.Table) Translation {
+// address bits and its word size in content bits. Transcript entries carry
+// their table directly, so no ID-string directory is needed.
+func Translate(entries []cellprobe.TranscriptEntry) Translation {
 	var tr Translation
 	byRound := map[int][]cellprobe.TranscriptEntry{}
 	maxRound := -1
@@ -36,9 +37,8 @@ func Translate(entries []cellprobe.TranscriptEntry, lookup func(tableID string) 
 	for r := 0; r <= maxRound; r++ {
 		var aBits, bBits int64
 		for _, e := range byRound[r] {
-			t := lookup(e.TableID)
-			aBits += int64(ceilLogCells(t))
-			bBits += int64(t.WordBits())
+			aBits += int64(ceilLogCells(e.Table))
+			bBits += int64(e.Table.WordBits())
 		}
 		tr.A = append(tr.A, aBits)
 		tr.B = append(tr.B, bBits)

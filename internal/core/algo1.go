@@ -68,58 +68,57 @@ func (a *Algo1) ProbeBound() int {
 	return (a.tau-1)*(a.k-1) + a.tau + 2
 }
 
-// Query implements Scheme.
+// Query implements Scheme via a pooled execution context.
 func (a *Algo1) Query(x bitvec.Vector) Result {
-	return a.QueryWithProber(x, cellprobe.NewProber(a.k))
+	return queryPooled(func(c *QueryCtx) Result { return a.QueryWithCtx(x, c) })
 }
 
-// QueryWithProber runs the algorithm against a caller-supplied prober
-// (used by the communication translation to record transcripts).
-func (a *Algo1) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
+// QueryWithCtx runs the algorithm on a caller-supplied execution context
+// (pooled by the serving layers; recording for the communication
+// translation). The Result's Stats alias context-owned memory.
+func (a *Algo1) QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result {
 	idx := a.idx
-	qs := newQuerySketches(idx.Fam, x)
+	c.begin(idx, x, a.k)
+	cp := c.cp
 	l, u := 0, idx.Fam.L
 	first := true
 
 	for {
-		completion := u-l < a.tau || p.RoundsLeft() <= 1
-		var refs []cellprobe.Ref
+		completion := u-l < a.tau || cp.RoundsLeft() <= 1
 		if first {
-			refs = degenerateRefs(idx, x)
+			stageDegenerate(cp, idx, x)
 		}
-		var grid []int
+		grid := c.grid[:0]
 		if completion {
 			for i := l + 1; i <= u; i++ {
 				grid = append(grid, i)
 			}
 		} else {
-			grid = shrinkGrid(l, u, a.tau)
+			grid = appendShrinkGrid(grid, l, u, a.tau)
 		}
+		c.grid = grid
 		for _, i := range grid {
-			refs = append(refs, cellprobe.Ref{
-				Table: idx.Tables.Ball[i].Table(),
-				Addr:  idx.Tables.Ball[i].AddressOfSketch(qs.accurate(i)),
-			})
+			bt := idx.Tables.Ball[i]
+			cp.Stage(bt.Table(), bt.AddressOfSketch(c.sk.accurate(i)))
 		}
-		words, err := p.Round(refs)
+		words, err := cp.Flush()
 		if err != nil {
-			return Result{Index: -1, Stats: p.Stats(), Err: err}
+			return Result{Index: -1, Stats: cp.Stats(), Err: err}
 		}
 		if first {
 			if ans, ok := degenerateAnswer(words[0], words[1]); ok {
-				return Result{Index: ans, Stats: p.Stats(), Degenerate: true}
+				return Result{Index: ans, Stats: cp.Stats(), Degenerate: true}
 			}
 			words = words[2:]
 			first = false
 		}
 		if completion {
-			for gi, w := range words {
+			for _, w := range words {
 				if w.Kind == cellprobe.Point {
-					return Result{Index: w.Index, Stats: p.Stats()}
+					return Result{Index: w.Index, Stats: cp.Stats()}
 				}
-				_ = gi
 			}
-			return Result{Index: -1, Stats: p.Stats(), Violated: true, Err: errNoAnswer(l, u)}
+			return Result{Index: -1, Stats: cp.Stats(), Violated: true, Err: errNoAnswer(l, u)}
 		}
 		// Shrinking round: r* is the smallest grid position with a nonempty
 		// level; the gap collapses to (ρ(r*−1), ρ(r*)].
@@ -139,19 +138,19 @@ func (a *Algo1) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
 			newL, newU = grid[rStar-1], grid[rStar]
 		}
 		if newL < l || newU > u || newL >= newU {
-			return Result{Index: -1, Stats: p.Stats(), Violated: true,
+			return Result{Index: -1, Stats: cp.Stats(), Violated: true,
 				Err: fmt.Errorf("core: invariant broke: [%d,%d] -> [%d,%d]", l, u, newL, newU)}
 		}
 		l, u = newL, newU
 	}
 }
 
-// shrinkGrid returns the probe levels ρ(r) = ⌊l + r(u−l)/τ⌋ for r = 1..τ−1.
-// The guard u−l ≥ τ makes consecutive grid points distinct.
-func shrinkGrid(l, u, tau int) []int {
-	grid := make([]int, 0, tau-1)
+// appendShrinkGrid appends the probe levels ρ(r) = ⌊l + r(u−l)/τ⌋ for
+// r = 1..τ−1 to dst (the context's grid scratch). The guard u−l ≥ τ makes
+// consecutive grid points distinct.
+func appendShrinkGrid(dst []int, l, u, tau int) []int {
 	for r := 1; r <= tau-1; r++ {
-		grid = append(grid, l+r*(u-l)/tau)
+		dst = append(dst, l+r*(u-l)/tau)
 	}
-	return grid
+	return dst
 }

@@ -110,15 +110,17 @@ func (a *Algo2) ProbeBound() int {
 	return (a.k-1)/2*perPhase + completion + 2
 }
 
-// Query implements Scheme.
+// Query implements Scheme via a pooled execution context.
 func (a *Algo2) Query(x bitvec.Vector) Result {
-	return a.QueryWithProber(x, cellprobe.NewProber(a.k))
+	return queryPooled(func(c *QueryCtx) Result { return a.QueryWithCtx(x, c) })
 }
 
-// QueryWithProber runs the algorithm against a caller-supplied prober.
-func (a *Algo2) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
+// QueryWithCtx runs the algorithm on a caller-supplied execution context.
+// The Result's Stats alias context-owned memory.
+func (a *Algo2) QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result {
 	idx := a.idx
-	qs := newQuerySketches(idx.Fam, x)
+	c.begin(idx, x, a.k)
+	cp := c.cp
 	l, u := 0, idx.Fam.L
 	first := true
 	violated := false
@@ -129,35 +131,41 @@ func (a *Algo2) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
 	}
 
 	for {
-		if u-l < completionGap || p.RoundsLeft() <= 2 {
-			return a.completion(x, qs, p, l, u, first, violated)
+		if u-l < completionGap || cp.RoundsLeft() <= 2 {
+			return a.completion(x, c, l, u, first, violated)
 		}
 		// ---- Shrinking phase, first round -------------------------------
-		grid := shrinkGrid(l, u, a.tau) // ρ(1) .. ρ(τ−1)
-		var refs []cellprobe.Ref
+		grid := appendShrinkGrid(c.grid[:0], l, u, a.tau) // ρ(1) .. ρ(τ−1)
+		c.grid = grid
 		if first {
-			refs = degenerateRefs(idx, x)
+			stageDegenerate(cp, idx, x)
 		}
-		refs = append(refs, cellprobe.Ref{
-			Table: idx.Tables.Ball[u].Table(),
-			Addr:  idx.Tables.Ball[u].AddressOfSketch(qs.accurate(u)),
-		})
-		groups := groupGrid(grid, a.sCap)
+		topBall := idx.Tables.Ball[u]
+		cp.Stage(topBall.Table(), topBall.AddressOfSketch(c.sk.accurate(u)))
+		// Algorithm 2's packing of the τ−1 coarse tests into ⌈(τ−1)/s⌉
+		// auxiliary probes: consecutive groups of at most sCap grid levels.
 		aux := idx.Tables.Aux[u]
-		for _, g := range groups {
-			q := table.AuxQuery{SketchX: qs.accurate(u), Levels: g}
-			for _, lv := range g {
-				q.Coarse = append(q.Coarse, qs.coarseAt(lv))
+		for g := 0; g < len(grid); g += a.sCap {
+			end := g + a.sCap
+			if end > len(grid) {
+				end = len(grid)
 			}
-			refs = append(refs, cellprobe.Ref{Table: aux.Table(), Addr: aux.Address(q)})
+			levels := grid[g:end]
+			coarse := c.coarse[:0]
+			for _, lv := range levels {
+				coarse = append(coarse, c.sk.coarseAt(lv))
+			}
+			c.coarse = coarse
+			q := table.AuxQuery{SketchX: c.sk.accurate(u), Levels: levels, Coarse: coarse}
+			cp.Stage(aux.Table(), aux.Address(q))
 		}
-		words, err := p.Round(refs)
+		words, err := cp.Flush()
 		if err != nil {
-			return Result{Index: -1, Stats: p.Stats(), Err: err}
+			return Result{Index: -1, Stats: cp.Stats(), Err: err}
 		}
 		if first {
 			if ans, ok := degenerateAnswer(words[0], words[1]); ok {
-				return Result{Index: ans, Stats: p.Stats(), Degenerate: true}
+				return Result{Index: ans, Stats: cp.Stats(), Degenerate: true}
 			}
 			words = words[2:]
 			first = false
@@ -197,12 +205,11 @@ func (a *Algo2) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
 			if probe < 0 {
 				probe = 0
 			}
-			bw, err := p.Round([]cellprobe.Ref{{
-				Table: idx.Tables.Ball[probe].Table(),
-				Addr:  idx.Tables.Ball[probe].AddressOfSketch(qs.accurate(probe)),
-			}})
+			bt := idx.Tables.Ball[probe]
+			cp.Stage(bt.Table(), bt.AddressOfSketch(c.sk.accurate(probe)))
+			bw, err := cp.Flush()
 			if err != nil {
-				return Result{Index: -1, Stats: p.Stats(), Err: err}
+				return Result{Index: -1, Stats: cp.Stats(), Err: err}
 			}
 			if bw[0].Kind == cellprobe.Empty { // CASE 2
 				atomic.AddInt64(&a.cases.Case2, 1)
@@ -222,7 +229,7 @@ func (a *Algo2) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
 		if newL >= newU || newL < l {
 			// Possible only under assumption failure; salvage via completion.
 			violated = true
-			return a.completion(x, qs, p, l, u, first, violated)
+			return a.completion(x, c, l, u, first, violated)
 		}
 		l, u = newL, newU
 	}
@@ -230,49 +237,31 @@ func (a *Algo2) QueryWithProber(x bitvec.Vector, p *cellprobe.Prober) Result {
 
 // completion runs the final round: scan levels (l, u] and return the first
 // nonempty one. It also carries the degenerate probes if no round ran yet.
-func (a *Algo2) completion(x bitvec.Vector, qs *querySketches, p *cellprobe.Prober, l, u int, first, violated bool) Result {
+func (a *Algo2) completion(x bitvec.Vector, c *QueryCtx, l, u int, first, violated bool) Result {
 	atomic.AddInt64(&a.cases.Completions, 1)
 	idx := a.idx
-	var refs []cellprobe.Ref
+	cp := c.cp
 	if first {
-		refs = degenerateRefs(idx, x)
+		stageDegenerate(cp, idx, x)
 	}
 	for i := l + 1; i <= u; i++ {
-		refs = append(refs, cellprobe.Ref{
-			Table: idx.Tables.Ball[i].Table(),
-			Addr:  idx.Tables.Ball[i].AddressOfSketch(qs.accurate(i)),
-		})
+		bt := idx.Tables.Ball[i]
+		cp.Stage(bt.Table(), bt.AddressOfSketch(c.sk.accurate(i)))
 	}
-	words, err := p.Round(refs)
+	words, err := cp.Flush()
 	if err != nil {
-		return Result{Index: -1, Stats: p.Stats(), Err: err, Violated: violated}
+		return Result{Index: -1, Stats: cp.Stats(), Err: err, Violated: violated}
 	}
 	if first {
 		if ans, ok := degenerateAnswer(words[0], words[1]); ok {
-			return Result{Index: ans, Stats: p.Stats(), Degenerate: true}
+			return Result{Index: ans, Stats: cp.Stats(), Degenerate: true}
 		}
 		words = words[2:]
 	}
 	for _, w := range words {
 		if w.Kind == cellprobe.Point {
-			return Result{Index: w.Index, Stats: p.Stats(), Violated: violated}
+			return Result{Index: w.Index, Stats: cp.Stats(), Violated: violated}
 		}
 	}
-	return Result{Index: -1, Stats: p.Stats(), Violated: true, Err: errNoAnswer(l, u)}
-}
-
-// groupGrid splits the grid levels into groups of at most cap, preserving
-// order: Algorithm 2's packing of the τ−1 coarse tests into ⌈(τ−1)/s⌉
-// auxiliary probes.
-func groupGrid(grid []int, cap int) [][]int {
-	var groups [][]int
-	for len(grid) > 0 {
-		n := cap
-		if n > len(grid) {
-			n = len(grid)
-		}
-		groups = append(groups, grid[:n])
-		grid = grid[n:]
-	}
-	return groups
+	return Result{Index: -1, Stats: cp.Stats(), Violated: true, Err: errNoAnswer(l, u)}
 }

@@ -78,6 +78,50 @@ func BenchmarkLambdaQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryAlgo1K2 is the acceptance path of the zero-allocation
+// query engine: Algorithm 1 at the default round budget k=2, warmed.
+func BenchmarkQueryAlgo1K2(b *testing.B) {
+	idx, db := benchIndex(b, 1024, 250, 2)
+	r := rng.New(904)
+	queries := make([]bitvec.Vector, 32)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, db[i], 1024, 40)
+	}
+	a := NewAlgo1(idx, 2)
+	for _, q := range queries {
+		a.Query(q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		probes += a.Query(queries[i%len(queries)]).Stats.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/query")
+}
+
+// BenchmarkQueryAlgo2K8 is the Algorithm 2 counterpart at k=8 (auxiliary
+// tables on the probe path).
+func BenchmarkQueryAlgo2K8(b *testing.B) {
+	idx, db := benchIndex(b, 1024, 250, 8)
+	r := rng.New(905)
+	queries := make([]bitvec.Vector, 32)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, db[i], 1024, 40)
+	}
+	a := NewAlgo2(idx, 8)
+	for _, q := range queries {
+		a.Query(q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		probes += a.Query(queries[i%len(queries)]).Stats.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/query")
+}
+
 // BenchmarkColdQuery includes the lazy cell evaluations a fresh address
 // stream triggers, the realistic "first query of its kind" cost.
 func BenchmarkColdQuery(b *testing.B) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
 )
 
 // Boosted amplifies a scheme's success probability by independent parallel
@@ -17,7 +18,7 @@ import (
 // R, matching the paper's "polynomial addition to the table size".
 type Boosted struct {
 	schemes []Scheme
-	dbs     [][]bitvec.Vector
+	indexes []*Index
 	name    string
 }
 
@@ -34,7 +35,7 @@ func NewBoosted(r int, baseSeed uint64, factory SchemeFactory) *Boosted {
 	for i := 0; i < r; i++ {
 		s, idx := factory(baseSeed + uint64(i))
 		b.schemes = append(b.schemes, s)
-		b.dbs = append(b.dbs, idx.DB)
+		b.indexes = append(b.indexes, idx)
 	}
 	b.name = fmt.Sprintf("boosted(%s, r=%d)", b.schemes[0].Name(), r)
 	return b
@@ -42,6 +43,11 @@ func NewBoosted(r int, baseSeed uint64, factory SchemeFactory) *Boosted {
 
 // Name implements Scheme.
 func (b *Boosted) Name() string { return b.name }
+
+// Index returns repetition i's index. Callers that need one shared index
+// for auxiliary schemes (the λ-ANNS path, space accounting) reuse
+// Index(0) instead of building the seed-0 index a second time.
+func (b *Boosted) Index(i int) *Index { return b.indexes[i] }
 
 // Rounds implements Scheme: repetitions run in parallel, so the round
 // count is the maximum over copies.
@@ -55,23 +61,35 @@ func (b *Boosted) Rounds() int {
 	return r
 }
 
-// Query implements Scheme: it merges the repetitions' results, keeping the
-// candidate closest to x. Stats are merged as parallel composition: probes
-// add, rounds take the maximum.
+// Query implements Scheme via a pooled execution context.
 func (b *Boosted) Query(x bitvec.Vector) Result {
+	return queryPooled(func(c *QueryCtx) Result { return b.QueryWithCtx(x, c) })
+}
+
+// QueryWithCtx implements CtxScheme: the repetitions run serially on the
+// *same* context (each rebinds the sketch scratch to its own index), and
+// their results merge by keeping the candidate closest to x. Stats are
+// merged as parallel composition — probes add, rounds take the maximum —
+// into the context's accumulator, so the merge allocates nothing at
+// steady state.
+func (b *Boosted) QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result {
 	best := Result{Index: -1}
 	bestDist := -1
+	c.agg = cellprobe.Stats{ProbesPerRound: c.agg.ProbesPerRound[:0]}
 	for i, s := range b.schemes {
-		r := s.Query(x)
-		if i == 0 {
-			best.Stats = r.Stats
+		var r Result
+		if cs, ok := s.(CtxScheme); ok {
+			r = cs.QueryWithCtx(x, c)
 		} else {
-			best.Stats.Add(r.Stats)
+			r = s.Query(x)
 		}
+		// r.Stats alias the context, which the next repetition resets:
+		// fold them into the accumulator before continuing.
+		c.agg.Add(r.Stats)
 		best.Degenerate = best.Degenerate || r.Degenerate
 		best.Violated = best.Violated || r.Violated
 		if r.Index >= 0 {
-			d := bitvec.Distance(b.dbs[i][r.Index], x)
+			d := bitvec.Distance(b.indexes[i].DB[r.Index], x)
 			if bestDist < 0 || d < bestDist {
 				bestDist = d
 				best.Index = r.Index
@@ -81,7 +99,8 @@ func (b *Boosted) Query(x bitvec.Vector) Result {
 			best.Err = r.Err
 		}
 	}
+	best.Stats = c.agg
 	return best
 }
 
-var _ Scheme = (*Boosted)(nil)
+var _ CtxScheme = (*Boosted)(nil)

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
-	"repro/internal/cellprobe"
 	"repro/internal/hamming"
 	"repro/internal/rng"
 )
@@ -167,7 +166,7 @@ func TestAlgo1AnswerIsFirstNonemptyLevel(t *testing.T) {
 }
 
 func TestShrinkGrid(t *testing.T) {
-	grid := shrinkGrid(0, 100, 5)
+	grid := appendShrinkGrid(nil, 0, 100, 5)
 	want := []int{20, 40, 60, 80}
 	if len(grid) != len(want) {
 		t.Fatalf("grid %v", grid)
@@ -178,7 +177,7 @@ func TestShrinkGrid(t *testing.T) {
 		}
 	}
 	// Strictly increasing when u−l ≥ τ.
-	grid = shrinkGrid(3, 11, 8)
+	grid = appendShrinkGrid(grid[:0], 3, 11, 8)
 	for i := 1; i < len(grid); i++ {
 		if grid[i] <= grid[i-1] {
 			t.Fatalf("grid not increasing: %v", grid)
@@ -247,13 +246,28 @@ func TestAlgo2Tau(t *testing.T) {
 	}
 }
 
-func TestGroupGrid(t *testing.T) {
-	groups := groupGrid([]int{1, 2, 3, 4, 5, 6, 7}, 3)
-	if len(groups) != 3 || len(groups[0]) != 3 || len(groups[2]) != 1 {
-		t.Errorf("groups %v", groups)
-	}
-	if len(groupGrid(nil, 3)) != 0 {
-		t.Error("empty grid grouped")
+func TestQueryCtxReuseAcrossSchemes(t *testing.T) {
+	// One context must serve different schemes and indexes back to back
+	// (the serving layers hold one per worker) with identical results.
+	idxA, db := buildTestIndex(t, 512, 60, Params{Gamma: 2, Seed: 21})
+	idxB, _ := buildTestIndex(t, 512, 60, Params{Gamma: 2, K: 4, Seed: 22})
+	a1 := NewAlgo1(idxA, 2)
+	a2 := NewAlgo2(idxB, 4)
+	c := NewQueryCtx()
+	r := rng.New(23)
+	for trial := 0; trial < 10; trial++ {
+		x := hamming.AtDistance(r, db[trial], 512, 15)
+		gotA := a1.QueryWithCtx(x, c)
+		wantA := a1.Query(x)
+		if gotA.Index != wantA.Index || gotA.Stats.Probes != wantA.Stats.Probes ||
+			gotA.Stats.Rounds != wantA.Stats.Rounds {
+			t.Fatalf("ctx reuse diverged on algo1: %+v vs %+v", gotA, wantA)
+		}
+		gotB := a2.QueryWithCtx(x, c)
+		wantB := a2.Query(x)
+		if gotB.Index != wantB.Index || gotB.Stats.Probes != wantB.Stats.Probes {
+			t.Fatalf("ctx reuse diverged on algo2: %+v vs %+v", gotB, wantB)
+		}
 	}
 }
 
@@ -367,14 +381,14 @@ func TestBoostedPanics(t *testing.T) {
 	NewBoosted(0, 1, nil)
 }
 
-func TestQueryWithRecordingProber(t *testing.T) {
+func TestQueryWithRecordingCtx(t *testing.T) {
 	idx, db := buildTestIndex(t, 512, 80, Params{Gamma: 2, Seed: 17})
 	a := NewAlgo1(idx, 3)
 	r := rng.New(18)
 	x := hamming.AtDistance(r, db[0], 512, 30)
-	p := cellprobe.NewRecordingProber(3)
-	res := a.QueryWithProber(x, p)
-	tr := p.Transcript()
+	c := NewRecordingQueryCtx()
+	res := a.QueryWithCtx(x, c)
+	tr := c.Probe().Transcript()
 	if len(tr) != res.Stats.Probes {
 		t.Errorf("transcript %d entries, %d probes", len(tr), res.Stats.Probes)
 	}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/sketch"
+)
+
+// QueryCtx is the pooled per-query execution context of the schemes: it
+// bundles the cell-probe context (staged refs, round accounting,
+// transcript) with every scrap of scratch memory one query execution
+// needs — the per-level query sketches M_i·x and N_j·x, the shrinking
+// grid, the auxiliary-group coarse slice, and the boosted-stats
+// accumulator. A context is acquired once per request (AcquireQueryCtx)
+// and threaded through every layer; at steady state a query allocates
+// nothing.
+//
+// A context is not safe for concurrent use; concurrent queries each take
+// their own from the pool.
+type QueryCtx struct {
+	cp *cellprobe.QueryCtx
+
+	sk     sketchScratch
+	grid   []int           // shrinking/completion grid scratch
+	coarse []bitvec.Vector // aux-group coarse sketch scratch (Algo2)
+	agg    cellprobe.Stats // boosted repetition accumulator
+}
+
+// NewQueryCtx returns a fresh, reusable context. Callers that issue many
+// queries (batch workers, server workers) hold one and pass it to the
+// schemes' QueryWithCtx entry points.
+func NewQueryCtx() *QueryCtx {
+	return &QueryCtx{cp: cellprobe.NewQueryCtx(0)}
+}
+
+// NewRecordingQueryCtx returns a context whose cell-probe layer keeps a
+// full transcript (Probe().Transcript()), for the communication
+// translation and debugging. Recording contexts are not pooled.
+func NewRecordingQueryCtx() *QueryCtx {
+	return &QueryCtx{cp: cellprobe.NewRecordingQueryCtx(0)}
+}
+
+// Probe exposes the cell-probe context (stats, transcript, round budget).
+// The slices it hands out are reused by the next query on this context.
+func (c *QueryCtx) Probe() *cellprobe.QueryCtx { return c.cp }
+
+// begin rebinds the context to one (index, query, budget) execution.
+func (c *QueryCtx) begin(idx *Index, x bitvec.Vector, k int) {
+	c.cp.Reset(k)
+	c.sk.bind(idx.Fam, x)
+}
+
+// queryCtxPool recycles contexts across queries and goroutines. The
+// scratch inside adapts to whatever index it is bound to, so one pool
+// serves all indexes (boosted repetitions, shards) in the process.
+var queryCtxPool = sync.Pool{New: func() any { return NewQueryCtx() }}
+
+// AcquireQueryCtx takes a context from the shared pool.
+func AcquireQueryCtx() *QueryCtx {
+	return queryCtxPool.Get().(*QueryCtx)
+}
+
+// ReleaseQueryCtx returns a context to the pool. The caller must have
+// detached (Clone) any Stats slice it intends to keep.
+func ReleaseQueryCtx(c *QueryCtx) {
+	if c == nil || c.cp == nil {
+		return
+	}
+	queryCtxPool.Put(c)
+}
+
+// sketchScratch caches the per-level query sketches M_i·x (and N_j·x when
+// present) for one query execution, in buffers that survive across
+// queries. Computing them is the algorithm's own work (it owns x and the
+// public randomness) and costs no probes; recomputation is avoided within
+// a query, reallocation across queries.
+type sketchScratch struct {
+	fam      *sketch.Family
+	x        bitvec.Vector
+	acc      []bitvec.Vector
+	accOK    []bool
+	coarse   []bitvec.Vector
+	coarseOK []bool
+}
+
+func (s *sketchScratch) bind(fam *sketch.Family, x bitvec.Vector) {
+	n := fam.L + 1
+	if s.fam != fam || len(s.acc) != n {
+		s.fam = fam
+		s.acc = resizeVecs(s.acc, n)
+		s.accOK = resizeBools(s.accOK, n)
+		s.coarse = resizeVecs(s.coarse, n)
+		s.coarseOK = resizeBools(s.coarseOK, n)
+	}
+	s.x = x
+	for i := range s.accOK {
+		s.accOK[i] = false
+		s.coarseOK[i] = false
+	}
+}
+
+func resizeVecs(v []bitvec.Vector, n int) []bitvec.Vector {
+	if cap(v) < n {
+		return make([]bitvec.Vector, n)
+	}
+	return v[:n]
+}
+
+func resizeBools(v []bool, n int) []bool {
+	if cap(v) < n {
+		return make([]bool, n)
+	}
+	return v[:n]
+}
+
+// accurate returns M_i·x, computing it into the level's reusable buffer
+// on first use within the current query.
+func (s *sketchScratch) accurate(i int) bitvec.Vector {
+	if !s.accOK[i] {
+		want := bitvec.Words(s.fam.AccurateRows())
+		if len(s.acc[i]) != want {
+			s.acc[i] = bitvec.New(s.fam.AccurateRows())
+		}
+		s.fam.Accurate[i].ApplyInto(s.acc[i], s.x)
+		s.accOK[i] = true
+	}
+	return s.acc[i]
+}
+
+// coarseAt returns N_j·x under the same reuse discipline.
+func (s *sketchScratch) coarseAt(j int) bitvec.Vector {
+	if s.fam.Coarse == nil {
+		panic("core: scheme needs a coarse sketch family (Params.S > 0)")
+	}
+	if !s.coarseOK[j] {
+		want := bitvec.Words(s.fam.CoarseRows())
+		if len(s.coarse[j]) != want {
+			s.coarse[j] = bitvec.New(s.fam.CoarseRows())
+		}
+		s.fam.Coarse[j].ApplyInto(s.coarse[j], s.x)
+		s.coarseOK[j] = true
+	}
+	return s.coarse[j]
+}

@@ -109,47 +109,30 @@ type Scheme interface {
 	Rounds() int
 }
 
-// querySketches caches the per-level query sketches M_i·x (and N_j·x when
-// present) for one query execution. Computing them is the algorithm's own
-// work (it owns x and the public randomness) and costs no probes.
-type querySketches struct {
-	fam    *sketch.Family
-	x      bitvec.Vector
-	acc    []bitvec.Vector
-	coarse []bitvec.Vector
+// CtxScheme is a Scheme that supports pooled execution contexts: the
+// serving layers acquire one QueryCtx per worker (or per request) and
+// thread it through every query instead of allocating per probe. The
+// returned Result's Stats alias context-owned memory; callers that
+// outlive the context must Clone them.
+type CtxScheme interface {
+	Scheme
+	QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result
 }
 
-func newQuerySketches(fam *sketch.Family, x bitvec.Vector) *querySketches {
-	qs := &querySketches{fam: fam, x: x, acc: make([]bitvec.Vector, fam.L+1)}
-	if fam.Coarse != nil {
-		qs.coarse = make([]bitvec.Vector, fam.L+1)
-	}
-	return qs
+// queryPooled runs one CtxScheme query on a pool-acquired context and
+// detaches the stats — the implementation behind every Scheme.Query.
+func queryPooled(run func(c *QueryCtx) Result) Result {
+	c := AcquireQueryCtx()
+	res := run(c)
+	res.Stats = res.Stats.Clone()
+	ReleaseQueryCtx(c)
+	return res
 }
 
-func (qs *querySketches) accurate(i int) bitvec.Vector {
-	if qs.acc[i] == nil {
-		qs.acc[i] = qs.fam.Accurate[i].Apply(qs.x)
-	}
-	return qs.acc[i]
-}
-
-func (qs *querySketches) coarseAt(j int) bitvec.Vector {
-	if qs.coarse == nil {
-		panic("core: scheme needs a coarse sketch family (Params.S > 0)")
-	}
-	if qs.coarse[j] == nil {
-		qs.coarse[j] = qs.fam.Coarse[j].Apply(qs.x)
-	}
-	return qs.coarse[j]
-}
-
-// degenerateRefs returns the two first-round membership probes of §3.1.
-func degenerateRefs(idx *Index, x bitvec.Vector) []cellprobe.Ref {
-	return []cellprobe.Ref{
-		{Table: idx.Tables.Exact.Table(), Addr: idx.Tables.Exact.Address(x)},
-		{Table: idx.Tables.Near.Table(), Addr: idx.Tables.Near.Address(x)},
-	}
+// stageDegenerate stages the two first-round membership probes of §3.1.
+func stageDegenerate(cp *cellprobe.QueryCtx, idx *Index, x bitvec.Vector) {
+	cp.Stage(idx.Tables.Exact.Table(), idx.Tables.Exact.Address(x))
+	cp.Stage(idx.Tables.Near.Table(), idx.Tables.Near.Address(x))
 }
 
 // degenerateAnswer inspects the two membership words; ok reports a hit.

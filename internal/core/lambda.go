@@ -47,27 +47,37 @@ func (s *Lambda) Level(lambda float64) int {
 // the legitimate NO answer (no λ-near neighbor exists, up to the scheme's
 // error probability).
 func (s *Lambda) QueryNear(x bitvec.Vector, lambda float64) Result {
-	p := cellprobe.NewProber(1)
+	return queryPooled(func(c *QueryCtx) Result { return s.QueryNearWithCtx(x, lambda, c) })
+}
+
+// QueryNearWithCtx is QueryNear on a caller-supplied execution context.
+// The Result's Stats alias context-owned memory.
+func (s *Lambda) QueryNearWithCtx(x bitvec.Vector, lambda float64, c *QueryCtx) Result {
+	c.begin(s.idx, x, 1)
+	cp := c.cp
 	i := s.Level(lambda)
 	bt := s.idx.Tables.Ball[i]
-	words, err := p.Round([]cellprobe.Ref{{
-		Table: bt.Table(),
-		Addr:  bt.Address(x),
-	}})
+	cp.Stage(bt.Table(), bt.AddressOfSketch(c.sk.accurate(i)))
+	words, err := cp.Flush()
 	if err != nil {
-		return Result{Index: -1, Stats: p.Stats(), Err: err}
+		return Result{Index: -1, Stats: cp.Stats(), Err: err}
 	}
 	if words[0].Kind == cellprobe.Point {
-		return Result{Index: words[0].Index, Stats: p.Stats()}
+		return Result{Index: words[0].Index, Stats: cp.Stats()}
 	}
-	return Result{Index: -1, Stats: p.Stats()}
+	return Result{Index: -1, Stats: cp.Stats()}
 }
 
 // Query implements Scheme by treating λ = 1; full ANNS callers should use
 // Algo1/Algo2, but the interface conformance keeps reporting uniform.
 func (s *Lambda) Query(x bitvec.Vector) Result { return s.QueryNear(x, 1) }
 
-var _ Scheme = (*Lambda)(nil)
+// QueryWithCtx implements CtxScheme with the same λ = 1 convention.
+func (s *Lambda) QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result {
+	return s.QueryNearWithCtx(x, 1, c)
+}
+
+var _ CtxScheme = (*Lambda)(nil)
 
 // String renders the decision semantics for documentation/tests.
 func (s *Lambda) String() string {

@@ -3,7 +3,6 @@ package eval
 import (
 	"fmt"
 
-	"repro/internal/cellprobe"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/lpm"
@@ -115,10 +114,9 @@ func runE10(cfg Config) []*Table {
 		var commRounds, probeRounds int
 		var aliceBits, bobBits, probes float64
 		for _, qu := range in.Queries {
-			p := cellprobe.NewRecordingProber(k)
-			res := a.QueryWithProber(qu.X, p)
-			tables := tableDirectory(idx)
-			tr := comm.Translate(p.Transcript(), func(id string) cellprobe.Table { return tables[id] })
+			c := core.NewRecordingQueryCtx()
+			res := a.QueryWithCtx(qu.X, c)
+			tr := comm.Translate(c.Probe().Transcript())
 			if tr.ProbeRounds > probeRounds {
 				probeRounds = tr.ProbeRounds
 			}
@@ -134,20 +132,4 @@ func runE10(cfg Config) []*Table {
 			fmt.Sprintf("%.0f", (aliceBits+bobBits)/probes))
 	}
 	return []*Table{t}
-}
-
-// tableDirectory maps table IDs to tables for the translation lookup.
-func tableDirectory(idx *core.Index) map[string]cellprobe.Table {
-	dir := map[string]cellprobe.Table{}
-	for _, b := range idx.Tables.Ball {
-		dir[b.Table().ID()] = b.Table()
-	}
-	for _, a := range idx.Tables.Aux {
-		if a != nil {
-			dir[a.Table().ID()] = a.Table()
-		}
-	}
-	dir[idx.Tables.Exact.Table().ID()] = idx.Tables.Exact.Table()
-	dir[idx.Tables.Near.Table().ID()] = idx.Tables.Near.Table()
-	return dir
 }

@@ -21,7 +21,7 @@ import (
 // Both are built on a prefix table: the cell at address ⟨t, x[:t]⟩ stores
 // a database string with prefix x[:t] if one exists, else EMPTY.
 
-// PrefixTable is the shared oracle table: address = serialized prefix,
+// PrefixTable is the shared oracle table: address = packed prefix words,
 // content = representative database index or EMPTY.
 type PrefixTable struct {
 	in     *Instance
@@ -38,7 +38,7 @@ func NewPrefixTable(in *Instance, meter *cellprobe.Meter) *PrefixTable {
 		logCells = 1
 	}
 	wordBits := bitsFor(len(in.DB) + 1)
-	t.oracle = cellprobe.NewOracle("lpm-prefix", logCells, wordBits, meter, t.eval)
+	t.oracle = cellprobe.NewOracle(cellprobe.PrefixTag(), logCells, wordBits, meter, t.eval)
 	return t
 }
 
@@ -50,27 +50,29 @@ func bitsFor(n int) int {
 	return b
 }
 
-// Address serializes the prefix x[:t].
-func (t *PrefixTable) Address(x []int, length int) string {
-	buf := make([]byte, 0, 2+2*length)
-	buf = append(buf, byte(length), byte(length>>8))
+// Address packs the prefix x[:t] into a binary address: a length word
+// followed by one word per symbol.
+func (t *PrefixTable) Address(x []int, length int) cellprobe.Addr {
+	var b cellprobe.AddrBuilder
+	b.Reset(cellprobe.PrefixTag())
+	b.Uint(uint64(length))
 	for _, c := range x[:length] {
-		buf = append(buf, byte(c), byte(c>>8))
+		b.Uint(uint64(c))
 	}
-	return string(buf)
+	return b.Addr()
 }
 
-func (t *PrefixTable) eval(addr string) cellprobe.Word {
-	if len(addr) < 2 || len(addr)%2 != 0 {
+func (t *PrefixTable) eval(addr cellprobe.Addr) cellprobe.Word {
+	if addr.Len() < 1 {
 		return cellprobe.EmptyWord
 	}
-	length := int(addr[0]) | int(addr[1])<<8
-	if len(addr) != 2+2*length {
+	length := int(addr.Word(0))
+	if length < 0 || addr.Len() != 1+length {
 		return cellprobe.EmptyWord
 	}
 	prefix := make([]int, length)
 	for i := 0; i < length; i++ {
-		prefix[i] = int(addr[2+2*i]) | int(addr[3+2*i])<<8
+		prefix[i] = int(addr.Word(1 + i))
 	}
 	idx, lcp := t.trie.Query(prefix)
 	if lcp != length {
@@ -92,10 +94,11 @@ type WalkScheme struct {
 // of the longest existing prefix (the root representative when even the
 // first symbol misses).
 func (s *WalkScheme) Query(x []int) (int, cellprobe.Stats) {
-	p := cellprobe.NewProber(0)
+	p := cellprobe.NewQueryCtx(0)
 	best := s.rootRepresentative()
 	for t := 1; t <= len(x); t++ {
-		words, err := p.Round([]cellprobe.Ref{{Table: s.T.Table(), Addr: s.T.Address(x, t)}})
+		p.Stage(s.T.Table(), s.T.Address(x, t))
+		words, err := p.Flush()
 		if err != nil || words[0].Kind != cellprobe.Point {
 			break
 		}
@@ -120,12 +123,13 @@ type BinSearchScheme struct {
 
 // Query returns (answer index, stats).
 func (s *BinSearchScheme) Query(x []int) (int, cellprobe.Stats) {
-	p := cellprobe.NewProber(0)
+	p := cellprobe.NewQueryCtx(0)
 	lo, hi := 0, len(x) // invariant: prefix length lo exists, hi+1 doesn't
 	best := s.rootRep()
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		words, err := p.Round([]cellprobe.Ref{{Table: s.T.Table(), Addr: s.T.Address(x, mid)}})
+		p.Stage(s.T.Table(), s.T.Address(x, mid))
+		words, err := p.Flush()
 		if err != nil {
 			return best, p.Stats()
 		}

@@ -37,8 +37,10 @@ func TestPrefixTableCells(t *testing.T) {
 			t.Errorf("prefix %v: got %v, want EMPTY", c.prefix, w)
 		}
 	}
-	// Malformed addresses are EMPTY.
-	if w := pt.Table().Lookup("x"); w.Kind != cellprobe.Empty {
+	// Malformed addresses (length word promising more symbols than
+	// present) are EMPTY.
+	bad := cellprobe.VecAddr(cellprobe.PrefixTag(), []uint64{5, 1})
+	if w := pt.Table().Lookup(bad); w.Kind != cellprobe.Empty {
 		t.Error("malformed address not EMPTY")
 	}
 }

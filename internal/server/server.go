@@ -37,6 +37,32 @@ type Searcher interface {
 	Len() int
 }
 
+// scratchSearcher is the optional zero-allocation query surface: each pool
+// worker owns one anns.Scratch for its lifetime and threads it through
+// every single-point query it serves, so steady-state request execution
+// reuses one pooled context per worker instead of per call. Both
+// *anns.Index and *anns.ShardedIndex implement it.
+type scratchSearcher interface {
+	QueryScratch(x anns.Point, sc *anns.Scratch) (anns.Result, error)
+	QueryNearScratch(x anns.Point, lambda float64, sc *anns.Scratch) (anns.Result, error)
+}
+
+// query runs one point query, preferring the worker's scratch path.
+func (s *Server) query(sc *anns.Scratch, x anns.Point) (anns.Result, error) {
+	if ss, ok := s.idx.(scratchSearcher); ok && sc != nil {
+		return ss.QueryScratch(x, sc)
+	}
+	return s.idx.Query(x)
+}
+
+// queryNear is the λ-ANNS counterpart of query.
+func (s *Server) queryNear(sc *anns.Scratch, x anns.Point, lambda float64) (anns.Result, error) {
+	if ss, ok := s.idx.(scratchSearcher); ok && sc != nil {
+		return ss.QueryNearScratch(x, lambda, sc)
+	}
+	return s.idx.QueryNear(x, lambda)
+}
+
 // Config tunes the serving layer. Zero values select the defaults noted
 // on each field.
 type Config struct {
@@ -81,14 +107,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// task is one admitted unit of work: run executes on a pool worker (and
-// must not block on the requester), done is closed when the task has been
-// executed or skipped. ran is written by the worker before closing done,
-// so readers that observed the close may read it without further
-// synchronization.
+// task is one admitted unit of work: run executes on a pool worker with
+// the worker's own query scratch (and must not block on the requester),
+// done is closed when the task has been executed or skipped. ran is
+// written by the worker before closing done, so readers that observed the
+// close may read it without further synchronization.
 type task struct {
 	ctx  context.Context
-	run  func()
+	run  func(sc *anns.Scratch)
 	done chan struct{}
 	ran  bool
 }
@@ -169,10 +195,13 @@ func New(idx Searcher, cfg Config) (*Server, error) {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
+	// One scratch per worker, reused across every request the worker
+	// serves: the query execution model's per-worker context reuse.
+	sc := anns.NewScratch()
 	for {
 		select {
 		case t := <-s.queue:
-			s.runTask(t)
+			s.runTask(t, sc)
 		case <-s.quit:
 			return
 		}
@@ -183,7 +212,7 @@ func (s *Server) worker() {
 // kill the pool worker or leave the requester hung on done, so it is
 // recovered here and surfaces as a counted error (the requester sees it
 // as t.ran == false with a live context, i.e. a 500).
-func (s *Server) runTask(t *task) {
+func (s *Server) runTask(t *task, sc *anns.Scratch) {
 	defer close(t.done)
 	defer func() {
 		if r := recover(); r != nil {
@@ -191,7 +220,7 @@ func (s *Server) runTask(t *task) {
 		}
 	}()
 	if t.ctx.Err() == nil {
-		t.run()
+		t.run(sc)
 		t.ran = true
 	}
 }
@@ -265,10 +294,10 @@ func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // admit queues run under a deadline of d and waits for it to finish.
 // It writes the 503/504 error answers itself and reports whether the
 // caller may write the success answer.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, d time.Duration, run func(ctx context.Context)) bool {
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, d time.Duration, run func(ctx context.Context, sc *anns.Scratch)) bool {
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	t := &task{ctx: ctx, run: func() { run(ctx) }, done: make(chan struct{})}
+	t := &task{ctx: ctx, run: func(sc *anns.Scratch) { run(ctx, sc) }, done: make(chan struct{})}
 	select {
 	case s.queue <- t:
 	default:
@@ -307,8 +336,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp QueryResponse
-	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(context.Context) {
-		res, qerr := s.idx.Query(x)
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(_ context.Context, sc *anns.Scratch) {
+		res, qerr := s.query(sc, x)
 		s.m.queries.Add(1)
 		s.m.record(res, qerr)
 		resp = toResponse(res, qerr)
@@ -333,8 +362,8 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp QueryResponse
-	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(context.Context) {
-		res, qerr := s.idx.QueryNear(x, req.Lambda)
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(_ context.Context, sc *anns.Scratch) {
+		res, qerr := s.queryNear(sc, x, req.Lambda)
 		s.m.near.Add(1)
 		s.m.record(res, qerr)
 		resp = toResponse(res, qerr)
@@ -369,7 +398,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		xs[i] = x
 	}
 	var resp BatchResponse
-	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(ctx context.Context) {
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(ctx context.Context, _ *anns.Scratch) {
 		batch := s.idx.BatchQueryContext(ctx, xs, s.cfg.BatchWorkers)
 		s.m.batches.Add(1)
 		resp.Results = make([]QueryResponse, len(batch))

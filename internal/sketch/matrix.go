@@ -73,13 +73,22 @@ func (m *Matrix) Row(i int) bitvec.Vector { return m.rows[i] }
 // Apply computes y = Mx over GF(2): bit i of the result is the parity of
 // the AND of row i with x. The result has m.NumRows bits.
 func (m *Matrix) Apply(x bitvec.Vector) bitvec.Vector {
-	y := bitvec.New(m.NumRows)
+	return m.ApplyInto(bitvec.New(m.NumRows), x)
+}
+
+// ApplyInto computes y = Mx into dst, reusing dst's storage (the query
+// hot path applies sketches into per-level scratch buffers). dst must
+// have Words(m.NumRows) words; it is zeroed first and returned.
+func (m *Matrix) ApplyInto(dst bitvec.Vector, x bitvec.Vector) bitvec.Vector {
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i, row := range m.rows {
 		if bitvec.Parity(row, x) == 1 {
-			y.Set(i, true)
+			dst.Set(i, true)
 		}
 	}
-	return y
+	return dst
 }
 
 // SketchDistance returns the Hamming distance between two sketches. It is a

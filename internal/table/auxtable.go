@@ -1,8 +1,6 @@
 package table
 
 import (
-	"fmt"
-
 	"repro/internal/bitvec"
 	"repro/internal/cellprobe"
 )
@@ -13,12 +11,14 @@ import (
 // a table and addressing memory are the same thing in the model), so one
 // oracle serves the whole family at level i.
 //
-// Address layout (see DESIGN.md §3, substitution note): the cell address
-// carries ⟨j, w₀, (level₁, w₁), …, (level_{w₀}, w_{w₀})⟩ where j = M_i x,
-// w_q = N_{level_q} x. Carrying the explicit level grid instead of the
-// paper's ⟨l, u⟩ pair removes a rounding mismatch between the table's and
-// the algorithm's grid formulas while keeping the address space within the
-// same poly(n)·polylog(d) cell budget.
+// Address layout (see DESIGN.md §3, substitution note): the payload carries
+// ⟨j, w₀, (level₁, w₁), …, (level_{w₀}, w_{w₀})⟩ where j = M_i x,
+// w_q = N_{level_q} x, packed word-aligned: the words of j, one count word,
+// then per group member one level word followed by the words of the coarse
+// sketch. Carrying the explicit level grid instead of the paper's ⟨l, u⟩
+// pair removes a rounding mismatch between the table's and the algorithm's
+// grid formulas while keeping the address space within the same
+// poly(n)·polylog(d) cell budget.
 //
 // The cell content is the paper's: the smallest q ≤ w₀ such that
 // |D_{i,level_q}| > n^{-1/s}·|C_i|, or the "none" sentinel otherwise
@@ -43,7 +43,7 @@ func newAuxTable(set *Set, level int, meter *cellprobe.Meter) *AuxTable {
 		float64(s*fam.CoarseRows()) +
 		float64(s+1)*log2ceil(fam.L+2)
 	t.oracle = cellprobe.NewOracle(
-		fmt.Sprintf("aux[%d]", level),
+		cellprobe.AuxTag(level),
 		logCells,
 		bitsForSmallInt(s+2),
 		meter,
@@ -78,37 +78,40 @@ type AuxQuery struct {
 	Coarse  []bitvec.Vector // N_{Levels[q]} · x, parallel to Levels
 }
 
-// Address serializes q into the cell address probed by the algorithm.
-func (t *AuxTable) Address(q AuxQuery) string {
+// Address packs q into the binary cell address probed by the algorithm.
+// The builder lives on the caller's stack, so address construction
+// allocates nothing while the payload fits the inline capacity.
+func (t *AuxTable) Address(q AuxQuery) cellprobe.Addr {
 	if len(q.Levels) != len(q.Coarse) {
 		panic("table: AuxQuery levels/coarse length mismatch")
 	}
-	var w addrWriter
-	w.bytes(q.SketchX.Key())
-	w.uvarint(uint64(len(q.Levels)))
+	var b cellprobe.AddrBuilder
+	b.Reset(cellprobe.AuxTag(t.Level))
+	b.Vec(q.SketchX)
+	b.Uint(uint64(len(q.Levels)))
 	for i, lv := range q.Levels {
-		w.uvarint(uint64(lv))
-		w.bytes(q.Coarse[i].Key())
+		b.Uint(uint64(lv))
+		b.Vec(q.Coarse[i])
 	}
-	return w.String()
+	return b.Addr()
 }
 
 // eval computes the stored content for an address: it reconstructs the
 // sets C_i and D_{i,level_q} from the database and the public randomness,
 // then applies the size test of the table-construction step of §3.2.
-func (t *AuxTable) eval(addr string) cellprobe.Word {
+// Malformed payloads (impossible for algorithm-built addresses) yield the
+// "none" sentinel defensively. Runs only on memo misses.
+func (t *AuxTable) eval(addr cellprobe.Addr) cellprobe.Word {
 	fam := t.set.Fam
-	r := &addrReader{buf: addr}
-	jKey, err := r.bytes()
-	if err != nil {
+	jWords := bitvec.Words(fam.AccurateRows())
+	cWords := bitvec.Words(fam.CoarseRows())
+	if addr.Len() < jWords+1 {
 		return cellprobe.IntWord(0)
 	}
-	j, err := bitvec.FromKey(jKey, fam.AccurateRows())
-	if err != nil {
-		return cellprobe.IntWord(0)
-	}
-	count, err := r.uvarint()
-	if err != nil {
+	payload := addr.AppendPayload(nil)
+	j := bitvec.Vector(payload[:jWords])
+	count := payload[jWords]
+	if count > uint64(addr.Len()) || addr.Len() != jWords+1+int(count)*(1+cWords) {
 		return cellprobe.IntWord(0)
 	}
 	// Reconstruct C_i = {z : dist(j, M_i z) ≤ θ_i}.
@@ -116,19 +119,11 @@ func (t *AuxTable) eval(addr string) cellprobe.Word {
 	members := ball.MembersOfC(j)
 	cSize := len(members)
 	cut := t.set.sizeCut(cSize)
+	pos := jWords + 1
 	for q := uint64(1); q <= count; q++ {
-		lv, err := r.uvarint()
-		if err != nil {
-			return cellprobe.IntWord(0)
-		}
-		wKey, err := r.bytes()
-		if err != nil {
-			return cellprobe.IntWord(0)
-		}
-		wq, err := bitvec.FromKey(wKey, fam.CoarseRows())
-		if err != nil {
-			return cellprobe.IntWord(0)
-		}
+		lv := payload[pos]
+		wq := bitvec.Vector(payload[pos+1 : pos+1+cWords])
+		pos += 1 + cWords
 		if int(lv) > fam.L {
 			return cellprobe.IntWord(0)
 		}
@@ -136,9 +131,6 @@ func (t *AuxTable) eval(addr string) cellprobe.Word {
 		if dSize > cut {
 			return cellprobe.IntWord(int(q))
 		}
-	}
-	if !r.done() {
-		return cellprobe.IntWord(0)
 	}
 	return cellprobe.IntWord(0) // none: every tested D is small
 }

@@ -1,7 +1,22 @@
+// Package table implements the paper's table structures on top of the
+// cell-probe oracle machinery:
+//
+//   - BallTable: the tables T_0 … T_{⌈log_α d⌉} of Theorem 9, whose cell at
+//     address j stores some database point z with dist(j, M_i z) below the
+//     level threshold, or EMPTY;
+//   - AuxTable: Algorithm 2's auxiliary tables T̃_{i,j}, whose cells answer
+//     "which of these coarse sets D_{i,·} is large relative to C_i";
+//   - Membership tables for the two degenerate cases (x ∈ B, and x within
+//     distance 1 of B), standing in for the paper's perfect hashing.
+//
+// Cells are computed lazily (see package cellprobe); the content of every
+// cell is exactly what the paper's preprocessing would have stored. All
+// addresses are binary cellprobe.Addr values — a typed table tag plus the
+// packed payload words — built directly from the query's sketch words with
+// no string serialization on the probe path.
 package table
 
 import (
-	"fmt"
 	"math"
 	"sync"
 
@@ -31,7 +46,7 @@ func NewBallTable(fam *sketch.Family, db []bitvec.Vector, level int, meter *cell
 	rows := fam.AccurateRows()
 	// Model accounting: 2^{rows} cells, each one word of O(d) bits (a point).
 	t.oracle = cellprobe.NewOracle(
-		fmt.Sprintf("T[%d]", level),
+		cellprobe.BallTag(level),
 		float64(rows),
 		wordBitsForPoint(fam.P.D),
 		meter,
@@ -50,13 +65,17 @@ func wordBitsForPoint(d int) int {
 func (t *BallTable) Table() cellprobe.Table { return t.oracle }
 
 // Address returns the address the algorithm probes for query x: the sketch
-// M_level·x, serialized.
-func (t *BallTable) Address(x bitvec.Vector) string {
-	return t.fam.Accurate[t.Level].Apply(x).Key()
+// M_level·x, packed. It computes the sketch; callers that already hold one
+// (the schemes' per-query scratch) use AddressOfSketch.
+func (t *BallTable) Address(x bitvec.Vector) cellprobe.Addr {
+	return t.AddressOfSketch(t.fam.Accurate[t.Level].Apply(x))
 }
 
-// AddressOfSketch returns the address for an already-computed sketch.
-func (t *BallTable) AddressOfSketch(sk bitvec.Vector) string { return sk.Key() }
+// AddressOfSketch returns the address for an already-computed sketch: the
+// sketch words become the payload directly, with no serialization.
+func (t *BallTable) AddressOfSketch(sk bitvec.Vector) cellprobe.Addr {
+	return cellprobe.VecAddr(cellprobe.BallTag(t.Level), sk)
+}
 
 func (t *BallTable) ensureSketches() {
 	t.sketchOnce.Do(func() {
@@ -70,15 +89,16 @@ func (t *BallTable) ensureSketches() {
 
 // eval computes the cell content the preprocessing stage would store at
 // address addr: an arbitrary (here: first) database point whose sketch is
-// within the level threshold of addr, else EMPTY.
-func (t *BallTable) eval(addr string) cellprobe.Word {
+// within the level threshold of addr, else EMPTY. It runs only on memo
+// misses, so reconstructing the sketch vector may allocate.
+func (t *BallTable) eval(addr cellprobe.Addr) cellprobe.Word {
 	t.ensureSketches()
-	j, err := bitvec.FromKey(addr, t.fam.AccurateRows())
-	if err != nil {
+	if addr.Len() != bitvec.Words(t.fam.AccurateRows()) {
 		// Malformed addresses do not occur in the model (every bit string of
 		// the right length is a valid address); treat as EMPTY defensively.
 		return cellprobe.EmptyWord
 	}
+	j := bitvec.Vector(addr.AppendPayload(nil))
 	thr := t.fam.AccurateThreshold(t.Level)
 	for i, zs := range t.dbSketches {
 		if bitvec.DistanceAtMost(j, zs, thr) {

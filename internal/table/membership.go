@@ -9,11 +9,12 @@ import (
 // point" and "is x within Hamming distance 1 of the database". The paper
 // solves each with perfect hashing on a table of quadratic size and one
 // probe; here the oracle plays the perfectly-hashed table — the address is
-// the query point, the cell holds the matching database point or EMPTY.
+// the query point itself (packed words, no serialization), the cell holds
+// the matching database point or EMPTY.
 type Membership struct {
 	radius int // 0: exact membership; 1: the N₁(B) neighborhood
 	db     []bitvec.Vector
-	index  map[string]int // exact point -> database index
+	index  map[string]int // packed point bytes -> database index
 	oracle *cellprobe.Oracle
 }
 
@@ -22,33 +23,41 @@ func NewMembership(db []bitvec.Vector, d, radius int, meter *cellprobe.Meter) *M
 	if radius != 0 && radius != 1 {
 		panic("table: membership radius must be 0 or 1")
 	}
+	tag := cellprobe.MemberTag(radius)
 	m := &Membership{radius: radius, db: db, index: make(map[string]int, len(db))}
 	for i, z := range db {
+		// bitvec.Key and the Addr payload share the little-endian byte
+		// image, so eval can key the map from either side. A string key
+		// costs d/8 bytes per point instead of an Addr's fixed inline
+		// array; the hot probe path never touches this map (the oracle
+		// memo, keyed on Addr, answers repeat probes).
 		if _, dup := m.index[z.Key()]; !dup {
 			m.index[z.Key()] = i
 		}
 	}
-	id := "member[B]"
 	// Perfect hashing of n keys needs O(n²) cells (or O(n) with two levels);
 	// we account the classic quadratic-size FKS top level. For radius 1 the
 	// key set is N₁(B) with at most (d+1)n points.
 	logCells := 2 * log2ceil(len(db)+1)
 	if radius == 1 {
-		id = "member[N1(B)]"
 		logCells = 2 * (log2ceil(len(db)+1) + log2ceil(d+1))
 	}
-	m.oracle = cellprobe.NewOracle(id, logCells, wordBitsForPoint(d), meter, m.eval)
+	m.oracle = cellprobe.NewOracle(tag, logCells, wordBitsForPoint(d), meter, m.eval)
 	return m
 }
 
 // Table returns the cell-probe view.
 func (m *Membership) Table() cellprobe.Table { return m.oracle }
 
-// Address returns the cell address for query x.
-func (m *Membership) Address(x bitvec.Vector) string { return x.Key() }
+// Address returns the cell address for query x: the point's words.
+func (m *Membership) Address(x bitvec.Vector) cellprobe.Addr {
+	return cellprobe.VecAddr(cellprobe.MemberTag(m.radius), x)
+}
 
-func (m *Membership) eval(addr string) cellprobe.Word {
-	if i, ok := m.index[addr]; ok {
+// eval runs only on memo misses, so packing the payload bytes and
+// reconstructing x may allocate.
+func (m *Membership) eval(addr cellprobe.Addr) cellprobe.Word {
+	if i, ok := m.index[payloadKey(addr)]; ok {
 		return cellprobe.PointWord(i)
 	}
 	if m.radius == 0 {
@@ -56,10 +65,10 @@ func (m *Membership) eval(addr string) cellprobe.Word {
 	}
 	// Radius 1: the cell for x stores any z ∈ B with dist(x, z) ≤ 1. A scan
 	// with early cutoff reproduces what preprocessing would store.
-	x, err := bitvec.FromKey(addr, wordBitsFromKeyLen(len(addr)))
-	if err != nil {
+	if len(m.db) == 0 || addr.Len() != len(m.db[0]) {
 		return cellprobe.EmptyWord
 	}
+	x := bitvec.Vector(addr.AppendPayload(nil))
 	for i, z := range m.db {
 		if bitvec.DistanceAtMost(x, z, 1) {
 			return cellprobe.PointWord(i)
@@ -68,6 +77,15 @@ func (m *Membership) eval(addr string) cellprobe.Word {
 	return cellprobe.EmptyWord
 }
 
-// wordBitsFromKeyLen recovers a bit length compatible with a Key string of
-// the given byte length (keys are whole 64-bit words).
-func wordBitsFromKeyLen(n int) int { return n * 8 }
+// payloadKey renders an address payload as the same little-endian byte
+// string bitvec.Key produces for the underlying vector.
+func payloadKey(a cellprobe.Addr) string {
+	buf := make([]byte, 0, a.Len()*8)
+	for i := 0; i < a.Len(); i++ {
+		w := a.Word(i)
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return string(buf)
+}

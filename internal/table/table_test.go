@@ -21,40 +21,32 @@ func testFamily(t *testing.T, d, n int, s float64) (*sketch.Family, []bitvec.Vec
 	return fam, db
 }
 
-func TestAddrCodecRoundTrip(t *testing.T) {
-	var w addrWriter
-	w.uvarint(0)
-	w.uvarint(300)
-	w.bytes("hello")
-	w.uvarint(1 << 40)
-	r := &addrReader{buf: w.String()}
-	if v, err := r.uvarint(); err != nil || v != 0 {
-		t.Fatalf("uvarint: %v %v", v, err)
+// TestAddressIdentity checks that cell identity is exactly (tag, payload):
+// the same sketch addresses the same cell across calls, different levels
+// address different tables, and the typed tags carry the table labels.
+func TestAddressIdentity(t *testing.T) {
+	fam, db := testFamily(t, 256, 30, 1)
+	set := NewSet(fam, db)
+	sx := fam.Accurate[2].Apply(db[0])
+	a1 := set.Ball[2].AddressOfSketch(sx)
+	a2 := set.Ball[2].AddressOfSketch(sx.Clone())
+	if a1 != a2 {
+		t.Error("identical sketches produced different addresses")
 	}
-	if v, err := r.uvarint(); err != nil || v != 300 {
-		t.Fatalf("uvarint: %v %v", v, err)
+	if a1.Tag() != cellprobe.BallTag(2) || set.Ball[2].Table().ID() != "T[2]" {
+		t.Errorf("ball tag/ID wrong: %v %q", a1.Tag(), set.Ball[2].Table().ID())
 	}
-	if s, err := r.bytes(); err != nil || s != "hello" {
-		t.Fatalf("bytes: %q %v", s, err)
+	if set.Ball[3].AddressOfSketch(sx) == a1 {
+		t.Error("different levels share an address")
 	}
-	if v, err := r.uvarint(); err != nil || v != 1<<40 {
-		t.Fatalf("uvarint: %v %v", v, err)
+	if set.Aux[2].Table().ID() != "aux[2]" {
+		t.Error(set.Aux[2].Table().ID())
 	}
-	if !r.done() {
-		t.Error("reader not done")
+	if set.Exact.Table().ID() != "member[B]" || set.Near.Table().ID() != "member[N1(B)]" {
+		t.Errorf("membership IDs %q %q", set.Exact.Table().ID(), set.Near.Table().ID())
 	}
-}
-
-func TestAddrCodecMalformed(t *testing.T) {
-	r := &addrReader{buf: "\xff"} // unterminated varint
-	if _, err := r.uvarint(); err == nil {
-		t.Error("malformed varint accepted")
-	}
-	var w addrWriter
-	w.uvarint(100) // length prefix with no payload
-	r2 := &addrReader{buf: w.String()}
-	if _, err := r2.bytes(); err == nil {
-		t.Error("truncated payload accepted")
+	if set.Exact.Address(db[0]) == set.Near.Address(db[0]) {
+		t.Error("the two membership tables share an address space")
 	}
 }
 
@@ -94,14 +86,15 @@ func TestBallTableEmptyForFarAddress(t *testing.T) {
 	set := NewSet(fam, db)
 	// A random address at a small level has (whp) no nearby db sketch.
 	r := rng.New(10)
-	addr := hamming.Random(r, fam.AccurateRows()).Key()
+	addr := set.Ball[0].AddressOfSketch(hamming.Random(r, fam.AccurateRows()))
 	w := set.Ball[0].Table().Lookup(addr)
 	if w.Kind != cellprobe.Empty {
 		// Not impossible, but wildly unlikely: treat as failure.
 		t.Errorf("random address at level 0 matched point %v", w)
 	}
-	// Malformed address is EMPTY by convention.
-	if got := set.Ball[0].Table().Lookup("bogus"); got.Kind != cellprobe.Empty {
+	// Malformed (wrong payload length) address is EMPTY by convention.
+	bogus := cellprobe.VecAddr(cellprobe.BallTag(0), []uint64{1})
+	if got := set.Ball[0].Table().Lookup(bogus); got.Kind != cellprobe.Empty {
 		t.Error("malformed address not EMPTY")
 	}
 }
@@ -215,8 +208,17 @@ func TestAuxTableMatchesDirectComputation(t *testing.T) {
 func TestAuxTableMalformedAddress(t *testing.T) {
 	fam, db := testFamily(t, 256, 20, 1)
 	set := NewSet(fam, db)
-	if w := set.Aux[2].Table().Lookup("junk"); w.Kind != cellprobe.Int || w.Value != 0 {
+	junk := cellprobe.VecAddr(cellprobe.AuxTag(2), []uint64{7})
+	if w := set.Aux[2].Table().Lookup(junk); w.Kind != cellprobe.Int || w.Value != 0 {
 		t.Errorf("malformed aux address returned %v", w)
+	}
+	// Truncated group payload: count promises more pairs than present.
+	var b cellprobe.AddrBuilder
+	b.Reset(cellprobe.AuxTag(2))
+	b.Vec(bitvec.New(fam.AccurateRows()))
+	b.Uint(3)
+	if w := set.Aux[2].Table().Lookup(b.Addr()); w.Kind != cellprobe.Int || w.Value != 0 {
+		t.Errorf("truncated aux address returned %v", w)
 	}
 }
 
