@@ -107,6 +107,39 @@ func TestAllocsShardedMerge(t *testing.T) {
 	}
 }
 
+// TestAllocsBuildScalesWithLevelsNotPoints pins the flat-storage build
+// contract: preprocessing allocates per level (matrices, sketch blocks,
+// oracles), never per database point. The membership tables used to key
+// a map[string]int on packed-byte strings — two allocations per point —
+// so a regression back to per-entry keys makes the large build's count
+// diverge from the small one's by hundreds and fails the delta ceiling.
+func TestAllocsBuildScalesWithLevelsNotPoints(t *testing.T) {
+	skipIfRace(t)
+	const d = 128
+	buildAllocs := func(n int) float64 {
+		r := rng.New(uint64(n))
+		db := make([]Point, n)
+		for i := range db {
+			db[i] = hamming.Random(r, d)
+		}
+		// BuildWorkers 1 keeps the count deterministic (no goroutine spawns).
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Build(db, Options{Dimension: d, Rounds: 2, BuildWorkers: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := buildAllocs(128)
+	large := buildAllocs(512)
+	// 4x the points must cost O(1) extra allocations (slice-header views
+	// aside, which AllocsPerRun already charges to both sides equally).
+	const ceiling = 16
+	if large-small > ceiling {
+		t.Errorf("Build(n=512) allocates %.0f more than Build(n=128) (ceiling %d): per-point allocation crept back in",
+			large-small, ceiling)
+	}
+}
+
 // TestAllocsScratchReuse pins the per-worker reuse contract: a held
 // Scratch makes repeated queries allocation-free without touching the
 // shared pool at all.

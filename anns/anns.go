@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // Options configures Build.
@@ -43,6 +44,11 @@ type Options struct {
 	// RowsMultiplier overrides the calibrated c₁ = c₂ sketch-row constant
 	// (advanced; see DESIGN.md §3.2). Zero keeps the default.
 	RowsMultiplier float64
+	// BuildWorkers sizes the preprocessing worker pool: sketch-family
+	// drawing, per-level database sketching, and boosted repetitions all
+	// fan out across it. 0 selects GOMAXPROCS; 1 builds sequentially
+	// (the benchmark baseline). Queries are unaffected.
+	BuildWorkers int
 }
 
 // Algorithm selects between the paper's two schemes.
@@ -148,37 +154,69 @@ func Build(points []Point, opts Options) (*Index, error) {
 		return nil, errors.New("anns: Options.Repetitions must be at least 1")
 	}
 
-	build := func(seed uint64) (core.Scheme, *core.Index) {
-		idx := core.BuildIndex(points, opts.Dimension, core.Params{
+	// The build is eager (every per-level sketch block is materialized up
+	// front, across the worker pool): serving indexes answer their first
+	// query at steady-state cost and snapshot without further computation.
+	workers := par.Workers(opts.BuildWorkers)
+	build := func(seed uint64, buildWorkers int) (core.Scheme, *core.Index) {
+		idx := core.BuildIndexParallel(points, opts.Dimension, core.Params{
 			Gamma: opts.Gamma,
 			K:     opts.Rounds,
 			C1:    opts.RowsMultiplier,
 			C2:    opts.RowsMultiplier,
 			Seed:  seed,
-		})
-		if opts.Algorithm == Sophisticated {
-			return core.NewAlgo2(idx, opts.Rounds), idx
-		}
-		return core.NewAlgo1(idx, opts.Rounds), idx
+		}, buildWorkers)
+		return newScheme(idx, opts), idx
 	}
 
 	out := &Index{opts: opts, db: points}
 	if opts.Repetitions == 1 {
-		s, idx := build(opts.Seed)
+		s, idx := build(opts.Seed, workers)
 		out.scheme = s.(core.CtxScheme)
 		out.lambda = core.NewLambda(idx)
 		out.coreIndex = idx
 	} else {
-		boosted := core.NewBoosted(opts.Repetitions, opts.Seed, build)
-		out.scheme = boosted
+		// Repetitions are independent (distinct seeds), so they build
+		// concurrently, each with a proportional slice of the pool.
+		schemes := make([]core.Scheme, opts.Repetitions)
+		indexes := make([]*core.Index, opts.Repetitions)
+		inner := workers / opts.Repetitions
+		if inner < 1 {
+			inner = 1
+		}
+		par.Do(workers, opts.Repetitions, func(i int) {
+			schemes[i], indexes[i] = build(opts.Seed+uint64(i), inner)
+		})
+		out.scheme = core.NewBoostedOver(schemes, indexes)
 		// The boosted scheme's first repetition *is* the seed-0 index;
 		// reuse it for the λ-ANNS path and space accounting instead of
 		// preprocessing the same (points, seed) pair a second time.
-		idx := boosted.Index(0)
+		idx := indexes[0]
 		out.lambda = core.NewLambda(idx)
 		out.coreIndex = idx
 	}
 	return out, nil
+}
+
+// newScheme builds the query scheme the options select over idx.
+func newScheme(idx *core.Index, opts Options) core.Scheme {
+	if opts.Algorithm == Sophisticated {
+		return core.NewAlgo2(idx, opts.Rounds)
+	}
+	return core.NewAlgo1(idx, opts.Rounds)
+}
+
+// coreIndexes returns the per-repetition core indexes (one entry when the
+// index is not boosted) — the snapshot save path.
+func (ix *Index) coreIndexes() []*core.Index {
+	if b, ok := ix.scheme.(*core.Boosted); ok {
+		out := make([]*core.Index, b.Reps())
+		for i := range out {
+			out[i] = b.Index(i)
+		}
+		return out
+	}
+	return []*core.Index{ix.coreIndex}
 }
 
 // Scratch is a reusable query-execution scratchpad wrapping the core

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/par"
 )
 
 // ShardedIndex partitions one logical database across S independently
@@ -65,18 +67,29 @@ func BuildSharded(points []Point, shards int, opts Options) (*ShardedIndex, erro
 		parts[s] = append(parts[s], p)
 		sx.global[s] = append(sx.global[s], i)
 	}
-	for s := range parts {
+	// Shards are independent (disjoint points, derived seeds), so they
+	// build concurrently, each with a proportional slice of the pool.
+	workers := par.Workers(opts.BuildWorkers)
+	inner := workers / shards
+	if inner < 1 {
+		inner = 1
+	}
+	errs := make([]error, shards)
+	par.Do(workers, shards, func(s int) {
 		o := opts
 		o.Seed = splitSeed(opts.Seed, s)
-		idx, err := Build(parts[s], o)
+		o.BuildWorkers = inner
+		sx.shards[s], errs[s] = Build(parts[s], o)
+	})
+	for s, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("anns: building shard %d/%d: %w", s, shards, err)
 		}
-		sx.shards[s] = idx
 	}
 	// Build normalizes defaults (Gamma, Rounds, Repetitions); adopt them.
 	norm := sx.shards[0].Options()
 	norm.Seed = opts.Seed
+	norm.BuildWorkers = opts.BuildWorkers
 	sx.opts = norm
 	return sx, nil
 }

@@ -1,0 +1,253 @@
+package anns
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// Snapshot support: SaveIndex/LoadIndex and SaveSharded/LoadSharded
+// round-trip a built index through the versioned, checksummed binary
+// format of internal/snapshot ("build once, serve anywhere"). The
+// payload is the index's flat storage written wholesale, so loading is a
+// sequential read plus a cheap membership-key rebuild — no sketching, no
+// matrix drawing — and the loaded index answers every query with results
+// and probe accounting byte-identical to the index it was saved from.
+
+// envelope converts the public Options to the format layer's mirror.
+func envelope(opts Options) snapshot.IndexOptions {
+	return snapshot.IndexOptions{
+		Dimension:      opts.Dimension,
+		Gamma:          opts.Gamma,
+		Rounds:         opts.Rounds,
+		Algorithm:      int(opts.Algorithm),
+		Repetitions:    opts.Repetitions,
+		Seed:           opts.Seed,
+		RowsMultiplier: opts.RowsMultiplier,
+	}
+}
+
+func unenvelope(o snapshot.IndexOptions) Options {
+	return Options{
+		Dimension:      o.Dimension,
+		Gamma:          o.Gamma,
+		Rounds:         o.Rounds,
+		Algorithm:      Algorithm(o.Algorithm),
+		Repetitions:    o.Repetitions,
+		Seed:           o.Seed,
+		RowsMultiplier: o.RowsMultiplier,
+	}
+}
+
+// SaveIndex writes a snapshot of ix to w: the serving options plus one
+// core-index body per boosted repetition.
+func SaveIndex(w io.Writer, ix *Index) error {
+	e := snapshot.NewEncoder(w, snapshot.KindIndex)
+	encodeIndexBody(e, ix)
+	return e.Close()
+}
+
+func encodeIndexBody(e *snapshot.Encoder, ix *Index) {
+	snapshot.EncodeIndexOptions(e, envelope(ix.opts))
+	for _, ci := range ix.coreIndexes() {
+		snapshot.EncodeCore(e, ci)
+	}
+}
+
+// LoadIndex reads an Index snapshot from r. The checksum is verified
+// before the index is handed out.
+func LoadIndex(r io.Reader) (*Index, error) {
+	d, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind() != snapshot.KindIndex {
+		return nil, fmt.Errorf("%w: kind %q is not an index snapshot",
+			snapshot.ErrFormat, snapshot.KindName(d.Kind()))
+	}
+	ix, err := decodeIndexBody(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func decodeIndexBody(d *snapshot.Decoder) (*Index, error) {
+	env, err := snapshot.DecodeIndexOptions(d)
+	if err != nil {
+		return nil, err
+	}
+	opts := unenvelope(env)
+	return decodeIndexCores(d, opts)
+}
+
+// decodeIndexCores reads opts.Repetitions core bodies and reassembles the
+// scheme stack exactly as Build would have.
+func decodeIndexCores(d *snapshot.Decoder, opts Options) (*Index, error) {
+	schemes := make([]core.Scheme, opts.Repetitions)
+	indexes := make([]*core.Index, opts.Repetitions)
+	for i := range indexes {
+		ci, err := snapshot.DecodeCore(d)
+		if err != nil {
+			return nil, fmt.Errorf("repetition %d: %w", i, err)
+		}
+		if ci.D != opts.Dimension {
+			return nil, fmt.Errorf("%w: repetition %d has dimension %d, envelope says %d",
+				snapshot.ErrFormat, i, ci.D, opts.Dimension)
+		}
+		indexes[i] = ci
+		schemes[i] = newScheme(ci, opts)
+	}
+	out := &Index{opts: opts, db: indexes[0].DB}
+	if opts.Repetitions == 1 {
+		out.scheme = schemes[0].(core.CtxScheme)
+	} else {
+		out.scheme = core.NewBoostedOver(schemes, indexes)
+	}
+	out.lambda = core.NewLambda(indexes[0])
+	out.coreIndex = indexes[0]
+	return out, nil
+}
+
+// SaveSharded writes a snapshot of sx: the logical options, the shard
+// partition, and one embedded index body per shard.
+func SaveSharded(w io.Writer, sx *ShardedIndex) error {
+	e := snapshot.NewEncoder(w, snapshot.KindSharded)
+	snapshot.EncodeIndexOptions(e, envelope(sx.opts))
+	e.U64(uint64(len(sx.shards)))
+	e.U64(uint64(sx.n))
+	for s, shard := range sx.shards {
+		e.U64(shard.opts.Seed)
+		globals := make([]uint64, len(sx.global[s]))
+		for j, g := range sx.global[s] {
+			globals[j] = uint64(g)
+		}
+		e.U64(uint64(len(globals)))
+		e.Words(globals)
+		for _, ci := range shard.coreIndexes() {
+			snapshot.EncodeCore(e, ci)
+		}
+	}
+	return e.Close()
+}
+
+// LoadSharded reads a ShardedIndex snapshot from r.
+func LoadSharded(r io.Reader) (*ShardedIndex, error) {
+	d, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind() != snapshot.KindSharded {
+		return nil, fmt.Errorf("%w: kind %q is not a sharded-index snapshot",
+			snapshot.ErrFormat, snapshot.KindName(d.Kind()))
+	}
+	sx, err := decodeShardedBody(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return sx, nil
+}
+
+func decodeShardedBody(d *snapshot.Decoder) (*ShardedIndex, error) {
+	env, err := snapshot.DecodeIndexOptions(d)
+	if err != nil {
+		return nil, err
+	}
+	opts := unenvelope(env)
+	shards := int(d.U64())
+	n := int(d.U64())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if shards < 1 || n < 2*shards {
+		return nil, fmt.Errorf("%w: implausible shard header (shards=%d n=%d)", snapshot.ErrFormat, shards, n)
+	}
+	sx := &ShardedIndex{
+		opts:   opts,
+		shards: make([]*Index, shards),
+		global: make([][]int, shards),
+		n:      n,
+	}
+	total := 0
+	for s := 0; s < shards; s++ {
+		shardSeed := d.U64()
+		members := int(d.U64())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if members < 2 || members > n {
+			return nil, fmt.Errorf("%w: shard %d claims %d members of %d points", snapshot.ErrFormat, s, members, n)
+		}
+		globals := make([]uint64, members)
+		d.WordsInto(globals)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		sx.global[s] = make([]int, members)
+		for j, g := range globals {
+			if g >= uint64(n) {
+				return nil, fmt.Errorf("%w: shard %d maps local point %d to global %d of %d",
+					snapshot.ErrFormat, s, j, g, n)
+			}
+			sx.global[s][j] = int(g)
+		}
+		total += members
+		shardOpts := opts
+		shardOpts.Seed = shardSeed
+		shard, err := decodeIndexCores(d, shardOpts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if shard.Len() != members {
+			return nil, fmt.Errorf("%w: shard %d holds %d points but maps %d",
+				snapshot.ErrFormat, s, shard.Len(), members)
+		}
+		sx.shards[s] = shard
+	}
+	if total != n {
+		return nil, fmt.Errorf("%w: shard members sum to %d, header says %d", snapshot.ErrFormat, total, n)
+	}
+	return sx, nil
+}
+
+// LoadAny reads a snapshot of either serving kind: exactly one of the
+// returned indexes is non-nil. Bare core-index snapshots (annsctl's
+// KindCore) are not servable and are rejected here.
+func LoadAny(r io.Reader) (*Index, *ShardedIndex, error) {
+	d, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch d.Kind() {
+	case snapshot.KindIndex:
+		ix, err := decodeIndexBody(d)
+		if err == nil {
+			err = d.Close()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return ix, nil, nil
+	case snapshot.KindSharded:
+		sx, err := decodeShardedBody(d)
+		if err == nil {
+			err = d.Close()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, sx, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: snapshot kind %q is not servable",
+			snapshot.ErrFormat, snapshot.KindName(d.Kind()))
+	}
+}
+

@@ -1,0 +1,222 @@
+package anns
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// snapshotCorpus is the fixed-seed workload of the losslessness contract:
+// a corpus plus 1000 query points exercising near and far distances.
+func snapshotCorpus(t testing.TB, n, d int) ([]Point, []Point) {
+	t.Helper()
+	r := rng.New(2016)
+	db := make([]Point, n)
+	for i := range db {
+		db[i] = hamming.Random(r, d)
+	}
+	queries := make([]Point, 1000)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, db[i%n], d, 1+i%(d/2))
+	}
+	return db, queries
+}
+
+// queryable is the surface the roundtrip comparison drives: both *Index
+// and *ShardedIndex satisfy it.
+type queryable interface {
+	Query(x Point) (Result, error)
+	QueryNear(x Point, lambda float64) (Result, error)
+	Len() int
+	Options() Options
+}
+
+// sameServing runs the full workload through both sides and requires
+// byte-identical answers and accounting.
+func sameServing(t *testing.T, label string, built, loaded queryable, queries []Point) {
+	t.Helper()
+	if built.Len() != loaded.Len() {
+		t.Fatalf("%s: Len %d vs %d", label, built.Len(), loaded.Len())
+	}
+	if built.Options() != loaded.Options() {
+		t.Fatalf("%s: options diverged:\n built  %+v\n loaded %+v", label, built.Options(), loaded.Options())
+	}
+	for i, q := range queries {
+		a, aerr := built.Query(q)
+		b, berr := loaded.Query(q)
+		if (aerr == nil) != (berr == nil) || a != b {
+			t.Fatalf("%s: query %d diverged: built %+v (%v) vs loaded %+v (%v)", label, i, a, aerr, b, berr)
+		}
+		an, anerr := built.QueryNear(q, float64(1+i%32))
+		bn, bnerr := loaded.QueryNear(q, float64(1+i%32))
+		if (anerr == nil) != (bnerr == nil) || an != bn {
+			t.Fatalf("%s: near query %d diverged: built %+v (%v) vs loaded %+v (%v)", label, i, an, anerr, bn, bnerr)
+		}
+	}
+}
+
+// TestSnapshotRoundtripIndex pins the Save→Load→Query losslessness of
+// every single-index serving path: Algorithm 1, Algorithm 2, and boosted
+// repetitions, each over the 1k-query fixed-seed workload.
+func TestSnapshotRoundtripIndex(t *testing.T) {
+	db, queries := snapshotCorpus(t, 96, 128)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"algo1-k2", Options{Dimension: 128, Rounds: 2, Seed: 5}},
+		{"algo2-k6", Options{Dimension: 128, Rounds: 6, Algorithm: Sophisticated, Seed: 6}},
+		{"boosted-r3", Options{Dimension: 128, Rounds: 2, Repetitions: 3, Seed: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			built, err := Build(db, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := SaveIndex(&buf, built); err != nil {
+				t.Fatalf("SaveIndex: %v", err)
+			}
+			loaded, err := LoadIndex(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("LoadIndex: %v", err)
+			}
+			sameServing(t, tc.name, built, loaded, queries)
+		})
+	}
+}
+
+// TestSnapshotRoundtripSharded pins the same contract across the shard
+// fan-out and merge.
+func TestSnapshotRoundtripSharded(t *testing.T) {
+	db, queries := snapshotCorpus(t, 96, 128)
+	built, err := BuildSharded(db, 4, Options{Dimension: 128, Rounds: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSharded(&buf, built); err != nil {
+		t.Fatalf("SaveSharded: %v", err)
+	}
+	loaded, err := LoadSharded(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSharded: %v", err)
+	}
+	if loaded.Shards() != built.Shards() {
+		t.Fatalf("shards %d vs %d", loaded.Shards(), built.Shards())
+	}
+	sameServing(t, "sharded-4", built, loaded, queries[:500])
+}
+
+// TestSnapshotSpaceAccounting verifies the loaded index reports the same
+// nominal space (the model quantity must survive the format).
+func TestSnapshotSpaceAccounting(t *testing.T) {
+	db, _ := snapshotCorpus(t, 64, 128)
+	built, err := Build(db, Options{Dimension: 128, Rounds: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, built); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, l := built.Space().NominalLog2Cells, loaded.Space().NominalLog2Cells; b != l {
+		t.Errorf("nominal space diverged: %v vs %v", b, l)
+	}
+}
+
+// TestLoadAnyDispatch checks kind dispatch and the kind-mismatch errors.
+func TestLoadAnyDispatch(t *testing.T) {
+	db, _ := snapshotCorpus(t, 64, 128)
+	ix, err := Build(db, Options{Dimension: 128, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := BuildSharded(db, 2, Options{Dimension: 128, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single, sharded bytes.Buffer
+	if err := SaveIndex(&single, ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSharded(&sharded, sx); err != nil {
+		t.Fatal(err)
+	}
+	gotIx, gotSx, err := LoadAny(bytes.NewReader(single.Bytes()))
+	if err != nil || gotIx == nil || gotSx != nil {
+		t.Fatalf("LoadAny(single) = (%v, %v, %v)", gotIx, gotSx, err)
+	}
+	gotIx, gotSx, err = LoadAny(bytes.NewReader(sharded.Bytes()))
+	if err != nil || gotIx != nil || gotSx == nil {
+		t.Fatalf("LoadAny(sharded) = (%v, %v, %v)", gotIx, gotSx, err)
+	}
+	if _, err := LoadIndex(bytes.NewReader(sharded.Bytes())); !errors.Is(err, snapshot.ErrFormat) {
+		t.Errorf("LoadIndex(sharded) = %v, want ErrFormat", err)
+	}
+	if _, err := LoadSharded(bytes.NewReader(single.Bytes())); !errors.Is(err, snapshot.ErrFormat) {
+		t.Errorf("LoadSharded(single) = %v, want ErrFormat", err)
+	}
+}
+
+// TestSnapshotInspectSharded exercises Inspect over the richest envelope.
+func TestSnapshotInspectSharded(t *testing.T) {
+	db, _ := snapshotCorpus(t, 64, 128)
+	sx, err := BuildSharded(db, 2, Options{Dimension: 128, Rounds: 2, Repetitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSharded(&buf, sx); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	info, err := snapshot.Inspect(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Kind != snapshot.KindSharded || info.Shards != 2 || info.N != 64 {
+		t.Errorf("info = %+v", info)
+	}
+	if want := 2 * 2; len(info.Cores) != want { // shards × repetitions
+		t.Errorf("got %d core bodies, want %d", len(info.Cores), want)
+	}
+	if info.Bytes != int64(len(raw)) {
+		t.Errorf("Bytes = %d, file is %d", info.Bytes, len(raw))
+	}
+	if fmt.Sprint(info.Options.Repetitions) != "2" {
+		t.Errorf("options not round-tripped: %+v", info.Options)
+	}
+}
+
+// TestParallelBuildDeterminism pins that the worker pool does not change
+// what gets built: indexes built with 1 worker and many workers answer
+// identically (the randomness is split per matrix, not per goroutine).
+func TestParallelBuildDeterminism(t *testing.T) {
+	db, queries := snapshotCorpus(t, 64, 128)
+	seq, err := Build(db, Options{Dimension: 128, Rounds: 2, Seed: 21, BuildWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := Build(db, Options{Dimension: 128, Rounds: 2, Seed: 21, BuildWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries[:200] {
+		a, aerr := seq.Query(q)
+		b, berr := parl.Query(q)
+		if (aerr == nil) != (berr == nil) || a != b {
+			t.Fatalf("query %d diverged between sequential and parallel build: %+v vs %+v", i, a, b)
+		}
+	}
+}

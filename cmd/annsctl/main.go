@@ -1,0 +1,333 @@
+// Command annsctl is the offline index-lifecycle tool: it builds index
+// snapshots ("build once"), inspects them, and benchmarks the build and
+// load paths.
+//
+//	annsctl build -o idx.snap -kind planted -d 512 -n 4096 -shards 4 -k 3
+//	annsctl inspect idx.snap
+//	annsctl bench -kind planted -d 512 -n 4096 -shards 4 -o BENCH_index_build.json
+//
+// A snapshot built here is served by `annsd -snapshot idx.snap` on any
+// host ("serve anywhere"): the file embeds the format version, the paper
+// parameters (d, k, γ, s, repetitions), per-section lengths, and a
+// checksum over the flat index arrays.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/anns"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annsctl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		runBuild(os.Args[2:])
+	case "inspect":
+		runInspect(os.Args[2:])
+	case "bench":
+		runBench(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: annsctl <command> [flags]
+
+commands:
+  build    build an index over a generated workload and save its snapshot
+  inspect  print a snapshot's header, parameters, and section summary
+  bench    measure sequential vs parallel build, save, and load timings
+
+run "annsctl <command> -h" for the command's flags
+`)
+	os.Exit(2)
+}
+
+// indexFlags registers the index-shape flags shared by build and bench.
+type indexFlags struct {
+	k, reps, shards, buildWorkers int
+	algo                          string
+	gamma                         float64
+	seed                          uint64
+}
+
+func (f *indexFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&f.k, "k", 3, "adaptivity budget (rounds)")
+	fs.StringVar(&f.algo, "algo", "simple", "simple (Algorithm 1) | soph (Algorithm 2)")
+	fs.Float64Var(&f.gamma, "gamma", 2, "approximation ratio")
+	fs.IntVar(&f.reps, "reps", 1, "independent repetitions (success boosting)")
+	fs.Uint64Var(&f.seed, "seed", 42, "public randomness seed")
+	fs.IntVar(&f.shards, "shards", 4, "shard count (1 = single unsharded index)")
+	fs.IntVar(&f.buildWorkers, "build-workers", 0, "build worker pool (0 = GOMAXPROCS)")
+}
+
+func (f *indexFlags) options(d int) anns.Options {
+	opts := anns.Options{
+		Dimension:    d,
+		Gamma:        f.gamma,
+		Rounds:       f.k,
+		Repetitions:  f.reps,
+		Seed:         f.seed,
+		BuildWorkers: f.buildWorkers,
+	}
+	switch f.algo {
+	case "simple":
+	case "soph":
+		opts.Algorithm = anns.Sophisticated
+	default:
+		log.Fatalf("unknown -algo %q", f.algo)
+	}
+	return opts
+}
+
+// buildIndex generates the workload and builds the configured index,
+// returning exactly one non-nil index.
+func buildIndex(spec workload.Spec, idxf *indexFlags) (*anns.Index, *anns.ShardedIndex, time.Duration) {
+	inst, err := spec.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("workload: %s", inst)
+	opts := idxf.options(inst.D)
+	start := time.Now()
+	if idxf.shards <= 1 {
+		ix, err := anns.Build(inst.DB, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ix, nil, time.Since(start)
+	}
+	sx, err := anns.BuildSharded(inst.DB, idxf.shards, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nil, sx, time.Since(start)
+}
+
+func save(path string, ix *anns.Index, sx *anns.ShardedIndex) (int64, time.Duration) {
+	start := time.Now()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ix != nil {
+		err = anns.SaveIndex(f, ix)
+	} else {
+		err = anns.SaveSharded(f, sx)
+	}
+	if err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.Size(), time.Since(start)
+}
+
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("annsctl build", flag.ExitOnError)
+	out := fs.String("o", "index.snap", "output snapshot path")
+	spec := workload.DefaultSpec()
+	spec.RegisterFlags(fs)
+	var idxf indexFlags
+	idxf.register(fs)
+	fs.Parse(args)
+
+	ix, sx, buildDur := buildIndex(spec, &idxf)
+	n := 0
+	if ix != nil {
+		n = ix.Len()
+	} else {
+		n = sx.Len()
+	}
+	log.Printf("built index over n=%d in %v (shards=%d, k=%d, workers=%d)",
+		n, buildDur.Round(time.Millisecond), idxf.shards, idxf.k, idxf.buildWorkers)
+	bytes, saveDur := save(*out, ix, sx)
+	log.Printf("saved %s (%d bytes, format v%d) in %v", *out, bytes,
+		snapshot.FormatVersion, saveDur.Round(time.Millisecond))
+}
+
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("annsctl inspect", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: annsctl inspect <snapshot>")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	info, err := snapshot.Inspect(f)
+	if err != nil {
+		log.Fatalf("inspecting %s: %v", path, err)
+	}
+	fmt.Printf("%s: %s snapshot, format v%d, %d bytes, checksum ok\n",
+		path, snapshot.KindName(info.Kind), info.Version, info.Bytes)
+	if o := info.Options; o != nil {
+		algo := "simple"
+		if o.Algorithm != 0 {
+			algo = "soph"
+		}
+		fmt.Printf("options: d=%d γ=%v k=%d algo=%s reps=%d seed=%d\n",
+			o.Dimension, o.Gamma, o.Rounds, algo, o.Repetitions, o.Seed)
+	}
+	if info.Shards > 0 {
+		fmt.Printf("shards: %d over n=%d\n", info.Shards, info.N)
+	} else {
+		fmt.Printf("n: %d\n", info.N)
+	}
+	for i, c := range info.Cores {
+		fmt.Printf("core %d: d=%d n=%d k=%d γ=%v s=%v seed=%d L=%d rows=%d/%d (%d words)\n",
+			i, c.D, c.N, c.K, c.Gamma, c.S, c.Seed, c.L, c.AccRows, c.CoarseRows, c.Words())
+		for _, s := range c.Sections {
+			fmt.Printf("  section %-16s %12d words\n", snapshot.SectionName(s.Tag), s.Words)
+		}
+	}
+}
+
+// buildBench is the JSON record of one build/load measurement
+// (BENCH_index_build.json), following the reproducible-measurement
+// practice of keeping before/after perf numbers in the repository.
+type buildBench struct {
+	Config struct {
+		Kind    string `json:"kind"`
+		N       int    `json:"n"`
+		D       int    `json:"d"`
+		K       int    `json:"k"`
+		Shards  int    `json:"shards"`
+		Reps    int    `json:"reps"`
+		Workers int    `json:"workers"`
+		// HostCPUs records the machine the numbers came from: on a
+		// single-CPU host the parallel build degenerates to the
+		// sequential baseline and BuildSpeedup is ~1 by construction.
+		HostCPUs int `json:"host_cpus"`
+	} `json:"config"`
+	SeqBuildMS      float64 `json:"seq_build_ms"`
+	ParBuildMS      float64 `json:"par_build_ms"`
+	BuildSpeedup    float64 `json:"build_speedup"`
+	SaveMS          float64 `json:"save_ms"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	LoadMS          float64 `json:"load_ms"`
+	LoadVsSeqBuild  float64 `json:"load_vs_seq_build"`
+	LoadVsParBuild  float64 `json:"load_vs_par_build"`
+	SnapshotVersion uint32  `json:"snapshot_version"`
+}
+
+func runBench(args []string) {
+	fs := flag.NewFlagSet("annsctl bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH_index_build.json", "output JSON path")
+	snapPath := fs.String("snap", "", "snapshot scratch path (default: temp file, removed)")
+	spec := workload.DefaultSpec()
+	spec.RegisterFlags(fs)
+	var idxf indexFlags
+	idxf.register(fs)
+	fs.Parse(args)
+
+	workers := idxf.buildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Sequential baseline: the same eager build on one worker.
+	seq := idxf
+	seq.buildWorkers = 1
+	_, _, seqDur := buildIndex(spec, &seq)
+	log.Printf("sequential build: %v", seqDur.Round(time.Millisecond))
+
+	parf := idxf
+	parf.buildWorkers = workers
+	ix, sx, parDur := buildIndex(spec, &parf)
+	log.Printf("parallel build (%d workers): %v", workers, parDur.Round(time.Millisecond))
+
+	path := *snapPath
+	if path == "" {
+		tmp, err := os.CreateTemp("", "annsctl-bench-*.snap")
+		if err != nil {
+			log.Fatal(err)
+		}
+		tmp.Close()
+		path = tmp.Name()
+		defer os.Remove(path)
+	}
+	bytes, saveDur := save(path, ix, sx)
+	log.Printf("save: %v (%d bytes)", saveDur.Round(time.Millisecond), bytes)
+
+	loadDur := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ { // best of 3: load is fast, so noise dominates one run
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		_, _, err = anns.LoadAny(f)
+		d := time.Since(t0)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d < loadDur {
+			loadDur = d
+		}
+	}
+	log.Printf("load: %v", loadDur.Round(time.Millisecond))
+
+	var rec buildBench
+	rec.Config.Kind = spec.Kind
+	rec.Config.N = spec.N
+	rec.Config.D = spec.D
+	rec.Config.K = idxf.k
+	rec.Config.Shards = idxf.shards
+	rec.Config.Reps = idxf.reps
+	rec.Config.Workers = workers
+	rec.Config.HostCPUs = runtime.NumCPU()
+	rec.SeqBuildMS = ms(seqDur)
+	rec.ParBuildMS = ms(parDur)
+	rec.BuildSpeedup = ratio(ms(seqDur), ms(parDur))
+	rec.SaveMS = ms(saveDur)
+	rec.SnapshotBytes = bytes
+	rec.LoadMS = ms(loadDur)
+	rec.LoadVsSeqBuild = ratio(ms(seqDur), ms(loadDur))
+	rec.LoadVsParBuild = ratio(ms(parDur), ms(loadDur))
+	rec.SnapshotVersion = snapshot.FormatVersion
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: build %0.0fms → %0.0fms (%.2fx), load %0.1fms (%.0fx faster than rebuild)",
+		*out, rec.SeqBuildMS, rec.ParBuildMS, rec.BuildSpeedup, rec.LoadMS, rec.LoadVsParBuild)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,14 +1,19 @@
-// Command annsd is the query-serving daemon: it builds a sharded
-// cell-probe index over a generated workload (or an annsgen dataset) and
-// serves it over HTTP via internal/server.
+// Command annsd is the query-serving daemon. It serves a cell-probe
+// index over HTTP via internal/server; the index either comes from a
+// snapshot file (load on boot, no preprocessing) or is built in-process
+// over a generated workload (or an annsgen dataset) — and a fresh build
+// can be saved for the next boot.
 //
 // Usage:
 //
 //	annsd -addr :7080 -shards 4 -k 3 -kind planted -d 512 -n 4096 -q 512
 //	annsd -addr :7080 -in data.bin -shards 8 -algo soph -k 4
+//	annsd -addr :7080 -kind planted -d 512 -n 4096 -save-snapshot idx.snap
+//	annsd -addr :7080 -snapshot idx.snap
 //
-// Endpoints: POST /v1/query, /v1/batch, /v1/near; GET /healthz, /statsz.
-// Drive it with cmd/annsload.
+// Endpoints: POST /v1/query, /v1/batch, /v1/near; GET /healthz, /statsz
+// (which reports the index source — built vs snapshot — and load time).
+// Drive it with cmd/annsload; build snapshots offline with cmd/annsctl.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"repro/anns"
 	"repro/internal/dataset"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
@@ -39,6 +45,9 @@ func main() {
 	reps := flag.Int("reps", 1, "independent repetitions (success boosting)")
 	seed := flag.Uint64("seed", 42, "public randomness seed (shards derive their own)")
 	shards := flag.Int("shards", 4, "shard count")
+	buildWorkers := flag.Int("build-workers", 0, "index build worker pool (0 = GOMAXPROCS)")
+	snapPath := flag.String("snapshot", "", "serve the index from this snapshot file instead of building")
+	savePath := flag.String("save-snapshot", "", "after building, save the index snapshot here")
 
 	workers := flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "admission queue depth")
@@ -47,52 +56,105 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
 	flag.Parse()
 
-	var inst *workload.Instance
-	var err error
-	if *in != "" {
-		inst, err = dataset.Load(*in)
+	var idx server.Searcher
+	var dim int
+	info := server.IndexInfo{Source: "built"}
+
+	if *snapPath != "" {
+		if *savePath != "" {
+			log.Fatalf("annsd: -snapshot and -save-snapshot are mutually exclusive")
+		}
+		start := time.Now()
+		f, err := os.Open(*snapPath)
+		if err != nil {
+			log.Fatalf("annsd: %v", err)
+		}
+		single, sharded, err := anns.LoadAny(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("annsd: loading snapshot %s: %v", *snapPath, err)
+		}
+		info = server.IndexInfo{
+			Source:          "snapshot",
+			SnapshotVersion: snapshot.FormatVersion,
+			LoadDuration:    time.Since(start),
+			Path:            *snapPath,
+		}
+		if sharded != nil {
+			idx, dim = sharded, sharded.Options().Dimension
+			log.Printf("index: loaded from snapshot %s in %v (format v%d, %d shards over n=%d, k=%d)",
+				*snapPath, info.LoadDuration.Round(time.Millisecond), snapshot.FormatVersion,
+				sharded.Shards(), sharded.Len(), sharded.Options().Rounds)
+		} else {
+			idx, dim = single, single.Options().Dimension
+			log.Printf("index: loaded from snapshot %s in %v (format v%d, n=%d, k=%d)",
+				*snapPath, info.LoadDuration.Round(time.Millisecond), snapshot.FormatVersion,
+				single.Len(), single.Options().Rounds)
+		}
 	} else {
-		inst, err = spec.Generate()
-	}
-	if err != nil {
-		log.Fatalf("annsd: %v", err)
-	}
-	log.Printf("workload: %s", inst)
+		var inst *workload.Instance
+		var err error
+		if *in != "" {
+			inst, err = dataset.Load(*in)
+		} else {
+			inst, err = spec.Generate()
+		}
+		if err != nil {
+			log.Fatalf("annsd: %v", err)
+		}
+		log.Printf("workload: %s", inst)
 
-	opts := anns.Options{
-		Dimension:   inst.D,
-		Gamma:       *gamma,
-		Rounds:      *k,
-		Repetitions: *reps,
-		Seed:        *seed,
-	}
-	switch *algo {
-	case "simple":
-	case "soph":
-		opts.Algorithm = anns.Sophisticated
-	default:
-		log.Fatalf("annsd: unknown -algo %q", *algo)
-	}
+		opts := anns.Options{
+			Dimension:    inst.D,
+			Gamma:        *gamma,
+			Rounds:       *k,
+			Repetitions:  *reps,
+			Seed:         *seed,
+			BuildWorkers: *buildWorkers,
+		}
+		switch *algo {
+		case "simple":
+		case "soph":
+			opts.Algorithm = anns.Sophisticated
+		default:
+			log.Fatalf("annsd: unknown -algo %q", *algo)
+		}
 
-	start := time.Now()
-	points := make([]anns.Point, len(inst.DB))
-	copy(points, inst.DB)
-	idx, err := anns.BuildSharded(points, *shards, opts)
-	if err != nil {
-		log.Fatalf("annsd: %v", err)
+		start := time.Now()
+		points := make([]anns.Point, len(inst.DB))
+		copy(points, inst.DB)
+		built, err := anns.BuildSharded(points, *shards, opts)
+		if err != nil {
+			log.Fatalf("annsd: %v", err)
+		}
+		info.LoadDuration = time.Since(start)
+		sp := built.Space()
+		log.Printf("index: built %d shards over n=%d in %v (k=%d, γ=%v, algo=%s); nominal log₂ cells %.1f",
+			built.Shards(), built.Len(), info.LoadDuration.Round(time.Millisecond), *k, *gamma, *algo,
+			sp.NominalLog2Cells)
+		if *savePath != "" {
+			t0 := time.Now()
+			if err := saveSharded(*savePath, built); err != nil {
+				log.Fatalf("annsd: %v", err)
+			}
+			size := int64(-1)
+			if st, err := os.Stat(*savePath); err == nil {
+				size = st.Size()
+			}
+			log.Printf("snapshot: saved %s (%d bytes) in %v", *savePath, size,
+				time.Since(t0).Round(time.Millisecond))
+		}
+		idx, dim = built, inst.D
 	}
-	sp := idx.Space()
-	log.Printf("index: %d shards over n=%d built in %v (k=%d, γ=%v, algo=%s); nominal log₂ cells %.1f",
-		idx.Shards(), idx.Len(), time.Since(start).Round(time.Millisecond), *k, *gamma, *algo,
-		sp.NominalLog2Cells)
 
 	srv, err := server.New(idx, server.Config{
-		Dimension:      inst.D,
+		Dimension:      dim,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		BatchWorkers:   *batchWorkers,
 		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
+		Index:          info,
 	})
 	if err != nil {
 		log.Fatalf("annsd: %v", err)
@@ -120,4 +182,16 @@ func main() {
 		fmt.Printf("served %d queries (%d near, %d batches), %d errors, %d probes total\n",
 			snap.Queries, snap.Near, snap.Batches, snap.Errors, snap.Probes)
 	}
+}
+
+func saveSharded(path string, sx *anns.ShardedIndex) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := anns.SaveSharded(f, sx); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -347,4 +347,9 @@ func printServerStats(client *http.Client, addr string) {
 		snap.Queries, snap.Near, snap.Batches, snap.Errors, snap.Rejected, snap.DeadlineExceeded)
 	fmt.Printf("probes=%d rounds=%d max_rounds=%d max_parallel=%d qps=%.1f error_rate=%.4f workers=%d\n",
 		snap.Probes, snap.Rounds, snap.MaxRounds, snap.MaxParallel, snap.QPS, snap.ErrorRate, snap.Workers)
+	if snap.IndexSource == "snapshot" {
+		fmt.Printf("index: loaded from snapshot (format v%d) in %dms\n", snap.SnapshotVersion, snap.IndexLoadMS)
+	} else {
+		fmt.Printf("index: %s in %dms\n", snap.IndexSource, snap.IndexLoadMS)
+	}
 }

@@ -58,8 +58,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("annsquery: %v", err)
 	}
+	buildDur := time.Since(start)
 	fmt.Printf("index built in %v (k=%d, γ=%v, algo=%s)\n",
-		time.Since(start).Round(time.Millisecond), *k, *gamma, *algo)
+		buildDur.Round(time.Millisecond), *k, *gamma, *algo)
 
 	ok, failed := 0, 0
 	var totalProbes, totalRounds, maxRounds, maxParallel int
@@ -118,6 +119,8 @@ func main() {
 		Rounds:      int64(totalRounds),
 		MaxRounds:   int64(maxRounds),
 		MaxParallel: int64(maxParallel),
+		IndexSource: "built",
+		IndexLoadMS: buildDur.Milliseconds(),
 	}
 	if sec := qtime.Seconds(); sec > 0 {
 		snap.QPS = float64(nq) / sec

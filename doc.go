@@ -7,8 +7,8 @@
 // The public API lives in package repro/anns; the experiment harness that
 // regenerates the paper's theorem-level tradeoffs is repro/internal/eval,
 // driven by cmd/annsbench and by the benchmarks in bench_test.go.
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// See DESIGN.md for the system inventory (§1) and for the experiment
+// suite and its paper-vs-measured conventions (§4).
 //
 // On top of the library sits a three-layer serving subsystem:
 //
@@ -57,6 +57,36 @@
 // shards and boosted repetitions: rounds = max, probes = sum). Alloc
 // ceilings are pinned by TestAllocs* in package anns and the before/after
 // record lives in BENCH_query_engine.json.
+//
+// # Index lifecycle
+//
+// The paper's data structure is static after preprocessing, so the
+// storage layer separates the three phases — build once, snapshot,
+// serve anywhere (DESIGN.md §5):
+//
+//   - Build: anns.Build and anns.BuildSharded preprocess eagerly over a
+//     worker pool (Options.BuildWorkers, default GOMAXPROCS). Every
+//     component lands in flat, pointer-free storage — the database, the
+//     sketch matrices, and the per-level database sketches are
+//     contiguous bitvec.Blocks, and the membership tables share one
+//     binary-keyed index with no per-entry key strings. Randomness is
+//     split per matrix, so any worker count builds a bit-identical
+//     index. core.BuildIndex stays lazy for the experiment harness.
+//   - Snapshot: anns.SaveIndex/SaveSharded write the flat arrays
+//     wholesale into the versioned, checksummed binary format of
+//     internal/snapshot (magic, format version, paper parameters,
+//     per-section lengths, CRC-32). LoadIndex/LoadSharded/LoadAny
+//     verify and rebind them; a loaded index answers with results and
+//     probe accounting byte-identical to the index it was saved from.
+//     Version mismatches, corruption, and truncation fail loudly
+//     (snapshot.ErrVersion/ErrChecksum, io.ErrUnexpectedEOF); format
+//     changes bump snapshot.FormatVersion, and the upgrade story is
+//     rebuild-and-re-save, never in-place migration.
+//   - Serve: annsctl build writes snapshots offline; annsd -snapshot
+//     boots from one in milliseconds instead of re-preprocessing, annsd
+//     -save-snapshot persists a fresh build, and /statsz reports
+//     index_source, snapshot_version, and index_load_ms. Build and load
+//     timings are recorded in BENCH_index_build.json.
 //
 // See internal/server/README.md for the wire format and a copy-paste
 // serving session.

@@ -146,23 +146,6 @@ func (v Vector) IsZero() bool {
 	return true
 }
 
-// Hash returns a 64-bit FNV-1a hash of the vector contents. Suitable for
-// map keys via Key, and for the membership tables' bucket addressing.
-func (v Vector) Hash() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, w := range v {
-		for s := 0; s < 64; s += 8 {
-			h ^= (w >> uint(s)) & 0xff
-			h *= prime
-		}
-	}
-	return h
-}
-
 // Key returns the vector contents as a string usable as a map key.
 // The encoding is the little-endian byte image of the words.
 func (v Vector) Key() string {

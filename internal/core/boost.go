@@ -41,6 +41,20 @@ func NewBoosted(r int, baseSeed uint64, factory SchemeFactory) *Boosted {
 	return b
 }
 
+// NewBoostedOver wraps already-built repetitions (parallel build or
+// snapshot load): schemes[i] must run over indexes[i].
+func NewBoostedOver(schemes []Scheme, indexes []*Index) *Boosted {
+	if len(schemes) < 1 || len(schemes) != len(indexes) {
+		panic("core: NewBoostedOver needs matching non-empty schemes and indexes")
+	}
+	b := &Boosted{schemes: schemes, indexes: indexes}
+	b.name = fmt.Sprintf("boosted(%s, r=%d)", schemes[0].Name(), len(schemes))
+	return b
+}
+
+// Reps returns the repetition count.
+func (b *Boosted) Reps() int { return len(b.indexes) }
+
 // Name implements Scheme.
 func (b *Boosted) Name() string { return b.name }
 

@@ -73,18 +73,49 @@ type Index struct {
 	Tables *table.Set
 }
 
-// BuildIndex preprocesses the database of d-dimensional points.
+// BuildIndex preprocesses the database of d-dimensional points. The
+// per-level database sketches stay lazy (computed on first probe), which
+// suits the experiment harness; serving callers use BuildIndexParallel.
 func BuildIndex(db []bitvec.Vector, d int, p Params) *Index {
 	if len(db) == 0 {
 		panic("core: empty database")
 	}
 	p = p.withDefaults()
-	fam := sketch.NewFamily(sketch.Params{
-		D: d, N: len(db), Gamma: p.Gamma,
+	fam := sketch.NewFamily(p.SketchParams(d, len(db)))
+	return &Index{P: p, D: d, DB: db, Fam: fam, Tables: table.NewSet(fam, db)}
+}
+
+// BuildIndexParallel is the eager build path: it draws the sketch family
+// and materializes every per-level database sketch block across a worker
+// pool (workers <= 1 runs the same eager build sequentially — the
+// benchmark baseline). The resulting index answers its first query at
+// steady-state cost and snapshots without further computation.
+func BuildIndexParallel(db []bitvec.Vector, d int, p Params, workers int) *Index {
+	if len(db) == 0 {
+		panic("core: empty database")
+	}
+	p = p.withDefaults()
+	fam := sketch.NewFamilyParallel(p.SketchParams(d, len(db)), workers)
+	ts := table.NewSet(fam, db)
+	ts.Materialize(workers)
+	return &Index{P: p, D: d, DB: db, Fam: fam, Tables: ts}
+}
+
+// NewIndexFromParts assembles an index around an already-built family and
+// table set — the snapshot load path. p must be normalized (a saved
+// index's P always is); the database is the table set's flat block.
+func NewIndexFromParts(p Params, d int, fam *sketch.Family, ts *table.Set) *Index {
+	return &Index{P: p, D: d, DB: ts.DB, Fam: fam, Tables: ts}
+}
+
+// SketchParams maps index parameters to the sketch substrate's (used
+// by the snapshot layer to rebuild families from saved parameters).
+func (p Params) SketchParams(d, n int) sketch.Params {
+	return sketch.Params{
+		D: d, N: n, Gamma: p.Gamma,
 		C1: p.C1, C2: p.C2, S: p.S, Seed: p.Seed,
 		CutFraction: p.CutFraction, LiteralDeltaCut: p.LiteralDeltaCut,
-	})
-	return &Index{P: p, D: d, DB: db, Fam: fam, Tables: table.NewSet(fam, db)}
+	}
 }
 
 // Result is the outcome of one query execution.

@@ -1,0 +1,56 @@
+// Package par is the worker-pool primitive of the parallel index build
+// path: a bounded fan-out over an integer range. It exists so the build
+// layers (sketch family drawing, per-level database sketching, boosted
+// repetitions, shards) share one scheduling idiom instead of each growing
+// its own goroutine plumbing.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: n <= 0 selects GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(i) for every i in [0, n), using up to workers goroutines.
+// workers <= 1 (or n <= 1) degenerates to a plain sequential loop on the
+// calling goroutine, which is the comparison baseline the build benchmark
+// records. Tasks are claimed from a shared atomic counter, so uneven task
+// costs (levels with different sketch widths) balance automatically.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -83,6 +83,24 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines. Default 30s.
 	MaxTimeout time.Duration
+	// Index describes where the served index came from (built in-process
+	// or loaded from a snapshot); surfaced verbatim on /statsz.
+	Index IndexInfo
+}
+
+// IndexInfo is the provenance of the served index: the build→snapshot→
+// serve lifecycle's answer to "what is this process serving and how fast
+// did it come up".
+type IndexInfo struct {
+	// Source is "built" (preprocessed in-process) or "snapshot" (loaded
+	// from a file).
+	Source string
+	// SnapshotVersion is the snapshot format version served (0 when built).
+	SnapshotVersion uint32
+	// LoadDuration is how long the build or the snapshot load took.
+	LoadDuration time.Duration
+	// Path is the snapshot file (empty when built).
+	Path string
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 30 * time.Second
+	}
+	if c.Index.Source == "" {
+		c.Index.Source = "built"
 	}
 	return c
 }
@@ -452,6 +473,9 @@ func (s *Server) Stats() StatsSnapshot {
 		MaxParallel:      s.m.maxParallel.Load(),
 		QueueLen:         len(s.queue),
 		Workers:          s.cfg.Workers,
+		IndexSource:      s.cfg.Index.Source,
+		SnapshotVersion:  s.cfg.Index.SnapshotVersion,
+		IndexLoadMS:      s.cfg.Index.LoadDuration.Milliseconds(),
 	}
 	if sec := up.Seconds(); sec > 0 {
 		snap.QPS = float64(snap.Queries+snap.Near) / sec

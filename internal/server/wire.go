@@ -86,6 +86,11 @@ type StatsSnapshot struct {
 	ErrorRate        float64 `json:"error_rate"`
 	QueueLen         int     `json:"queue_len"`
 	Workers          int     `json:"workers"`
+	// Index provenance (the build→snapshot→serve lifecycle): how the
+	// served index came to be and how long bringing it up took.
+	IndexSource     string `json:"index_source"`
+	SnapshotVersion uint32 `json:"snapshot_version,omitempty"`
+	IndexLoadMS     int64  `json:"index_load_ms"`
 }
 
 // EncodePoint serializes a point into the wire encoding.

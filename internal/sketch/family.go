@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/bitvec"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -57,7 +58,39 @@ type Family struct {
 }
 
 // NewFamily draws the full matrix family from the seed in p.
-func NewFamily(p Params) *Family {
+func NewFamily(p Params) *Family { return NewFamilyParallel(p, 1) }
+
+// NewFamilyParallel draws the same family as NewFamily across a worker
+// pool: every matrix comes from its own rng.Split child (splitting does
+// not advance the parent source), so the draw is bit-identical for any
+// worker count and any completion order.
+func NewFamilyParallel(p Params, workers int) *Family {
+	f := newFamilyShell(p)
+	p = f.P
+	root := rng.New(p.Seed)
+	accRows := rowCount(p.C1, p.N)
+	f.Accurate = make([]*Matrix, f.L+1)
+	var coarseRows int
+	if p.S > 0 {
+		coarseRows = rowCount(p.C2/p.S, p.N)
+		f.Coarse = make([]*Matrix, f.L+1)
+	}
+	tasks := len(f.Accurate) + len(f.Coarse)
+	par.Do(workers, tasks, func(t int) {
+		if t <= f.L {
+			prob := 1 / (4 * f.Radius(t))
+			f.Accurate[t] = NewBernoulli(root.Split(uint64(t)), accRows, p.D, prob)
+		} else {
+			j := t - f.L - 1
+			prob := 1 / (4 * f.Radius(j))
+			f.Coarse[j] = NewBernoulli(root.Split(1<<32|uint64(j)), coarseRows, p.D, prob)
+		}
+	})
+	return f
+}
+
+// newFamilyShell validates and normalizes p and derives alpha and L.
+func newFamilyShell(p Params) *Family {
 	if p.Gamma <= 1 {
 		panic(fmt.Sprintf("sketch: gamma must exceed 1, got %v", p.Gamma))
 	}
@@ -75,23 +108,62 @@ func NewFamily(p Params) *Family {
 	if L < 1 {
 		L = 1
 	}
-	f := &Family{P: p, Alpha: alpha, L: L}
-	root := rng.New(p.Seed)
-	accRows := rowCount(p.C1, p.N)
-	f.Accurate = make([]*Matrix, L+1)
-	for i := 0; i <= L; i++ {
-		prob := 1 / (4 * f.Radius(i))
-		f.Accurate[i] = NewBernoulli(root.Split(uint64(i)), accRows, p.D, prob)
+	return &Family{P: p, Alpha: alpha, L: L}
+}
+
+// Shape describes the derived geometry of the family NewFamily would
+// build for p: the level count, the per-level Bernoulli scale base, and
+// the row counts. The snapshot layer uses it to validate section lengths
+// and to rebind loaded matrix blocks without drawing anything.
+type Shape struct {
+	L          int     // top level
+	Alpha      float64 // per-level radius base (radius(i) = Alpha^i)
+	AccRows    int     // rows of every accurate matrix M_i
+	CoarseRows int     // rows of every coarse matrix N_j (0 when S <= 0)
+}
+
+// ShapeOf computes the family shape for p (after the same normalization
+// NewFamily applies).
+func ShapeOf(p Params) Shape {
+	f := newFamilyShell(p)
+	sh := Shape{L: f.L, Alpha: f.Alpha, AccRows: rowCount(f.P.C1, f.P.N)}
+	if f.P.S > 0 {
+		sh.CoarseRows = rowCount(f.P.C2/f.P.S, f.P.N)
 	}
-	if p.S > 0 {
-		coarseRows := rowCount(p.C2/p.S, p.N)
-		f.Coarse = make([]*Matrix, L+1)
-		for j := 0; j <= L; j++ {
-			prob := 1 / (4 * f.Radius(j))
-			f.Coarse[j] = NewBernoulli(root.Split(1<<32|uint64(j)), coarseRows, p.D, prob)
+	return sh
+}
+
+// Prob returns the Bernoulli parameter matrices at level i are drawn
+// with: 1/(4·αⁱ).
+func (sh Shape) Prob(i int) float64 { return 1 / (4 * math.Pow(sh.Alpha, float64(i))) }
+
+// NewFamilyFromMatrices rebinds a family to already-materialized matrices
+// (the snapshot load path). The matrices must have the shapes NewFamily
+// would have drawn for p; coarse may be nil when p.S <= 0.
+func NewFamilyFromMatrices(p Params, accurate, coarse []*Matrix) (*Family, error) {
+	f := newFamilyShell(p)
+	if len(accurate) != f.L+1 {
+		return nil, fmt.Errorf("sketch: %d accurate matrices, want %d", len(accurate), f.L+1)
+	}
+	if f.P.S > 0 && len(coarse) != f.L+1 {
+		return nil, fmt.Errorf("sketch: %d coarse matrices, want %d", len(coarse), f.L+1)
+	}
+	if f.P.S <= 0 && len(coarse) != 0 {
+		return nil, fmt.Errorf("sketch: %d coarse matrices for a family with S <= 0", len(coarse))
+	}
+	for i, m := range accurate {
+		if m.Dim != p.D {
+			return nil, fmt.Errorf("sketch: accurate matrix %d has dim %d, want %d", i, m.Dim, p.D)
 		}
 	}
-	return f
+	for j, m := range coarse {
+		if m.Dim != p.D {
+			return nil, fmt.Errorf("sketch: coarse matrix %d has dim %d, want %d", j, m.Dim, p.D)
+		}
+	}
+	f.Accurate = accurate
+	f.Coarse = coarse
+	return f, nil
 }
 
 func rowCount(mult float64, n int) int {

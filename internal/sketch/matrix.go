@@ -14,12 +14,14 @@ import (
 	"repro/internal/rng"
 )
 
-// Matrix is a random Boolean matrix with dense bit-packed rows.
+// Matrix is a random Boolean matrix with dense bit-packed rows stored in
+// one flat bitvec.Block (row-major contiguous words, no nested slices),
+// so a matrix serializes to and from a snapshot wholesale.
 type Matrix struct {
 	NumRows int
 	Dim     int
 	P       float64 // per-entry Bernoulli parameter the matrix was drawn with
-	rows    []bitvec.Vector
+	block   bitvec.Block
 }
 
 // NewBernoulli draws a rows×d matrix with i.i.d. Bernoulli(p) entries from
@@ -32,10 +34,10 @@ func NewBernoulli(r *rng.Source, numRows, d int, p float64) *Matrix {
 	if p <= 0 || p > 1 {
 		panic(fmt.Sprintf("sketch: invalid Bernoulli parameter %v", p))
 	}
-	m := &Matrix{NumRows: numRows, Dim: d, P: p, rows: make([]bitvec.Vector, numRows)}
+	m := &Matrix{NumRows: numRows, Dim: d, P: p, block: bitvec.NewBlock(numRows, d)}
 	logq := math.Log1p(-p) // ln(1-p) < 0
-	for i := range m.rows {
-		row := bitvec.New(d)
+	for i := 0; i < numRows; i++ {
+		row := m.block.Row(i)
 		if p >= 0.2 {
 			// Dense regime: direct per-bit sampling is cheaper than skipping.
 			for j := 0; j < d; j++ {
@@ -48,10 +50,24 @@ func NewBernoulli(r *rng.Source, numRows, d int, p float64) *Matrix {
 				row.Set(j, true)
 			}
 		}
-		m.rows[i] = row
 	}
 	return m
 }
+
+// MatrixFromBlock rebinds a matrix to an already-materialized row block
+// (the snapshot load path). The block must hold numRows rows of
+// Words(d) words.
+func MatrixFromBlock(numRows, d int, p float64, block bitvec.Block) (*Matrix, error) {
+	if block.RowWords != bitvec.Words(d) || block.Rows() != numRows {
+		return nil, fmt.Errorf("sketch: block is %dx%d words, want %dx%d for a %dx%d matrix",
+			block.Rows(), block.RowWords, numRows, bitvec.Words(d), numRows, d)
+	}
+	return &Matrix{NumRows: numRows, Dim: d, P: p, block: block}, nil
+}
+
+// Block exposes the flat row storage (shared, not copied) for snapshot
+// serialization.
+func (m *Matrix) Block() bitvec.Block { return m.block }
 
 // skip draws a geometric gap: the number of failures before the next
 // success of a Bernoulli(p) process, where logq = ln(1-p).
@@ -67,8 +83,8 @@ func skip(r *rng.Source, logq float64) int {
 	return int(g)
 }
 
-// Row returns row i (shared storage; callers must not mutate it).
-func (m *Matrix) Row(i int) bitvec.Vector { return m.rows[i] }
+// Row returns row i (a view into the flat block; callers must not mutate it).
+func (m *Matrix) Row(i int) bitvec.Vector { return m.block.Row(i) }
 
 // Apply computes y = Mx over GF(2): bit i of the result is the parity of
 // the AND of row i with x. The result has m.NumRows bits.
@@ -83,8 +99,8 @@ func (m *Matrix) ApplyInto(dst bitvec.Vector, x bitvec.Vector) bitvec.Vector {
 	for i := range dst {
 		dst[i] = 0
 	}
-	for i, row := range m.rows {
-		if bitvec.Parity(row, x) == 1 {
+	for i := 0; i < m.NumRows; i++ {
+		if bitvec.Parity(m.block.Row(i), x) == 1 {
 			dst.Set(i, true)
 		}
 	}

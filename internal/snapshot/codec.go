@@ -1,0 +1,305 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// The codec is a checksummed little-endian binary stream:
+//
+//	magic [8]byte  "ANNSSNAP"
+//	version u32    FormatVersion
+//	kind    u32    KindCore | KindIndex | KindSharded
+//	body           kind-specific scalars, section tables, raw word arrays
+//	crc     u32    IEEE CRC-32 of everything before it
+//
+// Word arrays are padded to an 8-byte file offset and written wholesale
+// (raw little-endian uint64s), so the body is one sequential scan on
+// either side and a loaded section is a single allocation that the
+// per-level views subslice — the mmap-friendly layout the flat index
+// storage makes possible.
+
+const (
+	// FormatVersion is the current snapshot format version. Readers
+	// refuse other versions (ErrVersion); the policy is documented in
+	// DESIGN.md §5: any change to the byte layout bumps it, there is no
+	// in-place migration, and a mismatch means "rebuild or re-save".
+	FormatVersion = 1
+
+	magic = "ANNSSNAP"
+)
+
+// Top-level snapshot kinds.
+const (
+	// KindCore is a single core.Index.
+	KindCore uint32 = 1
+	// KindIndex is an anns.Index: serving options plus one core index per
+	// boosted repetition.
+	KindIndex uint32 = 2
+	// KindSharded is an anns.ShardedIndex: options, the shard partition,
+	// and one embedded index per shard.
+	KindSharded uint32 = 3
+)
+
+// Sentinel errors. Load wraps them with context; test with errors.Is.
+var (
+	ErrBadMagic = errors.New("snapshot: not a snapshot file (bad magic)")
+	ErrVersion  = errors.New("snapshot: unsupported format version")
+	ErrChecksum = errors.New("snapshot: checksum mismatch (corrupted file)")
+	ErrFormat   = errors.New("snapshot: malformed snapshot")
+)
+
+const wordChunk = 8192 // words encoded/decoded per buffer fill (64 KiB)
+
+// Encoder writes one snapshot stream. Errors are sticky: check Err (or
+// Close's return) once at the end.
+type Encoder struct {
+	bw  *bufio.Writer
+	crc hash.Hash32
+	w   io.Writer // bw teed with crc
+	buf []byte
+	n   int64
+	err error
+}
+
+// NewEncoder starts a snapshot of the given kind on w.
+func NewEncoder(w io.Writer, kind uint32) *Encoder {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	e := &Encoder{bw: bw, crc: crc32.NewIEEE(), buf: make([]byte, 8*wordChunk)}
+	e.w = io.MultiWriter(bw, e.crc)
+	e.write([]byte(magic))
+	e.U32(FormatVersion)
+	e.U32(kind)
+	return e
+}
+
+func (e *Encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+	e.n += int64(len(p))
+}
+
+// U32 writes a 32-bit unsigned integer.
+func (e *Encoder) U32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+// U64 writes a 64-bit unsigned integer.
+func (e *Encoder) U64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+// F64 writes a float64 by bit image.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool writes a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf[0] = b
+	e.write(e.buf[:1])
+}
+
+// Words writes a raw word array (no length prefix — lengths live in the
+// section tables), preceded by padding to an 8-byte file offset.
+func (e *Encoder) Words(ws []uint64) {
+	e.align()
+	for len(ws) > 0 && e.err == nil {
+		chunk := ws
+		if len(chunk) > wordChunk {
+			chunk = chunk[:wordChunk]
+		}
+		for i, w := range chunk {
+			binary.LittleEndian.PutUint64(e.buf[8*i:], w)
+		}
+		e.write(e.buf[:8*len(chunk)])
+		ws = ws[len(chunk):]
+	}
+}
+
+func (e *Encoder) align() {
+	if pad := int(e.n & 7); pad != 0 {
+		for i := 0; i < 8-pad; i++ {
+			e.buf[i] = 0
+		}
+		e.write(e.buf[:8-pad])
+	}
+}
+
+// Err returns the first error encountered.
+func (e *Encoder) Err() error { return e.err }
+
+// Close writes the checksum trailer and flushes. The Encoder must not be
+// used afterwards.
+func (e *Encoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	sum := e.crc.Sum32()
+	binary.LittleEndian.PutUint32(e.buf[:4], sum)
+	if _, err := e.bw.Write(e.buf[:4]); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+// Decoder reads one snapshot stream, verifying the checksum on Close.
+type Decoder struct {
+	br   *bufio.Reader
+	crc  hash.Hash32
+	r    io.Reader // br teed through crc
+	buf  []byte
+	n    int64
+	kind uint32
+	err  error
+}
+
+// NewDecoder reads and validates the stream header. The reported kind
+// selects which Decode* calls may follow.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{br: bufio.NewReaderSize(r, 1<<20), crc: crc32.NewIEEE(), buf: make([]byte, 8*wordChunk)}
+	d.r = io.TeeReader(d.br, d.crc)
+	head := make([]byte, len(magic))
+	if err := d.read(head); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := d.U32(); v != FormatVersion {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, FormatVersion)
+	}
+	d.kind = d.U32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return d, nil
+}
+
+// Kind returns the snapshot kind declared in the header.
+func (d *Decoder) Kind() uint32 { return d.kind }
+
+func (d *Decoder) read(p []byte) error {
+	if d.err != nil {
+		return d.err
+	}
+	_, err := io.ReadFull(d.r, p)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		d.err = fmt.Errorf("snapshot: truncated file: %w", err)
+		return d.err
+	}
+	d.n += int64(len(p))
+	return nil
+}
+
+// U32 reads a 32-bit unsigned integer.
+func (d *Decoder) U32() uint32 {
+	if d.read(d.buf[:4]) != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+// U64 reads a 64-bit unsigned integer.
+func (d *Decoder) U64() uint64 {
+	if d.read(d.buf[:8]) != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool {
+	if d.read(d.buf[:1]) != nil {
+		return false
+	}
+	return d.buf[0] != 0
+}
+
+// WordsInto fills dst from the stream (after alignment padding). The
+// caller sizes dst from a validated section table, so a hostile length
+// never reaches an allocation.
+func (d *Decoder) WordsInto(dst []uint64) {
+	d.alignRead()
+	for len(dst) > 0 && d.err == nil {
+		chunk := len(dst)
+		if chunk > wordChunk {
+			chunk = wordChunk
+		}
+		if d.read(d.buf[:8*chunk]) != nil {
+			return
+		}
+		for i := 0; i < chunk; i++ {
+			dst[i] = binary.LittleEndian.Uint64(d.buf[8*i:])
+		}
+		dst = dst[chunk:]
+	}
+}
+
+// SkipWords discards a word array without materializing it (Inspect).
+func (d *Decoder) SkipWords(n uint64) {
+	d.alignRead()
+	for n > 0 && d.err == nil {
+		chunk := uint64(wordChunk)
+		if chunk > n {
+			chunk = n
+		}
+		if d.read(d.buf[:8*chunk]) != nil {
+			return
+		}
+		n -= chunk
+	}
+}
+
+func (d *Decoder) alignRead() {
+	if pad := int(d.n & 7); pad != 0 {
+		d.read(d.buf[:8-pad])
+	}
+}
+
+// Err returns the first error encountered.
+func (d *Decoder) Err() error { return d.err }
+
+// Close reads the checksum trailer and verifies it against everything
+// read so far. It must be called after the body has been fully consumed.
+func (d *Decoder) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	want := d.crc.Sum32()
+	var tr [4]byte
+	if _, err := io.ReadFull(d.br, tr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("snapshot: truncated file: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tr[:]); got != want {
+		return ErrChecksum
+	}
+	return nil
+}
+
+// Bytes returns the number of body bytes consumed so far (Inspect).
+func (d *Decoder) Bytes() int64 { return d.n }

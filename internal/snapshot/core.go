@@ -1,0 +1,326 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// Section tags of a core-index body, in file order. The flat storage
+// refactor makes each section one contiguous word array: all levels of a
+// family (matrices or database sketches) share a single backing array on
+// both sides of the stream.
+const (
+	SecDB           uint32 = 1 // the database points, n rows
+	SecAccMatrix    uint32 = 2 // accurate matrices M_0..M_L, row-major
+	SecCoarseMatrix uint32 = 3 // coarse matrices N_0..N_L
+	SecAccSketch    uint32 = 4 // per-level accurate sketches of the database
+	SecCoarseSketch uint32 = 5 // per-level coarse sketches of the database
+)
+
+// SectionName renders a section tag for inspection output.
+func SectionName(tag uint32) string {
+	switch tag {
+	case SecDB:
+		return "db"
+	case SecAccMatrix:
+		return "acc-matrices"
+	case SecCoarseMatrix:
+		return "coarse-matrices"
+	case SecAccSketch:
+		return "acc-sketches"
+	case SecCoarseSketch:
+		return "coarse-sketches"
+	default:
+		return fmt.Sprintf("sec[%d]", tag)
+	}
+}
+
+// Sanity ceilings on header-declared shapes, so a malformed or hostile
+// header cannot drive section-size arithmetic into overflow or absurd
+// allocations — or the family-shape derivation into a panic — before
+// the checksum is ever seen.
+const (
+	maxDim          = 1 << 22
+	maxN            = 1 << 32
+	maxK            = 1 << 16
+	maxMult         = 1 << 12 // |C1|, |C2|, |S| ceiling (defaults are ~24)
+	maxLevels       = 1 << 12 // L ceiling (L grows with log_α d)
+	maxRows         = 1 << 24 // per-matrix row ceiling
+	maxSectionWords = 1 << 31 // 16 GiB per section, far above real snapshots
+)
+
+// coreHeader is the decoded scalar prefix of a core-index body.
+type coreHeader struct {
+	p        core.Params
+	d, n     int
+	shape    sketch.Shape
+	sections []Section
+}
+
+// Section is one entry of a body's section table: a tag plus the payload
+// length in 64-bit words.
+type Section struct {
+	Tag   uint32
+	Words uint64
+}
+
+// expectedSections computes the section table implied by a header; the
+// one on the wire must match exactly.
+func (h *coreHeader) expectedSections() []Section {
+	dw := uint64(bitvec.Words(h.d))
+	n := uint64(h.n)
+	levels := uint64(h.shape.L + 1)
+	accW := uint64(bitvec.Words(h.shape.AccRows))
+	out := []Section{
+		{SecDB, n * dw},
+		{SecAccMatrix, levels * uint64(h.shape.AccRows) * dw},
+		{SecAccSketch, levels * n * accW},
+	}
+	if h.shape.CoarseRows > 0 {
+		coarseW := uint64(bitvec.Words(h.shape.CoarseRows))
+		out = append(out,
+			Section{SecCoarseMatrix, levels * uint64(h.shape.CoarseRows) * dw},
+			Section{SecCoarseSketch, levels * n * coarseW},
+		)
+	}
+	return out
+}
+
+// EncodeCore writes one core.Index body onto an open encoder. Lazily
+// built components are materialized first, so the saved index is always
+// complete.
+func EncodeCore(e *Encoder, idx *core.Index) {
+	p := idx.P
+	e.F64(p.Gamma)
+	e.F64(p.C1)
+	e.F64(p.C2)
+	e.F64(p.CExp)
+	e.U64(uint64(p.K))
+	e.F64(p.S)
+	e.U64(p.Seed)
+	e.F64(p.CutFraction)
+	e.Bool(p.LiteralDeltaCut)
+	e.U64(uint64(idx.D))
+	e.U64(uint64(len(idx.DB)))
+	sh := sketch.ShapeOf(p.SketchParams(idx.D, len(idx.DB)))
+	e.U64(uint64(sh.L))
+	e.U64(uint64(sh.AccRows))
+	e.U64(uint64(sh.CoarseRows))
+
+	ball := idx.Tables.SketchBlocks()
+	coarse := idx.Tables.CoarseBlocks()
+	h := coreHeader{p: p, d: idx.D, n: len(idx.DB), shape: sh}
+	secs := h.expectedSections()
+	e.U32(uint32(len(secs)))
+	for _, s := range secs {
+		e.U32(s.Tag)
+		e.U64(s.Words)
+	}
+	e.Words(idx.Tables.DBBlock.Words)
+	for _, m := range idx.Fam.Accurate {
+		e.Words(m.Block().Words)
+	}
+	for _, b := range ball {
+		e.Words(b.Words)
+	}
+	if sh.CoarseRows > 0 {
+		for _, m := range idx.Fam.Coarse {
+			e.Words(m.Block().Words)
+		}
+		for _, b := range coarse {
+			e.Words(b.Words)
+		}
+	}
+}
+
+// decodeCoreHeader reads and validates the scalar prefix and section
+// table of a core body.
+func decodeCoreHeader(d *Decoder) (*coreHeader, error) {
+	var p core.Params
+	p.Gamma = d.F64()
+	p.C1 = d.F64()
+	p.C2 = d.F64()
+	p.CExp = d.F64()
+	p.K = int(d.U64())
+	p.S = d.F64()
+	p.Seed = d.U64()
+	p.CutFraction = d.F64()
+	p.LiteralDeltaCut = d.Bool()
+	dd := d.U64()
+	n := d.U64()
+	fileL := d.U64()
+	fileAccRows := d.U64()
+	fileCoarseRows := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Every bound here guards a downstream computation: n >= 2 and
+	// gamma > 1 keep the family-shape derivation from panicking, the
+	// multiplier and shape ceilings keep row counts and the section-size
+	// products finite and allocatable. NaNs fail the range comparisons.
+	if dd < 2 || dd > maxDim || n < 2 || n > maxN || p.K < 1 || p.K > maxK ||
+		!(p.Gamma > 1) || p.Gamma > float64(maxDim) ||
+		!(p.C1 >= 0 && p.C1 <= maxMult) || !(p.C2 >= 0 && p.C2 <= maxMult) ||
+		!(p.S >= -maxMult && p.S <= maxMult) {
+		return nil, fmt.Errorf("%w: implausible header (d=%d n=%d k=%d gamma=%v c1=%v c2=%v s=%v)",
+			ErrFormat, dd, n, p.K, p.Gamma, p.C1, p.C2, p.S)
+	}
+	h := &coreHeader{p: p, d: int(dd), n: int(n)}
+	h.shape = sketch.ShapeOf(p.SketchParams(h.d, h.n))
+	if h.shape.L > maxLevels || h.shape.AccRows > maxRows || h.shape.CoarseRows > maxRows {
+		return nil, fmt.Errorf("%w: implausible family shape (L=%d rows=%d/%d)",
+			ErrFormat, h.shape.L, h.shape.AccRows, h.shape.CoarseRows)
+	}
+	if int(fileL) != h.shape.L || int(fileAccRows) != h.shape.AccRows || int(fileCoarseRows) != h.shape.CoarseRows {
+		return nil, fmt.Errorf("%w: header shape (L=%d rows=%d/%d) disagrees with parameters (L=%d rows=%d/%d)",
+			ErrFormat, fileL, fileAccRows, fileCoarseRows, h.shape.L, h.shape.AccRows, h.shape.CoarseRows)
+	}
+	want := h.expectedSections()
+	for _, s := range want {
+		if s.Words > maxSectionWords {
+			return nil, fmt.Errorf("%w: section %s wants %d words", ErrFormat, SectionName(s.Tag), s.Words)
+		}
+	}
+	count := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if int(count) != len(want) {
+		return nil, fmt.Errorf("%w: %d sections, want %d", ErrFormat, count, len(want))
+	}
+	h.sections = make([]Section, count)
+	for i := range h.sections {
+		h.sections[i] = Section{Tag: d.U32(), Words: d.U64()}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	for i, s := range h.sections {
+		if s != want[i] {
+			return nil, fmt.Errorf("%w: section %d is %s/%d words, want %s/%d",
+				ErrFormat, i, SectionName(s.Tag), s.Words, SectionName(want[i].Tag), want[i].Words)
+		}
+	}
+	return h, nil
+}
+
+// DecodeCore reads one core.Index body from an open decoder, rebinding
+// the flat word arrays without any per-entry work: one allocation per
+// section, per-level views subsliced out of it.
+func DecodeCore(d *Decoder) (*core.Index, error) {
+	h, err := decodeCoreHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	sp := h.p.SketchParams(h.d, h.n)
+	levels := h.shape.L + 1
+
+	db := bitvec.Block{RowWords: bitvec.Words(h.d), Words: make([]uint64, h.sections[0].Words)}
+	d.WordsInto(db.Words)
+
+	accMat := bitvec.Block{RowWords: bitvec.Words(h.d), Words: make([]uint64, h.sections[1].Words)}
+	d.WordsInto(accMat.Words)
+	accurate := make([]*sketch.Matrix, levels)
+	for i := range accurate {
+		m, err := sketch.MatrixFromBlock(h.shape.AccRows, h.d, h.shape.Prob(i),
+			accMat.Slice(i*h.shape.AccRows, (i+1)*h.shape.AccRows))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		accurate[i] = m
+	}
+
+	accSk := bitvec.Block{RowWords: bitvec.Words(h.shape.AccRows), Words: make([]uint64, h.sections[2].Words)}
+	d.WordsInto(accSk.Words)
+	ball := make([]bitvec.Block, levels)
+	for i := range ball {
+		ball[i] = accSk.Slice(i*h.n, (i+1)*h.n)
+	}
+
+	var coarse []*sketch.Matrix
+	var coarseSk []bitvec.Block
+	if h.shape.CoarseRows > 0 {
+		coarseMat := bitvec.Block{RowWords: bitvec.Words(h.d), Words: make([]uint64, h.sections[3].Words)}
+		d.WordsInto(coarseMat.Words)
+		coarse = make([]*sketch.Matrix, levels)
+		for j := range coarse {
+			m, err := sketch.MatrixFromBlock(h.shape.CoarseRows, h.d, h.shape.Prob(j),
+				coarseMat.Slice(j*h.shape.CoarseRows, (j+1)*h.shape.CoarseRows))
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			coarse[j] = m
+		}
+		coarseBlock := bitvec.Block{RowWords: bitvec.Words(h.shape.CoarseRows), Words: make([]uint64, h.sections[4].Words)}
+		d.WordsInto(coarseBlock.Words)
+		coarseSk = make([]bitvec.Block, levels)
+		for j := range coarseSk {
+			coarseSk[j] = coarseBlock.Slice(j*h.n, (j+1)*h.n)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+
+	fam, err := sketch.NewFamilyFromMatrices(sp, accurate, coarse)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	ts, err := table.NewSetFromBlocks(fam, db, ball, coarseSk)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return core.NewIndexFromParts(h.p, h.d, fam, ts), nil
+}
+
+// inspectCore reads a core body's headers and skips its payload.
+func inspectCore(d *Decoder) (CoreInfo, error) {
+	h, err := decodeCoreHeader(d)
+	if err != nil {
+		return CoreInfo{}, err
+	}
+	for _, s := range h.sections {
+		d.SkipWords(s.Words)
+	}
+	if err := d.Err(); err != nil {
+		return CoreInfo{}, err
+	}
+	return CoreInfo{
+		D: h.d, N: h.n, K: h.p.K,
+		Gamma: h.p.Gamma, S: h.p.S, Seed: h.p.Seed,
+		L: h.shape.L, AccRows: h.shape.AccRows, CoarseRows: h.shape.CoarseRows,
+		Sections: h.sections,
+	}, nil
+}
+
+// SaveCore writes a standalone core-index snapshot to w.
+func SaveCore(w io.Writer, idx *core.Index) error {
+	e := NewEncoder(w, KindCore)
+	EncodeCore(e, idx)
+	return e.Close()
+}
+
+// LoadCore reads a standalone core-index snapshot from r, verifying the
+// checksum before handing the index out.
+func LoadCore(r io.Reader) (*core.Index, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind() != KindCore {
+		return nil, fmt.Errorf("%w: kind %d is not a core-index snapshot", ErrFormat, d.Kind())
+	}
+	idx, err := DecodeCore(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}

@@ -1,0 +1,272 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func testIndex(t testing.TB, n, d, k int, seed uint64) (*core.Index, []bitvec.Vector) {
+	t.Helper()
+	r := rng.New(seed)
+	db := make([]bitvec.Vector, n)
+	for i := range db {
+		db[i] = hamming.Random(r, d)
+	}
+	queries := make([]bitvec.Vector, 32)
+	for i := range queries {
+		queries[i] = hamming.AtDistance(r, db[i%n], d, 1+i%(d/4))
+	}
+	return core.BuildIndex(db, d, core.Params{Gamma: 2, K: k, Seed: seed}), queries
+}
+
+func roundtrip(t testing.TB, idx *core.Index) *core.Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveCore(&buf, idx); err != nil {
+		t.Fatalf("SaveCore: %v", err)
+	}
+	loaded, err := LoadCore(&buf)
+	if err != nil {
+		t.Fatalf("LoadCore: %v", err)
+	}
+	return loaded
+}
+
+// sameResult compares the full outcome of one query execution, including
+// the cell-probe accounting (rounds, probes, bits read, address bits).
+func sameResult(t *testing.T, label string, a, b core.Result) {
+	t.Helper()
+	if a.Index != b.Index || a.Degenerate != b.Degenerate || a.Violated != b.Violated {
+		t.Fatalf("%s: answer diverged: built (idx=%d deg=%v) vs loaded (idx=%d deg=%v)",
+			label, a.Index, a.Degenerate, b.Index, b.Degenerate)
+	}
+	as, bs := a.Stats, b.Stats
+	if as.Rounds != bs.Rounds || as.Probes != bs.Probes ||
+		as.BitsRead != bs.BitsRead || as.AddrBitsSent != bs.AddrBitsSent {
+		t.Fatalf("%s: accounting diverged: built (r=%d p=%d bits=%d addr=%d) vs loaded (r=%d p=%d bits=%d addr=%d)",
+			label, as.Rounds, as.Probes, as.BitsRead, as.AddrBitsSent,
+			bs.Rounds, bs.Probes, bs.BitsRead, bs.AddrBitsSent)
+	}
+}
+
+// TestCoreRoundtripAlgo1 pins the losslessness contract on the simple
+// scheme: a loaded index answers with identical results and identical
+// probe accounting.
+func TestCoreRoundtripAlgo1(t *testing.T) {
+	idx, queries := testIndex(t, 48, 128, 2, 7)
+	loaded := roundtrip(t, idx)
+	s1 := core.NewAlgo1(idx, 2)
+	s2 := core.NewAlgo1(loaded, 2)
+	for i, q := range queries {
+		sameResult(t, "algo1", s1.Query(q), s2.Query(q))
+		_ = i
+	}
+}
+
+// TestCoreRoundtripAlgo2 does the same through the auxiliary tables.
+func TestCoreRoundtripAlgo2(t *testing.T) {
+	idx, queries := testIndex(t, 48, 128, 8, 11)
+	loaded := roundtrip(t, idx)
+	s1 := core.NewAlgo2(idx, 8)
+	s2 := core.NewAlgo2(loaded, 8)
+	for _, q := range queries {
+		sameResult(t, "algo2", s1.Query(q), s2.Query(q))
+	}
+}
+
+// TestCoreRoundtripBoosted pins the accounting contract (including
+// BitsRead) through the boosted parallel-repetition merge.
+func TestCoreRoundtripBoosted(t *testing.T) {
+	idxA, queries := testIndex(t, 48, 128, 2, 17)
+	idxB, _ := testIndex(t, 48, 128, 2, 18)
+	loadedA, loadedB := roundtrip(t, idxA), roundtrip(t, idxB)
+	built := core.NewBoostedOver(
+		[]core.Scheme{core.NewAlgo1(idxA, 2), core.NewAlgo1(idxB, 2)},
+		[]*core.Index{idxA, idxB})
+	loaded := core.NewBoostedOver(
+		[]core.Scheme{core.NewAlgo1(loadedA, 2), core.NewAlgo1(loadedB, 2)},
+		[]*core.Index{loadedA, loadedB})
+	for _, q := range queries {
+		sameResult(t, "boosted", built.Query(q), loaded.Query(q))
+	}
+}
+
+// TestCoreRoundtripLambda covers the 1-probe λ-ANNS path.
+func TestCoreRoundtripLambda(t *testing.T) {
+	idx, queries := testIndex(t, 48, 128, 2, 13)
+	loaded := roundtrip(t, idx)
+	s1 := core.NewLambda(idx)
+	s2 := core.NewLambda(loaded)
+	for _, q := range queries {
+		sameResult(t, "lambda", s1.QueryNear(q, 16), s2.QueryNear(q, 16))
+	}
+}
+
+// TestRoundtripProperty is the testing/quick sweep: random small
+// instances round-trip losslessly under random query points.
+func TestRoundtripProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	check := func(seedLo uint16, nRaw, dRaw uint8) bool {
+		n := 8 + int(nRaw)%24
+		d := 32 + 8*(int(dRaw)%6)
+		seed := uint64(seedLo)
+		r := rng.New(seed ^ 0xabcdef)
+		db := make([]bitvec.Vector, n)
+		for i := range db {
+			db[i] = hamming.Random(r, d)
+		}
+		idx := core.BuildIndex(db, d, core.Params{Gamma: 2, K: 2, Seed: seed})
+		var buf bytes.Buffer
+		if err := SaveCore(&buf, idx); err != nil {
+			t.Logf("save: %v", err)
+			return false
+		}
+		loaded, err := LoadCore(&buf)
+		if err != nil {
+			t.Logf("load: %v", err)
+			return false
+		}
+		s1 := core.NewAlgo1(idx, 2)
+		s2 := core.NewAlgo1(loaded, 2)
+		for i := 0; i < 8; i++ {
+			q := hamming.AtDistance(r, db[i%n], d, 1+i)
+			a, b := s1.Query(q), s2.Query(q)
+			if a.Index != b.Index || a.Stats.Probes != b.Stats.Probes ||
+				a.Stats.Rounds != b.Stats.Rounds || a.Stats.BitsRead != b.Stats.BitsRead {
+				t.Logf("diverged on n=%d d=%d seed=%d query %d", n, d, seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func savedBytes(t *testing.T) []byte {
+	t.Helper()
+	idx, _ := testIndex(t, 16, 64, 2, 3)
+	var buf bytes.Buffer
+	if err := SaveCore(&buf, idx); err != nil {
+		t.Fatalf("SaveCore: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	raw := savedBytes(t)
+	raw[0] ^= 0xff
+	if _, err := LoadCore(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	raw := savedBytes(t)
+	raw[8] = 0xfe // version field follows the 8-byte magic
+	if _, err := LoadCore(bytes.NewReader(raw)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	raw := savedBytes(t)
+	// Flip one bit deep in a payload section: every scalar still parses,
+	// so only the checksum can catch it.
+	raw[len(raw)-100] ^= 0x10
+	if _, err := LoadCore(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	raw := savedBytes(t)
+	for _, cut := range []int{4, 40, len(raw) / 2, len(raw) - 2} {
+		if _, err := LoadCore(bytes.NewReader(raw[:cut])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: got %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestLoadRejectsHostileHeaders pins that implausible scalar headers are
+// refused with ErrFormat before any shape derivation or allocation can
+// panic: n below the degenerate-instance floor, and multipliers driving
+// the row counts (hence section sizes) to absurdity.
+func TestLoadRejectsHostileHeaders(t *testing.T) {
+	patch := func(mutate func(e *Encoder)) []byte {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf, KindCore)
+		mutate(e)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	scalars := func(gamma, c1, c2, s float64, k, d, n uint64) func(*Encoder) {
+		return func(e *Encoder) {
+			e.F64(gamma)
+			e.F64(c1)
+			e.F64(c2)
+			e.F64(3) // CExp
+			e.U64(k)
+			e.F64(s)
+			e.U64(1) // Seed
+			e.F64(0) // CutFraction
+			e.Bool(false)
+			e.U64(d)
+			e.U64(n)
+			e.U64(1) // L
+			e.U64(4) // AccRows
+			e.U64(4) // CoarseRows
+			e.U32(0) // empty section table (never reached)
+		}
+	}
+	cases := map[string][]byte{
+		"n=1":       patch(scalars(2, 0, 0, 1, 2, 16, 1)),
+		"huge-c1":   patch(scalars(2, 1e17, 0, 1, 2, 2, 2)),
+		"nan-c2":    patch(scalars(2, 0, math.NaN(), 1, 2, 16, 16)),
+		"gamma~1":   patch(scalars(1+1e-15, 0, 0, 1, 2, 1<<20, 16)),
+		"nan-gamma": patch(scalars(math.NaN(), 0, 0, 1, 2, 16, 16)),
+	}
+	for name, raw := range cases {
+		if _, err := LoadCore(bytes.NewReader(raw)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: got %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestInspectCore(t *testing.T) {
+	raw := savedBytes(t)
+	info, err := Inspect(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Kind != KindCore || info.Version != FormatVersion {
+		t.Errorf("kind=%d version=%d", info.Kind, info.Version)
+	}
+	if info.N != 16 || len(info.Cores) != 1 || info.Cores[0].D != 64 {
+		t.Errorf("core summary wrong: %+v", info)
+	}
+	if info.Bytes != int64(len(raw)) {
+		t.Errorf("Bytes = %d, file is %d", info.Bytes, len(raw))
+	}
+	// Sections must cover both families (normalized params ⇒ coarse exists).
+	if len(info.Cores[0].Sections) != 5 {
+		t.Errorf("got %d sections, want 5", len(info.Cores[0].Sections))
+	}
+	if _, err := Inspect(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("Inspect accepted a truncated file")
+	}
+}

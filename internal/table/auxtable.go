@@ -142,7 +142,7 @@ func (t *AuxTable) dSize(cMembers []int, level int, w bitvec.Vector) int {
 	sketches := t.set.coarseDBSketches(level)
 	n := 0
 	for _, idx := range cMembers {
-		if bitvec.DistanceAtMost(w, sketches[idx], thr) {
+		if bitvec.DistanceAtMost(w, sketches.Row(idx), thr) {
 			n++
 		}
 	}

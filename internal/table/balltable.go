@@ -14,11 +14,18 @@
 // addresses are binary cellprobe.Addr values — a typed table tag plus the
 // packed payload words — built directly from the query's sketch words with
 // no string serialization on the probe path.
+//
+// Every index component is stored flat and pointer-free: the database, the
+// per-level database sketches, and the membership key index all live in
+// contiguous backing arrays (bitvec.Block, []uint32 slots), so a Set can
+// be materialized in parallel, written to a snapshot wholesale, and
+// rebound to loaded arrays without per-entry work (see internal/snapshot).
 package table
 
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/cellprobe"
@@ -33,15 +40,16 @@ import (
 type BallTable struct {
 	Level  int
 	fam    *sketch.Family
-	db     []bitvec.Vector
+	db     *bitvec.Block
 	oracle *cellprobe.Oracle
 
-	sketchOnce sync.Once
-	dbSketches []bitvec.Vector // M_i z for every database point, built lazily
+	mu    sync.Mutex
+	ready atomic.Bool
+	sk    bitvec.Block // M_level·z for every database point, flat
 }
 
 // NewBallTable builds T_level for the database under the shared family.
-func NewBallTable(fam *sketch.Family, db []bitvec.Vector, level int, meter *cellprobe.Meter) *BallTable {
+func NewBallTable(fam *sketch.Family, db *bitvec.Block, level int, meter *cellprobe.Meter) *BallTable {
 	t := &BallTable{Level: level, fam: fam, db: db}
 	rows := fam.AccurateRows()
 	// Model accounting: 2^{rows} cells, each one word of O(d) bits (a point).
@@ -77,20 +85,49 @@ func (t *BallTable) AddressOfSketch(sk bitvec.Vector) cellprobe.Addr {
 	return cellprobe.VecAddr(cellprobe.BallTag(t.Level), sk)
 }
 
+// ensureSketches materializes the flat sketch block on first use (the
+// lazy path; the parallel build and the snapshot load fill it up front).
 func (t *BallTable) ensureSketches() {
-	t.sketchOnce.Do(func() {
-		m := t.fam.Accurate[t.Level]
-		t.dbSketches = make([]bitvec.Vector, len(t.db))
-		for i, z := range t.db {
-			t.dbSketches[i] = m.Apply(z)
-		}
-	})
+	if t.ready.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ready.Load() {
+		return
+	}
+	m := t.fam.Accurate[t.Level]
+	n := t.db.Rows()
+	sk := bitvec.NewBlock(n, m.NumRows)
+	for i := 0; i < n; i++ {
+		m.ApplyInto(sk.Row(i), t.db.Row(i))
+	}
+	t.sk = sk
+	t.ready.Store(true)
+}
+
+// adoptSketches rebinds the table to an already-materialized sketch block
+// (the snapshot load path). The block must hold one row of
+// Words(AccurateRows()) words per database point.
+func (t *BallTable) adoptSketches(sk bitvec.Block) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sk = sk
+	t.ready.Store(true)
+}
+
+// SketchBlock materializes (if needed) and returns the flat per-point
+// sketch block, shared not copied — the snapshot save path.
+func (t *BallTable) SketchBlock() bitvec.Block {
+	t.ensureSketches()
+	return t.sk
 }
 
 // eval computes the cell content the preprocessing stage would store at
 // address addr: an arbitrary (here: first) database point whose sketch is
 // within the level threshold of addr, else EMPTY. It runs only on memo
-// misses, so reconstructing the sketch vector may allocate.
+// misses and compares the address payload against the flat sketch block
+// in place, so even a miss allocates nothing.
 func (t *BallTable) eval(addr cellprobe.Addr) cellprobe.Word {
 	t.ensureSketches()
 	if addr.Len() != bitvec.Words(t.fam.AccurateRows()) {
@@ -98,10 +135,9 @@ func (t *BallTable) eval(addr cellprobe.Addr) cellprobe.Word {
 		// the right length is a valid address); treat as EMPTY defensively.
 		return cellprobe.EmptyWord
 	}
-	j := bitvec.Vector(addr.AppendPayload(nil))
 	thr := t.fam.AccurateThreshold(t.Level)
-	for i, zs := range t.dbSketches {
-		if bitvec.DistanceAtMost(j, zs, thr) {
+	for i, n := 0, t.db.Rows(); i < n; i++ {
+		if addrDistanceAtMost(&addr, t.sk.Row(i), thr) {
 			return cellprobe.PointWord(i)
 		}
 	}
@@ -115,8 +151,8 @@ func (t *BallTable) MembersOfC(sketchX bitvec.Vector) []int {
 	t.ensureSketches()
 	thr := t.fam.AccurateThreshold(t.Level)
 	var out []int
-	for i, zs := range t.dbSketches {
-		if bitvec.DistanceAtMost(sketchX, zs, thr) {
+	for i, n := 0, t.db.Rows(); i < n; i++ {
+		if bitvec.DistanceAtMost(sketchX, t.sk.Row(i), thr) {
 			out = append(out, i)
 		}
 	}
@@ -128,8 +164,8 @@ func (t *BallTable) CountC(sketchX bitvec.Vector) int {
 	t.ensureSketches()
 	thr := t.fam.AccurateThreshold(t.Level)
 	n := 0
-	for _, zs := range t.dbSketches {
-		if bitvec.DistanceAtMost(sketchX, zs, thr) {
+	for i, rows := 0, t.db.Rows(); i < rows; i++ {
+		if bitvec.DistanceAtMost(sketchX, t.sk.Row(i), thr) {
 			n++
 		}
 	}
@@ -140,7 +176,7 @@ func (t *BallTable) CountC(sketchX bitvec.Vector) int {
 // plumbing for the auxiliary tables, which intersect with C_level).
 func (t *BallTable) DBSketch(i int) bitvec.Vector {
 	t.ensureSketches()
-	return t.dbSketches[i]
+	return t.sk.Row(i)
 }
 
 // NominalLogCellsTotal returns log₂ of the combined cell count of all L+1

@@ -1,0 +1,111 @@
+package table
+
+import (
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+)
+
+// pointKeyIndex is the binary-keyed membership index: it maps a packed
+// point to its first occurrence in the database block via open addressing
+// over a flat power-of-two slot array. Keys are never materialized — a
+// probe hashes and compares the candidate's words in place (whether they
+// arrive as a block row or as a cell-address payload), so building and
+// querying the index allocates no per-entry strings, unlike the
+// map[string]int it replaced.
+type pointKeyIndex struct {
+	block *bitvec.Block
+	slots []uint32 // database index + 1; 0 marks an empty slot
+	mask  uint32
+}
+
+// newPointKeyIndex indexes every row of block. Duplicate points keep the
+// lowest index (first occurrence wins, matching the map-based semantics).
+func newPointKeyIndex(block *bitvec.Block) *pointKeyIndex {
+	n := block.Rows()
+	capacity := 1 << bits.Len(uint(2*n))
+	if capacity < 16 {
+		capacity = 16
+	}
+	pi := &pointKeyIndex{block: block, slots: make([]uint32, capacity), mask: uint32(capacity - 1)}
+	for i := 0; i < n; i++ {
+		pi.insert(i)
+	}
+	return pi
+}
+
+func (pi *pointKeyIndex) insert(i int) {
+	row := pi.block.Row(i)
+	for s := uint32(row.Hash()) & pi.mask; ; s = (s + 1) & pi.mask {
+		v := pi.slots[s]
+		if v == 0 {
+			pi.slots[s] = uint32(i) + 1
+			return
+		}
+		if bitvec.Equal(pi.block.Row(int(v-1)), row) {
+			return
+		}
+	}
+}
+
+// lookup returns the index of the database point equal to x.
+func (pi *pointKeyIndex) lookup(x bitvec.Vector) (int, bool) {
+	if len(x) != pi.block.RowWords {
+		return -1, false
+	}
+	for s := uint32(x.Hash()) & pi.mask; ; s = (s + 1) & pi.mask {
+		v := pi.slots[s]
+		if v == 0 {
+			return -1, false
+		}
+		if bitvec.Equal(pi.block.Row(int(v-1)), x) {
+			return int(v - 1), true
+		}
+	}
+}
+
+// lookupAddr is lookup keyed on a cell-address payload, hashing and
+// comparing the payload words in place (no reconstruction, no allocation).
+func (pi *pointKeyIndex) lookupAddr(a *cellprobe.Addr) (int, bool) {
+	if a.Len() != pi.block.RowWords {
+		return -1, false
+	}
+	h := bitvec.HashSeed()
+	for i := 0; i < a.Len(); i++ {
+		h = bitvec.HashWord(h, a.Word(i))
+	}
+	for s := uint32(h) & pi.mask; ; s = (s + 1) & pi.mask {
+		v := pi.slots[s]
+		if v == 0 {
+			return -1, false
+		}
+		if rowEqualsAddr(pi.block.Row(int(v-1)), a) {
+			return int(v - 1), true
+		}
+	}
+}
+
+func rowEqualsAddr(row bitvec.Vector, a *cellprobe.Addr) bool {
+	for i := range row {
+		if row[i] != a.Word(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// addrDistanceAtMost reports whether the Hamming distance between the
+// address payload (a packed vector) and row is at most t, word by word
+// with early cutoff — the allocation-free form of bitvec.DistanceAtMost
+// for one side living in an Addr.
+func addrDistanceAtMost(a *cellprobe.Addr, row bitvec.Vector, t int) bool {
+	n := 0
+	for i := range row {
+		n += bits.OnesCount64(a.Word(i) ^ row[i])
+		if n > t {
+			return false
+		}
+	}
+	return true
+}

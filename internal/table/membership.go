@@ -10,37 +10,30 @@ import (
 // solves each with perfect hashing on a table of quadratic size and one
 // probe; here the oracle plays the perfectly-hashed table — the address is
 // the query point itself (packed words, no serialization), the cell holds
-// the matching database point or EMPTY.
+// the matching database point or EMPTY. Both radii share the Set's binary
+// pointKeyIndex over the flat database block, so neither building nor
+// probing the tables materializes a key.
 type Membership struct {
 	radius int // 0: exact membership; 1: the N₁(B) neighborhood
-	db     []bitvec.Vector
-	index  map[string]int // packed point bytes -> database index
+	db     *bitvec.Block
+	index  *pointKeyIndex
 	oracle *cellprobe.Oracle
 }
 
-// NewMembership builds the degenerate-case table for radius 0 or 1.
-func NewMembership(db []bitvec.Vector, d, radius int, meter *cellprobe.Meter) *Membership {
+// NewMembership builds the degenerate-case table for radius 0 or 1 over
+// the flat database block, sharing the Set-owned key index.
+func NewMembership(db *bitvec.Block, keys *pointKeyIndex, d, radius int, meter *cellprobe.Meter) *Membership {
 	if radius != 0 && radius != 1 {
 		panic("table: membership radius must be 0 or 1")
 	}
 	tag := cellprobe.MemberTag(radius)
-	m := &Membership{radius: radius, db: db, index: make(map[string]int, len(db))}
-	for i, z := range db {
-		// bitvec.Key and the Addr payload share the little-endian byte
-		// image, so eval can key the map from either side. A string key
-		// costs d/8 bytes per point instead of an Addr's fixed inline
-		// array; the hot probe path never touches this map (the oracle
-		// memo, keyed on Addr, answers repeat probes).
-		if _, dup := m.index[z.Key()]; !dup {
-			m.index[z.Key()] = i
-		}
-	}
+	m := &Membership{radius: radius, db: db, index: keys}
 	// Perfect hashing of n keys needs O(n²) cells (or O(n) with two levels);
 	// we account the classic quadratic-size FKS top level. For radius 1 the
 	// key set is N₁(B) with at most (d+1)n points.
-	logCells := 2 * log2ceil(len(db)+1)
+	logCells := 2 * log2ceil(db.Rows()+1)
 	if radius == 1 {
-		logCells = 2 * (log2ceil(len(db)+1) + log2ceil(d+1))
+		logCells = 2 * (log2ceil(db.Rows()+1) + log2ceil(d+1))
 	}
 	m.oracle = cellprobe.NewOracle(tag, logCells, wordBitsForPoint(d), meter, m.eval)
 	return m
@@ -54,10 +47,15 @@ func (m *Membership) Address(x bitvec.Vector) cellprobe.Addr {
 	return cellprobe.VecAddr(cellprobe.MemberTag(m.radius), x)
 }
 
-// eval runs only on memo misses, so packing the payload bytes and
-// reconstructing x may allocate.
+// eval runs only on memo misses. The key lookup and the radius-1 scan
+// both compare the address payload words in place, so even a miss
+// allocates nothing.
 func (m *Membership) eval(addr cellprobe.Addr) cellprobe.Word {
-	if i, ok := m.index[payloadKey(addr)]; ok {
+	if addr.Len() != m.db.RowWords {
+		// Malformed addresses do not occur in the model; EMPTY defensively.
+		return cellprobe.EmptyWord
+	}
+	if i, ok := m.index.lookupAddr(&addr); ok {
 		return cellprobe.PointWord(i)
 	}
 	if m.radius == 0 {
@@ -65,27 +63,10 @@ func (m *Membership) eval(addr cellprobe.Addr) cellprobe.Word {
 	}
 	// Radius 1: the cell for x stores any z ∈ B with dist(x, z) ≤ 1. A scan
 	// with early cutoff reproduces what preprocessing would store.
-	if len(m.db) == 0 || addr.Len() != len(m.db[0]) {
-		return cellprobe.EmptyWord
-	}
-	x := bitvec.Vector(addr.AppendPayload(nil))
-	for i, z := range m.db {
-		if bitvec.DistanceAtMost(x, z, 1) {
+	for i, n := 0, m.db.Rows(); i < n; i++ {
+		if addrDistanceAtMost(&addr, m.db.Row(i), 1) {
 			return cellprobe.PointWord(i)
 		}
 	}
 	return cellprobe.EmptyWord
-}
-
-// payloadKey renders an address payload as the same little-endian byte
-// string bitvec.Key produces for the underlying vector.
-func payloadKey(a cellprobe.Addr) string {
-	buf := make([]byte, 0, a.Len()*8)
-	for i := 0; i < a.Len(); i++ {
-		w := a.Word(i)
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(w>>uint(s)))
-		}
-	}
-	return string(buf)
 }

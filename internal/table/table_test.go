@@ -163,7 +163,7 @@ func TestMembershipRadiusPanics(t *testing.T) {
 			t.Fatal("invalid radius did not panic")
 		}
 	}()
-	NewMembership(nil, 16, 2, nil)
+	NewMembership(nil, nil, 16, 2, nil)
 }
 
 func TestAuxTableMatchesDirectComputation(t *testing.T) {
@@ -302,10 +302,10 @@ func TestCoarseSketchesMemoized(t *testing.T) {
 	set := NewSet(fam, db)
 	a := set.coarseDBSketches(2)
 	b := set.coarseDBSketches(2)
-	if &a[0][0] != &b[0][0] {
+	if &a.Words[0] != &b.Words[0] {
 		t.Error("coarse sketches recomputed")
 	}
-	if len(a) != len(db) {
+	if a.Rows() != len(db) {
 		t.Error("wrong sketch count")
 	}
 }
