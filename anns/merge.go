@@ -1,0 +1,54 @@
+package anns
+
+// Shard-merge helpers, exported so a distributed coordinator
+// (internal/router) can fold remote per-shard answers into one logical
+// Result with exactly the accounting ShardedIndex uses in-process.
+// Keeping the fold in one function is what makes "distributed answers are
+// byte-identical to single-process answers" a structural property instead
+// of a test-enforced coincidence.
+
+// ShardReply is one shard's answer to a fanned-out query. Result.Index is
+// shard-local; OK marks shards that produced an answer (for the λ-near
+// decision, shards that answered YES). A shard that failed outright —
+// in-process error, remote 5xx, or an unreachable replica — contributes
+// its accounting (if any) but no candidate.
+type ShardReply struct {
+	Result Result
+	OK     bool
+}
+
+// MergeShardReplies folds per-shard replies into one logical Result under
+// the parallel-machine accounting the paper charges: the shards probe
+// simultaneously, so Rounds is the maximum over shards while Probes and
+// MaxParallel sum across them. The answer is the minimum-distance
+// candidate over OK shards, ties broken by lowest shard position, with
+// the shard-local index translated through global. The fold depends only
+// on each reply's shard position, never on arrival order, so a
+// coordinator may fill the slice as responses land.
+func MergeShardReplies(replies []ShardReply, global func(shard, local int) int) Result {
+	out := Result{Index: -1, Distance: -1}
+	for s, rep := range replies {
+		r := rep.Result
+		if r.Rounds > out.Rounds {
+			out.Rounds = r.Rounds
+		}
+		out.Probes += r.Probes
+		out.MaxParallel += r.MaxParallel
+		if !rep.OK {
+			continue
+		}
+		if out.Index < 0 || r.Distance < out.Distance {
+			out.Index = global(s, r.Index)
+			out.Distance = r.Distance
+		}
+	}
+	return out
+}
+
+// RoundRobinGlobal returns the shard-local → logical index translation
+// for the round-robin partition BuildSharded and shard-split use: point i
+// of the original Build slice lands in shard i%shards as that shard's
+// (i/shards)-th point, so shard s's j-th point is logical point s + j·shards.
+func RoundRobinGlobal(shards int) func(shard, local int) int {
+	return func(shard, local int) int { return shard + local*shards }
+}

@@ -1,0 +1,72 @@
+package anns
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// TestMergeShardReplies pins the exported fold the router depends on:
+// rounds = max, probes/max_parallel = sum, answer = closest OK shard,
+// ties to the lowest shard position, failed shards contribute accounting
+// but no candidate.
+func TestMergeShardReplies(t *testing.T) {
+	global := func(s, j int) int { return 100*s + j }
+	replies := []ShardReply{
+		{Result: Result{Index: 3, Distance: 7, Rounds: 2, Probes: 10, MaxParallel: 4}, OK: true},
+		{Result: Result{Index: 1, Distance: 5, Rounds: 3, Probes: 6, MaxParallel: 2}, OK: true},
+		{Result: Result{Index: 0, Distance: 1, Rounds: 1, Probes: 9, MaxParallel: 9}, OK: false},
+	}
+	out := MergeShardReplies(replies, global)
+	if out.Rounds != 3 || out.Probes != 25 || out.MaxParallel != 15 {
+		t.Errorf("accounting = rounds %d probes %d maxpar %d, want 3/25/15",
+			out.Rounds, out.Probes, out.MaxParallel)
+	}
+	if out.Index != 101 || out.Distance != 5 {
+		t.Errorf("answer = (%d, %d), want shard 1's point 1 → 101 at distance 5", out.Index, out.Distance)
+	}
+
+	// Distance tie: the lowest shard position wins, matching the
+	// in-process loop order.
+	tie := []ShardReply{
+		{Result: Result{Index: 2, Distance: 4}, OK: true},
+		{Result: Result{Index: 8, Distance: 4}, OK: true},
+	}
+	if out := MergeShardReplies(tie, global); out.Index != 2 {
+		t.Errorf("tie broke to %d, want shard 0's point 2", out.Index)
+	}
+
+	// Every shard failed: no candidate, accounting still aggregates.
+	dead := []ShardReply{
+		{Result: Result{Index: 0, Distance: 0, Rounds: 2, Probes: 3}, OK: false},
+		{OK: false},
+	}
+	if out := MergeShardReplies(dead, global); out.Index != -1 || out.Probes != 3 || out.Rounds != 2 {
+		t.Errorf("all-failed merge = %+v, want Index -1 with aggregated accounting", out)
+	}
+}
+
+// TestRoundRobinGlobalMatchesBuildSharded proves the formula the router
+// uses for local→global translation is exactly the partition
+// BuildSharded (and hence annsctl shard-split) produces — the property
+// that lets the placement manifest omit a per-point mapping table.
+func TestRoundRobinGlobalMatchesBuildSharded(t *testing.T) {
+	r := rng.New(11)
+	inst := workload.Uniform(r, 64, 37, 1) // odd n: shards of unequal size
+	for _, shards := range []int{2, 3, 5} {
+		sx, err := BuildSharded(inst.DB, shards, Options{Dimension: 64, Rounds: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := RoundRobinGlobal(shards)
+		for s := 0; s < sx.Shards(); s++ {
+			for j := 0; j < sx.Shard(s).Len(); j++ {
+				if got, want := g(s, j), sx.GlobalIndex(s, j); got != want {
+					t.Fatalf("shards=%d: RoundRobinGlobal(%d,%d) = %d, BuildSharded mapped %d",
+						shards, s, j, got, want)
+				}
+			}
+		}
+	}
+}

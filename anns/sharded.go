@@ -30,7 +30,11 @@ type ShardedIndex struct {
 	// global[s][j] is the position in the original Build slice of shard
 	// s's j-th point, mapping shard-local answers back to logical indices.
 	global [][]int
-	n      int
+	// globalFn is the same mapping as a function, built once so the
+	// per-query merge stays allocation-free (a per-call closure would
+	// allocate on the pinned hot path).
+	globalFn func(shard, local int) int
+	n        int
 }
 
 // splitSeed derives shard s's seed from the user seed via a splitmix64
@@ -61,6 +65,7 @@ func BuildSharded(points []Point, shards int, opts Options) (*ShardedIndex, erro
 		global: make([][]int, shards),
 		n:      len(points),
 	}
+	sx.globalFn = func(s, j int) int { return sx.global[s][j] }
 	parts := make([][]Point, shards)
 	for i, p := range points {
 		s := i % shards
@@ -95,12 +100,13 @@ func BuildSharded(points []Point, shards int, opts Options) (*ShardedIndex, erro
 }
 
 // shardScratch is the reusable fan-out state of one sharded query: the
-// per-shard result slots and the wait group. Pooled so the merge path
-// does not reallocate them per call.
+// per-shard result slots and the reply buffer the merge folds over.
+// Pooled so the merge path does not reallocate them per call.
 type shardScratch struct {
 	results []Result
 	ok      []bool
 	errs    []error
+	replies []ShardReply
 }
 
 var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
@@ -111,10 +117,12 @@ func acquireShardScratch(n int) *shardScratch {
 		s.results = make([]Result, n)
 		s.ok = make([]bool, n)
 		s.errs = make([]error, n)
+		s.replies = make([]ShardReply, n)
 	}
 	s.results = s.results[:n]
 	s.ok = s.ok[:n]
 	s.errs = s.errs[:n]
+	s.replies = s.replies[:n]
 	for i := range s.errs {
 		s.errs[i] = nil
 	}
@@ -123,23 +131,23 @@ func acquireShardScratch(n int) *shardScratch {
 
 // mergeShardResults folds per-shard outcomes into one logical Result.
 // ok[s] marks shards whose query succeeded (for QueryNear, returned YES).
-func (sx *ShardedIndex) mergeShardResults(results []Result, ok []bool) Result {
-	out := Result{Index: -1, Distance: -1}
-	for s, r := range results {
-		if r.Rounds > out.Rounds {
-			out.Rounds = r.Rounds
-		}
-		out.Probes += r.Probes
-		out.MaxParallel += r.MaxParallel
-		if !ok[s] {
-			continue
-		}
-		if out.Index < 0 || r.Distance < out.Distance {
-			out.Index = sx.global[s][r.Index]
-			out.Distance = r.Distance
-		}
+// The fold itself is the exported MergeShardReplies, shared with the
+// distributed coordinator so remote merges stay byte-identical. replies
+// is the caller's reuse buffer (the query paths pass their scratch's);
+// nil allocates.
+func (sx *ShardedIndex) mergeShardResults(results []Result, ok []bool, replies []ShardReply) Result {
+	if cap(replies) < len(results) {
+		replies = make([]ShardReply, len(results))
 	}
-	return out
+	replies = replies[:len(results)]
+	for s, r := range results {
+		replies[s] = ShardReply{Result: r, OK: ok[s]}
+	}
+	g := sx.globalFn
+	if g == nil { // hand-assembled index (tests); cold path may allocate
+		g = func(s, j int) int { return sx.global[s][j] }
+	}
+	return MergeShardReplies(replies, g)
 }
 
 // Query fans x out to every shard concurrently and returns the closest
@@ -165,7 +173,7 @@ func (sx *ShardedIndex) Query(x Point) (Result, error) {
 		}(s)
 	}
 	wg.Wait()
-	out := sx.mergeShardResults(sc.results, sc.ok)
+	out := sx.mergeShardResults(sc.results, sc.ok, sc.replies)
 	if out.Index < 0 {
 		return out, errors.New("anns: query failed on every shard")
 	}
@@ -204,7 +212,7 @@ func (sx *ShardedIndex) QueryNear(x Point, lambda float64) (Result, error) {
 		}(s)
 	}
 	wg.Wait()
-	out := sx.mergeShardResults(sc.results, sc.ok)
+	out := sx.mergeShardResults(sc.results, sc.ok, sc.replies)
 	if out.Index < 0 {
 		// All shards said NO (or errored); NO is an answer, errors are not.
 		for _, err := range sc.errs {
@@ -243,6 +251,16 @@ func (sx *ShardedIndex) Len() int { return sx.n }
 
 // Shards returns the shard count.
 func (sx *ShardedIndex) Shards() int { return len(sx.shards) }
+
+// Shard returns shard s's underlying *Index. The returned index answers
+// with shard-local point positions; GlobalIndex maps them back to the
+// logical database. annsctl shard-split uses this to snapshot each shard
+// for its own serving process.
+func (sx *ShardedIndex) Shard(s int) *Index { return sx.shards[s] }
+
+// GlobalIndex translates shard s's local point position back to the
+// position in the original Build slice.
+func (sx *ShardedIndex) GlobalIndex(shard, local int) int { return sx.global[shard][local] }
 
 // Options returns the normalized options the shards were built with (the
 // Seed field is the user seed; each shard derives its own from it).

@@ -66,7 +66,7 @@ func TestShardedMergeAccounting(t *testing.T) {
 		{Index: 0, Distance: 4, Rounds: 3, Probes: 7, MaxParallel: 4},
 		{Index: 1, Distance: 6, Rounds: 1, Probes: 20, MaxParallel: 20},
 	}
-	out := sx.mergeShardResults(results, []bool{true, true, true})
+	out := sx.mergeShardResults(results, []bool{true, true, true}, nil)
 	if out.Rounds != 3 {
 		t.Errorf("rounds = %d, want max 3", out.Rounds)
 	}
@@ -81,7 +81,7 @@ func TestShardedMergeAccounting(t *testing.T) {
 	}
 
 	// A failed shard contributes accounting but never the answer.
-	out = sx.mergeShardResults(results, []bool{false, false, true})
+	out = sx.mergeShardResults(results, []bool{false, false, true}, nil)
 	if out.Index != 5 || out.Distance != 6 {
 		t.Errorf("answer = (%d, %d), want global index 5 at distance 6", out.Index, out.Distance)
 	}
@@ -90,7 +90,7 @@ func TestShardedMergeAccounting(t *testing.T) {
 	}
 
 	// All shards failed: no answer, full charge.
-	out = sx.mergeShardResults(results, []bool{false, false, false})
+	out = sx.mergeShardResults(results, []bool{false, false, false}, nil)
 	if out.Index != -1 || out.Distance != -1 {
 		t.Errorf("want no answer, got (%d, %d)", out.Index, out.Distance)
 	}

@@ -176,6 +176,7 @@ func decodeShardedBody(d *snapshot.Decoder) (*ShardedIndex, error) {
 		global: make([][]int, shards),
 		n:      n,
 	}
+	sx.globalFn = func(s, j int) int { return sx.global[s][j] }
 	total := 0
 	for s := 0; s < shards; s++ {
 		shardSeed := d.U64()
@@ -250,4 +251,3 @@ func LoadAny(r io.Reader) (*Index, *ShardedIndex, error) {
 			snapshot.ErrFormat, snapshot.KindName(d.Kind()))
 	}
 }
-

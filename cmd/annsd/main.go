@@ -172,7 +172,10 @@ func main() {
 			log.Fatalf("annsd: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		// SIGTERM/SIGINT: stop accepting, answer every in-flight and
+		// queued request, then exit. CI teardown (`kill` + `wait`) relies
+		// on this being deterministic.
+		log.Printf("shutting down: draining in-flight requests and admission queue")
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shctx); err != nil {

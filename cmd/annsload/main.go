@@ -10,6 +10,15 @@
 //
 //	annsload -addr http://127.0.0.1:7080 -mode closed -conc 16 -queries 10000
 //	annsload -addr http://127.0.0.1:7080 -mode open -qps 800 -ramp 4 -queries 20000
+//	annsload -addr http://127.0.0.1:7120 -compare http://127.0.0.1:7080 -queries 256
+//
+// The target may be an annsd shard server or an annsrouter coordinator —
+// both speak the same wire schema, and /statsz router rollups (hedge
+// rate, per-shard quantiles, replica state) are printed when present.
+// With -compare, every query goes to both servers and the answers must
+// be byte-identical (index, distance, rounds, probes, max_parallel) —
+// the distributed-equivalence check CI runs against a router and a
+// single-process server over the same corpus.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -47,6 +57,7 @@ func main() {
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms sent to the server (0 = server default)")
 	outstanding := flag.Int("max-outstanding", 1024, "open-loop cap on in-flight requests")
 	lseed := flag.Int64("lseed", 1, "load generator seed (Poisson arrivals)")
+	compare := flag.String("compare", "", "second server URL: issue every query to both and require byte-identical answers")
 	flag.Parse()
 
 	var inst *workload.Instance
@@ -91,6 +102,12 @@ func main() {
 			log.Fatalf("annsload: %v", err)
 		}
 		encoded[i] = body
+	}
+
+	if *compare != "" {
+		checkHealth(client, *compare, inst)
+		runCompare(client, *addr, *compare, encoded, *total)
+		return
 	}
 
 	run := &runner{
@@ -328,8 +345,58 @@ func (r *runner) report(ss []sample, wall time.Duration) {
 	}
 }
 
+// runCompare issues each query to both servers and requires the decoded
+// answers to match field for field — the distributed-equivalence check:
+// a router over shard-split snapshots must answer exactly like a
+// single-process server over the same corpus, including the cell-probe
+// accounting. Exits non-zero on the first mismatch.
+func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, total int) {
+	ask := func(addr string, body []byte) (server.QueryResponse, error) {
+		var qr server.QueryResponse
+		resp, err := client.Post(addr+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return qr, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return qr, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return qr, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		}
+		err = json.Unmarshal(raw, &qr)
+		return qr, err
+	}
+	mismatches := 0
+	for i := 0; i < total; i++ {
+		body := encoded[i%len(encoded)]
+		a, err := ask(addrA, body)
+		if err != nil {
+			log.Fatalf("annsload: compare: %s query %d: %v", addrA, i, err)
+		}
+		b, err := ask(addrB, body)
+		if err != nil {
+			log.Fatalf("annsload: compare: %s query %d: %v", addrB, i, err)
+		}
+		if a != b {
+			mismatches++
+			log.Printf("MISMATCH query %d:\n  %s → %+v\n  %s → %+v", i, addrA, a, addrB, b)
+			if mismatches >= 10 {
+				log.Fatalf("annsload: compare: giving up after %d mismatches", mismatches)
+			}
+		}
+	}
+	if mismatches > 0 {
+		log.Fatalf("annsload: compare: %d/%d answers differ", mismatches, total)
+	}
+	fmt.Printf("compare: %d queries, answers byte-identical (results + rounds/probes accounting)\n", total)
+	printServerStats(client, addrA)
+}
+
 // printServerStats fetches /statsz so the report ends with the server's
-// own view in the shared stats schema.
+// own view in the shared stats schema. A router target is detected by
+// its shard_stats rollup and gets the distribution-layer report too.
 func printServerStats(client *http.Client, addr string) {
 	resp, err := client.Get(addr + "/statsz")
 	if err != nil {
@@ -337,8 +404,40 @@ func printServerStats(client *http.Client, addr string) {
 		return
 	}
 	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Printf("annsload: /statsz read: %v", err)
+		return
+	}
+	if bytes.Contains(raw, []byte(`"shard_stats"`)) {
+		var rs router.Stats
+		if err := json.Unmarshal(raw, &rs); err != nil {
+			log.Printf("annsload: bad router /statsz body: %v", err)
+			return
+		}
+		fmt.Printf("\n=== router /statsz ===\n")
+		fmt.Printf("queries=%d near=%d batches=%d errors=%d rejected=%d in_flight=%d qps=%.1f\n",
+			rs.Queries, rs.Near, rs.Batches, rs.Errors, rs.Rejected, rs.InFlight, rs.QPS)
+		fmt.Printf("probes=%d rounds=%d max_rounds=%d max_parallel=%d\n",
+			rs.Probes, rs.Rounds, rs.MaxRounds, rs.MaxParallel)
+		fmt.Printf("hedges=%d wins=%d rate=%.4f failovers=%d\n",
+			rs.Hedges, rs.HedgeWins, rs.HedgeRate, rs.Failovers)
+		for _, sh := range rs.ShardStats {
+			fmt.Printf("shard %d: %d/%d replicas healthy, %d reqs (%d errors, %d hedges, %d failovers), p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				sh.Shard, sh.Healthy, sh.Replicas, sh.Requests, sh.Errors, sh.Hedges, sh.Failovers,
+				sh.P50MS, sh.P95MS, sh.P99MS)
+			for _, rep := range sh.ReplicaStats {
+				fmt.Printf("  %s: %s (fails=%d evictions=%d backoff=%dms)", rep.URL, rep.State, rep.Fails, rep.Evictions, rep.BackoffMS)
+				if rep.LastError != "" {
+					fmt.Printf("  %s", rep.LastError)
+				}
+				fmt.Println()
+			}
+		}
+		return
+	}
 	var snap server.StatsSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	if err := json.Unmarshal(raw, &snap); err != nil {
 		log.Printf("annsload: bad /statsz body: %v", err)
 		return
 	}

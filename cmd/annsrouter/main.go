@@ -1,0 +1,166 @@
+// Command annsrouter is the multi-node serving coordinator: it serves
+// the /v1/query, /v1/batch, /v1/near API by scatter-gathering over
+// remote annsd shard servers and merging their answers with the same
+// Hamming-merge + rounds=max/probes=sum accounting as a single-process
+// sharded server — distributed answers are byte-identical.
+//
+// The topology comes from the placement manifest `annsctl shard-split`
+// writes (shard count, dimension, sizes); the replica URLs of each shard
+// position come from repeated -shard flags:
+//
+//	annsctl shard-split -o /srv/shards -shards 2 -kind planted -d 512 -n 4096
+//	annsd -addr :7101 -snapshot /srv/shards/shard-0.snap   # 2 replicas of shard 0
+//	annsd -addr :7102 -snapshot /srv/shards/shard-0.snap
+//	annsd -addr :7111 -snapshot /srv/shards/shard-1.snap   # 2 replicas of shard 1
+//	annsd -addr :7112 -snapshot /srv/shards/shard-1.snap
+//	annsrouter -addr :7120 -manifest /srv/shards/manifest.json \
+//	  -shard 0=http://127.0.0.1:7101,http://127.0.0.1:7102 \
+//	  -shard 1=http://127.0.0.1:7111,http://127.0.0.1:7112
+//
+// Replica membership is health-probe-driven (periodic /healthz polling,
+// consecutive-failure eviction with exponential backoff, probe-driven
+// readmission); slow shards hedge to a second replica after the shard's
+// recent latency quantile; admitted requests are bounded. GET /statsz
+// reports per-shard p50/p95/p99, hedge rate, and replica state.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+// shardFlags collects repeated -shard "POS=url[,url...]" assignments.
+type shardFlags map[int][]string
+
+func (f shardFlags) String() string { return fmt.Sprintf("%v", map[int][]string(f)) }
+
+func (f shardFlags) Set(v string) error {
+	pos, urls, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want POS=url[,url...], got %q", v)
+	}
+	s, err := strconv.Atoi(pos)
+	if err != nil || s < 0 {
+		return fmt.Errorf("bad shard position %q", pos)
+	}
+	for _, u := range strings.Split(urls, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		f[s] = append(f[s], strings.TrimSuffix(u, "/"))
+	}
+	if len(f[s]) == 0 {
+		return fmt.Errorf("shard %d has no replica URLs", s)
+	}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":7120", "listen address")
+	manifest := flag.String("manifest", "", "placement manifest from `annsctl shard-split` (required)")
+	shards := shardFlags{}
+	flag.Var(shards, "shard", "replica set for one shard position, POS=url[,url...] (repeat per shard)")
+
+	maxInFlight := flag.Int("max-inflight", 512, "bounded in-flight admission (overflow → 503)")
+	maxBatch := flag.Int("max-batch", 4096, "max points per /v1/batch request")
+	timeout := flag.Duration("timeout", 2*time.Second, "default end-to-end deadline")
+	reqTimeout := flag.Duration("request-timeout", time.Second, "per-replica attempt deadline (keep below -timeout so hung replicas fail over and accrue eviction pressure)")
+	hedgeQ := flag.Float64("hedge-quantile", 0.95, "shard latency quantile that arms the hedge")
+	hedgeCold := flag.Duration("hedge-cold", 50*time.Millisecond, "hedge delay while the latency window is cold")
+	probeEvery := flag.Duration("probe-interval", 500*time.Millisecond, "replica health-poll period")
+	evictAfter := flag.Int("evict-after", 2, "consecutive failures that evict a replica")
+	backoffBase := flag.Duration("backoff-base", 500*time.Millisecond, "initial eviction backoff")
+	backoffMax := flag.Duration("backoff-max", 8*time.Second, "eviction backoff cap")
+	flag.Parse()
+
+	if *manifest == "" {
+		log.Fatal("annsrouter: -manifest is required")
+	}
+	m, err := router.LoadManifest(*manifest)
+	if err != nil {
+		log.Fatalf("annsrouter: %v", err)
+	}
+	if len(shards) != m.Shards {
+		log.Fatalf("annsrouter: manifest has %d shards, -shard flags cover %d", m.Shards, len(shards))
+	}
+	replicas := make([][]string, m.Shards)
+	positions := make([]int, 0, len(shards))
+	for s := range shards {
+		positions = append(positions, s)
+	}
+	sort.Ints(positions)
+	for _, s := range positions {
+		if s >= m.Shards {
+			log.Fatalf("annsrouter: -shard %d out of range for %d shards", s, m.Shards)
+		}
+		replicas[s] = shards[s]
+	}
+
+	// The manifest's per-shard sizes and derived seeds let the health
+	// prober detect misrouted replicas (a -shard flag pointing at the
+	// wrong shard's servers) instead of merging their answers.
+	sizes := make([]int, m.Shards)
+	seeds := make([]uint64, m.Shards)
+	for _, f := range m.Files {
+		sizes[f.Shard] = f.N
+		seeds[f.Shard] = f.Seed
+	}
+	rt, err := router.New(router.Config{
+		Dimension:      m.Dimension,
+		N:              m.N,
+		Replicas:       replicas,
+		ShardSizes:     sizes,
+		ShardSeeds:     seeds,
+		MaxInFlight:    *maxInFlight,
+		MaxBatch:       *maxBatch,
+		DefaultTimeout: *timeout,
+		RequestTimeout: *reqTimeout,
+		HedgeQuantile:  *hedgeQ,
+		HedgeCold:      *hedgeCold,
+		ProbeInterval:  *probeEvery,
+		EvictAfter:     *evictAfter,
+		BackoffBase:    *backoffBase,
+		BackoffMax:     *backoffMax,
+	})
+	if err != nil {
+		log.Fatalf("annsrouter: %v", err)
+	}
+	for s, urls := range replicas {
+		log.Printf("shard %d: %d replicas: %s", s, len(urls), strings.Join(urls, " "))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- rt.ListenAndServe(*addr) }()
+	log.Printf("routing %d shards (n=%d, d=%d) on %s", m.Shards, m.N, m.Dimension, *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("annsrouter: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(shctx); err != nil {
+			log.Printf("annsrouter: shutdown: %v", err)
+		}
+		snap := rt.Stats()
+		fmt.Printf("routed %d queries (%d near, %d batches), %d errors, %d hedges (%d wins), %d failovers\n",
+			snap.Queries, snap.Near, snap.Batches, snap.Errors, snap.Hedges, snap.HedgeWins, snap.Failovers)
+	}
+}

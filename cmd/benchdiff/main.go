@@ -1,0 +1,279 @@
+// Command benchdiff is the CI bench-regression gate: it compares freshly
+// measured performance against the numbers committed in the repository
+// and fails (exit 1) on regression, so perf claims in BENCH_*.json stay
+// honest as the code evolves.
+//
+// Two independent checks, each enabled by supplying its flag pair:
+//
+//	benchdiff -build-fresh /tmp/bench.json -build-committed BENCH_index_build.json
+//	benchdiff -alloc-fresh /tmp/bench.txt  -alloc-committed BENCH_query_engine.json
+//
+// The build check validates the schema of a fresh `annsctl bench` record
+// and fails when the load-vs-rebuild speedup regressed by more than
+// -max-regression (default 0.25) relative to the committed record — the
+// snapshot subsystem's headline number. Absolute ms are not compared
+// (runners differ); the speedup is a same-machine ratio.
+//
+// The alloc check parses `go test -bench -benchmem` output and fails
+// when any benchmark named in the committed BENCH_query_engine.json
+// allocates more per op than its committed "after" ceiling. allocs/op is
+// deterministic on a given code path, which makes it the stable
+// regression signal across runner hardware.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	buildFresh := flag.String("build-fresh", "", "fresh annsctl bench JSON")
+	buildCommitted := flag.String("build-committed", "", "committed BENCH_index_build.json")
+	allocFresh := flag.String("alloc-fresh", "", "fresh `go test -bench -benchmem` output")
+	allocCommitted := flag.String("alloc-committed", "", "committed BENCH_query_engine.json")
+	maxRegression := flag.Float64("max-regression", 0.25, "tolerated fractional speedup regression")
+	flag.Parse()
+
+	ran := false
+	failed := false
+	if *buildFresh != "" || *buildCommitted != "" {
+		if *buildFresh == "" || *buildCommitted == "" {
+			log.Fatal("-build-fresh and -build-committed go together")
+		}
+		ran = true
+		if !checkBuild(*buildFresh, *buildCommitted, *maxRegression) {
+			failed = true
+		}
+	}
+	if *allocFresh != "" || *allocCommitted != "" {
+		if *allocFresh == "" || *allocCommitted == "" {
+			log.Fatal("-alloc-fresh and -alloc-committed go together")
+		}
+		ran = true
+		if !checkAllocs(*allocFresh, *allocCommitted) {
+			failed = true
+		}
+	}
+	if !ran {
+		log.Fatal("nothing to do; see -h")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// buildRecord mirrors the fields of annsctl bench's JSON that the gate
+// reads; unknown fields are ignored so the record can grow. Config
+// covers every workload- and index-shape parameter that moves the
+// speedup (machine-dependent fields like workers/host_cpus stay out),
+// so a drifted CI flag fails the config check instead of comparing
+// incomparable ratios.
+type buildRecord struct {
+	Config struct {
+		Kind   string `json:"kind"`
+		N      int    `json:"n"`
+		D      int    `json:"d"`
+		K      int    `json:"k"`
+		Shards int    `json:"shards"`
+		Reps   int    `json:"reps"`
+	} `json:"config"`
+	SeqBuildMS     float64 `json:"seq_build_ms"`
+	ParBuildMS     float64 `json:"par_build_ms"`
+	SaveMS         float64 `json:"save_ms"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	LoadMS         float64 `json:"load_ms"`
+	LoadVsSeqBuild float64 `json:"load_vs_seq_build"`
+	LoadVsParBuild float64 `json:"load_vs_par_build"`
+	Version        uint32  `json:"snapshot_version"`
+}
+
+func readBuild(path string) (buildRecord, error) {
+	var rec buildRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	// Schema gate: a record with missing or zero measurements means the
+	// bench did not actually run, and comparing against it would pass
+	// vacuously.
+	switch {
+	case rec.Config.N <= 0 || rec.Config.D <= 0:
+		return rec, fmt.Errorf("%s: missing config.n/config.d", path)
+	case rec.SeqBuildMS <= 0 || rec.ParBuildMS <= 0:
+		return rec, fmt.Errorf("%s: missing build timings", path)
+	case rec.LoadMS <= 0 || rec.SaveMS <= 0 || rec.SnapshotBytes <= 0:
+		return rec, fmt.Errorf("%s: missing snapshot timings", path)
+	case rec.LoadVsSeqBuild <= 0:
+		return rec, fmt.Errorf("%s: missing load_vs_seq_build speedup", path)
+	case rec.Version == 0:
+		return rec, fmt.Errorf("%s: missing snapshot_version", path)
+	}
+	return rec, nil
+}
+
+func checkBuild(freshPath, committedPath string, maxReg float64) bool {
+	fresh, err := readBuild(freshPath)
+	if err != nil {
+		log.Printf("FAIL build: fresh record invalid: %v", err)
+		return false
+	}
+	committed, err := readBuild(committedPath)
+	if err != nil {
+		log.Printf("FAIL build: committed record invalid: %v", err)
+		return false
+	}
+	if fresh.Version != committed.Version {
+		log.Printf("FAIL build: snapshot format v%d, committed record measured v%d",
+			fresh.Version, committed.Version)
+		return false
+	}
+	// The speedup scales with corpus size, so comparing different bench
+	// configs would measure the workload, not the code. Fail loudly.
+	if fresh.Config != committed.Config {
+		log.Printf("FAIL build: fresh config %+v differs from committed %+v; rerun the bench with the committed parameters",
+			fresh.Config, committed.Config)
+		return false
+	}
+	floor := committed.LoadVsSeqBuild * (1 - maxReg)
+	ok := fresh.LoadVsSeqBuild >= floor
+	verdict := "ok"
+	if !ok {
+		verdict = "FAIL"
+	}
+	log.Printf("%s build: load-vs-rebuild speedup %.1fx (committed %.1fx, floor %.1fx at -max-regression %.2f)",
+		verdict, fresh.LoadVsSeqBuild, committed.LoadVsSeqBuild, floor, maxReg)
+	return ok
+}
+
+// allocCeilings extracts per-benchmark allocs/op ceilings from the
+// committed BENCH_query_engine.json: each entry's "after" measurement is
+// the ceiling for the benchmark it names ("anns/BenchmarkQuery").
+type queryEngineRecord struct {
+	Benchmarks []struct {
+		Name  string `json:"name"`
+		After struct {
+			AllocsOp float64 `json:"allocs_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func allocCeilings(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec queryEngineRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	out := make(map[string]float64, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("%s: benchmark with no name", path)
+		}
+		out[b.Name] = b.After.AllocsOp
+	}
+	return out, nil
+}
+
+// parseBenchOutput reads `go test -bench -benchmem` output and returns
+// allocs/op keyed the way the committed record names benchmarks:
+// "<module-relative-pkg>/<BenchName>" (e.g. "anns/BenchmarkQuery" for
+// pkg repro/anns). Sub-benchmarks keep their slash-separated name.
+func parseBenchOutput(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			if i := strings.Index(pkg, "/"); i >= 0 {
+				pkg = pkg[i+1:] // strip the module name ("repro/")
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-P  N  x ns/op  y B/op  z allocs/op
+		var allocs float64 = -1
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "allocs/op" && i > 0 {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err == nil {
+					allocs = v
+				}
+			}
+		}
+		if allocs < 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		if pkg != "" {
+			name = pkg + "/" + name
+		}
+		out[name] = allocs
+	}
+	return out, sc.Err()
+}
+
+func checkAllocs(freshPath, committedPath string) bool {
+	ceilings, err := allocCeilings(committedPath)
+	if err != nil {
+		log.Printf("FAIL allocs: committed record invalid: %v", err)
+		return false
+	}
+	fresh, err := parseBenchOutput(freshPath)
+	if err != nil {
+		log.Printf("FAIL allocs: cannot read bench output: %v", err)
+		return false
+	}
+	ok := true
+	checked := 0
+	for name, ceiling := range ceilings {
+		got, found := fresh[name]
+		if !found {
+			// Only gate benchmarks the fresh run measured; the CI step
+			// chooses which packages to bench.
+			continue
+		}
+		checked++
+		if got > ceiling {
+			log.Printf("FAIL allocs: %s: %.0f allocs/op exceeds committed ceiling %.0f", name, got, ceiling)
+			ok = false
+		} else {
+			log.Printf("ok allocs: %s: %.0f <= %.0f", name, got, ceiling)
+		}
+	}
+	if checked == 0 {
+		log.Printf("FAIL allocs: fresh output matched none of the %d committed benchmarks", len(ceilings))
+		return false
+	}
+	return ok
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/anns
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQuery-4           	   63570	     18775 ns/op	       0 B/op	       0 allocs/op
+BenchmarkQueryNear-4       	  458127	      2616 ns/op	       0 B/op	       0 allocs/op
+BenchmarkQuerySharded-4    	   14433	     82954 ns/op	     368 B/op	       9 allocs/op
+PASS
+ok  	repro/anns	5.1s
+pkg: repro/internal/core
+BenchmarkQueryAlgo1K2-4    	   28345	     42313 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	repro/internal/core	2.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBenchOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"anns/BenchmarkQuery":                 0,
+		"anns/BenchmarkQueryNear":             0,
+		"anns/BenchmarkQuerySharded":          9,
+		"internal/core/BenchmarkQueryAlgo1K2": 1,
+	}
+	for name, allocs := range want {
+		v, ok := got[name]
+		if !ok {
+			t.Errorf("missing %s in %v", name, got)
+		} else if v != allocs {
+			t.Errorf("%s = %v allocs/op, want %v", name, v, allocs)
+		}
+	}
+}
+
+func TestAllocCeilingsFromCommittedRecord(t *testing.T) {
+	// The committed BENCH_query_engine.json at the repo root is the real
+	// input CI feeds this tool; parsing it here keeps the two in sync.
+	ceilings, err := allocCeilings(filepath.Join("..", "..", "BENCH_query_engine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ceilings["anns/BenchmarkQuery"]; !ok || v != 0 {
+		t.Errorf("anns/BenchmarkQuery ceiling = %v (present=%v), want 0", v, ok)
+	}
+	if v, ok := ceilings["internal/core/BenchmarkQueryAlgo2K8"]; !ok || v != 1 {
+		t.Errorf("internal/core/BenchmarkQueryAlgo2K8 ceiling = %v (present=%v), want 1", v, ok)
+	}
+}
+
+func TestCheckAllocsGate(t *testing.T) {
+	dir := t.TempDir()
+	committed := filepath.Join(dir, "committed.json")
+	if err := os.WriteFile(committed, []byte(`{"benchmarks":[
+		{"name":"anns/BenchmarkQuery","after":{"allocs_op":0}},
+		{"name":"anns/BenchmarkQuerySharded","after":{"allocs_op":9}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := filepath.Join(dir, "ok.txt")
+	if err := os.WriteFile(ok, []byte("pkg: repro/anns\nBenchmarkQuery-4 10 5 ns/op 0 B/op 0 allocs/op\nBenchmarkQuerySharded-4 10 5 ns/op 1 B/op 7 allocs/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !checkAllocs(ok, committed) {
+		t.Error("within-ceiling run failed the gate")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("pkg: repro/anns\nBenchmarkQuery-4 10 5 ns/op 64 B/op 3 allocs/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if checkAllocs(bad, committed) {
+		t.Error("over-ceiling run passed the gate")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if checkAllocs(empty, committed) {
+		t.Error("vacuous run (no matched benchmarks) passed the gate")
+	}
+}
+
+func TestCheckBuildGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	committed := write("committed.json", `{"config":{"n":4096,"d":512,"shards":4},
+		"seq_build_ms":680,"par_build_ms":472,"save_ms":37,"snapshot_bytes":7611228,
+		"load_ms":4.6,"load_vs_seq_build":147.1,"load_vs_par_build":102.2,"snapshot_version":1}`)
+	good := write("good.json", `{"config":{"n":4096,"d":512,"shards":4},
+		"seq_build_ms":700,"par_build_ms":300,"save_ms":30,"snapshot_bytes":7611228,
+		"load_ms":5,"load_vs_seq_build":140,"load_vs_par_build":60,"snapshot_version":1}`)
+	if !checkBuild(good, committed, 0.25) {
+		t.Error("140x vs 147.1x committed (floor 110.3x) failed the gate")
+	}
+	slow := write("slow.json", `{"config":{"n":4096,"d":512,"shards":4},
+		"seq_build_ms":700,"par_build_ms":300,"save_ms":30,"snapshot_bytes":7611228,
+		"load_ms":50,"load_vs_seq_build":14,"load_vs_par_build":6,"snapshot_version":1}`)
+	if checkBuild(slow, committed, 0.25) {
+		t.Error("14x vs 147.1x committed passed the gate")
+	}
+	broken := write("broken.json", `{"config":{"n":4096,"d":512,"shards":4},"snapshot_version":1}`)
+	if checkBuild(broken, committed, 0.25) {
+		t.Error("schema-invalid fresh record passed the gate")
+	}
+}

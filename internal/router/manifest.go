@@ -1,0 +1,118 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestVersion is the placement-manifest schema version. It versions
+// the JSON layout only; the snapshot files it points at carry their own
+// format version (internal/snapshot.FormatVersion).
+const ManifestVersion = 1
+
+// PlacementRoundRobin is the only placement strategy today: point i of
+// the logical database lives in shard i%S as that shard's (i/S)-th
+// point, so the router translates shard-local answers back to logical
+// indices with anns.RoundRobinGlobal — no per-point mapping table needs
+// to travel from the splitter to the router.
+const PlacementRoundRobin = "round-robin"
+
+// Manifest is the placement manifest `annsctl shard-split` writes next
+// to the per-shard snapshot files. It is the contract between the
+// splitter, the shard servers (each boots `annsd -snapshot` on one
+// file), and the router (which needs the topology and the local→global
+// translation but never the index payload itself).
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	Placement     string `json:"placement"`
+	// Shards is the shard count S of the logical index.
+	Shards int `json:"shards"`
+	// N is the logical database size (sum of the per-shard sizes).
+	N int `json:"n"`
+	// Dimension is the Hamming dimension every shard serves.
+	Dimension int `json:"dimension"`
+	// Seed is the user seed of the logical index; each shard's derived
+	// seed is recorded on its file entry.
+	Seed uint64 `json:"seed"`
+	// Files describes the per-shard snapshots, in shard order.
+	Files []ManifestShard `json:"files"`
+}
+
+// ManifestShard is one shard's snapshot file in the manifest.
+type ManifestShard struct {
+	Shard int    `json:"shard"`
+	Path  string `json:"path"` // relative to the manifest's directory
+	N     int    `json:"n"`
+	Seed  uint64 `json:"seed"` // the shard's derived build seed
+}
+
+// WriteManifest writes m as indented JSON to path.
+func WriteManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads and validates a placement manifest. Relative file
+// paths stay relative; resolve them against filepath.Dir(path).
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("router: manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("router: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	if m.FormatVersion != ManifestVersion {
+		return fmt.Errorf("format_version %d, this build understands %d", m.FormatVersion, ManifestVersion)
+	}
+	if m.Placement != PlacementRoundRobin {
+		return fmt.Errorf("unknown placement %q", m.Placement)
+	}
+	if m.Shards < 1 || len(m.Files) != m.Shards {
+		return fmt.Errorf("%d files for %d shards", len(m.Files), m.Shards)
+	}
+	if m.Dimension < 2 {
+		return fmt.Errorf("implausible dimension %d", m.Dimension)
+	}
+	total := 0
+	for i, f := range m.Files {
+		if f.Shard != i {
+			return fmt.Errorf("file %d is labeled shard %d (files must be in shard order)", i, f.Shard)
+		}
+		if f.Path == "" {
+			return fmt.Errorf("shard %d has no snapshot path", i)
+		}
+		if f.N < 2 {
+			return fmt.Errorf("shard %d claims %d points", i, f.N)
+		}
+		total += f.N
+	}
+	if total != m.N {
+		return fmt.Errorf("shard sizes sum to %d, header says %d", total, m.N)
+	}
+	return nil
+}
+
+// ShardPath resolves shard s's snapshot path against the manifest's
+// directory.
+func (m *Manifest) ShardPath(manifestPath string, s int) string {
+	p := m.Files[s].Path
+	if filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(filepath.Dir(manifestPath), p)
+}

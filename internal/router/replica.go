@@ -1,0 +1,294 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Replica health states. The state machine (DESIGN.md §6.2):
+//
+//	Healthy --EvictAfter consecutive failures--> Evicted(backoff = base)
+//	Evicted --backoff expires--> probe-eligible
+//	probe-eligible --probe/request succeeds--> Healthy (backoff reset)
+//	probe-eligible --probe fails--> Evicted(backoff = min(2·backoff, max))
+//
+// Failures are counted from both the request path (transport errors,
+// 5xx, attempt timeouts, losing a hedge) and the background /healthz
+// prober; successes from either path readmit immediately — but only a
+// request-path success clears the consecutive-failure streak. A probe
+// success leaves the streak, so a replica that answers probes while
+// failing queries re-evicts on its next request failure rather than
+// having its eviction pressure zeroed every probe interval. 4xx answers
+// are the request's fault, not the replica's, and never count.
+const (
+	StateHealthy = "healthy"
+	StateEvicted = "evicted"
+)
+
+// replica is one backend server of a shard's replica set.
+type replica struct {
+	url string
+
+	mu        sync.Mutex
+	evicted   bool
+	probing   bool          // one health probe in flight
+	fails     int           // consecutive failures
+	backoff   time.Duration // current eviction backoff (0 when healthy)
+	retryAt   time.Time     // evicted: earliest next probe/last-resort use
+	evictions int64
+	lastErr   string // most recent probe failure reason ("" when healthy)
+}
+
+// reportSuccess records a *request-path* success: readmission plus a
+// full reset of the failure streak and backoff.
+func (r *replica) reportSuccess() {
+	r.mu.Lock()
+	r.evicted = false
+	r.fails = 0
+	r.backoff = 0
+	r.lastErr = ""
+	r.mu.Unlock()
+}
+
+// probeSuccess records a successful health probe: it readmits an
+// evicted replica but deliberately leaves the request-path failure
+// streak in place. A replica that answers /healthz while failing (or
+// hanging on) queries must not have its eviction pressure zeroed every
+// ProbeInterval — with the streak preserved, such a replica re-evicts
+// after a single further request failure instead of oscillating in
+// rotation forever.
+func (r *replica) probeSuccess() {
+	r.mu.Lock()
+	r.evicted = false
+	r.backoff = 0
+	r.lastErr = ""
+	r.mu.Unlock()
+}
+
+// setLastErr records why the most recent probe rejected the replica
+// (unreachable, unhealthy status, or a manifest mismatch), for /statsz.
+func (r *replica) setLastErr(reason string) {
+	r.mu.Lock()
+	r.lastErr = reason
+	r.mu.Unlock()
+}
+
+// reportFailure counts one failure; crossing evictAfter evicts the
+// replica, and failing while evicted doubles the backoff up to max.
+func (r *replica) reportFailure(evictAfter int, base, max time.Duration) {
+	now := time.Now()
+	r.mu.Lock()
+	r.fails++
+	switch {
+	case !r.evicted && r.fails >= evictAfter:
+		r.evicted = true
+		r.evictions++
+		r.backoff = base
+		r.retryAt = now.Add(base)
+	case r.evicted:
+		r.backoff *= 2
+		if r.backoff > max {
+			r.backoff = max
+		}
+		r.retryAt = now.Add(r.backoff)
+	}
+	r.mu.Unlock()
+}
+
+// healthy reports whether the replica is in the Healthy state.
+func (r *replica) healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.evicted
+}
+
+// probeEligible reports whether the replica may receive traffic or a
+// probe now: always when healthy, and after the backoff expires when
+// evicted.
+func (r *replica) probeEligible(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.evicted || !now.Before(r.retryAt)
+}
+
+// beginProbe claims the replica's single in-flight probe slot if it is
+// probe-eligible. At most one probe runs per replica at a time: with
+// ProbeTimeout > ProbeInterval, overlapping probes of one dead replica
+// would otherwise report several failures — and double the backoff more
+// than once — per logical readmission attempt. endProbe releases the
+// slot.
+func (r *replica) beginProbe(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.probing || (r.evicted && now.Before(r.retryAt)) {
+		return false
+	}
+	r.probing = true
+	return true
+}
+
+func (r *replica) endProbe() {
+	r.mu.Lock()
+	r.probing = false
+	r.mu.Unlock()
+}
+
+// snapshot returns the replica's state for /statsz.
+func (r *replica) snapshot() ReplicaStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := StateHealthy
+	if r.evicted {
+		st = StateEvicted
+	}
+	return ReplicaStats{
+		URL:       r.url,
+		State:     st,
+		Fails:     r.fails,
+		Evictions: r.evictions,
+		BackoffMS: r.backoff.Milliseconds(),
+		LastError: r.lastErr,
+	}
+}
+
+// shard is one shard position: its replica set, counters, and the
+// latency window that drives the hedge delay.
+type shard struct {
+	pos      int
+	replicas []*replica
+	rr       atomic.Uint64 // round-robin cursor over healthy replicas
+
+	requests  atomic.Int64
+	errors    atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	failovers atomic.Int64
+
+	lat *latWindow
+}
+
+// pick selects a replica for the next attempt, skipping any in tried.
+// Preference order: healthy replicas (round-robin), then evicted ones
+// whose backoff expired (a readmission chance), then — only when
+// desperate — any untried replica, because with no result yet a
+// desperate attempt beats a guaranteed failure. Primary selection and
+// failover are desperate; hedging is not (a hedge aimed at a replica
+// known to be evicted and still in backoff can never rescue latency —
+// it only inflates the hedge counters and, by failing, re-extends the
+// dead replica's backoff under the prober's feet). Returns nil when no
+// acceptable replica remains.
+func (sh *shard) pick(tried []*replica, desperate bool) *replica {
+	isTried := func(r *replica) bool {
+		for _, t := range tried {
+			if t == r {
+				return true
+			}
+		}
+		return false
+	}
+	n := len(sh.replicas)
+	start := int(sh.rr.Add(1) - 1)
+	var expired, any *replica
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		r := sh.replicas[(start+i)%n]
+		if isTried(r) {
+			continue
+		}
+		if r.healthy() {
+			return r
+		}
+		if expired == nil && r.probeEligible(now) {
+			expired = r
+		}
+		if any == nil {
+			any = r
+		}
+	}
+	if expired != nil {
+		return expired
+	}
+	if desperate {
+		return any
+	}
+	return nil
+}
+
+// latWindow is a bounded ring of recent request latencies (milliseconds)
+// with on-demand quantiles. It also caches the configured hedge-delay
+// quantile, refreshed every refreshEvery records, so the request path
+// reads the hedge delay with one atomic load.
+type latWindow struct {
+	q float64 // hedge quantile this window caches
+
+	mu      sync.Mutex
+	buf     []float64
+	next    int
+	count   int   // samples currently in the window (saturates at len(buf))
+	total   int64 // samples ever recorded (drives the cache refresh cadence)
+	scratch []float64
+
+	cachedNanos atomic.Int64 // cached q-quantile as duration nanos; 0 = cold
+}
+
+const latWindowSize = 512
+const refreshEvery = 32
+
+func newLatWindow(q float64) *latWindow {
+	return &latWindow{q: q, buf: make([]float64, latWindowSize)}
+}
+
+// record adds one successful request's latency.
+func (w *latWindow) record(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1000
+	w.mu.Lock()
+	w.buf[w.next] = ms
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+	w.total++
+	// total, not the saturating count: once the ring fills, count stays
+	// at len(buf) and a count-based test would refresh (copy + sort)
+	// on every record of the steady state.
+	refresh := w.total%refreshEvery == 0
+	w.mu.Unlock()
+	if refresh {
+		q := w.quantiles(w.q)
+		w.cachedNanos.Store(int64(q[0] * float64(time.Millisecond)))
+	}
+}
+
+// hedgeDelay returns the cached hedge-delay quantile, or 0 while the
+// window is cold (caller falls back to the configured cold delay).
+func (w *latWindow) hedgeDelay() time.Duration {
+	return time.Duration(w.cachedNanos.Load())
+}
+
+// quantiles computes the requested quantiles over the current window
+// (nearest-rank on a sorted copy). Returns zeros while empty.
+func (w *latWindow) quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.count == 0 {
+		return out
+	}
+	if cap(w.scratch) < w.count {
+		w.scratch = make([]float64, w.count)
+	}
+	s := w.scratch[:w.count]
+	if w.count < len(w.buf) {
+		copy(s, w.buf[:w.count])
+	} else {
+		copy(s, w.buf)
+	}
+	sort.Float64s(s)
+	for i, q := range qs {
+		idx := int(q * float64(len(s)-1))
+		out[i] = s[idx]
+	}
+	return out
+}

@@ -1,0 +1,919 @@
+// Package router is the multi-node serving tier: a coordinator that
+// serves the same /v1/query, /v1/batch, /v1/near API as internal/server
+// by scatter-gathering over N remote annsd shard servers, each holding
+// one shard of the logical index (produced by `annsctl shard-split`).
+//
+// Per-shard answers are folded with anns.MergeShardReplies — the exact
+// fold anns.ShardedIndex uses in-process (rounds = max over shards,
+// probes and max_parallel = sum) — so distributed answers are
+// byte-identical to a single-process server over the same corpus.
+//
+// Each shard position maps to a replica set with health-probe-driven
+// membership (periodic /healthz polling, consecutive-failure eviction
+// with exponential backoff, probe-driven readmission), per-shard hedged
+// requests after a latency quantile, bounded in-flight admission, and
+// /statsz rollups (per-shard p50/p95/p99, hedge rate, replica state).
+// See README.md and DESIGN.md §6.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/anns"
+	"repro/internal/server"
+)
+
+// Config tunes the router. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// Dimension is the Hamming dimension every shard serves. Required.
+	Dimension int
+	// N is the logical database size (for /healthz; from the manifest).
+	N int
+	// Replicas lists each shard position's replica base URLs
+	// (e.g. "http://10.0.0.3:7080"), in shard order. Required.
+	Replicas [][]string
+	// ShardSizes and ShardSeeds are each shard's expected point count
+	// and derived build seed from the placement manifest. When set (len
+	// must equal len(Replicas)), the health prober cross-checks every
+	// replica's /healthz report against them and treats a mismatch as
+	// unhealthy — a replica booted from the wrong shard's snapshot (or a
+	// swapped -shard flag) is evicted with a "misrouted" reason instead
+	// of silently returning answers that merge into wrong results.
+	ShardSizes []int
+	ShardSeeds []uint64
+
+	// MaxInFlight bounds concurrently admitted requests; overflow is
+	// rejected with 503. Default 512.
+	MaxInFlight int
+	// MaxBatch caps len(points) of one /v1/batch request. Default 4096.
+	MaxBatch int
+	// DefaultTimeout is the end-to-end deadline when the request does not
+	// set timeout_ms. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. Default 30s.
+	MaxTimeout time.Duration
+	// RequestTimeout floors the per-attempt deadline against one replica.
+	// An attempt may use up to half the request's remaining end-to-end
+	// budget when that is larger (a legitimately slow request — a large
+	// batch under a generous timeout_ms — must be able to finish while
+	// still leaving failover headroom), and never more than the full
+	// remaining budget. Sitting below the 2s default end-to-end deadline
+	// is what lets an attempt against a query-hanging replica time out,
+	// count against its health, and fail over. Default 1s.
+	RequestTimeout time.Duration
+
+	// HedgeQuantile is the latency quantile of a shard's recent window
+	// after which a hedged request goes to a second replica. Default 0.95.
+	HedgeQuantile float64
+	// HedgeCold is the hedge delay while a shard's window is cold.
+	// Default 50ms.
+	HedgeCold time.Duration
+	// HedgeMin floors the hedge delay so a fast shard does not hedge
+	// every request on scheduling jitter. Default 1ms.
+	HedgeMin time.Duration
+
+	// ProbeInterval is the health-poll period. Default 500ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe. Default 1s.
+	ProbeTimeout time.Duration
+	// EvictAfter is the consecutive-failure count that evicts a replica.
+	// Default 2.
+	EvictAfter int
+	// BackoffBase/BackoffMax bound the eviction backoff (doubles on every
+	// failed readmission probe). Defaults 500ms / 8s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Client overrides the HTTP client (tests). Default: pooled transport.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 512
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeCold <= 0 {
+		c.HedgeCold = 50 * time.Millisecond
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 500 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 8 * time.Second
+	}
+	return c
+}
+
+// metrics is the router's merged-query counter block (same accounting as
+// internal/server's, over merged logical answers).
+type metrics struct {
+	queries, near, batches atomic.Int64
+	errors, rejected       atomic.Int64
+	deadline               atomic.Int64
+	probes, rounds         atomic.Int64
+	maxRounds, maxParallel atomic.Int64
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (m *metrics) record(res anns.Result, failed bool) {
+	m.probes.Add(int64(res.Probes))
+	m.rounds.Add(int64(res.Rounds))
+	atomicMax(&m.maxRounds, int64(res.Rounds))
+	atomicMax(&m.maxParallel, int64(res.MaxParallel))
+	if failed {
+		m.errors.Add(1)
+	}
+}
+
+// Router is the shard-scatter coordinator. Construct with New, expose
+// with Handler or ListenAndServe, stop with Close.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	shards []*shard
+	global func(shard, local int) int
+	mux    *http.ServeMux
+	sem    chan struct{}
+	quit   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+	start  time.Time
+	m      metrics
+
+	httpMu sync.Mutex
+	httpS  *http.Server
+}
+
+// New builds a Router over cfg.Replicas and starts the health prober.
+// The local→global answer translation follows the round-robin placement
+// of BuildSharded / shard-split.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dimension < 2 {
+		return nil, errors.New("router: Config.Dimension must be at least 2")
+	}
+	if len(cfg.Replicas) < 1 {
+		return nil, errors.New("router: need at least 1 shard")
+	}
+	if cfg.ShardSizes != nil && len(cfg.ShardSizes) != len(cfg.Replicas) {
+		return nil, fmt.Errorf("router: %d shard sizes for %d shards", len(cfg.ShardSizes), len(cfg.Replicas))
+	}
+	if cfg.ShardSeeds != nil && len(cfg.ShardSeeds) != len(cfg.Replicas) {
+		return nil, fmt.Errorf("router: %d shard seeds for %d shards", len(cfg.ShardSeeds), len(cfg.Replicas))
+	}
+	rt := &Router{
+		cfg:    cfg,
+		client: cfg.Client,
+		shards: make([]*shard, len(cfg.Replicas)),
+		global: anns.RoundRobinGlobal(len(cfg.Replicas)),
+		mux:    http.NewServeMux(),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4 * cfg.MaxInFlight,
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+		}}
+	}
+	for s, urls := range cfg.Replicas {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", s)
+		}
+		sh := &shard{pos: s, lat: newLatWindow(cfg.HedgeQuantile)}
+		for _, u := range urls {
+			sh.replicas = append(sh.replicas, &replica{url: u})
+		}
+		rt.shards[s] = sh
+	}
+	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("POST /v1/near", rt.handleNear)
+	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
+	// One synchronous sweep before serving: without it, every replica
+	// starts healthy and a misrouted one (swapped -shard flag) would
+	// merge wrong answers until the ticker's first firing. Replicas that
+	// are merely not up yet survive the sweep (one transport failure is
+	// below EvictAfter); manifest mismatches evict immediately.
+	rt.probeSweep(time.Now())
+	go rt.prober()
+	return rt, nil
+}
+
+// Handler returns the HTTP handler (for httptest and custom servers).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// ListenAndServe serves on addr until Close or a listener error.
+func (rt *Router) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: rt.mux}
+	rt.httpMu.Lock()
+	rt.httpS = hs
+	rt.httpMu.Unlock()
+	err := hs.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully drains the HTTP listener, then stops the prober.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.httpMu.Lock()
+	hs := rt.httpS
+	rt.httpMu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	rt.Close()
+	return err
+}
+
+// Close stops the health prober. Safe to call more than once.
+func (rt *Router) Close() {
+	rt.once.Do(func() { close(rt.quit) })
+	<-rt.done
+}
+
+// ---- health probing ----
+
+func (rt *Router) prober() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.quit:
+			return
+		case <-t.C:
+			rt.probeSweep(time.Now())
+		}
+	}
+}
+
+// probeSweep launches one probe per eligible replica. Probes run
+// concurrently so one dead host cannot stall the sweep past the next
+// tick; beginProbe guarantees at most one probe per replica in flight.
+func (rt *Router) probeSweep(now time.Time) {
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		for _, rep := range sh.replicas {
+			if rep.beginProbe(now) {
+				wg.Add(1)
+				go func(rep *replica, pos int) {
+					defer wg.Done()
+					rt.probe(rep, pos)
+				}(rep, sh.pos)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// probe polls one replica's /healthz and validates the report against
+// the placement manifest: a reachable replica that serves the wrong
+// dimension, the wrong point count, or — decisive for same-size shards —
+// the wrong derived seed is a *misrouted* replica whose answers would
+// merge into silently wrong results. Transport failures count toward the
+// usual EvictAfter threshold; a manifest mismatch is a deterministic
+// configuration error and evicts immediately.
+func (rt *Router) probe(rep *replica, shardPos int) {
+	defer rep.endProbe()
+	reason, mismatch, err := rt.checkHealth(rep, shardPos)
+	if err != nil {
+		reason = err.Error()
+	}
+	if reason == "" {
+		rep.probeSuccess()
+		return
+	}
+	rep.setLastErr(reason)
+	evictAfter := rt.cfg.EvictAfter
+	if mismatch {
+		evictAfter = 1
+	}
+	rep.reportFailure(evictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+}
+
+// checkHealth fetches and validates one /healthz report. It returns a
+// non-empty reason for unhealthy-but-reachable replicas (mismatch marks
+// a deterministic manifest violation) and an error for transport
+// failures.
+func (rt *Router) checkHealth(rep *replica, shardPos int) (reason string, mismatch bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/healthz", nil)
+	if err != nil {
+		return "", false, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return "", false, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if err != nil {
+		return "", false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Sprintf("healthz answered %d", resp.StatusCode), false, nil
+	}
+	var h server.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return fmt.Sprintf("bad healthz body: %v", err), false, nil
+	}
+	if h.Dim != rt.cfg.Dimension {
+		return fmt.Sprintf("serves dimension %d, cluster dimension is %d", h.Dim, rt.cfg.Dimension), true, nil
+	}
+	if rt.cfg.ShardSizes != nil && h.N != rt.cfg.ShardSizes[shardPos] {
+		return fmt.Sprintf("misrouted: serves n=%d, shard %d's snapshot holds n=%d",
+			h.N, shardPos, rt.cfg.ShardSizes[shardPos]), true, nil
+	}
+	if rt.cfg.ShardSeeds != nil && h.Seed != 0 && h.Seed != rt.cfg.ShardSeeds[shardPos] {
+		return fmt.Sprintf("misrouted: serves seed %d, shard %d built with seed %d",
+			h.Seed, shardPos, rt.cfg.ShardSeeds[shardPos]), true, nil
+	}
+	return "", false, nil
+}
+
+// ---- one shard request with failover + hedging ----
+
+var errNoReplica = errors.New("router: no replica available")
+
+// httpError is a non-200 answer from a replica. 5xx counts against the
+// replica's health and triggers failover; 4xx means the router's own
+// request is bad and fails fast (every replica would reject it the same
+// way).
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("replica answered %d: %s", e.status, e.body)
+}
+
+type attemptResult struct {
+	body    []byte
+	err     error
+	rep     *replica
+	hedge   bool
+	latency time.Duration
+}
+
+// shardDo runs one request against shard sh: a primary attempt on the
+// picked replica, a hedged second attempt on a different replica once
+// the shard's latency-quantile delay expires, and failover to untried
+// replicas on failure. First success wins. Attempts are bounded by the
+// replica-set size.
+func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []byte) ([]byte, error) {
+	sh.requests.Add(1)
+	primary := sh.pick(nil, true)
+	if primary == nil {
+		sh.errors.Add(1)
+		return nil, errNoReplica
+	}
+	// All attempts run under a derived context so the losing side of a
+	// hedge (or a straggler behind a failover) is torn down as soon as a
+	// winner lands, instead of burning a second replica's time on an
+	// answer nobody will read.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	tried := []*replica{primary}
+	resc := make(chan attemptResult, len(sh.replicas)+1)
+	launch := func(rep *replica, hedge bool) {
+		go func() {
+			t0 := time.Now()
+			b, err := rt.post(ctx, rep.url+path, body)
+			resc <- attemptResult{body: b, err: err, rep: rep, hedge: hedge, latency: time.Since(t0)}
+		}()
+	}
+	launch(primary, false)
+	inflight := 1
+
+	delay := sh.lat.hedgeDelay()
+	if delay <= 0 {
+		delay = rt.cfg.HedgeCold
+	}
+	if delay < rt.cfg.HedgeMin {
+		delay = rt.cfg.HedgeMin
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+
+	var lastErr error
+	primaryDone := false
+	for {
+		select {
+		case <-ctx.Done():
+			sh.errors.Add(1)
+			return nil, ctx.Err()
+		case <-timerC:
+			timerC = nil
+			if rep := sh.pick(tried, false); rep != nil {
+				tried = append(tried, rep)
+				sh.hedges.Add(1)
+				launch(rep, true)
+				inflight++
+			}
+		case res := <-resc:
+			inflight--
+			if res.rep == primary {
+				primaryDone = true
+			}
+			if res.err == nil {
+				// The primary losing to an attempt that started a full
+				// hedge delay later is the gray-failure signal: a replica
+				// that hangs on queries but answers health probes would
+				// otherwise never accrue eviction pressure (its abandoned
+				// attempt is canceled, not reported). Jitter is safe: one
+				// success resets the consecutive-failure count.
+				if !primaryDone {
+					primary.reportFailure(rt.cfg.EvictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+				}
+				res.rep.reportSuccess()
+				sh.lat.record(res.latency)
+				if res.hedge {
+					sh.hedgeWins.Add(1)
+				}
+				return res.body, nil
+			}
+			lastErr = res.err
+			var he *httpError
+			if errors.As(res.err, &he) && he.status < 500 {
+				sh.errors.Add(1)
+				return nil, res.err
+			}
+			res.rep.reportFailure(rt.cfg.EvictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+			if next := sh.pick(tried, true); next != nil {
+				tried = append(tried, next)
+				sh.failovers.Add(1)
+				launch(next, false)
+				inflight++
+			} else if inflight == 0 {
+				sh.errors.Add(1)
+				return nil, lastErr
+			}
+		}
+	}
+}
+
+// attemptTimeout resolves one attempt's deadline: RequestTimeout as the
+// floor, up to half the remaining end-to-end budget (so one slow replica
+// cannot consume the whole budget and leave failover nothing), capped by
+// the remaining budget itself.
+func (rt *Router) attemptTimeout(ctx context.Context) time.Duration {
+	d := rt.cfg.RequestTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if half := remaining / 2; half > d {
+			d = half
+		}
+		if remaining < d {
+			d = remaining
+		}
+	}
+	return d
+}
+
+// post runs one attempt against one replica URL under the per-attempt
+// timeout, returning the 200 body or an error.
+func (rt *Router) post(ctx context.Context, url string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.attemptTimeout(ctx))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(b)
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, &httpError{status: resp.StatusCode, body: msg}
+	}
+	return b, nil
+}
+
+// ---- scatter-gather ----
+
+// fromWire converts a shard's wire answer back into the anns accounting.
+func fromWire(qr server.QueryResponse) anns.Result {
+	return anns.Result{
+		Index:       qr.Index,
+		Distance:    qr.Distance,
+		Rounds:      qr.Rounds,
+		Probes:      qr.Probes,
+		MaxParallel: qr.MaxParallel,
+	}
+}
+
+func toWire(res anns.Result, errMsg string) server.QueryResponse {
+	return server.QueryResponse{
+		Index:       res.Index,
+		Distance:    res.Distance,
+		Rounds:      res.Rounds,
+		Probes:      res.Probes,
+		MaxParallel: res.MaxParallel,
+		Error:       errMsg,
+	}
+}
+
+// scatterOne fans one raw /v1/query or /v1/near body out to every shard
+// and merges. near selects the λ-decision OK semantics (YES answers
+// only). answered reports whether at least one shard produced an answer
+// (for near, a NO from a shard counts as answered).
+func (rt *Router) scatterOne(ctx context.Context, path string, body []byte, near bool) (merged anns.Result, answered bool) {
+	replies := make([]anns.ShardReply, len(rt.shards))
+	wireOK := make([]bool, len(rt.shards)) // shard answered at all (Error == "")
+	var wg sync.WaitGroup
+	for s := range rt.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			raw, err := rt.shardDo(ctx, rt.shards[s], path, body)
+			if err != nil {
+				return // transport-level failure: no accounting, not OK
+			}
+			var qr server.QueryResponse
+			if err := json.Unmarshal(raw, &qr); err != nil {
+				return
+			}
+			res := fromWire(qr)
+			wireOK[s] = qr.Error == ""
+			ok := qr.Error == ""
+			if near {
+				ok = ok && qr.Index >= 0 // YES answers carry the witness
+			}
+			replies[s] = anns.ShardReply{Result: res, OK: ok}
+		}(s)
+	}
+	wg.Wait()
+	merged = anns.MergeShardReplies(replies, rt.global)
+	for _, ok := range wireOK {
+		if ok {
+			answered = true
+			break
+		}
+	}
+	return merged, answered
+}
+
+// ---- HTTP handlers ----
+
+// writeJSON and the body/deadline limits are internal/server's own
+// (WriteJSON, MaxBodyBytes, ClampTimeout), so the two tiers cannot
+// drift apart on schema, caps, or clamp semantics.
+var writeJSON = server.WriteJSON
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, server.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return nil, false
+	}
+	return body, true
+}
+
+// admit reserves one in-flight slot, or writes the 503 and reports false.
+func (rt *Router) admit(w http.ResponseWriter) bool {
+	select {
+	case rt.sem <- struct{}{}:
+		return true
+	default:
+		rt.m.rejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, server.ErrorResponse{Error: "router at max in-flight"})
+		return false
+	}
+}
+
+func (rt *Router) release() { <-rt.sem }
+
+// timeout resolves the end-to-end deadline from the optional timeout_ms.
+func (rt *Router) timeout(ms int) time.Duration {
+	return server.ClampTimeout(ms, rt.cfg.DefaultTimeout, rt.cfg.MaxTimeout)
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.QueryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if _, err := server.DecodePoint(req.Point, rt.cfg.Dimension); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	if !rt.admit(w) {
+		return
+	}
+	defer rt.release()
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout(req.TimeoutMS))
+	defer cancel()
+	// The shard request body is the router request body: both ends speak
+	// internal/server's wire schema, so the point is forwarded verbatim.
+	merged, _ := rt.scatterOne(ctx, "/v1/query", body, false)
+	if rt.deadlineExpired(w, ctx) {
+		return
+	}
+	rt.m.queries.Add(1)
+	failed := merged.Index < 0
+	rt.m.record(merged, failed)
+	msg := ""
+	if failed {
+		msg = "router: query failed on every shard"
+	}
+	writeJSON(w, http.StatusOK, toWire(merged, msg))
+}
+
+// deadlineExpired mirrors internal/server's admit path: a request whose
+// end-to-end deadline passed gets 504, not a 200 with an error body, so
+// clients and load balancers see identical status semantics from both
+// tiers.
+func (rt *Router) deadlineExpired(w http.ResponseWriter, ctx context.Context) bool {
+	if err := ctx.Err(); err != nil {
+		rt.m.deadline.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, server.ErrorResponse{Error: err.Error()})
+		return true
+	}
+	return false
+}
+
+func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.NearRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.Lambda <= 0 {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: "lambda must be positive"})
+		return
+	}
+	if _, err := server.DecodePoint(req.Point, rt.cfg.Dimension); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	if !rt.admit(w) {
+		return
+	}
+	defer rt.release()
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout(req.TimeoutMS))
+	defer cancel()
+	merged, answered := rt.scatterOne(ctx, "/v1/near", body, true)
+	if rt.deadlineExpired(w, ctx) {
+		return
+	}
+	rt.m.near.Add(1)
+	// Mirror ShardedIndex.QueryNear: NO is an answer (all shards answered
+	// NO), an error is not (no shard answered at all).
+	failed := merged.Index < 0 && !answered
+	rt.m.record(merged, failed)
+	msg := ""
+	if failed {
+		msg = "router: near query failed on every shard"
+	}
+	writeJSON(w, http.StatusOK, toWire(merged, msg))
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Points) == 0 {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: "empty points"})
+		return
+	}
+	if len(req.Points) > rt.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			server.ErrorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Points), rt.cfg.MaxBatch)})
+		return
+	}
+	for i, enc := range req.Points {
+		if _, err := server.DecodePoint(enc, rt.cfg.Dimension); err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				server.ErrorResponse{Error: fmt.Sprintf("point %d: %v", i, err)})
+			return
+		}
+	}
+	if !rt.admit(w) {
+		return
+	}
+	defer rt.release()
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout(req.TimeoutMS))
+	defer cancel()
+
+	// One batch request per shard (the whole batch is each shard's
+	// fan-out unit), merged point-wise afterwards.
+	shardResults := make([][]server.QueryResponse, len(rt.shards))
+	var wg sync.WaitGroup
+	for s := range rt.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			raw, err := rt.shardDo(ctx, rt.shards[s], "/v1/batch", body)
+			if err != nil {
+				return
+			}
+			var br server.BatchResponse
+			if err := json.Unmarshal(raw, &br); err != nil || len(br.Results) != len(req.Points) {
+				return
+			}
+			shardResults[s] = br.Results
+		}(s)
+	}
+	wg.Wait()
+	if rt.deadlineExpired(w, ctx) {
+		return
+	}
+
+	rt.m.batches.Add(1)
+	resp := server.BatchResponse{Results: make([]server.QueryResponse, len(req.Points))}
+	replies := make([]anns.ShardReply, len(rt.shards))
+	for i := range req.Points {
+		shed := false
+		for s := range rt.shards {
+			replies[s] = anns.ShardReply{}
+			if rs := shardResults[s]; rs != nil {
+				qr := rs[i]
+				replies[s] = anns.ShardReply{Result: fromWire(qr), OK: qr.Error == ""}
+				if isCancelMsg(qr.Error) {
+					shed = true
+				}
+			}
+		}
+		merged := anns.MergeShardReplies(replies, rt.global)
+		failed := merged.Index < 0
+		// Mirror internal/server's batch accounting: slots a shard's
+		// deadline cancelled before dispatch were shed, not executed —
+		// charging them to errors would corrupt error_rate (the scheme's
+		// failure probability, not load shedding).
+		if failed && shed {
+			resp.Results[i] = toWire(merged, "router: query shed by shard deadline")
+			continue
+		}
+		rt.m.queries.Add(1)
+		rt.m.record(merged, failed)
+		msg := ""
+		if failed {
+			msg = "router: query failed on every shard"
+		}
+		resp.Results[i] = toWire(merged, msg)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// isCancelMsg recognizes a shard slot whose error is context
+// cancellation (load shedding), which travels as text over the wire.
+func isCancelMsg(msg string) bool {
+	if msg == "" {
+		return false
+	}
+	return strings.Contains(msg, context.Canceled.Error()) ||
+		strings.Contains(msg, context.DeadlineExceeded.Error())
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, server.Health{
+		Status:   "ok",
+		N:        rt.cfg.N,
+		Shards:   len(rt.shards),
+		Dim:      rt.cfg.Dimension,
+		UptimeMS: time.Since(rt.start).Milliseconds(),
+	})
+}
+
+// Stats returns the current rollup (also served at /statsz).
+func (rt *Router) Stats() Stats {
+	up := time.Since(rt.start)
+	out := Stats{
+		UptimeMS:         up.Milliseconds(),
+		Queries:          rt.m.queries.Load(),
+		Near:             rt.m.near.Load(),
+		Batches:          rt.m.batches.Load(),
+		Errors:           rt.m.errors.Load(),
+		Rejected:         rt.m.rejected.Load(),
+		DeadlineExceeded: rt.m.deadline.Load(),
+		Probes:           rt.m.probes.Load(),
+		Rounds:           rt.m.rounds.Load(),
+		MaxRounds:        rt.m.maxRounds.Load(),
+		MaxParallel:      rt.m.maxParallel.Load(),
+		InFlight:         len(rt.sem),
+	}
+	if sec := up.Seconds(); sec > 0 {
+		out.QPS = float64(out.Queries+out.Near) / sec
+	}
+	if total := out.Queries + out.Near; total > 0 {
+		out.ErrorRate = float64(out.Errors) / float64(total)
+	}
+	var shardReqs int64
+	for _, sh := range rt.shards {
+		qs := sh.lat.quantiles(0.50, 0.95, 0.99)
+		ss := ShardStats{
+			Shard:        sh.pos,
+			Replicas:     len(sh.replicas),
+			Requests:     sh.requests.Load(),
+			Errors:       sh.errors.Load(),
+			Hedges:       sh.hedges.Load(),
+			HedgeWins:    sh.hedgeWins.Load(),
+			Failovers:    sh.failovers.Load(),
+			P50MS:        qs[0],
+			P95MS:        qs[1],
+			P99MS:        qs[2],
+			HedgeDelayMS: float64(sh.lat.hedgeDelay().Microseconds()) / 1000,
+		}
+		for _, rep := range sh.replicas {
+			rs := rep.snapshot()
+			if rs.State == StateHealthy {
+				ss.Healthy++
+			}
+			ss.ReplicaStats = append(ss.ReplicaStats, rs)
+		}
+		out.Hedges += ss.Hedges
+		out.HedgeWins += ss.HedgeWins
+		out.Failovers += ss.Failovers
+		shardReqs += ss.Requests
+		out.ShardStats = append(out.ShardStats, ss)
+	}
+	if shardReqs > 0 {
+		out.HedgeRate = float64(out.Hedges) / float64(shardReqs)
+	}
+	return out
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}

@@ -1,0 +1,63 @@
+package router
+
+// Stats is the router's /statsz body. The merged-query counters share
+// field names with internal/server's StatsSnapshot (queries, errors,
+// probes, qps, …) so dashboards and cmd/annsload read one schema; the
+// router adds the distribution-layer rollups: hedging, failover,
+// admission, and per-shard/per-replica state.
+type Stats struct {
+	UptimeMS         int64   `json:"uptime_ms"`
+	Queries          int64   `json:"queries"`
+	Near             int64   `json:"near"`
+	Batches          int64   `json:"batches"`
+	Errors           int64   `json:"errors"`
+	Rejected         int64   `json:"rejected"`
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+	Probes           int64   `json:"probes"`
+	Rounds           int64   `json:"rounds"`
+	MaxRounds        int64   `json:"max_rounds"`
+	MaxParallel      int64   `json:"max_parallel"`
+	QPS              float64 `json:"qps"`
+	ErrorRate        float64 `json:"error_rate"`
+
+	InFlight  int     `json:"in_flight"`
+	Hedges    int64   `json:"hedges"`
+	HedgeWins int64   `json:"hedge_wins"`
+	HedgeRate float64 `json:"hedge_rate"` // hedges / shard requests
+	Failovers int64   `json:"failovers"`
+
+	ShardStats []ShardStats `json:"shard_stats"`
+}
+
+// ShardStats is one shard position's rollup: request counters, hedge
+// accounting, and latency quantiles over the recent window.
+type ShardStats struct {
+	Shard     int     `json:"shard"`
+	Replicas  int     `json:"replicas"`
+	Healthy   int     `json:"healthy"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Hedges    int64   `json:"hedges"`
+	HedgeWins int64   `json:"hedge_wins"`
+	Failovers int64   `json:"failovers"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	// HedgeDelayMS is the delay the next hedged request would wait
+	// (0 while the latency window is cold).
+	HedgeDelayMS float64 `json:"hedge_delay_ms"`
+
+	ReplicaStats []ReplicaStats `json:"replica_stats"`
+}
+
+// ReplicaStats is one replica's health-state snapshot. LastError is the
+// most recent probe rejection reason — "misrouted: …" identifies a
+// replica serving the wrong shard's snapshot.
+type ReplicaStats struct {
+	URL       string `json:"url"`
+	State     string `json:"state"`
+	Fails     int    `json:"fails"`
+	Evictions int64  `json:"evictions"`
+	BackoffMS int64  `json:"backoff_ms"`
+	LastError string `json:"last_error,omitempty"`
+}

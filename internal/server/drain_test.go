@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/anns"
+)
+
+// rawQuery posts one query without test-fatal plumbing (safe to call
+// from helper goroutines).
+func rawQuery(baseURL string, x anns.Point) (int, error) {
+	body, err := json.Marshal(QueryRequest{Point: EncodePoint(x)})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(baseURL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// TestCloseDrainsAdmissionQueue pins the graceful-shutdown contract:
+// every task admitted before Close executes; none is orphaned to resolve
+// via its deadline. (That orphaning is what made SIGTERM teardown in the
+// CI smoke timing-dependent.)
+func TestCloseDrainsAdmissionQueue(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 64})
+
+	// Stall the single worker so tasks pile up behind it, then queue a
+	// burst directly (the handlers' admit path wraps the same channel).
+	release := make(chan struct{})
+	gate := &task{ctx: context.Background(), done: make(chan struct{}),
+		run: func(*anns.Scratch) { <-release }}
+	s.queue <- gate
+
+	const burst = 16
+	var ran atomic.Int64
+	tasks := make([]*task, burst)
+	for i := range tasks {
+		tasks[i] = &task{ctx: context.Background(), done: make(chan struct{}),
+			run: func(*anns.Scratch) { ran.Add(1) }}
+		s.queue <- tasks[i]
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close() // blocks until the pool drains and exits
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a task was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return after the worker unblocked")
+	}
+
+	if got := ran.Load(); got != burst {
+		t.Fatalf("%d of %d queued tasks ran after Close", got, burst)
+	}
+	for i, tk := range tasks {
+		select {
+		case <-tk.done:
+			if !tk.ran {
+				t.Errorf("task %d drained but not marked ran", i)
+			}
+		default:
+			t.Errorf("task %d never completed", i)
+		}
+	}
+}
+
+// TestShutdownAnswersInFlight drives a real request that is mid-queue
+// when Shutdown starts and requires it to be answered, not cut off.
+func TestShutdownAnswersInFlight(t *testing.T) {
+	s, ts, inst := newTestServer(t, Config{Workers: 1, QueueDepth: 64})
+
+	release := make(chan struct{})
+	gate := &task{ctx: context.Background(), done: make(chan struct{}),
+		run: func(*anns.Scratch) { <-release }}
+	s.queue <- gate
+
+	type answer struct {
+		code int
+		err  error
+	}
+	got := make(chan answer, 1)
+	go func() {
+		code, err := rawQuery(ts.URL, inst.Queries[0].X)
+		got <- answer{code, err}
+	}()
+	// Wait until the request is queued behind the gate.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Shutdown begin draining the listener
+	close(release)
+
+	a := <-got
+	if a.err != nil || a.code != 200 {
+		t.Fatalf("in-flight request during Shutdown: code=%d err=%v, want 200", a.code, a.err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

@@ -224,7 +224,19 @@ func (s *Server) worker() {
 		case t := <-s.queue:
 			s.runTask(t, sc)
 		case <-s.quit:
-			return
+			// Drain: admitted work is a promise to the requester, so on
+			// shutdown the pool finishes everything already queued instead
+			// of abandoning it to per-request deadlines (which made CI
+			// teardown timing-dependent). New admissions stopped with the
+			// listener; the queue only shrinks here.
+			for {
+				select {
+				case t := <-s.queue:
+					s.runTask(t, sc)
+				default:
+					return
+				}
+			}
 		}
 	}
 }
@@ -262,7 +274,12 @@ func (s *Server) ListenAndServe(addr string) error {
 	return err
 }
 
-// Shutdown gracefully drains the HTTP listener, then stops the workers.
+// Shutdown gracefully stops serving: it closes the listener to new
+// requests, waits (up to ctx) for in-flight HTTP requests — and hence
+// the admitted tasks they are blocked on — to finish, then stops the
+// worker pool, which drains anything still queued. After Shutdown
+// returns every admitted request has been answered, which is what makes
+// SIGTERM teardown (and the distributed smoke's `kill`) deterministic.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.httpMu.Lock()
 	hs := s.httpS
@@ -275,8 +292,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Close stops the worker pool. Requests still queued resolve via their
-// deadlines. Safe to call more than once.
+// Close stops the worker pool after draining the admission queue: every
+// task queued before Close is executed (or skipped via its own expired
+// deadline), never orphaned. Safe to call more than once.
 func (s *Server) Close() {
 	s.once.Do(func() { close(s.quit) })
 	s.wg.Wait()
@@ -284,24 +302,41 @@ func (s *Server) Close() {
 
 // timeout resolves the per-request deadline from the optional timeout_ms.
 func (s *Server) timeout(ms int) time.Duration {
+	return ClampTimeout(ms, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+}
+
+// ClampTimeout resolves a client-requested timeout_ms against a default
+// and a cap. Exported so the router front end applies the exact same
+// deadline semantics as this server — one clamp, two tiers.
+func ClampTimeout(ms int, def, max time.Duration) time.Duration {
 	if ms <= 0 {
-		return s.cfg.DefaultTimeout
+		return def
 	}
 	d := time.Duration(ms) * time.Millisecond
-	if d > s.cfg.MaxTimeout {
-		return s.cfg.MaxTimeout
+	if d > max {
+		return max
 	}
 	return d
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// MaxBodyBytes caps request bodies on every serving endpoint; the
+// router enforces the same limit so a request accepted at the front is
+// never rejected at a shard for size.
+const MaxBodyBytes = 64 << 20
+
+// WriteJSON writes v as the JSON answer with the given status code.
+// Shared by both serving tiers so the error schema and content type
+// cannot drift apart.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 
+func writeJSON(w http.ResponseWriter, code int, v any) { WriteJSON(w, code, v) }
+
 func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	if err == nil {
 		err = json.Unmarshal(body, v)
 	}
@@ -452,6 +487,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if sh, ok := s.idx.(interface{ Shards() int }); ok {
 		h.Shards = sh.Shards()
+	}
+	// The build seed identifies *which* index this process serves (shards
+	// derive distinct seeds), letting a router cross-check that a replica
+	// actually holds the shard its position is assigned — same-size
+	// shards are indistinguishable by n alone.
+	if o, ok := s.idx.(interface{ Options() anns.Options }); ok {
+		h.Seed = o.Options().Seed
 	}
 	writeJSON(w, http.StatusOK, h)
 }

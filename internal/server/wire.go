@@ -58,12 +58,16 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// Health is the body of GET /healthz.
+// Health is the body of GET /healthz. Seed is the served index's build
+// seed (0 when unknown): shards of one logical index carry distinct
+// derived seeds, so a router can verify a replica serves the shard its
+// position claims, not just an index of the right shape.
 type Health struct {
 	Status   string `json:"status"`
 	N        int    `json:"n"`
 	Shards   int    `json:"shards"`
 	Dim      int    `json:"dim"`
+	Seed     uint64 `json:"seed,omitempty"`
 	UptimeMS int64  `json:"uptime_ms"`
 }
 

@@ -35,6 +35,63 @@ func TestSpecDeterminism(t *testing.T) {
 	}
 }
 
+// TestSpecDeterminismAllKinds extends the two-process contract to every
+// generator kind: the shard-split path (annsctl) and the serving path
+// (annsd, annsload) each call Generate independently, and the
+// distributed smoke's byte-identical comparison is only sound if every
+// kind is bit-deterministic in the seed — DB points, query points, and
+// ground truth alike.
+func TestSpecDeterminismAllKinds(t *testing.T) {
+	base := DefaultSpec()
+	base.D, base.N, base.Q, base.Seed = 128, 64, 8, 99
+	for _, kind := range []string{"uniform", "planted", "clustered", "annulus", "graded"} {
+		spec := base
+		spec.Kind = kind
+		a, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(a.DB) != len(b.DB) || len(a.Queries) != len(b.Queries) {
+			t.Fatalf("%s: sizes differ across generations", kind)
+		}
+		for i := range a.DB {
+			if !bitvec.Equal(a.DB[i], b.DB[i]) {
+				t.Fatalf("%s: db point %d differs", kind, i)
+			}
+		}
+		for i := range a.Queries {
+			if !bitvec.Equal(a.Queries[i].X, b.Queries[i].X) ||
+				a.Queries[i].NNIndex != b.Queries[i].NNIndex ||
+				a.Queries[i].NNDist != b.Queries[i].NNDist {
+				t.Fatalf("%s: query %d differs", kind, i)
+			}
+		}
+
+		// A different seed must actually change the corpus, or the
+		// determinism above is vacuous.
+		shifted := spec
+		shifted.Seed++
+		c, err := shifted.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		same := true
+		for i := range a.DB {
+			if !bitvec.Equal(a.DB[i], c.DB[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed change left the database identical", kind)
+		}
+	}
+}
+
 func TestSpecKinds(t *testing.T) {
 	base := DefaultSpec()
 	base.D, base.N, base.Q = 128, 48, 6
