@@ -116,11 +116,43 @@ type Index struct {
 	db        []Point
 }
 
+// normalized validates the options and fills defaults; Build and
+// NewMutable share it so the mutable tier accepts exactly the options
+// the static build does.
+func (opts Options) normalized() (Options, error) {
+	if opts.Dimension <= 1 {
+		return opts, errors.New("anns: Options.Dimension must be at least 2")
+	}
+	if opts.Gamma == 0 {
+		opts.Gamma = 2
+	}
+	if opts.Gamma <= 1 {
+		return opts, errors.New("anns: Options.Gamma must exceed 1")
+	}
+	if opts.Rounds == 0 {
+		opts.Rounds = 2
+	}
+	if opts.Rounds < 1 {
+		return opts, errors.New("anns: Options.Rounds must be at least 1")
+	}
+	if opts.Algorithm == Sophisticated && opts.Rounds < 2 {
+		return opts, errors.New("anns: the sophisticated algorithm needs Rounds >= 2")
+	}
+	if opts.Repetitions == 0 {
+		opts.Repetitions = 1
+	}
+	if opts.Repetitions < 1 {
+		return opts, errors.New("anns: Options.Repetitions must be at least 1")
+	}
+	return opts, nil
+}
+
 // Build preprocesses the database. The points must all have dimension
 // opts.Dimension; the slice is retained (not copied).
 func Build(points []Point, opts Options) (*Index, error) {
-	if opts.Dimension <= 1 {
-		return nil, errors.New("anns: Options.Dimension must be at least 2")
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
 	}
 	if len(points) < 2 {
 		return nil, errors.New("anns: need at least 2 database points")
@@ -131,27 +163,6 @@ func Build(points []Point, opts Options) (*Index, error) {
 			return nil, fmt.Errorf("anns: point %d has %d words, want %d for dimension %d",
 				i, len(p), want, opts.Dimension)
 		}
-	}
-	if opts.Gamma == 0 {
-		opts.Gamma = 2
-	}
-	if opts.Gamma <= 1 {
-		return nil, errors.New("anns: Options.Gamma must exceed 1")
-	}
-	if opts.Rounds == 0 {
-		opts.Rounds = 2
-	}
-	if opts.Rounds < 1 {
-		return nil, errors.New("anns: Options.Rounds must be at least 1")
-	}
-	if opts.Algorithm == Sophisticated && opts.Rounds < 2 {
-		return nil, errors.New("anns: the sophisticated algorithm needs Rounds >= 2")
-	}
-	if opts.Repetitions == 0 {
-		opts.Repetitions = 1
-	}
-	if opts.Repetitions < 1 {
-		return nil, errors.New("anns: Options.Repetitions must be at least 1")
 	}
 
 	// The build is eager (every per-level sketch block is materialized up

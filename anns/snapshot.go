@@ -246,6 +246,9 @@ func LoadAny(r io.Reader) (*Index, *ShardedIndex, error) {
 			return nil, nil, err
 		}
 		return nil, sx, nil
+	case snapshot.KindMutable:
+		return nil, nil, fmt.Errorf("%w: snapshot kind %q needs the mutable tier (LoadMutable / annsd -mutable)",
+			snapshot.ErrFormat, snapshot.KindName(d.Kind()))
 	default:
 		return nil, nil, fmt.Errorf("%w: snapshot kind %q is not servable",
 			snapshot.ErrFormat, snapshot.KindName(d.Kind()))

@@ -5,6 +5,7 @@
 //	annsctl build -o idx.snap -kind planted -d 512 -n 4096 -shards 4 -k 3
 //	annsctl shard-split -o shards/ -kind planted -d 512 -n 4096 -shards 4 -k 3
 //	annsctl inspect idx.snap
+//	annsctl compact -snapshot base.snap -wal wal.log -o merged.snap
 //	annsctl bench -kind planted -d 512 -n 4096 -shards 4 -o BENCH_index_build.json
 //
 // A snapshot built here is served by `annsd -snapshot idx.snap` on any
@@ -42,6 +43,8 @@ func main() {
 		runShardSplit(os.Args[2:])
 	case "inspect":
 		runInspect(os.Args[2:])
+	case "compact":
+		runCompact(os.Args[2:])
 	case "bench":
 		runBench(os.Args[2:])
 	default:
@@ -57,6 +60,7 @@ commands:
   shard-split  build a sharded index and emit one snapshot per shard plus a
                placement manifest for cmd/annsrouter
   inspect      print a snapshot's header, parameters, and section summary
+  compact      offline-merge a base snapshot and a WAL into one fresh snapshot
   bench        measure sequential vs parallel build, save, and load timings
 
 run "annsctl <command> -h" for the command's flags
@@ -277,12 +281,106 @@ func runInspect(args []string) {
 	} else {
 		fmt.Printf("n: %d\n", info.N)
 	}
+	if m := info.Mutable; m != nil {
+		fmt.Printf("mutable tier: base=%d segments=%d (%d raw, %d points) memtable=%d tombstones=%d next-id=%d\n",
+			m.Base, m.Segments, m.RawSegments, m.SegmentPoints, m.Memtable, m.Tombstones, m.NextID)
+	}
 	for i, c := range info.Cores {
 		fmt.Printf("core %d: d=%d n=%d k=%d γ=%v s=%v seed=%d L=%d rows=%d/%d (%d words)\n",
 			i, c.D, c.N, c.K, c.Gamma, c.S, c.Seed, c.L, c.AccRows, c.CoarseRows, c.Words())
 		for _, s := range c.Sections {
 			fmt.Printf("  section %-16s %12d words\n", snapshot.SectionName(s.Tag), s.Words)
 		}
+	}
+}
+
+// runCompact is the offline compactor: load a base snapshot (a plain
+// index or a full mutable-tier state), replay a WAL over it, fold
+// everything — base, sealed segments, memtable, tombstones — into one
+// fresh from-scratch rebuild, and save a single snapshot. By default the
+// output is a mutable-tier snapshot (stable IDs preserved, bootable by
+// `annsd -mutable -snapshot`); -flatten emits a plain index snapshot
+// servable by any annsd, renumbering points to 0..n-1 in ID order.
+func runCompact(args []string) {
+	fs := flag.NewFlagSet("annsctl compact", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "base snapshot (plain index or mutable kind); required")
+	walPath := fs.String("wal", "", "write-ahead log to replay over the base (optional)")
+	out := fs.String("o", "compacted.snap", "output snapshot path")
+	flatten := fs.Bool("flatten", false, "emit a plain index snapshot (renumbers IDs) instead of a mutable-tier one")
+	truncWAL := fs.Bool("truncate-wal", false, "after a successful save, reset the WAL (its state now lives in the output; required before serving the output with the same -wal)")
+	fs.Parse(args)
+	if *snapPath == "" {
+		log.Fatal("usage: annsctl compact -snapshot base.snap [-wal wal.log] -o out.snap")
+	}
+
+	f, err := os.Open(*snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	mx, err := anns.LoadMutable(f, anns.MutableConfig{
+		Synchronous: true,
+		WALPath:     *walPath,
+	})
+	f.Close()
+	if err != nil {
+		log.Fatalf("loading %s: %v", *snapPath, err)
+	}
+	defer mx.Close()
+	st := mx.MutableStats()
+	log.Printf("loaded %s + %d WAL records: n=%d (memtable %d, %d sealed, %d tombstones)",
+		*snapPath, st.WALReplayed, st.LiveN, st.Memtable, st.Sealed, st.Tombstones)
+
+	mx.Flush() // capture the memtable in the compaction
+	if err := mx.Compact(); err != nil {
+		log.Fatalf("compacting: %v", err)
+	}
+	base, ids, ok := mx.Base()
+	if !ok {
+		log.Fatalf("compaction left no base: %d live points cannot fill a static index", mx.Len())
+	}
+	after := mx.MutableStats()
+	log.Printf("compacted in %v: n=%d, tombstones applied, segments folded",
+		time.Since(start).Round(time.Millisecond), after.LiveN)
+
+	of, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *flatten {
+		err = anns.SaveIndex(of, base)
+	} else {
+		err = anns.SaveMutable(of, mx)
+	}
+	if err != nil {
+		of.Close()
+		log.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		log.Fatal(err)
+	}
+	stat, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *flatten {
+		renumbered := 0
+		for j, id := range ids {
+			if id != uint64(j) {
+				renumbered++
+			}
+		}
+		log.Printf("saved %s (%d bytes, plain index, format v%d); %d of %d points renumbered",
+			*out, stat.Size(), snapshot.FormatVersion, renumbered, base.Len())
+	} else {
+		log.Printf("saved %s (%d bytes, mutable kind, format v%d); stable IDs preserved",
+			*out, stat.Size(), snapshot.FormatVersion)
+	}
+	if *truncWAL && *walPath != "" {
+		if err := mx.TruncateWAL(); err != nil {
+			log.Fatalf("truncating WAL: %v", err)
+		}
+		log.Printf("WAL %s reset (state captured by %s)", *walPath, *out)
 	}
 }
 

@@ -10,16 +10,28 @@
 //	annsd -addr :7080 -in data.bin -shards 8 -algo soph -k 4
 //	annsd -addr :7080 -kind planted -d 512 -n 4096 -save-snapshot idx.snap
 //	annsd -addr :7080 -snapshot idx.snap
+//	annsd -addr :7080 -mutable -wal wal.log -kind planted -d 512 -n 4096
+//	annsd -addr :7080 -mutable -snapshot state.snap -wal wal.log
 //
-// Endpoints: POST /v1/query, /v1/batch, /v1/near; GET /healthz, /statsz
-// (which reports the index source — built vs snapshot — and load time).
-// Drive it with cmd/annsload; build snapshots offline with cmd/annsctl.
+// With -mutable the process serves the mutable tier (DESIGN.md §7): the
+// base index (built from the workload flags, or loaded from -snapshot,
+// which then also receives compaction snapshots) accepts online
+// /v1/insert and /v1/delete; -wal makes mutations durable across
+// restarts (replayed on boot, truncated when a compaction persists).
+//
+// Endpoints: POST /v1/query, /v1/batch, /v1/near, /v1/insert,
+// /v1/delete; GET /healthz, /statsz (which reports the index source —
+// built vs snapshot — load time, and the mutable tier's counters).
+// Drive it with cmd/annsload; build snapshots offline with cmd/annsctl
+// (and fold a WAL back into one with `annsctl compact`).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"os/signal"
@@ -49,6 +61,13 @@ func main() {
 	snapPath := flag.String("snapshot", "", "serve the index from this snapshot file instead of building")
 	savePath := flag.String("save-snapshot", "", "after building, save the index snapshot here")
 
+	mutable := flag.Bool("mutable", false, "serve the mutable tier: online /v1/insert and /v1/delete over the base index")
+	walPath := flag.String("wal", "", "mutable tier write-ahead log (durable mutations, replayed on boot)")
+	walSync := flag.Int("wal-sync", 1, "fsync the WAL every n records (0 = never, let the OS decide)")
+	memtableCap := flag.Int("memtable", 1024, "mutable memtable seal threshold")
+	compactEvery := flag.Int("compact-every", 4, "sealed segments that trigger background compaction (0 = manual)")
+	mutableSync := flag.Bool("mutable-sync", false, "run seals/compactions inline on the mutating request (deterministic; for compare harnesses)")
+
 	workers := flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "admission queue depth")
 	batchWorkers := flag.Int("batch-workers", 0, "per-batch worker pool (0 = GOMAXPROCS)")
@@ -58,9 +77,117 @@ func main() {
 
 	var idx server.Searcher
 	var dim int
+	var mx *anns.MutableIndex
 	info := server.IndexInfo{Source: "built"}
 
-	if *snapPath != "" {
+	queryOpts := func(d int) anns.Options {
+		opts := anns.Options{
+			Dimension:    d,
+			Gamma:        *gamma,
+			Rounds:       *k,
+			Repetitions:  *reps,
+			Seed:         *seed,
+			BuildWorkers: *buildWorkers,
+		}
+		switch *algo {
+		case "simple":
+		case "soph":
+			opts.Algorithm = anns.Sophisticated
+		default:
+			log.Fatalf("annsd: unknown -algo %q", *algo)
+		}
+		return opts
+	}
+
+	loadInstance := func() *workload.Instance {
+		var inst *workload.Instance
+		var err error
+		if *in != "" {
+			inst, err = dataset.Load(*in)
+		} else {
+			inst, err = spec.Generate()
+		}
+		if err != nil {
+			log.Fatalf("annsd: %v", err)
+		}
+		log.Printf("workload: %s", inst)
+		return inst
+	}
+
+	if *mutable {
+		if *savePath != "" {
+			log.Fatalf("annsd: -mutable persists through -snapshot; -save-snapshot is not supported")
+		}
+		walSyncEvery := *walSync
+		if walSyncEvery == 0 {
+			// CLI contract: 0 = never fsync. The config's zero value means
+			// "default" (every record), so translate.
+			walSyncEvery = -1
+		}
+		mcfg := anns.MutableConfig{
+			MemtableCap:  *memtableCap,
+			CompactEvery: *compactEvery,
+			Synchronous:  *mutableSync,
+			WALPath:      *walPath,
+			WALSyncEvery: walSyncEvery,
+			SnapshotPath: *snapPath,
+		}
+		start := time.Now()
+		snapExists := false
+		if *snapPath != "" {
+			switch _, err := os.Stat(*snapPath); {
+			case err == nil:
+				snapExists = true
+			case errors.Is(err, fs.ErrNotExist):
+				// Fresh start: build from the workload flags; compactions
+				// will create the snapshot here.
+			default:
+				// Any other failure must not silently shadow (and later
+				// overwrite) an existing snapshot with a fresh build.
+				log.Fatalf("annsd: stat %s: %v", *snapPath, err)
+			}
+		}
+		if snapExists {
+			f, err := os.Open(*snapPath)
+			if err != nil {
+				log.Fatalf("annsd: %v", err)
+			}
+			mx, err = anns.LoadMutable(f, mcfg)
+			f.Close()
+			if err != nil {
+				log.Fatalf("annsd: loading mutable snapshot %s: %v", *snapPath, err)
+			}
+			info = server.IndexInfo{
+				Source:          "snapshot",
+				SnapshotVersion: snapshotFileVersion(*snapPath),
+				LoadDuration:    time.Since(start),
+				Path:            *snapPath,
+			}
+		} else {
+			// The mutable tier layers over one single-shard base; the
+			// -shards flag applies only to the static serving modes.
+			inst := loadInstance()
+			points := make([]anns.Point, len(inst.DB))
+			copy(points, inst.DB)
+			opts := queryOpts(inst.D)
+			base, err := anns.Build(points, opts)
+			if err != nil {
+				log.Fatalf("annsd: %v", err)
+			}
+			mcfg.Options = opts
+			mx, err = anns.NewMutable(base, mcfg)
+			if err != nil {
+				log.Fatalf("annsd: %v", err)
+			}
+			info.LoadDuration = time.Since(start)
+		}
+		st := mx.MutableStats()
+		dim = mx.Options().Dimension
+		idx = mx
+		log.Printf("mutable tier: n=%d (memtable %d, %d sealed, %d tombstones) in %v; wal=%q replayed=%d",
+			st.LiveN, st.Memtable, st.Sealed, st.Tombstones,
+			info.LoadDuration.Round(time.Millisecond), *walPath, st.WALReplayed)
+	} else if *snapPath != "" {
 		if *savePath != "" {
 			log.Fatalf("annsd: -snapshot and -save-snapshot are mutually exclusive")
 		}
@@ -76,50 +203,24 @@ func main() {
 		}
 		info = server.IndexInfo{
 			Source:          "snapshot",
-			SnapshotVersion: snapshot.FormatVersion,
+			SnapshotVersion: snapshotFileVersion(*snapPath),
 			LoadDuration:    time.Since(start),
 			Path:            *snapPath,
 		}
 		if sharded != nil {
 			idx, dim = sharded, sharded.Options().Dimension
 			log.Printf("index: loaded from snapshot %s in %v (format v%d, %d shards over n=%d, k=%d)",
-				*snapPath, info.LoadDuration.Round(time.Millisecond), snapshot.FormatVersion,
+				*snapPath, info.LoadDuration.Round(time.Millisecond), info.SnapshotVersion,
 				sharded.Shards(), sharded.Len(), sharded.Options().Rounds)
 		} else {
 			idx, dim = single, single.Options().Dimension
 			log.Printf("index: loaded from snapshot %s in %v (format v%d, n=%d, k=%d)",
-				*snapPath, info.LoadDuration.Round(time.Millisecond), snapshot.FormatVersion,
+				*snapPath, info.LoadDuration.Round(time.Millisecond), info.SnapshotVersion,
 				single.Len(), single.Options().Rounds)
 		}
 	} else {
-		var inst *workload.Instance
-		var err error
-		if *in != "" {
-			inst, err = dataset.Load(*in)
-		} else {
-			inst, err = spec.Generate()
-		}
-		if err != nil {
-			log.Fatalf("annsd: %v", err)
-		}
-		log.Printf("workload: %s", inst)
-
-		opts := anns.Options{
-			Dimension:    inst.D,
-			Gamma:        *gamma,
-			Rounds:       *k,
-			Repetitions:  *reps,
-			Seed:         *seed,
-			BuildWorkers: *buildWorkers,
-		}
-		switch *algo {
-		case "simple":
-		case "soph":
-			opts.Algorithm = anns.Sophisticated
-		default:
-			log.Fatalf("annsd: unknown -algo %q", *algo)
-		}
-
+		inst := loadInstance()
+		opts := queryOpts(inst.D)
 		start := time.Now()
 		points := make([]anns.Point, len(inst.DB))
 		copy(points, inst.DB)
@@ -181,10 +282,34 @@ func main() {
 		if err := srv.Shutdown(shctx); err != nil {
 			log.Printf("annsd: shutdown: %v", err)
 		}
+		if mx != nil {
+			// Flush and close the WAL after the last mutation has been
+			// answered; the log alone can rebuild this state.
+			if err := mx.Close(); err != nil {
+				log.Printf("annsd: closing mutable tier: %v", err)
+			}
+		}
 		snap := srv.Stats()
 		fmt.Printf("served %d queries (%d near, %d batches), %d errors, %d probes total\n",
 			snap.Queries, snap.Near, snap.Batches, snap.Errors, snap.Probes)
 	}
+}
+
+// snapshotFileVersion reports the format version a snapshot file
+// declares (readers accept a range since v2, so the build's
+// FormatVersion is not necessarily what this process is serving).
+// Best-effort: the file already loaded once when this is called.
+func snapshotFileVersion(path string) uint32 {
+	f, err := os.Open(path)
+	if err != nil {
+		return snapshot.FormatVersion
+	}
+	defer f.Close()
+	d, err := snapshot.NewDecoder(f)
+	if err != nil {
+		return snapshot.FormatVersion
+	}
+	return d.Version()
 }
 
 func saveSharded(path string, sx *anns.ShardedIndex) error {

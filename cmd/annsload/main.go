@@ -10,15 +10,26 @@
 //
 //	annsload -addr http://127.0.0.1:7080 -mode closed -conc 16 -queries 10000
 //	annsload -addr http://127.0.0.1:7080 -mode open -qps 800 -ramp 4 -queries 20000
+//	annsload -addr http://127.0.0.1:7080 -write-ratio 0.2 -delete-ratio 0.05 -queries 20000
 //	annsload -addr http://127.0.0.1:7120 -compare http://127.0.0.1:7080 -queries 256
 //
 // The target may be an annsd shard server or an annsrouter coordinator —
 // both speak the same wire schema, and /statsz router rollups (hedge
 // rate, per-shard quantiles, replica state) are printed when present.
-// With -compare, every query goes to both servers and the answers must
-// be byte-identical (index, distance, rounds, probes, max_parallel) —
-// the distributed-equivalence check CI runs against a router and a
-// single-process server over the same corpus.
+//
+// With -write-ratio (and optionally -delete-ratio) the operation stream
+// mixes mutations into the load — inserts of perturbed database points
+// via /v1/insert, deletes of previously inserted points via /v1/delete
+// (the target must be an `annsd -mutable` server) — and the report adds
+// write-latency quantiles plus recall measured against a ground truth
+// that tracks the churn (every acknowledged insert joins the oracle's
+// candidate set, every acknowledged delete leaves it).
+//
+// With -compare, every operation goes to both servers and the answers
+// must be byte-identical — queries field for field (index, distance,
+// rounds, probes, max_parallel), inserts by assigned ID, deletes by
+// outcome. For mutation streams both servers should run -mutable-sync
+// so the segment state evolves deterministically with the stream.
 package main
 
 import (
@@ -35,7 +46,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bitvec"
 	"repro/internal/dataset"
+	"repro/internal/hamming"
+	"repro/internal/rng"
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -56,8 +70,11 @@ func main() {
 	gamma := flag.Float64("gamma", 2, "approximation ratio for the recall criterion")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms sent to the server (0 = server default)")
 	outstanding := flag.Int("max-outstanding", 1024, "open-loop cap on in-flight requests")
-	lseed := flag.Int64("lseed", 1, "load generator seed (Poisson arrivals)")
-	compare := flag.String("compare", "", "second server URL: issue every query to both and require byte-identical answers")
+	lseed := flag.Int64("lseed", 1, "load generator seed (Poisson arrivals, op mix)")
+	compare := flag.String("compare", "", "second server URL: issue every operation to both and require byte-identical answers")
+	writeRatio := flag.Float64("write-ratio", 0, "fraction of operations that are /v1/insert (mutable servers)")
+	deleteRatio := flag.Float64("delete-ratio", 0, "fraction of operations that are /v1/delete of previously inserted points")
+	writeDist := flag.Int("write-dist", 0, "Hamming distance of inserted perturbations (0 = the workload's -dist)")
 	flag.Parse()
 
 	var inst *workload.Instance
@@ -104,18 +121,25 @@ func main() {
 		encoded[i] = body
 	}
 
+	plan, err := buildPlan(inst, *total, *writeRatio, *deleteRatio, *writeDist, *lseed)
+	if err != nil {
+		log.Fatalf("annsload: %v", err)
+	}
+
 	if *compare != "" {
 		checkHealth(client, *compare, inst)
-		runCompare(client, *addr, *compare, encoded, *total)
+		runCompare(client, *addr, *compare, encoded, *total, plan)
 		return
 	}
 
 	run := &runner{
 		client:  client,
+		base:    *addr,
 		url:     *addr + "/v1/query",
 		inst:    inst,
 		encoded: encoded,
 		gamma:   *gamma,
+		plan:    plan,
 	}
 
 	start := time.Now()
@@ -129,10 +153,11 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("\n=== aggregate (%s loop, %d queries in %v) ===\n", *mode, *total, wall.Round(time.Millisecond))
+	fmt.Printf("\n=== aggregate (%s loop, %d operations in %v) ===\n", *mode, *total, wall.Round(time.Millisecond))
 	run.report(run.all(), wall)
-	if n, h, a := atomic.LoadInt64(&run.netErrs), atomic.LoadInt64(&run.httpErrs), atomic.LoadInt64(&run.appErrs); n+h+a > 0 {
-		fmt.Printf("failures: net=%d http=%d app=%d\n", n, h, a)
+	run.reportWrites()
+	if n, h, a, w := atomic.LoadInt64(&run.netErrs), atomic.LoadInt64(&run.httpErrs), atomic.LoadInt64(&run.appErrs), atomic.LoadInt64(&run.writeFails); n+h+a+w > 0 {
+		fmt.Printf("failures: net=%d http=%d app=%d write=%d\n", n, h, a, w)
 	}
 	printServerStats(client, *addr)
 }
@@ -155,6 +180,75 @@ func checkHealth(client *http.Client, addr string, inst *workload.Instance) {
 	}
 }
 
+// opKind classifies one operation of the (possibly mixed) stream.
+type opKind uint8
+
+const (
+	opQuery opKind = iota
+	opInsert
+	opDelete
+)
+
+// mixedPlan is the deterministic operation schedule of a mixed
+// read/write run: ops[i] decides operation i's kind, and insertPts/
+// insertBodies hold one pre-generated perturbed point (and its encoded
+// /v1/insert body) per insert op, in op order. Both load-run and
+// compare modes consume the same plan, which is what lets -compare
+// drive an identical mutation stream into two servers.
+type mixedPlan struct {
+	ops          []opKind
+	insertOf     []int // op index -> insert ordinal (-1 for non-inserts)
+	insertPts    []bitvec.Vector
+	insertBodies [][]byte
+	inserts      int
+	deletes      int
+}
+
+// buildPlan derives the schedule from the load seed. A nil plan (no
+// write traffic) keeps the classic read-only path.
+func buildPlan(inst *workload.Instance, total int, writeRatio, deleteRatio float64, writeDist int, lseed int64) (*mixedPlan, error) {
+	if writeRatio == 0 && deleteRatio == 0 {
+		return nil, nil
+	}
+	if writeRatio < 0 || deleteRatio < 0 || writeRatio+deleteRatio > 1 {
+		return nil, fmt.Errorf("-write-ratio %v and -delete-ratio %v must be non-negative and sum to at most 1", writeRatio, deleteRatio)
+	}
+	if writeDist <= 0 {
+		writeDist = 16
+	}
+	if writeDist > inst.D {
+		writeDist = inst.D
+	}
+	p := &mixedPlan{
+		ops:      make([]opKind, total),
+		insertOf: make([]int, total),
+	}
+	rnd := rand.New(rand.NewSource(lseed))
+	src := rng.New(uint64(lseed) + 0x10ad)
+	for i := 0; i < total; i++ {
+		p.insertOf[i] = -1
+		switch roll := rnd.Float64(); {
+		case roll < writeRatio:
+			p.ops[i] = opInsert
+			p.insertOf[i] = len(p.insertPts)
+			pt := hamming.AtDistance(src, inst.DB[rnd.Intn(len(inst.DB))], inst.D, writeDist)
+			body, err := json.Marshal(server.InsertRequest{Point: server.EncodePoint(pt)})
+			if err != nil {
+				return nil, err
+			}
+			p.insertPts = append(p.insertPts, pt)
+			p.insertBodies = append(p.insertBodies, body)
+			p.inserts++
+		case roll < writeRatio+deleteRatio:
+			p.ops[i] = opDelete
+			p.deletes++
+		}
+	}
+	log.Printf("mixed plan: %d queries, %d inserts, %d deletes (write-dist %d)",
+		total-p.inserts-p.deletes, p.inserts, p.deletes, writeDist)
+	return p, nil
+}
+
 // sample is one completed request, as the reporter consumes it.
 type sample struct {
 	latency time.Duration
@@ -165,23 +259,146 @@ type sample struct {
 	maxPar  int
 }
 
+// liveInsert is an acknowledged insert: part of the recall oracle's
+// candidate set and a potential delete target.
+type liveInsert struct {
+	id uint64
+	pt bitvec.Vector
+}
+
 type runner struct {
 	client  *http.Client
+	base    string
 	url     string
 	inst    *workload.Instance
 	encoded [][]byte
 	gamma   float64
+	plan    *mixedPlan
 
 	mu       sync.Mutex
 	samples  []sample
 	netErrs  int64
 	httpErrs int64
 	appErrs  int64
+
+	wmu          sync.Mutex
+	writeSamples []sample
+	live         []liveInsert
+	writeFails   int64
 }
 
-// issue sends query i (mod the stream length) and records the outcome.
+// issue runs operation i of the stream and records the outcome.
 func (r *runner) issue(i int) {
+	if r.plan != nil {
+		switch r.plan.ops[i] {
+		case opInsert:
+			r.issueInsert(i)
+			return
+		case opDelete:
+			if r.issueDelete() {
+				return
+			}
+			// Nothing live to delete yet: degrade to a query so the op
+			// count stays honest.
+		}
+	}
+	r.issueQuery(i)
+}
+
+// issueInsert posts one planned insert and, on success, adds the point
+// to the live set (recall oracle + delete pool).
+func (r *runner) issueInsert(i int) {
+	ins := r.plan.insertOf[i]
+	t0 := time.Now()
+	resp, err := r.client.Post(r.base+"/v1/insert", "application/json",
+		bytes.NewReader(r.plan.insertBodies[ins]))
+	lat := time.Since(t0)
+	s := sample{latency: lat}
+	if err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var ack server.InsertResponse
+		if rerr == nil && resp.StatusCode == http.StatusOK && json.Unmarshal(body, &ack) == nil {
+			s.ok = true
+			r.wmu.Lock()
+			r.live = append(r.live, liveInsert{id: ack.ID, pt: r.plan.insertPts[ins]})
+			r.wmu.Unlock()
+		}
+	}
+	if !s.ok {
+		atomic.AddInt64(&r.writeFails, 1)
+	}
+	r.recordWrite(s)
+}
+
+// issueDelete pops a live insert and deletes it, reporting false when
+// none is available.
+func (r *runner) issueDelete() bool {
+	r.wmu.Lock()
+	if len(r.live) == 0 {
+		r.wmu.Unlock()
+		return false
+	}
+	target := r.live[0]
+	r.live = r.live[1:]
+	r.wmu.Unlock()
+	body, err := json.Marshal(server.DeleteRequest{ID: &target.id})
+	if err != nil {
+		atomic.AddInt64(&r.writeFails, 1)
+		return true
+	}
+	t0 := time.Now()
+	resp, err := r.client.Post(r.base+"/v1/delete", "application/json", bytes.NewReader(body))
+	lat := time.Since(t0)
+	s := sample{latency: lat}
+	if err == nil {
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var ack server.DeleteResponse
+		s.ok = rerr == nil && resp.StatusCode == http.StatusOK &&
+			json.Unmarshal(raw, &ack) == nil && ack.Deleted
+	}
+	if !s.ok {
+		atomic.AddInt64(&r.writeFails, 1)
+	}
+	r.recordWrite(s)
+	return true
+}
+
+func (r *runner) recordWrite(s sample) {
+	r.wmu.Lock()
+	r.writeSamples = append(r.writeSamples, s)
+	r.wmu.Unlock()
+}
+
+// truthDist returns the oracle nearest-neighbor distance for query qi
+// at this moment: the precomputed base ground truth, tightened by every
+// acknowledged insert still live. (Churn makes this a snapshot, not a
+// certainty — an insert acked after the snapshot can only shrink the
+// server's answer, which passes the γ bound a fortiori; deletes only
+// loosen the bound.)
+func (r *runner) truthDist(qi int) float64 {
+	truth := float64(r.inst.Queries[qi].NNDist)
+	if r.plan == nil {
+		return truth
+	}
+	x := r.inst.Queries[qi].X
+	r.wmu.Lock()
+	for _, li := range r.live {
+		if d := float64(bitvec.Distance(li.pt, x)); d < truth {
+			truth = d
+		}
+	}
+	r.wmu.Unlock()
+	return truth
+}
+
+// issueQuery sends query i (mod the stream length) and records the outcome.
+func (r *runner) issueQuery(i int) {
 	qi := i % len(r.encoded)
+	// Snapshot the oracle bound before sending: acked mutations racing the
+	// query can only move the server's answer inside the bound.
+	truth := r.truthDist(qi)
 	t0 := time.Now()
 	resp, err := r.client.Post(r.url, "application/json", bytes.NewReader(r.encoded[qi]))
 	lat := time.Since(t0)
@@ -211,8 +428,7 @@ func (r *runner) issue(i int) {
 		return
 	}
 	s.ok = true
-	truth := r.inst.Queries[qi]
-	s.good = qr.Index >= 0 && float64(qr.Distance) <= r.gamma*float64(truth.NNDist)
+	s.good = qr.Index >= 0 && float64(qr.Distance) <= r.gamma*truth
 	r.record(s)
 }
 
@@ -345,52 +561,130 @@ func (r *runner) report(ss []sample, wall time.Duration) {
 	}
 }
 
+// reportWrites prints the mutation half of a mixed run: acknowledged
+// counts and write-latency quantiles (successful writes only, same rule
+// as the read quantiles).
+func (r *runner) reportWrites() {
+	r.wmu.Lock()
+	ws := append([]sample(nil), r.writeSamples...)
+	liveLeft := len(r.live)
+	r.wmu.Unlock()
+	if len(ws) == 0 {
+		return
+	}
+	lats := make([]float64, 0, len(ws))
+	okCount := 0
+	for _, s := range ws {
+		if s.ok {
+			okCount++
+			lats = append(lats, float64(s.latency.Microseconds())/1000)
+		}
+	}
+	sort.Float64s(lats)
+	fmt.Printf("writes: %d ok, %d failed (%d inserts, %d deletes planned; %d inserted points still live)\n",
+		okCount, len(ws)-okCount, r.plan.inserts, r.plan.deletes, liveLeft)
+	if len(lats) > 0 {
+		fmt.Printf("write latency ms (ok only): p50=%.2f p99=%.2f max=%.2f\n",
+			stats.Quantile(lats, 0.50), stats.Quantile(lats, 0.99), lats[len(lats)-1])
+	}
+}
+
 // runCompare issues each query to both servers and requires the decoded
 // answers to match field for field — the distributed-equivalence check:
 // a router over shard-split snapshots must answer exactly like a
 // single-process server over the same corpus, including the cell-probe
 // accounting. Exits non-zero on the first mismatch.
-func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, total int) {
-	ask := func(addr string, body []byte) (server.QueryResponse, error) {
-		var qr server.QueryResponse
-		resp, err := client.Post(addr+"/v1/query", "application/json", bytes.NewReader(body))
+func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, total int, plan *mixedPlan) {
+	post := func(addr, path string, body []byte, out any) error {
+		resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
 		if err != nil {
-			return qr, err
+			return err
 		}
 		defer resp.Body.Close()
 		raw, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return qr, err
+			return err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return qr, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+			return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
 		}
-		err = json.Unmarshal(raw, &qr)
-		return qr, err
+		return json.Unmarshal(raw, out)
 	}
 	mismatches := 0
+	mismatch := func(i int, what string, a, b any) {
+		mismatches++
+		log.Printf("MISMATCH %s %d:\n  %s → %+v\n  %s → %+v", what, i, addrA, a, addrB, b)
+		if mismatches >= 10 {
+			log.Fatalf("annsload: compare: giving up after %d mismatches", mismatches)
+		}
+	}
+	queries, inserts, deletes := 0, 0, 0
+	var live []uint64
 	for i := 0; i < total; i++ {
-		body := encoded[i%len(encoded)]
-		a, err := ask(addrA, body)
-		if err != nil {
-			log.Fatalf("annsload: compare: %s query %d: %v", addrA, i, err)
+		kind := opQuery
+		if plan != nil {
+			kind = plan.ops[i]
 		}
-		b, err := ask(addrB, body)
-		if err != nil {
-			log.Fatalf("annsload: compare: %s query %d: %v", addrB, i, err)
-		}
-		if a != b {
-			mismatches++
-			log.Printf("MISMATCH query %d:\n  %s → %+v\n  %s → %+v", i, addrA, a, addrB, b)
-			if mismatches >= 10 {
-				log.Fatalf("annsload: compare: giving up after %d mismatches", mismatches)
+		switch kind {
+		case opInsert:
+			var a, b server.InsertResponse
+			body := plan.insertBodies[plan.insertOf[i]]
+			if err := post(addrA, "/v1/insert", body, &a); err != nil {
+				log.Fatalf("annsload: compare: %s insert %d: %v", addrA, i, err)
 			}
+			if err := post(addrB, "/v1/insert", body, &b); err != nil {
+				log.Fatalf("annsload: compare: %s insert %d: %v", addrB, i, err)
+			}
+			if a.ID != b.ID {
+				mismatch(i, "insert", a, b)
+			}
+			live = append(live, a.ID)
+			inserts++
+		case opDelete:
+			if len(live) == 0 {
+				continue
+			}
+			id := live[0]
+			live = live[1:]
+			body, err := json.Marshal(server.DeleteRequest{ID: &id})
+			if err != nil {
+				log.Fatalf("annsload: compare: %v", err)
+			}
+			var a, b server.DeleteResponse
+			if err := post(addrA, "/v1/delete", body, &a); err != nil {
+				log.Fatalf("annsload: compare: %s delete %d: %v", addrA, i, err)
+			}
+			if err := post(addrB, "/v1/delete", body, &b); err != nil {
+				log.Fatalf("annsload: compare: %s delete %d: %v", addrB, i, err)
+			}
+			if a != b {
+				mismatch(i, "delete", a, b)
+			}
+			deletes++
+		default:
+			var a, b server.QueryResponse
+			body := encoded[i%len(encoded)]
+			if err := post(addrA, "/v1/query", body, &a); err != nil {
+				log.Fatalf("annsload: compare: %s query %d: %v", addrA, i, err)
+			}
+			if err := post(addrB, "/v1/query", body, &b); err != nil {
+				log.Fatalf("annsload: compare: %s query %d: %v", addrB, i, err)
+			}
+			if a != b {
+				mismatch(i, "query", a, b)
+			}
+			queries++
 		}
 	}
 	if mismatches > 0 {
 		log.Fatalf("annsload: compare: %d/%d answers differ", mismatches, total)
 	}
-	fmt.Printf("compare: %d queries, answers byte-identical (results + rounds/probes accounting)\n", total)
+	if inserts+deletes > 0 {
+		fmt.Printf("compare: %d queries + %d inserts + %d deletes, answers byte-identical (results, accounting, assigned IDs)\n",
+			queries, inserts, deletes)
+	} else {
+		fmt.Printf("compare: %d queries, answers byte-identical (results + rounds/probes accounting)\n", queries)
+	}
 	printServerStats(client, addrA)
 }
 

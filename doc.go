@@ -79,14 +79,31 @@
 //     verify and rebind them; a loaded index answers with results and
 //     probe accounting byte-identical to the index it was saved from.
 //     Version mismatches, corruption, and truncation fail loudly
-//     (snapshot.ErrVersion/ErrChecksum, io.ErrUnexpectedEOF); format
-//     changes bump snapshot.FormatVersion, and the upgrade story is
-//     rebuild-and-re-save, never in-place migration.
+//     (snapshot.ErrVersion/ErrChecksum, and the typed snapshot.ErrFormat
+//     for malformed or truncated files); layout changes to existing
+//     kinds bump snapshot.FormatVersion and the floor MinFormatVersion
+//     (rebuild-and-re-save, never in-place migration), while additive
+//     changes keep older files loading.
 //   - Serve: annsctl build writes snapshots offline; annsd -snapshot
 //     boots from one in milliseconds instead of re-preprocessing, annsd
 //     -save-snapshot persists a fresh build, and /statsz reports
 //     index_source, snapshot_version, and index_load_ms. Build and load
 //     timings are recorded in BENCH_index_build.json.
+//
+// # Mutable tier
+//
+// anns.MutableIndex layers online inserts and deletes over the static
+// core (DESIGN.md §7): inserts land in an exact brute-force memtable
+// that seals into immutable mini-index segments (built with the same
+// Build), deletes tombstone stable point IDs, queries fan out over
+// {base, segments, memtable} and fold with MergeShardReplies (rounds =
+// max, probes = sum — the same accounting the sharded tier uses), and a
+// background compactor rebuilds the base from the live points and swaps
+// it atomically. A CRC-framed write-ahead log makes mutations durable
+// across restarts (replayed on boot, truncated on snapshot). Serve it
+// with annsd -mutable -wal, drive mixed read/write load with annsload
+// -write-ratio, and fold a WAL back into one snapshot offline with
+// annsctl compact.
 //
 // See internal/server/README.md for the wire format and a copy-paste
 // serving session.

@@ -1,0 +1,119 @@
+package segment
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+func TestIDSetBasics(t *testing.T) {
+	s := NewIDSet()
+	if s.Has(0) || s.Len() != 0 {
+		t.Fatal("zero set not empty")
+	}
+	for _, id := range []uint64{0, 1, 63, 64, 1000, 1 << 20} {
+		if !s.Add(id) {
+			t.Errorf("Add(%d) reported already present", id)
+		}
+		if s.Add(id) {
+			t.Errorf("second Add(%d) reported absent", id)
+		}
+		if !s.Has(id) {
+			t.Errorf("Has(%d) false after Add", id)
+		}
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	if !s.Remove(64) || s.Remove(64) || s.Has(64) {
+		t.Error("Remove(64) misbehaved")
+	}
+	if s.Remove(2) {
+		t.Error("Remove of absent id reported present")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d after removal, want 5", s.Len())
+	}
+	var got []uint64
+	s.Each(func(id uint64) { got = append(got, id) })
+	want := []uint64{0, 1, 63, 1000, 1 << 20}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each visited %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+func TestIDSetAndNotClone(t *testing.T) {
+	s := NewIDSet()
+	for id := uint64(0); id < 200; id += 2 {
+		s.Add(id)
+	}
+	snap := s.Clone()
+	s.Add(1001)
+	if snap.Has(1001) {
+		t.Fatal("Clone aliases the original")
+	}
+	drop := NewIDSet()
+	for id := uint64(0); id < 100; id += 2 {
+		drop.Add(id)
+	}
+	drop.Add(9999) // absent from s: AndNot must ignore it
+	s.AndNot(drop)
+	if s.Len() != 51 { // 100..198 even (50) + 1001
+		t.Fatalf("Len after AndNot = %d, want 51", s.Len())
+	}
+	if s.Has(42) || !s.Has(100) || !s.Has(1001) {
+		t.Error("AndNot removed the wrong members")
+	}
+}
+
+func TestMemtableScanExact(t *testing.T) {
+	r := rng.New(7)
+	const d, n = 128, 40
+	m := NewMemtable()
+	pts := make([]bitvec.Vector, n)
+	for i := 0; i < n; i++ {
+		pts[i] = hamming.Random(r, d)
+		m.Append(uint64(100+i), pts[i])
+	}
+	dead := NewIDSet()
+	dead.Add(100 + 3)
+	for trial := 0; trial < 20; trial++ {
+		x := hamming.Random(r, d)
+		res := m.Scan(x, dead)
+		if !res.Found || res.Scanned != n {
+			t.Fatalf("scan: %+v", res)
+		}
+		// Reference: exact nearest over live entries, first-wins ties.
+		bestPos, bestDist := -1, -1
+		for i, p := range pts {
+			if i == 3 {
+				continue
+			}
+			dist := bitvec.Distance(p, x)
+			if bestPos < 0 || dist < bestDist {
+				bestPos, bestDist = i, dist
+			}
+		}
+		if res.Pos != bestPos || res.Dist != bestDist || res.ID != uint64(100+bestPos) {
+			t.Fatalf("scan %+v, want pos=%d dist=%d", res, bestPos, bestDist)
+		}
+	}
+	// All-dead and empty scans report not-found with honest accounting.
+	all := NewIDSet()
+	for i := 0; i < n; i++ {
+		all.Add(uint64(100 + i))
+	}
+	if res := m.Scan(pts[0], all); res.Found || res.Scanned != n {
+		t.Fatalf("all-dead scan: %+v", res)
+	}
+	if res := NewMemtable().Scan(pts[0], nil); res.Found || res.Scanned != 0 {
+		t.Fatalf("empty scan: %+v", res)
+	}
+}

@@ -1,0 +1,253 @@
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+)
+
+// The write-ahead log makes mutations durable between snapshots: every
+// insert/delete is framed, checksummed, and (by default) fsynced before
+// the in-memory state changes, and boot replays the log over the last
+// snapshot. The file layout (DESIGN.md §7):
+//
+//	header  "ANNSWAL\x01" [8]byte, version u32 (=1), dim u32
+//	record  length u32, crc u32 (IEEE CRC-32 of the payload), payload
+//	payload op u8 (1=insert, 2=delete), id u64,
+//	        then for inserts the point's raw little-endian words
+//	        (bitvec.Words(dim) × 8 bytes)
+//
+// Replay stops at the first torn or corrupt frame and truncates the file
+// there: a crash mid-append leaves a torn tail, and dropping it is the
+// correct recovery (the mutation was never acknowledged). Truncate
+// resets the log to just its header once a snapshot has captured the
+// state the log described.
+
+const (
+	walMagic   = "ANNSWAL\x01"
+	walVersion = 1
+
+	// OpInsert and OpDelete are the record kinds.
+	OpInsert byte = 1
+	OpDelete byte = 2
+
+	walHeaderLen = len(walMagic) + 8 // magic + version + dim
+	walFrameLen  = 8                 // length + crc
+)
+
+// ErrWAL tags malformed write-ahead logs (bad magic, wrong version or
+// dimension). Torn tails are not errors — they are truncated silently.
+var ErrWAL = errors.New("segment: malformed WAL")
+
+// Op is one logical mutation, as appended and as replayed.
+type Op struct {
+	Kind  byte
+	ID    uint64
+	Point bitvec.Vector // inserts only
+}
+
+// WAL is an append-only mutation log bound to one file and dimension.
+// Appends are not safe for concurrent use; the mutable tier serializes
+// them under its index lock. Size alone is safe to read concurrently
+// (the tier's stats path reads it under a shared lock while a snapshot
+// persist may be truncating under another).
+type WAL struct {
+	f         *os.File
+	dim       int
+	ptWords   int
+	syncEvery int
+	sinceSync int
+	size      atomic.Int64
+	buf       []byte
+}
+
+// OpenWAL opens (or creates) the log at path for points of the given
+// dimension, replays every intact record through apply in file order,
+// truncates any torn tail, and leaves the file positioned for appends.
+// syncEvery is the fsync cadence: 1 fsyncs every record (the durable
+// default), n > 1 every n-th record, and 0 never (the OS decides).
+// It returns the opened log and the number of records replayed.
+func OpenWAL(path string, dim, syncEvery int, apply func(Op) error) (*WAL, int, error) {
+	if dim < 2 {
+		return nil, 0, fmt.Errorf("segment: WAL dimension must be at least 2, got %d", dim)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := &WAL{f: f, dim: dim, ptWords: bitvec.Words(dim), syncEvery: syncEvery}
+	w.buf = make([]byte, walFrameLen+1+8+8*w.ptWords)
+	replayed, err := w.replay(apply)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return w, replayed, nil
+}
+
+// replay validates the header (writing a fresh one into an empty file),
+// applies every intact record, and truncates the file after the last one.
+func (w *WAL) replay(apply func(Op) error) (int, error) {
+	st, err := w.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() == 0 {
+		return 0, w.writeHeader()
+	}
+	head := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(w.f, head); err != nil {
+		// Shorter than a header: a crash while creating the log. Start over.
+		return 0, w.reset()
+	}
+	if string(head[:len(walMagic)]) != walMagic {
+		return 0, fmt.Errorf("%w: bad magic in %s", ErrWAL, w.f.Name())
+	}
+	if v := binary.LittleEndian.Uint32(head[len(walMagic):]); v != walVersion {
+		return 0, fmt.Errorf("%w: version %d, this build reads %d", ErrWAL, v, walVersion)
+	}
+	if d := binary.LittleEndian.Uint32(head[len(walMagic)+4:]); int(d) != w.dim {
+		return 0, fmt.Errorf("%w: log holds dimension-%d points, index wants %d", ErrWAL, d, w.dim)
+	}
+	good := int64(walHeaderLen)
+	replayed := 0
+	var frame [walFrameLen]byte
+	for {
+		if _, err := io.ReadFull(w.f, frame[:]); err != nil {
+			break // torn frame header (or clean EOF)
+		}
+		length := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:])
+		if int(length) > len(w.buf) || length < 9 {
+			break // implausible length: torn or corrupt
+		}
+		payload := w.buf[:length]
+		if _, err := io.ReadFull(w.f, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		op, err := w.decode(payload)
+		if err != nil {
+			break
+		}
+		if err := apply(op); err != nil {
+			return replayed, fmt.Errorf("segment: WAL replay record %d: %w", replayed, err)
+		}
+		replayed++
+		good += walFrameLen + int64(length)
+	}
+	if err := w.f.Truncate(good); err != nil {
+		return replayed, err
+	}
+	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
+		return replayed, err
+	}
+	w.size.Store(good)
+	return replayed, nil
+}
+
+func (w *WAL) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.writeHeader()
+}
+
+func (w *WAL) writeHeader() error {
+	head := make([]byte, walHeaderLen)
+	copy(head, walMagic)
+	binary.LittleEndian.PutUint32(head[len(walMagic):], walVersion)
+	binary.LittleEndian.PutUint32(head[len(walMagic)+4:], uint32(w.dim))
+	if _, err := w.f.Write(head); err != nil {
+		return err
+	}
+	w.size.Store(int64(walHeaderLen))
+	return w.f.Sync()
+}
+
+func (w *WAL) decode(payload []byte) (Op, error) {
+	op := Op{Kind: payload[0], ID: binary.LittleEndian.Uint64(payload[1:9])}
+	switch op.Kind {
+	case OpDelete:
+		if len(payload) != 9 {
+			return op, ErrWAL
+		}
+	case OpInsert:
+		if len(payload) != 9+8*w.ptWords {
+			return op, ErrWAL
+		}
+		pt := make(bitvec.Vector, w.ptWords)
+		for i := range pt {
+			pt[i] = binary.LittleEndian.Uint64(payload[9+8*i:])
+		}
+		op.Point = pt
+	default:
+		return op, ErrWAL
+	}
+	return op, nil
+}
+
+// Append frames, writes, and (per the sync cadence) fsyncs one record.
+// The mutation is durable when Append returns under syncEvery == 1.
+func (w *WAL) Append(op Op) error {
+	length := 9
+	if op.Kind == OpInsert {
+		if len(op.Point) != w.ptWords {
+			return fmt.Errorf("segment: WAL insert point has %d words, want %d", len(op.Point), w.ptWords)
+		}
+		length += 8 * w.ptWords
+	}
+	buf := w.buf[:walFrameLen+length]
+	payload := buf[walFrameLen:]
+	payload[0] = op.Kind
+	binary.LittleEndian.PutUint64(payload[1:], op.ID)
+	if op.Kind == OpInsert {
+		for i, word := range op.Point {
+			binary.LittleEndian.PutUint64(payload[9+8*i:], word)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(length))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	w.size.Add(int64(len(buf)))
+	w.sinceSync++
+	if w.syncEvery > 0 && w.sinceSync >= w.syncEvery {
+		w.sinceSync = 0
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Truncate resets the log to an empty (header-only) state. Called after
+// a snapshot has durably captured everything the log described.
+func (w *WAL) Truncate() error {
+	return w.reset()
+}
+
+// Size returns the current file size in bytes.
+func (w *WAL) Size() int64 { return w.size.Load() }
+
+// Sync forces an fsync regardless of cadence.
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Close syncs and closes the file.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

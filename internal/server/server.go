@@ -142,10 +142,11 @@ type task struct {
 
 // metrics is the server's atomic counter block, exported via /statsz.
 type metrics struct {
-	queries, batches, near     atomic.Int64
-	errors, rejected, deadline atomic.Int64
-	probes, rounds             atomic.Int64
-	maxRounds, maxParallel     atomic.Int64
+	queries, batches, near      atomic.Int64
+	errors, rejected, deadline  atomic.Int64
+	probes, rounds              atomic.Int64
+	maxRounds, maxParallel      atomic.Int64
+	inserts, deletes, mutErrors atomic.Int64
 }
 
 func atomicMax(a *atomic.Int64, v int64) {
@@ -205,6 +206,8 @@ func New(idx Searcher, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/near", s.handleNear)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	for w := 0; w < cfg.Workers; w++ {
@@ -518,6 +521,24 @@ func (s *Server) Stats() StatsSnapshot {
 		IndexSource:      s.cfg.Index.Source,
 		SnapshotVersion:  s.cfg.Index.SnapshotVersion,
 		IndexLoadMS:      s.cfg.Index.LoadDuration.Milliseconds(),
+		Inserts:          s.m.inserts.Load(),
+		Deletes:          s.m.deletes.Load(),
+		MutationErrors:   s.m.mutErrors.Load(),
+	}
+	if ms, ok := s.idx.(mutableStatser); ok {
+		st := ms.MutableStats()
+		snap.Mutable = &MutableStats{
+			LiveN:            st.LiveN,
+			Memtable:         st.Memtable,
+			SealedSegments:   st.Sealed,
+			SegmentsBuilt:    st.SegmentsBuilt,
+			Compactions:      st.Compactions,
+			Tombstones:       st.Tombstones,
+			NextID:           st.NextID,
+			WALReplayed:      st.WALReplayed,
+			WALBytes:         st.WALBytes,
+			LastCompactError: st.LastCompactError,
+		}
 	}
 	if sec := up.Seconds(); sec > 0 {
 		snap.QPS = float64(snap.Queries+snap.Near) / sec

@@ -53,9 +53,49 @@ type BatchResponse struct {
 	Results []QueryResponse `json:"results"`
 }
 
+// InsertRequest is the body of POST /v1/insert (mutable tier only).
+type InsertRequest struct {
+	// Point is the base64-encoded packed point to insert.
+	Point string `json:"point"`
+}
+
+// InsertResponse acknowledges an insert with the point's assigned
+// stable ID (the handle /v1/delete takes, and the value Result.Index
+// reports when this point answers a query). On a WAL-backed server the
+// insert is durable when this response is written.
+type InsertResponse struct {
+	ID uint64 `json:"id"`
+}
+
+// DeleteRequest is the body of POST /v1/delete. ID is a pointer so a
+// missing field is distinguishable from id 0.
+type DeleteRequest struct {
+	ID *uint64 `json:"id"`
+}
+
+// DeleteResponse reports whether the ID named a live point.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// MutableStats is /statsz's delta-tier block (present only when the
+// served index is mutable), mirroring anns.MutableStats.
+type MutableStats struct {
+	LiveN            int    `json:"live_n"`
+	Memtable         int    `json:"memtable"`
+	SealedSegments   int    `json:"sealed_segments"`
+	SegmentsBuilt    int64  `json:"segments_built"`
+	Compactions      int64  `json:"compactions"`
+	Tombstones       int    `json:"tombstones"`
+	NextID           uint64 `json:"next_id"`
+	WALReplayed      int    `json:"wal_replayed"`
+	WALBytes         int64  `json:"wal_bytes"`
+	LastCompactError string `json:"last_compact_error,omitempty"`
 }
 
 // Health is the body of GET /healthz. Seed is the served index's build
@@ -95,6 +135,12 @@ type StatsSnapshot struct {
 	IndexSource     string `json:"index_source"`
 	SnapshotVersion uint32 `json:"snapshot_version,omitempty"`
 	IndexLoadMS     int64  `json:"index_load_ms"`
+	// Mutation counters (zero on immutable servers) and, when the served
+	// index is a mutable tier, its internal state.
+	Inserts        int64         `json:"inserts"`
+	Deletes        int64         `json:"deletes"`
+	MutationErrors int64         `json:"mutation_errors,omitempty"`
+	Mutable        *MutableStats `json:"mutable,omitempty"`
 }
 
 // EncodePoint serializes a point into the wire encoding.

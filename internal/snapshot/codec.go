@@ -26,11 +26,20 @@ import (
 // storage makes possible.
 
 const (
-	// FormatVersion is the current snapshot format version. Readers
-	// refuse other versions (ErrVersion); the policy is documented in
-	// DESIGN.md §5: any change to the byte layout bumps it, there is no
-	// in-place migration, and a mismatch means "rebuild or re-save".
-	FormatVersion = 1
+	// FormatVersion is the current snapshot format version. Writers
+	// always emit it; readers accept it and every version in
+	// [MinFormatVersion, FormatVersion] whose byte layout is a strict
+	// subset of the current one. The policy is documented in DESIGN.md
+	// §5: a change to an existing kind's byte layout bumps the version
+	// AND raises MinFormatVersion (no in-place migration — rebuild or
+	// re-save), while a purely additive change (a new kind, as v2's
+	// KindMutable) bumps only FormatVersion so older files keep loading.
+	FormatVersion = 2
+
+	// MinFormatVersion is the oldest version this build still reads.
+	// v1 files differ from v2 only in not being able to contain
+	// KindMutable bodies, so they load unchanged.
+	MinFormatVersion = 1
 
 	magic = "ANNSSNAP"
 )
@@ -45,6 +54,11 @@ const (
 	// KindSharded is an anns.ShardedIndex: options, the shard partition,
 	// and one embedded index per shard.
 	KindSharded uint32 = 3
+	// KindMutable is an anns.MutableIndex: the mutable tier's full state
+	// — serving options, the rebuilt base with its ID mapping, sealed
+	// segments (indexed or raw), the memtable, and live tombstones.
+	// Introduced in format v2.
+	KindMutable uint32 = 4
 )
 
 // Sentinel errors. Load wraps them with context; test with errors.Is.
@@ -157,13 +171,14 @@ func (e *Encoder) Close() error {
 
 // Decoder reads one snapshot stream, verifying the checksum on Close.
 type Decoder struct {
-	br   *bufio.Reader
-	crc  hash.Hash32
-	r    io.Reader // br teed through crc
-	buf  []byte
-	n    int64
-	kind uint32
-	err  error
+	br      *bufio.Reader
+	crc     hash.Hash32
+	r       io.Reader // br teed through crc
+	buf     []byte
+	n       int64
+	kind    uint32
+	version uint32
+	err     error
 }
 
 // NewDecoder reads and validates the stream header. The reported kind
@@ -178,11 +193,10 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if string(head) != magic {
 		return nil, ErrBadMagic
 	}
-	if v := d.U32(); v != FormatVersion {
-		if d.err != nil {
-			return nil, d.err
-		}
-		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, FormatVersion)
+	d.version = d.U32()
+	if d.err == nil && (d.version < MinFormatVersion || d.version > FormatVersion) {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d..%d",
+			ErrVersion, d.version, MinFormatVersion, FormatVersion)
 	}
 	d.kind = d.U32()
 	if d.err != nil {
@@ -194,6 +208,9 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 // Kind returns the snapshot kind declared in the header.
 func (d *Decoder) Kind() uint32 { return d.kind }
 
+// Version returns the format version declared in the header.
+func (d *Decoder) Version() uint32 { return d.version }
+
 func (d *Decoder) read(p []byte) error {
 	if d.err != nil {
 		return d.err
@@ -203,7 +220,11 @@ func (d *Decoder) read(p []byte) error {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
-		d.err = fmt.Errorf("snapshot: truncated file: %w", err)
+		// Truncation is a malformed file, so the error is typed ErrFormat
+		// (while still matching io.ErrUnexpectedEOF for callers that care
+		// about the mechanism): a zero-length or shorter-than-header file
+		// must not surface as a bare io error.
+		d.err = fmt.Errorf("%w: truncated file: %w", ErrFormat, err)
 		return d.err
 	}
 	d.n += int64(len(p))
@@ -293,7 +314,7 @@ func (d *Decoder) Close() error {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
-		return fmt.Errorf("snapshot: truncated file: %w", err)
+		return fmt.Errorf("%w: truncated file: %w", ErrFormat, err)
 	}
 	if got := binary.LittleEndian.Uint32(tr[:]); got != want {
 		return ErrChecksum

@@ -1,0 +1,75 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// TestTruncationIsTypedErrFormat pins that degenerate files — zero
+// bytes, or shorter than the magic+version+kind header — surface as the
+// typed ErrFormat (possibly alongside ErrBadMagic), never as a bare io
+// error: callers dispatch on the sentinel errors, and a 0-byte file
+// (a crashed save, an empty mount) must land in the "malformed" branch.
+func TestTruncationIsTypedErrFormat(t *testing.T) {
+	cases := map[string][]byte{
+		"zero-length":    {},
+		"partial-magic":  []byte(magic[:5]),
+		"magic-only":     []byte(magic),
+		"partial-header": append([]byte(magic), 2, 0), // half a version field
+	}
+	for name, raw := range cases {
+		if _, err := NewDecoder(bytes.NewReader(raw)); !errors.Is(err, ErrFormat) {
+			t.Errorf("NewDecoder(%s): got %v, want ErrFormat", name, err)
+		}
+		if _, err := Inspect(bytes.NewReader(raw)); !errors.Is(err, ErrFormat) {
+			t.Errorf("Inspect(%s): got %v, want ErrFormat", name, err)
+		}
+		if _, err := LoadCore(bytes.NewReader(raw)); !errors.Is(err, ErrFormat) {
+			t.Errorf("LoadCore(%s): got %v, want ErrFormat", name, err)
+		}
+	}
+	// A wrong (non-truncated) magic stays ErrBadMagic, not plain ErrFormat.
+	junk := []byte("NOTASNAPxxxxxxxxxxxx")
+	if _, err := NewDecoder(bytes.NewReader(junk)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("junk magic: got %v, want ErrBadMagic", err)
+	}
+}
+
+// asVersion rewrites a snapshot's header version and fixes the CRC
+// trailer so the stream stays internally consistent.
+func asVersion(raw []byte, v uint32) []byte {
+	out := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(out[len(magic):], v)
+	sum := crc32.ChecksumIEEE(out[:len(out)-4])
+	binary.LittleEndian.PutUint32(out[len(out)-4:], sum)
+	return out
+}
+
+// TestV1SnapshotsStillLoad pins the backward-compat promise of the v2
+// bump: the v1 byte layout is a strict subset of v2 (v2 only adds
+// KindMutable), so a v1 file must decode unchanged and report its own
+// version from Inspect.
+func TestV1SnapshotsStillLoad(t *testing.T) {
+	raw := asVersion(savedBytes(t), 1)
+	idx, err := LoadCore(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("LoadCore(v1): %v", err)
+	}
+	if idx == nil || len(idx.DB) != 16 {
+		t.Fatalf("v1 load produced a wrong index")
+	}
+	info, err := Inspect(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Inspect(v1): %v", err)
+	}
+	if info.Version != 1 {
+		t.Errorf("Inspect reports version %d for a v1 file", info.Version)
+	}
+	// Future versions are still refused.
+	if _, err := LoadCore(bytes.NewReader(asVersion(savedBytes(t), FormatVersion+1))); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: got %v, want ErrVersion", err)
+	}
+}

@@ -112,12 +112,34 @@ type Info struct {
 	Options *IndexOptions
 	// Shards is the shard count (0 unless KindSharded).
 	Shards int
-	// N is the logical database size (summed over shards).
+	// N is the logical database size (summed over shards; live points
+	// for KindMutable).
 	N int
 	// Cores lists every embedded core-index body, in file order.
 	Cores []CoreInfo
+	// Mutable summarizes the delta tier (nil unless KindMutable).
+	Mutable *MutableInfo
 	// Bytes is the total stream length including magic and trailer.
 	Bytes int64
+}
+
+// MutableInfo is Inspect's summary of a KindMutable body's delta tier.
+type MutableInfo struct {
+	// NextID is the next point ID the tier would assign.
+	NextID uint64
+	// Base is the rebuilt base index's row count (0 when the tier has no
+	// base yet).
+	Base int
+	// Segments is the sealed segment count; RawSegments of those had no
+	// mini-index built when the snapshot was taken (they reload as
+	// scan-only segments).
+	Segments, RawSegments int
+	// SegmentPoints is the total point count across sealed segments.
+	SegmentPoints int
+	// Memtable is the unsealed in-memory entry count.
+	Memtable int
+	// Tombstones is the number of deletes not yet applied by compaction.
+	Tombstones int
 }
 
 // KindName renders a snapshot kind for inspection output.
@@ -129,6 +151,8 @@ func KindName(kind uint32) string {
 		return "index"
 	case KindSharded:
 		return "sharded-index"
+	case KindMutable:
+		return "mutable-index"
 	default:
 		return fmt.Sprintf("kind[%d]", kind)
 	}
@@ -142,8 +166,12 @@ func Inspect(r io.Reader) (*Info, error) {
 	if err != nil {
 		return nil, err
 	}
-	info := &Info{Version: FormatVersion, Kind: d.Kind()}
+	info := &Info{Version: d.Version(), Kind: d.Kind()}
 	switch d.Kind() {
+	case KindMutable:
+		if err := inspectMutable(d, info); err != nil {
+			return nil, err
+		}
 	case KindCore:
 		ci, err := inspectCore(d)
 		if err != nil {
