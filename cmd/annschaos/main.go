@@ -1,0 +1,126 @@
+// Command annschaos runs the deterministic chaos harness against the
+// distributed tier: it stands up in-process clusters (real shard
+// servers booted from shard-split snapshots behind a real router, every
+// replica fronted by a fault-injecting proxy), runs the configured
+// strategy × shape × trial matrix with every random decision derived
+// from one root seed, and gates on the hard invariants — zero wrong
+// answers (byte-identical to an unfaulted reference), zero acked-write
+// loss across injected WAL-tail crashes, and a bounded false-eviction
+// rate. See DESIGN.md §8.
+//
+// Usage:
+//
+//	annschaos -seed 42 -trials 3 -o CHAOS_RESULTS.json
+//	annschaos -strategies gray-hang,corrupt,partition,wal-tear -shapes 2x2,3x2
+//	annschaos -seed 42 -replay-check        # run twice, require byte-identical invariants
+//	annschaos -list                         # print the strategy catalog
+//
+// Exit status is non-zero on any gate violation or replay divergence,
+// so the CI chaos job fails loudly.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "root seed: the experiment's only entropy source")
+	trials := flag.Int("trials", 3, "trials per (shape, strategy)")
+	strategies := flag.String("strategies", "", "comma-separated strategy names (default: full catalog)")
+	shapes := flag.String("shapes", "2x2", "comma-separated cluster shapes, SxR")
+	dim := flag.Int("dim", 64, "corpus dimension")
+	n := flag.Int("n", 48, "corpus size")
+	queries := flag.Int("queries", 24, "compared queries per trial")
+	warmup := flag.Int("warmup", 8, "pre-fault compared queries per trial")
+	maxFalseEvict := flag.Float64("max-false-eviction-rate", 0.5, "gate threshold: false evictions per trial")
+	out := flag.String("o", "CHAOS_RESULTS.json", "result matrix output path (empty to skip)")
+	replayCheck := flag.Bool("replay-check", false, "run the matrix twice and require byte-identical invariants")
+	list := flag.Bool("list", false, "print the strategy catalog and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range chaos.Strategies() {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	cfg := chaos.ExperimentConfig{
+		RootSeed:             *seed,
+		Trials:               *trials,
+		Dim:                  *dim,
+		N:                    *n,
+		Queries:              *queries,
+		Warmup:               *warmup,
+		MaxFalseEvictionRate: *maxFalseEvict,
+	}
+	if *strategies != "" {
+		for _, s := range strings.Split(*strategies, ",") {
+			cfg.Strategies = append(cfg.Strategies, strings.TrimSpace(s))
+		}
+	}
+	for _, s := range strings.Split(*shapes, ",") {
+		sh, err := chaos.ParseShape(s)
+		if err != nil {
+			log.Fatalf("annschaos: %v", err)
+		}
+		cfg.Shapes = append(cfg.Shapes, sh)
+	}
+
+	m, err := chaos.Run(cfg, log.Printf)
+	if err != nil {
+		log.Fatalf("annschaos: %v", err)
+	}
+
+	if *replayCheck {
+		log.Printf("replay check: re-running the full matrix from root seed %d", *seed)
+		again, err := chaos.Run(cfg, nil)
+		if err != nil {
+			log.Fatalf("annschaos: replay run: %v", err)
+		}
+		a, b := m.InvariantsJSON(), again.InvariantsJSON()
+		if !bytes.Equal(a, b) {
+			log.Printf("first run invariants:\n%s", a)
+			log.Printf("replay invariants:\n%s", b)
+			log.Fatalf("annschaos: REPLAY DIVERGENCE: same root seed %d did not reproduce the invariant matrix byte-identically", *seed)
+		}
+		log.Printf("replay check: %d trials reproduced byte-identically", len(m.Results))
+	}
+
+	s := m.Summary
+	fmt.Printf("chaos: %d trials (%d strategies × %d shapes × %d each), root seed %d\n",
+		s.Trials, len(m.Config.Strategies), len(m.Config.Shapes), m.Config.Trials, m.RootSeed)
+	fmt.Printf("  wrong answers:     %d\n", s.WrongAnswers)
+	fmt.Printf("  acked writes:      %d lost of %d\n", s.AckedWritesLost, s.AckedWrites)
+	fmt.Printf("  evictions:         %d (%d false, rate %.3f/trial), readmissions %d\n",
+		s.Evictions, s.FalseEvictions, s.FalseEvictionRate, s.Readmissions)
+	fmt.Printf("  hedges:            %d (%d wins, rate %.3f)\n", s.Hedges, s.HedgeWins, s.HedgeWinRate)
+	fmt.Printf("  mean detection:    %.1f ms\n", s.MeanDetectionMS)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			log.Fatalf("annschaos: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("annschaos: %v", err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+
+	if v := m.Gate(); len(v) != 0 {
+		for _, viol := range v {
+			fmt.Printf("GATE VIOLATION: %s\n", viol)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("gate: PASS")
+}

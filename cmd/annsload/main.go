@@ -611,9 +611,16 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 		return json.Unmarshal(raw, out)
 	}
 	mismatches := 0
-	mismatch := func(i int, what string, a, b any) {
+	mismatch := func(i int, what string, body []byte, a, b any) {
 		mismatches++
-		log.Printf("MISMATCH %s %d:\n  %s → %+v\n  %s → %+v", what, i, addrA, a, addrB, b)
+		label := "MISMATCH"
+		if mismatches == 1 {
+			// The first diverging request is the repro: op index, the exact
+			// request payload, and both decoded answers.
+			label = "FIRST DIVERGENCE"
+		}
+		log.Printf("%s: %s op %d\n  request: %s\n  %s → %+v\n  %s → %+v",
+			label, what, i, bytes.TrimSpace(body), addrA, a, addrB, b)
 		if mismatches >= 10 {
 			log.Fatalf("annsload: compare: giving up after %d mismatches", mismatches)
 		}
@@ -636,7 +643,7 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 				log.Fatalf("annsload: compare: %s insert %d: %v", addrB, i, err)
 			}
 			if a.ID != b.ID {
-				mismatch(i, "insert", a, b)
+				mismatch(i, "insert", body, a, b)
 			}
 			live = append(live, a.ID)
 			inserts++
@@ -658,7 +665,7 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 				log.Fatalf("annsload: compare: %s delete %d: %v", addrB, i, err)
 			}
 			if a != b {
-				mismatch(i, "delete", a, b)
+				mismatch(i, "delete", body, a, b)
 			}
 			deletes++
 		default:
@@ -671,7 +678,7 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 				log.Fatalf("annsload: compare: %s query %d: %v", addrB, i, err)
 			}
 			if a != b {
-				mismatch(i, "query", a, b)
+				mismatch(i, "query", body, a, b)
 			}
 			queries++
 		}

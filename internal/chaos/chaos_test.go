@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig is the smallest matrix that still exercises a gray
+// failure, a corruption failure, and the durability adversary.
+func testConfig(rootSeed uint64) ExperimentConfig {
+	return ExperimentConfig{
+		RootSeed:   rootSeed,
+		Trials:     2,
+		Strategies: []string{StrategyGray500, StrategyCorrupt, StrategyWALTear},
+		Shapes:     []Shape{{Shards: 1, Replicas: 2}},
+		Dim:        64,
+		N:          32,
+		Queries:    6,
+		Warmup:     2,
+	}
+}
+
+// TestExperimentDeterminism is the replayability acceptance check: the
+// same root seed must reproduce the invariant half of the matrix
+// byte-identically, and a different root seed must not.
+func TestExperimentDeterminism(t *testing.T) {
+	first, err := Run(testConfig(7), t.Logf)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if v := first.Gate(); len(v) != 0 {
+		t.Fatalf("gate violations: %v", v)
+	}
+	if got := len(first.Results); got != 6 {
+		t.Fatalf("got %d results, want 6 (3 strategies x 2 trials)", got)
+	}
+	again, err := Run(testConfig(7), nil)
+	if err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	a, b := first.InvariantsJSON(), again.InvariantsJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same root seed did not replay byte-identically:\nfirst:\n%s\nreplay:\n%s", a, b)
+	}
+	other, err := Run(testConfig(8), nil)
+	if err != nil {
+		t.Fatalf("different-seed run: %v", err)
+	}
+	if bytes.Equal(a, other.InvariantsJSON()) {
+		t.Fatalf("different root seeds produced identical invariants — seed is not feeding the trials")
+	}
+}
+
+// TestExperimentInvariantFields pins what a passing matrix must claim:
+// zero wrong answers everywhere, every wal-tear trial acking writes and
+// losing none, and every proxy trial naming a real target.
+func TestExperimentInvariantFields(t *testing.T) {
+	m, err := Run(testConfig(21), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m.Results {
+		inv := r.Invariants
+		if inv.WrongAnswers != 0 || inv.FirstDivergence != "" {
+			t.Errorf("%s trial %d: %d wrong answers (%s)", inv.Strategy, inv.Trial, inv.WrongAnswers, inv.FirstDivergence)
+		}
+		if inv.Strategy == StrategyWALTear {
+			if inv.AckedWrites < 6 {
+				t.Errorf("wal-tear trial %d acked only %d writes", inv.Trial, inv.AckedWrites)
+			}
+			if inv.AckedWritesLost != 0 {
+				t.Errorf("wal-tear trial %d lost %d acked writes", inv.Trial, inv.AckedWritesLost)
+			}
+			if inv.TargetShard != -1 || inv.TargetReplica != -1 {
+				t.Errorf("wal-tear trial %d has a cluster target %d/%d, want -1/-1", inv.Trial, inv.TargetShard, inv.TargetReplica)
+			}
+			continue
+		}
+		if inv.TargetShard < 0 || inv.TargetReplica < 0 {
+			t.Errorf("%s trial %d has no target", inv.Strategy, inv.Trial)
+		}
+		// Gray failures must be detected and the detection timed.
+		if r.Measured.DetectionLatencyMS < 0 {
+			t.Errorf("%s trial %d: fault never detected", inv.Strategy, inv.Trial)
+		}
+		if r.Measured.FaultsInjected == 0 {
+			t.Errorf("%s trial %d: fault armed but never touched a request", inv.Strategy, inv.Trial)
+		}
+	}
+	if m.Summary.Trials != len(m.Results) {
+		t.Errorf("summary counted %d trials, want %d", m.Summary.Trials, len(m.Results))
+	}
+	if m.Summary.Evictions == 0 {
+		t.Errorf("matrix observed no evictions at all — detection machinery not exercised")
+	}
+}
+
+func TestDeriveSeedLabeling(t *testing.T) {
+	if deriveSeed(1, "a", "bc") == deriveSeed(1, "ab", "c") {
+		t.Fatal("label boundaries do not feed the derivation")
+	}
+	if deriveSeed(1, "x") == deriveSeed(2, "x") {
+		t.Fatal("root seed does not feed the derivation")
+	}
+	if deriveSeed(1, "x") != deriveSeed(1, "x") {
+		t.Fatal("derivation is not a pure function")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	sh, err := ParseShape("3x2")
+	if err != nil || sh.Shards != 3 || sh.Replicas != 2 {
+		t.Fatalf("ParseShape(3x2) = %v, %v", sh, err)
+	}
+	for _, bad := range []string{"", "3", "x", "0x2", "2x1", "2x0"} {
+		if _, err := ParseShape(bad); err == nil {
+			t.Errorf("ParseShape(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStrategyCatalog(t *testing.T) {
+	for _, name := range Strategies() {
+		s, err := strategyByName(name)
+		if err != nil {
+			t.Fatalf("catalog strategy %q unresolvable: %v", name, err)
+		}
+		if s.name() != name {
+			t.Fatalf("strategy %q reports name %q", name, s.name())
+		}
+	}
+	if _, err := strategyByName("meteor-strike"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// TestProxyFaultModes drives each fault mode against a live backend and
+// checks the wire-visible behavior the router is supposed to survive.
+func TestProxyFaultModes(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/healthz" {
+			io.WriteString(w, `{"status":"ok"}`)
+			return
+		}
+		io.WriteString(w, `{"answer":42}`)
+	}))
+	defer backend.Close()
+	p, err := NewProxy(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	client := &http.Client{Timeout: 2 * time.Second}
+	get := func(path string) (int, string, error) {
+		resp, err := client.Get(p.URL() + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), nil
+	}
+
+	// Clean pass-through.
+	if code, body, err := get("/v1/query"); err != nil || code != 200 || body != `{"answer":42}` {
+		t.Fatalf("unfaulted proxy: %d %q %v", code, body, err)
+	}
+
+	p.SetFault(Fault{Mode: FaultGray500})
+	if code, _, err := get("/v1/query"); err != nil || code != 500 {
+		t.Fatalf("gray-500 /v1: %d %v, want 500", code, err)
+	}
+	if code, _, err := get("/healthz"); err != nil || code != 200 {
+		t.Fatalf("gray-500 /healthz: %d %v, want a clean 200 (gray by design)", code, err)
+	}
+
+	p.SetFault(Fault{Mode: FaultCorrupt})
+	if code, body, err := get("/v1/query"); err != nil || code != 200 || body == `{"answer":42}` || body == "" {
+		t.Fatalf("corrupt /v1: %d %q %v, want a mangled 200 body", code, body, err)
+	}
+	if _, body, _ := get("/healthz"); body != `{"status":"ok"}` {
+		t.Fatalf("corrupt /healthz body %q, want untouched", body)
+	}
+
+	p.SetFault(Fault{Mode: FaultDrop})
+	if _, _, err := get("/v1/query"); err == nil {
+		t.Fatal("drop /v1: got a response, want a severed connection")
+	}
+	if code, _, err := get("/healthz"); err != nil || code != 200 {
+		t.Fatalf("drop /healthz: %d %v, want 200", code, err)
+	}
+
+	p.SetFault(Fault{Mode: FaultPartition})
+	if _, _, err := get("/healthz"); err == nil {
+		t.Fatal("partition /healthz: got a response, want a severed connection")
+	}
+
+	p.SetFault(Fault{Mode: FaultSlow, Delay: 50 * time.Millisecond})
+	start := time.Now()
+	code, body, err := get("/v1/query")
+	if err != nil || code != 200 || body != `{"answer":42}` {
+		t.Fatalf("slow /v1: %d %q %v", code, body, err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("slow /v1 answered in %v, want >= 50ms", d)
+	}
+
+	p.SetFault(Fault{}) // cleared
+	if code, body, err := get("/v1/query"); err != nil || code != 200 || body != `{"answer":42}` {
+		t.Fatalf("cleared proxy: %d %q %v", code, body, err)
+	}
+	if n := p.Injected(); n < 5 {
+		t.Fatalf("Injected() = %d, want >= 5", n)
+	}
+
+	if !strings.Contains(FaultGrayHang.String(), "gray") {
+		t.Fatalf("FaultGrayHang.String() = %q", FaultGrayHang.String())
+	}
+}

@@ -1,0 +1,297 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Seed derivation (DESIGN.md §8.3): every random decision in an
+// experiment — corpus contents, fault targets, injected delays, write
+// counts — derives from the one root seed through a labeled splitmix64
+// chain, so a failing trial replays from (root seed, shape, strategy,
+// trial index) alone, and the derivation is stable under reordering or
+// subsetting the strategy and shape lists (labels, not list positions,
+// feed the chain).
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// deriveSeed folds the labels into root through splitmix64.
+func deriveSeed(root uint64, labels ...string) uint64 {
+	h := root
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h = splitmix64(h ^ uint64(l[i]))
+		}
+		h = splitmix64(h ^ 0x5eed1abe1) // label separator: ("ab","c") ≠ ("a","bc")
+	}
+	return h
+}
+
+// ExperimentConfig drives one experiment: the full cross product of
+// Shapes × Strategies × Trials, all derived from RootSeed.
+type ExperimentConfig struct {
+	// RootSeed is the experiment's only entropy source.
+	RootSeed uint64 `json:"root_seed"`
+	// Trials is the per-(shape, strategy) trial count. Default 3.
+	Trials int `json:"trials"`
+	// Strategies names the adversaries to run (see Strategies() for the
+	// catalog). Default: the full catalog.
+	Strategies []string `json:"strategies"`
+	// Shapes lists the cluster topologies. Default: 2x2.
+	Shapes []Shape `json:"shapes"`
+	// Dim/N are the corpus dimension and size. Defaults 64 / 48.
+	Dim int `json:"dim"`
+	N   int `json:"n"`
+	// Queries is the planned compared-query count per trial. Default 24.
+	Queries int `json:"queries"`
+	// Warmup is the pre-fault compared-query count per trial (fills the
+	// router's latency window so hedge delays are warm). Default 8.
+	Warmup int `json:"warmup"`
+	// MaxFalseEvictionRate is the gate threshold on false evictions per
+	// trial. Default 0.5 — lenient, because a saturated CI runner can
+	// legitimately starve a healthy replica past the eviction threshold;
+	// the hard invariants are wrong answers and acked-write loss.
+	MaxFalseEvictionRate float64 `json:"max_false_eviction_rate"`
+}
+
+func (c ExperimentConfig) withDefaults() ExperimentConfig {
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = Strategies()
+	}
+	if len(c.Shapes) == 0 {
+		c.Shapes = []Shape{{Shards: 2, Replicas: 2}}
+	}
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.N == 0 {
+		c.N = 48
+	}
+	if c.Queries == 0 {
+		c.Queries = 24
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 8
+	}
+	if c.MaxFalseEvictionRate == 0 {
+		c.MaxFalseEvictionRate = 0.5
+	}
+	return c
+}
+
+// TrialInvariants is the deterministic half of a trial's result: every
+// field is a pure function of the trial seed (plus the correctness
+// invariants, which must be zero). Re-running an experiment with the
+// same root seed must reproduce the invariants byte-identically —
+// that's the replayability acceptance check — while wall-clock-shaped
+// observations live in TrialMeasured.
+type TrialInvariants struct {
+	Strategy string `json:"strategy"`
+	Shape    string `json:"shape"`
+	Trial    int    `json:"trial"`
+	Seed     uint64 `json:"seed"`
+	// TargetShard/TargetReplica locate the faulted replica (-1/-1 for
+	// strategies without a cluster target, e.g. wal-tear).
+	TargetShard   int `json:"target_shard"`
+	TargetReplica int `json:"target_replica"`
+	// Queries is the planned compared-query count (pressure queries
+	// issued while waiting for detection are extra and not counted).
+	Queries int `json:"queries"`
+	// WrongAnswers counts compared queries where the faulted cluster's
+	// answer differed byte-for-byte from the unfaulted reference. The
+	// invariant is zero; FirstDivergence carries the first counterexample.
+	WrongAnswers    int    `json:"wrong_answers"`
+	FirstDivergence string `json:"first_divergence,omitempty"`
+	// AckedWrites is how many writes were acknowledged before the
+	// injected crash; AckedWritesLost how many of those the reboot
+	// failed to replay. The invariant is zero lost.
+	AckedWrites     int `json:"acked_writes"`
+	AckedWritesLost int `json:"acked_writes_lost"`
+}
+
+// TrialMeasured is the wall-clock half of a trial's result: real
+// latencies and scheduler-dependent counters. Excluded from the
+// replayability check.
+type TrialMeasured struct {
+	// DetectionLatencyMS is fault-arm → target-eviction (-1 when the
+	// strategy does not expect an eviction or none was observed).
+	DetectionLatencyMS float64 `json:"detection_latency_ms"`
+	// ReadmissionMS is heal → target-readmission (-1 when not waited on).
+	ReadmissionMS  float64 `json:"readmission_ms"`
+	Evictions      int64   `json:"evictions"`
+	FalseEvictions int64   `json:"false_evictions"` // evictions of unfaulted replicas
+	Readmissions   int64   `json:"readmissions"`
+	Hedges         int64   `json:"hedges"`
+	HedgeWins      int64   `json:"hedge_wins"`
+	Failovers      int64   `json:"failovers"`
+	// FaultsInjected is how many requests the armed fault touched.
+	FaultsInjected int64   `json:"faults_injected"`
+	DurationMS     float64 `json:"duration_ms"`
+}
+
+// ExperimentResult is one trial's full record.
+type ExperimentResult struct {
+	Invariants TrialInvariants `json:"invariants"`
+	Measured   TrialMeasured   `json:"measured"`
+}
+
+// Summary is the matrix rollup the gate reads.
+type Summary struct {
+	Trials            int     `json:"trials"`
+	WrongAnswers      int     `json:"wrong_answers"`
+	AckedWrites       int     `json:"acked_writes"`
+	AckedWritesLost   int     `json:"acked_writes_lost"`
+	Evictions         int64   `json:"evictions"`
+	FalseEvictions    int64   `json:"false_evictions"`
+	FalseEvictionRate float64 `json:"false_eviction_rate"` // false evictions per trial
+	Readmissions      int64   `json:"readmissions"`
+	Hedges            int64   `json:"hedges"`
+	HedgeWins         int64   `json:"hedge_wins"`
+	HedgeWinRate      float64 `json:"hedge_win_rate"`
+	// MeanDetectionMS averages over trials that observed an eviction.
+	MeanDetectionMS float64 `json:"mean_detection_ms"`
+}
+
+// Matrix is a whole experiment's output — what cmd/annschaos writes as
+// CHAOS_RESULTS.json.
+type Matrix struct {
+	RootSeed uint64             `json:"root_seed"`
+	Config   ExperimentConfig   `json:"config"`
+	Results  []ExperimentResult `json:"results"`
+	Summary  Summary            `json:"summary"`
+}
+
+// InvariantsJSON is the canonical byte image of the matrix's
+// deterministic half: re-running with the same root seed must
+// reproduce these bytes exactly.
+func (m *Matrix) InvariantsJSON() []byte {
+	inv := make([]TrialInvariants, len(m.Results))
+	for i, r := range m.Results {
+		inv[i] = r.Invariants
+	}
+	out, err := json.MarshalIndent(struct {
+		RootSeed   uint64            `json:"root_seed"`
+		Invariants []TrialInvariants `json:"invariants"`
+	}{m.RootSeed, inv}, "", "  ")
+	if err != nil {
+		panic(err) // static schema: cannot fail
+	}
+	return out
+}
+
+// Gate returns the violated invariants (empty = pass): any wrong
+// answer, any acked-write loss, or a false-eviction rate above the
+// configured threshold.
+func (m *Matrix) Gate() []string {
+	var v []string
+	if m.Summary.WrongAnswers > 0 {
+		v = append(v, fmt.Sprintf("wrong answers: %d (invariant: 0)", m.Summary.WrongAnswers))
+	}
+	if m.Summary.AckedWritesLost > 0 {
+		v = append(v, fmt.Sprintf("acked writes lost: %d of %d (invariant: 0)",
+			m.Summary.AckedWritesLost, m.Summary.AckedWrites))
+	}
+	if max := m.Config.MaxFalseEvictionRate; m.Summary.FalseEvictionRate > max {
+		v = append(v, fmt.Sprintf("false-eviction rate %.3f exceeds threshold %.3f",
+			m.Summary.FalseEvictionRate, max))
+	}
+	return v
+}
+
+// Run executes the experiment: for each shape it builds one shared
+// cluster, then runs every strategy × trial against it (wal-tear
+// builds its own per-trial mutable fixture instead). logf, when
+// non-nil, receives progress lines.
+func Run(cfg ExperimentConfig, logf func(format string, args ...any)) (*Matrix, error) {
+	cfg = cfg.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	strats := make([]strategy, len(cfg.Strategies))
+	for i, name := range cfg.Strategies {
+		s, err := strategyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		strats[i] = s
+	}
+	m := &Matrix{RootSeed: cfg.RootSeed, Config: cfg}
+	for _, shape := range cfg.Shapes {
+		dir, err := os.MkdirTemp("", "chaos-cluster-*")
+		if err != nil {
+			return nil, err
+		}
+		clusterSeed := deriveSeed(cfg.RootSeed, "cluster", shape.String())
+		cluster, err := BuildCluster(dir, shape, clusterSeed, cfg.Dim, cfg.N, cfg.Queries)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("chaos: building %s cluster: %w", shape, err)
+		}
+		logf("cluster %s up: n=%d, %d backends + reference", shape, cfg.N, shape.Shards*shape.Replicas)
+		for _, s := range strats {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := deriveSeed(cfg.RootSeed, shape.String(), s.name(), strconv.Itoa(trial))
+				res, err := runTrial(cfg, cluster, shape, s, trial, seed)
+				cluster.ClearFaults()
+				if err != nil {
+					cluster.Close()
+					os.RemoveAll(dir)
+					return nil, fmt.Errorf("chaos: %s/%s trial %d (seed %d): %w",
+						shape, s.name(), trial, seed, err)
+				}
+				m.Results = append(m.Results, *res)
+				logf("  %-10s %s trial %d: wrong=%d lost=%d detect=%.1fms evict=%d false=%d hedgewins=%d/%d (%.0fms)",
+					s.name(), shape, trial,
+					res.Invariants.WrongAnswers, res.Invariants.AckedWritesLost,
+					res.Measured.DetectionLatencyMS, res.Measured.Evictions,
+					res.Measured.FalseEvictions, res.Measured.HedgeWins, res.Measured.Hedges,
+					res.Measured.DurationMS)
+			}
+		}
+		cluster.Close()
+		os.RemoveAll(dir)
+	}
+	m.Summary = summarize(m)
+	return m, nil
+}
+
+func summarize(m *Matrix) Summary {
+	s := Summary{Trials: len(m.Results)}
+	detected := 0
+	var detectSum float64
+	for _, r := range m.Results {
+		s.WrongAnswers += r.Invariants.WrongAnswers
+		s.AckedWrites += r.Invariants.AckedWrites
+		s.AckedWritesLost += r.Invariants.AckedWritesLost
+		s.Evictions += r.Measured.Evictions
+		s.FalseEvictions += r.Measured.FalseEvictions
+		s.Readmissions += r.Measured.Readmissions
+		s.Hedges += r.Measured.Hedges
+		s.HedgeWins += r.Measured.HedgeWins
+		if r.Measured.DetectionLatencyMS >= 0 {
+			detected++
+			detectSum += r.Measured.DetectionLatencyMS
+		}
+	}
+	if s.Trials > 0 {
+		s.FalseEvictionRate = float64(s.FalseEvictions) / float64(s.Trials)
+	}
+	if s.Hedges > 0 {
+		s.HedgeWinRate = float64(s.HedgeWins) / float64(s.Hedges)
+	}
+	if detected > 0 {
+		s.MeanDetectionMS = detectSum / float64(detected)
+	}
+	return s
+}

@@ -1,0 +1,224 @@
+// Package chaos is the deterministic fault-injection harness for the
+// distributed tier: an in-process cluster builder that stands up real
+// shard servers behind a real router with every replica fronted by a
+// fault-injecting proxy, a catalog of adversary strategies, and an
+// experiment runner whose whole trial matrix derives from one root seed
+// so any failing run replays from its seed alone. See DESIGN.md §8.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultMode selects what the proxy does to traffic. Except for
+// FaultPartition, /healthz always passes through clean — the gray
+// failures the router's probe-vs-request separation exists for.
+type FaultMode int
+
+const (
+	// FaultNone forwards everything untouched.
+	FaultNone FaultMode = iota
+	// FaultSlow delays every /v1/* response by Fault.Delay.
+	FaultSlow
+	// FaultGrayHang holds /v1/* requests open until the client gives up;
+	// /healthz stays green.
+	FaultGrayHang
+	// FaultGray500 answers /v1/* with 500; /healthz stays green.
+	FaultGray500
+	// FaultCorrupt forwards /v1/* but mangles the 200 body (first byte
+	// flipped, last byte dropped) so it never decodes; /healthz stays
+	// green.
+	FaultCorrupt
+	// FaultDrop severs /v1/* connections without writing a response;
+	// /healthz stays green.
+	FaultDrop
+	// FaultPartition severs every connection, /healthz included — the
+	// replica looks unreachable.
+	FaultPartition
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultSlow:
+		return "slow"
+	case FaultGrayHang:
+		return "gray-hang"
+	case FaultGray500:
+		return "gray-500"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDrop:
+		return "drop"
+	case FaultPartition:
+		return "partition"
+	}
+	return fmt.Sprintf("FaultMode(%d)", int(m))
+}
+
+// Fault is one armed fault: a mode plus its parameters.
+type Fault struct {
+	Mode  FaultMode
+	Delay time.Duration // FaultSlow: added response latency
+}
+
+// Proxy is a seeded fault-injecting reverse proxy in front of one
+// replica. It forwards HTTP requests to the backend verbatim until a
+// fault is armed with SetFault; faults are scoped per the FaultMode
+// docs. Injected() counts requests a non-None fault touched.
+type Proxy struct {
+	backend string // backend base URL
+	ln      net.Listener
+	srv     *http.Server
+	client  *http.Client
+
+	mu    sync.Mutex
+	fault Fault
+
+	injected atomic.Int64
+}
+
+// NewProxy starts a proxy on a fresh loopback port in front of backend
+// (a base URL like "http://127.0.0.1:4123").
+func NewProxy(backend string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		backend: strings.TrimSuffix(backend, "/"),
+		ln:      ln,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+		}},
+	}
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.serve)}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// URL returns the proxy's base URL — what the router is pointed at.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// SetFault arms (or, with the zero Fault, clears) the injected fault.
+func (p *Proxy) SetFault(f Fault) {
+	p.mu.Lock()
+	p.fault = f
+	p.mu.Unlock()
+}
+
+// Injected returns how many requests a non-None fault has touched.
+func (p *Proxy) Injected() int64 { return p.injected.Load() }
+
+// Close stops listening and tears down in-flight connections.
+func (p *Proxy) Close() error {
+	p.srv.Close()
+	return nil
+}
+
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	f := p.fault
+	p.mu.Unlock()
+
+	if f.Mode == FaultPartition {
+		p.injected.Add(1)
+		sever(w)
+		return
+	}
+	// Everything except /v1/* (health probes, stats scrapes) passes
+	// clean under every other mode: these are gray failures by design.
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		p.forward(w, r, false)
+		return
+	}
+	switch f.Mode {
+	case FaultNone:
+		p.forward(w, r, false)
+	case FaultSlow:
+		p.injected.Add(1)
+		select {
+		case <-time.After(f.Delay):
+		case <-r.Context().Done():
+			return
+		}
+		p.forward(w, r, false)
+	case FaultGrayHang:
+		p.injected.Add(1)
+		<-r.Context().Done() // hold until the client tears the attempt down
+	case FaultGray500:
+		p.injected.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"chaos: injected 500"}`)
+	case FaultCorrupt:
+		p.injected.Add(1)
+		p.forward(w, r, true)
+	case FaultDrop:
+		p.injected.Add(1)
+		sever(w)
+	}
+}
+
+// forward relays the request to the backend, optionally corrupting a
+// 200 body. Corruption flips the first byte and drops the last, which
+// deterministically breaks JSON decoding — the point is a frame the
+// receiver must detect, not a subtly plausible one.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, corrupt bool) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.backend+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		sever(w) // backend unreachable: look like a dead replica, not a 502
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		sever(w)
+		return
+	}
+	if corrupt && resp.StatusCode == http.StatusOK && len(body) > 1 {
+		body[0] ^= 0xFF
+		body = body[:len(body)-1]
+	}
+	for k, vs := range resp.Header {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// sever closes the client connection without an HTTP response, so the
+// client sees a transport error (connection reset / EOF).
+func sever(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos: response writer is not hijackable")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST, not FIN: an abrupt sever, like a kill -9
+	}
+	conn.Close()
+}

@@ -1,0 +1,486 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/router"
+	"repro/internal/segment"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// The adversary catalog (DESIGN.md §8.2). Each strategy faults exactly
+// one replica (or, for wal-tear, one mutable primary); with every shape
+// required to keep >= 2 replicas per shard, the cluster always holds a
+// clean copy of every shard, so the zero-wrong-answer invariant is the
+// router's to keep, not the adversary's to grant.
+const (
+	StrategySlow      = "slow"      // seeded added latency; hedges should win
+	StrategyGrayHang  = "gray-hang" // healthz green, queries hang
+	StrategyGray500   = "gray-500"  // healthz green, queries 500
+	StrategyCorrupt   = "corrupt"   // healthz green, 200 bodies mangled
+	StrategyDrop      = "drop"      // healthz green, query connections severed
+	StrategyPartition = "partition" // everything severed, healed mid-trial
+	StrategyWALTear   = "wal-tear"  // torn/corrupt WAL tail across a kill -9
+)
+
+// Strategies returns the full catalog, in canonical order.
+func Strategies() []string {
+	return []string{
+		StrategySlow, StrategyGrayHang, StrategyGray500,
+		StrategyCorrupt, StrategyDrop, StrategyPartition, StrategyWALTear,
+	}
+}
+
+type strategy interface {
+	name() string
+	run(t *trial) error
+}
+
+func strategyByName(name string) (strategy, error) {
+	switch name {
+	case StrategySlow:
+		return proxyStrategy{label: name, mode: FaultSlow}, nil
+	case StrategyGrayHang:
+		return proxyStrategy{label: name, mode: FaultGrayHang, expectEvict: true}, nil
+	case StrategyGray500:
+		return proxyStrategy{label: name, mode: FaultGray500, expectEvict: true}, nil
+	case StrategyCorrupt:
+		return proxyStrategy{label: name, mode: FaultCorrupt, expectEvict: true}, nil
+	case StrategyDrop:
+		return proxyStrategy{label: name, mode: FaultDrop, expectEvict: true}, nil
+	case StrategyPartition:
+		return proxyStrategy{label: name, mode: FaultPartition, expectEvict: true, heal: true}, nil
+	case StrategyWALTear:
+		return walTearStrategy{}, nil
+	}
+	return nil, fmt.Errorf("chaos: unknown strategy %q (catalog: %v)", name, Strategies())
+}
+
+// trial is one running trial's state: its seed-derived randomness and
+// the result halves the strategy fills in.
+type trial struct {
+	cfg      ExperimentConfig
+	cluster  *Cluster
+	shape    Shape
+	seed     uint64
+	r        *rng.Source
+	inv      TrialInvariants
+	meas     TrialMeasured
+	client   *http.Client
+	refURL   string
+	routeURL string
+}
+
+func runTrial(cfg ExperimentConfig, cluster *Cluster, shape Shape, s strategy, trialIdx int, seed uint64) (*ExperimentResult, error) {
+	t := &trial{
+		cfg:     cfg,
+		cluster: cluster,
+		shape:   shape,
+		seed:    seed,
+		r:       rng.New(seed),
+		client:  &http.Client{},
+		inv: TrialInvariants{
+			Strategy:      s.name(),
+			Shape:         shape.String(),
+			Trial:         trialIdx,
+			Seed:          seed,
+			TargetShard:   -1,
+			TargetReplica: -1,
+			Queries:       cfg.Queries,
+		},
+		meas: TrialMeasured{DetectionLatencyMS: -1, ReadmissionMS: -1},
+	}
+	start := time.Now()
+	err := s.run(t)
+	t.meas.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentResult{Invariants: t.inv, Measured: t.meas}, nil
+}
+
+// ---- shared compare fold ----
+
+// postJSON posts body and returns status plus the raw answer bytes.
+func (t *trial) postJSON(url string, body any) (int, []byte, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := t.client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// compareQuery issues one query to both the faulted deployment and the
+// unfaulted reference and requires byte-identical 200 answers — the
+// same fold `annsload -compare` applies. A transport error reaching
+// either side is a harness failure (returned), not a wrong answer; a
+// non-200 or differing body is the invariant violation being hunted.
+// counted selects whether this comparison is one of the trial's planned
+// Queries (detection-pressure queries are compared but not counted, so
+// the invariant half of the result stays timing-independent).
+func (t *trial) compareQuery(aURL, bURL string, q workload.Query, opIdx int, counted bool) error {
+	req := server.QueryRequest{Point: server.EncodePoint(q.X)}
+	sa, rawA, err := t.postJSON(aURL+"/v1/query", req)
+	if err != nil {
+		return fmt.Errorf("querying faulted deployment: %w", err)
+	}
+	sb, rawB, err := t.postJSON(bURL+"/v1/query", req)
+	if err != nil {
+		return fmt.Errorf("querying reference: %w", err)
+	}
+	if sa == http.StatusOK && sb == http.StatusOK && bytes.Equal(rawA, rawB) {
+		return nil
+	}
+	t.inv.WrongAnswers++
+	if t.inv.FirstDivergence == "" {
+		t.inv.FirstDivergence = fmt.Sprintf(
+			"op %d (counted=%v): point=%s: faulted answered %d %s, reference %d %s",
+			opIdx, counted, req.Point, sa, bytes.TrimSpace(rawA), sb, bytes.TrimSpace(rawB))
+	}
+	return nil
+}
+
+// ---- replica state recorder ----
+
+type stateEvent struct {
+	at    time.Time
+	shard int
+	url   string
+	state string
+}
+
+type stateRecorder struct {
+	mu     sync.Mutex
+	events []stateEvent
+}
+
+func (rec *stateRecorder) hook(shard int, url, state, reason string) {
+	rec.mu.Lock()
+	rec.events = append(rec.events, stateEvent{at: time.Now(), shard: shard, url: url, state: state})
+	rec.mu.Unlock()
+}
+
+// firstTransition returns the first recorded transition of url into
+// state at or after since.
+func (rec *stateRecorder) firstTransition(url, state string, since time.Time) (time.Time, bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, e := range rec.events {
+		if e.url == url && e.state == state && !e.at.Before(since) {
+			return e.at, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// counts tallies evictions, evictions of replicas other than targetURL
+// (false evictions), and readmissions across the whole trial.
+func (rec *stateRecorder) counts(targetURL string) (evictions, falseEvictions, readmissions int64) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, e := range rec.events {
+		switch e.state {
+		case router.StateEvicted:
+			evictions++
+			if e.url != targetURL {
+				falseEvictions++
+			}
+		case router.StateHealthy:
+			readmissions++
+		}
+	}
+	return
+}
+
+// ---- proxy-fault strategies ----
+
+// proxyStrategy is the shared flow for every fault injected at a
+// replica's proxy: warm up clean, arm the fault on a seeded target,
+// compare the planned queries against the reference, wait for the
+// router to detect (when the fault warrants eviction), optionally heal
+// and wait for readmission, then collect the health-state accounting.
+type proxyStrategy struct {
+	label       string
+	mode        FaultMode
+	expectEvict bool
+	heal        bool
+}
+
+func (ps proxyStrategy) name() string { return ps.label }
+
+func (ps proxyStrategy) run(t *trial) error {
+	c := t.cluster
+	rec := &stateRecorder{}
+	rt, err := router.New(c.RouterConfig(rec.hook))
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	t.routeURL = "http://" + ln.Addr().String()
+	t.refURL = c.RefURL
+
+	queryAt := func(i int) workload.Query { return c.Inst.Queries[i%len(c.Inst.Queries)] }
+	for i := 0; i < t.cfg.Warmup; i++ {
+		if err := t.compareQuery(t.routeURL, t.refURL, queryAt(i), i, false); err != nil {
+			return err
+		}
+	}
+
+	ts, tr := t.r.Intn(t.shape.Shards), t.r.Intn(t.shape.Replicas)
+	t.inv.TargetShard, t.inv.TargetReplica = ts, tr
+	target := c.Proxies[ts][tr]
+	injected0 := target.Injected()
+	fault := Fault{Mode: ps.mode}
+	if ps.mode == FaultSlow {
+		fault.Delay = time.Duration(40+t.r.Intn(80)) * time.Millisecond
+	}
+	armedAt := time.Now()
+	target.SetFault(fault)
+
+	for i := 0; i < t.cfg.Queries; i++ {
+		if err := t.compareQuery(t.routeURL, t.refURL, queryAt(i), i, true); err != nil {
+			return err
+		}
+	}
+
+	// Detection: with the fault armed, keep comparison pressure on until
+	// the router evicts the target (or a generous deadline passes — a
+	// missed detection shows up as -1, not a harness error).
+	if ps.expectEvict {
+		deadline := time.Now().Add(5 * time.Second)
+		for i := 0; ; i++ {
+			if at, ok := rec.firstTransition(target.URL(), router.StateEvicted, armedAt); ok {
+				t.meas.DetectionLatencyMS = float64(at.Sub(armedAt).Microseconds()) / 1000
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			if err := t.compareQuery(t.routeURL, t.refURL, queryAt(i), t.cfg.Queries+i, false); err != nil {
+				return err
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	} else if at, ok := rec.firstTransition(target.URL(), router.StateEvicted, armedAt); ok {
+		// Not required (e.g. slow), but the hedge-loss pressure path may
+		// legitimately evict a consistently slow replica — record it.
+		t.meas.DetectionLatencyMS = float64(at.Sub(armedAt).Microseconds()) / 1000
+	}
+
+	if ps.heal {
+		healedAt := time.Now()
+		target.SetFault(Fault{})
+		deadline := healedAt.Add(5 * time.Second)
+		for {
+			if at, ok := rec.firstTransition(target.URL(), router.StateHealthy, healedAt); ok {
+				t.meas.ReadmissionMS = float64(at.Sub(healedAt).Microseconds()) / 1000
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		// Post-heal, the whole replica set serves again: answers must
+		// still fold byte-identically.
+		for i := 0; i < t.cfg.Warmup; i++ {
+			if err := t.compareQuery(t.routeURL, t.refURL, queryAt(i), 2*t.cfg.Queries+i, false); err != nil {
+				return err
+			}
+		}
+	}
+
+	st := rt.Stats()
+	for _, ss := range st.ShardStats {
+		t.meas.Hedges += ss.Hedges
+		t.meas.HedgeWins += ss.HedgeWins
+		t.meas.Failovers += ss.Failovers
+	}
+	t.meas.Evictions, t.meas.FalseEvictions, t.meas.Readmissions = rec.counts(target.URL())
+	t.meas.FaultsInjected = target.Injected() - injected0
+	return nil
+}
+
+// ---- WAL-tear strategy ----
+
+// walTearStrategy is the durability adversary: a mutable primary
+// acknowledges K synchronous writes over the wire, dies (kill -9 —
+// every acked record is already fsynced), its WAL tail gains the crash
+// artifact of an in-flight unacked append (torn or corrupt frame, per
+// the seed), and the reboot must replay exactly the K acked writes and
+// answer queries byte-identically to a reference that applied the same
+// K writes directly. Lost acked writes and divergent answers are the
+// gated invariants.
+type walTearStrategy struct{}
+
+func (walTearStrategy) name() string { return StrategyWALTear }
+
+func (walTearStrategy) run(t *trial) error {
+	dir, err := os.MkdirTemp("", "chaos-waltear-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	d := t.cfg.Dim
+	spec := workload.Spec{Kind: "planted", D: d, N: t.cfg.N, Q: t.cfg.Queries, Dist: d / 10, Seed: t.seed}
+	inst, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	opts := anns.Options{Dimension: d, Rounds: 2, Seed: t.seed}
+	buildBase := func() (*anns.Index, error) {
+		pts := make([]anns.Point, len(inst.DB))
+		copy(pts, inst.DB)
+		return anns.Build(pts, opts)
+	}
+	walPath := filepath.Join(dir, "primary.wal")
+	mcfg := anns.MutableConfig{MemtableCap: 4, Synchronous: true, WALPath: walPath, WALSyncEvery: 1}
+
+	base, err := buildBase()
+	if err != nil {
+		return err
+	}
+	mut, err := anns.NewMutable(base, mcfg)
+	if err != nil {
+		return err
+	}
+	primary, err := serveIndex(mut, d)
+	if err != nil {
+		mut.Close()
+		return err
+	}
+
+	// K acked writes over the wire: each 200 carries the durability
+	// promise the reboot is held to.
+	k := 6 + t.r.Intn(6)
+	t.inv.AckedWrites = k
+	wr := rng.NewStream(t.seed, 0x1a11)
+	newPts := make([]anns.Point, 0, k)
+	ids := make([]uint64, 0, k)
+	for i := 0; i < k; i++ {
+		p := anns.Point(hamming.Random(wr, d))
+		status, raw, err := t.postJSON(primary.url()+"/v1/insert", server.InsertRequest{Point: server.EncodePoint(p)})
+		if err != nil {
+			primary.close()
+			mut.Close()
+			return err
+		}
+		if status != http.StatusOK {
+			primary.close()
+			mut.Close()
+			return fmt.Errorf("insert %d rejected: %d %s", i, status, raw)
+		}
+		var ack server.InsertResponse
+		if err := json.Unmarshal(raw, &ack); err != nil {
+			primary.close()
+			mut.Close()
+			return err
+		}
+		newPts = append(newPts, p)
+		ids = append(ids, ack.ID)
+	}
+
+	// kill -9: tear the process down and append the crash artifact an
+	// interrupted in-flight append would have left.
+	primary.close()
+	if err := mut.Close(); err != nil {
+		return err
+	}
+	tear := segment.AppendTornFrame
+	if t.r.Intn(2) == 1 {
+		tear = segment.AppendCorruptFrame
+	}
+	if err := tear(walPath); err != nil {
+		return err
+	}
+
+	// Reboot: bit-identical base rebuild + WAL replay.
+	base2, err := buildBase()
+	if err != nil {
+		return err
+	}
+	mut2, err := anns.NewMutable(base2, mcfg)
+	if err != nil {
+		return fmt.Errorf("reboot after injected tail: %w", err)
+	}
+	defer mut2.Close()
+	if replayed := mut2.MutableStats().WALReplayed; replayed < k {
+		t.inv.AckedWritesLost = k - replayed
+	}
+	rebooted, err := serveIndex(mut2, d)
+	if err != nil {
+		return err
+	}
+	defer rebooted.close()
+
+	// Reference: the same acked ops applied directly, no WAL, no crash.
+	// Deterministic ID assignment means it must agree with the acked IDs.
+	base3, err := buildBase()
+	if err != nil {
+		return err
+	}
+	ref, err := anns.NewMutable(base3, anns.MutableConfig{MemtableCap: 4, Synchronous: true})
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+	for i, p := range newPts {
+		id, err := ref.Insert(p)
+		if err != nil {
+			return err
+		}
+		if id != ids[i] {
+			return fmt.Errorf("reference assigned id %d to insert %d, primary acked %d (nondeterministic ids break the compare fold)", id, i, ids[i])
+		}
+	}
+	refSrv, err := serveIndex(ref, d)
+	if err != nil {
+		return err
+	}
+	defer refSrv.close()
+
+	// Compare: the planned queries, then every acked point (whose answer
+	// is its own ID — the sharpest probe for a silently dropped write).
+	for i := 0; i < t.cfg.Queries; i++ {
+		q := inst.Queries[i%len(inst.Queries)]
+		if err := t.compareQuery(rebooted.url(), refSrv.url(), q, i, true); err != nil {
+			return err
+		}
+	}
+	for i, p := range newPts {
+		q := workload.Query{X: p}
+		if err := t.compareQuery(rebooted.url(), refSrv.url(), q, t.cfg.Queries+i, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

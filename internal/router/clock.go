@@ -1,0 +1,156 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the router's time source. The probe/backoff/latency state
+// machine, the hedge timer, and the prober ticker all read time through
+// it, so the chaos harness and unit tests can drive the whole failure
+// state machine on virtual time — backoff expiry, probe cadence, hedge
+// arming — without real sleeps. Production routers use the wall clock
+// (Config.Clock == nil).
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	NewTimer(d time.Duration) Timer
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer is a clock-owned one-shot timer (time.Timer behind an
+// interface so a VirtualClock can fire it on Advance).
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+// Ticker is a clock-owned repeating timer.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// wallClock is the default Clock: the real time package.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                  { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (wallClock) NewTimer(d time.Duration) Timer  { return wallTimer{time.NewTimer(d)} }
+func (wallClock) NewTicker(d time.Duration) Ticker {
+	return wallTicker{time.NewTicker(d)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop() bool          { return w.t.Stop() }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }
+
+// VirtualClock is a manually advanced Clock for deterministic tests:
+// Now is frozen between Advance calls, and Advance fires every timer
+// and ticker that comes due, in chronological order, with Now set to
+// each expiry instant while it fires. Sends never block — like the time
+// package, a receiver that is not listening misses the tick rather than
+// wedging the clock.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*virtualWaiter
+}
+
+type virtualWaiter struct {
+	clock   *VirtualClock
+	ch      chan time.Time
+	at      time.Time
+	period  time.Duration // 0 = one-shot timer
+	stopped bool
+}
+
+// NewVirtualClock returns a VirtualClock frozen at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *VirtualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c *VirtualClock) newWaiter(d, period time.Duration) *virtualWaiter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := &virtualWaiter{clock: c, ch: make(chan time.Time, 1), at: c.now.Add(d), period: period}
+	c.waiters = append(c.waiters, w)
+	return w
+}
+
+func (c *VirtualClock) NewTimer(d time.Duration) Timer { return c.newWaiter(d, 0) }
+func (c *VirtualClock) NewTicker(d time.Duration) Ticker {
+	return virtualTicker{c.newWaiter(d, d)}
+}
+
+// virtualTicker adapts virtualWaiter's Stop() bool to Ticker's Stop().
+type virtualTicker struct{ *virtualWaiter }
+
+func (t virtualTicker) Stop() { t.virtualWaiter.Stop() }
+
+// Advance moves the clock forward by d, firing due timers and tickers
+// in order of expiry.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		var next *virtualWaiter
+		for _, w := range c.waiters {
+			if w.stopped || w.at.After(target) {
+				continue
+			}
+			if next == nil || w.at.Before(next.at) {
+				next = w
+			}
+		}
+		if next == nil {
+			break
+		}
+		c.now = next.at
+		select {
+		case next.ch <- next.at:
+		default: // receiver not listening: drop the tick, like time.Ticker
+		}
+		if next.period > 0 {
+			next.at = next.at.Add(next.period)
+		} else {
+			next.stopped = true
+		}
+	}
+	c.now = target
+	// Compact out dead one-shot waiters so long-lived clocks don't leak.
+	live := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.stopped {
+			live = append(live, w)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].at.Before(live[j].at) })
+	c.waiters = live
+	c.mu.Unlock()
+}
+
+func (w *virtualWaiter) C() <-chan time.Time { return w.ch }
+
+func (w *virtualWaiter) Stop() bool {
+	w.clock.mu.Lock()
+	defer w.clock.mu.Unlock()
+	wasLive := !w.stopped
+	w.stopped = true
+	return wasLive
+}

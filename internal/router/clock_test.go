@@ -1,0 +1,189 @@
+package router
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestVirtualClockAdvance pins the virtual clock's contract: Now is
+// frozen between Advance calls, timers and tickers fire in expiry
+// order, a ticker fires once per elapsed period, and Stop silences a
+// waiter.
+func TestVirtualClockAdvance(t *testing.T) {
+	start := time.Unix(5000, 0)
+	c := NewVirtualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+
+	timer := c.NewTimer(30 * time.Millisecond)
+	ticker := c.NewTicker(10 * time.Millisecond)
+
+	c.Advance(25 * time.Millisecond)
+	if got := len(drain(ticker.C())); got != 1 {
+		// The channel has capacity 1: ticks at 10ms and 20ms both came
+		// due, but the second found the buffer full and was dropped,
+		// exactly like time.Ticker under a slow receiver.
+		t.Fatalf("ticker fired %d buffered ticks, want 1 (capacity-1 drop)", got)
+	}
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	if want := start.Add(25 * time.Millisecond); !c.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", c.Now(), want)
+	}
+
+	c.Advance(10 * time.Millisecond)
+	select {
+	case at := <-timer.C():
+		if want := start.Add(30 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire after its deadline passed")
+	}
+
+	drain(ticker.C()) // clear the tick buffered at t=30ms before stopping
+	ticker.Stop()
+	if timer.Stop() {
+		t.Fatal("Stop on an already-fired timer reported it live")
+	}
+	c.Advance(time.Second)
+	if got := len(drain(ticker.C())); got != 0 {
+		t.Fatalf("stopped ticker fired %d ticks", got)
+	}
+}
+
+func drain(ch <-chan time.Time) []time.Time {
+	var out []time.Time
+	for {
+		select {
+		case at := <-ch:
+			out = append(out, at)
+		default:
+			return out
+		}
+	}
+}
+
+// TestProberRunsOnVirtualTime pins the satellite contract: a router
+// built with a VirtualClock drives its probe cadence (and uptime) from
+// that clock, so tests advance virtual time instead of sleeping through
+// real ProbeIntervals.
+func TestProberRunsOnVirtualTime(t *testing.T) {
+	sx, _ := buildShards(t, 1)
+	var probes atomic.Int64
+	counting := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				probes.Add(1)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	ts := serveShard(t, sx.Shard(0), counting)
+
+	vc := NewVirtualClock(time.Unix(0, 0))
+	rt := newRouter(t, Config{
+		Dimension:     testDim,
+		N:             sx.Len(),
+		Replicas:      [][]string{{ts.URL}},
+		ProbeInterval: time.Hour, // would never fire inside a real-time test
+		Clock:         vc,
+	})
+
+	base := probes.Load() // the synchronous boot sweep
+	if base == 0 {
+		t.Fatal("no boot probe sweep")
+	}
+	// The prober goroutine registers its ticker asynchronously after New
+	// returns; advancing before that registration would fire nothing.
+	waitFor(t, func() bool {
+		vc.mu.Lock()
+		defer vc.mu.Unlock()
+		return len(vc.waiters) > 0
+	}, "prober ticker registration")
+	for i := 0; i < 3; i++ {
+		vc.Advance(time.Hour)
+		waitFor(t, func() bool { return probes.Load() >= base+int64(i+1) },
+			"probe sweep after virtual ProbeInterval")
+	}
+	vc.Advance(30 * time.Minute)
+	if got := rt.Stats().UptimeMS; got != (3*time.Hour + 30*time.Minute).Milliseconds() {
+		t.Fatalf("uptime = %dms, want virtual elapsed", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRouterFailsOverOnCorruptBody pins the corrupt-frame contract: a
+// replica that answers 200 with an undecodable body must be treated as
+// failed — health pressure plus failover to a clean replica — never
+// silently dropped from the merge (which would yield a well-formed
+// wrong answer).
+func TestRouterFailsOverOnCorruptBody(t *testing.T) {
+	sx, inst := buildShards(t, 1)
+	corrupting := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !strings.HasPrefix(r.URL.Path, "/v1/") {
+				next.ServeHTTP(w, r) // healthz stays clean: a gray corruptor
+				return
+			}
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if len(body) > 1 {
+				body[0] ^= 0xFF
+				body = body[:len(body)-1]
+			}
+			w.WriteHeader(rec.Code)
+			w.Write(body)
+		})
+	}
+	bad := serveShard(t, sx.Shard(0), corrupting)
+	good := serveShard(t, sx.Shard(0), nil)
+	rt := newRouter(t, Config{
+		Dimension:  testDim,
+		N:          sx.Len(),
+		Replicas:   [][]string{{bad.URL, good.URL}},
+		EvictAfter: 1,
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	ref := serveShard(t, sx, nil)
+	for qi, q := range inst.Queries {
+		req := server.QueryRequest{Point: server.EncodePoint(q.X)}
+		_, rawA := postJSON(t, rts.URL+"/v1/query", req)
+		_, rawB := postJSON(t, ref.URL+"/v1/query", req)
+		if string(rawA) != string(rawB) {
+			t.Fatalf("query %d: corrupt-replica cluster answered %s, reference %s", qi, rawA, rawB)
+		}
+	}
+	var badStats ReplicaStats
+	for _, rs := range rt.Stats().ShardStats[0].ReplicaStats {
+		if rs.URL == bad.URL {
+			badStats = rs
+		}
+	}
+	if badStats.Evictions == 0 {
+		t.Fatalf("corrupting replica accrued no evictions: %+v", badStats)
+	}
+}

@@ -31,25 +31,34 @@ const (
 type replica struct {
 	url string
 
-	mu        sync.Mutex
-	evicted   bool
-	probing   bool          // one health probe in flight
-	fails     int           // consecutive failures
-	backoff   time.Duration // current eviction backoff (0 when healthy)
-	retryAt   time.Time     // evicted: earliest next probe/last-resort use
-	evictions int64
-	lastErr   string // most recent probe failure reason ("" when healthy)
+	mu           sync.Mutex
+	evicted      bool
+	probing      bool          // one health probe in flight
+	fails        int           // consecutive failures
+	backoff      time.Duration // current eviction backoff (0 when healthy)
+	retryAt      time.Time     // evicted: earliest next probe/last-resort use
+	evictions    int64
+	readmissions int64
+	lastTrans    time.Time // when the replica last changed state
+	lastErr      string    // most recent probe failure reason ("" when healthy)
 }
 
 // reportSuccess records a *request-path* success: readmission plus a
-// full reset of the failure streak and backoff.
-func (r *replica) reportSuccess() {
+// full reset of the failure streak and backoff. Returns true when this
+// call readmitted an evicted replica (a state transition).
+func (r *replica) reportSuccess(now time.Time) bool {
 	r.mu.Lock()
+	readmitted := r.evicted
+	if readmitted {
+		r.readmissions++
+		r.lastTrans = now
+	}
 	r.evicted = false
 	r.fails = 0
 	r.backoff = 0
 	r.lastErr = ""
 	r.mu.Unlock()
+	return readmitted
 }
 
 // probeSuccess records a successful health probe: it readmits an
@@ -58,13 +67,19 @@ func (r *replica) reportSuccess() {
 // hanging on) queries must not have its eviction pressure zeroed every
 // ProbeInterval — with the streak preserved, such a replica re-evicts
 // after a single further request failure instead of oscillating in
-// rotation forever.
-func (r *replica) probeSuccess() {
+// rotation forever. Returns true when this call readmitted the replica.
+func (r *replica) probeSuccess(now time.Time) bool {
 	r.mu.Lock()
+	readmitted := r.evicted
+	if readmitted {
+		r.readmissions++
+		r.lastTrans = now
+	}
 	r.evicted = false
 	r.backoff = 0
 	r.lastErr = ""
 	r.mu.Unlock()
+	return readmitted
 }
 
 // setLastErr records why the most recent probe rejected the replica
@@ -77,16 +92,20 @@ func (r *replica) setLastErr(reason string) {
 
 // reportFailure counts one failure; crossing evictAfter evicts the
 // replica, and failing while evicted doubles the backoff up to max.
-func (r *replica) reportFailure(evictAfter int, base, max time.Duration) {
-	now := time.Now()
+// Returns true when this call evicted a healthy replica (a state
+// transition).
+func (r *replica) reportFailure(now time.Time, evictAfter int, base, max time.Duration) bool {
 	r.mu.Lock()
+	evictedNow := false
 	r.fails++
 	switch {
 	case !r.evicted && r.fails >= evictAfter:
 		r.evicted = true
 		r.evictions++
+		r.lastTrans = now
 		r.backoff = base
 		r.retryAt = now.Add(base)
+		evictedNow = true
 	case r.evicted:
 		r.backoff *= 2
 		if r.backoff > max {
@@ -95,6 +114,7 @@ func (r *replica) reportFailure(evictAfter int, base, max time.Duration) {
 		r.retryAt = now.Add(r.backoff)
 	}
 	r.mu.Unlock()
+	return evictedNow
 }
 
 // healthy reports whether the replica is in the Healthy state.
@@ -143,13 +163,19 @@ func (r *replica) snapshot() ReplicaStats {
 	if r.evicted {
 		st = StateEvicted
 	}
+	var lastMS int64
+	if !r.lastTrans.IsZero() {
+		lastMS = r.lastTrans.UnixMilli()
+	}
 	return ReplicaStats{
-		URL:       r.url,
-		State:     st,
-		Fails:     r.fails,
-		Evictions: r.evictions,
-		BackoffMS: r.backoff.Milliseconds(),
-		LastError: r.lastErr,
+		URL:                  r.url,
+		State:                st,
+		Fails:                r.fails,
+		Evictions:            r.evictions,
+		Readmissions:         r.readmissions,
+		LastTransitionUnixMS: lastMS,
+		BackoffMS:            r.backoff.Milliseconds(),
+		LastError:            r.lastErr,
 	}
 }
 
@@ -179,7 +205,7 @@ type shard struct {
 // it only inflates the hedge counters and, by failing, re-extends the
 // dead replica's backoff under the prober's feet). Returns nil when no
 // acceptable replica remains.
-func (sh *shard) pick(tried []*replica, desperate bool) *replica {
+func (sh *shard) pick(now time.Time, tried []*replica, desperate bool) *replica {
 	isTried := func(r *replica) bool {
 		for _, t := range tried {
 			if t == r {
@@ -191,7 +217,6 @@ func (sh *shard) pick(tried []*replica, desperate bool) *replica {
 	n := len(sh.replicas)
 	start := int(sh.rr.Add(1) - 1)
 	var expired, any *replica
-	now := time.Now()
 	for i := 0; i < n; i++ {
 		r := sh.replicas[(start+i)%n]
 		if isTried(r) {

@@ -97,6 +97,19 @@ type Config struct {
 
 	// Client overrides the HTTP client (tests). Default: pooled transport.
 	Client *http.Client
+
+	// Clock overrides the time source for the probe/backoff/hedge state
+	// machine (virtual-time tests, the chaos harness). Default: wall clock.
+	// Context deadlines still run on wall time — the Clock governs the
+	// router's own timers, not the kernel's.
+	Clock Clock
+
+	// OnReplicaState, when set, is called on every replica state
+	// transition: state is StateEvicted or StateHealthy, reason the
+	// failure that tipped the eviction ("" on readmission). Called
+	// synchronously from the probe and request paths — keep it fast and
+	// never call back into the Router from it.
+	OnReplicaState func(shard int, url, state, reason string)
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +189,7 @@ func (m *metrics) record(res anns.Result, failed bool) {
 type Router struct {
 	cfg    Config
 	client *http.Client
+	clock  Clock
 	shards []*shard
 	global func(shard, local int) int
 	mux    *http.ServeMux
@@ -207,16 +221,21 @@ func New(cfg Config) (*Router, error) {
 	if cfg.ShardSeeds != nil && len(cfg.ShardSeeds) != len(cfg.Replicas) {
 		return nil, fmt.Errorf("router: %d shard seeds for %d shards", len(cfg.ShardSeeds), len(cfg.Replicas))
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = wallClock{}
+	}
 	rt := &Router{
 		cfg:    cfg,
 		client: cfg.Client,
+		clock:  clock,
 		shards: make([]*shard, len(cfg.Replicas)),
 		global: anns.RoundRobinGlobal(len(cfg.Replicas)),
 		mux:    http.NewServeMux(),
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
-		start:  time.Now(),
+		start:  clock.Now(),
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{Transport: &http.Transport{
@@ -244,7 +263,7 @@ func New(cfg Config) (*Router, error) {
 	// merge wrong answers until the ticker's first firing. Replicas that
 	// are merely not up yet survive the sweep (one transport failure is
 	// below EvictAfter); manifest mismatches evict immediately.
-	rt.probeSweep(time.Now())
+	rt.probeSweep(rt.clock.Now())
 	go rt.prober()
 	return rt, nil
 }
@@ -288,14 +307,14 @@ func (rt *Router) Close() {
 
 func (rt *Router) prober() {
 	defer close(rt.done)
-	t := time.NewTicker(rt.cfg.ProbeInterval)
+	t := rt.clock.NewTicker(rt.cfg.ProbeInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-rt.quit:
 			return
-		case <-t.C:
-			rt.probeSweep(time.Now())
+		case <-t.C():
+			rt.probeSweep(rt.clock.Now())
 		}
 	}
 }
@@ -333,7 +352,7 @@ func (rt *Router) probe(rep *replica, shardPos int) {
 		reason = err.Error()
 	}
 	if reason == "" {
-		rep.probeSuccess()
+		rt.replicaSuccess(shardPos, rep, true)
 		return
 	}
 	rep.setLastErr(reason)
@@ -341,7 +360,32 @@ func (rt *Router) probe(rep *replica, shardPos int) {
 	if mismatch {
 		evictAfter = 1
 	}
-	rep.reportFailure(evictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+	rt.replicaFailure(shardPos, rep, evictAfter, reason)
+}
+
+// replicaSuccess records a success (probe-path when probe is true,
+// request-path otherwise) and fires the OnReplicaState hook when the
+// call readmitted an evicted replica.
+func (rt *Router) replicaSuccess(shardPos int, rep *replica, probe bool) {
+	now := rt.clock.Now()
+	var readmitted bool
+	if probe {
+		readmitted = rep.probeSuccess(now)
+	} else {
+		readmitted = rep.reportSuccess(now)
+	}
+	if readmitted && rt.cfg.OnReplicaState != nil {
+		rt.cfg.OnReplicaState(shardPos, rep.url, StateHealthy, "")
+	}
+}
+
+// replicaFailure records a failure and fires the OnReplicaState hook
+// when the call crossed the eviction threshold.
+func (rt *Router) replicaFailure(shardPos int, rep *replica, evictAfter int, reason string) {
+	evicted := rep.reportFailure(rt.clock.Now(), evictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+	if evicted && rt.cfg.OnReplicaState != nil {
+		rt.cfg.OnReplicaState(shardPos, rep.url, StateEvicted, reason)
+	}
 }
 
 // checkHealth fetches and validates one /healthz report. It returns a
@@ -389,6 +433,13 @@ func (rt *Router) checkHealth(rep *replica, shardPos int) (reason string, mismat
 
 var errNoReplica = errors.New("router: no replica available")
 
+// errCorruptReply marks a 200 answer whose body does not decode as the
+// expected response type. It counts against the replica's health and
+// triggers failover exactly like a 5xx: a replica emitting corrupt
+// frames must never silently vanish from the merge (dropping its shard
+// from the fold would produce a well-formed wrong answer).
+var errCorruptReply = errors.New("router: replica answered 200 with an undecodable body")
+
 // httpError is a non-200 answer from a replica. 5xx counts against the
 // replica's health and triggers failover; 4xx means the router's own
 // request is bad and fails fast (every replica would reject it the same
@@ -414,10 +465,13 @@ type attemptResult struct {
 // picked replica, a hedged second attempt on a different replica once
 // the shard's latency-quantile delay expires, and failover to untried
 // replicas on failure. First success wins. Attempts are bounded by the
-// replica-set size.
-func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []byte) ([]byte, error) {
+// replica-set size. valid, when non-nil, vets a 200 body before it can
+// win: an undecodable body is converted to errCorruptReply and handled
+// like any replica failure (health pressure + failover) instead of
+// being dropped from the merge upstream.
+func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []byte, valid func([]byte) bool) ([]byte, error) {
 	sh.requests.Add(1)
-	primary := sh.pick(nil, true)
+	primary := sh.pick(rt.clock.Now(), nil, true)
 	if primary == nil {
 		sh.errors.Add(1)
 		return nil, errNoReplica
@@ -432,9 +486,9 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 	resc := make(chan attemptResult, len(sh.replicas)+1)
 	launch := func(rep *replica, hedge bool) {
 		go func() {
-			t0 := time.Now()
+			t0 := rt.clock.Now()
 			b, err := rt.post(ctx, rep.url+path, body)
-			resc <- attemptResult{body: b, err: err, rep: rep, hedge: hedge, latency: time.Since(t0)}
+			resc <- attemptResult{body: b, err: err, rep: rep, hedge: hedge, latency: rt.clock.Since(t0)}
 		}()
 	}
 	launch(primary, false)
@@ -447,9 +501,9 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 	if delay < rt.cfg.HedgeMin {
 		delay = rt.cfg.HedgeMin
 	}
-	timer := time.NewTimer(delay)
+	timer := rt.clock.NewTimer(delay)
 	defer timer.Stop()
-	timerC := timer.C
+	timerC := timer.C()
 
 	var lastErr error
 	primaryDone := false
@@ -460,7 +514,7 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 			return nil, ctx.Err()
 		case <-timerC:
 			timerC = nil
-			if rep := sh.pick(tried, false); rep != nil {
+			if rep := sh.pick(rt.clock.Now(), tried, false); rep != nil {
 				tried = append(tried, rep)
 				sh.hedges.Add(1)
 				launch(rep, true)
@@ -471,6 +525,9 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 			if res.rep == primary {
 				primaryDone = true
 			}
+			if res.err == nil && valid != nil && !valid(res.body) {
+				res.err = errCorruptReply
+			}
 			if res.err == nil {
 				// The primary losing to an attempt that started a full
 				// hedge delay later is the gray-failure signal: a replica
@@ -479,9 +536,9 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 				// attempt is canceled, not reported). Jitter is safe: one
 				// success resets the consecutive-failure count.
 				if !primaryDone {
-					primary.reportFailure(rt.cfg.EvictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+					rt.replicaFailure(sh.pos, primary, rt.cfg.EvictAfter, "lost hedge race")
 				}
-				res.rep.reportSuccess()
+				rt.replicaSuccess(sh.pos, res.rep, false)
 				sh.lat.record(res.latency)
 				if res.hedge {
 					sh.hedgeWins.Add(1)
@@ -494,8 +551,8 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 				sh.errors.Add(1)
 				return nil, res.err
 			}
-			res.rep.reportFailure(rt.cfg.EvictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
-			if next := sh.pick(tried, true); next != nil {
+			rt.replicaFailure(sh.pos, res.rep, rt.cfg.EvictAfter, res.err.Error())
+			if next := sh.pick(rt.clock.Now(), tried, true); next != nil {
 				tried = append(tried, next)
 				sh.failovers.Add(1)
 				launch(next, false)
@@ -586,12 +643,16 @@ func toWire(res anns.Result, errMsg string) server.QueryResponse {
 func (rt *Router) scatterOne(ctx context.Context, path string, body []byte, near bool) (merged anns.Result, answered bool) {
 	replies := make([]anns.ShardReply, len(rt.shards))
 	wireOK := make([]bool, len(rt.shards)) // shard answered at all (Error == "")
+	valid := func(raw []byte) bool {
+		var qr server.QueryResponse
+		return json.Unmarshal(raw, &qr) == nil
+	}
 	var wg sync.WaitGroup
 	for s := range rt.shards {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			raw, err := rt.shardDo(ctx, rt.shards[s], path, body)
+			raw, err := rt.shardDo(ctx, rt.shards[s], path, body, valid)
 			if err != nil {
 				return // transport-level failure: no accounting, not OK
 			}
@@ -777,14 +838,20 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	// One batch request per shard (the whole batch is each shard's
-	// fan-out unit), merged point-wise afterwards.
+	// fan-out unit), merged point-wise afterwards. The validator also
+	// checks the result count, so a truncated-but-parseable frame fails
+	// over instead of dropping the shard from every slot's merge.
+	valid := func(raw []byte) bool {
+		var br server.BatchResponse
+		return json.Unmarshal(raw, &br) == nil && len(br.Results) == len(req.Points)
+	}
 	shardResults := make([][]server.QueryResponse, len(rt.shards))
 	var wg sync.WaitGroup
 	for s := range rt.shards {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			raw, err := rt.shardDo(ctx, rt.shards[s], "/v1/batch", body)
+			raw, err := rt.shardDo(ctx, rt.shards[s], "/v1/batch", body, valid)
 			if err != nil {
 				return
 			}
@@ -852,13 +919,13 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		N:        rt.cfg.N,
 		Shards:   len(rt.shards),
 		Dim:      rt.cfg.Dimension,
-		UptimeMS: time.Since(rt.start).Milliseconds(),
+		UptimeMS: rt.clock.Since(rt.start).Milliseconds(),
 	})
 }
 
 // Stats returns the current rollup (also served at /statsz).
 func (rt *Router) Stats() Stats {
-	up := time.Since(rt.start)
+	up := rt.clock.Since(rt.start)
 	out := Stats{
 		UptimeMS:         up.Milliseconds(),
 		Queries:          rt.m.queries.Load(),

@@ -436,53 +436,73 @@ func TestReplicaStateMachine(t *testing.T) {
 	rep := &replica{url: "http://x"}
 	const evictAfter = 2
 	base, max := 100*time.Millisecond, 350*time.Millisecond
+	// The state machine runs on whatever instants the caller feeds it,
+	// so the whole transition sequence is pinned on virtual time.
+	now := time.Unix(1000, 0)
 
-	rep.reportFailure(evictAfter, base, max)
+	if rep.reportFailure(now, evictAfter, base, max) {
+		t.Fatal("one failure below the threshold reported an eviction transition")
+	}
 	if !rep.healthy() {
 		t.Fatal("one failure evicted below the threshold")
 	}
-	rep.reportFailure(evictAfter, base, max)
+	if !rep.reportFailure(now, evictAfter, base, max) {
+		t.Fatal("crossing evictAfter did not report an eviction transition")
+	}
 	if rep.healthy() {
 		t.Fatal("still healthy after evictAfter consecutive failures")
 	}
-	if s := rep.snapshot(); s.Evictions != 1 || s.BackoffMS != 100 {
+	if s := rep.snapshot(); s.Evictions != 1 || s.BackoffMS != 100 ||
+		s.LastTransitionUnixMS != now.UnixMilli() {
 		t.Fatalf("post-eviction snapshot %+v", s)
 	}
-	rep.reportFailure(evictAfter, base, max) // failed readmission probe: 200ms
-	rep.reportFailure(evictAfter, base, max) // 350ms (clamped from 400ms)
+	rep.reportFailure(now, evictAfter, base, max) // failed readmission probe: 200ms
+	rep.reportFailure(now, evictAfter, base, max) // 350ms (clamped from 400ms)
 	if s := rep.snapshot(); s.BackoffMS != 350 {
 		t.Fatalf("backoff = %dms, want clamp at 350ms", s.BackoffMS)
 	}
-	if rep.probeEligible(time.Now()) {
+	if rep.probeEligible(now) {
 		t.Fatal("probe-eligible immediately after a fresh backoff")
 	}
-	if !rep.probeEligible(time.Now().Add(time.Second)) {
+	if !rep.probeEligible(now.Add(time.Second)) {
 		t.Fatal("not probe-eligible after the backoff expires")
 	}
-	rep.reportSuccess()
+	readmitAt := now.Add(time.Second)
+	if !rep.reportSuccess(readmitAt) {
+		t.Fatal("success on an evicted replica did not report a readmission transition")
+	}
 	if !rep.healthy() {
 		t.Fatal("success did not readmit")
 	}
-	if s := rep.snapshot(); s.Fails != 0 || s.BackoffMS != 0 {
-		t.Fatalf("readmitted snapshot %+v, want reset fails/backoff", s)
+	if s := rep.snapshot(); s.Fails != 0 || s.BackoffMS != 0 ||
+		s.Readmissions != 1 || s.LastTransitionUnixMS != readmitAt.UnixMilli() {
+		t.Fatalf("readmitted snapshot %+v, want reset fails/backoff and readmissions=1", s)
+	}
+	if rep.reportSuccess(readmitAt) {
+		t.Fatal("success on a healthy replica reported a transition")
 	}
 
 	// A probe success readmits but must preserve the request-path failure
 	// streak: the next request failure re-evicts immediately instead of
 	// restarting the EvictAfter count from zero.
-	rep.reportFailure(evictAfter, base, max)
-	rep.reportFailure(evictAfter, base, max)
+	rep.reportFailure(now, evictAfter, base, max)
+	rep.reportFailure(now, evictAfter, base, max)
 	if rep.healthy() {
 		t.Fatal("not evicted before probe readmission check")
 	}
-	rep.probeSuccess()
+	if !rep.probeSuccess(now) {
+		t.Fatal("probe success on an evicted replica did not report a readmission")
+	}
 	if !rep.healthy() {
 		t.Fatal("probe success did not readmit")
 	}
 	if s := rep.snapshot(); s.Fails == 0 {
 		t.Fatal("probe success cleared the request-path failure streak")
 	}
-	rep.reportFailure(evictAfter, base, max)
+	if s := rep.snapshot(); s.Readmissions != 2 {
+		t.Fatalf("readmissions = %d after a second readmission, want 2", s.Readmissions)
+	}
+	rep.reportFailure(now, evictAfter, base, max)
 	if rep.healthy() {
 		t.Fatal("query-failing prober-pleasing replica not re-evicted after one further failure")
 	}

@@ -52,12 +52,18 @@ type ShardStats struct {
 
 // ReplicaStats is one replica's health-state snapshot. LastError is the
 // most recent probe rejection reason — "misrouted: …" identifies a
-// replica serving the wrong shard's snapshot.
+// replica serving the wrong shard's snapshot. Evictions/Readmissions
+// are lifetime transition counters and LastTransitionUnixMS stamps the
+// most recent one (0 until the first transition), so external harnesses
+// — the chaos runner, dashboards — can measure detection latency and
+// false evictions from /statsz alone.
 type ReplicaStats struct {
-	URL       string `json:"url"`
-	State     string `json:"state"`
-	Fails     int    `json:"fails"`
-	Evictions int64  `json:"evictions"`
-	BackoffMS int64  `json:"backoff_ms"`
-	LastError string `json:"last_error,omitempty"`
+	URL                  string `json:"url"`
+	State                string `json:"state"`
+	Fails                int    `json:"fails"`
+	Evictions            int64  `json:"evictions"`
+	Readmissions         int64  `json:"readmissions"`
+	LastTransitionUnixMS int64  `json:"last_transition_unix_ms,omitempty"`
+	BackoffMS            int64  `json:"backoff_ms"`
+	LastError            string `json:"last_error,omitempty"`
 }

@@ -1,0 +1,56 @@
+package segment
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+)
+
+// Crash-artifact injection for the chaos harness (internal/chaos) and
+// recovery tests. A process killed mid-Append leaves one of two shapes
+// at the log's tail: a frame header whose promised payload never made
+// it to disk (torn), or a fully written frame whose payload bytes are
+// not what the checksum was computed over (corrupt — a lost sector or
+// an interrupted overwrite). Both describe mutations that were never
+// acknowledged, so replay must drop them and everything after; these
+// helpers append exactly those shapes to a closed WAL file so recovery
+// tests can assert that contract without staging a real crash.
+
+// AppendTornFrame appends a plausible frame header followed by fewer
+// payload bytes than the header promises — the artifact of a crash
+// between the header write and the payload write.
+func AppendTornFrame(path string) error {
+	// A delete-op length (9 bytes) is always plausible, but only 4
+	// payload bytes follow.
+	frame := make([]byte, walFrameLen+4)
+	binary.LittleEndian.PutUint32(frame[:4], 9)
+	binary.LittleEndian.PutUint32(frame[4:8], 0x7e5707a9)
+	frame[walFrameLen] = OpDelete
+	return appendRaw(path, frame)
+}
+
+// AppendCorruptFrame appends a complete, well-formed frame whose CRC
+// does not match its payload — the artifact of payload bytes damaged
+// after the header was committed.
+func AppendCorruptFrame(path string) error {
+	payload := make([]byte, 9)
+	payload[0] = OpDelete
+	binary.LittleEndian.PutUint64(payload[1:], 12345)
+	frame := make([]byte, walFrameLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload)^0xFFFFFFFF)
+	copy(frame[walFrameLen:], payload)
+	return appendRaw(path, frame)
+}
+
+func appendRaw(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

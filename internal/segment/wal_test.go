@@ -171,3 +171,58 @@ func TestWALTruncateResets(t *testing.T) {
 		t.Fatalf("after truncate, log replays %+v", ops)
 	}
 }
+
+// TestInjectedCrashArtifacts pins the chaos harness's WAL injection
+// points: AppendTornFrame and AppendCorruptFrame append exactly the
+// tail shapes a kill -9 leaves, replay drops them (and only them), and
+// the truncation heals the log for subsequent appends.
+func TestInjectedCrashArtifacts(t *testing.T) {
+	const d = 64
+	r := rng.New(9)
+	for _, inject := range []struct {
+		name string
+		fn   func(string) error
+	}{
+		{"torn", AppendTornFrame},
+		{"corrupt", AppendCorruptFrame},
+	} {
+		t.Run(inject.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			_, w, _ := collectOps(t, path, d)
+			for i := 0; i < 6; i++ {
+				if err := w.Append(Op{Kind: OpInsert, ID: uint64(i), Point: hamming.Random(r, d)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			goodSize, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inject.fn(path); err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+			if st, _ := os.Stat(path); st.Size() <= goodSize.Size() {
+				t.Fatal("injection appended nothing")
+			}
+			ops, w2, replayed := collectOps(t, path, d)
+			if replayed != 6 || len(ops) != 6 {
+				t.Fatalf("replayed %d records after %s tail, want all 6 acked", replayed, inject.name)
+			}
+			if st, _ := os.Stat(path); st.Size() != goodSize.Size() {
+				t.Fatalf("recovery left %d bytes, want truncation back to %d", st.Size(), goodSize.Size())
+			}
+			if err := w2.Append(Op{Kind: OpDelete, ID: 2}); err != nil {
+				t.Fatal(err)
+			}
+			w2.Close()
+			ops, w3, _ := collectOps(t, path, d)
+			w3.Close()
+			if len(ops) != 7 || ops[6].Kind != OpDelete {
+				t.Fatalf("post-recovery append lost: %d ops", len(ops))
+			}
+		})
+	}
+}
