@@ -289,7 +289,7 @@ func (ix *Index) queryCtx(x Point, c *core.QueryCtx) (Result, error) {
 		}
 		return out, errors.New("anns: query failed")
 	}
-	out.Distance = bitvec.Distance(ix.db[res.Index], x)
+	out.Distance = bitvec.Distance(ix.point(res.Index), x)
 	return out, nil
 }
 
@@ -317,13 +317,39 @@ func (ix *Index) queryNearCtx(x Point, lambda float64, c *core.QueryCtx) (Result
 		return out, fmt.Errorf("anns: near query failed: %w", res.Err)
 	}
 	if res.Index >= 0 {
-		out.Distance = bitvec.Distance(ix.db[res.Index], x)
+		out.Distance = bitvec.Distance(ix.point(res.Index), x)
 	}
 	return out, nil
 }
 
 // Len returns the database size.
-func (ix *Index) Len() int { return len(ix.db) }
+func (ix *Index) Len() int {
+	if ix.db != nil {
+		return len(ix.db)
+	}
+	return ix.coreIndex.N()
+}
+
+// point returns database point i: built indexes hold the caller's
+// slice, snapshot-loaded ones serve rows straight from the flat block
+// (on the mmap path, the file's own pages) without materializing
+// per-row headers on the open path.
+func (ix *Index) point(i int) Point {
+	if ix.db != nil {
+		return ix.db[i]
+	}
+	return ix.coreIndex.DBRow(i)
+}
+
+// points returns the whole database as per-point views, materializing
+// the header slice once for snapshot-loaded indexes (the mutable tier's
+// segment adoption path needs the full slice).
+func (ix *Index) points() []Point {
+	if ix.db != nil {
+		return ix.db
+	}
+	return ix.coreIndex.DBVectors()
+}
 
 // Options returns the options the index was built with.
 func (ix *Index) Options() Options { return ix.opts }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
 )
 
 // BatchResult pairs a query's position with its outcome.
@@ -66,6 +69,95 @@ dispatch:
 	return out
 }
 
+// primeChunk is how many queries a primed batch worker claims at a time:
+// a multiple of the sketch kernel's block width, small enough that a
+// straggler chunk does not serialize the tail of a batch.
+const primeChunk = 8
+
+// batchState is the per-worker scratch of a primed batch run: primeChunk
+// query contexts (each wrapped as a Scratch for the run callback) plus
+// the PrimeBatch destination slice. Pooled whole so steady-state batches
+// allocate nothing.
+type batchState struct {
+	scs  [primeChunk]*Scratch
+	ctxs [primeChunk]*core.QueryCtx
+	dsts [primeChunk]bitvec.Vector
+}
+
+var batchStatePool = sync.Pool{New: func() any {
+	st := new(batchState)
+	for i := range st.scs {
+		st.scs[i] = NewScratch()
+		st.ctxs[i] = st.scs[i].c
+	}
+	return st
+}}
+
+// batchRunPrimed is batchRun for schemes whose first round is
+// query-independent (core.BatchPrimer): workers claim chunks of
+// primeChunk queries, precompute the chunk's first-round sketches with
+// one blocked matrix traversal per level, then run the queries on the
+// primed contexts. Results, accounting, and cancellation semantics are
+// identical to batchRun — priming only moves sketch work into a
+// batch-amortized kernel.
+func batchRunPrimed(ctx context.Context, xs []Point, workers int, primer core.BatchPrimer,
+	run func(i int, sc *Scratch) (Result, error)) []BatchResult {
+	n := len(xs)
+	chunks := (n + primeChunk - 1) / primeChunk
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	out := make([]BatchResult, n)
+	if n == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := batchStatePool.Get().(*batchState)
+			defer batchStatePool.Put(st)
+			for lo := range jobs {
+				hi := lo + primeChunk
+				if hi > n {
+					hi = n
+				}
+				if ctx.Err() == nil {
+					primer.PrimeBatch(st.ctxs[:hi-lo], xs[lo:hi], st.dsts[:])
+				}
+				for i := lo; i < hi; i++ {
+					if err := ctx.Err(); err != nil {
+						out[i] = BatchResult{Result: Result{Index: -1, Distance: -1}, Err: err}
+						continue
+					}
+					res, err := run(i, st.scs[i-lo])
+					out[i] = BatchResult{Result: res, Err: err}
+				}
+			}
+		}()
+	}
+	done := ctx.Done()
+dispatch:
+	for lo := 0; lo < n; lo += primeChunk {
+		select {
+		case jobs <- lo:
+		case <-done:
+			for j := lo; j < n; j++ {
+				out[j] = BatchResult{Result: Result{Index: -1, Distance: -1}, Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
 // BatchQuery answers many queries concurrently over a fixed worker pool.
 // Queries are independent in the cell-probe model (each runs its own
 // k-round prober against the shared tables), so they parallelize cleanly;
@@ -84,9 +176,15 @@ func (ix *Index) BatchQuery(xs []Point, workers int) []BatchResult {
 // completion, so the returned slice always has len(xs) entries in input
 // order.
 func (ix *Index) BatchQueryContext(ctx context.Context, xs []Point, workers int) []BatchResult {
-	return batchRun(ctx, len(xs), workers, func(i int, sc *Scratch) (Result, error) {
+	run := func(i int, sc *Scratch) (Result, error) {
 		return ix.QueryScratch(xs[i], sc)
-	})
+	}
+	// The non-boosted Algorithm 1 scheme has a query-independent first
+	// round; prime each chunk's sketches with the blocked kernel.
+	if primer, ok := ix.scheme.(core.BatchPrimer); ok {
+		return batchRunPrimed(ctx, xs, workers, primer, run)
+	}
+	return batchRun(ctx, len(xs), workers, run)
 }
 
 // BatchQueryNear is the λ-ANNS counterpart of BatchQuery: every query

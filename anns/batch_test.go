@@ -39,6 +39,40 @@ func TestBatchQueryMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestBatchQueryPrimedFullIdentity pins the primed batch path (the
+// default Algorithm 1 scheme takes it) to the sequential path on every
+// Result field, at a batch size that is not a multiple of the priming
+// chunk, across two consecutive batches so pooled worker state is reused.
+func TestBatchQueryPrimedFullIdentity(t *testing.T) {
+	d := 256
+	pts := testPoints(t, d, 80)
+	idx, err := anns.Build(pts, anns.Options{Dimension: d, Rounds: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7300)
+	for round := 0; round < 2; round++ {
+		queries := make([]anns.Point, 21)
+		for i := range queries {
+			if i%2 == 0 {
+				queries[i] = hamming.AtDistance(r, pts[(i+round)%len(pts)], d, 4+i)
+			} else {
+				queries[i] = hamming.Random(r, d)
+			}
+		}
+		batch := idx.BatchQuery(queries, 3)
+		for i, q := range queries {
+			seq, seqErr := idx.Query(q)
+			if (seqErr == nil) != (batch[i].Err == nil) {
+				t.Fatalf("round %d query %d: error mismatch %v vs %v", round, i, seqErr, batch[i].Err)
+			}
+			if seq != batch[i].Result {
+				t.Fatalf("round %d query %d:\n batch: %+v\n   seq: %+v", round, i, batch[i].Result, seq)
+			}
+		}
+	}
+}
+
 func TestBatchQueryWorkerCounts(t *testing.T) {
 	d := 256
 	pts := testPoints(t, d, 50)

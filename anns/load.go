@@ -1,0 +1,143 @@
+package anns
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/snapshot"
+)
+
+// LoadMode selects how OpenSnapshot materializes a snapshot file.
+type LoadMode int
+
+const (
+	// LoadAuto prefers the zero-copy mmap path and transparently falls
+	// back to the heap decoder when the file cannot be mapped (platform
+	// without mmap, map failure). The fallback reason is recorded on the
+	// returned Loaded; decode errors — a corrupt or malformed file — are
+	// never "fallen back" from, they fail the open on either path.
+	LoadAuto LoadMode = iota
+	// LoadHeap forces the copying stream decoder: the whole file is read
+	// once, the checksum is verified inline, and the index owns its
+	// memory (no mapping to keep alive).
+	LoadHeap
+	// LoadMmap requires the zero-copy path: the open fails if the file
+	// cannot be mapped.
+	LoadMmap
+)
+
+func (m LoadMode) String() string {
+	switch m {
+	case LoadAuto:
+		return "auto"
+	case LoadHeap:
+		return "heap"
+	case LoadMmap:
+		return "mmap"
+	default:
+		return fmt.Sprintf("mode[%d]", int(m))
+	}
+}
+
+// Loaded is an index opened from a snapshot file, along with the
+// provenance the serving layer reports. Exactly one of Index and Sharded
+// is non-nil (the mutable tier has its own loader and stays on the heap
+// path; see DESIGN.md §9).
+//
+// When Source is "mmap" the index's flat sections are views into the
+// mapping: the Loaded must be kept alive and unclosed for as long as the
+// index serves, and Close must be called once it is retired. On the heap
+// path Close is a no-op (the index owns its memory), so callers can
+// defer it unconditionally.
+type Loaded struct {
+	Index   *Index
+	Sharded *ShardedIndex
+	// Source is "mmap" or "heap".
+	Source string
+	// MappedBytes is the mapping length when Source is "mmap".
+	MappedBytes int64
+	// FallbackReason is set when LoadAuto wanted mmap but took the heap
+	// path.
+	FallbackReason string
+
+	mapping *snapshot.Mapped
+}
+
+// Close releases the underlying mapping, invalidating the loaded index
+// when it was mmap-backed. Safe to call on heap-backed loads and to call
+// twice.
+func (l *Loaded) Close() error {
+	if l.mapping == nil {
+		return nil
+	}
+	return l.mapping.Close()
+}
+
+// VerifyChecksum runs the full CRC check of the backing file. The mmap
+// open validates structure only (see snapshot.ByteDecoder); serving
+// daemons run this asynchronously after boot. On heap-backed loads the
+// checksum was already verified inline and this returns nil.
+func (l *Loaded) VerifyChecksum() error {
+	if l.mapping == nil {
+		return nil
+	}
+	return l.mapping.VerifyChecksum()
+}
+
+// OpenSnapshot opens a serving snapshot (KindIndex or KindSharded) from
+// a file, choosing the decode path per mode. It is the path-based
+// complement of LoadAny: LoadAny streams from any io.Reader, OpenSnapshot
+// can hand out indexes whose storage is borrowed straight from the page
+// cache.
+func OpenSnapshot(path string, mode LoadMode) (*Loaded, error) {
+	if mode == LoadHeap {
+		return openHeap(path, "")
+	}
+	m, err := snapshot.MapFile(path)
+	if err != nil {
+		if mode == LoadMmap {
+			return nil, fmt.Errorf("anns: mmap load of %s: %w", path, err)
+		}
+		return openHeap(path, err.Error())
+	}
+	d, err := m.Decoder()
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	l := &Loaded{Source: "mmap", MappedBytes: int64(m.Len()), mapping: m}
+	switch d.Kind() {
+	case snapshot.KindIndex:
+		l.Index, err = decodeIndexBody(d)
+	case snapshot.KindSharded:
+		l.Sharded, err = decodeShardedBody(d)
+	case snapshot.KindMutable:
+		err = fmt.Errorf("%w: snapshot kind %q needs the mutable tier (LoadMutable / annsd -mutable)",
+			snapshot.ErrFormat, snapshot.KindName(d.Kind()))
+	default:
+		err = fmt.Errorf("%w: snapshot kind %q is not servable",
+			snapshot.ErrFormat, snapshot.KindName(d.Kind()))
+	}
+	if err == nil {
+		err = d.Close()
+	}
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// openHeap is the stream-decoder arm of OpenSnapshot.
+func openHeap(path, fallbackReason string) (*Loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ix, sx, err := LoadAny(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Loaded{Index: ix, Sharded: sx, Source: "heap", FallbackReason: fallbackReason}, nil
+}

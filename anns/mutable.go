@@ -656,7 +656,7 @@ func (mx *MutableIndex) Compact() error {
 		}
 	}
 	if base != nil {
-		for j, p := range base.db {
+		for j, p := range base.points() {
 			id := uint64(j)
 			if baseIDs != nil {
 				id = baseIDs[j]

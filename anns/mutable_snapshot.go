@@ -76,7 +76,7 @@ func (mx *MutableIndex) saveLocked(w io.Writer) error {
 }
 
 // decodeIDs reads a validated count-prefixed ID array.
-func decodeIDs(d *snapshot.Decoder, count uint64, nextID uint64, what string) ([]uint64, error) {
+func decodeIDs(d snapshot.Decoder, count uint64, nextID uint64, what string) ([]uint64, error) {
 	if count > nextID {
 		return nil, fmt.Errorf("%w: %s claims %d ids under next-id %d",
 			snapshot.ErrFormat, what, count, nextID)
@@ -96,7 +96,7 @@ func decodeIDs(d *snapshot.Decoder, count uint64, nextID uint64, what string) ([
 }
 
 // decodeRawPoints reads count flat point images of dimension dim.
-func decodeRawPoints(d *snapshot.Decoder, count uint64, dim int) ([]Point, error) {
+func decodeRawPoints(d snapshot.Decoder, count uint64, dim int) ([]Point, error) {
 	w := bitvec.Words(dim)
 	flat := make([]uint64, count*uint64(w))
 	d.WordsInto(flat)
@@ -235,7 +235,7 @@ func LoadMutable(r io.Reader, cfg MutableConfig) (*MutableIndex, error) {
 				return nil, fmt.Errorf("%w: segment %d holds %d points but maps %d ids",
 					snapshot.ErrFormat, s, ix.Len(), len(ids))
 			}
-			seg.mem = segment.NewMemtableFrom(ids, ix.db)
+			seg.mem = segment.NewMemtableFrom(ids, ix.points())
 			seg.idx.Store(ix)
 		case 0:
 			pts, err := decodeRawPoints(d, count, opts.Dimension)

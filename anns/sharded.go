@@ -28,8 +28,11 @@ type ShardedIndex struct {
 	opts   Options
 	shards []*Index
 	// global[s][j] is the position in the original Build slice of shard
-	// s's j-th point, mapping shard-local answers back to logical indices.
-	global [][]int
+	// s's j-th point, mapping shard-local answers back to logical
+	// indices. Stored as uint64 words — the snapshot section's exact
+	// layout — so the mmap load path can serve the mapping as a
+	// zero-copy view of the file (DESIGN.md §9.1).
+	global [][]uint64
 	// globalFn is the same mapping as a function, built once so the
 	// per-query merge stays allocation-free (a per-call closure would
 	// allocate on the pinned hot path).
@@ -62,15 +65,15 @@ func BuildSharded(points []Point, shards int, opts Options) (*ShardedIndex, erro
 	sx := &ShardedIndex{
 		opts:   opts,
 		shards: make([]*Index, shards),
-		global: make([][]int, shards),
+		global: make([][]uint64, shards),
 		n:      len(points),
 	}
-	sx.globalFn = func(s, j int) int { return sx.global[s][j] }
+	sx.globalFn = func(s, j int) int { return int(sx.global[s][j]) }
 	parts := make([][]Point, shards)
 	for i, p := range points {
 		s := i % shards
 		parts[s] = append(parts[s], p)
-		sx.global[s] = append(sx.global[s], i)
+		sx.global[s] = append(sx.global[s], uint64(i))
 	}
 	// Shards are independent (disjoint points, derived seeds), so they
 	// build concurrently, each with a proportional slice of the pool.
@@ -145,7 +148,7 @@ func (sx *ShardedIndex) mergeShardResults(results []Result, ok []bool, replies [
 	}
 	g := sx.globalFn
 	if g == nil { // hand-assembled index (tests); cold path may allocate
-		g = func(s, j int) int { return sx.global[s][j] }
+		g = func(s, j int) int { return int(sx.global[s][j]) }
 	}
 	return MergeShardReplies(replies, g)
 }
@@ -260,7 +263,7 @@ func (sx *ShardedIndex) Shard(s int) *Index { return sx.shards[s] }
 
 // GlobalIndex translates shard s's local point position back to the
 // position in the original Build slice.
-func (sx *ShardedIndex) GlobalIndex(shard, local int) int { return sx.global[shard][local] }
+func (sx *ShardedIndex) GlobalIndex(shard, local int) int { return int(sx.global[shard][local]) }
 
 // Options returns the normalized options the shards were built with (the
 // Seed field is the user seed; each shard derives its own from it).

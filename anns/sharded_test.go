@@ -59,7 +59,7 @@ func TestSplitSeedDistinct(t *testing.T) {
 // successful shard mapped back to its global index.
 func TestShardedMergeAccounting(t *testing.T) {
 	sx := &ShardedIndex{
-		global: [][]int{{0, 3, 6}, {1, 4, 7}, {2, 5, 8}},
+		global: [][]uint64{{0, 3, 6}, {1, 4, 7}, {2, 5, 8}},
 	}
 	results := []Result{
 		{Index: 2, Distance: 9, Rounds: 2, Probes: 10, MaxParallel: 5},

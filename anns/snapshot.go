@@ -77,7 +77,7 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-func decodeIndexBody(d *snapshot.Decoder) (*Index, error) {
+func decodeIndexBody(d snapshot.Decoder) (*Index, error) {
 	env, err := snapshot.DecodeIndexOptions(d)
 	if err != nil {
 		return nil, err
@@ -88,7 +88,7 @@ func decodeIndexBody(d *snapshot.Decoder) (*Index, error) {
 
 // decodeIndexCores reads opts.Repetitions core bodies and reassembles the
 // scheme stack exactly as Build would have.
-func decodeIndexCores(d *snapshot.Decoder, opts Options) (*Index, error) {
+func decodeIndexCores(d snapshot.Decoder, opts Options) (*Index, error) {
 	schemes := make([]core.Scheme, opts.Repetitions)
 	indexes := make([]*core.Index, opts.Repetitions)
 	for i := range indexes {
@@ -103,7 +103,7 @@ func decodeIndexCores(d *snapshot.Decoder, opts Options) (*Index, error) {
 		indexes[i] = ci
 		schemes[i] = newScheme(ci, opts)
 	}
-	out := &Index{opts: opts, db: indexes[0].DB}
+	out := &Index{opts: opts}
 	if opts.Repetitions == 1 {
 		out.scheme = schemes[0].(core.CtxScheme)
 	} else {
@@ -123,12 +123,8 @@ func SaveSharded(w io.Writer, sx *ShardedIndex) error {
 	e.U64(uint64(sx.n))
 	for s, shard := range sx.shards {
 		e.U64(shard.opts.Seed)
-		globals := make([]uint64, len(sx.global[s]))
-		for j, g := range sx.global[s] {
-			globals[j] = uint64(g)
-		}
-		e.U64(uint64(len(globals)))
-		e.Words(globals)
+		e.U64(uint64(len(sx.global[s])))
+		e.Words(sx.global[s])
 		for _, ci := range shard.coreIndexes() {
 			snapshot.EncodeCore(e, ci)
 		}
@@ -156,7 +152,7 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 	return sx, nil
 }
 
-func decodeShardedBody(d *snapshot.Decoder) (*ShardedIndex, error) {
+func decodeShardedBody(d snapshot.Decoder) (*ShardedIndex, error) {
 	env, err := snapshot.DecodeIndexOptions(d)
 	if err != nil {
 		return nil, err
@@ -173,10 +169,10 @@ func decodeShardedBody(d *snapshot.Decoder) (*ShardedIndex, error) {
 	sx := &ShardedIndex{
 		opts:   opts,
 		shards: make([]*Index, shards),
-		global: make([][]int, shards),
+		global: make([][]uint64, shards),
 		n:      n,
 	}
-	sx.globalFn = func(s, j int) int { return sx.global[s][j] }
+	sx.globalFn = func(s, j int) int { return int(sx.global[s][j]) }
 	total := 0
 	for s := 0; s < shards; s++ {
 		shardSeed := d.U64()
@@ -187,19 +183,20 @@ func decodeShardedBody(d *snapshot.Decoder) (*ShardedIndex, error) {
 		if members < 2 || members > n {
 			return nil, fmt.Errorf("%w: shard %d claims %d members of %d points", snapshot.ErrFormat, s, members, n)
 		}
-		globals := make([]uint64, members)
-		d.WordsInto(globals)
+		// The mapping is served directly from the decoder's view — on the
+		// mmap path that is the file's own words, borrowed read-only, so
+		// validate without writing.
+		globals := d.WordsView(uint64(members))
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		sx.global[s] = make([]int, members)
 		for j, g := range globals {
 			if g >= uint64(n) {
 				return nil, fmt.Errorf("%w: shard %d maps local point %d to global %d of %d",
 					snapshot.ErrFormat, s, j, g, n)
 			}
-			sx.global[s][j] = int(g)
 		}
+		sx.global[s] = globals
 		total += members
 		shardOpts := opts
 		shardOpts.Seed = shardSeed

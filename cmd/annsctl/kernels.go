@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"math"
+	"math/bits"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+// kernelShape is one (dimension × sketch rows × batch size) cell of the
+// sketch-kernel sweep (BENCH_kernels.json). Times are ns per query —
+// batch kernels are normalized by the batch size, so cells are
+// comparable across the batch axis.
+type kernelShape struct {
+	D     int `json:"d"`
+	Rows  int `json:"rows"`
+	Batch int `json:"batch"`
+
+	// ScalarNsPerQuery is the pre-optimization reference kernel: per-row
+	// popcount-sum parity with bit-at-a-time stores into a pre-zeroed
+	// destination (the ApplyInto this PR replaced).
+	ScalarNsPerQuery float64 `json:"scalar_ns_per_query"`
+	// SingleNsPerQuery is the rewritten word-accumulating ApplyInto,
+	// applied once per query.
+	SingleNsPerQuery float64 `json:"single_ns_per_query"`
+	// BatchNsPerQuery is ApplyBatchInto over the whole batch.
+	BatchNsPerQuery  float64 `json:"batch_ns_per_query"`
+	BatchAllocsPerOp float64 `json:"batch_allocs_per_op"`
+	// SpeedupVsScalar is the batch path's improvement over the scalar
+	// reference — the gated "what this PR bought" number.
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+	// SpeedupVsSingle isolates the batching win over the (already
+	// rewritten) single-query kernel.
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+}
+
+// kernelBench is the JSON document of `annsctl bench -kernels`.
+type kernelBench struct {
+	Config struct {
+		HostCPUs int   `json:"host_cpus"`
+		Runs     int   `json:"runs"`
+		Ds       []int `json:"ds"`
+		Rows     []int `json:"rows"`
+		Batches  []int `json:"batches"`
+	} `json:"config"`
+	Shapes                 []kernelShape `json:"shapes"`
+	MinSpeedupVsScalar     float64       `json:"min_speedup_vs_scalar"`
+	GeomeanSpeedupVsScalar float64       `json:"geomean_speedup_vs_scalar"`
+}
+
+// scalarApplyInto is the frozen pre-optimization ApplyInto, kept here as
+// the sweep's reference so the committed speedups keep meaning "vs the
+// kernel this PR replaced" even as the library version evolves: zero the
+// destination, then for each row sum the AND popcounts and store the
+// parity bit read-modify-write.
+func scalarApplyInto(m *sketch.Matrix, dst, x bitvec.Vector) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.NumRows; i++ {
+		row := m.Row(i)
+		n := 0
+		for j := range row {
+			n += bits.OnesCount64(row[j] & x[j])
+		}
+		if n&1 == 1 {
+			dst[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// timedKernel is one contender in a shape's measurement: competing
+// kernels are timed in interleaved rounds (scalar, single, batch, scalar,
+// …) so CPU steal or frequency drift on a shared runner hits all of them
+// rather than whichever happened to run during the stall; per-kernel
+// minima across rounds are then comparable.
+type timedKernel struct {
+	fn    func()
+	iters int
+	best  float64
+}
+
+// calibrate picks an iteration count whose timed block swamps timer
+// resolution and scheduling jitter.
+func (k *timedKernel) calibrate() {
+	k.iters = 1
+	k.best = math.Inf(1)
+	for {
+		t0 := time.Now()
+		for i := 0; i < k.iters; i++ {
+			k.fn()
+		}
+		if time.Since(t0) >= 10*time.Millisecond || k.iters >= 1<<22 {
+			return
+		}
+		k.iters *= 2
+	}
+}
+
+func (k *timedKernel) round() {
+	t0 := time.Now()
+	for i := 0; i < k.iters; i++ {
+		k.fn()
+	}
+	if ns := float64(time.Since(t0).Nanoseconds()) / float64(k.iters); ns < k.best {
+		k.best = ns
+	}
+}
+
+// raceKernels runs the contenders through runs interleaved rounds and
+// leaves each kernel's best per-call nanoseconds in k.best.
+func raceKernels(runs int, ks ...*timedKernel) {
+	for _, k := range ks {
+		k.calibrate()
+	}
+	for r := 0; r < runs; r++ {
+		for _, k := range ks {
+			k.round()
+		}
+	}
+}
+
+// runKernels is `annsctl bench -kernels`: sweep the sketch kernels over a
+// (d × rows × batch) matrix and write BENCH_kernels.json, the fixture
+// cmd/benchdiff gates per shape.
+func runKernels(out string, runs int) {
+	ds := []int{256, 1024, 4096}
+	rowCounts := []int{128, 256}
+	batches := []int{8, 32}
+
+	var rec kernelBench
+	rec.Config.HostCPUs = runtime.NumCPU()
+	rec.Config.Runs = runs
+	rec.Config.Ds = ds
+	rec.Config.Rows = rowCounts
+	rec.Config.Batches = batches
+
+	r := rng.New(1)
+	minSpeedup := math.Inf(1)
+	logSum := 0.0
+	for _, d := range ds {
+		for _, rows := range rowCounts {
+			m := sketch.NewBernoulli(r, rows, d, 0.1)
+			for _, batch := range batches {
+				xs := make([]bitvec.Vector, batch)
+				dsts := make([]bitvec.Vector, batch)
+				for q := range xs {
+					xs[q] = hamming.Random(r, d)
+					dsts[q] = bitvec.New(rows)
+				}
+				sh := kernelShape{D: d, Rows: rows, Batch: batch}
+				scalar := &timedKernel{fn: func() {
+					for q := range xs {
+						scalarApplyInto(m, dsts[q], xs[q])
+					}
+				}}
+				single := &timedKernel{fn: func() {
+					for q := range xs {
+						m.ApplyInto(dsts[q], xs[q])
+					}
+				}}
+				batched := &timedKernel{fn: func() {
+					m.ApplyBatchInto(dsts, xs)
+				}}
+				raceKernels(runs, scalar, single, batched)
+				sh.ScalarNsPerQuery = scalar.best / float64(batch)
+				sh.SingleNsPerQuery = single.best / float64(batch)
+				sh.BatchNsPerQuery = batched.best / float64(batch)
+				sh.BatchAllocsPerOp = testing.AllocsPerRun(16, func() {
+					m.ApplyBatchInto(dsts, xs)
+				})
+				sh.SpeedupVsScalar = ratio(sh.ScalarNsPerQuery, sh.BatchNsPerQuery)
+				sh.SpeedupVsSingle = ratio(sh.SingleNsPerQuery, sh.BatchNsPerQuery)
+				rec.Shapes = append(rec.Shapes, sh)
+				if sh.SpeedupVsScalar < minSpeedup {
+					minSpeedup = sh.SpeedupVsScalar
+				}
+				logSum += math.Log(sh.SpeedupVsScalar)
+				log.Printf("kernels d=%-5d rows=%-4d batch=%-3d scalar %8.0fns single %8.0fns batch %8.0fns  (%.2fx vs scalar, %.2fx vs single)",
+					d, rows, batch, sh.ScalarNsPerQuery, sh.SingleNsPerQuery, sh.BatchNsPerQuery,
+					sh.SpeedupVsScalar, sh.SpeedupVsSingle)
+			}
+		}
+	}
+	rec.MinSpeedupVsScalar = minSpeedup
+	rec.GeomeanSpeedupVsScalar = math.Exp(logSum / float64(len(rec.Shapes)))
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: %d shapes, min %.2fx / geomean %.2fx vs scalar reference",
+		out, len(rec.Shapes), rec.MinSpeedupVsScalar, rec.GeomeanSpeedupVsScalar)
+}

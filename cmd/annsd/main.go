@@ -59,6 +59,7 @@ func main() {
 	shards := flag.Int("shards", 4, "shard count")
 	buildWorkers := flag.Int("build-workers", 0, "index build worker pool (0 = GOMAXPROCS)")
 	snapPath := flag.String("snapshot", "", "serve the index from this snapshot file instead of building")
+	mmapServe := flag.Bool("mmap", false, "serve the -snapshot zero-copy via mmap (falls back to the heap loader with a logged reason if the file cannot be mapped)")
 	savePath := flag.String("save-snapshot", "", "after building, save the index snapshot here")
 
 	mutable := flag.Bool("mutable", false, "serve the mutable tier: online /v1/insert and /v1/delete over the base index")
@@ -74,6 +75,15 @@ func main() {
 	maxBatch := flag.Int("max-batch", 4096, "max points per /v1/batch request")
 	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
 	flag.Parse()
+
+	if *mmapServe {
+		if *snapPath == "" {
+			log.Fatalf("annsd: -mmap requires -snapshot")
+		}
+		if *mutable {
+			log.Fatalf("annsd: -mmap applies to the immutable serving tiers; the mutable tier owns its memory (see DESIGN.md §9)")
+		}
+	}
 
 	var idx server.Searcher
 	var dim int
@@ -192,30 +202,51 @@ func main() {
 			log.Fatalf("annsd: -snapshot and -save-snapshot are mutually exclusive")
 		}
 		start := time.Now()
-		f, err := os.Open(*snapPath)
-		if err != nil {
-			log.Fatalf("annsd: %v", err)
+		mode := anns.LoadHeap
+		if *mmapServe {
+			mode = anns.LoadAuto
 		}
-		single, sharded, err := anns.LoadAny(f)
-		f.Close()
+		loaded, err := anns.OpenSnapshot(*snapPath, mode)
 		if err != nil {
 			log.Fatalf("annsd: loading snapshot %s: %v", *snapPath, err)
 		}
+		// The mapping (when mmap-backed) stays open for the life of the
+		// process: the served index borrows its storage from it.
+		single, sharded := loaded.Index, loaded.Sharded
+		source := "snapshot"
+		if loaded.Source == "mmap" {
+			source = "mmap"
+		}
+		if loaded.FallbackReason != "" {
+			log.Printf("snapshot: mmap unavailable (%s); serving from the heap loader", loaded.FallbackReason)
+		}
 		info = server.IndexInfo{
-			Source:          "snapshot",
+			Source:          source,
 			SnapshotVersion: snapshotFileVersion(*snapPath),
 			LoadDuration:    time.Since(start),
 			Path:            *snapPath,
+			MappedBytes:     loaded.MappedBytes,
+		}
+		if loaded.Source == "mmap" {
+			// The zero-copy open validates structure only; run the full
+			// CRC sweep in the background so boot stays O(headers) but a
+			// corrupt file is still fatal, just asynchronously.
+			go func() {
+				if err := loaded.VerifyChecksum(); err != nil {
+					log.Fatalf("annsd: snapshot %s failed post-boot checksum verification: %v", *snapPath, err)
+				}
+				log.Printf("snapshot: background checksum verified (%d mapped bytes)", loaded.MappedBytes)
+			}()
 		}
 		if sharded != nil {
 			idx, dim = sharded, sharded.Options().Dimension
-			log.Printf("index: loaded from snapshot %s in %v (format v%d, %d shards over n=%d, k=%d)",
-				*snapPath, info.LoadDuration.Round(time.Millisecond), info.SnapshotVersion,
+			log.Printf("index: loaded from snapshot %s in %v (source %s, format v%d, %d shards over n=%d, k=%d)",
+				*snapPath, info.LoadDuration.Round(time.Millisecond), source, info.SnapshotVersion,
 				sharded.Shards(), sharded.Len(), sharded.Options().Rounds)
 		} else {
 			idx, dim = single, single.Options().Dimension
-			log.Printf("index: loaded from snapshot %s in %v (format v%d, n=%d, k=%d)",
-				*snapPath, info.LoadDuration.Round(time.Millisecond), info.SnapshotVersion,
+			log.Printf("index: loaded from snapshot %s in %v (source %s, format v%d, n=%d, k=%d)",
+				*snapPath, info.LoadDuration.Round(time.Millisecond), source, info.SnapshotVersion,
 				single.Len(), single.Options().Rounds)
 		}
 	} else {

@@ -3,10 +3,11 @@
 // and fails (exit 1) on regression, so perf claims in BENCH_*.json stay
 // honest as the code evolves.
 //
-// Two independent checks, each enabled by supplying its flag pair:
+// Three independent checks, each enabled by supplying its flag pair:
 //
 //	benchdiff -build-fresh /tmp/bench.json -build-committed BENCH_index_build.json
 //	benchdiff -alloc-fresh /tmp/bench.txt  -alloc-committed BENCH_query_engine.json
+//	benchdiff -kernels-fresh /tmp/k.json   -kernels-committed BENCH_kernels.json
 //
 // The build check validates the schema of a fresh `annsctl bench` record
 // and fails when the load-vs-rebuild speedup regressed by more than
@@ -19,6 +20,16 @@
 // allocates more per op than its committed "after" ceiling. allocs/op is
 // deterministic on a given code path, which makes it the stable
 // regression signal across runner hardware.
+//
+// The kernels check validates a fresh `annsctl bench -kernels` sweep
+// against the committed BENCH_kernels.json: per shape, the batch
+// kernel's allocs/op may not exceed the committed value (exact, like the
+// alloc check) and its speedup over the frozen scalar reference may not
+// regress by more than -kernels-max-regression; the sweep-wide geometric
+// mean must clear the absolute -kernels-floor. Speedups are same-machine
+// ratios, so they compare across runners; the wider default tolerance
+// (0.5 vs the build check's 0.25) reflects that single-shape kernel
+// timings are noisier than whole-index build/load times.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -40,6 +52,10 @@ func main() {
 	allocFresh := flag.String("alloc-fresh", "", "fresh `go test -bench -benchmem` output")
 	allocCommitted := flag.String("alloc-committed", "", "committed BENCH_query_engine.json")
 	maxRegression := flag.Float64("max-regression", 0.25, "tolerated fractional speedup regression")
+	kernelsFresh := flag.String("kernels-fresh", "", "fresh annsctl bench -kernels JSON")
+	kernelsCommitted := flag.String("kernels-committed", "", "committed BENCH_kernels.json")
+	kernelsMaxReg := flag.Float64("kernels-max-regression", 0.5, "tolerated fractional per-shape kernel speedup regression")
+	kernelsFloor := flag.Float64("kernels-floor", 1.5, "absolute floor on the fresh sweep's geomean speedup vs the scalar reference")
 	flag.Parse()
 
 	ran := false
@@ -59,6 +75,15 @@ func main() {
 		}
 		ran = true
 		if !checkAllocs(*allocFresh, *allocCommitted) {
+			failed = true
+		}
+	}
+	if *kernelsFresh != "" || *kernelsCommitted != "" {
+		if *kernelsFresh == "" || *kernelsCommitted == "" {
+			log.Fatal("-kernels-fresh and -kernels-committed go together")
+		}
+		ran = true
+		if !checkKernels(*kernelsFresh, *kernelsCommitted, *kernelsMaxReg, *kernelsFloor) {
 			failed = true
 		}
 	}
@@ -274,6 +299,111 @@ func checkAllocs(freshPath, committedPath string) bool {
 	if checked == 0 {
 		log.Printf("FAIL allocs: fresh output matched none of the %d committed benchmarks", len(ceilings))
 		return false
+	}
+	return ok
+}
+
+// kernelsRecord mirrors the fields of `annsctl bench -kernels` JSON that
+// the gate reads; unknown fields are ignored so the sweep can grow.
+type kernelsRecord struct {
+	Config struct {
+		Ds      []int `json:"ds"`
+		Rows    []int `json:"rows"`
+		Batches []int `json:"batches"`
+	} `json:"config"`
+	Shapes []kernelsShape `json:"shapes"`
+	// GeomeanVsScalar summarizes the sweep; the absolute floor applies
+	// to it rather than to single (noisier) shapes.
+	GeomeanVsScalar float64 `json:"geomean_speedup_vs_scalar"`
+}
+
+type kernelsShape struct {
+	D     int `json:"d"`
+	Rows  int `json:"rows"`
+	Batch int `json:"batch"`
+
+	BatchNsPerQuery  float64 `json:"batch_ns_per_query"`
+	BatchAllocsPerOp float64 `json:"batch_allocs_per_op"`
+	SpeedupVsScalar  float64 `json:"speedup_vs_scalar"`
+}
+
+func (s kernelsShape) key() string { return fmt.Sprintf("d=%d rows=%d batch=%d", s.D, s.Rows, s.Batch) }
+
+func readKernels(path string) (kernelsRecord, error) {
+	var rec kernelsRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	// Schema gate: an empty or zeroed sweep means the bench did not run.
+	if len(rec.Shapes) == 0 {
+		return rec, fmt.Errorf("%s: no shapes", path)
+	}
+	for _, s := range rec.Shapes {
+		if s.D <= 0 || s.Rows <= 0 || s.Batch <= 0 || s.BatchNsPerQuery <= 0 || s.SpeedupVsScalar <= 0 {
+			return rec, fmt.Errorf("%s: shape %s has missing measurements", path, s.key())
+		}
+	}
+	if rec.GeomeanVsScalar <= 0 {
+		return rec, fmt.Errorf("%s: missing geomean_speedup_vs_scalar", path)
+	}
+	return rec, nil
+}
+
+func checkKernels(freshPath, committedPath string, maxReg, floor float64) bool {
+	fresh, err := readKernels(freshPath)
+	if err != nil {
+		log.Printf("FAIL kernels: fresh record invalid: %v", err)
+		return false
+	}
+	committed, err := readKernels(committedPath)
+	if err != nil {
+		log.Printf("FAIL kernels: committed record invalid: %v", err)
+		return false
+	}
+	if !slices.Equal(fresh.Config.Ds, committed.Config.Ds) ||
+		!slices.Equal(fresh.Config.Rows, committed.Config.Rows) ||
+		!slices.Equal(fresh.Config.Batches, committed.Config.Batches) {
+		log.Printf("FAIL kernels: fresh sweep config %+v differs from committed %+v; rerun with the committed matrix",
+			fresh.Config, committed.Config)
+		return false
+	}
+	base := make(map[string]kernelsShape, len(committed.Shapes))
+	for _, s := range committed.Shapes {
+		base[s.key()] = s
+	}
+	ok := true
+	for _, s := range fresh.Shapes {
+		c, found := base[s.key()]
+		if !found {
+			log.Printf("FAIL kernels: %s not in the committed sweep", s.key())
+			ok = false
+			continue
+		}
+		if s.BatchAllocsPerOp > c.BatchAllocsPerOp {
+			log.Printf("FAIL kernels: %s: %.1f allocs/op exceeds committed %.1f",
+				s.key(), s.BatchAllocsPerOp, c.BatchAllocsPerOp)
+			ok = false
+		}
+		shapeFloor := c.SpeedupVsScalar * (1 - maxReg)
+		if s.SpeedupVsScalar < shapeFloor {
+			log.Printf("FAIL kernels: %s: speedup %.2fx below floor %.2fx (committed %.2fx, -kernels-max-regression %.2f)",
+				s.key(), s.SpeedupVsScalar, shapeFloor, c.SpeedupVsScalar, maxReg)
+			ok = false
+		} else {
+			log.Printf("ok kernels: %s: %.2fx vs scalar (floor %.2fx), %.0f allocs/op",
+				s.key(), s.SpeedupVsScalar, shapeFloor, s.BatchAllocsPerOp)
+		}
+	}
+	if fresh.GeomeanVsScalar < floor {
+		log.Printf("FAIL kernels: geomean speedup %.2fx below the absolute floor %.2fx",
+			fresh.GeomeanVsScalar, floor)
+		ok = false
+	} else {
+		log.Printf("ok kernels: geomean %.2fx vs scalar (absolute floor %.2fx)", fresh.GeomeanVsScalar, floor)
 	}
 	return ok
 }

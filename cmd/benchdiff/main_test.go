@@ -121,3 +121,79 @@ func TestCheckBuildGate(t *testing.T) {
 		t.Error("schema-invalid fresh record passed the gate")
 	}
 }
+
+func TestCheckKernelsGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	committed := write("committed.json", `{
+		"config":{"ds":[256,1024],"rows":[128],"batches":[8]},
+		"shapes":[
+			{"d":256,"rows":128,"batch":8,"batch_ns_per_query":400,"batch_allocs_per_op":0,"speedup_vs_scalar":2.0},
+			{"d":1024,"rows":128,"batch":8,"batch_ns_per_query":1100,"batch_allocs_per_op":0,"speedup_vs_scalar":2.2}],
+		"geomean_speedup_vs_scalar":2.1}`)
+
+	good := write("good.json", `{
+		"config":{"ds":[256,1024],"rows":[128],"batches":[8]},
+		"shapes":[
+			{"d":256,"rows":128,"batch":8,"batch_ns_per_query":450,"batch_allocs_per_op":0,"speedup_vs_scalar":1.8},
+			{"d":1024,"rows":128,"batch":8,"batch_ns_per_query":1200,"batch_allocs_per_op":0,"speedup_vs_scalar":2.0}],
+		"geomean_speedup_vs_scalar":1.9}`)
+	if !checkKernels(good, committed, 0.5, 1.5) {
+		t.Error("within-tolerance sweep failed the gate")
+	}
+
+	// Per-shape regression: one shape collapses below committed*(1-0.5).
+	regressed := write("regressed.json", `{
+		"config":{"ds":[256,1024],"rows":[128],"batches":[8]},
+		"shapes":[
+			{"d":256,"rows":128,"batch":8,"batch_ns_per_query":900,"batch_allocs_per_op":0,"speedup_vs_scalar":0.9},
+			{"d":1024,"rows":128,"batch":8,"batch_ns_per_query":1200,"batch_allocs_per_op":0,"speedup_vs_scalar":2.0}],
+		"geomean_speedup_vs_scalar":1.6}`)
+	if checkKernels(regressed, committed, 0.5, 1.5) {
+		t.Error("0.9x vs 2.0x committed passed the per-shape gate")
+	}
+
+	// Alloc regression: the batch kernel started allocating.
+	allocs := write("allocs.json", `{
+		"config":{"ds":[256,1024],"rows":[128],"batches":[8]},
+		"shapes":[
+			{"d":256,"rows":128,"batch":8,"batch_ns_per_query":450,"batch_allocs_per_op":2,"speedup_vs_scalar":1.8},
+			{"d":1024,"rows":128,"batch":8,"batch_ns_per_query":1200,"batch_allocs_per_op":0,"speedup_vs_scalar":2.0}],
+		"geomean_speedup_vs_scalar":1.9}`)
+	if checkKernels(allocs, committed, 0.5, 1.5) {
+		t.Error("allocating batch kernel passed the gate")
+	}
+
+	// Absolute floor: every shape within tolerance but the sweep as a
+	// whole no longer clears 1.5x.
+	slow := write("slow.json", `{
+		"config":{"ds":[256,1024],"rows":[128],"batches":[8]},
+		"shapes":[
+			{"d":256,"rows":128,"batch":8,"batch_ns_per_query":700,"batch_allocs_per_op":0,"speedup_vs_scalar":1.1},
+			{"d":1024,"rows":128,"batch":8,"batch_ns_per_query":1800,"batch_allocs_per_op":0,"speedup_vs_scalar":1.2}],
+		"geomean_speedup_vs_scalar":1.15}`)
+	if checkKernels(slow, committed, 0.5, 1.5) {
+		t.Error("sweep below the absolute geomean floor passed the gate")
+	}
+
+	// Config drift: a different matrix is not comparable.
+	drifted := write("drifted.json", `{
+		"config":{"ds":[512],"rows":[128],"batches":[8]},
+		"shapes":[{"d":512,"rows":128,"batch":8,"batch_ns_per_query":500,"batch_allocs_per_op":0,"speedup_vs_scalar":2.0}],
+		"geomean_speedup_vs_scalar":2.0}`)
+	if checkKernels(drifted, committed, 0.5, 1.5) {
+		t.Error("drifted sweep config passed the gate")
+	}
+
+	// Schema gate: empty shapes means the bench never ran.
+	empty := write("empty.json", `{"config":{"ds":[],"rows":[],"batches":[]},"shapes":[],"geomean_speedup_vs_scalar":0}`)
+	if checkKernels(empty, committed, 0.5, 1.5) {
+		t.Error("empty sweep passed the gate")
+	}
+}

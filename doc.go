@@ -87,8 +87,22 @@
 //   - Serve: annsctl build writes snapshots offline; annsd -snapshot
 //     boots from one in milliseconds instead of re-preprocessing, annsd
 //     -save-snapshot persists a fresh build, and /statsz reports
-//     index_source, snapshot_version, and index_load_ms. Build and load
-//     timings are recorded in BENCH_index_build.json.
+//     index_source, snapshot_version, index_load_ms, and mapped_bytes.
+//     Build and load timings are recorded in BENCH_index_build.json.
+//   - Zero-copy serve: anns.OpenSnapshot(path, mode) opens a snapshot
+//     under an explicit anns.LoadMode — LoadHeap is the copying load
+//     above, LoadMmap maps the file and serves bitvec blocks as views
+//     over the mapped pages (no database/matrix/sketch copies; open is
+//     gated >=100x faster than the heap load), and LoadAuto prefers
+//     the mapping with a heap fallback only when the platform lacks
+//     mmap (the typed FallbackReason says why). The returned Loaded
+//     owns the mapping and the index borrows it: keep Loaded alive for
+//     the index's lifetime and Close only after the last query (annsd
+//     -mmap never closes; it verifies the checksum in the background
+//     and dies on mismatch). The mutable tier stays on the heap — it
+//     owns, rewrites, and frees its storage — so OpenSnapshot rejects
+//     mutable snapshots toward LoadMutable. DESIGN.md §9 has the full
+//     lifecycle and CRC policy.
 //
 // # Mutable tier
 //

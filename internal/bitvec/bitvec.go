@@ -67,12 +67,26 @@ func (v Vector) PopCount() int {
 
 // Distance returns the Hamming distance between v and u.
 // The two vectors must have the same length.
+//
+// The loop is unrolled 4 words at a time with independent accumulators so
+// the popcounts pipeline (and the compiler can keep the bounds checks out
+// of the inner loop); vectors under 4 words take the scalar tail only.
 func Distance(v, u Vector) int {
 	if len(v) != len(u) {
 		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", len(v), len(u)))
 	}
-	n := 0
-	for i := range v {
+	var n0, n1, n2, n3 int
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		a := v[i : i+4 : i+4]
+		b := u[i : i+4 : i+4]
+		n0 += bits.OnesCount64(a[0] ^ b[0])
+		n1 += bits.OnesCount64(a[1] ^ b[1])
+		n2 += bits.OnesCount64(a[2] ^ b[2])
+		n3 += bits.OnesCount64(a[3] ^ b[3])
+	}
+	n := n0 + n1 + n2 + n3
+	for ; i < len(v); i++ {
 		n += bits.OnesCount64(v[i] ^ u[i])
 	}
 	return n
@@ -80,10 +94,22 @@ func Distance(v, u Vector) int {
 
 // DistanceAtMost reports whether Distance(v, u) <= t, short-circuiting as
 // soon as the running count exceeds t. It is the hot-path form used by
-// lazy table-cell evaluation.
+// lazy table-cell evaluation. The threshold check runs once per 4-word
+// group, not per word, keeping the common early-exit while letting the
+// popcounts pipeline.
 func DistanceAtMost(v, u Vector, t int) bool {
 	n := 0
-	for i := range v {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		a := v[i : i+4 : i+4]
+		b := u[i : i+4 : i+4]
+		n += bits.OnesCount64(a[0]^b[0]) + bits.OnesCount64(a[1]^b[1]) +
+			bits.OnesCount64(a[2]^b[2]) + bits.OnesCount64(a[3]^b[3])
+		if n > t {
+			return false
+		}
+	}
+	for ; i < len(v); i++ {
 		n += bits.OnesCount64(v[i] ^ u[i])
 		if n > t {
 			return false
@@ -109,18 +135,45 @@ func (v Vector) And(u Vector) Vector {
 }
 
 // AndPopCount returns PopCount(v AND u) without allocating.
-// It is the inner product kernel for sketch application.
+// It is the inner product kernel for sketch application, unrolled the same
+// way as Distance.
 func AndPopCount(v, u Vector) int {
-	n := 0
-	for i := range v {
+	var n0, n1, n2, n3 int
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		a := v[i : i+4 : i+4]
+		b := u[i : i+4 : i+4]
+		n0 += bits.OnesCount64(a[0] & b[0])
+		n1 += bits.OnesCount64(a[1] & b[1])
+		n2 += bits.OnesCount64(a[2] & b[2])
+		n3 += bits.OnesCount64(a[3] & b[3])
+	}
+	n := n0 + n1 + n2 + n3
+	for ; i < len(v); i++ {
 		n += bits.OnesCount64(v[i] & u[i])
 	}
 	return n
 }
 
 // Parity returns the GF(2) inner product <v, u> = popcount(v AND u) mod 2.
+// Parity of a sum of popcounts equals the popcount of the XOR-fold, so one
+// OnesCount64 at the end replaces one per word.
 func Parity(v, u Vector) int {
-	return AndPopCount(v, u) & 1
+	var f0, f1, f2, f3 uint64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		a := v[i : i+4 : i+4]
+		b := u[i : i+4 : i+4]
+		f0 ^= a[0] & b[0]
+		f1 ^= a[1] & b[1]
+		f2 ^= a[2] & b[2]
+		f3 ^= a[3] & b[3]
+	}
+	f := f0 ^ f1 ^ f2 ^ f3
+	for ; i < len(v); i++ {
+		f ^= v[i] & u[i]
+	}
+	return bits.OnesCount64(f) & 1
 }
 
 // Equal reports whether v and u are identical bit vectors.

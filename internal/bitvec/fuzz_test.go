@@ -1,0 +1,98 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// oracleDistance is the bit-by-bit reference the unrolled kernels are
+// pinned to: walk every bit position through Get.
+func oracleDistance(v, u Vector) int {
+	n := 0
+	for i := 0; i < len(v)*64; i++ {
+		if v.Get(i) != u.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func oracleAndPopCount(v, u Vector) int {
+	n := 0
+	for i := 0; i < len(v)*64; i++ {
+		if v.Get(i) && u.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func vectorsFromBytes(data []byte) (Vector, Vector) {
+	// Split the corpus bytes into two equal-length word slices. Odd
+	// leftover bytes pad with zeros, exercising partial trailing words.
+	half := len(data) / 2
+	a, b := data[:half], data[half:half*2]
+	words := (half + 7) / 8
+	v := make(Vector, words)
+	u := make(Vector, words)
+	var buf [8]byte
+	for i := 0; i < words; i++ {
+		copy(buf[:], padSlice(a, i*8))
+		v[i] = binary.LittleEndian.Uint64(buf[:])
+		copy(buf[:], padSlice(b, i*8))
+		u[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return v, u
+}
+
+func padSlice(b []byte, off int) []byte {
+	if off >= len(b) {
+		return nil
+	}
+	end := off + 8
+	if end > len(b) {
+		end = len(b)
+	}
+	return b[off:end]
+}
+
+// FuzzDistanceParity pins the unrolled Distance / DistanceAtMost /
+// AndPopCount / Parity kernels to the bit-by-bit oracle across arbitrary
+// word contents and lengths (including the 0..3-word scalar tails and the
+// 4-word unrolled body).
+func FuzzDistanceParity(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xff}, uint16(1))
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0xaa, 0x55}, uint16(7))
+	f.Add(make([]byte, 128), uint16(64))
+	seed := make([]byte, 9*8*2) // 9 words each: unrolled body + tail
+	for i := range seed {
+		seed[i] = byte(i*37 + 11)
+	}
+	f.Add(seed, uint16(200))
+	f.Fuzz(func(t *testing.T, data []byte, tRaw uint16) {
+		v, u := vectorsFromBytes(data)
+		wantDist := oracleDistance(v, u)
+		if got := Distance(v, u); got != wantDist {
+			t.Fatalf("Distance = %d, oracle = %d (words=%d)", got, wantDist, len(v))
+		}
+		wantAnd := oracleAndPopCount(v, u)
+		if got := AndPopCount(v, u); got != wantAnd {
+			t.Fatalf("AndPopCount = %d, oracle = %d (words=%d)", got, wantAnd, len(v))
+		}
+		if got, want := Parity(v, u), wantAnd&1; got != want {
+			t.Fatalf("Parity = %d, oracle = %d (words=%d)", got, want, len(v))
+		}
+		// Exercise thresholds below, at, and above the true distance, plus
+		// the fuzzed one.
+		for _, thr := range []int{wantDist - 1, wantDist, wantDist + 1, int(tRaw)} {
+			if thr < 0 {
+				continue
+			}
+			if got, want := DistanceAtMost(v, u, thr), wantDist <= thr; got != want {
+				t.Fatalf("DistanceAtMost(t=%d) = %v, want %v (dist=%d, words=%d)",
+					thr, got, want, wantDist, len(v))
+			}
+		}
+	})
+}

@@ -57,31 +57,53 @@ func (m *Meter) addHit() {
 	m.mu.Unlock()
 }
 
+// Evaler computes a cell's content from its address. Implementations
+// must be deterministic — the result represents what the preprocessing
+// stage would have stored in that cell.
+type Evaler interface {
+	EvalCell(addr Addr) Word
+}
+
+// funcEvaler adapts a plain function to Evaler for NewOracle.
+type funcEvaler struct {
+	fn func(addr Addr) Word
+}
+
+func (f funcEvaler) EvalCell(addr Addr) Word { return f.fn(addr) }
+
 // Oracle is a Table whose cells are computed on demand by a pure function
-// of the address and memoized. The function must be deterministic — it
-// represents the content the preprocessing stage would have stored. The
-// memo is keyed directly on the binary Addr (comparable, no string
-// round-trips), so steady-state lookups allocate nothing.
+// of the address and memoized. The memo is keyed directly on the binary
+// Addr (comparable, no string round-trips), so steady-state lookups
+// allocate nothing; the map itself is made on the first miss, keeping a
+// freshly opened index's table scaffolding allocation-light (a snapshot
+// open builds O(L·shards) oracles before the first query arrives).
 type Oracle struct {
 	tag      Tag
 	logCells float64
 	wordBits int
-	fn       func(addr Addr) Word
+	ev       Evaler
 	meter    *Meter
 
 	mu   sync.RWMutex
-	memo map[Addr]Word
+	memo map[Addr]Word // nil until the first miss
 }
 
-// NewOracle builds an oracle-backed table. meter may be nil.
+// NewOracle builds an oracle-backed table over a plain function. meter
+// may be nil.
 func NewOracle(tag Tag, logCells float64, wordBits int, meter *Meter, fn func(addr Addr) Word) *Oracle {
+	return NewOracleEval(tag, logCells, wordBits, meter, funcEvaler{fn})
+}
+
+// NewOracleEval is NewOracle over an Evaler value: the tables package
+// passes its table types directly (a pointer in an interface), avoiding
+// the per-oracle method-value closure a func parameter would allocate.
+func NewOracleEval(tag Tag, logCells float64, wordBits int, meter *Meter, ev Evaler) *Oracle {
 	return &Oracle{
 		tag:      tag,
 		logCells: logCells,
 		wordBits: wordBits,
-		fn:       fn,
+		ev:       ev,
 		meter:    meter,
-		memo:     make(map[Addr]Word),
 	}
 }
 
@@ -108,9 +130,12 @@ func (o *Oracle) Lookup(addr Addr) Word {
 		}
 		return w
 	}
-	w = o.fn(addr)
+	w = o.ev.EvalCell(addr)
 	o.mu.Lock()
 	// Another goroutine may have raced us; determinism makes that benign.
+	if o.memo == nil {
+		o.memo = make(map[Addr]Word)
+	}
 	o.memo[addr] = w
 	o.mu.Unlock()
 	if o.meter != nil {

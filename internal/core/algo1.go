@@ -18,6 +18,12 @@ type Algo1 struct {
 	idx *Index
 	k   int
 	tau int
+
+	// firstGrid is the deterministic first-round probe grid: with l=0,
+	// u=L fixed at entry, the first round's levels depend only on (L, τ,
+	// k), never on the query. PrimeBatch exploits this to precompute the
+	// grid's query sketches for a whole batch with the blocked kernel.
+	firstGrid []int
 }
 
 // NewAlgo1 builds the scheme with round budget k ≥ 1 on the shared index.
@@ -27,7 +33,17 @@ func NewAlgo1(idx *Index, k int) *Algo1 {
 	if k < 1 {
 		panic("core: Algo1 needs k >= 1")
 	}
-	return &Algo1{idx: idx, k: k, tau: algo1Tau(idx.Fam.L, k)}
+	a := &Algo1{idx: idx, k: k, tau: algo1Tau(idx.Fam.L, k)}
+	l, u := 0, idx.Fam.L
+	a.firstGrid = make([]int, 0, u-l)
+	if u-l < a.tau || k <= 1 { // mirrors QueryWithCtx's first-round test
+		for i := l + 1; i <= u; i++ {
+			a.firstGrid = append(a.firstGrid, i)
+		}
+	} else {
+		a.firstGrid = appendShrinkGrid(a.firstGrid, l, u, a.tau)
+	}
+	return a
 }
 
 func algo1Tau(levels, k int) int {
@@ -142,6 +158,33 @@ func (a *Algo1) QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result {
 				Err: fmt.Errorf("core: invariant broke: [%d,%d] -> [%d,%d]", l, u, newL, newU)}
 		}
 		l, u = newL, newU
+	}
+}
+
+// PrimeBatch implements BatchPrimer. The first round of Algorithm 1
+// probes a fixed level grid (see firstGrid), so its query sketches
+// M_i·x can be computed for B queries at once with the matrix walked a
+// single time per level (sketch.Matrix.ApplyBatchInto). Sketching is the
+// querier's own work in the cell-probe model — it touches no tables and
+// costs no probes — so primed and unprimed executions are bit-identical
+// in both answers and accounting.
+//
+// dsts is caller scratch with len(dsts) >= len(ctxs); ctxs[q] must next
+// run this scheme on xs[q] (same backing array) for the priming to take.
+func (a *Algo1) PrimeBatch(ctxs []*QueryCtx, xs []bitvec.Vector, dsts []bitvec.Vector) {
+	fam := a.idx.Fam
+	dsts = dsts[:len(ctxs)]
+	for q, c := range ctxs {
+		c.sk.prime(fam, xs[q])
+	}
+	for _, i := range a.firstGrid {
+		for q, c := range ctxs {
+			dsts[q] = c.sk.accBuf(i)
+		}
+		fam.Accurate[i].ApplyBatchInto(dsts, xs[:len(ctxs)])
+		for _, c := range ctxs {
+			c.sk.accOK[i] = true
+		}
 	}
 }
 

@@ -103,7 +103,7 @@ func (b *Boosted) QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result {
 		best.Degenerate = best.Degenerate || r.Degenerate
 		best.Violated = best.Violated || r.Violated
 		if r.Index >= 0 {
-			d := bitvec.Distance(b.indexes[i].DB[r.Index], x)
+			d := bitvec.Distance(b.indexes[i].DBRow(r.Index), x)
 			if bestDist < 0 || d < bestDist {
 				bestDist = d
 				best.Index = r.Index

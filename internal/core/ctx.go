@@ -83,9 +83,33 @@ type sketchScratch struct {
 	accOK    []bool
 	coarse   []bitvec.Vector
 	coarseOK []bool
+
+	// primedFam/primedX record a pending PrimeBatch precomputation: the
+	// next bind with exactly this (family, query) pair keeps the accurate
+	// sketches already in acc instead of resetting accOK. One-shot — bind
+	// always clears the mark, so a context reused for an unrelated query
+	// never serves stale sketches.
+	primedFam *sketch.Family
+	primedX   bitvec.Vector
 }
 
 func (s *sketchScratch) bind(fam *sketch.Family, x bitvec.Vector) {
+	s.shape(fam)
+	keep := s.primedFam == fam && len(x) > 0 &&
+		len(s.primedX) == len(x) && &s.primedX[0] == &x[0]
+	s.primedFam, s.primedX = nil, nil
+	s.x = x
+	for i := range s.accOK {
+		if !keep {
+			s.accOK[i] = false
+		}
+		s.coarseOK[i] = false
+	}
+}
+
+// shape sizes the per-level buffers for fam, invalidating everything when
+// the family changes.
+func (s *sketchScratch) shape(fam *sketch.Family) {
 	n := fam.L + 1
 	if s.fam != fam || len(s.acc) != n {
 		s.fam = fam
@@ -94,11 +118,29 @@ func (s *sketchScratch) bind(fam *sketch.Family, x bitvec.Vector) {
 		s.coarse = resizeVecs(s.coarse, n)
 		s.coarseOK = resizeBools(s.coarseOK, n)
 	}
-	s.x = x
+}
+
+// prime prepares the scratch for a forthcoming bind to (fam, x): buffers
+// are shaped, every sketch is invalidated, and the pair is remembered so
+// that bind preserves whatever accurate sketches PrimeBatch fills in
+// between. Identity of x is by backing array — the batch layer passes the
+// same slice to prime and to the query.
+func (s *sketchScratch) prime(fam *sketch.Family, x bitvec.Vector) {
+	s.shape(fam)
 	for i := range s.accOK {
 		s.accOK[i] = false
 		s.coarseOK[i] = false
 	}
+	s.primedFam, s.primedX = fam, x
+}
+
+// accBuf returns level i's accurate-sketch buffer, sized for the bound
+// family, without computing anything — the PrimeBatch destination.
+func (s *sketchScratch) accBuf(i int) bitvec.Vector {
+	if len(s.acc[i]) != bitvec.Words(s.fam.AccurateRows()) {
+		s.acc[i] = bitvec.New(s.fam.AccurateRows())
+	}
+	return s.acc[i]
 }
 
 func resizeVecs(v []bitvec.Vector, n int) []bitvec.Vector {
@@ -119,11 +161,7 @@ func resizeBools(v []bool, n int) []bool {
 // on first use within the current query.
 func (s *sketchScratch) accurate(i int) bitvec.Vector {
 	if !s.accOK[i] {
-		want := bitvec.Words(s.fam.AccurateRows())
-		if len(s.acc[i]) != want {
-			s.acc[i] = bitvec.New(s.fam.AccurateRows())
-		}
-		s.fam.Accurate[i].ApplyInto(s.acc[i], s.x)
+		s.fam.Accurate[i].ApplyInto(s.accBuf(i), s.x)
 		s.accOK[i] = true
 	}
 	return s.acc[i]

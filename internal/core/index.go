@@ -66,11 +66,37 @@ func (p Params) withDefaults() Params {
 // Index is the preprocessed data structure: the database, the public
 // sketch family, and every table the schemes probe.
 type Index struct {
-	P      Params
-	D      int
+	P Params
+	D int
+	// DB holds per-point views of the database when the index was built
+	// from a caller's slice (free — it is that slice). Snapshot-loaded
+	// indexes leave it nil and serve rows straight from the flat block;
+	// use DBRow/DBVectors/N, which handle both.
 	DB     []bitvec.Vector
 	Fam    *sketch.Family
 	Tables *table.Set
+}
+
+// N returns the database size.
+func (ix *Index) N() int { return ix.Tables.DBBlock.Rows() }
+
+// DBRow returns database point i without materializing the per-row
+// header slice — a view of the caller's slice or of the flat block
+// (which on the mmap path is the snapshot file itself).
+func (ix *Index) DBRow(i int) bitvec.Vector {
+	if ix.DB != nil {
+		return ix.DB[i]
+	}
+	return ix.Tables.DBBlock.Row(i)
+}
+
+// DBVectors returns per-point views of the whole database, materializing
+// the header slice once for snapshot-loaded indexes.
+func (ix *Index) DBVectors() []bitvec.Vector {
+	if ix.DB != nil {
+		return ix.DB
+	}
+	return ix.Tables.Vectors()
 }
 
 // BuildIndex preprocesses the database of d-dimensional points. The
@@ -105,7 +131,7 @@ func BuildIndexParallel(db []bitvec.Vector, d int, p Params, workers int) *Index
 // table set — the snapshot load path. p must be normalized (a saved
 // index's P always is); the database is the table set's flat block.
 func NewIndexFromParts(p Params, d int, fam *sketch.Family, ts *table.Set) *Index {
-	return &Index{P: p, D: d, DB: ts.DB, Fam: fam, Tables: ts}
+	return &Index{P: p, D: d, Fam: fam, Tables: ts}
 }
 
 // SketchParams maps index parameters to the sketch substrate's (used
@@ -148,6 +174,20 @@ type Scheme interface {
 type CtxScheme interface {
 	Scheme
 	QueryWithCtx(x bitvec.Vector, c *QueryCtx) Result
+}
+
+// BatchPrimer is a CtxScheme whose first probe round is query-independent,
+// so a batch of queries can have that round's sketches precomputed with
+// the register-blocked kernel (one matrix traversal feeds the whole
+// batch) before the per-query executions run. Priming is a pure
+// optimization: answers and cell-probe accounting are unchanged.
+//
+// Contract: after PrimeBatch(ctxs, xs, dsts), the caller runs
+// QueryWithCtx(xs[q], ctxs[q]) for each q — same query slice, same
+// context. dsts is caller scratch with len(dsts) >= len(ctxs).
+type BatchPrimer interface {
+	CtxScheme
+	PrimeBatch(ctxs []*QueryCtx, xs []bitvec.Vector, dsts []bitvec.Vector)
 }
 
 // queryPooled runs one CtxScheme query on a pool-acquired context and

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+// samePrimedResult pins the full outcome — answer and every accounting
+// field — between a primed and an unprimed execution.
+func samePrimedResult(t *testing.T, label string, q int, a, b Result) {
+	t.Helper()
+	if a.Index != b.Index || a.Degenerate != b.Degenerate || a.Violated != b.Violated ||
+		(a.Err == nil) != (b.Err == nil) {
+		t.Fatalf("%s: query %d answers diverged: %+v vs %+v", label, q, a, b)
+	}
+	sa, sb := a.Stats, b.Stats
+	if sa.Rounds != sb.Rounds || sa.Probes != sb.Probes ||
+		sa.BitsRead != sb.BitsRead || sa.AddrBitsSent != sb.AddrBitsSent {
+		t.Fatalf("%s: query %d accounting diverged: %+v vs %+v", label, q, sa, sb)
+	}
+	if len(sa.ProbesPerRound) != len(sb.ProbesPerRound) {
+		t.Fatalf("%s: query %d round shapes diverged", label, q)
+	}
+	for r := range sa.ProbesPerRound {
+		if sa.ProbesPerRound[r] != sb.ProbesPerRound[r] {
+			t.Fatalf("%s: query %d round %d probes %d vs %d",
+				label, q, r, sa.ProbesPerRound[r], sb.ProbesPerRound[r])
+		}
+	}
+}
+
+// TestPrimeBatchIdentity: a primed execution must be bit-identical to an
+// unprimed one — same answers, same probe/round/bit accounting — for
+// budgets that take the shrinking path and the completion-only path.
+func TestPrimeBatchIdentity(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		idx, db := buildTestIndex(t, 160, 60, Params{K: k})
+		a := NewAlgo1(idx, k)
+		r := rng.New(uint64(4000 + k))
+		xs := make([]bitvec.Vector, 13) // deliberately not the chunk width
+		for i := range xs {
+			if i%2 == 0 {
+				xs[i] = hamming.AtDistance(r, db[i], 160, 1+i*5)
+			} else {
+				xs[i] = hamming.Random(r, 160)
+			}
+		}
+		ctxs := make([]*QueryCtx, len(xs))
+		for i := range ctxs {
+			ctxs[i] = NewQueryCtx()
+		}
+		dsts := make([]bitvec.Vector, len(xs))
+		a.PrimeBatch(ctxs, xs, dsts)
+		for q, x := range xs {
+			primed := a.QueryWithCtx(x, ctxs[q])
+			primed.Stats = primed.Stats.Clone()
+			plain := a.Query(x)
+			samePrimedResult(t, "primed-vs-plain", q, primed, plain)
+		}
+	}
+}
+
+// TestPrimeBatchOneShot: priming must not leak into later queries on the
+// same context — neither for a different query on the primed context nor
+// for a reuse of the context after the primed query ran.
+func TestPrimeBatchOneShot(t *testing.T) {
+	idx, db := buildTestIndex(t, 128, 48, Params{K: 2})
+	a := NewAlgo1(idx, 2)
+	r := rng.New(4100)
+	x1 := hamming.AtDistance(r, db[0], 128, 7)
+	x2 := hamming.AtDistance(r, db[1], 128, 9)
+
+	// Prime for x1, then run x2 on the primed context: the stale priming
+	// must be discarded, answering exactly like a fresh context.
+	c := NewQueryCtx()
+	a.PrimeBatch([]*QueryCtx{c}, []bitvec.Vector{x1}, make([]bitvec.Vector, 1))
+	got := a.QueryWithCtx(x2, c)
+	got.Stats = got.Stats.Clone()
+	samePrimedResult(t, "stale-prime", 0, got, a.Query(x2))
+
+	// Prime for x1, run it, then run x1 again on the same context: the
+	// second execution is unprimed (bind cleared the mark) and must agree.
+	a.PrimeBatch([]*QueryCtx{c}, []bitvec.Vector{x1}, make([]bitvec.Vector, 1))
+	first := a.QueryWithCtx(x1, c)
+	first.Stats = first.Stats.Clone()
+	second := a.QueryWithCtx(x1, c)
+	second.Stats = second.Stats.Clone()
+	samePrimedResult(t, "reuse-after-prime", 0, first, second)
+}

@@ -38,7 +38,7 @@ func NewPrefixTable(in *Instance, meter *cellprobe.Meter) *PrefixTable {
 		logCells = 1
 	}
 	wordBits := bitsFor(len(in.DB) + 1)
-	t.oracle = cellprobe.NewOracle(cellprobe.PrefixTag(), logCells, wordBits, meter, t.eval)
+	t.oracle = cellprobe.NewOracleEval(cellprobe.PrefixTag(), logCells, wordBits, meter, t)
 	return t
 }
 
@@ -62,7 +62,7 @@ func (t *PrefixTable) Address(x []int, length int) cellprobe.Addr {
 	return b.Addr()
 }
 
-func (t *PrefixTable) eval(addr cellprobe.Addr) cellprobe.Word {
+func (t *PrefixTable) EvalCell(addr cellprobe.Addr) cellprobe.Word {
 	if addr.Len() < 1 {
 		return cellprobe.EmptyWord
 	}

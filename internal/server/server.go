@@ -92,8 +92,8 @@ type Config struct {
 // serve lifecycle's answer to "what is this process serving and how fast
 // did it come up".
 type IndexInfo struct {
-	// Source is "built" (preprocessed in-process) or "snapshot" (loaded
-	// from a file).
+	// Source is "built" (preprocessed in-process), "snapshot" (heap-loaded
+	// from a file), or "mmap" (zero-copy mapped from a file).
 	Source string
 	// SnapshotVersion is the snapshot format version served (0 when built).
 	SnapshotVersion uint32
@@ -101,6 +101,9 @@ type IndexInfo struct {
 	LoadDuration time.Duration
 	// Path is the snapshot file (empty when built).
 	Path string
+	// MappedBytes is the mapping length when Source is "mmap" (0
+	// otherwise).
+	MappedBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -521,6 +524,7 @@ func (s *Server) Stats() StatsSnapshot {
 		IndexSource:      s.cfg.Index.Source,
 		SnapshotVersion:  s.cfg.Index.SnapshotVersion,
 		IndexLoadMS:      s.cfg.Index.LoadDuration.Milliseconds(),
+		MappedBytes:      s.cfg.Index.MappedBytes,
 		Inserts:          s.m.inserts.Load(),
 		Deletes:          s.m.deletes.Load(),
 		MutationErrors:   s.m.mutErrors.Load(),

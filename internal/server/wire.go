@@ -135,6 +135,7 @@ type StatsSnapshot struct {
 	IndexSource     string `json:"index_source"`
 	SnapshotVersion uint32 `json:"snapshot_version,omitempty"`
 	IndexLoadMS     int64  `json:"index_load_ms"`
+	MappedBytes     int64  `json:"mapped_bytes,omitempty"`
 	// Mutation counters (zero on immutable servers) and, when the served
 	// index is a mutable tier, its internal state.
 	Inserts        int64         `json:"inserts"`

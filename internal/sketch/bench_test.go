@@ -3,6 +3,7 @@ package sketch
 import (
 	"testing"
 
+	"repro/internal/bitvec"
 	"repro/internal/hamming"
 	"repro/internal/rng"
 )
@@ -24,6 +25,46 @@ func BenchmarkApply16384x192(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Apply(x)
+	}
+}
+
+// BenchmarkApplyBatch8x4096x256 measures the blocked batch kernel against
+// a matrix too large for L1 (256 rows × 4096 bits = 128 KiB), the regime
+// the row-load amortization targets. Compare per-query cost against
+// BenchmarkApplySingle8x4096x256.
+func BenchmarkApplyBatch8x4096x256(b *testing.B) {
+	r := rng.New(9)
+	m := NewBernoulli(r, 256, 4096, 0.01)
+	const batch = 8
+	xs := make([]bitvec.Vector, batch)
+	dsts := make([]bitvec.Vector, batch)
+	for q := range xs {
+		xs[q] = hamming.Random(r, 4096)
+		dsts[q] = bitvec.New(m.NumRows)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ApplyBatchInto(dsts, xs)
+	}
+}
+
+func BenchmarkApplySingle8x4096x256(b *testing.B) {
+	r := rng.New(9)
+	m := NewBernoulli(r, 256, 4096, 0.01)
+	const batch = 8
+	xs := make([]bitvec.Vector, batch)
+	dsts := make([]bitvec.Vector, batch)
+	for q := range xs {
+		xs[q] = hamming.Random(r, 4096)
+		dsts[q] = bitvec.New(m.NumRows)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := range xs {
+			m.ApplyInto(dsts[q], xs[q])
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ package sketch
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/rng"
@@ -94,17 +95,106 @@ func (m *Matrix) Apply(x bitvec.Vector) bitvec.Vector {
 
 // ApplyInto computes y = Mx into dst, reusing dst's storage (the query
 // hot path applies sketches into per-level scratch buffers). dst must
-// have Words(m.NumRows) words; it is zeroed first and returned.
+// have Words(m.NumRows) words. Each output word is accumulated in a
+// register — 64 row parities OR'd together — and written once, which
+// folds the zeroing into the kernel (no separate clearing pass, no
+// per-bit read-modify-write on dst).
 func (m *Matrix) ApplyInto(dst bitvec.Vector, x bitvec.Vector) bitvec.Vector {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for i := 0; i < m.NumRows; i++ {
-		if bitvec.Parity(m.block.Row(i), x) == 1 {
-			dst.Set(i, true)
+	row := 0
+	for o := range dst {
+		end := row + 64
+		if end > m.NumRows {
+			end = m.NumRows
 		}
+		var w uint64
+		for bit := uint(0); row < end; row, bit = row+1, bit+1 {
+			w |= uint64(bitvec.Parity(m.block.Row(row), x)) << bit
+		}
+		dst[o] = w
 	}
 	return dst
+}
+
+// batchWidth is the register-blocking factor of ApplyBatchInto: each
+// matrix row word is loaded once and folded against this many queries.
+// Four keeps the accumulators and slice bases within the general-purpose
+// register budget on amd64/arm64.
+const batchWidth = 4
+
+// ApplyBatchInto computes dsts[q] = M·xs[q] for every q, equivalent to
+// len(xs) independent ApplyInto calls but traversing the matrix once per
+// batchWidth queries instead of once per query: the dominant cost on
+// large matrices is streaming the rows through the cache hierarchy, and
+// the blocked loop amortizes each row-word load across the block.
+// len(dsts) must equal len(xs); shapes follow the ApplyInto contract.
+func (m *Matrix) ApplyBatchInto(dsts, xs []bitvec.Vector) {
+	if len(dsts) != len(xs) {
+		panic(fmt.Sprintf("sketch: batch shape mismatch: %d dsts, %d queries", len(dsts), len(xs)))
+	}
+	base := 0
+	for ; base+batchWidth <= len(xs); base += batchWidth {
+		m.applyBlock4(dsts[base:base+batchWidth], xs[base:base+batchWidth])
+	}
+	for ; base < len(xs); base++ {
+		m.ApplyInto(dsts[base], xs[base])
+	}
+}
+
+// ApplyBlockInto computes dst.Row(i) = M·src.Row(i) for every row of src
+// through the blocked kernel — the build-path form of ApplyBatchInto,
+// used when a whole database block is sketched at once. dst must have
+// src.Rows() rows of Words(m.NumRows) words.
+func (m *Matrix) ApplyBlockInto(dst, src bitvec.Block) {
+	n := src.Rows()
+	if dst.Rows() != n {
+		panic(fmt.Sprintf("sketch: block shape mismatch: %d dst rows, %d src rows", dst.Rows(), n))
+	}
+	var ds, ss [batchWidth]bitvec.Vector
+	i := 0
+	for ; i+batchWidth <= n; i += batchWidth {
+		for j := 0; j < batchWidth; j++ {
+			ds[j] = dst.Row(i + j)
+			ss[j] = src.Row(i + j)
+		}
+		m.applyBlock4(ds[:], ss[:])
+	}
+	for ; i < n; i++ {
+		m.ApplyInto(dst.Row(i), src.Row(i))
+	}
+}
+
+// applyBlock4 is the register-blocked inner kernel: exactly batchWidth
+// queries, accumulators and slice bases hoisted into locals so each matrix
+// row word is loaded once and folded against all four queries.
+func (m *Matrix) applyBlock4(dsts, xs []bitvec.Vector) {
+	x0, x1, x2, x3 := xs[0], xs[1], xs[2], xs[3]
+	d0, d1, d2, d3 := dsts[0], dsts[1], dsts[2], dsts[3]
+	row := 0
+	for o := range d0 {
+		end := row + 64
+		if end > m.NumRows {
+			end = m.NumRows
+		}
+		var w0, w1, w2, w3 uint64
+		for bit := uint(0); row < end; row, bit = row+1, bit+1 {
+			r := m.block.Row(row)
+			// Reslicing the queries to the row length lets the compiler
+			// drop the four bounds checks in the fold loop.
+			y0, y1, y2, y3 := x0[:len(r)], x1[:len(r)], x2[:len(r)], x3[:len(r)]
+			var f0, f1, f2, f3 uint64
+			for j, rj := range r {
+				f0 ^= rj & y0[j]
+				f1 ^= rj & y1[j]
+				f2 ^= rj & y2[j]
+				f3 ^= rj & y3[j]
+			}
+			w0 |= uint64(bits.OnesCount64(f0)&1) << bit
+			w1 |= uint64(bits.OnesCount64(f1)&1) << bit
+			w2 |= uint64(bits.OnesCount64(f2)&1) << bit
+			w3 |= uint64(bits.OnesCount64(f3)&1) << bit
+		}
+		d0[o], d1[o], d2[o], d3[o] = w0, w1, w2, w3
+	}
 }
 
 // SketchDistance returns the Hamming distance between two sketches. It is a

@@ -1,0 +1,136 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+)
+
+// oracleApply is the pre-kernel reference: per-row Parity, per-bit Set,
+// explicit zeroing. The word-accumulating ApplyInto must match it exactly.
+func oracleApply(m *Matrix, x bitvec.Vector) bitvec.Vector {
+	dst := bitvec.New(m.NumRows)
+	for i := 0; i < m.NumRows; i++ {
+		if bitvec.Parity(m.Row(i), x) == 1 {
+			dst.Set(i, true)
+		}
+	}
+	return dst
+}
+
+func TestApplyIntoMatchesOracle(t *testing.T) {
+	r := rng.New(77)
+	for _, shape := range []struct{ rows, d int }{
+		{1, 1}, {7, 64}, {63, 100}, {64, 128}, {65, 129}, {96, 1024}, {192, 257}, {300, 4096},
+	} {
+		m := NewBernoulli(r, shape.rows, shape.d, 0.05)
+		for trial := 0; trial < 4; trial++ {
+			x := hamming.Random(r, shape.d)
+			want := oracleApply(m, x)
+			got := m.Apply(x)
+			if !bitvec.Equal(got, want) {
+				t.Fatalf("%dx%d trial %d: ApplyInto diverges from oracle", shape.rows, shape.d, trial)
+			}
+		}
+	}
+}
+
+// TestApplyIntoFoldsZeroing checks the documented contract that dst is
+// fully overwritten: stale garbage in dst must not survive.
+func TestApplyIntoFoldsZeroing(t *testing.T) {
+	r := rng.New(78)
+	m := NewBernoulli(r, 100, 512, 0.1)
+	x := hamming.Random(r, 512)
+	dst := bitvec.New(m.NumRows)
+	for i := range dst {
+		dst[i] = ^uint64(0)
+	}
+	m.ApplyInto(dst, x)
+	if !bitvec.Equal(dst, oracleApply(m, x)) {
+		t.Fatal("stale dst contents leaked through ApplyInto")
+	}
+	if got := dst.TruncateToDim(m.NumRows); !bitvec.Equal(got, dst) {
+		t.Fatal("ApplyInto set bits beyond NumRows")
+	}
+}
+
+// TestApplyBatchIntoQuickCheck is the satellite quick-check: for random
+// shapes and batch sizes (covering the blocked body, the scalar tail, and
+// the empty batch), ApplyBatchInto must equal B independent ApplyInto
+// calls.
+func TestApplyBatchIntoQuickCheck(t *testing.T) {
+	r := rng.New(79)
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + int(r.Uint64()%200)
+		d := 1 + int(r.Uint64()%2048)
+		b := int(r.Uint64() % 11) // 0..10: tails of every length mod batchWidth
+		m := NewBernoulli(r, rows, d, 0.07)
+		xs := make([]bitvec.Vector, b)
+		dsts := make([]bitvec.Vector, b)
+		want := make([]bitvec.Vector, b)
+		for q := 0; q < b; q++ {
+			xs[q] = hamming.Random(r, d)
+			dsts[q] = bitvec.New(rows)
+			for i := range dsts[q] {
+				dsts[q][i] = ^uint64(0) // stale garbage must be overwritten
+			}
+			want[q] = m.ApplyInto(bitvec.New(rows), xs[q])
+		}
+		m.ApplyBatchInto(dsts, xs)
+		for q := 0; q < b; q++ {
+			if !bitvec.Equal(dsts[q], want[q]) {
+				t.Fatalf("trial %d (%dx%d, batch %d): query %d diverges from independent ApplyInto",
+					trial, rows, d, b, q)
+			}
+		}
+	}
+}
+
+func TestApplyBatchIntoShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on len(dsts) != len(xs)")
+		}
+	}()
+	r := rng.New(80)
+	m := NewBernoulli(r, 8, 64, 0.1)
+	m.ApplyBatchInto(make([]bitvec.Vector, 2), make([]bitvec.Vector, 3))
+}
+
+// TestApplyBlockIntoQuickCheck pins the build-path block form against
+// per-row ApplyInto across random shapes, including row counts in every
+// residue class of the block width.
+func TestApplyBlockIntoQuickCheck(t *testing.T) {
+	r := rng.New(81)
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + int(r.Uint64()%150)
+		d := 1 + int(r.Uint64()%1024)
+		n := int(r.Uint64() % 23) // 0..22 database rows
+		m := NewBernoulli(r, rows, d, 0.08)
+		src := bitvec.NewBlock(n, d)
+		for i := 0; i < n; i++ {
+			copy(src.Row(i), hamming.Random(r, d))
+		}
+		dst := bitvec.NewBlock(n, rows)
+		m.ApplyBlockInto(dst, src)
+		for i := 0; i < n; i++ {
+			want := m.ApplyInto(bitvec.New(rows), src.Row(i))
+			if !bitvec.Equal(dst.Row(i), want) {
+				t.Fatalf("trial %d (%dx%d, n=%d): row %d diverges", trial, rows, d, n, i)
+			}
+		}
+	}
+}
+
+func TestApplyBlockIntoShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dst.Rows() != src.Rows()")
+		}
+	}()
+	r := rng.New(82)
+	m := NewBernoulli(r, 8, 64, 0.1)
+	m.ApplyBlockInto(bitvec.NewBlock(2, 8), bitvec.NewBlock(3, 64))
+}

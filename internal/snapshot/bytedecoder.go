@@ -1,0 +1,221 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether uint64 loads read the format's byte
+// order directly — the precondition for pointer-casting mapped sections.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ByteDecoder walks a complete snapshot image held in memory — in
+// practice a Mapped file — and implements Decoder with zero-copy word
+// views: on a little-endian host, WordsView pointer-casts the section
+// bytes into a []uint64 aliasing the image (the format pads every word
+// array to an 8-byte file offset, and page-aligned mappings keep that
+// alignment in memory). On a big-endian host, or when the image was
+// handed in at an unaligned base address, WordsView transparently copies
+// instead — same results, no zero-copy.
+//
+// Checksum policy: NewByteDecoder and the section walk validate
+// structure (magic, version, headers, section tables, exact total
+// length), and Close verifies the cursor consumed the body exactly — but
+// the CRC trailer is NOT verified against the payload, because touching
+// every page would forfeit the O(µs) open that zero-copy exists for.
+// Callers needing full integrity run VerifyChecksum (on the decoder or
+// the Mapped file) explicitly; the serving daemon does so asynchronously
+// after boot.
+type ByteDecoder struct {
+	data    []byte // full image including magic and CRC trailer
+	off     int    // cursor; an absolute offset into data
+	limit   int    // body end: len(data) - 4 (CRC trailer)
+	kind    uint32
+	version uint32
+	err     error
+
+	borrowed int64 // bytes handed out as zero-copy views
+	copied   int64 // bytes that had to be copied (alignment/endianness)
+}
+
+// NewByteDecoder validates the envelope of a complete in-memory snapshot
+// image and positions the cursor at the body.
+func NewByteDecoder(data []byte) (*ByteDecoder, error) {
+	if len(data) < len(magic)+4+4+4 { // magic + version + kind + trailer
+		return nil, fmt.Errorf("%w: %d-byte image is shorter than the envelope", ErrFormat, len(data))
+	}
+	d := &ByteDecoder{data: data, limit: len(data) - 4}
+	if string(data[:len(magic)]) != magic {
+		return nil, ErrBadMagic
+	}
+	d.off = len(magic)
+	d.version = d.U32()
+	if d.version < MinFormatVersion || d.version > FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d..%d",
+			ErrVersion, d.version, MinFormatVersion, FormatVersion)
+	}
+	d.kind = d.U32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return d, nil
+}
+
+// Kind returns the snapshot kind declared in the header.
+func (d *ByteDecoder) Kind() uint32 { return d.kind }
+
+// Version returns the format version declared in the header.
+func (d *ByteDecoder) Version() uint32 { return d.version }
+
+// take advances the cursor over n body bytes, failing with ErrFormat if
+// they would run into the CRC trailer.
+func (d *ByteDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off > d.limit-n {
+		d.err = fmt.Errorf("%w: truncated file: body read of %d bytes at offset %d exceeds %d-byte body",
+			ErrFormat, n, d.off, d.limit)
+		return nil
+	}
+	p := d.data[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+// U32 reads a 32-bit unsigned integer.
+func (d *ByteDecoder) U32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 reads a 64-bit unsigned integer.
+func (d *ByteDecoder) U64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// F64 reads a float64.
+func (d *ByteDecoder) F64() float64 {
+	return math.Float64frombits(d.U64())
+}
+
+// Bool reads a boolean.
+func (d *ByteDecoder) Bool() bool {
+	p := d.take(1)
+	return p != nil && p[0] != 0
+}
+
+func (d *ByteDecoder) alignRead() {
+	if pad := d.off & 7; pad != 0 {
+		d.take(8 - pad)
+	}
+}
+
+// wordPayload positions the cursor past the alignment padding and
+// returns the n*8 raw bytes of the next word array.
+func (d *ByteDecoder) wordPayload(n uint64) []byte {
+	d.alignRead()
+	if n > uint64(d.limit)/8 { // keep n*8 from overflowing int
+		d.take(d.limit + 1) // force the typed truncation error
+		return nil
+	}
+	return d.take(int(n * 8))
+}
+
+// WordsInto fills dst from the image (always a copy).
+func (d *ByteDecoder) WordsInto(dst []uint64) {
+	p := d.wordPayload(uint64(len(dst)))
+	if p == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(p[8*i:])
+	}
+}
+
+// WordsView returns the next n-word array. On a little-endian host with
+// the payload 8-byte-aligned in memory it is a zero-copy pointer cast
+// into the image; otherwise it allocates and copies. Callers must treat
+// the result as immutable and must not use it after the backing mapping
+// is closed.
+func (d *ByteDecoder) WordsView(n uint64) []uint64 {
+	p := d.wordPayload(n)
+	if p == nil || n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&p[0]))&7 == 0 {
+		d.borrowed += int64(len(p))
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&p[0])), n)
+	}
+	d.copied += int64(len(p))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(p[8*i:])
+	}
+	return out
+}
+
+// SkipWords discards a word array — an O(1) cursor advance, which is
+// what makes Inspect on a mapped snapshot a pure header walk.
+func (d *ByteDecoder) SkipWords(n uint64) {
+	d.wordPayload(n)
+}
+
+// Err returns the first error encountered.
+func (d *ByteDecoder) Err() error { return d.err }
+
+// Close verifies the body was consumed exactly: the cursor must have
+// landed on the CRC trailer. See the type comment for why the trailer
+// itself is not verified here.
+func (d *ByteDecoder) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != d.limit {
+		return fmt.Errorf("%w: body ends at offset %d, trailer at %d", ErrFormat, d.off, d.limit)
+	}
+	return nil
+}
+
+// Bytes returns the number of bytes consumed so far.
+func (d *ByteDecoder) Bytes() int64 { return int64(d.off) }
+
+// BorrowedBytes returns how many payload bytes were handed out as
+// zero-copy views into the image (0 when every section was copied).
+func (d *ByteDecoder) BorrowedBytes() int64 { return d.borrowed }
+
+// CopiedBytes returns how many payload bytes WordsView had to copy
+// because of alignment or endianness.
+func (d *ByteDecoder) CopiedBytes() int64 { return d.copied }
+
+// VerifyChecksum computes the CRC-32 of the whole body and compares it
+// against the trailer — the full-integrity check the zero-copy open
+// deliberately defers.
+func (d *ByteDecoder) VerifyChecksum() error {
+	return verifyImageChecksum(d.data)
+}
+
+// verifyImageChecksum checks the CRC trailer of a complete snapshot image.
+func verifyImageChecksum(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("%w: truncated file", ErrFormat)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return ErrChecksum
+	}
+	return nil
+}

@@ -169,8 +169,44 @@ func (e *Encoder) Close() error {
 	return e.bw.Flush()
 }
 
-// Decoder reads one snapshot stream, verifying the checksum on Close.
-type Decoder struct {
+// Decoder is the reading side of the codec. Two implementations exist:
+// StreamDecoder copies every section into fresh heap allocations from any
+// io.Reader and verifies the checksum inline; ByteDecoder walks an
+// in-memory byte image (typically an mmap-ed file) and hands out
+// zero-copy word views into it. Decode* functions are written against
+// this interface so both paths share one format walk.
+type Decoder interface {
+	// Kind returns the snapshot kind declared in the header.
+	Kind() uint32
+	// Version returns the format version declared in the header.
+	Version() uint32
+	U32() uint32
+	U64() uint64
+	F64() float64
+	Bool() bool
+	// WordsInto fills dst with the next word array (always a copy).
+	WordsInto(dst []uint64)
+	// WordsView returns the next n-word array, borrowing the decoder's
+	// backing storage when it can (ByteDecoder on a little-endian host
+	// with 8-byte-aligned data) and allocating a copy otherwise. Callers
+	// must treat the result as immutable: it may alias a shared mapping.
+	WordsView(n uint64) []uint64
+	// SkipWords discards a word array without materializing it.
+	SkipWords(n uint64)
+	// Err returns the first error encountered.
+	Err() error
+	// Close finishes the walk: StreamDecoder verifies the checksum
+	// trailer, ByteDecoder verifies the cursor consumed the body exactly
+	// (its checksum policy is documented on the type).
+	Close() error
+	// Bytes returns the number of body bytes consumed so far.
+	Bytes() int64
+}
+
+// StreamDecoder reads one snapshot stream from an io.Reader, verifying
+// the checksum on Close. It is the heap load path: every word array is
+// copied into fresh allocations.
+type StreamDecoder struct {
 	br      *bufio.Reader
 	crc     hash.Hash32
 	r       io.Reader // br teed through crc
@@ -183,8 +219,8 @@ type Decoder struct {
 
 // NewDecoder reads and validates the stream header. The reported kind
 // selects which Decode* calls may follow.
-func NewDecoder(r io.Reader) (*Decoder, error) {
-	d := &Decoder{br: bufio.NewReaderSize(r, 1<<20), crc: crc32.NewIEEE(), buf: make([]byte, 8*wordChunk)}
+func NewDecoder(r io.Reader) (*StreamDecoder, error) {
+	d := &StreamDecoder{br: bufio.NewReaderSize(r, 1<<20), crc: crc32.NewIEEE(), buf: make([]byte, 8*wordChunk)}
 	d.r = io.TeeReader(d.br, d.crc)
 	head := make([]byte, len(magic))
 	if err := d.read(head); err != nil {
@@ -206,12 +242,12 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 }
 
 // Kind returns the snapshot kind declared in the header.
-func (d *Decoder) Kind() uint32 { return d.kind }
+func (d *StreamDecoder) Kind() uint32 { return d.kind }
 
 // Version returns the format version declared in the header.
-func (d *Decoder) Version() uint32 { return d.version }
+func (d *StreamDecoder) Version() uint32 { return d.version }
 
-func (d *Decoder) read(p []byte) error {
+func (d *StreamDecoder) read(p []byte) error {
 	if d.err != nil {
 		return d.err
 	}
@@ -232,7 +268,7 @@ func (d *Decoder) read(p []byte) error {
 }
 
 // U32 reads a 32-bit unsigned integer.
-func (d *Decoder) U32() uint32 {
+func (d *StreamDecoder) U32() uint32 {
 	if d.read(d.buf[:4]) != nil {
 		return 0
 	}
@@ -240,7 +276,7 @@ func (d *Decoder) U32() uint32 {
 }
 
 // U64 reads a 64-bit unsigned integer.
-func (d *Decoder) U64() uint64 {
+func (d *StreamDecoder) U64() uint64 {
 	if d.read(d.buf[:8]) != nil {
 		return 0
 	}
@@ -248,10 +284,10 @@ func (d *Decoder) U64() uint64 {
 }
 
 // F64 reads a float64.
-func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+func (d *StreamDecoder) F64() float64 { return math.Float64frombits(d.U64()) }
 
 // Bool reads a boolean.
-func (d *Decoder) Bool() bool {
+func (d *StreamDecoder) Bool() bool {
 	if d.read(d.buf[:1]) != nil {
 		return false
 	}
@@ -261,7 +297,7 @@ func (d *Decoder) Bool() bool {
 // WordsInto fills dst from the stream (after alignment padding). The
 // caller sizes dst from a validated section table, so a hostile length
 // never reaches an allocation.
-func (d *Decoder) WordsInto(dst []uint64) {
+func (d *StreamDecoder) WordsInto(dst []uint64) {
 	d.alignRead()
 	for len(dst) > 0 && d.err == nil {
 		chunk := len(dst)
@@ -278,8 +314,16 @@ func (d *Decoder) WordsInto(dst []uint64) {
 	}
 }
 
+// WordsView returns the next n-word array as a fresh allocation — the
+// stream path always copies. The caller's section table validated n.
+func (d *StreamDecoder) WordsView(n uint64) []uint64 {
+	out := make([]uint64, n)
+	d.WordsInto(out)
+	return out
+}
+
 // SkipWords discards a word array without materializing it (Inspect).
-func (d *Decoder) SkipWords(n uint64) {
+func (d *StreamDecoder) SkipWords(n uint64) {
 	d.alignRead()
 	for n > 0 && d.err == nil {
 		chunk := uint64(wordChunk)
@@ -293,18 +337,18 @@ func (d *Decoder) SkipWords(n uint64) {
 	}
 }
 
-func (d *Decoder) alignRead() {
+func (d *StreamDecoder) alignRead() {
 	if pad := int(d.n & 7); pad != 0 {
 		d.read(d.buf[:8-pad])
 	}
 }
 
 // Err returns the first error encountered.
-func (d *Decoder) Err() error { return d.err }
+func (d *StreamDecoder) Err() error { return d.err }
 
 // Close reads the checksum trailer and verifies it against everything
 // read so far. It must be called after the body has been fully consumed.
-func (d *Decoder) Close() error {
+func (d *StreamDecoder) Close() error {
 	if d.err != nil {
 		return d.err
 	}
@@ -323,4 +367,4 @@ func (d *Decoder) Close() error {
 }
 
 // Bytes returns the number of body bytes consumed so far (Inspect).
-func (d *Decoder) Bytes() int64 { return d.n }
+func (d *StreamDecoder) Bytes() int64 { return d.n }

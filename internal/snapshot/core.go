@@ -106,15 +106,15 @@ func EncodeCore(e *Encoder, idx *core.Index) {
 	e.F64(p.CutFraction)
 	e.Bool(p.LiteralDeltaCut)
 	e.U64(uint64(idx.D))
-	e.U64(uint64(len(idx.DB)))
-	sh := sketch.ShapeOf(p.SketchParams(idx.D, len(idx.DB)))
+	e.U64(uint64(idx.N()))
+	sh := sketch.ShapeOf(p.SketchParams(idx.D, idx.N()))
 	e.U64(uint64(sh.L))
 	e.U64(uint64(sh.AccRows))
 	e.U64(uint64(sh.CoarseRows))
 
 	ball := idx.Tables.SketchBlocks()
 	coarse := idx.Tables.CoarseBlocks()
-	h := coreHeader{p: p, d: idx.D, n: len(idx.DB), shape: sh}
+	h := coreHeader{p: p, d: idx.D, n: idx.N(), shape: sh}
 	secs := h.expectedSections()
 	e.U32(uint32(len(secs)))
 	for _, s := range secs {
@@ -140,7 +140,7 @@ func EncodeCore(e *Encoder, idx *core.Index) {
 
 // decodeCoreHeader reads and validates the scalar prefix and section
 // table of a core body.
-func decodeCoreHeader(d *Decoder) (*coreHeader, error) {
+func decodeCoreHeader(d Decoder) (*coreHeader, error) {
 	var p core.Params
 	p.Gamma = d.F64()
 	p.C1 = d.F64()
@@ -210,9 +210,10 @@ func decodeCoreHeader(d *Decoder) (*coreHeader, error) {
 }
 
 // DecodeCore reads one core.Index body from an open decoder, rebinding
-// the flat word arrays without any per-entry work: one allocation per
-// section, per-level views subsliced out of it.
-func DecodeCore(d *Decoder) (*core.Index, error) {
+// the flat word arrays without any per-entry work: one WordsView per
+// section (zero-copy on the mmap path, one allocation on the stream
+// path), per-level views subsliced out of it.
+func DecodeCore(d Decoder) (*core.Index, error) {
 	h, err := decodeCoreHeader(d)
 	if err != nil {
 		return nil, err
@@ -220,11 +221,11 @@ func DecodeCore(d *Decoder) (*core.Index, error) {
 	sp := h.p.SketchParams(h.d, h.n)
 	levels := h.shape.L + 1
 
-	db := bitvec.Block{RowWords: bitvec.Words(h.d), Words: make([]uint64, h.sections[0].Words)}
-	d.WordsInto(db.Words)
-
-	accMat := bitvec.Block{RowWords: bitvec.Words(h.d), Words: make([]uint64, h.sections[1].Words)}
-	d.WordsInto(accMat.Words)
+	db := bitvec.Block{RowWords: bitvec.Words(h.d), Words: d.WordsView(h.sections[0].Words)}
+	accMat := bitvec.Block{RowWords: bitvec.Words(h.d), Words: d.WordsView(h.sections[1].Words)}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
 	accurate := make([]*sketch.Matrix, levels)
 	for i := range accurate {
 		m, err := sketch.MatrixFromBlock(h.shape.AccRows, h.d, h.shape.Prob(i),
@@ -235,8 +236,10 @@ func DecodeCore(d *Decoder) (*core.Index, error) {
 		accurate[i] = m
 	}
 
-	accSk := bitvec.Block{RowWords: bitvec.Words(h.shape.AccRows), Words: make([]uint64, h.sections[2].Words)}
-	d.WordsInto(accSk.Words)
+	accSk := bitvec.Block{RowWords: bitvec.Words(h.shape.AccRows), Words: d.WordsView(h.sections[2].Words)}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
 	ball := make([]bitvec.Block, levels)
 	for i := range ball {
 		ball[i] = accSk.Slice(i*h.n, (i+1)*h.n)
@@ -245,8 +248,10 @@ func DecodeCore(d *Decoder) (*core.Index, error) {
 	var coarse []*sketch.Matrix
 	var coarseSk []bitvec.Block
 	if h.shape.CoarseRows > 0 {
-		coarseMat := bitvec.Block{RowWords: bitvec.Words(h.d), Words: make([]uint64, h.sections[3].Words)}
-		d.WordsInto(coarseMat.Words)
+		coarseMat := bitvec.Block{RowWords: bitvec.Words(h.d), Words: d.WordsView(h.sections[3].Words)}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
 		coarse = make([]*sketch.Matrix, levels)
 		for j := range coarse {
 			m, err := sketch.MatrixFromBlock(h.shape.CoarseRows, h.d, h.shape.Prob(j),
@@ -256,8 +261,10 @@ func DecodeCore(d *Decoder) (*core.Index, error) {
 			}
 			coarse[j] = m
 		}
-		coarseBlock := bitvec.Block{RowWords: bitvec.Words(h.shape.CoarseRows), Words: make([]uint64, h.sections[4].Words)}
-		d.WordsInto(coarseBlock.Words)
+		coarseBlock := bitvec.Block{RowWords: bitvec.Words(h.shape.CoarseRows), Words: d.WordsView(h.sections[4].Words)}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
 		coarseSk = make([]bitvec.Block, levels)
 		for j := range coarseSk {
 			coarseSk[j] = coarseBlock.Slice(j*h.n, (j+1)*h.n)
@@ -279,7 +286,7 @@ func DecodeCore(d *Decoder) (*core.Index, error) {
 }
 
 // inspectCore reads a core body's headers and skips its payload.
-func inspectCore(d *Decoder) (CoreInfo, error) {
+func inspectCore(d Decoder) (CoreInfo, error) {
 	h, err := decodeCoreHeader(d)
 	if err != nil {
 		return CoreInfo{}, err

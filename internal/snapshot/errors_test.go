@@ -58,7 +58,7 @@ func TestV1SnapshotsStillLoad(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadCore(v1): %v", err)
 	}
-	if idx == nil || len(idx.DB) != 16 {
+	if idx == nil || idx.N() != 16 {
 		t.Fatalf("v1 load produced a wrong index")
 	}
 	info, err := Inspect(bytes.NewReader(raw))

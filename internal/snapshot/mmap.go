@@ -1,0 +1,77 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrMmapUnavailable is returned by MapFile when the platform has no
+// memory-mapping support (or the test hook disables it). Auto-mode
+// loaders treat it — like any MapFile error — as a reason to fall back
+// to the heap decoder, never as a fatal load failure.
+var ErrMmapUnavailable = errors.New("snapshot: mmap unavailable on this platform")
+
+// forceMmapUnavailable makes MapFile fail with ErrMmapUnavailable
+// regardless of platform: the test hook behind fallback-path coverage.
+var forceMmapUnavailable atomic.Bool
+
+// SetMmapUnavailableForTest forces (or restores) MapFile availability.
+// Tests that flip it must restore it with defer; production code never
+// calls it.
+func SetMmapUnavailableForTest(unavailable bool) {
+	forceMmapUnavailable.Store(unavailable)
+}
+
+// Mapped is a read-only memory mapping of a snapshot file. Its bytes
+// back every zero-copy view a ByteDecoder hands out, so it must stay
+// open for the lifetime of any index loaded from it; Close unmaps and
+// invalidates all such views (touching them afterwards faults).
+type Mapped struct {
+	data   []byte
+	path   string
+	closed atomic.Bool
+}
+
+// MapFile maps path read-only. The caller owns the mapping and must
+// Close it; errors (including ErrMmapUnavailable on platforms without
+// mmap) leave nothing to clean up.
+func MapFile(path string) (*Mapped, error) {
+	if forceMmapUnavailable.Load() {
+		return nil, fmt.Errorf("%w (forced by test hook)", ErrMmapUnavailable)
+	}
+	data, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{data: data, path: path}, nil
+}
+
+// Bytes returns the mapped image. Callers must not mutate it and must
+// not retain it past Close.
+func (m *Mapped) Bytes() []byte { return m.data }
+
+// Len returns the mapped length in bytes.
+func (m *Mapped) Len() int { return len(m.data) }
+
+// Path returns the mapped file's path.
+func (m *Mapped) Path() string { return m.path }
+
+// VerifyChecksum computes the CRC-32 over the whole mapped image and
+// compares it to the trailer. It touches every page, so it costs what a
+// heap load costs in I/O — run it off the boot path.
+func (m *Mapped) VerifyChecksum() error { return verifyImageChecksum(m.data) }
+
+// Close unmaps the file. Safe to call twice; every view handed out by a
+// ByteDecoder over this mapping becomes invalid.
+func (m *Mapped) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return unmapFile(data)
+}
+
+// Decoder returns a ByteDecoder positioned at the mapping's body.
+func (m *Mapped) Decoder() (*ByteDecoder, error) { return NewByteDecoder(m.data) }

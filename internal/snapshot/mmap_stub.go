@@ -1,0 +1,11 @@
+//go:build !unix
+
+package snapshot
+
+// mapFile on platforms without a wired-up mmap implementation reports
+// ErrMmapUnavailable; auto-mode loaders fall back to the heap decoder.
+func mapFile(path string) ([]byte, error) {
+	return nil, ErrMmapUnavailable
+}
+
+func unmapFile(data []byte) error { return nil }

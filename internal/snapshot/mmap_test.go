@@ -1,0 +1,242 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// saveTempCore writes a core snapshot to a temp file and returns its path
+// and raw bytes.
+func saveTempCore(t *testing.T, idx *core.Index) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveCore(&buf, idx); err != nil {
+		t.Fatalf("SaveCore: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "core.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf.Bytes()
+}
+
+// TestByteDecoderMatchesStreamDecoder loads the same core snapshot through
+// both decoders and pins identical query results and accounting.
+func TestByteDecoderMatchesStreamDecoder(t *testing.T) {
+	idx, queries := testIndex(t, 48, 128, 2, 21)
+	path, raw := saveTempCore(t, idx)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	heap, err := LoadCore(f)
+	if err != nil {
+		t.Fatalf("stream LoadCore: %v", err)
+	}
+
+	bd, err := NewByteDecoder(raw)
+	if err != nil {
+		t.Fatalf("NewByteDecoder: %v", err)
+	}
+	if bd.Kind() != KindCore {
+		t.Fatalf("kind = %d, want KindCore", bd.Kind())
+	}
+	mapped, err := DecodeCore(bd)
+	if err != nil {
+		t.Fatalf("byte DecodeCore: %v", err)
+	}
+	if err := bd.Close(); err != nil {
+		t.Fatalf("structural close: %v", err)
+	}
+	if bd.BorrowedBytes() == 0 {
+		t.Fatal("zero-copy path not exercised: no bytes borrowed")
+	}
+	if bd.CopiedBytes() != 0 {
+		t.Fatalf("aligned little-endian image still copied %d bytes", bd.CopiedBytes())
+	}
+
+	s1 := core.NewAlgo1(heap, 2)
+	s2 := core.NewAlgo1(mapped, 2)
+	for _, q := range queries {
+		sameResult(t, "byte-vs-stream", s1.Query(q), s2.Query(q))
+	}
+}
+
+// TestByteDecoderUnalignedFallsBackToCopy hands the decoder an image at an
+// odd base address: every section must be copied (no zero-copy views),
+// with identical decoded contents.
+func TestByteDecoderUnalignedFallsBackToCopy(t *testing.T) {
+	idx, queries := testIndex(t, 32, 96, 2, 22)
+	_, raw := saveTempCore(t, idx)
+
+	backing := make([]byte, len(raw)+1)
+	copy(backing[1:], raw)
+	misaligned := backing[1:]
+
+	bd, err := NewByteDecoder(misaligned)
+	if err != nil {
+		t.Fatalf("NewByteDecoder: %v", err)
+	}
+	decoded, err := DecodeCore(bd)
+	if err != nil {
+		t.Fatalf("DecodeCore on misaligned image: %v", err)
+	}
+	if err := bd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hostLittleEndian && bd.BorrowedBytes() != 0 {
+		t.Fatalf("misaligned image still borrowed %d bytes", bd.BorrowedBytes())
+	}
+	if bd.CopiedBytes() == 0 {
+		t.Fatal("copy fallback not exercised")
+	}
+	s1 := core.NewAlgo1(idx, 2)
+	s2 := core.NewAlgo1(decoded, 2)
+	for _, q := range queries {
+		sameResult(t, "misaligned", s1.Query(q), s2.Query(q))
+	}
+}
+
+// TestMapFileRoundtrip maps a real file and decodes through the mapping.
+func TestMapFileRoundtrip(t *testing.T) {
+	idx, queries := testIndex(t, 32, 96, 2, 23)
+	path, _ := saveTempCore(t, idx)
+
+	m, err := MapFile(path)
+	if err != nil {
+		if errors.Is(err, ErrMmapUnavailable) {
+			t.Skip("mmap unavailable on this platform")
+		}
+		t.Fatalf("MapFile: %v", err)
+	}
+	defer m.Close()
+	if err := m.VerifyChecksum(); err != nil {
+		t.Fatalf("VerifyChecksum: %v", err)
+	}
+	d, err := m.Decoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCore(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s1 := core.NewAlgo1(idx, 2)
+	s2 := core.NewAlgo1(decoded, 2)
+	for _, q := range queries {
+		sameResult(t, "mapped", s1.Query(q), s2.Query(q))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestMapFileForcedUnavailable covers the test hook and the typed error.
+func TestMapFileForcedUnavailable(t *testing.T) {
+	SetMmapUnavailableForTest(true)
+	defer SetMmapUnavailableForTest(false)
+	_, err := MapFile("irrelevant")
+	if !errors.Is(err, ErrMmapUnavailable) {
+		t.Fatalf("err = %v, want ErrMmapUnavailable", err)
+	}
+}
+
+// TestByteDecoderChecksumPolicy pins the documented split: a payload flip
+// passes the structural walk but fails VerifyChecksum; header corruption
+// fails immediately with typed errors.
+func TestByteDecoderChecksumPolicy(t *testing.T) {
+	idx, _ := testIndex(t, 32, 96, 2, 24)
+	_, raw := saveTempCore(t, idx)
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40 // payload bit, not header, not trailer
+	bd, err := NewByteDecoder(flipped)
+	if err != nil {
+		t.Fatalf("structural open rejected payload corruption: %v", err)
+	}
+	if _, err := DecodeCore(bd); err != nil {
+		// Acceptable: the flip may land in a scalar header region.
+		t.Logf("corruption caught structurally: %v", err)
+	}
+	if err := bd.VerifyChecksum(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("VerifyChecksum = %v, want ErrChecksum", err)
+	}
+
+	badMagic := append([]byte(nil), raw...)
+	badMagic[0] ^= 0xff
+	if _, err := NewByteDecoder(badMagic); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	badVer := append([]byte(nil), raw...)
+	badVer[8] = 0xee
+	if _, err := NewByteDecoder(badVer); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+
+	if _, err := NewByteDecoder(raw[:10]); !errors.Is(err, ErrFormat) {
+		t.Fatalf("short image: err = %v", err)
+	}
+
+	// Truncated body: structural close must fail with ErrFormat.
+	trunc := append([]byte(nil), raw[:len(raw)/2]...)
+	trunc = append(trunc, raw[len(raw)-4:]...) // keep a 4-byte trailer
+	bd, err = NewByteDecoder(trunc)
+	if err != nil {
+		t.Fatalf("NewByteDecoder on truncated body: %v", err)
+	}
+	if _, err := DecodeCore(bd); err == nil {
+		if err := bd.Close(); err == nil {
+			t.Fatal("truncated body decoded and closed cleanly")
+		}
+	} else if !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncated body: err = %v, want ErrFormat", err)
+	}
+}
+
+// TestInspectFileMmapAndFallback pins InspectFile's provenance fields on
+// both paths.
+func TestInspectFileMmapAndFallback(t *testing.T) {
+	idx, _ := testIndex(t, 32, 96, 2, 25)
+	path, raw := saveTempCore(t, idx)
+
+	info, err := InspectFile(path)
+	if err != nil {
+		t.Fatalf("InspectFile: %v", err)
+	}
+	if info.Source != "mmap" {
+		t.Fatalf("Source = %q, want mmap", info.Source)
+	}
+	if info.MappedBytes != int64(len(raw)) {
+		t.Fatalf("MappedBytes = %d, want %d", info.MappedBytes, len(raw))
+	}
+	if info.FallbackReason != "" {
+		t.Fatalf("unexpected FallbackReason %q", info.FallbackReason)
+	}
+
+	SetMmapUnavailableForTest(true)
+	defer SetMmapUnavailableForTest(false)
+	info, err = InspectFile(path)
+	if err != nil {
+		t.Fatalf("InspectFile (fallback): %v", err)
+	}
+	if info.Source != "stream" || info.FallbackReason == "" {
+		t.Fatalf("fallback info = source %q, reason %q", info.Source, info.FallbackReason)
+	}
+	if info.MappedBytes != 0 {
+		t.Fatalf("fallback MappedBytes = %d", info.MappedBytes)
+	}
+}

@@ -1,0 +1,43 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only via mmap(2). A zero-length file maps to an
+// empty (non-nil) slice so the caller's envelope validation produces the
+// right typed error instead of an mmap failure.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("snapshot: %s is %d bytes, too large to map", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: mmap %s: %w", path, err)
+	}
+	return data, nil
+}
+
+func unmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

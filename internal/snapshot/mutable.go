@@ -44,7 +44,7 @@ const (
 
 // inspectIndexBody walks one embedded index body (envelope + one core
 // per repetition), appending core summaries to info.
-func inspectIndexBody(d *Decoder, info *Info, what string) (IndexOptions, int, error) {
+func inspectIndexBody(d Decoder, info *Info, what string) (IndexOptions, int, error) {
 	opts, err := DecodeIndexOptions(d)
 	if err != nil {
 		return opts, 0, err
@@ -62,7 +62,7 @@ func inspectIndexBody(d *Decoder, info *Info, what string) (IndexOptions, int, e
 }
 
 // inspectMutable walks a KindMutable body, skipping payload arrays.
-func inspectMutable(d *Decoder, info *Info) error {
+func inspectMutable(d Decoder, info *Info) error {
 	opts, err := DecodeIndexOptions(d)
 	if err != nil {
 		return err

@@ -34,6 +34,7 @@ package snapshot
 import (
 	"fmt"
 	"io"
+	"os"
 )
 
 // IndexOptions is the serialized envelope of an anns.Index: the mirror of
@@ -63,7 +64,7 @@ func EncodeIndexOptions(e *Encoder, o IndexOptions) {
 
 // DecodeIndexOptions mirrors EncodeIndexOptions, with the same plausibility
 // ceilings the core header enforces.
-func DecodeIndexOptions(d *Decoder) (IndexOptions, error) {
+func DecodeIndexOptions(d Decoder) (IndexOptions, error) {
 	o := IndexOptions{
 		Dimension:   int(d.U64()),
 		Gamma:       d.F64(),
@@ -121,6 +122,18 @@ type Info struct {
 	Mutable *MutableInfo
 	// Bytes is the total stream length including magic and trailer.
 	Bytes int64
+	// Source records how the snapshot was walked: "stream" (heap
+	// decoder) or "mmap" (zero-copy byte decoder). Inspect over a plain
+	// io.Reader always reports "stream"; InspectFile reports the path it
+	// actually took.
+	Source string
+	// MappedBytes is the mapping length when Source is "mmap" (0
+	// otherwise).
+	MappedBytes int64
+	// FallbackReason is set when InspectFile wanted the mmap path but
+	// fell back to the stream decoder (unsupported platform, map
+	// failure).
+	FallbackReason string
 }
 
 // MutableInfo is Inspect's summary of a KindMutable body's delta tier.
@@ -166,6 +179,54 @@ func Inspect(r io.Reader) (*Info, error) {
 	if err != nil {
 		return nil, err
 	}
+	info, err := inspectBody(d)
+	if err != nil {
+		return nil, err
+	}
+	info.Source = "stream"
+	return info, nil
+}
+
+// InspectFile inspects the snapshot at path, preferring the mmap walk
+// (O(1) section skips — a pure header walk — plus an explicit full
+// checksum verification) and falling back to the stream decoder with a
+// recorded reason when the file cannot be mapped.
+func InspectFile(path string) (*Info, error) {
+	m, err := MapFile(path)
+	if err != nil {
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			return nil, oerr
+		}
+		defer f.Close()
+		info, ierr := Inspect(f)
+		if ierr != nil {
+			return nil, ierr
+		}
+		info.FallbackReason = err.Error()
+		return info, nil
+	}
+	defer m.Close()
+	// Inspect promises "checksum ok" on success, so the mmap walk —
+	// whose Close is structural only — verifies the trailer explicitly.
+	if err := m.VerifyChecksum(); err != nil {
+		return nil, err
+	}
+	d, err := m.Decoder()
+	if err != nil {
+		return nil, err
+	}
+	info, err := inspectBody(d)
+	if err != nil {
+		return nil, err
+	}
+	info.Source = "mmap"
+	info.MappedBytes = int64(m.Len())
+	return info, nil
+}
+
+// inspectBody walks the body of an opened decoder of any kind.
+func inspectBody(d Decoder) (*Info, error) {
 	info := &Info{Version: d.Version(), Kind: d.Kind()}
 	switch d.Kind() {
 	case KindMutable:

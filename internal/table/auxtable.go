@@ -42,12 +42,12 @@ func newAuxTable(set *Set, level int, meter *cellprobe.Meter) *AuxTable {
 	logCells := float64(fam.AccurateRows()) +
 		float64(s*fam.CoarseRows()) +
 		float64(s+1)*log2ceil(fam.L+2)
-	t.oracle = cellprobe.NewOracle(
+	t.oracle = cellprobe.NewOracleEval(
 		cellprobe.AuxTag(level),
 		logCells,
 		bitsForSmallInt(s+2),
 		meter,
-		t.eval,
+		t,
 	)
 	return t
 }
@@ -101,7 +101,7 @@ func (t *AuxTable) Address(q AuxQuery) cellprobe.Addr {
 // then applies the size test of the table-construction step of §3.2.
 // Malformed payloads (impossible for algorithm-built addresses) yield the
 // "none" sentinel defensively. Runs only on memo misses.
-func (t *AuxTable) eval(addr cellprobe.Addr) cellprobe.Word {
+func (t *AuxTable) EvalCell(addr cellprobe.Addr) cellprobe.Word {
 	fam := t.set.Fam
 	jWords := bitvec.Words(fam.AccurateRows())
 	cWords := bitvec.Words(fam.CoarseRows())

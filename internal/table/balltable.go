@@ -53,12 +53,12 @@ func NewBallTable(fam *sketch.Family, db *bitvec.Block, level int, meter *cellpr
 	t := &BallTable{Level: level, fam: fam, db: db}
 	rows := fam.AccurateRows()
 	// Model accounting: 2^{rows} cells, each one word of O(d) bits (a point).
-	t.oracle = cellprobe.NewOracle(
+	t.oracle = cellprobe.NewOracleEval(
 		cellprobe.BallTag(level),
 		float64(rows),
 		wordBitsForPoint(fam.P.D),
 		meter,
-		t.eval,
+		t,
 	)
 	return t
 }
@@ -97,11 +97,8 @@ func (t *BallTable) ensureSketches() {
 		return
 	}
 	m := t.fam.Accurate[t.Level]
-	n := t.db.Rows()
-	sk := bitvec.NewBlock(n, m.NumRows)
-	for i := 0; i < n; i++ {
-		m.ApplyInto(sk.Row(i), t.db.Row(i))
-	}
+	sk := bitvec.NewBlock(t.db.Rows(), m.NumRows)
+	m.ApplyBlockInto(sk, *t.db)
 	t.sk = sk
 	t.ready.Store(true)
 }
@@ -128,7 +125,9 @@ func (t *BallTable) SketchBlock() bitvec.Block {
 // within the level threshold of addr, else EMPTY. It runs only on memo
 // misses and compares the address payload against the flat sketch block
 // in place, so even a miss allocates nothing.
-func (t *BallTable) eval(addr cellprobe.Addr) cellprobe.Word {
+// EvalCell implements cellprobe.Evaler: it computes the stored content
+// for an address on memo misses.
+func (t *BallTable) EvalCell(addr cellprobe.Addr) cellprobe.Word {
 	t.ensureSketches()
 	if addr.Len() != bitvec.Words(t.fam.AccurateRows()) {
 		// Malformed addresses do not occur in the model (every bit string of

@@ -2,6 +2,8 @@ package table
 
 import (
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/cellprobe"
@@ -14,25 +16,51 @@ import (
 // arrive as a block row or as a cell-address payload), so building and
 // querying the index allocates no per-entry strings, unlike the
 // map[string]int it replaced.
+//
+// The slot array is built lazily on the first probe: it is the only
+// O(n·d) derived structure on the load path, and hashing every database
+// row up front is what would keep a zero-copy mmap open from being O(1)
+// in the database size (DESIGN.md §9.1). Deferring it changes nothing
+// observable — the build is a pure function of the block, costs no
+// cell probes, and the warmed probe path stays allocation-free.
 type pointKeyIndex struct {
 	block *bitvec.Block
+	ready atomic.Bool // slots/mask published (release store, acquire load)
+	mu    sync.Mutex
 	slots []uint32 // database index + 1; 0 marks an empty slot
 	mask  uint32
 }
 
-// newPointKeyIndex indexes every row of block. Duplicate points keep the
-// lowest index (first occurrence wins, matching the map-based semantics).
+// newPointKeyIndex prepares an index over block; rows are hashed on the
+// first probe, not here. Duplicate points keep the lowest index (first
+// occurrence wins, matching the map-based semantics).
 func newPointKeyIndex(block *bitvec.Block) *pointKeyIndex {
-	n := block.Rows()
+	return &pointKeyIndex{block: block}
+}
+
+// init builds the slot array once, on the first probe. Concurrent
+// probers block until the build is published; after that the check is
+// one atomic load.
+func (pi *pointKeyIndex) init() {
+	if pi.ready.Load() {
+		return
+	}
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	if pi.ready.Load() {
+		return
+	}
+	n := pi.block.Rows()
 	capacity := 1 << bits.Len(uint(2*n))
 	if capacity < 16 {
 		capacity = 16
 	}
-	pi := &pointKeyIndex{block: block, slots: make([]uint32, capacity), mask: uint32(capacity - 1)}
+	pi.slots = make([]uint32, capacity)
+	pi.mask = uint32(capacity - 1)
 	for i := 0; i < n; i++ {
 		pi.insert(i)
 	}
-	return pi
+	pi.ready.Store(true)
 }
 
 func (pi *pointKeyIndex) insert(i int) {
@@ -54,6 +82,7 @@ func (pi *pointKeyIndex) lookup(x bitvec.Vector) (int, bool) {
 	if len(x) != pi.block.RowWords {
 		return -1, false
 	}
+	pi.init()
 	for s := uint32(x.Hash()) & pi.mask; ; s = (s + 1) & pi.mask {
 		v := pi.slots[s]
 		if v == 0 {
@@ -71,6 +100,7 @@ func (pi *pointKeyIndex) lookupAddr(a *cellprobe.Addr) (int, bool) {
 	if a.Len() != pi.block.RowWords {
 		return -1, false
 	}
+	pi.init()
 	h := bitvec.HashSeed()
 	for i := 0; i < a.Len(); i++ {
 		h = bitvec.HashWord(h, a.Word(i))

@@ -35,7 +35,7 @@ func NewMembership(db *bitvec.Block, keys *pointKeyIndex, d, radius int, meter *
 	if radius == 1 {
 		logCells = 2 * (log2ceil(db.Rows()+1) + log2ceil(d+1))
 	}
-	m.oracle = cellprobe.NewOracle(tag, logCells, wordBitsForPoint(d), meter, m.eval)
+	m.oracle = cellprobe.NewOracleEval(tag, logCells, wordBitsForPoint(d), meter, m)
 	return m
 }
 
@@ -47,10 +47,10 @@ func (m *Membership) Address(x bitvec.Vector) cellprobe.Addr {
 	return cellprobe.VecAddr(cellprobe.MemberTag(m.radius), x)
 }
 
-// eval runs only on memo misses. The key lookup and the radius-1 scan
+// EvalCell implements cellprobe.Evaler; it runs only on memo misses. The key lookup and the radius-1 scan
 // both compare the address payload words in place, so even a miss
 // allocates nothing.
-func (m *Membership) eval(addr cellprobe.Addr) cellprobe.Word {
+func (m *Membership) EvalCell(addr cellprobe.Addr) cellprobe.Word {
 	if addr.Len() != m.db.RowWords {
 		// Malformed addresses do not occur in the model; EMPTY defensively.
 		return cellprobe.EmptyWord

@@ -22,8 +22,7 @@ import (
 // (SketchBlocks/CoarseBlocks to save, NewSetFromBlocks to load).
 type Set struct {
 	Fam     *sketch.Family
-	DB      []bitvec.Vector // row views of DBBlock (navigation convenience)
-	DBBlock bitvec.Block    // the database, one flat array
+	DBBlock bitvec.Block // the database, one flat array
 	Meter   *cellprobe.Meter
 
 	Ball  []*BallTable
@@ -32,6 +31,12 @@ type Set struct {
 	Near  *Membership
 
 	keys *pointKeyIndex
+
+	// Row views of DBBlock (navigation convenience), built once on first
+	// use: the header slice is O(n) to materialize, which would otherwise
+	// be paid by every zero-copy snapshot open (DESIGN.md §9.1).
+	vecOnce sync.Once
+	vecs    []bitvec.Vector
 
 	// Per-level coarse sketches of the database, N_j·z, flat per level and
 	// materialized on first use (or up front by Materialize/the loader).
@@ -55,7 +60,6 @@ func NewSetFromBlock(fam *sketch.Family, db bitvec.Block) *Set {
 
 func newSet(fam *sketch.Family, db bitvec.Block) *Set {
 	s := &Set{Fam: fam, DBBlock: db, Meter: &cellprobe.Meter{}}
-	s.DB = s.DBBlock.Vectors()
 	s.keys = newPointKeyIndex(&s.DBBlock)
 	s.Ball = make([]*BallTable, fam.L+1)
 	for i := 0; i <= fam.L; i++ {
@@ -113,6 +117,13 @@ func NewSetFromBlocks(fam *sketch.Family, db bitvec.Block, ball, coarse []bitvec
 		}
 	}
 	return s, nil
+}
+
+// Vectors returns per-row views of the database block, materializing the
+// header slice once on first use.
+func (s *Set) Vectors() []bitvec.Vector {
+	s.vecOnce.Do(func() { s.vecs = s.DBBlock.Vectors() })
+	return s.vecs
 }
 
 // Materialize eagerly computes every lazily-built component — the per-level
@@ -178,11 +189,8 @@ func (s *Set) coarseDBSketches(level int) bitvec.Block {
 		return s.coarse[level]
 	}
 	m := s.Fam.Coarse[level]
-	n := s.DBBlock.Rows()
-	sk := bitvec.NewBlock(n, m.NumRows)
-	for i := 0; i < n; i++ {
-		m.ApplyInto(sk.Row(i), s.DBBlock.Row(i))
-	}
+	sk := bitvec.NewBlock(s.DBBlock.Rows(), m.NumRows)
+	m.ApplyBlockInto(sk, s.DBBlock)
 	s.coarse[level] = sk
 	s.coarseReady[level].Store(true)
 	return sk
