@@ -57,6 +57,13 @@ type MutableIndex struct {
 	epoch   uint64 // next compaction epoch (seed derivation)
 	closed  bool
 
+	// gen is the index generation: it advances on every state change that
+	// can alter a query's folded reply (insert, delete, memtable seal,
+	// segment mini-index landing, flush, compaction swap). Readers pair it
+	// with a query result to know which epoch the answer belongs to; the
+	// serving layer's result cache keys its validity on it (DESIGN.md §10).
+	gen atomic.Uint64
+
 	inserts, deletes, compactions, built int64
 	walReplayed                          int
 	lastCompactErr                       string
@@ -155,6 +162,8 @@ type MutableStats struct {
 	// LastCompactError is the most recent failed compaction's error
 	// (empty when none failed).
 	LastCompactError string
+	// Generation is the current index generation (see Generation).
+	Generation uint64
 }
 
 // SegmentSeed derives the public-randomness seed of sealed segment seq,
@@ -326,12 +335,14 @@ func (mx *MutableIndex) Insert(p Point) (uint64, error) {
 }
 
 func (mx *MutableIndex) applyInsertLocked(id uint64, p Point) (*mutSegment, bool) {
+	mx.gen.Add(1)
 	mx.nextID = id + 1
 	mx.mem.Append(id, p)
 	mx.present.Add(id)
 	mx.inserts++
 	var sealed *mutSegment
 	if mx.mem.Len() >= mx.cfg.MemtableCap {
+		mx.gen.Add(1)
 		sealed = &mutSegment{seq: mx.segSeq, mem: mx.mem}
 		mx.segSeq++
 		mx.segs = append(mx.segs, sealed)
@@ -367,6 +378,7 @@ func (mx *MutableIndex) Delete(id uint64) (bool, error) {
 }
 
 func (mx *MutableIndex) applyDeleteLocked(id uint64) {
+	mx.gen.Add(1)
 	mx.present.Remove(id)
 	mx.tomb.Add(id)
 	mx.deletes++
@@ -387,6 +399,10 @@ func (mx *MutableIndex) buildSegment(seg *mutSegment) {
 	}
 	seg.idx.Store(ix)
 	atomic.AddInt64(&mx.built, 1)
+	// A built segment answers with scheme accounting instead of scan
+	// accounting, so the folded reply changes even though the answer point
+	// does not — cached replies from before the landing are stale.
+	mx.gen.Add(1)
 }
 
 // errEmptyIndex is returned by Query on a tier holding no points at all.
@@ -566,6 +582,15 @@ func (mx *MutableIndex) Len() int {
 // Options returns the tier's normalized build options.
 func (mx *MutableIndex) Options() Options { return mx.opts }
 
+// Generation returns the current index generation: a counter that advances
+// on every mutation that can change a query's folded reply (insert,
+// delete, seal, segment build landing, flush, compaction swap). It is the
+// result cache's invalidation hook — a result computed at generation g is
+// valid exactly while Generation() == g — and is lock-free so the serving
+// hot path can read it per request. Generations are process-local: they
+// restart at zero on boot and are not persisted.
+func (mx *MutableIndex) Generation() uint64 { return mx.gen.Load() }
+
 // MutableStats returns the tier's current counters (served on /statsz).
 func (mx *MutableIndex) MutableStats() MutableStats {
 	mx.mu.RLock()
@@ -582,6 +607,7 @@ func (mx *MutableIndex) MutableStats() MutableStats {
 		Deletes:          mx.deletes,
 		WALReplayed:      mx.walReplayed,
 		LastCompactError: mx.lastCompactErr,
+		Generation:       mx.gen.Load(),
 	}
 	if mx.wal != nil {
 		st.WALBytes = mx.wal.Size()
@@ -604,6 +630,7 @@ func (mx *MutableIndex) Flush() {
 	if mx.mem.Len() == 0 {
 		return
 	}
+	mx.gen.Add(1)
 	mx.segs = append(mx.segs, &mutSegment{seq: mx.segSeq, mem: mx.mem})
 	mx.segSeq++
 	mx.mem = segment.NewMemtable()
@@ -703,6 +730,7 @@ func (mx *MutableIndex) Compact() error {
 			mx.segs = rest
 		}
 	}
+	mx.gen.Add(1)
 	mx.tomb.AndNot(t0)
 	mx.epoch = e + 1
 	mx.compactions++

@@ -41,6 +41,7 @@ func main() {
 	queries := flag.Int("queries", 24, "compared queries per trial")
 	warmup := flag.Int("warmup", 8, "pre-fault compared queries per trial")
 	maxFalseEvict := flag.Float64("max-false-eviction-rate", 0.5, "gate threshold: false evictions per trial")
+	cacheEntries := flag.Int("cache", 0, "result-cache capacity on every faulted-side server (0 = off); the reference oracle stays uncached, so the compare also proves the cache never serves a stale reply")
 	out := flag.String("o", "CHAOS_RESULTS.json", "result matrix output path (empty to skip)")
 	replayCheck := flag.Bool("replay-check", false, "run the matrix twice and require byte-identical invariants")
 	list := flag.Bool("list", false, "print the strategy catalog and exit")
@@ -61,6 +62,7 @@ func main() {
 		Queries:              *queries,
 		Warmup:               *warmup,
 		MaxFalseEvictionRate: *maxFalseEvict,
+		CacheEntries:         *cacheEntries,
 	}
 	if *strategies != "" {
 		for _, s := range strings.Split(*strategies, ",") {

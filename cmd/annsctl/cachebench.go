@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/workload/scenario"
+)
+
+// cacheSweepPoint is one skew setting of the result-cache sweep
+// (BENCH_cache.json): the same zipfian key stream replayed against a
+// cache-enabled and a cache-disabled server, through the full in-process
+// handler path (JSON decode → admission → worker pool → index query).
+// The key pool is larger than the cache, so the hit rate — and therefore
+// the speedup — is earned by the skew, not by a cache that trivially
+// holds every key.
+type cacheSweepPoint struct {
+	Theta   float64 `json:"theta"`
+	HitRate float64 `json:"hit_rate"`
+	// QPS are best-of-runs closed-loop throughputs over identical streams.
+	CacheOffQPS float64 `json:"cache_off_qps"`
+	CacheOnQPS  float64 `json:"cache_on_qps"`
+	// Speedup is the gated number: cache-on vs cache-off throughput.
+	Speedup      float64 `json:"speedup"`
+	CacheOffP50U float64 `json:"cache_off_p50_us"`
+	CacheOnP50U  float64 `json:"cache_on_p50_us"`
+}
+
+// cacheBench is the JSON document of `annsctl bench -cache`.
+type cacheBench struct {
+	Config struct {
+		HostCPUs     int       `json:"host_cpus"`
+		Runs         int       `json:"runs"`
+		N            int       `json:"n"`
+		D            int       `json:"d"`
+		QueryPool    int       `json:"query_pool"`
+		CacheEntries int       `json:"cache_entries"`
+		Conc         int       `json:"conc"`
+		Ops          int       `json:"ops"`
+		Thetas       []float64 `json:"thetas"`
+	} `json:"config"`
+	Sweep []cacheSweepPoint `json:"sweep"`
+	// SpeedupAtTheta99 is the acceptance headline: throughput ratio at
+	// θ=0.99, the canonical YCSB skew.
+	SpeedupAtTheta99 float64 `json:"speedup_at_theta_0_99"`
+}
+
+// runCacheBench is `annsctl bench -cache`: sweep zipfian skew
+// θ ∈ {0, 0.8, 0.99, 1.2} × {cache on, cache off} over one reference
+// shape and write BENCH_cache.json, the fixture cmd/benchdiff gates.
+func runCacheBench(out string, runs int) {
+	const (
+		n            = 16384
+		d            = 512
+		pool         = 4096 // distinct query points: 2× the cache
+		cacheEntries = 2048
+		conc         = 8
+		ops          = 12000
+		seed         = 1
+	)
+	thetas := []float64{0, 0.8, 0.99, 1.2}
+
+	spec := workload.DefaultSpec()
+	spec.Kind, spec.N, spec.D, spec.Q = "planted", n, d, 1
+	inst, err := spec.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := anns.Build(inst.DB, anns.Options{Dimension: d, Gamma: 2, Rounds: 3, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The query pool: perturbations of database points, pre-encoded to
+	// wire bodies once so the measured loop is handler + index only.
+	r := rng.New(seed)
+	bodies := make([][]byte, pool)
+	for i := range bodies {
+		pt := hamming.AtDistance(r, inst.DB[r.Intn(n)], d, 8)
+		body, err := json.Marshal(server.QueryRequest{Point: server.EncodePoint(pt)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[i] = body
+	}
+
+	var rec cacheBench
+	rec.Config.HostCPUs = runtime.NumCPU()
+	rec.Config.Runs = runs
+	rec.Config.N = n
+	rec.Config.D = d
+	rec.Config.QueryPool = pool
+	rec.Config.CacheEntries = cacheEntries
+	rec.Config.Conc = conc
+	rec.Config.Ops = ops
+	rec.Config.Thetas = thetas
+
+	for _, theta := range thetas {
+		// One key stream per θ, replayed identically by both servers.
+		gen := scenario.NewGen(scenario.DistZipfian, pool, theta, seed)
+		keys := make([]int, ops)
+		for i := range keys {
+			keys[i] = gen.Next()
+		}
+		pt := cacheSweepPoint{Theta: theta}
+		pt.CacheOffQPS, pt.CacheOffP50U, _ = cacheCell(ix, d, bodies, keys, 0, conc, runs)
+		pt.CacheOnQPS, pt.CacheOnP50U, pt.HitRate = cacheCell(ix, d, bodies, keys, cacheEntries, conc, runs)
+		pt.Speedup = ratio(pt.CacheOnQPS, pt.CacheOffQPS)
+		rec.Sweep = append(rec.Sweep, pt)
+		if theta == 0.99 {
+			rec.SpeedupAtTheta99 = pt.Speedup
+		}
+		log.Printf("cache θ=%-4g off %8.0f qps (p50 %6.0fµs)  on %8.0f qps (p50 %6.0fµs)  hit %.3f  %.2fx",
+			theta, pt.CacheOffQPS, pt.CacheOffP50U, pt.CacheOnQPS, pt.CacheOnP50U, pt.HitRate, pt.Speedup)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: %d skew points, %.2fx at θ=0.99", out, len(rec.Sweep), rec.SpeedupAtTheta99)
+}
+
+// cacheCell drives one (cache capacity × key stream) cell through the
+// in-process handler with a closed loop of conc workers, best-of-runs.
+// Each run replays the stream once untimed to reach the cache's steady
+// state, then times a second replay — the bench measures steady-state
+// serving, not the cold fill, and the warm pass absorbs most run-to-run
+// scheduling noise. The hit rate is the timed pass's (deterministic
+// stream, so every run matches).
+func cacheCell(ix *anns.Index, dim int, bodies [][]byte, keys []int, cacheEntries, conc, runs int) (qps, p50us, hitRate float64) {
+	bestQPS := 0.0
+	bestP50 := math.NaN()
+	for run := 0; run < runs; run++ {
+		srv, err := server.New(ix, server.Config{Dimension: dim, CacheEntries: cacheEntries})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := srv.Handler()
+		driveStream(h, bodies, keys, conc, nil) // warm to steady state
+		before := srv.Stats()
+		hists := make([]*stats.LogHistogram, conc)
+		t0 := time.Now()
+		driveStream(h, bodies, keys, conc, hists)
+		wall := time.Since(t0)
+		after := srv.Stats()
+		if c := after.Cache; c != nil && before.Cache != nil {
+			lookups := (c.Hits + c.Misses) - (before.Cache.Hits + before.Cache.Misses)
+			if lookups > 0 {
+				hitRate = float64(c.Hits-before.Cache.Hits) / float64(lookups)
+			}
+		}
+		srv.Close()
+		if q := float64(len(keys)) / wall.Seconds(); q > bestQPS {
+			bestQPS = q
+			merged := hists[0]
+			for _, hh := range hists[1:] {
+				merged.Merge(hh)
+			}
+			bestP50 = merged.Quantile(0.50) / 1e3
+		}
+	}
+	return bestQPS, bestP50, hitRate
+}
+
+// driveStream replays the key stream closed-loop with conc workers,
+// recording per-request latency into hists[w] when hists is non-nil.
+func driveStream(h http.Handler, bodies [][]byte, keys []int, conc int, hists []*stats.LogHistogram) {
+	var next int64 = -1
+	var fails int64
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var hist *stats.LogHistogram
+			if hists != nil {
+				hist = stats.NewLatencyHistogram()
+				hists[w] = hist
+			}
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(keys) {
+					return
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(bodies[keys[i]]))
+				rw := httptest.NewRecorder()
+				q0 := time.Now()
+				h.ServeHTTP(rw, req)
+				if hist != nil {
+					hist.Record(float64(time.Since(q0).Nanoseconds()))
+				}
+				if rw.Code != http.StatusOK {
+					atomic.AddInt64(&fails, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fails > 0 {
+		log.Fatalf("cache bench: %d/%d requests failed", fails, len(keys))
+	}
+}

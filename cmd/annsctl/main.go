@@ -20,13 +20,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/anns"
 	"repro/internal/router"
+	"repro/internal/server"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
@@ -60,9 +63,13 @@ commands:
   build        build an index over a generated workload and save its snapshot
   shard-split  build a sharded index and emit one snapshot per shard plus a
                placement manifest for cmd/annsrouter
-  inspect      print a snapshot's header, parameters, and section summary
+  inspect      print a snapshot's header, parameters, and section summary —
+               or, given an http:// URL, a live server's serving provenance
+               (index source, cache capacity and hit rate, generation)
   compact      offline-merge a base snapshot and a WAL into one fresh snapshot
   bench        measure sequential vs parallel build, save, and load timings
+               (-kernels: sketch-kernel sweep → BENCH_kernels.json;
+                -cache: result-cache zipfian skew sweep → BENCH_cache.json)
 
 run "annsctl <command> -h" for the command's flags
 `)
@@ -255,9 +262,13 @@ func runInspect(args []string) {
 	fs := flag.NewFlagSet("annsctl inspect", flag.ExitOnError)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		log.Fatal("usage: annsctl inspect <snapshot>")
+		log.Fatal("usage: annsctl inspect <snapshot | http://server>")
 	}
 	path := fs.Arg(0)
+	if strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://") {
+		inspectServer(strings.TrimSuffix(path, "/"))
+		return
+	}
 	info, err := snapshot.InspectFile(path)
 	if err != nil {
 		log.Fatalf("inspecting %s: %v", path, err)
@@ -297,6 +308,55 @@ func runInspect(args []string) {
 			fmt.Printf("  section %-16s %12d words\n", snapshot.SectionName(s.Tag), s.Words)
 		}
 	}
+}
+
+// inspectServer prints a live annsd's serving provenance from /healthz +
+// /statsz: index source, corpus shape, the result-cache configuration
+// (capacity and observed hit rate), and the mutable tier's generation —
+// so the configuration a load run measured against lands in the
+// trajectory artifacts next to the numbers.
+func inspectServer(base string) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var health server.Health
+	if err := getJSON(client, base+"/healthz", &health); err != nil {
+		log.Fatalf("inspecting %s: %v", base, err)
+	}
+	var snap server.StatsSnapshot
+	if err := getJSON(client, base+"/statsz", &snap); err != nil {
+		log.Fatalf("inspecting %s: %v", base, err)
+	}
+	fmt.Printf("%s: live server, n=%d shards=%d d=%d uptime=%.1fs\n",
+		base, health.N, health.Shards, health.Dim, float64(health.UptimeMS)/1e3)
+	fmt.Printf("index_source: %s", snap.IndexSource)
+	if snap.SnapshotVersion != 0 {
+		fmt.Printf(" (format v%d)", snap.SnapshotVersion)
+	}
+	fmt.Println()
+	if c := snap.Cache; c != nil {
+		fmt.Printf("result cache: %d entries configured, %d live, hits=%d misses=%d hit_rate=%.4f evictions=%d invalidations=%d\n",
+			c.Capacity, c.Entries, c.Hits, c.Misses, c.HitRate, c.Evictions, c.Invalidations)
+	} else {
+		fmt.Printf("result cache: disabled\n")
+	}
+	if m := snap.Mutable; m != nil {
+		fmt.Printf("mutable tier: live_n=%d memtable=%d segments=%d generation=%d\n",
+			m.LiveN, m.Memtable, m.SealedSegments, m.Generation)
+	}
+	fmt.Printf("served: %d queries (%d near, %d batches), %d errors\n",
+		snap.Queries, snap.Near, snap.Batches, snap.Errors)
+}
+
+// getJSON fetches url and decodes the body into v.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // runCompact is the offline compactor: load a base snapshot (a plain
@@ -426,24 +486,33 @@ type buildBench struct {
 
 func runBench(args []string) {
 	fs := flag.NewFlagSet("annsctl bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_index_build.json", "output JSON path (-kernels defaults to BENCH_kernels.json)")
+	out := fs.String("o", "BENCH_index_build.json", "output JSON path (-kernels defaults to BENCH_kernels.json, -cache to BENCH_cache.json)")
 	snapPath := fs.String("snap", "", "snapshot scratch path (default: temp file, removed)")
 	kernels := fs.Bool("kernels", false, "sweep the sketch kernels over a d × rows × batch matrix instead of the build/load path")
-	kernelRuns := fs.Int("kernel-runs", 3, "timed repetitions per kernel cell (best-of)")
+	kernelRuns := fs.Int("kernel-runs", 3, "timed repetitions per kernel or cache cell (best-of)")
+	cacheSweep := fs.Bool("cache", false, "sweep the query-result cache over a zipfian θ × on/off matrix instead of the build/load path")
 	spec := workload.DefaultSpec()
 	spec.RegisterFlags(fs)
 	var idxf indexFlags
 	idxf.register(fs)
 	fs.Parse(args)
 
-	if *kernels {
+	if *kernels || *cacheSweep {
 		path := *out
 		oSet := false
 		fs.Visit(func(f *flag.Flag) { oSet = oSet || f.Name == "o" })
 		if !oSet {
-			path = "BENCH_kernels.json"
+			if *cacheSweep {
+				path = "BENCH_cache.json"
+			} else {
+				path = "BENCH_kernels.json"
+			}
 		}
-		runKernels(path, *kernelRuns)
+		if *cacheSweep {
+			runCacheBench(path, *kernelRuns)
+		} else {
+			runKernels(path, *kernelRuns)
+		}
 		return
 	}
 

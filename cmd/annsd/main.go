@@ -12,6 +12,13 @@
 //	annsd -addr :7080 -snapshot idx.snap
 //	annsd -addr :7080 -mutable -wal wal.log -kind planted -d 512 -n 4096
 //	annsd -addr :7080 -mutable -snapshot state.snap -wal wal.log
+//	annsd -addr :7080 -mutable -cache 4096 -kind planted -d 512 -n 4096
+//
+// -cache N puts an N-entry query-result cache (internal/qcache) in front
+// of the worker pool: repeated queries under skewed traffic answer from
+// memory, and every mutation advances the index generation so a cached
+// reply is never served stale — answers stay byte-identical to an
+// uncached server (DESIGN.md §10).
 //
 // With -mutable the process serves the mutable tier (DESIGN.md §7): the
 // base index (built from the workload flags, or loaded from -snapshot,
@@ -69,6 +76,7 @@ func main() {
 	compactEvery := flag.Int("compact-every", 4, "sealed segments that trigger background compaction (0 = manual)")
 	mutableSync := flag.Bool("mutable-sync", false, "run seals/compactions inline on the mutating request (deterministic; for compare harnesses)")
 
+	cacheEntries := flag.Int("cache", 0, "query-result cache capacity in entries (0 = disabled); invalidated by index generation, so cached answers are always byte-identical to fresh ones")
 	workers := flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "admission queue depth")
 	batchWorkers := flag.Int("batch-workers", 0, "per-batch worker pool (0 = GOMAXPROCS)")
@@ -286,10 +294,16 @@ func main() {
 		BatchWorkers:   *batchWorkers,
 		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
+		CacheEntries:   *cacheEntries,
 		Index:          info,
 	})
 	if err != nil {
 		log.Fatalf("annsd: %v", err)
+	}
+	if *cacheEntries > 0 {
+		log.Printf("result cache: %d entries (epoch-invalidated)", *cacheEntries)
+	} else {
+		log.Printf("result cache: disabled")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@
 //
 //	annsload -addr http://127.0.0.1:7080 -mode closed -conc 16 -queries 10000
 //	annsload -addr http://127.0.0.1:7080 -mode open -qps 800 -ramp 4 -queries 20000
+//	annsload -addr http://127.0.0.1:7080 -scenario hot-key-reads -skew 0.99 -queries 20000
 //	annsload -addr http://127.0.0.1:7080 -write-ratio 0.2 -delete-ratio 0.05 -queries 20000
 //	annsload -addr http://127.0.0.1:7120 -compare http://127.0.0.1:7080 -queries 256
 //
@@ -24,6 +25,20 @@
 // write-latency quantiles plus recall measured against a ground truth
 // that tracks the churn (every acknowledged insert joins the oracle's
 // candidate set, every acknowledged delete leaves it).
+//
+// -scenario selects a named operation mix from internal/workload/scenario
+// (hot-key-reads, hotspot-deletes, scan-insert-churn, constant-occupancy,
+// uniform), with -skew setting the zipfian θ of its skewed key
+// generators. The whole schedule — op kinds AND key choices — derives
+// deterministically from -lseed, so two runs (or the two sides of a
+// -compare) replay the identical stream. -write-ratio / -delete-ratio,
+// when set, override the scenario's mix; the default scenario "uniform"
+// with no overrides reproduces the classic uniform read-only stream.
+//
+// Latency is reported from log-bucketed histograms (internal/stats): every
+// observation is recorded, so p50/p95/p99 come from the full distribution
+// (≤ 4.4% relative bucket error, exact min/max) and the report prints the
+// histogram itself — the tail shape, not just three numbers.
 //
 // With -compare, every operation goes to both servers and the answers
 // must be byte-identical — queries field for field (index, distance,
@@ -41,7 +56,6 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +68,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/workload"
+	"repro/internal/workload/scenario"
 )
 
 func main() {
@@ -70,7 +85,9 @@ func main() {
 	gamma := flag.Float64("gamma", 2, "approximation ratio for the recall criterion")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms sent to the server (0 = server default)")
 	outstanding := flag.Int("max-outstanding", 1024, "open-loop cap on in-flight requests")
-	lseed := flag.Int64("lseed", 1, "load generator seed (Poisson arrivals, op mix)")
+	lseed := flag.Int64("lseed", 1, "load generator seed (Poisson arrivals, op mix, key choices)")
+	scenarioName := flag.String("scenario", "uniform", "named operation-mix scenario from internal/workload/scenario")
+	skew := flag.Float64("skew", 0.99, "zipfian θ for the scenario's skewed key generators (0 = uniform)")
 	compare := flag.String("compare", "", "second server URL: issue every operation to both and require byte-identical answers")
 	writeRatio := flag.Float64("write-ratio", 0, "fraction of operations that are /v1/insert (mutable servers)")
 	deleteRatio := flag.Float64("delete-ratio", 0, "fraction of operations that are /v1/delete of previously inserted points")
@@ -121,7 +138,18 @@ func main() {
 		encoded[i] = body
 	}
 
-	plan, err := buildPlan(inst, *total, *writeRatio, *deleteRatio, *writeDist, *lseed)
+	sc, err := scenario.Get(*scenarioName)
+	if err != nil {
+		log.Fatalf("annsload: %v", err)
+	}
+	mix := *sc
+	if *writeRatio != 0 || *deleteRatio != 0 {
+		if *writeRatio < 0 || *deleteRatio < 0 || *writeRatio+*deleteRatio > 1 {
+			log.Fatalf("annsload: -write-ratio %v and -delete-ratio %v must be non-negative and sum to at most 1", *writeRatio, *deleteRatio)
+		}
+		mix.InsertRatio, mix.DeleteRatio = *writeRatio, *deleteRatio
+	}
+	plan, err := buildPlan(inst, &mix, *total, *writeDist, *skew, *lseed)
 	if err != nil {
 		log.Fatalf("annsload: %v", err)
 	}
@@ -153,7 +181,8 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("\n=== aggregate (%s loop, %d operations in %v) ===\n", *mode, *total, wall.Round(time.Millisecond))
+	fmt.Printf("\n=== aggregate (%s loop, scenario %q, %d operations in %v) ===\n",
+		*mode, plan.scenario, *total, wall.Round(time.Millisecond))
 	run.report(run.all(), wall)
 	run.reportWrites()
 	if n, h, a, w := atomic.LoadInt64(&run.netErrs), atomic.LoadInt64(&run.httpErrs), atomic.LoadInt64(&run.appErrs), atomic.LoadInt64(&run.writeFails); n+h+a+w > 0 {
@@ -180,23 +209,17 @@ func checkHealth(client *http.Client, addr string, inst *workload.Instance) {
 	}
 }
 
-// opKind classifies one operation of the (possibly mixed) stream.
-type opKind uint8
-
-const (
-	opQuery opKind = iota
-	opInsert
-	opDelete
-)
-
-// mixedPlan is the deterministic operation schedule of a mixed
-// read/write run: ops[i] decides operation i's kind, and insertPts/
-// insertBodies hold one pre-generated perturbed point (and its encoded
-// /v1/insert body) per insert op, in op order. Both load-run and
-// compare modes consume the same plan, which is what lets -compare
-// drive an identical mutation stream into two servers.
+// mixedPlan is the deterministic operation schedule of a run, expanded
+// from a workload scenario: ops[i] decides operation i's kind and key,
+// queryOf[i] maps a read to its query ordinal, and insertPts/insertBodies
+// hold one pre-generated perturbed point (and its encoded /v1/insert
+// body) per insert op, in op order. Both load-run and compare modes
+// consume the same plan, which is what lets -compare drive an identical
+// stream into two servers.
 type mixedPlan struct {
-	ops          []opKind
+	scenario     string
+	ops          []scenario.Op
+	queryOf      []int // op index -> query ordinal (-1 for non-reads)
 	insertOf     []int // op index -> insert ordinal (-1 for non-inserts)
 	insertPts    []bitvec.Vector
 	insertBodies [][]byte
@@ -204,34 +227,36 @@ type mixedPlan struct {
 	deletes      int
 }
 
-// buildPlan derives the schedule from the load seed. A nil plan (no
-// write traffic) keeps the classic read-only path.
-func buildPlan(inst *workload.Instance, total int, writeRatio, deleteRatio float64, writeDist int, lseed int64) (*mixedPlan, error) {
-	if writeRatio == 0 && deleteRatio == 0 {
-		return nil, nil
-	}
-	if writeRatio < 0 || deleteRatio < 0 || writeRatio+deleteRatio > 1 {
-		return nil, fmt.Errorf("-write-ratio %v and -delete-ratio %v must be non-negative and sum to at most 1", writeRatio, deleteRatio)
-	}
+// buildPlan expands the scenario into a concrete schedule: read keys
+// index the query stream, insert keys pick the database point to perturb
+// (so skewed write generators concentrate churn on hot regions).
+// Everything derives from -lseed.
+func buildPlan(inst *workload.Instance, sc *scenario.Scenario, total, writeDist int, theta float64, lseed int64) (*mixedPlan, error) {
 	if writeDist <= 0 {
 		writeDist = 16
 	}
 	if writeDist > inst.D {
 		writeDist = inst.D
 	}
+	ops := sc.Ops(total, scenario.Config{
+		Seed:      uint64(lseed),
+		Theta:     theta,
+		QueryKeys: len(inst.Queries),
+		WriteKeys: len(inst.DB),
+	})
 	p := &mixedPlan{
-		ops:      make([]opKind, total),
+		scenario: sc.Name,
+		ops:      ops,
+		queryOf:  make([]int, total),
 		insertOf: make([]int, total),
 	}
-	rnd := rand.New(rand.NewSource(lseed))
 	src := rng.New(uint64(lseed) + 0x10ad)
-	for i := 0; i < total; i++ {
-		p.insertOf[i] = -1
-		switch roll := rnd.Float64(); {
-		case roll < writeRatio:
-			p.ops[i] = opInsert
+	for i, op := range ops {
+		p.queryOf[i], p.insertOf[i] = -1, -1
+		switch op.Kind {
+		case scenario.OpInsert:
 			p.insertOf[i] = len(p.insertPts)
-			pt := hamming.AtDistance(src, inst.DB[rnd.Intn(len(inst.DB))], inst.D, writeDist)
+			pt := hamming.AtDistance(src, inst.DB[op.Key], inst.D, writeDist)
 			body, err := json.Marshal(server.InsertRequest{Point: server.EncodePoint(pt)})
 			if err != nil {
 				return nil, err
@@ -239,13 +264,14 @@ func buildPlan(inst *workload.Instance, total int, writeRatio, deleteRatio float
 			p.insertPts = append(p.insertPts, pt)
 			p.insertBodies = append(p.insertBodies, body)
 			p.inserts++
-		case roll < writeRatio+deleteRatio:
-			p.ops[i] = opDelete
+		case scenario.OpDelete:
 			p.deletes++
+		default:
+			p.queryOf[i] = op.Key
 		}
 	}
-	log.Printf("mixed plan: %d queries, %d inserts, %d deletes (write-dist %d)",
-		total-p.inserts-p.deletes, p.inserts, p.deletes, writeDist)
+	log.Printf("plan: scenario %q (θ=%g, seed %d): %d reads, %d inserts, %d deletes (write-dist %d)",
+		sc.Name, theta, lseed, total-p.inserts-p.deletes, p.inserts, p.deletes, writeDist)
 	return p, nil
 }
 
@@ -289,18 +315,16 @@ type runner struct {
 
 // issue runs operation i of the stream and records the outcome.
 func (r *runner) issue(i int) {
-	if r.plan != nil {
-		switch r.plan.ops[i] {
-		case opInsert:
-			r.issueInsert(i)
+	switch r.plan.ops[i].Kind {
+	case scenario.OpInsert:
+		r.issueInsert(i)
+		return
+	case scenario.OpDelete:
+		if r.issueDelete() {
 			return
-		case opDelete:
-			if r.issueDelete() {
-				return
-			}
-			// Nothing live to delete yet: degrade to a query so the op
-			// count stays honest.
 		}
+		// Nothing live to delete yet: degrade to a query so the op
+		// count stays honest.
 	}
 	r.issueQuery(i)
 }
@@ -379,7 +403,7 @@ func (r *runner) recordWrite(s sample) {
 // loosen the bound.)
 func (r *runner) truthDist(qi int) float64 {
 	truth := float64(r.inst.Queries[qi].NNDist)
-	if r.plan == nil {
+	if r.plan.inserts == 0 {
 		return truth
 	}
 	x := r.inst.Queries[qi].X
@@ -393,9 +417,15 @@ func (r *runner) truthDist(qi int) float64 {
 	return truth
 }
 
-// issueQuery sends query i (mod the stream length) and records the outcome.
+// issueQuery sends the scenario-chosen query for op i and records the
+// outcome.
 func (r *runner) issueQuery(i int) {
-	qi := i % len(r.encoded)
+	qi := r.plan.queryOf[i]
+	if qi < 0 {
+		// A delete degraded to a read: derive a stable query index from
+		// the op's key so the schedule stays deterministic.
+		qi = r.plan.ops[i].Key % len(r.encoded)
+	}
 	// Snapshot the oracle bound before sending: acked mutations racing the
 	// query can only move the server's answer inside the bound.
 	truth := r.truthDist(qi)
@@ -524,14 +554,17 @@ func (r *runner) report(ss []sample, wall time.Duration) {
 	// Quantiles cover successful requests only: a 503 rejection returns
 	// near-instantly and a transport error can take the full client
 	// timeout, and either would distort the latency admitted queries saw.
-	lats := make([]float64, 0, len(ss))
+	// Every successful observation lands in a log-bucketed histogram, so
+	// the quantiles are computed over the full distribution (within the
+	// ≤4.4% bucket resolution), not a sample.
+	hist := stats.NewLatencyHistogram()
 	probes := make([]int, 0, len(ss))
 	recall := stats.Proportion{}
 	totalProbes, maxRounds, maxPar, okCount := 0, 0, 0, 0
 	for _, s := range ss {
 		if s.ok {
 			okCount++
-			lats = append(lats, float64(s.latency.Microseconds())/1000)
+			hist.Record(float64(s.latency.Nanoseconds()))
 			probes = append(probes, s.probes)
 			totalProbes += s.probes
 			if s.rounds > maxRounds {
@@ -546,13 +579,13 @@ func (r *runner) report(ss []sample, wall time.Duration) {
 			}
 		}
 	}
-	sort.Float64s(lats)
 	fmt.Printf("queries: %d ok, %d failed   achieved QPS: %.1f\n",
 		okCount, len(ss)-okCount, float64(len(ss))/wall.Seconds())
-	if len(lats) > 0 {
-		fmt.Printf("latency ms (ok only): p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
-			stats.Quantile(lats, 0.50), stats.Quantile(lats, 0.95),
-			stats.Quantile(lats, 0.99), lats[len(lats)-1])
+	if hist.Count() > 0 {
+		fmt.Printf("latency ms (ok only): p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
+			hist.Quantile(0.50)/1e6, hist.Quantile(0.95)/1e6,
+			hist.Quantile(0.99)/1e6, hist.Mean()/1e6, hist.Max()/1e6)
+		fmt.Print(hist.FormatNanos(12))
 	}
 	fmt.Printf("recall (γ=%v): %v\n", r.gamma, recall)
 	if okCount > 0 {
@@ -572,20 +605,19 @@ func (r *runner) reportWrites() {
 	if len(ws) == 0 {
 		return
 	}
-	lats := make([]float64, 0, len(ws))
+	hist := stats.NewLatencyHistogram()
 	okCount := 0
 	for _, s := range ws {
 		if s.ok {
 			okCount++
-			lats = append(lats, float64(s.latency.Microseconds())/1000)
+			hist.Record(float64(s.latency.Nanoseconds()))
 		}
 	}
-	sort.Float64s(lats)
 	fmt.Printf("writes: %d ok, %d failed (%d inserts, %d deletes planned; %d inserted points still live)\n",
 		okCount, len(ws)-okCount, r.plan.inserts, r.plan.deletes, liveLeft)
-	if len(lats) > 0 {
+	if hist.Count() > 0 {
 		fmt.Printf("write latency ms (ok only): p50=%.2f p99=%.2f max=%.2f\n",
-			stats.Quantile(lats, 0.50), stats.Quantile(lats, 0.99), lats[len(lats)-1])
+			hist.Quantile(0.50)/1e6, hist.Quantile(0.99)/1e6, hist.Max()/1e6)
 	}
 }
 
@@ -628,12 +660,8 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 	queries, inserts, deletes := 0, 0, 0
 	var live []uint64
 	for i := 0; i < total; i++ {
-		kind := opQuery
-		if plan != nil {
-			kind = plan.ops[i]
-		}
-		switch kind {
-		case opInsert:
+		switch plan.ops[i].Kind {
+		case scenario.OpInsert:
 			var a, b server.InsertResponse
 			body := plan.insertBodies[plan.insertOf[i]]
 			if err := post(addrA, "/v1/insert", body, &a); err != nil {
@@ -647,7 +675,7 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 			}
 			live = append(live, a.ID)
 			inserts++
-		case opDelete:
+		case scenario.OpDelete:
 			if len(live) == 0 {
 				continue
 			}
@@ -670,7 +698,11 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 			deletes++
 		default:
 			var a, b server.QueryResponse
-			body := encoded[i%len(encoded)]
+			qi := plan.queryOf[i]
+			if qi < 0 {
+				qi = plan.ops[i].Key % len(encoded)
+			}
+			body := encoded[qi]
 			if err := post(addrA, "/v1/query", body, &a); err != nil {
 				log.Fatalf("annsload: compare: %s query %d: %v", addrA, i, err)
 			}
@@ -687,10 +719,11 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 		log.Fatalf("annsload: compare: %d/%d answers differ", mismatches, total)
 	}
 	if inserts+deletes > 0 {
-		fmt.Printf("compare: %d queries + %d inserts + %d deletes, answers byte-identical (results, accounting, assigned IDs)\n",
-			queries, inserts, deletes)
+		fmt.Printf("compare: scenario %q: %d queries + %d inserts + %d deletes, answers byte-identical (results, accounting, assigned IDs)\n",
+			plan.scenario, queries, inserts, deletes)
 	} else {
-		fmt.Printf("compare: %d queries, answers byte-identical (results + rounds/probes accounting)\n", queries)
+		fmt.Printf("compare: scenario %q: %d queries, answers byte-identical (results + rounds/probes accounting)\n",
+			plan.scenario, queries)
 	}
 	printServerStats(client, addrA)
 }
@@ -723,6 +756,7 @@ func printServerStats(client *http.Client, addr string) {
 			rs.Probes, rs.Rounds, rs.MaxRounds, rs.MaxParallel)
 		fmt.Printf("hedges=%d wins=%d rate=%.4f failovers=%d\n",
 			rs.Hedges, rs.HedgeWins, rs.HedgeRate, rs.Failovers)
+		printCacheStats(rs.Cache)
 		for _, sh := range rs.ShardStats {
 			fmt.Printf("shard %d: %d/%d replicas healthy, %d reqs (%d errors, %d hedges, %d failovers), p50=%.2fms p95=%.2fms p99=%.2fms\n",
 				sh.Shard, sh.Healthy, sh.Replicas, sh.Requests, sh.Errors, sh.Hedges, sh.Failovers,
@@ -752,4 +786,19 @@ func printServerStats(client *http.Client, addr string) {
 	} else {
 		fmt.Printf("index: %s in %dms\n", snap.IndexSource, snap.IndexLoadMS)
 	}
+	if snap.Mutable != nil {
+		fmt.Printf("mutable: live_n=%d memtable=%d segments=%d generation=%d\n",
+			snap.Mutable.LiveN, snap.Mutable.Memtable, snap.Mutable.SealedSegments, snap.Mutable.Generation)
+	}
+	printCacheStats(snap.Cache)
+}
+
+// printCacheStats prints the /statsz result-cache block shared by shard
+// servers and routers (silent when caching is disabled).
+func printCacheStats(c *server.CacheStats) {
+	if c == nil {
+		return
+	}
+	fmt.Printf("cache: hits=%d misses=%d hit_rate=%.4f evictions=%d invalidations=%d entries=%d/%d\n",
+		c.Hits, c.Misses, c.HitRate, c.Evictions, c.Invalidations, c.Entries, c.Capacity)
 }

@@ -73,6 +73,7 @@ func main() {
 	shards := shardFlags{}
 	flag.Var(shards, "shard", "replica set for one shard position, POS=url[,url...] (repeat per shard)")
 
+	cacheEntries := flag.Int("cache", 0, "router-level query-result cache capacity in entries (0 = disabled); shard snapshots are immutable, so entries never go stale and a hit skips the scatter entirely")
 	maxInFlight := flag.Int("max-inflight", 512, "bounded in-flight admission (overflow → 503)")
 	maxBatch := flag.Int("max-batch", 4096, "max points per /v1/batch request")
 	timeout := flag.Duration("timeout", 2*time.Second, "default end-to-end deadline")
@@ -123,6 +124,7 @@ func main() {
 		Replicas:       replicas,
 		ShardSizes:     sizes,
 		ShardSeeds:     seeds,
+		CacheEntries:   *cacheEntries,
 		MaxInFlight:    *maxInFlight,
 		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
@@ -139,6 +141,11 @@ func main() {
 	}
 	for s, urls := range replicas {
 		log.Printf("shard %d: %d replicas: %s", s, len(urls), strings.Join(urls, " "))
+	}
+	if *cacheEntries > 0 {
+		log.Printf("result cache: %d entries (immutable snapshots: no invalidation needed)", *cacheEntries)
+	} else {
+		log.Printf("result cache: disabled")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

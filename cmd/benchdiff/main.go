@@ -8,6 +8,7 @@
 //	benchdiff -build-fresh /tmp/bench.json -build-committed BENCH_index_build.json
 //	benchdiff -alloc-fresh /tmp/bench.txt  -alloc-committed BENCH_query_engine.json
 //	benchdiff -kernels-fresh /tmp/k.json   -kernels-committed BENCH_kernels.json
+//	benchdiff -cache-fresh /tmp/c.json     -cache-committed BENCH_cache.json
 //
 // The build check validates the schema of a fresh `annsctl bench` record
 // and fails when the load-vs-rebuild speedup regressed by more than
@@ -30,6 +31,14 @@
 // ratios, so they compare across runners; the wider default tolerance
 // (0.5 vs the build check's 0.25) reflects that single-shape kernel
 // timings are noisier than whole-index build/load times.
+//
+// The cache check validates a fresh `annsctl bench -cache` skew sweep
+// against the committed BENCH_cache.json: per skew point, the cache-on
+// vs cache-off throughput speedup may not regress by more than
+// -cache-max-regression, and the θ=0.99 speedup must clear the absolute
+// -cache-floor (the PR's acceptance number: ≥ 2x at the canonical YCSB
+// skew). Speedups are same-machine throughput ratios over identical
+// deterministic key streams, so they compare across runners.
 package main
 
 import (
@@ -56,6 +65,10 @@ func main() {
 	kernelsCommitted := flag.String("kernels-committed", "", "committed BENCH_kernels.json")
 	kernelsMaxReg := flag.Float64("kernels-max-regression", 0.5, "tolerated fractional per-shape kernel speedup regression")
 	kernelsFloor := flag.Float64("kernels-floor", 1.5, "absolute floor on the fresh sweep's geomean speedup vs the scalar reference")
+	cacheFresh := flag.String("cache-fresh", "", "fresh annsctl bench -cache JSON")
+	cacheCommitted := flag.String("cache-committed", "", "committed BENCH_cache.json")
+	cacheMaxReg := flag.Float64("cache-max-regression", 0.5, "tolerated fractional per-skew cache speedup regression")
+	cacheFloor := flag.Float64("cache-floor", 2.0, "absolute floor on the fresh θ=0.99 cache-on vs cache-off speedup")
 	flag.Parse()
 
 	ran := false
@@ -84,6 +97,15 @@ func main() {
 		}
 		ran = true
 		if !checkKernels(*kernelsFresh, *kernelsCommitted, *kernelsMaxReg, *kernelsFloor) {
+			failed = true
+		}
+	}
+	if *cacheFresh != "" || *cacheCommitted != "" {
+		if *cacheFresh == "" || *cacheCommitted == "" {
+			log.Fatal("-cache-fresh and -cache-committed go together")
+		}
+		ran = true
+		if !checkCache(*cacheFresh, *cacheCommitted, *cacheMaxReg, *cacheFloor) {
 			failed = true
 		}
 	}
@@ -351,6 +373,111 @@ func readKernels(path string) (kernelsRecord, error) {
 		return rec, fmt.Errorf("%s: missing geomean_speedup_vs_scalar", path)
 	}
 	return rec, nil
+}
+
+// cacheRecord mirrors the fields of `annsctl bench -cache` JSON that the
+// gate reads; unknown fields are ignored so the sweep can grow. Config
+// covers every parameter that moves the speedup (corpus and pool shape,
+// cache capacity, stream length), so a drifted bench flag fails the
+// config check instead of comparing incomparable ratios.
+type cacheRecord struct {
+	Config struct {
+		N            int       `json:"n"`
+		D            int       `json:"d"`
+		QueryPool    int       `json:"query_pool"`
+		CacheEntries int       `json:"cache_entries"`
+		Conc         int       `json:"conc"`
+		Ops          int       `json:"ops"`
+		Thetas       []float64 `json:"thetas"`
+	} `json:"config"`
+	Sweep []cachePoint `json:"sweep"`
+	// SpeedupAtTheta99 is the acceptance headline the absolute floor
+	// applies to.
+	SpeedupAtTheta99 float64 `json:"speedup_at_theta_0_99"`
+}
+
+type cachePoint struct {
+	Theta       float64 `json:"theta"`
+	HitRate     float64 `json:"hit_rate"`
+	CacheOffQPS float64 `json:"cache_off_qps"`
+	CacheOnQPS  float64 `json:"cache_on_qps"`
+	Speedup     float64 `json:"speedup"`
+}
+
+func readCache(path string) (cacheRecord, error) {
+	var rec cacheRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	// Schema gate: an empty or zeroed sweep means the bench did not run.
+	if len(rec.Sweep) == 0 {
+		return rec, fmt.Errorf("%s: no sweep points", path)
+	}
+	for _, p := range rec.Sweep {
+		if p.CacheOffQPS <= 0 || p.CacheOnQPS <= 0 || p.Speedup <= 0 {
+			return rec, fmt.Errorf("%s: θ=%g has missing measurements", path, p.Theta)
+		}
+	}
+	if rec.SpeedupAtTheta99 <= 0 {
+		return rec, fmt.Errorf("%s: missing speedup_at_theta_0_99", path)
+	}
+	return rec, nil
+}
+
+func checkCache(freshPath, committedPath string, maxReg, floor float64) bool {
+	fresh, err := readCache(freshPath)
+	if err != nil {
+		log.Printf("FAIL cache: fresh record invalid: %v", err)
+		return false
+	}
+	committed, err := readCache(committedPath)
+	if err != nil {
+		log.Printf("FAIL cache: committed record invalid: %v", err)
+		return false
+	}
+	if fresh.Config.N != committed.Config.N || fresh.Config.D != committed.Config.D ||
+		fresh.Config.QueryPool != committed.Config.QueryPool ||
+		fresh.Config.CacheEntries != committed.Config.CacheEntries ||
+		fresh.Config.Conc != committed.Config.Conc || fresh.Config.Ops != committed.Config.Ops ||
+		!slices.Equal(fresh.Config.Thetas, committed.Config.Thetas) {
+		log.Printf("FAIL cache: fresh sweep config %+v differs from committed %+v; rerun with the committed shape",
+			fresh.Config, committed.Config)
+		return false
+	}
+	base := make(map[float64]cachePoint, len(committed.Sweep))
+	for _, p := range committed.Sweep {
+		base[p.Theta] = p
+	}
+	ok := true
+	for _, p := range fresh.Sweep {
+		c, found := base[p.Theta]
+		if !found {
+			log.Printf("FAIL cache: θ=%g not in the committed sweep", p.Theta)
+			ok = false
+			continue
+		}
+		pointFloor := c.Speedup * (1 - maxReg)
+		if p.Speedup < pointFloor {
+			log.Printf("FAIL cache: θ=%g: speedup %.2fx below floor %.2fx (committed %.2fx, -cache-max-regression %.2f)",
+				p.Theta, p.Speedup, pointFloor, c.Speedup, maxReg)
+			ok = false
+		} else {
+			log.Printf("ok cache: θ=%g: %.2fx on-vs-off (floor %.2fx), hit rate %.3f",
+				p.Theta, p.Speedup, pointFloor, p.HitRate)
+		}
+	}
+	if fresh.SpeedupAtTheta99 < floor {
+		log.Printf("FAIL cache: θ=0.99 speedup %.2fx below the absolute floor %.2fx",
+			fresh.SpeedupAtTheta99, floor)
+		ok = false
+	} else {
+		log.Printf("ok cache: θ=0.99 speedup %.2fx (absolute floor %.2fx)", fresh.SpeedupAtTheta99, floor)
+	}
+	return ok
 }
 
 func checkKernels(freshPath, committedPath string, maxReg, floor float64) bool {

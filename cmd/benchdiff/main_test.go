@@ -197,3 +197,76 @@ func TestCheckKernelsGate(t *testing.T) {
 		t.Error("empty sweep passed the gate")
 	}
 }
+
+func TestCheckCacheGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	committed := write("committed.json", `{
+		"config":{"n":16384,"d":512,"query_pool":4096,"cache_entries":2048,"conc":8,"ops":12000,"thetas":[0,0.8,0.99,1.2]},
+		"sweep":[
+			{"theta":0,"hit_rate":0.51,"cache_off_qps":21000,"cache_on_qps":23000,"speedup":1.10},
+			{"theta":0.8,"hit_rate":0.78,"cache_off_qps":21700,"cache_on_qps":54000,"speedup":2.49},
+			{"theta":0.99,"hit_rate":0.88,"cache_off_qps":23800,"cache_on_qps":69000,"speedup":2.90},
+			{"theta":1.2,"hit_rate":1.0,"cache_off_qps":27000,"cache_on_qps":92000,"speedup":3.41}],
+		"speedup_at_theta_0_99":2.90}`)
+
+	good := write("good.json", `{
+		"config":{"n":16384,"d":512,"query_pool":4096,"cache_entries":2048,"conc":8,"ops":12000,"thetas":[0,0.8,0.99,1.2]},
+		"sweep":[
+			{"theta":0,"hit_rate":0.51,"cache_off_qps":20000,"cache_on_qps":21000,"speedup":1.05},
+			{"theta":0.8,"hit_rate":0.78,"cache_off_qps":21000,"cache_on_qps":48000,"speedup":2.29},
+			{"theta":0.99,"hit_rate":0.88,"cache_off_qps":22000,"cache_on_qps":57000,"speedup":2.59},
+			{"theta":1.2,"hit_rate":1.0,"cache_off_qps":26000,"cache_on_qps":83000,"speedup":3.19}],
+		"speedup_at_theta_0_99":2.59}`)
+	if !checkCache(good, committed, 0.5, 2.0) {
+		t.Error("within-tolerance sweep failed the gate")
+	}
+
+	// Per-skew regression: θ=0.99 collapses below committed*(1-0.5).
+	regressed := write("regressed.json", `{
+		"config":{"n":16384,"d":512,"query_pool":4096,"cache_entries":2048,"conc":8,"ops":12000,"thetas":[0,0.8,0.99,1.2]},
+		"sweep":[
+			{"theta":0,"hit_rate":0.51,"cache_off_qps":20000,"cache_on_qps":21000,"speedup":1.05},
+			{"theta":0.8,"hit_rate":0.78,"cache_off_qps":21000,"cache_on_qps":48000,"speedup":2.29},
+			{"theta":0.99,"hit_rate":0.30,"cache_off_qps":22000,"cache_on_qps":26000,"speedup":1.18},
+			{"theta":1.2,"hit_rate":1.0,"cache_off_qps":26000,"cache_on_qps":83000,"speedup":3.19}],
+		"speedup_at_theta_0_99":1.18}`)
+	if checkCache(regressed, committed, 0.5, 2.0) {
+		t.Error("1.18x vs 2.90x committed at θ=0.99 passed the gate")
+	}
+
+	// Absolute floor: every point within relative tolerance against a
+	// weak committed record still has to clear 2x at θ=0.99.
+	weakCommitted := write("weak_committed.json", `{
+		"config":{"n":16384,"d":512,"query_pool":4096,"cache_entries":2048,"conc":8,"ops":12000,"thetas":[0.99]},
+		"sweep":[{"theta":0.99,"hit_rate":0.5,"cache_off_qps":22000,"cache_on_qps":33000,"speedup":1.5}],
+		"speedup_at_theta_0_99":1.5}`)
+	weakFresh := write("weak_fresh.json", `{
+		"config":{"n":16384,"d":512,"query_pool":4096,"cache_entries":2048,"conc":8,"ops":12000,"thetas":[0.99]},
+		"sweep":[{"theta":0.99,"hit_rate":0.5,"cache_off_qps":22000,"cache_on_qps":33000,"speedup":1.5}],
+		"speedup_at_theta_0_99":1.5}`)
+	if checkCache(weakFresh, weakCommitted, 0.5, 2.0) {
+		t.Error("1.5x at θ=0.99 passed the 2x absolute floor")
+	}
+
+	// Config drift: a different shape is not comparable.
+	drifted := write("drifted.json", `{
+		"config":{"n":4096,"d":512,"query_pool":4096,"cache_entries":2048,"conc":8,"ops":12000,"thetas":[0,0.8,0.99,1.2]},
+		"sweep":[{"theta":0.99,"hit_rate":0.88,"cache_off_qps":22000,"cache_on_qps":57000,"speedup":2.59}],
+		"speedup_at_theta_0_99":2.59}`)
+	if checkCache(drifted, committed, 0.5, 2.0) {
+		t.Error("drifted sweep config passed the gate")
+	}
+
+	// Schema gate: empty sweep means the bench never ran.
+	empty := write("empty.json", `{"config":{"thetas":[]},"sweep":[],"speedup_at_theta_0_99":0}`)
+	if checkCache(empty, committed, 0.5, 2.0) {
+		t.Error("empty sweep passed the gate")
+	}
+}

@@ -25,8 +25,14 @@
 //     error-rate / probe counters.
 //   - cmd/annsd and cmd/annsload (load layer): the serving daemon over
 //     generated or annsgen workloads, and a closed-loop / open-loop
-//     (Poisson, target-QPS ramp) load harness reporting p50/p95/p99
-//     latency, achieved QPS, recall, and aggregate probe accounting.
+//     (Poisson, target-QPS ramp) load harness reporting log-bucketed
+//     latency histograms (internal/stats.LogHistogram: p50/p95/p99
+//     within 4.4%, exact min/max, full shape), achieved QPS, recall,
+//     and aggregate probe accounting. annsload -scenario replays named
+//     operation-mix scenarios (internal/workload/scenario: zipfian /
+//     hotspot / sequential key popularity over reads, inserts, and
+//     deletes) compiled deterministically from -lseed, so two runs —
+//     or the two servers of a -compare — see byte-identical streams.
 //
 // # Query execution model
 //
@@ -118,6 +124,22 @@
 // with annsd -mutable -wal, drive mixed read/write load with annsload
 // -write-ratio, and fold a WAL back into one snapshot offline with
 // annsctl compact.
+//
+// # Result cache
+//
+// annsd -cache N (and annsrouter -cache N) put a sharded, bounded LRU
+// (internal/qcache) in front of the query path, keyed by collision-free
+// cellprobe.Addr fingerprints of the request — a hit answers from
+// memory, bypassing admission and the worker pool, and is provably the
+// reply a fresh execution would produce: entries are stamped with the
+// index generation observed before execution, every mutation bumps
+// anns.MutableIndex.Generation(), and stale entries become unreachable
+// in O(1). /statsz reports hits, misses, hit_rate, evictions, and
+// invalidations; annsload -compare proves cached and uncached servers
+// byte-identical under mutation churn, and the chaos harness re-proves
+// it under the gray-failure catalog. annsctl bench -cache sweeps
+// zipfian skew into BENCH_cache.json, gated by benchdiff. DESIGN.md
+// §10 has the key derivation and the epoch-invalidation argument.
 //
 // See internal/server/README.md for the wire format and a copy-paste
 // serving session.

@@ -100,6 +100,43 @@ func TestExperimentInvariantFields(t *testing.T) {
 	}
 }
 
+// TestExperimentWithCache runs the same gray-failure catalog with the
+// epoch-invalidated result cache enabled on every faulted-side server
+// (the reference oracle stays uncached). The gate must stay clean —
+// zero wrong answers means no fault sequence made the cache serve a
+// reply a fresh execution wouldn't — and the invariant half of the
+// matrix must be byte-identical to the uncached run of the same root
+// seed, pinning that the cache is invisible to correctness.
+func TestExperimentWithCache(t *testing.T) {
+	cfg := testConfig(33)
+	uncached, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatalf("uncached run: %v", err)
+	}
+	cfg.CacheEntries = 128
+	cached, err := Run(cfg, t.Logf)
+	if err != nil {
+		t.Fatalf("cached run: %v", err)
+	}
+	if v := cached.Gate(); len(v) != 0 {
+		t.Fatalf("cached gate violations: %v", v)
+	}
+	for _, r := range cached.Results {
+		if r.Invariants.WrongAnswers != 0 || r.Invariants.FirstDivergence != "" {
+			t.Errorf("%s trial %d with cache: %d wrong answers (%s)",
+				r.Invariants.Strategy, r.Invariants.Trial, r.Invariants.WrongAnswers, r.Invariants.FirstDivergence)
+		}
+		if r.Invariants.AckedWritesLost != 0 {
+			t.Errorf("%s trial %d with cache lost %d acked writes",
+				r.Invariants.Strategy, r.Invariants.Trial, r.Invariants.AckedWritesLost)
+		}
+	}
+	a, b := uncached.InvariantsJSON(), cached.InvariantsJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("enabling the cache changed the invariant half of the matrix:\nuncached:\n%s\ncached:\n%s", a, b)
+	}
+}
+
 func TestDeriveSeedLabeling(t *testing.T) {
 	if deriveSeed(1, "a", "bc") == deriveSeed(1, "ab", "c") {
 		t.Fatal("label boundaries do not feed the derivation")

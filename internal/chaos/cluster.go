@@ -74,8 +74,12 @@ func (b *backendServer) close() {
 }
 
 // serveIndex boots one shard-server over ix on a fresh loopback port.
-func serveIndex(ix server.Searcher, dim int) (*backendServer, error) {
-	srv, err := server.New(ix, server.Config{Dimension: dim, Workers: 2})
+// cacheEntries > 0 puts a result cache in front of the server's query
+// path — the faulted side of an experiment runs cached while the
+// reference oracle stays uncached, so every compared answer also proves
+// the cache never serves a reply a fresh execution wouldn't.
+func serveIndex(ix server.Searcher, dim, cacheEntries int) (*backendServer, error) {
+	srv, err := server.New(ix, server.Config{Dimension: dim, Workers: 2, CacheEntries: cacheEntries})
 	if err != nil {
 		return nil, err
 	}
@@ -94,8 +98,11 @@ func serveIndex(ix server.Searcher, dim int) (*backendServer, error) {
 // placement manifest (the `annsctl shard-split` layout), boots every
 // replica from its snapshot file, and fronts each with a Proxy. n and q
 // size the corpus and the ground-truth query stream; the planted-NN
-// workload keeps every query's right answer unambiguous.
-func BuildCluster(dir string, shape Shape, seed uint64, dim, n, q int) (*Cluster, error) {
+// workload keeps every query's right answer unambiguous. cacheEntries
+// enables the epoch-invalidated result cache on every replica (0 =
+// off); the reference oracle always runs uncached, so the byte-identity
+// invariant doubles as a stale-reply check on the cache.
+func BuildCluster(dir string, shape Shape, seed uint64, dim, n, q, cacheEntries int) (*Cluster, error) {
 	spec := workload.Spec{Kind: "planted", D: dim, N: n, Q: q, Dist: dim / 10, Seed: seed}
 	inst, err := spec.Generate()
 	if err != nil {
@@ -162,7 +169,7 @@ func BuildCluster(dir string, shape Shape, seed uint64, dim, n, q int) (*Cluster
 			if err != nil {
 				return fail(err)
 			}
-			b, err := serveIndex(ix, dim)
+			b, err := serveIndex(ix, dim, cacheEntries)
 			if err != nil {
 				return fail(err)
 			}
@@ -175,7 +182,7 @@ func BuildCluster(dir string, shape Shape, seed uint64, dim, n, q int) (*Cluster
 		}
 		c.Proxies = append(c.Proxies, row)
 	}
-	ref, err := serveIndex(sx, dim)
+	ref, err := serveIndex(sx, dim, 0)
 	if err != nil {
 		return fail(err)
 	}

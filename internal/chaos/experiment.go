@@ -60,6 +60,12 @@ type ExperimentConfig struct {
 	// legitimately starve a healthy replica past the eviction threshold;
 	// the hard invariants are wrong answers and acked-write loss.
 	MaxFalseEvictionRate float64 `json:"max_false_eviction_rate"`
+	// CacheEntries enables the epoch-invalidated query-result cache on
+	// every faulted-side server (replicas, wal-tear primaries); 0 keeps
+	// it off. The reference oracle always runs uncached, so the
+	// byte-identity invariant also proves no fault sequence can make the
+	// cache serve a stale or wrong reply.
+	CacheEntries int `json:"cache_entries"`
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -233,7 +239,7 @@ func Run(cfg ExperimentConfig, logf func(format string, args ...any)) (*Matrix, 
 			return nil, err
 		}
 		clusterSeed := deriveSeed(cfg.RootSeed, "cluster", shape.String())
-		cluster, err := BuildCluster(dir, shape, clusterSeed, cfg.Dim, cfg.N, cfg.Queries)
+		cluster, err := BuildCluster(dir, shape, clusterSeed, cfg.Dim, cfg.N, cfg.Queries, cfg.CacheEntries)
 		if err != nil {
 			os.RemoveAll(dir)
 			return nil, fmt.Errorf("chaos: building %s cluster: %w", shape, err)

@@ -373,7 +373,7 @@ func (walTearStrategy) run(t *trial) error {
 	if err != nil {
 		return err
 	}
-	primary, err := serveIndex(mut, d)
+	primary, err := serveIndex(mut, d, t.cfg.CacheEntries)
 	if err != nil {
 		mut.Close()
 		return err
@@ -436,7 +436,7 @@ func (walTearStrategy) run(t *trial) error {
 	if replayed := mut2.MutableStats().WALReplayed; replayed < k {
 		t.inv.AckedWritesLost = k - replayed
 	}
-	rebooted, err := serveIndex(mut2, d)
+	rebooted, err := serveIndex(mut2, d, t.cfg.CacheEntries)
 	if err != nil {
 		return err
 	}
@@ -462,7 +462,7 @@ func (walTearStrategy) run(t *trial) error {
 			return fmt.Errorf("reference assigned id %d to insert %d, primary acked %d (nondeterministic ids break the compare fold)", id, i, ids[i])
 		}
 	}
-	refSrv, err := serveIndex(ref, d)
+	refSrv, err := serveIndex(ref, d, 0)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,250 @@
+// Package qcache is a sharded, bounded, generation-invalidated LRU cache
+// for query results, sitting in front of the serving hot path.
+//
+// Keys are binary cell addresses (cellprobe.Addr): comparable, collision-
+// free encodings of the query point plus a request-kind tag, so two
+// requests share a cache line exactly when the serving layer would compute
+// byte-identical answers for them. Values are opaque to the cache.
+//
+// Invalidation is by epoch, not by sweep: every entry is stamped with the
+// index generation observed when its result was computed, and a reader
+// presents the current generation to Get. A mutation bumps the generation
+// counter (one atomic increment — O(1)), which makes every older entry
+// unreachable; stale entries are reclaimed lazily on access or by LRU
+// eviction. The stamp a writer stores MUST be the generation read BEFORE
+// the query executed: if a mutation lands mid-query the result is then
+// tagged with the pre-mutation epoch and post-mutation readers miss — the
+// safe direction. Stamping after execution would let a result computed
+// against the old index masquerade as current forever.
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cellprobe"
+)
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Entries       int
+	Capacity      int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key        cellprobe.Addr
+	gen        uint64
+	val        any
+	prev, next *entry // intrusive LRU list links; next points toward LRU
+}
+
+// shard is one lock domain: a map plus an intrusive LRU list whose head is
+// most-recently-used.
+type shard struct {
+	mu   sync.Mutex
+	m    map[cellprobe.Addr]*entry
+	head *entry // MRU
+	tail *entry // LRU
+	cap  int
+}
+
+// Cache is the sharded LRU. Construct with New.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+	capacity      int
+}
+
+const defaultShards = 8
+
+// New builds a cache bounded at capacity entries in total. Returns nil if
+// capacity <= 0 — and every method on a nil *Cache is a safe no-op miss, so
+// callers can thread an optional cache without nil checks.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	// Collapse shards for small caches so each keeps a meaningful LRU
+	// window (at least 8 entries per shard).
+	n := defaultShards
+	for n > 1 && capacity < 8*n {
+		n /= 2
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1), capacity: capacity}
+	for i := range c.shards {
+		per := capacity / n
+		if i < capacity%n {
+			per++
+		}
+		c.shards[i] = shard{m: make(map[cellprobe.Addr]*entry, per), cap: per}
+	}
+	return c
+}
+
+// shardFor hashes the address payload (FNV-1a over tag and words) to pick a
+// lock domain.
+func (c *Cache) shardFor(key *cellprobe.Addr) *shard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	tag := key.Tag()
+	h = (h ^ uint64(tag.Class)) * prime
+	h = (h ^ uint64(uint32(tag.Level))) * prime
+	for i := 0; i < key.Len(); i++ {
+		w := key.Word(i)
+		h = (h ^ (w & 0xffffffff)) * prime
+		h = (h ^ (w >> 32)) * prime
+	}
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the cached value for key if present AND stamped with gen.
+// An entry from an older epoch counts as an invalidation and is removed.
+func (c *Cache) Get(key cellprobe.Addr, gen uint64) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(&key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	if e.gen != gen {
+		s.remove(e)
+		delete(s.m, key)
+		s.mu.Unlock()
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.touch(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores val for key stamped with gen (the generation observed BEFORE
+// computing val — see the package comment). Evicts the shard's LRU entry
+// when full.
+func (c *Cache) Put(key cellprobe.Addr, gen uint64, val any) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(&key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.gen, e.val = gen, val
+		s.touch(e)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.cap {
+		lru := s.tail
+		s.remove(lru)
+		delete(s.m, lru.key)
+		c.evictions.Add(1)
+	}
+	e := &entry{key: key, gen: gen, val: val}
+	s.m[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
+// Len returns the current number of entries across all shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.Len(),
+		Capacity:      c.capacity,
+	}
+}
+
+// Capacity returns the configured bound (0 for a nil cache).
+func (c *Cache) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return c.capacity
+}
+
+// pushFront links e as the shard's MRU.
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// remove unlinks e from the LRU list.
+func (s *shard) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// touch moves e to the MRU position.
+func (s *shard) touch(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.remove(e)
+	s.pushFront(e)
+}

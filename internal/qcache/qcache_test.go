@@ -1,0 +1,164 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cellprobe"
+)
+
+func key(i int) cellprobe.Addr {
+	return cellprobe.VecAddr(cellprobe.GenericTag(0), []uint64{uint64(i), uint64(i) * 31})
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(16)
+	if _, ok := c.Get(key(1), 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key(1), 0, "a")
+	v, ok := c.Get(key(1), 0)
+	if !ok || v.(string) != "a" {
+		t.Fatalf("want hit a, got %v %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := New(16)
+	c.Put(key(1), 5, "epoch5")
+	// Same epoch: hit.
+	if _, ok := c.Get(key(1), 5); !ok {
+		t.Fatal("same-generation read missed")
+	}
+	// Bumped epoch: the entry must be unreachable and counted invalidated.
+	if _, ok := c.Get(key(1), 6); ok {
+		t.Fatal("stale entry served after generation bump")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The stale entry was reclaimed: even the old epoch misses now.
+	if _, ok := c.Get(key(1), 5); ok {
+		t.Fatal("invalidated entry still present")
+	}
+	// Re-populate at the new epoch works.
+	c.Put(key(1), 6, "epoch6")
+	if v, ok := c.Get(key(1), 6); !ok || v.(string) != "epoch6" {
+		t.Fatal("re-populated entry missed")
+	}
+}
+
+func TestBoundedEviction(t *testing.T) {
+	const cap = 32
+	c := New(cap)
+	for i := 0; i < 10*cap; i++ {
+		c.Put(key(i), 0, i)
+	}
+	if n := c.Len(); n > cap {
+		t.Fatalf("cache holds %d entries, capacity %d", n, cap)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions after overfill")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// Single shard (capacity < defaultShards forces shard collapse) so LRU
+	// order is observable deterministically.
+	c := New(2)
+	if len(c.shards) != 1 {
+		t.Fatalf("expected 1 shard for capacity 2, got %d", len(c.shards))
+	}
+	c.Put(key(1), 0, 1)
+	c.Put(key(2), 0, 2)
+	c.Get(key(1), 0) // 1 is now MRU; 2 is LRU
+	c.Put(key(3), 0, 3)
+	if _, ok := c.Get(key(2), 0); ok {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	if _, ok := c.Get(key(1), 0); !ok {
+		t.Fatal("recently-used entry 1 was evicted")
+	}
+	if _, ok := c.Get(key(3), 0); !ok {
+		t.Fatal("new entry 3 missing")
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	c := New(4)
+	c.Put(key(1), 0, "old")
+	c.Put(key(1), 1, "new")
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after overwrite", c.Len())
+	}
+	if v, ok := c.Get(key(1), 1); !ok || v.(string) != "new" {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache = New(0)
+	if c != nil {
+		t.Fatal("capacity 0 must yield nil cache")
+	}
+	if _, ok := c.Get(key(1), 0); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(key(1), 0, 1)
+	if c.Len() != 0 || c.Capacity() != 0 {
+		t.Fatal("nil cache must be empty")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestKeysDoNotCollide(t *testing.T) {
+	// Distinct addresses must be distinct entries even when words overlap.
+	c := New(64)
+	a := cellprobe.VecAddr(cellprobe.GenericTag(0), []uint64{1, 2})
+	b := cellprobe.VecAddr(cellprobe.GenericTag(0), []uint64{1, 2, 0})
+	tagged := cellprobe.VecAddr(cellprobe.GenericTag(1), []uint64{1, 2})
+	c.Put(a, 0, "a")
+	c.Put(b, 0, "b")
+	c.Put(tagged, 0, "t")
+	for want, k := range map[string]cellprobe.Addr{"a": a, "b": b, "t": tagged} {
+		if v, ok := c.Get(k, 0); !ok || v.(string) != want {
+			t.Fatalf("key %v: got %v %v, want %q", k, v, ok, want)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := key(i % 200)
+				gen := uint64(i / 500) // generations advance during the run
+				if v, ok := c.Get(k, gen); ok {
+					if v.(string) != fmt.Sprintf("g%d", gen) {
+						t.Errorf("stale value %v at gen %d", v, gen)
+					}
+				} else {
+					c.Put(k, gen, fmt.Sprintf("g%d", gen))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 128 {
+		t.Fatalf("len %d exceeds capacity", n)
+	}
+}

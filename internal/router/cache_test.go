@@ -1,0 +1,68 @@
+package router
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestRouterCache pins the router-level result cache: a repeated query is
+// served byte-identically without a second scatter, and the /statsz cache
+// block reports the traffic.
+func TestRouterCache(t *testing.T) {
+	const shards = 2
+	sx, inst := buildShards(t, shards)
+	var urls [][]string
+	for s := 0; s < shards; s++ {
+		ts := serveShard(t, sx.Shard(s), nil)
+		urls = append(urls, []string{ts.URL})
+	}
+	rt := newRouter(t, Config{Dimension: testDim, N: sx.Len(), Replicas: urls, CacheEntries: 64})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	req := server.QueryRequest{Point: server.EncodePoint(inst.Queries[0].X)}
+	_, first := postJSON(t, rts.URL+"/v1/query", req)
+	shardReqs := rt.shards[0].requests.Load() + rt.shards[1].requests.Load()
+	_, second := postJSON(t, rts.URL+"/v1/query", req)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached router reply differs:\n%s\n%s", first, second)
+	}
+	if after := rt.shards[0].requests.Load() + rt.shards[1].requests.Load(); after != shardReqs {
+		t.Fatalf("cache hit still scattered to shards: %d -> %d requests", shardReqs, after)
+	}
+	st := rt.Stats()
+	if st.Cache == nil || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("router cache block: %+v", st.Cache)
+	}
+	if st.Queries != 2 {
+		t.Fatalf("queries = %d, want 2", st.Queries)
+	}
+
+	// Near replies (including the NO answer) cache under a distinct key.
+	near := server.NearRequest{Point: server.EncodePoint(inst.Queries[0].X), Lambda: 1}
+	_, n1 := postJSON(t, rts.URL+"/v1/near", near)
+	_, n2 := postJSON(t, rts.URL+"/v1/near", near)
+	if !bytes.Equal(n1, n2) {
+		t.Fatalf("cached near reply differs:\n%s\n%s", n1, n2)
+	}
+	if st := rt.Stats(); st.Cache.Hits != 2 {
+		t.Fatalf("near hit not counted: %+v", st.Cache)
+	}
+}
+
+// TestRouterCacheDisabledByDefault: no cache block without CacheEntries.
+func TestRouterCacheDisabledByDefault(t *testing.T) {
+	sx, inst := buildShards(t, 1)
+	ts := serveShard(t, sx.Shard(0), nil)
+	rt := newRouter(t, Config{Dimension: testDim, N: sx.Len(), Replicas: [][]string{{ts.URL}}})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+	req := server.QueryRequest{Point: server.EncodePoint(inst.Queries[0].X)}
+	postJSON(t, rts.URL+"/v1/query", req)
+	if st := rt.Stats(); st.Cache != nil {
+		t.Fatalf("cache block present without CacheEntries: %+v", st.Cache)
+	}
+}

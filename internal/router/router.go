@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/anns"
+	"repro/internal/qcache"
 	"repro/internal/server"
 )
 
@@ -94,6 +95,13 @@ type Config struct {
 	// failed readmission probe). Defaults 500ms / 8s.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+
+	// CacheEntries bounds the router's query-result cache; 0 (the
+	// default) disables it. The router serves immutable shard snapshots,
+	// so entries never invalidate (constant generation 0); a hit answers
+	// without scattering to any shard. Keys are the same fingerprints the
+	// shard servers use (server.QueryCacheKey / server.NearCacheKey).
+	CacheEntries int
 
 	// Client overrides the HTTP client (tests). Default: pooled transport.
 	Client *http.Client
@@ -199,6 +207,7 @@ type Router struct {
 	once   sync.Once
 	start  time.Time
 	m      metrics
+	cache  *qcache.Cache // nil when Config.CacheEntries == 0
 
 	httpMu sync.Mutex
 	httpS  *http.Server
@@ -236,6 +245,7 @@ func New(cfg Config) (*Router, error) {
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 		start:  clock.Now(),
+		cache:  qcache.New(cfg.CacheEntries),
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{Transport: &http.Transport{
@@ -725,8 +735,17 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	if _, err := server.DecodePoint(req.Point, rt.cfg.Dimension); err != nil {
+	x, err := server.DecodePoint(req.Point, rt.cfg.Dimension)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	// The router's corpus is immutable, so cached replies live at a
+	// constant generation 0 and a hit skips the scatter entirely.
+	key := server.QueryCacheKey(x)
+	if v, ok := rt.cache.Get(key, 0); ok {
+		rt.m.queries.Add(1)
+		writeJSON(w, http.StatusOK, v.(server.QueryResponse))
 		return
 	}
 	if !rt.admit(w) {
@@ -748,7 +767,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if failed {
 		msg = "router: query failed on every shard"
 	}
-	writeJSON(w, http.StatusOK, toWire(merged, msg))
+	resp := toWire(merged, msg)
+	if !failed {
+		rt.cache.Put(key, 0, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // deadlineExpired mirrors internal/server's admit path: a request whose
@@ -778,8 +801,15 @@ func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: "lambda must be positive"})
 		return
 	}
-	if _, err := server.DecodePoint(req.Point, rt.cfg.Dimension); err != nil {
+	x, err := server.DecodePoint(req.Point, rt.cfg.Dimension)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	key := server.NearCacheKey(x, req.Lambda)
+	if v, ok := rt.cache.Get(key, 0); ok {
+		rt.m.near.Add(1)
+		writeJSON(w, http.StatusOK, v.(server.QueryResponse))
 		return
 	}
 	if !rt.admit(w) {
@@ -801,7 +831,11 @@ func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
 	if failed {
 		msg = "router: near query failed on every shard"
 	}
-	writeJSON(w, http.StatusOK, toWire(merged, msg))
+	resp := toWire(merged, msg)
+	if !failed {
+		rt.cache.Put(key, 0, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -978,6 +1012,7 @@ func (rt *Router) Stats() Stats {
 	if shardReqs > 0 {
 		out.HedgeRate = float64(out.Hedges) / float64(shardReqs)
 	}
+	out.Cache = server.CacheStatsOf(rt.cache)
 	return out
 }
 

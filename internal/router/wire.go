@@ -1,5 +1,7 @@
 package router
 
+import "repro/internal/server"
+
 // Stats is the router's /statsz body. The merged-query counters share
 // field names with internal/server's StatsSnapshot (queries, errors,
 // probes, qps, …) so dashboards and cmd/annsload read one schema; the
@@ -27,6 +29,10 @@ type Stats struct {
 	Failovers int64   `json:"failovers"`
 
 	ShardStats []ShardStats `json:"shard_stats"`
+
+	// Cache is the router-level result-cache block (present only when
+	// Config.CacheEntries enabled one); same schema as the shard servers'.
+	Cache *server.CacheStats `json:"cache,omitempty"`
 }
 
 // ShardStats is one shard position's rollup: request counters, hedge

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"math"
+
+	"repro/anns"
+	"repro/internal/cellprobe"
+	"repro/internal/qcache"
+)
+
+// Result caching (DESIGN.md §10).
+//
+// The serving layer can put a qcache.Cache in front of the worker pool:
+// a hit answers from memory without touching the admission queue, the
+// index, or a worker scratch — under zipfian traffic that is most
+// requests. Three properties make this safe:
+//
+//   - The key is a collision-free fingerprint of the request: the packed
+//     query point words (the full input, not a digest) under a tag that
+//     separates /v1/query from /v1/near, plus the λ bits for near. Two
+//     requests share a key exactly when the index would compute
+//     byte-identical answers for them.
+//   - Query execution is deterministic given index state, so a cached
+//     reply IS the reply a fresh execution would produce at the same
+//     generation.
+//   - Every entry is stamped with the index generation observed before
+//     the query ran; a mutation bumps the generation, making all older
+//     entries unreachable (see internal/qcache).
+//
+// Failed queries are never cached (errors may be transient); the NO
+// answer of /v1/near is a successful deterministic reply and is cached.
+
+// Cache key tags: the tag separates request kinds so a /v1/query for
+// point x never collides with a /v1/near for the same x.
+const (
+	cacheKindQuery = 1
+	cacheKindNear  = 2
+)
+
+// generationer is the optional epoch surface: *anns.MutableIndex
+// implements it; immutable indexes do not and are served at a constant
+// generation 0 (their cache entries never invalidate — nothing mutates).
+type generationer interface {
+	Generation() uint64
+}
+
+// generation returns the served index's current epoch.
+func (s *Server) generation() uint64 {
+	if s.gen != nil {
+		return s.gen.Generation()
+	}
+	return 0
+}
+
+// QueryCacheKey fingerprints a /v1/query request. Exported so the router
+// tier caches under the exact same key derivation — one fingerprint
+// definition for the whole serving stack.
+func QueryCacheKey(x anns.Point) cellprobe.Addr {
+	return cellprobe.VecAddr(cellprobe.GenericTag(cacheKindQuery), x)
+}
+
+// NearCacheKey fingerprints a /v1/near request: λ's bit pattern followed
+// by the point words.
+func NearCacheKey(x anns.Point, lambda float64) cellprobe.Addr {
+	var b cellprobe.AddrBuilder
+	b.Reset(cellprobe.GenericTag(cacheKindNear))
+	b.Uint(math.Float64bits(lambda))
+	b.Vec(x)
+	return b.Addr()
+}
+
+// cacheGet consults the cache for key at the current generation,
+// returning the reply to re-serve and the generation to stamp on a miss's
+// eventual Put. The generation is captured BEFORE the query executes: if
+// a mutation lands mid-query the stored reply is tagged with the older
+// epoch and post-mutation readers miss (the safe direction).
+func (s *Server) cacheGet(key cellprobe.Addr) (resp QueryResponse, gen uint64, ok bool) {
+	if s.cache == nil {
+		return QueryResponse{}, 0, false
+	}
+	gen = s.generation()
+	v, hit := s.cache.Get(key, gen)
+	if !hit {
+		return QueryResponse{}, gen, false
+	}
+	return v.(QueryResponse), gen, true
+}
+
+// cachePut stores a successful reply stamped with the pre-execution
+// generation. Error replies are not cached.
+func (s *Server) cachePut(key cellprobe.Addr, gen uint64, resp QueryResponse) {
+	if s.cache == nil || resp.Error != "" {
+		return
+	}
+	s.cache.Put(key, gen, resp)
+}
+
+// CacheStats is /statsz's result-cache block (present only when the
+// cache is enabled).
+type CacheStats struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// CacheStatsOf snapshots a cache into the wire block (nil for a disabled
+// cache). Exported so the router serves the same /statsz cache schema.
+func CacheStatsOf(c *qcache.Cache) *CacheStats {
+	if c == nil {
+		return nil
+	}
+	st := c.Stats()
+	return &CacheStats{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+		Entries:       st.Entries,
+		Capacity:      st.Capacity,
+		HitRate:       st.HitRate(),
+	}
+}

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/internal/workload/scenario"
+)
+
+// newCachedMutableServer serves a synchronous mutable tier with the
+// result cache enabled.
+func newCachedMutableServer(t *testing.T, cacheEntries int) (*Server, *httptest.Server, *workload.Instance) {
+	t.Helper()
+	r := rng.New(31)
+	inst := workload.PlantedNN(r, testDim, 40, 8, 6)
+	pts := make([]anns.Point, len(inst.DB))
+	copy(pts, inst.DB)
+	base, err := anns.Build(pts, anns.Options{Dimension: testDim, Rounds: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := anns.NewMutable(base, anns.MutableConfig{Synchronous: true, MemtableCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(mx, Config{Dimension: testDim, CacheEntries: cacheEntries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+		mx.Close()
+	})
+	return srv, hs, inst
+}
+
+func TestCacheHitServesIdenticalBytes(t *testing.T) {
+	srv, hs, inst := newCachedMutableServer(t, 64)
+	q := QueryRequest{Point: EncodePoint(inst.Queries[0].X)}
+
+	resp, first := post(t, hs.URL+"/v1/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: %d %s", resp.StatusCode, first)
+	}
+	resp, second := post(t, hs.URL+"/v1/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query: %d %s", resp.StatusCode, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached reply differs from computed reply:\n%s\n%s", first, second)
+	}
+	st := srv.Stats()
+	if st.Cache == nil {
+		t.Fatal("cache stats block missing")
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache counters after repeat query: %+v", st.Cache)
+	}
+	if st.Queries != 2 {
+		t.Fatalf("queries = %d, want 2 (hits still count)", st.Queries)
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	srv, hs, inst := newMutableTestServer(t)
+	q := QueryRequest{Point: EncodePoint(inst.Queries[0].X)}
+	post(t, hs.URL+"/v1/query", q)
+	post(t, hs.URL+"/v1/query", q)
+	if st := srv.Stats(); st.Cache != nil {
+		t.Fatalf("cache block present without CacheEntries: %+v", st.Cache)
+	}
+}
+
+// TestCacheInvalidatedByMutation pins the epoch contract end to end: a
+// cached reply must become unreachable the moment any mutation lands,
+// and the post-mutation reply must reflect the new index state.
+func TestCacheInvalidatedByMutation(t *testing.T) {
+	srv, hs, _ := newCachedMutableServer(t, 64)
+	r := rng.New(77)
+	x := hamming.Random(r, testDim)
+	q := QueryRequest{Point: EncodePoint(x)}
+
+	post(t, hs.URL+"/v1/query", q) // populate
+	post(t, hs.URL+"/v1/query", q) // hit
+
+	// Insert a planted point nearer than anything in the DB.
+	planted := hamming.AtDistance(r, x, testDim, 1)
+	resp, body := post(t, hs.URL+"/v1/insert", InsertRequest{Point: EncodePoint(planted)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %d %s", resp.StatusCode, body)
+	}
+	var ins InsertResponse
+	json.Unmarshal(body, &ins)
+
+	// The stale cached answer (without the planted point) must NOT be
+	// served: the generation bump makes it unreachable.
+	resp, body = post(t, hs.URL+"/v1/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-insert query: %d %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Index != int(ins.ID) || qr.Distance != 1 {
+		t.Fatalf("stale reply served after insert: %+v (want index %d at distance 1)", qr, ins.ID)
+	}
+	st := srv.Stats()
+	if st.Cache.Invalidations == 0 {
+		t.Fatalf("no invalidations counted: %+v", st.Cache)
+	}
+	if st.Mutable == nil || st.Mutable.Generation == 0 {
+		t.Fatalf("generation missing from mutable block: %+v", st.Mutable)
+	}
+}
+
+func TestCacheNearPath(t *testing.T) {
+	srv, hs, inst := newCachedMutableServer(t, 64)
+	x := inst.Queries[0].X
+	near := NearRequest{Point: EncodePoint(x), Lambda: 8}
+
+	resp, first := post(t, hs.URL+"/v1/near", near)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("near: %d %s", resp.StatusCode, first)
+	}
+	_, second := post(t, hs.URL+"/v1/near", near)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached near reply differs:\n%s\n%s", first, second)
+	}
+	// A different λ for the same point is a different key, not a hit.
+	hitsBefore := srv.Stats().Cache.Hits
+	post(t, hs.URL+"/v1/near", NearRequest{Point: EncodePoint(x), Lambda: 9})
+	if hits := srv.Stats().Cache.Hits; hits != hitsBefore {
+		t.Fatalf("λ=9 hit the λ=8 entry (hits %d -> %d)", hitsBefore, hits)
+	}
+	// /v1/query for the same point is a different key space than /v1/near.
+	post(t, hs.URL+"/v1/query", QueryRequest{Point: EncodePoint(x)})
+	st := srv.Stats().Cache
+	if st.Hits != hitsBefore {
+		t.Fatalf("query hit a near entry: %+v", st)
+	}
+}
+
+// TestCacheChurnByteIdentical is the churn_test.go pattern lifted to the
+// serving layer: one fixed-seed mutation stream driven against a cached
+// and an uncached server over the same synchronous mutable tier
+// construction. After EVERY operation both servers must answer the full
+// query set byte-identically — the cache may only change how a reply is
+// computed, never the reply. The scenario registry supplies the stream, so
+// this is also an integration test of scenario determinism.
+func TestCacheChurnByteIdentical(t *testing.T) {
+	const d = 128
+	build := func(cacheEntries int) (*httptest.Server, *anns.MutableIndex) {
+		r := rng.New(31)
+		inst := workload.PlantedNN(r, d, 30, 6, 5)
+		pts := make([]anns.Point, len(inst.DB))
+		copy(pts, inst.DB)
+		base, err := anns.Build(pts, anns.Options{Dimension: d, Rounds: 2, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx, err := anns.NewMutable(base, anns.MutableConfig{
+			Synchronous: true, MemtableCap: 6, CompactEvery: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(mx, Config{Dimension: d, CacheEntries: cacheEntries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Close()
+			mx.Close()
+		})
+		return hs, mx
+	}
+	cached, _ := build(128)
+	plain, _ := build(0)
+
+	r := rng.New(99)
+	queries := make([]string, 24)
+	for i := range queries {
+		queries[i] = EncodePoint(hamming.Random(r, d))
+	}
+	fresh := make([]anns.Point, 60)
+	for i := range fresh {
+		fresh[i] = hamming.Random(r, d)
+	}
+
+	sc, err := scenario.Get("constant-occupancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := sc.Ops(120, scenario.Config{Seed: 7, Theta: 0.99, QueryKeys: len(queries), WriteKeys: len(fresh)})
+
+	askBoth := func(opIdx int, path string, req any) {
+		t.Helper()
+		respA, bodyA := post(t, cached.URL+path, req)
+		respB, bodyB := post(t, plain.URL+path, req)
+		if respA.StatusCode != respB.StatusCode || !bytes.Equal(bodyA, bodyB) {
+			t.Fatalf("op %d: %s diverged\ncached: %d %s\nplain:  %d %s",
+				opIdx, path, respA.StatusCode, bodyA, respB.StatusCode, bodyB)
+		}
+	}
+
+	var insertedIDs []uint64
+	nextInsert := 0
+	for i, op := range ops {
+		switch op.Kind {
+		case scenario.OpInsert:
+			p := fresh[nextInsert%len(fresh)]
+			nextInsert++
+			askBoth(i, "/v1/insert", InsertRequest{Point: EncodePoint(p)})
+			// Both servers assign IDs deterministically from the base size up.
+			insertedIDs = append(insertedIDs, uint64(30+len(insertedIDs)))
+		case scenario.OpDelete:
+			if len(insertedIDs) == 0 {
+				continue
+			}
+			id := insertedIDs[op.Key%len(insertedIDs)]
+			askBoth(i, "/v1/delete", DeleteRequest{ID: &id})
+		case scenario.OpRead:
+			askBoth(i, "/v1/query", QueryRequest{Point: queries[op.Key]})
+		}
+		// After every op, a sweep of the full query set must agree.
+		if i%17 == 0 {
+			for _, q := range queries {
+				askBoth(i, "/v1/query", QueryRequest{Point: q})
+			}
+		}
+	}
+	// Full final sweep.
+	for _, q := range queries {
+		askBoth(len(ops), "/v1/query", QueryRequest{Point: q})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/anns"
+	"repro/internal/qcache"
 )
 
 // Searcher is the index surface the server needs; both *anns.Index and
@@ -83,6 +84,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines. Default 30s.
 	MaxTimeout time.Duration
+	// CacheEntries bounds the query-result cache (cache.go); 0 (the
+	// default) disables caching. Hits are answered without entering the
+	// admission queue and invalidate by index generation, so enabling the
+	// cache never changes an answer — only how it is computed.
+	CacheEntries int
 	// Index describes where the served index came from (built in-process
 	// or loaded from a snapshot); surfaced verbatim on /statsz.
 	Index IndexInfo
@@ -185,6 +191,9 @@ type Server struct {
 	start time.Time
 	m     metrics
 
+	cache *qcache.Cache // nil when Config.CacheEntries == 0
+	gen   generationer  // nil when the index is immutable (epoch 0)
+
 	httpMu sync.Mutex
 	httpS  *http.Server
 }
@@ -205,6 +214,10 @@ func New(idx Searcher, cfg Config) (*Server, error) {
 		queue: make(chan *task, cfg.QueueDepth),
 		quit:  make(chan struct{}),
 		start: time.Now(),
+		cache: qcache.New(cfg.CacheEntries),
+	}
+	if g, ok := idx.(generationer); ok {
+		s.gen = g
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/near", s.handleNear)
@@ -397,6 +410,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
+	key := QueryCacheKey(x)
+	cached, gen, ok := s.cacheGet(key)
+	if ok {
+		// A hit bypasses the admission queue and the worker pool entirely;
+		// it still counts as a served query, but adds no probe/round
+		// accounting — no cells were probed.
+		s.m.queries.Add(1)
+		writeJSON(w, http.StatusOK, cached)
+		return
+	}
 	var resp QueryResponse
 	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(_ context.Context, sc *anns.Scratch) {
 		res, qerr := s.query(sc, x)
@@ -406,6 +429,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}) {
 		return
 	}
+	s.cachePut(key, gen, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -423,6 +447,13 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
+	key := NearCacheKey(x, req.Lambda)
+	cached, gen, ok := s.cacheGet(key)
+	if ok {
+		s.m.near.Add(1)
+		writeJSON(w, http.StatusOK, cached)
+		return
+	}
 	var resp QueryResponse
 	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(_ context.Context, sc *anns.Scratch) {
 		res, qerr := s.queryNear(sc, x, req.Lambda)
@@ -432,6 +463,7 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 	}) {
 		return
 	}
+	s.cachePut(key, gen, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -528,6 +560,7 @@ func (s *Server) Stats() StatsSnapshot {
 		Inserts:          s.m.inserts.Load(),
 		Deletes:          s.m.deletes.Load(),
 		MutationErrors:   s.m.mutErrors.Load(),
+		Cache:            CacheStatsOf(s.cache),
 	}
 	if ms, ok := s.idx.(mutableStatser); ok {
 		st := ms.MutableStats()
@@ -542,6 +575,7 @@ func (s *Server) Stats() StatsSnapshot {
 			WALReplayed:      st.WALReplayed,
 			WALBytes:         st.WALBytes,
 			LastCompactError: st.LastCompactError,
+			Generation:       st.Generation,
 		}
 	}
 	if sec := up.Seconds(); sec > 0 {

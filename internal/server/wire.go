@@ -96,6 +96,10 @@ type MutableStats struct {
 	WALReplayed      int    `json:"wal_replayed"`
 	WALBytes         int64  `json:"wal_bytes"`
 	LastCompactError string `json:"last_compact_error,omitempty"`
+	// Generation is the tier's index generation: it advances on every
+	// mutation that can change a query's folded reply, and is the result
+	// cache's invalidation epoch.
+	Generation uint64 `json:"generation"`
 }
 
 // Health is the body of GET /healthz. Seed is the served index's build
@@ -142,6 +146,9 @@ type StatsSnapshot struct {
 	Deletes        int64         `json:"deletes"`
 	MutationErrors int64         `json:"mutation_errors,omitempty"`
 	Mutable        *MutableStats `json:"mutable,omitempty"`
+	// Cache is the result-cache block (present only when Config.CacheEntries
+	// enabled one).
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // EncodePoint serializes a point into the wire encoding.

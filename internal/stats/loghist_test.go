@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLogHistogramQuantileAccuracy(t *testing.T) {
+	// Log-normal-ish latencies spanning µs..s; histogram quantiles must
+	// agree with exact sorted-sample quantiles to within one bucket's
+	// relative width (2^(1/16) ≈ 4.4%).
+	src := rng.New(3)
+	h := NewLatencyHistogram()
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		x := math.Exp(11 + 2*norm(src)) // centered near e^11 ≈ 60µs in ns
+		h.Record(x)
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := Quantile(xs, q)
+		got := h.Quantile(q)
+		relErr := math.Abs(got-exact) / exact
+		if relErr > 0.05 {
+			t.Errorf("q=%.3f: hist %.0f vs exact %.0f (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Quantile(0)-xs[0]) > 1e-9 || math.Abs(h.Quantile(1)-xs[len(xs)-1]) > 1e-9 {
+		t.Error("q=0/q=1 must be exact min/max")
+	}
+}
+
+// norm produces a standard normal via Box-Muller from the seeded source.
+func norm(src *rng.Source) float64 {
+	u1, u2 := src.Float64(), src.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func TestLogHistogramClamping(t *testing.T) {
+	h := NewLogHistogram(1e3, 1e6, 4)
+	h.Record(10)   // below range
+	h.Record(1e7)  // above range
+	h.Record(5000) // in range
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0); got != 10 {
+		t.Errorf("min = %v, want 10", got)
+	}
+	if got := h.Quantile(1); got != 1e7 {
+		t.Errorf("max = %v, want 1e7", got)
+	}
+	bs := h.NonEmpty()
+	if len(bs) != 3 {
+		t.Fatalf("non-empty buckets = %d, want 3 (under, mid, over)", len(bs))
+	}
+	if !math.IsInf(bs[2].Hi, 1) {
+		t.Error("overflow bucket must have +inf upper bound")
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	whole := NewLatencyHistogram()
+	src := rng.New(8)
+	for i := 0; i < 5000; i++ {
+		x := 1e4 + 1e6*src.Float64()
+		if i%2 == 0 {
+			a.Record(x)
+		} else {
+			b.Record(x)
+		}
+		whole.Record(x)
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %v != whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-6*whole.Mean() {
+		t.Errorf("merged mean %v != %v", a.Mean(), whole.Mean())
+	}
+}
+
+func TestLogHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Mean()) {
+		t.Error("empty histogram must report NaN")
+	}
+	if got := h.FormatNanos(20); got == "" {
+		t.Error("empty histogram must still format")
+	}
+}
+
+func TestFormatNanosRowBudget(t *testing.T) {
+	h := NewLatencyHistogram()
+	src := rng.New(4)
+	for i := 0; i < 10000; i++ {
+		h.Record(math.Exp(9 + 6*src.Float64()))
+	}
+	out := h.FormatNanos(12)
+	rows := 0
+	for _, c := range out {
+		if c == '\n' {
+			rows++
+		}
+	}
+	if rows > 12 {
+		t.Errorf("FormatNanos produced %d rows, budget 12:\n%s", rows, out)
+	}
+}

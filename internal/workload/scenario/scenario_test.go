@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// Same seed must compile to an identical schedule; this is what lets two
+// harness processes replay the same stream against different servers.
+func TestOpsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Seed: 7, Theta: 0.99, QueryKeys: 128, WriteKeys: 256}
+		a := s.Ops(500, cfg)
+		b := s.Ops(500, cfg)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: op %d differs: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestOpsSeedSensitivity(t *testing.T) {
+	s := HotKeyReads
+	cfg1 := Config{Seed: 1, Theta: 0.99, QueryKeys: 128}
+	cfg2 := Config{Seed: 2, Theta: 0.99, QueryKeys: 128}
+	a, b := s.Ops(200, cfg1), s.Ops(200, cfg2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// The mix ratios must be respected to within sampling noise, and key
+// indices must stay in their declared ranges.
+func TestOpsMixAndRanges(t *testing.T) {
+	cfg := Config{Seed: 42, Theta: 0.99, QueryKeys: 64, WriteKeys: 200}
+	const total = 20000
+	for _, name := range Names() {
+		s, _ := Get(name)
+		ops := s.Ops(total, cfg)
+		var reads, ins, dels int
+		for _, op := range ops {
+			switch op.Kind {
+			case OpRead:
+				reads++
+				if op.Key < 0 || op.Key >= cfg.QueryKeys {
+					t.Fatalf("%s: read key %d out of range", name, op.Key)
+				}
+			case OpInsert:
+				ins++
+				if op.Key < 0 || op.Key >= cfg.WriteKeys {
+					t.Fatalf("%s: insert key %d out of range", name, op.Key)
+				}
+			case OpDelete:
+				dels++
+				if op.Key < 0 || op.Key >= cfg.WriteKeys {
+					t.Fatalf("%s: delete key %d out of range", name, op.Key)
+				}
+			}
+		}
+		tol := 0.02
+		if got := float64(ins) / total; math.Abs(got-s.InsertRatio) > tol {
+			t.Errorf("%s: insert ratio %.3f, want %.3f", name, got, s.InsertRatio)
+		}
+		if got := float64(dels) / total; math.Abs(got-s.DeleteRatio) > tol {
+			t.Errorf("%s: delete ratio %.3f, want %.3f", name, got, s.DeleteRatio)
+		}
+		if got := float64(reads) / total; math.Abs(got-s.ReadRatio()) > tol {
+			t.Errorf("%s: read ratio %.3f, want %.3f", name, got, s.ReadRatio())
+		}
+	}
+}
+
+// Zipfian with θ=0.99 must be visibly skewed (top key far above uniform
+// share) and with θ=0 must degenerate to uniform.
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 100, 50000
+	counts := func(theta float64) []int {
+		g := NewGen(DistZipfian, n, theta, 9)
+		c := make([]int, n)
+		for i := 0; i < draws; i++ {
+			c[g.Next()]++
+		}
+		return c
+	}
+	maxOf := func(c []int) int {
+		m := 0
+		for _, v := range c {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	skewed := counts(0.99)
+	// Under zipf(0.99) over 100 keys the top key carries ~19% of mass;
+	// uniform would carry 1%. Require a wide margin past uniform.
+	if top := float64(maxOf(skewed)) / draws; top < 0.10 {
+		t.Errorf("zipf(0.99) top-key share %.3f, want >= 0.10", top)
+	}
+	flat := counts(0)
+	if top := float64(maxOf(flat)) / draws; top > 0.03 {
+		t.Errorf("zipf(0) top-key share %.3f, want <= 0.03 (uniform)", top)
+	}
+}
+
+func TestZipfianScramble(t *testing.T) {
+	g := NewGen(DistZipfian, 1000, 1.2, 11).(*zipfian)
+	// The hottest rank should not sit at key 0 for this seed; the scramble
+	// is what spreads popular keys across the keyspace.
+	if g.perm[0] == 0 && g.perm[1] == 1 && g.perm[2] == 2 {
+		t.Error("zipfian ranks appear unscrambled")
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	const n, draws = 640, 20000
+	g := NewGen(DistHotspot, n, 0.99, 5).(*hotspot)
+	hot := make(map[int]bool, g.hotN)
+	for _, k := range g.perm[:g.hotN] {
+		hot[k] = true
+	}
+	inHot := 0
+	for i := 0; i < draws; i++ {
+		if hot[g.Next()] {
+			inHot++
+		}
+	}
+	share := float64(inHot) / draws
+	if math.Abs(share-g.hotProb) > 0.03 {
+		t.Errorf("hot-set share %.3f, want ~%.3f", share, g.hotProb)
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	g := NewGen(DistSequential, 3, 0, 1)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("draw %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+	if len(Names()) < 5 {
+		t.Fatalf("expected >= 5 registered scenarios, got %v", Names())
+	}
+}
