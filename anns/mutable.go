@@ -55,6 +55,7 @@ type MutableIndex struct {
 	nextID  uint64
 	segSeq  uint64 // next sealed-segment sequence number (seed derivation)
 	epoch   uint64 // next compaction epoch (seed derivation)
+	replSeq uint64 // mutations applied since base (replication offset, §11)
 	closed  bool
 
 	// gen is the index generation: it advances on every state change that
@@ -159,6 +160,9 @@ type MutableStats struct {
 	// current log size (0 without a WAL).
 	WALReplayed int
 	WALBytes    int64
+	// ReplicationOffset is the count of mutations applied since the base
+	// was built — the sequence number of the last applied frame (§11).
+	ReplicationOffset uint64
 	// LastCompactError is the most recent failed compaction's error
 	// (empty when none failed).
 	LastCompactError string
@@ -336,6 +340,7 @@ func (mx *MutableIndex) Insert(p Point) (uint64, error) {
 
 func (mx *MutableIndex) applyInsertLocked(id uint64, p Point) (*mutSegment, bool) {
 	mx.gen.Add(1)
+	mx.replSeq++
 	mx.nextID = id + 1
 	mx.mem.Append(id, p)
 	mx.present.Add(id)
@@ -379,6 +384,7 @@ func (mx *MutableIndex) Delete(id uint64) (bool, error) {
 
 func (mx *MutableIndex) applyDeleteLocked(id uint64) {
 	mx.gen.Add(1)
+	mx.replSeq++
 	mx.present.Remove(id)
 	mx.tomb.Add(id)
 	mx.deletes++
@@ -596,18 +602,19 @@ func (mx *MutableIndex) MutableStats() MutableStats {
 	mx.mu.RLock()
 	defer mx.mu.RUnlock()
 	st := MutableStats{
-		LiveN:            mx.present.Len(),
-		Memtable:         mx.mem.Len(),
-		Sealed:           len(mx.segs),
-		SegmentsBuilt:    atomic.LoadInt64(&mx.built),
-		Compactions:      mx.compactions,
-		Tombstones:       mx.tomb.Len(),
-		NextID:           mx.nextID,
-		Inserts:          mx.inserts,
-		Deletes:          mx.deletes,
-		WALReplayed:      mx.walReplayed,
-		LastCompactError: mx.lastCompactErr,
-		Generation:       mx.gen.Load(),
+		LiveN:             mx.present.Len(),
+		Memtable:          mx.mem.Len(),
+		Sealed:            len(mx.segs),
+		SegmentsBuilt:     atomic.LoadInt64(&mx.built),
+		Compactions:       mx.compactions,
+		Tombstones:        mx.tomb.Len(),
+		NextID:            mx.nextID,
+		Inserts:           mx.inserts,
+		Deletes:           mx.deletes,
+		WALReplayed:       mx.walReplayed,
+		LastCompactError:  mx.lastCompactErr,
+		Generation:        mx.gen.Load(),
+		ReplicationOffset: mx.replSeq,
 	}
 	if mx.wal != nil {
 		st.WALBytes = mx.wal.Size()

@@ -1,0 +1,309 @@
+package anns_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/segment"
+)
+
+// replStream is a deterministic mutation stream: k inserts interleaved
+// with deletes of earlier IDs, as segment.Ops carrying the IDs a primary
+// starting at nextID=base would assign.
+func replStream(d, base, k int) []segment.Op {
+	r := rng.New(0xBEEF)
+	ops := make([]segment.Op, 0, k)
+	next := uint64(base)
+	for len(ops) < k {
+		if next > uint64(base)+2 && r.Intn(4) == 0 {
+			ops = append(ops, segment.Op{Kind: segment.OpDelete, ID: uint64(base) + uint64(r.Intn(int(next)-base))})
+			continue
+		}
+		ops = append(ops, segment.Op{Kind: segment.OpInsert, ID: next, Point: hamming.Random(r, d)})
+		next++
+	}
+	return ops
+}
+
+// applyDirect drives the stream through the primary's client surface
+// (Insert/Delete), returning the ops that actually changed state (a
+// delete of an already-dead ID is not logged and gains no offset) — the
+// exact frame sequence a router would relay.
+func applyDirect(t *testing.T, mx *anns.MutableIndex, ops []segment.Op) []segment.Op {
+	t.Helper()
+	var applied []segment.Op
+	for _, op := range ops {
+		switch op.Kind {
+		case segment.OpInsert:
+			id, err := mx.Insert(op.Point)
+			if err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			if id != op.ID {
+				t.Fatalf("insert assigned id %d, stream expected %d", id, op.ID)
+			}
+			applied = append(applied, op)
+		case segment.OpDelete:
+			live, err := mx.Delete(op.ID)
+			if err != nil {
+				t.Fatalf("delete %d: %v", op.ID, err)
+			}
+			if live {
+				applied = append(applied, op)
+			}
+		}
+	}
+	return applied
+}
+
+// TestApplyReplicatedMatchesPrimary is the replication core claim: a
+// replica fed the primary's frames in order reaches byte-identical
+// state — same offsets, same live count, same query results and
+// accounting — because frame application IS the mutation path.
+// Duplicate delivery is a no-op and a sequence gap is a typed error
+// that applies nothing.
+func TestApplyReplicatedMatchesPrimary(t *testing.T) {
+	const d, n = 128, 40
+	pts := testPoints(t, d, n)
+	opts := anns.Options{Dimension: d, Rounds: 2, Seed: 7}
+	build := func() *anns.Index {
+		cp := make([]anns.Point, len(pts))
+		copy(cp, pts)
+		ix, err := anns.Build(cp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	cfg := anns.MutableConfig{MemtableCap: 8, CompactEvery: 3}
+	primary := newMutable(t, build(), cfg)
+	replica := newMutable(t, build(), cfg)
+
+	applied := applyDirect(t, primary, replStream(d, n, 30))
+	if got := primary.ReplicationOffset(); got != uint64(len(applied)) {
+		t.Fatalf("primary offset %d, want %d applied mutations", got, len(applied))
+	}
+
+	// A frame from the future: gap error, nothing applied.
+	if err := replica.ApplyReplicated(2, applied[1]); !errors.Is(err, anns.ErrReplicationGap) {
+		t.Fatalf("gap frame: got %v, want ErrReplicationGap", err)
+	}
+	if replica.ReplicationOffset() != 0 {
+		t.Fatal("gap frame must not change the offset")
+	}
+
+	for i, op := range applied {
+		seq := uint64(i + 1)
+		if err := replica.ApplyReplicated(seq, op); err != nil {
+			t.Fatalf("frame %d: %v", seq, err)
+		}
+		// Duplicate delivery (a relay retry) is idempotent.
+		if err := replica.ApplyReplicated(seq, op); err != nil {
+			t.Fatalf("duplicate frame %d: %v", seq, err)
+		}
+	}
+	if p, r := primary.ReplicationOffset(), replica.ReplicationOffset(); p != r {
+		t.Fatalf("offsets diverged: primary %d, replica %d", p, r)
+	}
+	if p, r := primary.Len(), replica.Len(); p != r {
+		t.Fatalf("live counts diverged: primary %d, replica %d", p, r)
+	}
+
+	qr := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		x := hamming.Random(qr, d)
+		pr, perr := primary.Query(x)
+		rr, rerr := replica.Query(x)
+		if (perr == nil) != (rerr == nil) || pr != rr {
+			t.Fatalf("query %d diverged: primary %+v (%v), replica %+v (%v)", trial, pr, perr, rr, rerr)
+		}
+	}
+
+	// Divergence detection: an insert that does not continue the replica's
+	// ID sequence is an error, never a silent repair.
+	bad := segment.Op{Kind: segment.OpInsert, ID: 9999, Point: hamming.Random(qr, d)}
+	if err := replica.ApplyReplicated(replica.ReplicationOffset()+1, bad); err == nil {
+		t.Fatal("diverged insert ID must be rejected")
+	}
+}
+
+// TestWALFramesMidStreamJoin covers the catch-up path: a replica joining
+// at offset k is fed the primary's WAL frames from k and converges, and
+// a torn tail on the replica's own WAL (its crash artifact) replays to
+// the pre-tear offset and catches up cleanly from there.
+func TestWALFramesMidStreamJoin(t *testing.T) {
+	const d, n = 128, 40
+	dir := t.TempDir()
+	pts := testPoints(t, d, n)
+	opts := anns.Options{Dimension: d, Rounds: 2, Seed: 7}
+	build := func() *anns.Index {
+		cp := make([]anns.Point, len(pts))
+		copy(cp, pts)
+		ix, err := anns.Build(cp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	pcfg := anns.MutableConfig{MemtableCap: 8, WALPath: filepath.Join(dir, "primary.wal")}
+	primary := newMutable(t, build(), pcfg)
+	applied := applyDirect(t, primary, replStream(d, n, 24))
+	total := uint64(len(applied))
+
+	// Join mid-stream: the replica applies the first half from a relay,
+	// then fetches the rest from the primary's WAL at its own offset.
+	rwal := filepath.Join(dir, "replica.wal")
+	rcfg := anns.MutableConfig{MemtableCap: 8, WALPath: rwal}
+	replica := newMutable(t, build(), rcfg)
+	half := total / 2
+	for i := uint64(0); i < half; i++ {
+		if err := replica.ApplyReplicated(i+1, applied[i]); err != nil {
+			t.Fatalf("frame %d: %v", i+1, err)
+		}
+	}
+
+	catchUp := func(rep *anns.MutableIndex) {
+		t.Helper()
+		from := rep.ReplicationOffset()
+		blob, cnt, err := primary.WALFrames(from, 0)
+		if err != nil {
+			t.Fatalf("WALFrames(%d): %v", from, err)
+		}
+		if uint64(cnt) != total-from {
+			t.Fatalf("WALFrames(%d) returned %d frames, want %d", from, cnt, total-from)
+		}
+		ops, err := segment.DecodeFrames(blob, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range ops {
+			if err := rep.ApplyReplicated(from+uint64(i)+1, op); err != nil {
+				t.Fatalf("catch-up frame %d: %v", from+uint64(i)+1, err)
+			}
+		}
+	}
+	catchUp(replica)
+	if replica.ReplicationOffset() != total {
+		t.Fatalf("replica offset %d after catch-up, want %d", replica.ReplicationOffset(), total)
+	}
+
+	// Crash the replica with an in-flight append artifact on its WAL:
+	// reboot replays everything intact, truncates the tear, and reports
+	// the offset the catch-up should resume from.
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := segment.AppendTornFrame(rwal); err != nil {
+		t.Fatal(err)
+	}
+	rebooted := newMutable(t, build(), rcfg)
+	if got := rebooted.ReplicationOffset(); got != total {
+		t.Fatalf("rebooted replica offset %d, want %d", got, total)
+	}
+
+	// Late joiner from zero: pure WAL-feed convergence.
+	late := newMutable(t, build(), anns.MutableConfig{MemtableCap: 8})
+	catchUp(late)
+
+	qr := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		x := hamming.Random(qr, d)
+		want, werr := primary.Query(x)
+		for name, rep := range map[string]*anns.MutableIndex{"rebooted": rebooted, "late": late} {
+			got, gerr := rep.Query(x)
+			if (werr == nil) != (gerr == nil) || want != got {
+				t.Fatalf("%s query %d diverged: %+v (%v) vs %+v (%v)", name, trial, want, werr, got, gerr)
+			}
+		}
+	}
+}
+
+// TestMutableShardedMatchesReplicaSet pins the oracle the routed cluster
+// is compared against: MutableSharded's global ID assignment follows the
+// round-robin formula, and its folded answers are byte-identical to an
+// independently assembled replica set (one MutableIndex per shard fed
+// frames in routed order) merged with the same RoundRobinGlobal fold.
+func TestMutableShardedMatchesReplicaSet(t *testing.T) {
+	const d, n, S = 128, 40, 2
+	pts := testPoints(t, d, n)
+	opts := anns.Options{Dimension: d, Rounds: 2, Seed: 11}
+	cfg := anns.MutableConfig{MemtableCap: 8, CompactEvery: 3, Synchronous: true}
+
+	cp := make([]anns.Point, len(pts))
+	copy(cp, pts)
+	ms, err := anns.BuildMutableSharded(cp, S, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	// The replica set: the same shard bases (BuildSharded is
+	// deterministic), each wrapped in its own mutable tier.
+	cp2 := make([]anns.Point, len(pts))
+	copy(cp2, pts)
+	sx, err := anns.BuildSharded(cp2, S, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := make([]*anns.MutableIndex, S)
+	seqs := make([]uint64, S)
+	for s := 0; s < S; s++ {
+		replicas[s] = newMutable(t, sx.Shard(s), anns.MutableConfig{MemtableCap: 8, CompactEvery: 3})
+	}
+
+	r := rng.New(0xD1CE)
+	nextGlobal := uint64(n)
+	for i := 0; i < 30; i++ {
+		if nextGlobal > uint64(n)+2 && r.Intn(4) == 0 {
+			g := uint64(r.Intn(int(nextGlobal)))
+			wantLive, err := ms.Delete(g)
+			if err != nil {
+				t.Fatalf("sharded delete %d: %v", g, err)
+			}
+			if wantLive {
+				seqs[g%S]++
+				if err := replicas[g%S].ApplyReplicated(seqs[g%S], segment.Op{Kind: segment.OpDelete, ID: g / S}); err != nil {
+					t.Fatalf("replica delete frame: %v", err)
+				}
+			}
+			continue
+		}
+		p := hamming.Random(r, d)
+		g, err := ms.Insert(p)
+		if err != nil {
+			t.Fatalf("sharded insert: %v", err)
+		}
+		if g != nextGlobal {
+			t.Fatalf("sharded insert assigned global %d, want %d", g, nextGlobal)
+		}
+		s := g % S
+		seqs[s]++
+		if err := replicas[s].ApplyReplicated(seqs[s], segment.Op{Kind: segment.OpInsert, ID: g / S, Point: p}); err != nil {
+			t.Fatalf("replica insert frame: %v", err)
+		}
+		nextGlobal++
+	}
+
+	global := anns.RoundRobinGlobal(S)
+	qr := rng.New(17)
+	for trial := 0; trial < 30; trial++ {
+		x := hamming.Random(qr, d)
+		want, werr := ms.Query(x)
+		replies := make([]anns.ShardReply, S)
+		for s := 0; s < S; s++ {
+			res, err := replicas[s].Query(x)
+			replies[s] = anns.ShardReply{Result: res, OK: err == nil}
+		}
+		got := anns.MergeShardReplies(replies, func(s, local int) int { return global(s, local) })
+		if werr != nil {
+			continue
+		}
+		if want != got {
+			t.Fatalf("query %d: MutableSharded %+v, replica-set fold %+v", trial, want, got)
+		}
+	}
+}

@@ -13,6 +13,8 @@
 //	annsd -addr :7080 -mutable -wal wal.log -kind planted -d 512 -n 4096
 //	annsd -addr :7080 -mutable -snapshot state.snap -wal wal.log
 //	annsd -addr :7080 -mutable -cache 4096 -kind planted -d 512 -n 4096
+//	annsd -addr :7080 -mutable -shards 2 -kind planted -d 512 -n 4096
+//	annsd -addr :7080 -mutable -base-snapshot shard-0.snap -wal wal.log
 //
 // -cache N puts an N-entry query-result cache (internal/qcache) in front
 // of the worker pool: repeated queries under skewed traffic answer from
@@ -25,6 +27,18 @@
 // which then also receives compaction snapshots) accepts online
 // /v1/insert and /v1/delete; -wal makes mutations durable across
 // restarts (replayed on boot, truncated when a compaction persists).
+//
+// Two mutable variants serve the replicated write tier (DESIGN.md §11):
+// -mutable with an explicit -shards S serves one MutableSharded process
+// — the single-process reference a routed replicated cluster must match
+// byte for byte (`annsload -compare`); -mutable -base-snapshot boots a
+// *replica*: the base index loads from an `annsctl shard-split` shard
+// file that is never rewritten, mutations arrive via /v1/insert,
+// /v1/delete, and /v1/replicate, and only the -wal accumulates state —
+// so the replication offset (mutations since base) survives restarts by
+// WAL replay. -snapshot's compaction persistence is deliberately
+// unavailable in this mode: persisting would truncate the WAL and
+// desynchronize offsets across the replica set.
 //
 // Endpoints: POST /v1/query, /v1/batch, /v1/near, /v1/insert,
 // /v1/delete; GET /healthz, /statsz (which reports the index source —
@@ -70,6 +84,7 @@ func main() {
 	savePath := flag.String("save-snapshot", "", "after building, save the index snapshot here")
 
 	mutable := flag.Bool("mutable", false, "serve the mutable tier: online /v1/insert and /v1/delete over the base index")
+	baseSnap := flag.String("base-snapshot", "", "mutable replica boot: immutable base index (an `annsctl shard-split` shard file) that is never rewritten; pair with -wal so the replication offset survives restarts")
 	walPath := flag.String("wal", "", "mutable tier write-ahead log (durable mutations, replayed on boot)")
 	walSync := flag.Int("wal-sync", 1, "fsync the WAL every n records (0 = never, let the OS decide)")
 	memtableCap := flag.Int("memtable", 1024, "mutable memtable seal threshold")
@@ -95,7 +110,7 @@ func main() {
 
 	var idx server.Searcher
 	var dim int
-	var mx *anns.MutableIndex
+	var mclose interface{ Close() error } // the mutable tier, whichever shape
 	info := server.IndexInfo{Source: "built"}
 
 	queryOpts := func(d int) anns.Options {
@@ -132,6 +147,13 @@ func main() {
 		return inst
 	}
 
+	shardsSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "shards" {
+			shardsSet = true
+		}
+	})
+
 	if *mutable {
 		if *savePath != "" {
 			log.Fatalf("annsd: -mutable persists through -snapshot; -save-snapshot is not supported")
@@ -150,61 +172,68 @@ func main() {
 			WALSyncEvery: walSyncEvery,
 			SnapshotPath: *snapPath,
 		}
-		start := time.Now()
-		snapExists := false
-		if *snapPath != "" {
-			switch _, err := os.Stat(*snapPath); {
-			case err == nil:
-				snapExists = true
-			case errors.Is(err, fs.ErrNotExist):
-				// Fresh start: build from the workload flags; compactions
-				// will create the snapshot here.
-			default:
-				// Any other failure must not silently shadow (and later
-				// overwrite) an existing snapshot with a fresh build.
-				log.Fatalf("annsd: stat %s: %v", *snapPath, err)
+		switch {
+		case shardsSet && *shards > 1:
+			// Single-process sharded mutable reference (DESIGN.md §11): the
+			// oracle a routed replicated cluster must match byte for byte.
+			if *snapPath != "" || *baseSnap != "" {
+				log.Fatalf("annsd: -mutable -shards builds from the workload flags; snapshots are not supported")
 			}
-		}
-		if snapExists {
-			f, err := os.Open(*snapPath)
-			if err != nil {
-				log.Fatalf("annsd: %v", err)
-			}
-			mx, err = anns.LoadMutable(f, mcfg)
-			f.Close()
-			if err != nil {
-				log.Fatalf("annsd: loading mutable snapshot %s: %v", *snapPath, err)
-			}
-			info = server.IndexInfo{
-				Source:          "snapshot",
-				SnapshotVersion: snapshotFileVersion(*snapPath),
-				LoadDuration:    time.Since(start),
-				Path:            *snapPath,
-			}
-		} else {
-			// The mutable tier layers over one single-shard base; the
-			// -shards flag applies only to the static serving modes.
+			mcfg.SnapshotPath = ""
+			start := time.Now()
 			inst := loadInstance()
 			points := make([]anns.Point, len(inst.DB))
 			copy(points, inst.DB)
-			opts := queryOpts(inst.D)
-			base, err := anns.Build(points, opts)
-			if err != nil {
-				log.Fatalf("annsd: %v", err)
-			}
-			mcfg.Options = opts
-			mx, err = anns.NewMutable(base, mcfg)
+			msx, err := anns.BuildMutableSharded(points, *shards, queryOpts(inst.D), mcfg)
 			if err != nil {
 				log.Fatalf("annsd: %v", err)
 			}
 			info.LoadDuration = time.Since(start)
+			st := msx.MutableStats()
+			dim, idx, mclose = inst.D, msx, msx
+			log.Printf("mutable sharded tier: %d shards over n=%d in %v; wal=%q (per-shard suffixes)",
+				msx.Shards(), st.LiveN, info.LoadDuration.Round(time.Millisecond), *walPath)
+		case *baseSnap != "":
+			// Replica boot: immutable base + WAL only. No SnapshotPath — a
+			// compaction persist would truncate the WAL and desync this
+			// replica's offset from its peers.
+			if *snapPath != "" {
+				log.Fatalf("annsd: -base-snapshot and -snapshot are mutually exclusive (a replica never rewrites its base; see DESIGN.md §11)")
+			}
+			mcfg.SnapshotPath = ""
+			start := time.Now()
+			f, err := os.Open(*baseSnap)
+			if err != nil {
+				log.Fatalf("annsd: %v", err)
+			}
+			base, err := anns.LoadIndex(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("annsd: loading base snapshot %s: %v", *baseSnap, err)
+			}
+			mx, err := anns.NewMutable(base, mcfg)
+			if err != nil {
+				log.Fatalf("annsd: %v", err)
+			}
+			info = server.IndexInfo{
+				Source:          "snapshot",
+				SnapshotVersion: snapshotFileVersion(*baseSnap),
+				LoadDuration:    time.Since(start),
+				Path:            *baseSnap,
+			}
+			st := mx.MutableStats()
+			dim, idx, mclose = mx.Options().Dimension, mx, mx
+			log.Printf("mutable replica: base %s (n=%d) + wal=%q replayed=%d, offset=%d in %v",
+				*baseSnap, st.LiveN, *walPath, st.WALReplayed, st.ReplicationOffset,
+				info.LoadDuration.Round(time.Millisecond))
+		default:
+			mx := bootMutableSingle(&mcfg, *snapPath, loadInstance, queryOpts, &info)
+			st := mx.MutableStats()
+			dim, idx, mclose = mx.Options().Dimension, mx, mx
+			log.Printf("mutable tier: n=%d (memtable %d, %d sealed, %d tombstones) in %v; wal=%q replayed=%d",
+				st.LiveN, st.Memtable, st.Sealed, st.Tombstones,
+				info.LoadDuration.Round(time.Millisecond), *walPath, st.WALReplayed)
 		}
-		st := mx.MutableStats()
-		dim = mx.Options().Dimension
-		idx = mx
-		log.Printf("mutable tier: n=%d (memtable %d, %d sealed, %d tombstones) in %v; wal=%q replayed=%d",
-			st.LiveN, st.Memtable, st.Sealed, st.Tombstones,
-			info.LoadDuration.Round(time.Millisecond), *walPath, st.WALReplayed)
 	} else if *snapPath != "" {
 		if *savePath != "" {
 			log.Fatalf("annsd: -snapshot and -save-snapshot are mutually exclusive")
@@ -327,10 +356,10 @@ func main() {
 		if err := srv.Shutdown(shctx); err != nil {
 			log.Printf("annsd: shutdown: %v", err)
 		}
-		if mx != nil {
+		if mclose != nil {
 			// Flush and close the WAL after the last mutation has been
 			// answered; the log alone can rebuild this state.
-			if err := mx.Close(); err != nil {
+			if err := mclose.Close(); err != nil {
 				log.Printf("annsd: closing mutable tier: %v", err)
 			}
 		}
@@ -338,6 +367,63 @@ func main() {
 		fmt.Printf("served %d queries (%d near, %d batches), %d errors, %d probes total\n",
 			snap.Queries, snap.Near, snap.Batches, snap.Errors, snap.Probes)
 	}
+}
+
+// bootMutableSingle brings up the classic single-shard mutable tier:
+// resume from a mutable snapshot when one exists at snapPath (which then
+// also receives compaction persists), otherwise build the base from the
+// workload flags.
+func bootMutableSingle(mcfg *anns.MutableConfig, snapPath string, loadInstance func() *workload.Instance, queryOpts func(int) anns.Options, info *server.IndexInfo) *anns.MutableIndex {
+	start := time.Now()
+	snapExists := false
+	if snapPath != "" {
+		switch _, err := os.Stat(snapPath); {
+		case err == nil:
+			snapExists = true
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start: build from the workload flags; compactions
+			// will create the snapshot here.
+		default:
+			// Any other failure must not silently shadow (and later
+			// overwrite) an existing snapshot with a fresh build.
+			log.Fatalf("annsd: stat %s: %v", snapPath, err)
+		}
+	}
+	if snapExists {
+		f, err := os.Open(snapPath)
+		if err != nil {
+			log.Fatalf("annsd: %v", err)
+		}
+		mx, err := anns.LoadMutable(f, *mcfg)
+		f.Close()
+		if err != nil {
+			log.Fatalf("annsd: loading mutable snapshot %s: %v", snapPath, err)
+		}
+		*info = server.IndexInfo{
+			Source:          "snapshot",
+			SnapshotVersion: snapshotFileVersion(snapPath),
+			LoadDuration:    time.Since(start),
+			Path:            snapPath,
+		}
+		return mx
+	}
+	// The mutable tier layers over one single-shard base; the -shards
+	// flag selects the sharded mutable reference instead.
+	inst := loadInstance()
+	points := make([]anns.Point, len(inst.DB))
+	copy(points, inst.DB)
+	opts := queryOpts(inst.D)
+	base, err := anns.Build(points, opts)
+	if err != nil {
+		log.Fatalf("annsd: %v", err)
+	}
+	mcfg.Options = opts
+	mx, err := anns.NewMutable(base, *mcfg)
+	if err != nil {
+		log.Fatalf("annsd: %v", err)
+	}
+	info.LoadDuration = time.Since(start)
+	return mx
 }
 
 // snapshotFileVersion reports the format version a snapshot file

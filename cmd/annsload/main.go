@@ -44,7 +44,12 @@
 // must be byte-identical — queries field for field (index, distance,
 // rounds, probes, max_parallel), inserts by assigned ID, deletes by
 // outcome. For mutation streams both servers should run -mutable-sync
-// so the segment state evolves deterministically with the stream.
+// so the segment state evolves deterministically with the stream. The
+// first diverging operation is printed with both sides' replication
+// state from /statsz (per-replica applied offsets on a router, the
+// single applied offset on a mutable shard server), which separates a
+// lagging replica (offsets differ) from a real engine divergence
+// (offsets converged but answers don't).
 package main
 
 import (
@@ -56,6 +61,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -653,6 +659,16 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 		}
 		log.Printf("%s: %s op %d\n  request: %s\n  %s → %+v\n  %s → %+v",
 			label, what, i, bytes.TrimSpace(body), addrA, a, addrB, b)
+		if mismatches == 1 {
+			// Both sides' replication state narrows the repro: offsets
+			// that differ point at a lagging replica, offsets that agree
+			// while answers don't point at the engines.
+			for _, addr := range []string{addrA, addrB} {
+				if ro := replicationOffsets(client, addr); ro != "" {
+					log.Printf("  %s replication: %s", addr, ro)
+				}
+			}
+		}
 		if mismatches >= 10 {
 			log.Fatalf("annsload: compare: giving up after %d mismatches", mismatches)
 		}
@@ -692,7 +708,10 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 			if err := post(addrB, "/v1/delete", body, &b); err != nil {
 				log.Fatalf("annsload: compare: %s delete %d: %v", addrB, i, err)
 			}
-			if a != b {
+			// Compare the answer (deleted or not), never the offset: that
+			// is a server-local WAL position, legitimately different
+			// between a replicated cluster and a WAL-less reference.
+			if a.Deleted != b.Deleted {
 				mismatch(i, "delete", body, a, b)
 			}
 			deletes++
@@ -728,6 +747,52 @@ func runCompare(client *http.Client, addrA, addrB string, encoded [][]byte, tota
 	printServerStats(client, addrA)
 }
 
+// replicationOffsets summarizes one side's /statsz replication state for
+// the divergence repro: the placement epoch and per-replica applied
+// offsets (primary starred) on a router, the single applied offset on a
+// mutable shard server. Empty when the target has no replication state
+// (immutable snapshots).
+func replicationOffsets(client *http.Client, addr string) string {
+	resp, err := client.Get(addr + "/statsz")
+	if err != nil {
+		return fmt.Sprintf("statsz unreachable: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Sprintf("statsz read: %v", err)
+	}
+	if bytes.Contains(raw, []byte(`"shard_stats"`)) {
+		var rs router.Stats
+		if err := json.Unmarshal(raw, &rs); err != nil {
+			return fmt.Sprintf("bad router statsz: %v", err)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "epoch=%d writes=%d replicated_frames=%d replication_errors=%d promotions=%d",
+			rs.Epoch, rs.Writes, rs.ReplicatedFrames, rs.ReplicationErrs, rs.Promotions)
+		for _, sh := range rs.ShardStats {
+			fmt.Fprintf(&b, "; shard %d:", sh.Shard)
+			for _, rep := range sh.ReplicaStats {
+				star := ""
+				if rep.Primary {
+					star = "*"
+				}
+				fmt.Fprintf(&b, " %s%s@%d", rep.URL, star, rep.ReplicationOffset)
+			}
+		}
+		return b.String()
+	}
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Sprintf("bad statsz: %v", err)
+	}
+	if snap.Mutable == nil {
+		return ""
+	}
+	return fmt.Sprintf("replication_offset=%d generation=%d",
+		snap.Mutable.ReplicationOffset, snap.Mutable.Generation)
+}
+
 // printServerStats fetches /statsz so the report ends with the server's
 // own view in the shared stats schema. A router target is detected by
 // its shard_stats rollup and gets the distribution-layer report too.
@@ -756,6 +821,10 @@ func printServerStats(client *http.Client, addr string) {
 			rs.Probes, rs.Rounds, rs.MaxRounds, rs.MaxParallel)
 		fmt.Printf("hedges=%d wins=%d rate=%.4f failovers=%d\n",
 			rs.Hedges, rs.HedgeWins, rs.HedgeRate, rs.Failovers)
+		if rs.Writes+rs.WriteErrors+rs.Promotions > 0 {
+			fmt.Printf("writes=%d write_errors=%d replicated_frames=%d replication_errors=%d promotions=%d epoch=%d durability=%s\n",
+				rs.Writes, rs.WriteErrors, rs.ReplicatedFrames, rs.ReplicationErrs, rs.Promotions, rs.Epoch, rs.Durability)
+		}
 		printCacheStats(rs.Cache)
 		for _, sh := range rs.ShardStats {
 			fmt.Printf("shard %d: %d/%d replicas healthy, %d reqs (%d errors, %d hedges, %d failovers), p50=%.2fms p95=%.2fms p99=%.2fms\n",
@@ -763,6 +832,11 @@ func printServerStats(client *http.Client, addr string) {
 				sh.P50MS, sh.P95MS, sh.P99MS)
 			for _, rep := range sh.ReplicaStats {
 				fmt.Printf("  %s: %s (fails=%d evictions=%d backoff=%dms)", rep.URL, rep.State, rep.Fails, rep.Evictions, rep.BackoffMS)
+				if rep.Primary {
+					fmt.Printf("  primary offset=%d", rep.ReplicationOffset)
+				} else if rep.ReplicationOffset > 0 {
+					fmt.Printf("  offset=%d", rep.ReplicationOffset)
+				}
 				if rep.LastError != "" {
 					fmt.Printf("  %s", rep.LastError)
 				}
@@ -787,8 +861,9 @@ func printServerStats(client *http.Client, addr string) {
 		fmt.Printf("index: %s in %dms\n", snap.IndexSource, snap.IndexLoadMS)
 	}
 	if snap.Mutable != nil {
-		fmt.Printf("mutable: live_n=%d memtable=%d segments=%d generation=%d\n",
-			snap.Mutable.LiveN, snap.Mutable.Memtable, snap.Mutable.SealedSegments, snap.Mutable.Generation)
+		fmt.Printf("mutable: live_n=%d memtable=%d segments=%d generation=%d replication_offset=%d\n",
+			snap.Mutable.LiveN, snap.Mutable.Memtable, snap.Mutable.SealedSegments, snap.Mutable.Generation,
+			snap.Mutable.ReplicationOffset)
 	}
 	printCacheStats(snap.Cache)
 }

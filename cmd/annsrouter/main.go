@@ -22,6 +22,18 @@
 // readmission); slow shards hedge to a second replica after the shard's
 // recent latency quantile; admitted requests are bounded. GET /statsz
 // reports per-shard p50/p95/p99, hedge rate, and replica state.
+//
+// When the replicas are mutable (`annsd -mutable -base-snapshot … -wal
+// …`), the router also serves POST /v1/insert and /v1/delete: each
+// mutation routes to the shard's designated primary (recorded in the
+// manifest, bumped on failover) and its WAL frame streams through the
+// router to the shard's other replicas (DESIGN.md §11). -durability
+// picks the ack rule: "primary" acks on the primary's WAL append,
+// "quorum" waits for ⌊R/2⌋+1 replicas to hold the frame. On a primary
+// death the router promotes the max-offset survivor, bumps the
+// manifest's placement epoch, and rewrites the manifest in place so a
+// router restart resumes from the promoted topology (OPERATIONS.md
+// covers the runbook).
 package main
 
 import (
@@ -80,6 +92,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", time.Second, "per-replica attempt deadline (keep below -timeout so hung replicas fail over and accrue eviction pressure)")
 	hedgeQ := flag.Float64("hedge-quantile", 0.95, "shard latency quantile that arms the hedge")
 	hedgeCold := flag.Duration("hedge-cold", 50*time.Millisecond, "hedge delay while the latency window is cold")
+	durability := flag.String("durability", router.DurabilityPrimary, "write ack rule for replicated mutations: primary | quorum")
 	probeEvery := flag.Duration("probe-interval", 500*time.Millisecond, "replica health-poll period")
 	evictAfter := flag.Int("evict-after", 2, "consecutive failures that evict a replica")
 	backoffBase := flag.Duration("backoff-base", 500*time.Millisecond, "initial eviction backoff")
@@ -135,13 +148,17 @@ func main() {
 		EvictAfter:     *evictAfter,
 		BackoffBase:    *backoffBase,
 		BackoffMax:     *backoffMax,
+		Durability:     *durability,
+		Manifest:       m,
+		ManifestPath:   *manifest,
 	})
 	if err != nil {
 		log.Fatalf("annsrouter: %v", err)
 	}
 	for s, urls := range replicas {
-		log.Printf("shard %d: %d replicas: %s", s, len(urls), strings.Join(urls, " "))
+		log.Printf("shard %d: %d replicas: %s (primary position %d)", s, len(urls), strings.Join(urls, " "), m.Files[s].Primary)
 	}
+	log.Printf("writes: durability=%s, placement epoch %d", *durability, m.Epoch)
 	if *cacheEntries > 0 {
 		log.Printf("result cache: %d entries (immutable snapshots: no invalidation needed)", *cacheEntries)
 	} else {

@@ -125,6 +125,29 @@
 // -write-ratio, and fold a WAL back into one snapshot offline with
 // annsctl compact.
 //
+// # Distributed tier
+//
+// internal/router + cmd/annsrouter scale the same contract across
+// machines (DESIGN.md §6): annsctl shard-split writes per-shard
+// snapshots plus a placement manifest, each replica of a shard position
+// boots one snapshot, and the router scatter-gathers with
+// health-probe-driven replica membership, latency-quantile hedging, and
+// bounded failover — answers stay byte-identical to a single process
+// over the same corpus, accounting included. With mutable replicas
+// (annsd -mutable -base-snapshot shard-s.snap -wal …) the router also
+// serves writes (DESIGN.md §11): each mutation routes to the shard's
+// designated primary (manifest format v2 records the designation and a
+// placement epoch), the primary's WAL frame streams through the router
+// to the other replicas via /v1/replicate with /v1/frames catch-up,
+// -durability picks primary-fsync vs quorum acks, and a dead primary is
+// replaced by the max-offset survivor with an epoch bump and an
+// in-place manifest rewrite. internal/chaos + cmd/annschaos hold the
+// whole tier to byte-identical answers under a seeded fault catalog —
+// gray failures, partitions, corruption, WAL tears, primary kills —
+// replayable from one root seed (DESIGN.md §8). OPERATIONS.md is the
+// operator runbook: deploying a shard set, reading /statsz, failover
+// and offset convergence, the WAL/snapshot/compaction lifecycle.
+//
 // # Result cache
 //
 // annsd -cache N (and annsrouter -cache N) put a sharded, bounded LRU
@@ -141,6 +164,8 @@
 // zipfian skew into BENCH_cache.json, gated by benchdiff. DESIGN.md
 // §10 has the key derivation and the epoch-invalidation argument.
 //
-// See internal/server/README.md for the wire format and a copy-paste
-// serving session.
+// See README.md for the quickstart and binary inventory,
+// internal/server/README.md for the wire format and a copy-paste
+// serving session, internal/router/README.md for the distributed
+// tier's failure model, and OPERATIONS.md for the operator runbook.
 package repro

@@ -137,6 +137,63 @@ func TestExperimentWithCache(t *testing.T) {
 	}
 }
 
+// TestExperimentPrimaryKill runs the replicated-write adversary: a
+// routed 2x2 mutable cluster takes acked writes, loses the target
+// shard's primary mid-stream, and must promote a survivor with zero
+// acked-write loss and byte-identical post-kill answers.
+func TestExperimentPrimaryKill(t *testing.T) {
+	cfg := ExperimentConfig{
+		RootSeed:   13,
+		Trials:     2,
+		Strategies: []string{StrategyPrimaryKill},
+		Shapes:     []Shape{{Shards: 2, Replicas: 2}},
+		Dim:        64,
+		N:          32,
+		Queries:    6,
+		Warmup:     2,
+	}
+	m, err := Run(cfg, t.Logf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v := m.Gate(); len(v) != 0 {
+		t.Fatalf("gate violations: %v", v)
+	}
+	for _, r := range m.Results {
+		inv := r.Invariants
+		if inv.WrongAnswers != 0 || inv.FirstDivergence != "" {
+			t.Errorf("trial %d: %d wrong answers (%s)", inv.Trial, inv.WrongAnswers, inv.FirstDivergence)
+		}
+		if inv.AckedWrites < 2*3*2 { // S * 3 minimum, pre- and post-kill
+			t.Errorf("trial %d acked only %d writes", inv.Trial, inv.AckedWrites)
+		}
+		if inv.AckedWritesLost != 0 {
+			t.Errorf("trial %d lost %d acked writes", inv.Trial, inv.AckedWritesLost)
+		}
+		if inv.TargetReplica != 0 {
+			t.Errorf("trial %d targeted replica %d, want the primary (0)", inv.Trial, inv.TargetReplica)
+		}
+		if r.Measured.Promotions != 1 {
+			t.Errorf("trial %d performed %d promotions, want exactly 1", inv.Trial, r.Measured.Promotions)
+		}
+		if r.Measured.DetectionLatencyMS <= 0 {
+			t.Errorf("trial %d: promotion never observed (detection latency %v)", inv.Trial, r.Measured.DetectionLatencyMS)
+		}
+	}
+	if m.Summary.Promotions != int64(len(m.Results)) {
+		t.Errorf("summary counted %d promotions over %d trials", m.Summary.Promotions, len(m.Results))
+	}
+
+	// Replayability holds for the write path too.
+	again, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !bytes.Equal(m.InvariantsJSON(), again.InvariantsJSON()) {
+		t.Fatalf("same root seed did not replay byte-identically:\n%s\nvs\n%s", m.InvariantsJSON(), again.InvariantsJSON())
+	}
+}
+
 func TestDeriveSeedLabeling(t *testing.T) {
 	if deriveSeed(1, "a", "bc") == deriveSeed(1, "ab", "c") {
 		t.Fatal("label boundaries do not feed the derivation")

@@ -141,6 +141,9 @@ type TrialMeasured struct {
 	Hedges         int64   `json:"hedges"`
 	HedgeWins      int64   `json:"hedge_wins"`
 	Failovers      int64   `json:"failovers"`
+	// Promotions counts write-primary promotions the router performed
+	// (primary-kill trials expect exactly one).
+	Promotions int64 `json:"promotions,omitempty"`
 	// FaultsInjected is how many requests the armed fault touched.
 	FaultsInjected int64   `json:"faults_injected"`
 	DurationMS     float64 `json:"duration_ms"`
@@ -162,6 +165,7 @@ type Summary struct {
 	FalseEvictions    int64   `json:"false_evictions"`
 	FalseEvictionRate float64 `json:"false_eviction_rate"` // false evictions per trial
 	Readmissions      int64   `json:"readmissions"`
+	Promotions        int64   `json:"promotions"`
 	Hedges            int64   `json:"hedges"`
 	HedgeWins         int64   `json:"hedge_wins"`
 	HedgeWinRate      float64 `json:"hedge_win_rate"`
@@ -283,6 +287,7 @@ func summarize(m *Matrix) Summary {
 		s.Evictions += r.Measured.Evictions
 		s.FalseEvictions += r.Measured.FalseEvictions
 		s.Readmissions += r.Measured.Readmissions
+		s.Promotions += r.Measured.Promotions
 		s.Hedges += r.Measured.Hedges
 		s.HedgeWins += r.Measured.HedgeWins
 		if r.Measured.DetectionLatencyMS >= 0 {

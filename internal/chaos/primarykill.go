@@ -1,0 +1,274 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// primaryKillStrategy is the replicated-write adversary (DESIGN.md
+// §11): a routed S×R *mutable* cluster accepts acked writes streaming
+// through the router, then the target shard's write primary dies
+// mid-stream — a real server teardown, connections refuse from then on
+// — and the router must promote the max-offset survivor and keep the
+// stream going. The gated invariants: zero acked writes lost (measured
+// at the engines — every surviving shard replica set holds every acked
+// mutation routed to it) and every post-kill answer byte-identical to a
+// single MutableSharded process fed exactly the acked stream.
+//
+// Unlike the query-path strategies, each trial builds its own cluster:
+// mutable state cannot be shared across trials, and the fault is a
+// process death, not a proxy mode. Writes run under primary durability
+// so the post-kill stream exercises promotion (quorum with the common
+// R=2 would leave the degraded shard write-unavailable by design —
+// that trade is OPERATIONS.md material, not a chaos invariant).
+type primaryKillStrategy struct{}
+
+func (primaryKillStrategy) name() string { return StrategyPrimaryKill }
+
+func (primaryKillStrategy) run(t *trial) error {
+	dir, err := os.MkdirTemp("", "chaos-primarykill-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	d := t.cfg.Dim
+	S, R := t.shape.Shards, t.shape.Replicas
+	spec := workload.Spec{Kind: "planted", D: d, N: t.cfg.N, Q: t.cfg.Queries, Dist: d / 10, Seed: t.seed}
+	inst, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	opts := anns.Options{Dimension: d, Rounds: 2, Seed: t.seed}
+	mcfg := anns.MutableConfig{MemtableCap: 4, Synchronous: true, WALSyncEvery: 1}
+
+	// Replica r of shard s: an independent build of the same sharded
+	// index (same spec ⇒ same corpus) over its own WAL — the layout
+	// `annsd -mutable -base-snapshot -wal` serves in production.
+	urls := make([][]string, S)
+	backends := make([][]*backendServer, S)
+	mxs := make([][]*anns.MutableIndex, S)
+	seeds := make([]uint64, S)
+	for s := 0; s < S; s++ {
+		urls[s] = make([]string, R)
+		backends[s] = make([]*backendServer, R)
+		mxs[s] = make([]*anns.MutableIndex, R)
+	}
+	defer func() {
+		for s := range backends {
+			for r := range backends[s] {
+				if backends[s][r] != nil {
+					backends[s][r].close()
+				}
+				if mxs[s][r] != nil {
+					mxs[s][r].Close()
+				}
+			}
+		}
+	}()
+	for r := 0; r < R; r++ {
+		pts := make([]anns.Point, len(inst.DB))
+		copy(pts, inst.DB)
+		sx, err := anns.BuildSharded(pts, S, opts)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < S; s++ {
+			c := mcfg
+			c.WALPath = filepath.Join(dir, fmt.Sprintf("wal-%d-%d", s, r))
+			mx, err := anns.NewMutable(sx.Shard(s), c)
+			if err != nil {
+				return err
+			}
+			mxs[s][r] = mx
+			b, err := serveIndex(mx, d, t.cfg.CacheEntries)
+			if err != nil {
+				return err
+			}
+			backends[s][r] = b
+			urls[s][r] = b.url()
+			if r == 0 {
+				seeds[s] = sx.Shard(s).Options().Seed
+			}
+		}
+	}
+
+	// Reference: one MutableSharded process fed exactly the acked stream.
+	pts := make([]anns.Point, len(inst.DB))
+	copy(pts, inst.DB)
+	ref, err := anns.BuildMutableSharded(pts, S, opts, anns.MutableConfig{MemtableCap: 4, Synchronous: true})
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+	refSrv, err := serveIndex(ref, d, 0)
+	if err != nil {
+		return err
+	}
+	defer refSrv.close()
+	t.refURL = refSrv.url()
+
+	rec := &stateRecorder{}
+	rt, err := router.New(router.Config{
+		Dimension:      d,
+		N:              len(inst.DB),
+		Replicas:       urls,
+		ShardSeeds:     seeds,
+		Durability:     router.DurabilityPrimary,
+		DefaultTimeout: 5 * time.Second,
+		RequestTimeout: 300 * time.Millisecond,
+		ProbeInterval:  25 * time.Millisecond,
+		ProbeTimeout:   250 * time.Millisecond,
+		EvictAfter:     2,
+		BackoffBase:    50 * time.Millisecond,
+		BackoffMax:     500 * time.Millisecond,
+		HedgeCold:      10 * time.Millisecond,
+		HedgeMin:       time.Millisecond,
+		OnReplicaState: rec.hook,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	t.routeURL = "http://" + ln.Addr().String()
+
+	queryAt := func(i int) workload.Query { return inst.Queries[i%len(inst.Queries)] }
+	for i := 0; i < t.cfg.Warmup; i++ {
+		if err := t.compareQuery(t.routeURL, t.refURL, queryAt(i), i, false); err != nil {
+			return err
+		}
+	}
+
+	// ackOne pushes one insert until the router acks it. The retry is
+	// safe *in this trial* because the only injected failure is a
+	// connection-refused primary — nothing applied, the router never
+	// auto-retries, and the global counter hasn't advanced. Every 200 is
+	// mirrored into the reference, which must assign the same global ID.
+	wr := rng.NewStream(t.seed, 0x9111)
+	ackedPerShard := make([]int, S)
+	var ackedPts []anns.Point
+	ackOne := func() error {
+		p := anns.Point(hamming.Random(wr, d))
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			status, raw, err := t.postJSON(t.routeURL+"/v1/insert", server.InsertRequest{Point: server.EncodePoint(p)})
+			if err != nil {
+				return err
+			}
+			if status == http.StatusOK {
+				var ack server.InsertResponse
+				if err := json.Unmarshal(raw, &ack); err != nil {
+					return err
+				}
+				id, err := ref.Insert(p)
+				if err != nil {
+					return err
+				}
+				if id != ack.ID {
+					return fmt.Errorf("reference assigned id %d, router acked %d (nondeterministic ids break the compare fold)", id, ack.ID)
+				}
+				ackedPerShard[int(ack.ID%uint64(S))]++
+				ackedPts = append(ackedPts, p)
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("insert never acked: last status %d %s", status, raw)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	k := S * (3 + t.r.Intn(3))
+	for i := 0; i < k; i++ {
+		if err := ackOne(); err != nil {
+			return err
+		}
+	}
+
+	// Kill the target shard's primary. Everything acked so far is on the
+	// survivors too — the relay runs before the ack — so nothing may be
+	// lost. The next shard write 502s (never blindly retried by the
+	// router), the client retries, and the retry rides the promotion.
+	ts := t.r.Intn(S)
+	t.inv.TargetShard, t.inv.TargetReplica = ts, 0
+	killedURL := urls[ts][0]
+	killAt := time.Now()
+	backends[ts][0].close()
+	backends[ts][0] = nil
+
+	k2 := S * (3 + t.r.Intn(3))
+	for i := 0; i < k2; i++ {
+		if err := ackOne(); err != nil {
+			return err
+		}
+	}
+	t.inv.AckedWrites = k + k2
+
+	if at, ok := rec.firstShardState(ts, router.StatePromoted, killAt); ok {
+		t.meas.DetectionLatencyMS = float64(at.Sub(killAt).Microseconds()) / 1000
+	}
+
+	// Post-kill: the planned queries (counted), then every acked point —
+	// whose nearest neighbor is itself, the sharpest probe for a
+	// silently dropped write — all byte-identical to the reference.
+	for i := 0; i < t.cfg.Queries; i++ {
+		if err := t.compareQuery(t.routeURL, t.refURL, queryAt(i), i, true); err != nil {
+			return err
+		}
+	}
+	for i, p := range ackedPts {
+		if err := t.compareQuery(t.routeURL, t.refURL, workload.Query{X: p}, t.cfg.Queries+i, false); err != nil {
+			return err
+		}
+	}
+
+	// Zero acked-write loss, measured at the engines: for every shard
+	// the best surviving replica's applied offset must cover every acked
+	// mutation routed there.
+	for s := 0; s < S; s++ {
+		var best uint64
+		for r := 0; r < R; r++ {
+			if backends[s][r] == nil {
+				continue // the killed primary doesn't get to vote
+			}
+			if off := mxs[s][r].ReplicationOffset(); off > best {
+				best = off
+			}
+		}
+		if lost := ackedPerShard[s] - int(best); lost > 0 {
+			t.inv.AckedWritesLost += lost
+		}
+	}
+
+	st := rt.Stats()
+	for _, ss := range st.ShardStats {
+		t.meas.Hedges += ss.Hedges
+		t.meas.HedgeWins += ss.HedgeWins
+		t.meas.Failovers += ss.Failovers
+	}
+	t.meas.Promotions = st.Promotions
+	if st.Promotions == 0 || st.Epoch == 0 {
+		return fmt.Errorf("primary killed but promotions=%d epoch=%d", st.Promotions, st.Epoch)
+	}
+	t.meas.Evictions, t.meas.FalseEvictions, t.meas.Readmissions = rec.counts(killedURL)
+	return nil
+}

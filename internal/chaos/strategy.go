@@ -27,13 +27,14 @@ import (
 // clean copy of every shard, so the zero-wrong-answer invariant is the
 // router's to keep, not the adversary's to grant.
 const (
-	StrategySlow      = "slow"      // seeded added latency; hedges should win
-	StrategyGrayHang  = "gray-hang" // healthz green, queries hang
-	StrategyGray500   = "gray-500"  // healthz green, queries 500
-	StrategyCorrupt   = "corrupt"   // healthz green, 200 bodies mangled
-	StrategyDrop      = "drop"      // healthz green, query connections severed
-	StrategyPartition = "partition" // everything severed, healed mid-trial
-	StrategyWALTear   = "wal-tear"  // torn/corrupt WAL tail across a kill -9
+	StrategySlow        = "slow"         // seeded added latency; hedges should win
+	StrategyGrayHang    = "gray-hang"    // healthz green, queries hang
+	StrategyGray500     = "gray-500"     // healthz green, queries 500
+	StrategyCorrupt     = "corrupt"      // healthz green, 200 bodies mangled
+	StrategyDrop        = "drop"         // healthz green, query connections severed
+	StrategyPartition   = "partition"    // everything severed, healed mid-trial
+	StrategyWALTear     = "wal-tear"     // torn/corrupt WAL tail across a kill -9
+	StrategyPrimaryKill = "primary-kill" // write primary dies mid-stream; promotion must cover
 )
 
 // Strategies returns the full catalog, in canonical order.
@@ -41,6 +42,7 @@ func Strategies() []string {
 	return []string{
 		StrategySlow, StrategyGrayHang, StrategyGray500,
 		StrategyCorrupt, StrategyDrop, StrategyPartition, StrategyWALTear,
+		StrategyPrimaryKill,
 	}
 }
 
@@ -65,6 +67,8 @@ func strategyByName(name string) (strategy, error) {
 		return proxyStrategy{label: name, mode: FaultPartition, expectEvict: true, heal: true}, nil
 	case StrategyWALTear:
 		return walTearStrategy{}, nil
+	case StrategyPrimaryKill:
+		return primaryKillStrategy{}, nil
 	}
 	return nil, fmt.Errorf("chaos: unknown strategy %q (catalog: %v)", name, Strategies())
 }
@@ -189,6 +193,20 @@ func (rec *stateRecorder) firstTransition(url, state string, since time.Time) (t
 	defer rec.mu.Unlock()
 	for _, e := range rec.events {
 		if e.url == url && e.state == state && !e.at.Before(since) {
+			return e.at, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// firstShardState returns the first recorded transition of any replica
+// of shard into state at or after since (promotion events carry the
+// promoted survivor's URL, which the caller doesn't know in advance).
+func (rec *stateRecorder) firstShardState(shard int, state string, since time.Time) (time.Time, bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, e := range rec.events {
+		if e.shard == shard && e.state == state && !e.at.Before(since) {
 			return e.at, true
 		}
 	}

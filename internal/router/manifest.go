@@ -9,8 +9,24 @@ import (
 
 // ManifestVersion is the placement-manifest schema version. It versions
 // the JSON layout only; the snapshot files it points at carry their own
-// format version (internal/snapshot.FormatVersion).
-const ManifestVersion = 1
+// format version (internal/snapshot.FormatVersion). Version 2 added the
+// placement epoch and per-shard primary designations for replicated
+// writes (DESIGN.md §11); version-1 manifests still load, with epoch 0
+// and every primary at replica position 0.
+const ManifestVersion = 2
+
+// Durability levels for replicated writes (Config.Durability /
+// `annsrouter -durability`). See DESIGN.md §11.3.
+const (
+	// DurabilityPrimary acks a write when the primary's WAL append (and
+	// fsync, in synchronous WAL mode) returns; replica relay failures are
+	// counted but do not fail the request.
+	DurabilityPrimary = "primary"
+	// DurabilityQuorum acks only when ⌊R/2⌋+1 replicas of the shard,
+	// counting the primary, hold the frame. With R=2 that is both — every
+	// acked write is immediately readable on either replica.
+	DurabilityQuorum = "quorum"
+)
 
 // PlacementRoundRobin is the only placement strategy today: point i of
 // the logical database lives in shard i%S as that shard's (i/S)-th
@@ -36,6 +52,11 @@ type Manifest struct {
 	// Seed is the user seed of the logical index; each shard's derived
 	// seed is recorded on its file entry.
 	Seed uint64 `json:"seed"`
+	// Epoch is the placement epoch: 0 as written by the splitter, bumped
+	// by the router on every primary promotion (and persisted back, so a
+	// router restart keeps the promoted topology). Readers treat the
+	// manifest with the highest epoch as current.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Files describes the per-shard snapshots, in shard order.
 	Files []ManifestShard `json:"files"`
 }
@@ -46,6 +67,11 @@ type ManifestShard struct {
 	Path  string `json:"path"` // relative to the manifest's directory
 	N     int    `json:"n"`
 	Seed  uint64 `json:"seed"` // the shard's derived build seed
+	// Primary is the replica-set position of the shard's write primary
+	// (an index into the router's replica URL list for this shard, not a
+	// property of the snapshot file). 0 as written by the splitter;
+	// rewritten by the router on promotion.
+	Primary int `json:"primary,omitempty"`
 }
 
 // WriteManifest writes m as indented JSON to path.
@@ -76,8 +102,8 @@ func LoadManifest(path string) (*Manifest, error) {
 
 // Validate checks the manifest's internal consistency.
 func (m *Manifest) Validate() error {
-	if m.FormatVersion != ManifestVersion {
-		return fmt.Errorf("format_version %d, this build understands %d", m.FormatVersion, ManifestVersion)
+	if m.FormatVersion < 1 || m.FormatVersion > ManifestVersion {
+		return fmt.Errorf("format_version %d, this build understands 1..%d", m.FormatVersion, ManifestVersion)
 	}
 	if m.Placement != PlacementRoundRobin {
 		return fmt.Errorf("unknown placement %q", m.Placement)
@@ -98,6 +124,9 @@ func (m *Manifest) Validate() error {
 		}
 		if f.N < 2 {
 			return fmt.Errorf("shard %d claims %d points", i, f.N)
+		}
+		if f.Primary < 0 {
+			return fmt.Errorf("shard %d has negative primary position %d", i, f.Primary)
 		}
 		total += f.N
 	}

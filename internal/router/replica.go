@@ -25,11 +25,22 @@ import (
 const (
 	StateHealthy = "healthy"
 	StateEvicted = "evicted"
+	// StatePromoted is reported through OnReplicaState when a replica is
+	// promoted to write primary (it is a role change, not a health
+	// transition — the replica is healthy before and after).
+	StatePromoted = "promoted"
 )
 
 // replica is one backend server of a shard's replica set.
 type replica struct {
 	url string
+
+	// Replication progress, harvested from /healthz probes and relay
+	// answers. mutable flips once the replica first reports an offset;
+	// offset is its last known applied replication offset — the ranking
+	// key for promotion (the max-offset replica has lost nothing).
+	mutable atomic.Bool
+	offset  atomic.Uint64
 
 	mu           sync.Mutex
 	evicted      bool
@@ -80,6 +91,19 @@ func (r *replica) probeSuccess(now time.Time) bool {
 	r.lastErr = ""
 	r.mu.Unlock()
 	return readmitted
+}
+
+// noteReplication records the replica's reported applied offset.
+// Monotonic: a stale probe result racing a fresher relay answer must not
+// move the known offset backwards.
+func (r *replica) noteReplication(off uint64) {
+	r.mutable.Store(true)
+	for {
+		cur := r.offset.Load()
+		if off <= cur || r.offset.CompareAndSwap(cur, off) {
+			return
+		}
+	}
 }
 
 // setLastErr records why the most recent probe rejected the replica
@@ -176,6 +200,7 @@ func (r *replica) snapshot() ReplicaStats {
 		LastTransitionUnixMS: lastMS,
 		BackoffMS:            r.backoff.Milliseconds(),
 		LastError:            r.lastErr,
+		ReplicationOffset:    r.offset.Load(),
 	}
 }
 
@@ -185,6 +210,7 @@ type shard struct {
 	pos      int
 	replicas []*replica
 	rr       atomic.Uint64 // round-robin cursor over healthy replicas
+	primary  atomic.Int32  // index of the designated write primary
 
 	requests  atomic.Int64
 	errors    atomic.Int64

@@ -97,11 +97,26 @@ type Config struct {
 	BackoffMax  time.Duration
 
 	// CacheEntries bounds the router's query-result cache; 0 (the
-	// default) disables it. The router serves immutable shard snapshots,
-	// so entries never invalidate (constant generation 0); a hit answers
-	// without scattering to any shard. Keys are the same fingerprints the
-	// shard servers use (server.QueryCacheKey / server.NearCacheKey).
+	// default) disables it. Entries live at the router's write generation
+	// (bumped on every acked mutation), so over immutable snapshots they
+	// never invalidate and over a replicated mutable cluster every write
+	// invalidates the whole cache — enabling it never changes an answer.
+	// Keys are the same fingerprints the shard servers use
+	// (server.QueryCacheKey / server.NearCacheKey).
 	CacheEntries int
+
+	// Durability selects the write-ack policy (DESIGN.md §11.3):
+	// DurabilityPrimary (the default) acks when the primary's WAL append
+	// returns — replica relay failures are counted but do not fail the
+	// request; DurabilityQuorum acks only when ⌊R/2⌋+1 replicas (counting
+	// the primary) hold the frame.
+	Durability string
+	// Manifest, when set, carries the cluster's placement manifest: the
+	// initial epoch and per-shard primary designations are read from it,
+	// and a promotion rewrites it (epoch bumped) at ManifestPath so a
+	// router restart keeps the promoted topology.
+	Manifest     *Manifest
+	ManifestPath string
 
 	// Client overrides the HTTP client (tests). Default: pooled transport.
 	Client *http.Client
@@ -160,6 +175,9 @@ func (c Config) withDefaults() Config {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 8 * time.Second
 	}
+	if c.Durability == "" {
+		c.Durability = DurabilityPrimary
+	}
 	return c
 }
 
@@ -171,6 +189,10 @@ type metrics struct {
 	deadline               atomic.Int64
 	probes, rounds         atomic.Int64
 	maxRounds, maxParallel atomic.Int64
+
+	writes, writeErrors           atomic.Int64
+	replications, replicationErrs atomic.Int64
+	promotions                    atomic.Int64
 }
 
 func atomicMax(a *atomic.Int64, v int64) {
@@ -209,6 +231,19 @@ type Router struct {
 	m      metrics
 	cache  *qcache.Cache // nil when Config.CacheEntries == 0
 
+	// Write-path state (writes.go). Mutations are serialized under
+	// writeMu — global ID assignment is an order, and sequential
+	// assignment is what keeps a routed cluster byte-identical to a
+	// single MutableSharded oracle. wgen is the cache's invalidation
+	// generation (bumped on every acked write); epoch is the placement
+	// epoch (bumped on every promotion).
+	writeMu       sync.Mutex
+	nextGlobal    uint64 // guarded by writeMu
+	nextInit      bool   // guarded by writeMu
+	writesStarted atomic.Bool
+	wgen          atomic.Uint64
+	epoch         atomic.Uint64
+
 	httpMu sync.Mutex
 	httpS  *http.Server
 }
@@ -229,6 +264,10 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.ShardSeeds != nil && len(cfg.ShardSeeds) != len(cfg.Replicas) {
 		return nil, fmt.Errorf("router: %d shard seeds for %d shards", len(cfg.ShardSeeds), len(cfg.Replicas))
+	}
+	if cfg.Durability != DurabilityPrimary && cfg.Durability != DurabilityQuorum {
+		return nil, fmt.Errorf("router: unknown durability %q (want %q or %q)",
+			cfg.Durability, DurabilityPrimary, DurabilityQuorum)
 	}
 	clock := cfg.Clock
 	if clock == nil {
@@ -261,11 +300,23 @@ func New(cfg Config) (*Router, error) {
 		for _, u := range urls {
 			sh.replicas = append(sh.replicas, &replica{url: u})
 		}
+		// The primary designation comes from the manifest when it carries
+		// one (v2); position 0 otherwise.
+		if cfg.Manifest != nil && s < len(cfg.Manifest.Files) {
+			if p := cfg.Manifest.Files[s].Primary; p > 0 && p < len(urls) {
+				sh.primary.Store(int32(p))
+			}
+		}
 		rt.shards[s] = sh
+	}
+	if cfg.Manifest != nil {
+		rt.epoch.Store(cfg.Manifest.Epoch)
 	}
 	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
 	rt.mux.HandleFunc("POST /v1/near", rt.handleNear)
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("POST /v1/insert", rt.handleInsert)
+	rt.mux.HandleFunc("POST /v1/delete", rt.handleDelete)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
 	// One synchronous sweep before serving: without it, every replica
@@ -346,6 +397,22 @@ func (rt *Router) probeSweep(now time.Time) {
 		}
 	}
 	wg.Wait()
+	// A dead primary is promoted away between writes too, so failover is
+	// visible to read-only clients (and /statsz) without waiting for the
+	// next mutation to trip over it. Gated on writesStarted: an immutable
+	// cluster has no meaningful primary and must not churn the epoch.
+	if rt.writesStarted.Load() {
+		for _, sh := range rt.shards {
+			if sh.replicas[sh.primary.Load()].healthy() {
+				continue
+			}
+			rt.writeMu.Lock()
+			if !sh.replicas[sh.primary.Load()].healthy() {
+				rt.promoteLocked(sh)
+			}
+			rt.writeMu.Unlock()
+		}
+	}
 }
 
 // probe polls one replica's /healthz and validates the report against
@@ -428,7 +495,15 @@ func (rt *Router) checkHealth(rep *replica, shardPos int) (reason string, mismat
 	if h.Dim != rt.cfg.Dimension {
 		return fmt.Sprintf("serves dimension %d, cluster dimension is %d", h.Dim, rt.cfg.Dimension), true, nil
 	}
-	if rt.cfg.ShardSizes != nil && h.N != rt.cfg.ShardSizes[shardPos] {
+	// A mutable replica reports its write progress; harvest it for
+	// promotion ranking and skip the N-equality check — a replicating
+	// shard grows past its snapshot size by design, so only the derived
+	// seed still distinguishes same-shaped shards.
+	mutable := h.ReplicationOffset != nil
+	if mutable {
+		rep.noteReplication(*h.ReplicationOffset)
+	}
+	if !mutable && rt.cfg.ShardSizes != nil && h.N != rt.cfg.ShardSizes[shardPos] {
 		return fmt.Sprintf("misrouted: serves n=%d, shard %d's snapshot holds n=%d",
 			h.N, shardPos, rt.cfg.ShardSizes[shardPos]), true, nil
 	}
@@ -740,10 +815,16 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
 		return
 	}
-	// The router's corpus is immutable, so cached replies live at a
-	// constant generation 0 and a hit skips the scatter entirely.
+	// Cached replies live at the router's write generation: constant over
+	// immutable snapshots (every entry stays valid forever), bumped on
+	// every acked mutation over a replicated cluster (every entry from
+	// before the write misses). The generation is read *before* the
+	// scatter — the §10.4 safe direction: a write landing mid-scatter
+	// advances the generation past the one this entry is stored at, so a
+	// stale answer can be cached but never served.
+	gen := rt.wgen.Load()
 	key := server.QueryCacheKey(x)
-	if v, ok := rt.cache.Get(key, 0); ok {
+	if v, ok := rt.cache.Get(key, gen); ok {
 		rt.m.queries.Add(1)
 		writeJSON(w, http.StatusOK, v.(server.QueryResponse))
 		return
@@ -769,7 +850,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := toWire(merged, msg)
 	if !failed {
-		rt.cache.Put(key, 0, resp)
+		rt.cache.Put(key, gen, resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -806,8 +887,9 @@ func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
 		return
 	}
+	gen := rt.wgen.Load()
 	key := server.NearCacheKey(x, req.Lambda)
-	if v, ok := rt.cache.Get(key, 0); ok {
+	if v, ok := rt.cache.Get(key, gen); ok {
 		rt.m.near.Add(1)
 		writeJSON(w, http.StatusOK, v.(server.QueryResponse))
 		return
@@ -833,7 +915,7 @@ func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := toWire(merged, msg)
 	if !failed {
-		rt.cache.Put(key, 0, resp)
+		rt.cache.Put(key, gen, resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -973,6 +1055,13 @@ func (rt *Router) Stats() Stats {
 		MaxRounds:        rt.m.maxRounds.Load(),
 		MaxParallel:      rt.m.maxParallel.Load(),
 		InFlight:         len(rt.sem),
+		Writes:           rt.m.writes.Load(),
+		WriteErrors:      rt.m.writeErrors.Load(),
+		ReplicatedFrames: rt.m.replications.Load(),
+		ReplicationErrs:  rt.m.replicationErrs.Load(),
+		Promotions:       rt.m.promotions.Load(),
+		Epoch:            rt.epoch.Load(),
+		Durability:       rt.cfg.Durability,
 	}
 	if sec := up.Seconds(); sec > 0 {
 		out.QPS = float64(out.Queries+out.Near) / sec
@@ -996,8 +1085,11 @@ func (rt *Router) Stats() Stats {
 			P99MS:        qs[2],
 			HedgeDelayMS: float64(sh.lat.hedgeDelay().Microseconds()) / 1000,
 		}
-		for _, rep := range sh.replicas {
+		primary := int(sh.primary.Load())
+		ss.Primary = sh.replicas[primary].url
+		for i, rep := range sh.replicas {
 			rs := rep.snapshot()
+			rs.Primary = i == primary
 			if rs.State == StateHealthy {
 				ss.Healthy++
 			}

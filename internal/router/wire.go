@@ -28,6 +28,18 @@ type Stats struct {
 	HedgeRate float64 `json:"hedge_rate"` // hedges / shard requests
 	Failovers int64   `json:"failovers"`
 
+	// Write-path rollups (zero on read-only clusters): routed mutations,
+	// frames relayed to replicas, promotion count, the current placement
+	// epoch (bumped on every promotion), and the configured durability
+	// level. See DESIGN.md §11.
+	Writes           int64  `json:"writes,omitempty"`
+	WriteErrors      int64  `json:"write_errors,omitempty"`
+	ReplicatedFrames int64  `json:"replicated_frames,omitempty"`
+	ReplicationErrs  int64  `json:"replication_errors,omitempty"`
+	Promotions       int64  `json:"promotions,omitempty"`
+	Epoch            uint64 `json:"epoch"`
+	Durability       string `json:"durability,omitempty"`
+
 	ShardStats []ShardStats `json:"shard_stats"`
 
 	// Cache is the router-level result-cache block (present only when
@@ -52,6 +64,8 @@ type ShardStats struct {
 	// HedgeDelayMS is the delay the next hedged request would wait
 	// (0 while the latency window is cold).
 	HedgeDelayMS float64 `json:"hedge_delay_ms"`
+	// Primary is the URL of the shard's current write primary.
+	Primary string `json:"primary,omitempty"`
 
 	ReplicaStats []ReplicaStats `json:"replica_stats"`
 }
@@ -72,4 +86,10 @@ type ReplicaStats struct {
 	LastTransitionUnixMS int64  `json:"last_transition_unix_ms,omitempty"`
 	BackoffMS            int64  `json:"backoff_ms"`
 	LastError            string `json:"last_error,omitempty"`
+	// ReplicationOffset is the replica's last known applied offset (0 for
+	// immutable replicas); Primary marks the shard's current write
+	// primary. Converged replicas show equal offsets — the operator's
+	// one-glance replication health check (OPERATIONS.md).
+	ReplicationOffset uint64 `json:"replication_offset,omitempty"`
+	Primary           bool   `json:"primary,omitempty"`
 }

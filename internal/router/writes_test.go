@@ -1,0 +1,522 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/anns"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// mutableTestConfig is the MutableConfig every replica AND the oracle
+// use: synchronous so the structure evolves deterministically with the
+// op sequence, a tiny memtable so the stream crosses seal boundaries.
+func mutableTestConfig(walPath string) anns.MutableConfig {
+	return anns.MutableConfig{Synchronous: true, MemtableCap: 8, WALPath: walPath}
+}
+
+// buildWriteCluster builds a shards×replicas mutable cluster: replica r
+// of shard s is an independent NewMutable over an independent build of
+// the shared spec's shard s (same spec ⇒ same corpus, the two-process
+// contract). Every replica gets its own WAL so any of them can serve
+// /v1/frames catch-up after a promotion. mw(s, r) may wrap a replica's
+// handler (nil for none).
+func buildWriteCluster(t *testing.T, shards, replicas int, mw func(s, r int) func(http.Handler) http.Handler) (urls [][]string, mxs [][]*anns.MutableIndex, servers [][]*httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	urls = make([][]string, shards)
+	mxs = make([][]*anns.MutableIndex, shards)
+	servers = make([][]*httptest.Server, shards)
+	for r := 0; r < replicas; r++ {
+		sx, _ := buildShards(t, shards)
+		for s := 0; s < shards; s++ {
+			mx, err := anns.NewMutable(sx.Shard(s), mutableTestConfig(filepath.Join(dir, fmt.Sprintf("wal-%d-%d", s, r))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { mx.Close() })
+			var m func(http.Handler) http.Handler
+			if mw != nil {
+				m = mw(s, r)
+			}
+			ts := serveShard(t, mx, m)
+			urls[s] = append(urls[s], ts.URL)
+			mxs[s] = append(mxs[s], mx)
+			servers[s] = append(servers[s], ts)
+		}
+	}
+	return urls, mxs, servers
+}
+
+// newOracle builds the single-process reference: a MutableSharded over
+// the same spec, same shard count, same mutable config (WAL-less — the
+// oracle is in-process, byte-identity is structural).
+func newOracle(t *testing.T, shards int) (*anns.MutableSharded, *workload.Instance) {
+	t.Helper()
+	inst, err := testSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]anns.Point, len(inst.DB))
+	copy(pts, inst.DB)
+	ms, err := anns.BuildMutableSharded(pts, shards, anns.Options{Dimension: testDim, Rounds: 2, Seed: 5}, mutableTestConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	return ms, inst
+}
+
+// insertStream generates the mutation stream's fresh points from a spec
+// the base corpus never saw.
+func insertStream(t *testing.T, n int) []anns.Point {
+	t.Helper()
+	inst, err := workload.Spec{Kind: "planted", D: testDim, N: n, Q: 1, Dist: 6, Seed: 77}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.DB
+}
+
+func routerInsert(t *testing.T, base string, x []uint64) (int, server.InsertResponse) {
+	t.Helper()
+	resp, raw := postJSON(t, base+"/v1/insert", server.InsertRequest{Point: server.EncodePoint(x)})
+	var ins server.InsertResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &ins); err != nil {
+			t.Fatalf("insert answer %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, ins
+}
+
+func routerDelete(t *testing.T, base string, id uint64) (int, server.DeleteResponse) {
+	t.Helper()
+	resp, raw := postJSON(t, base+"/v1/delete", server.DeleteRequest{ID: &id})
+	var del server.DeleteResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &del); err != nil {
+			t.Fatalf("delete answer %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, del
+}
+
+// queryMatchesOracle requires the routed answer for x to be
+// byte-identical to the oracle's — twice, so with two replicas per
+// shard the round-robin cursor lands the comparison on both.
+func queryMatchesOracle(t *testing.T, base string, ms *anns.MutableSharded, x []uint64, tag string) {
+	t.Helper()
+	want, err := ms.Query(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, raw := postJSON(t, base+"/v1/query", server.QueryRequest{Point: server.EncodePoint(x)})
+		var qr server.QueryResponse
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if qr.Error != "" || qr.Index != want.Index || qr.Distance != want.Distance ||
+			qr.Rounds != want.Rounds || qr.Probes != want.Probes || qr.MaxParallel != want.MaxParallel {
+			t.Fatalf("%s: routed answer %+v != oracle %+v", tag, qr, want)
+		}
+	}
+}
+
+// TestRouterWritesMatchMutableSharded is the replicated-write
+// acceptance property (DESIGN.md §11): a routed 2-shard × 2-replica
+// mutable cluster fed a fixed mutation stream — inserts and deletes of
+// both base and fresh points — assigns the same global IDs and answers
+// every query byte-identically to one MutableSharded process fed the
+// same stream, with quorum durability keeping both replicas of each
+// shard at converged offsets throughout.
+func TestRouterWritesMatchMutableSharded(t *testing.T) {
+	const shards = 2
+	urls, mxs, _ := buildWriteCluster(t, shards, 2, nil)
+	ms, inst := newOracle(t, shards)
+	stream := insertStream(t, 20)
+
+	rt := newRouter(t, Config{
+		Dimension: testDim, N: ms.Len(), Replicas: urls,
+		Durability:    DurabilityQuorum,
+		HedgeCold:     time.Second,
+		ProbeInterval: time.Hour,
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	var writes int64
+	var inserted []uint64
+	for i, p := range stream {
+		code, ins := routerInsert(t, rts.URL, p)
+		if code != http.StatusOK {
+			t.Fatalf("insert %d: status %d", i, code)
+		}
+		g, err := ms.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins.ID != g {
+			t.Fatalf("insert %d: router assigned global %d, oracle %d", i, ins.ID, g)
+		}
+		inserted = append(inserted, g)
+		writes++
+
+		if i%4 == 3 {
+			// Alternate deleting a base point and a fresh one.
+			target := uint64(i)
+			if i%8 == 7 {
+				target = inserted[len(inserted)/2]
+			}
+			code, del := routerDelete(t, rts.URL, target)
+			if code != http.StatusOK {
+				t.Fatalf("delete %d of %d: status %d", i, target, code)
+			}
+			wantDel, err := ms.Delete(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if del.Deleted != wantDel {
+				t.Fatalf("delete of %d: router deleted=%v, oracle %v", target, del.Deleted, wantDel)
+			}
+			if del.Deleted {
+				writes++
+			}
+		}
+	}
+	// A double delete is a no-op on both sides: no frame, no write counted.
+	code, del := routerDelete(t, rts.URL, 3)
+	if code != http.StatusOK || del.Deleted {
+		t.Fatalf("repeat delete: status %d deleted=%v, want 200 and a no-op", code, del.Deleted)
+	}
+	if wantDel, _ := ms.Delete(3); wantDel {
+		t.Fatal("oracle still had id 3 live after the stream deleted it")
+	}
+
+	for qi, q := range inst.Queries {
+		queryMatchesOracle(t, rts.URL, ms, q.X, fmt.Sprintf("query %d", qi))
+	}
+	for _, p := range stream[:4] {
+		queryMatchesOracle(t, rts.URL, ms, p, "query at inserted point")
+	}
+
+	// Quorum with R=2 means every acked write is on both replicas: the
+	// shard's two offsets agree, both in the engine and in /statsz.
+	st := rt.Stats()
+	if st.Writes != writes {
+		t.Errorf("stats writes = %d, routed %d", st.Writes, writes)
+	}
+	if st.WriteErrors != 0 || st.Promotions != 0 || st.Epoch != 0 {
+		t.Errorf("clean run reported write_errors=%d promotions=%d epoch=%d", st.WriteErrors, st.Promotions, st.Epoch)
+	}
+	if st.Durability != DurabilityQuorum {
+		t.Errorf("stats durability %q", st.Durability)
+	}
+	if st.ReplicatedFrames != writes {
+		t.Errorf("replicated_frames = %d, want %d (one relay per write)", st.ReplicatedFrames, writes)
+	}
+	for s := 0; s < shards; s++ {
+		if a, b := mxs[s][0].ReplicationOffset(), mxs[s][1].ReplicationOffset(); a != b {
+			t.Errorf("shard %d replica offsets diverged: %d vs %d", s, a, b)
+		}
+		ss := st.ShardStats[s]
+		if ss.Primary != urls[s][0] {
+			t.Errorf("shard %d primary = %q, want the configured position-0 replica", s, ss.Primary)
+		}
+		primaries := 0
+		for _, rs := range ss.ReplicaStats {
+			if rs.Primary {
+				primaries++
+			}
+			if rs.ReplicationOffset != mxs[s][0].ReplicationOffset() {
+				t.Errorf("shard %d replica %s statsz offset %d, engine at %d", s, rs.URL, rs.ReplicationOffset, mxs[s][0].ReplicationOffset())
+			}
+		}
+		if primaries != 1 {
+			t.Errorf("shard %d marks %d primaries in statsz", s, primaries)
+		}
+	}
+}
+
+// TestRouterRelayCatchUp pins the 409-gap path: a replica that missed
+// five relayed frames (injected outage on its /v1/replicate) reports a
+// gap on the sixth, and the router streams the backlog out of the
+// primary's WAL before completing the relay — converged offsets,
+// byte-identical answers, no write ever failed (primary durability).
+func TestRouterRelayCatchUp(t *testing.T) {
+	var blocking atomic.Bool
+	blocking.Store(true)
+	mw := func(s, r int) func(http.Handler) http.Handler {
+		if s != 0 || r != 1 {
+			return nil
+		}
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				if blocking.Load() && req.URL.Path == "/v1/replicate" {
+					http.Error(w, `{"error":"injected outage"}`, http.StatusInternalServerError)
+					return
+				}
+				next.ServeHTTP(w, req)
+			})
+		}
+	}
+	urls, mxs, _ := buildWriteCluster(t, 1, 2, mw)
+	stream := insertStream(t, 6)
+
+	rt := newRouter(t, Config{
+		Dimension: testDim, N: mxs[0][0].Len(), Replicas: urls,
+		Durability:    DurabilityPrimary,
+		EvictAfter:    100, // keep the lagging replica in rotation
+		HedgeCold:     time.Second,
+		ProbeInterval: time.Hour,
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	for i, p := range stream[:5] {
+		if code, _ := routerInsert(t, rts.URL, p); code != http.StatusOK {
+			t.Fatalf("insert %d during replica outage: status %d (primary durability must ack)", i, code)
+		}
+	}
+	if off := mxs[0][1].ReplicationOffset(); off != 0 {
+		t.Fatalf("blocked replica applied %d frames", off)
+	}
+	st := rt.Stats()
+	if st.ReplicationErrs < 5 {
+		t.Errorf("replication_errors = %d after 5 blocked relays", st.ReplicationErrs)
+	}
+
+	blocking.Store(false)
+	if code, ins := routerInsert(t, rts.URL, stream[5]); code != http.StatusOK || ins.Offset != 6 {
+		t.Fatalf("post-outage insert: status %d offset %d", code, ins.Offset)
+	}
+	if off := mxs[0][1].ReplicationOffset(); off != 6 {
+		t.Fatalf("replica offset %d after catch-up, want 6", off)
+	}
+	for i, p := range stream {
+		a, err := mxs[0][0].Query(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mxs[0][1].Query(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("point %d: primary %+v != caught-up replica %+v", i, a, b)
+		}
+	}
+	for _, rs := range rt.Stats().ShardStats[0].ReplicaStats {
+		if rs.ReplicationOffset != 6 {
+			t.Errorf("replica %s statsz offset %d, want 6", rs.URL, rs.ReplicationOffset)
+		}
+	}
+}
+
+// TestRouterPromotionOnPrimaryKill pins failover for writes: killing a
+// shard's primary fails the in-flight write (502, never auto-retried),
+// and the client's retry lands on the max-offset surviving replica —
+// promoted, epoch bumped, manifest rewritten — after which the stream
+// keeps matching the single-process oracle.
+func TestRouterPromotionOnPrimaryKill(t *testing.T) {
+	const shards = 2
+	urls, _, servers := buildWriteCluster(t, shards, 2, nil)
+	ms, inst := newOracle(t, shards)
+	stream := insertStream(t, 8)
+
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "manifest.json")
+	m := &Manifest{
+		FormatVersion: ManifestVersion,
+		Placement:     PlacementRoundRobin,
+		Shards:        shards,
+		N:             ms.Len(),
+		Dimension:     testDim,
+		Seed:          21,
+		Files: []ManifestShard{
+			{Shard: 0, Path: "shard-0.snap", N: 24, Seed: 1},
+			{Shard: 1, Path: "shard-1.snap", N: 24, Seed: 2},
+		},
+	}
+
+	rt := newRouter(t, Config{
+		Dimension: testDim, N: ms.Len(), Replicas: urls,
+		Durability:    DurabilityPrimary,
+		EvictAfter:    1,
+		BackoffBase:   time.Minute,
+		HedgeCold:     time.Second,
+		ProbeInterval: time.Hour,
+		Manifest:      m,
+		ManifestPath:  manifestPath,
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	apply := func(i int) {
+		t.Helper()
+		code, ins := routerInsert(t, rts.URL, stream[i])
+		if code != http.StatusOK {
+			t.Fatalf("insert %d: status %d", i, code)
+		}
+		g, err := ms.Insert(stream[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins.ID != g {
+			t.Fatalf("insert %d: router global %d, oracle %d", i, ins.ID, g)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		apply(i)
+	}
+
+	// Kill shard 0's primary. The next shard-0 write fails without a
+	// retry (it may have applied); the one after that promotes.
+	servers[0][0].Close()
+	if code, _ := routerInsert(t, rts.URL, stream[4]); code != http.StatusBadGateway {
+		t.Fatalf("write to a dead primary: status %d, want 502", code)
+	}
+	apply(4) // the client's retry: promotion happens here
+	for i := 5; i < len(stream); i++ {
+		apply(i)
+	}
+
+	st := rt.Stats()
+	if st.Promotions != 1 || st.Epoch != 1 {
+		t.Fatalf("promotions=%d epoch=%d after one primary kill", st.Promotions, st.Epoch)
+	}
+	if st.WriteErrors == 0 {
+		t.Error("the failed write was not counted")
+	}
+	ss := st.ShardStats[0]
+	if ss.Primary != urls[0][1] {
+		t.Errorf("shard 0 primary = %q, want promoted survivor %q", ss.Primary, urls[0][1])
+	}
+	if !ss.ReplicaStats[1].Primary || ss.ReplicaStats[0].Primary {
+		t.Errorf("primary flags wrong after promotion: %+v", ss.ReplicaStats)
+	}
+	if ss.ReplicaStats[0].State != StateEvicted {
+		t.Errorf("dead ex-primary state %q, want evicted", ss.ReplicaStats[0].State)
+	}
+
+	// The promoted topology survives a router restart via the manifest.
+	got, err := LoadManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FormatVersion != ManifestVersion || got.Epoch != 1 || got.Files[0].Primary != 1 || got.Files[1].Primary != 0 {
+		t.Fatalf("persisted manifest version=%d epoch=%d primaries=%d,%d",
+			got.FormatVersion, got.Epoch, got.Files[0].Primary, got.Files[1].Primary)
+	}
+
+	// A delete routed to the degraded shard, then full query equivalence
+	// served by the promoted replica alone.
+	target := uint64(0) // shard 0, base point
+	code, del := routerDelete(t, rts.URL, target)
+	wantDel, err := ms.Delete(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || del.Deleted != wantDel {
+		t.Fatalf("post-promotion delete: status %d deleted=%v, oracle %v", code, del.Deleted, wantDel)
+	}
+	for qi, q := range inst.Queries {
+		queryMatchesOracle(t, rts.URL, ms, q.X, fmt.Sprintf("post-promotion query %d", qi))
+	}
+}
+
+// TestRouterWriteInvalidatesCache pins the write-generation contract
+// carried over from the query cache: a routed write bumps the
+// generation, so a repeated query re-asks the shards instead of serving
+// the pre-write answer.
+func TestRouterWriteInvalidatesCache(t *testing.T) {
+	urls, mxs, _ := buildWriteCluster(t, 1, 1, nil)
+	stream := insertStream(t, 2)
+
+	rt := newRouter(t, Config{
+		Dimension: testDim, N: mxs[0][0].Len(), Replicas: urls,
+		CacheEntries:  64,
+		HedgeCold:     time.Second,
+		ProbeInterval: time.Hour,
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	inst, err := testSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.QueryRequest{Point: server.EncodePoint(inst.Queries[0].X)}
+	postJSON(t, rts.URL+"/v1/query", req) // miss, fills
+	postJSON(t, rts.URL+"/v1/query", req) // hit
+	if cs := rt.Stats().Cache; cs == nil || cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("pre-write cache stats %+v, want 1 hit / 1 miss", cs)
+	}
+	if code, _ := routerInsert(t, rts.URL, stream[0]); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	postJSON(t, rts.URL+"/v1/query", req) // stale generation: miss again
+	if cs := rt.Stats().Cache; cs.Hits != 1 || cs.Misses != 2 {
+		t.Fatalf("post-write cache stats %+v, want the repeat query to miss", cs)
+	}
+}
+
+// TestManifestV2 pins the version-2 manifest fields: epoch and primary
+// designations round-trip, version-1 manifests still validate (with
+// epoch 0 and primaries at position 0), and a negative primary is
+// rejected.
+func TestManifestV2(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{
+		FormatVersion: ManifestVersion,
+		Placement:     PlacementRoundRobin,
+		Shards:        2,
+		N:             7,
+		Dimension:     64,
+		Seed:          42,
+		Epoch:         3,
+		Files: []ManifestShard{
+			{Shard: 0, Path: "shard-0.snap", N: 4, Seed: 1, Primary: 1},
+			{Shard: 1, Path: "shard-1.snap", N: 3, Seed: 2},
+		},
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.Files[0].Primary != 1 || got.Files[1].Primary != 0 {
+		t.Fatalf("v2 round-trip lost fields: %+v", got)
+	}
+
+	v1 := *m
+	v1.FormatVersion = 1
+	v1.Epoch = 0
+	v1.Files = []ManifestShard{
+		{Shard: 0, Path: "shard-0.snap", N: 4, Seed: 1},
+		{Shard: 1, Path: "shard-1.snap", N: 3, Seed: 2},
+	}
+	if err := v1.Validate(); err != nil {
+		t.Errorf("version-1 manifest rejected: %v", err)
+	}
+
+	bad := *m
+	bad.Files = []ManifestShard{
+		{Shard: 0, Path: "shard-0.snap", N: 4, Seed: 1, Primary: -1},
+		{Shard: 1, Path: "shard-1.snap", N: 3, Seed: 2},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative primary position validated")
+	}
+}

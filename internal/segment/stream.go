@@ -1,0 +1,149 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/bitvec"
+)
+
+// Frame streaming (DESIGN.md §11). Replication ships the WAL's own
+// record framing over the wire: a frame on the wire is byte-identical
+// to the frame on disk (length u32 | crc u32 | payload), and the
+// encoding is a pure function of the Op, so any party holding the Op —
+// the primary that logged it, or the router that relayed it — produces
+// the same bytes. EncodeFrame/DecodeFrames are that codec, strict where
+// replay is forgiving: a torn or corrupt frame arriving over the wire
+// is a protocol error, not a crash artifact to truncate.
+
+// EncodeFrame returns the exact on-disk/on-wire frame bytes for one
+// mutation at the given dimension: length, CRC-32 of the payload, then
+// the payload (op, id, and for inserts the point words).
+func EncodeFrame(op Op, dim int) ([]byte, error) {
+	ptWords := bitvec.Words(dim)
+	length := 9
+	if op.Kind == OpInsert {
+		if len(op.Point) != ptWords {
+			return nil, fmt.Errorf("segment: frame insert point has %d words, want %d", len(op.Point), ptWords)
+		}
+		length += 8 * ptWords
+	} else if op.Kind != OpDelete {
+		return nil, fmt.Errorf("%w: unknown op kind %d", ErrWAL, op.Kind)
+	}
+	buf := make([]byte, walFrameLen+length)
+	payload := buf[walFrameLen:]
+	payload[0] = op.Kind
+	binary.LittleEndian.PutUint64(payload[1:], op.ID)
+	if op.Kind == OpInsert {
+		for i, word := range op.Point {
+			binary.LittleEndian.PutUint64(payload[9+8*i:], word)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(length))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// DecodeFrames decodes a contiguous run of frames. Unlike boot replay —
+// which truncates a torn tail because the mutation was never
+// acknowledged — a replication blob must be whole: any torn, corrupt,
+// or trailing bytes are an ErrWAL-tagged error, because the sender
+// claimed these frames were applied somewhere.
+func DecodeFrames(data []byte, dim int) ([]Op, error) {
+	ptWords := bitvec.Words(dim)
+	scratch := WAL{dim: dim, ptWords: ptWords}
+	var ops []Op
+	for off := 0; off < len(data); {
+		if len(data)-off < walFrameLen {
+			return nil, fmt.Errorf("%w: torn frame header at byte %d", ErrWAL, off)
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length < 9 || int(length) > 9+8*ptWords {
+			return nil, fmt.Errorf("%w: implausible frame length %d at byte %d", ErrWAL, length, off)
+		}
+		if len(data)-off-walFrameLen < int(length) {
+			return nil, fmt.Errorf("%w: torn frame payload at byte %d", ErrWAL, off)
+		}
+		payload := data[off+walFrameLen : off+walFrameLen+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("%w: frame checksum mismatch at byte %d", ErrWAL, off)
+		}
+		op, err := scratch.decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: undecodable frame at byte %d", ErrWAL, off)
+		}
+		ops = append(ops, op)
+		off += walFrameLen + int(length)
+	}
+	return ops, nil
+}
+
+// ReadWALFrames reads raw frame bytes out of the WAL file at path,
+// skipping the first `from` records, returning at most maxBytes of
+// whole frames (at least one frame when any is available, even if it
+// alone exceeds maxBytes) plus the count of frames returned. This is
+// the primary-side catch-up read: a replica at applied offset `from`
+// (relative to the log's base) is fed the records it is missing, as
+// the exact bytes the primary fsynced. Reading stops cleanly at a torn
+// tail — those bytes were never acknowledged and will be truncated by
+// the next replay — and maxBytes <= 0 means no byte bound.
+func ReadWALFrames(path string, dim int, from uint64, maxBytes int) ([]byte, int, error) {
+	ptWords := bitvec.Words(dim)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	head := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return nil, 0, fmt.Errorf("%w: short header in %s", ErrWAL, path)
+	}
+	if string(head[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic in %s", ErrWAL, path)
+	}
+	if v := binary.LittleEndian.Uint32(head[len(walMagic):]); v != walVersion {
+		return nil, 0, fmt.Errorf("%w: version %d, this build reads %d", ErrWAL, v, walVersion)
+	}
+	if d := binary.LittleEndian.Uint32(head[len(walMagic)+4:]); int(d) != dim {
+		return nil, 0, fmt.Errorf("%w: log holds dimension-%d points, want %d", ErrWAL, d, dim)
+	}
+	var out []byte
+	count := 0
+	frame := make([]byte, walFrameLen)
+	payload := make([]byte, 9+8*ptWords)
+	for {
+		if _, err := io.ReadFull(f, frame); err != nil {
+			break // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:])
+		if length < 9 || int(length) > len(payload) {
+			break // torn or corrupt: unacknowledged tail
+		}
+		p := payload[:length]
+		if _, err := io.ReadFull(f, p); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(p) != sum {
+			break
+		}
+		if from > 0 {
+			from--
+			continue
+		}
+		if count > 0 && maxBytes > 0 && len(out)+walFrameLen+int(length) > maxBytes {
+			break
+		}
+		out = append(out, frame...)
+		out = append(out, p...)
+		count++
+	}
+	if from > 0 {
+		return nil, 0, fmt.Errorf("segment: WAL %s holds fewer records than the requested offset (short by %d)", path, from)
+	}
+	return out, count, nil
+}

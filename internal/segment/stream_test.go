@@ -1,0 +1,180 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func testOps(dim, n int) []Op {
+	words := bitvec.Words(dim)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			ops = append(ops, Op{Kind: OpDelete, ID: uint64(i / 4)})
+			continue
+		}
+		pt := make(bitvec.Vector, words)
+		for w := range pt {
+			pt[w] = uint64(i+1) * 0x9e3779b97f4a7c15 >> uint(w%8)
+		}
+		ops = append(ops, Op{Kind: OpInsert, ID: uint64(100 + i), Point: pt})
+	}
+	return ops
+}
+
+// TestEncodeFrameMatchesWALAppend pins the wire/disk identity the whole
+// replication design rests on: the frame EncodeFrame produces for an Op
+// is byte-for-byte the frame WAL.Append writes for the same Op.
+func TestEncodeFrameMatchesWALAppend(t *testing.T) {
+	const dim = 128
+	path := filepath.Join(t.TempDir(), "a.wal")
+	w, _, err := OpenWAL(path, dim, 1, func(Op) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(dim, 9)
+	var want []byte
+	for _, op := range ops {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := EncodeFrame(op, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fr...)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadWALFrames(path, dim, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ops) {
+		t.Fatalf("read %d frames, want %d", n, len(ops))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("WAL bytes differ from EncodeFrame bytes (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestDecodeFramesRoundTrip proves encode→concat→decode is lossless and
+// that every corruption class is a loud error, never a silent truncation.
+func TestDecodeFramesRoundTrip(t *testing.T) {
+	const dim = 96
+	ops := testOps(dim, 7)
+	var blob []byte
+	for _, op := range ops {
+		fr, err := EncodeFrame(op, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, fr...)
+	}
+	got, err := DecodeFrames(blob, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i, op := range got {
+		if op.Kind != ops[i].Kind || op.ID != ops[i].ID {
+			t.Fatalf("op %d: got kind=%d id=%d, want kind=%d id=%d", i, op.Kind, op.ID, ops[i].Kind, ops[i].ID)
+		}
+		if op.Kind == OpInsert && !bitvec.Equal(op.Point, ops[i].Point) {
+			t.Fatalf("op %d: point round-trip mismatch", i)
+		}
+	}
+
+	// Truncation, trailing garbage, and a flipped payload bit must all
+	// fail with ErrWAL — a replication blob claims applied state.
+	for name, mangled := range map[string][]byte{
+		"torn tail":        blob[:len(blob)-3],
+		"trailing garbage": append(append([]byte{}, blob...), 0xAB, 0xCD),
+		"flipped bit": func() []byte {
+			b := append([]byte{}, blob...)
+			b[walFrameLen+2] ^= 0x10
+			return b
+		}(),
+	} {
+		if _, err := DecodeFrames(mangled, dim); !errors.Is(err, ErrWAL) {
+			t.Fatalf("%s: got %v, want ErrWAL", name, err)
+		}
+	}
+	if out, err := DecodeFrames(nil, dim); err != nil || out != nil {
+		t.Fatalf("empty blob: got %v ops, err %v", out, err)
+	}
+}
+
+// TestReadWALFramesFromOffset covers the catch-up read: skipping applied
+// records, the byte budget (whole frames only, at least one), the
+// too-far offset error, and stopping cleanly at an injected torn tail.
+func TestReadWALFramesFromOffset(t *testing.T) {
+	const dim = 64
+	path := filepath.Join(t.TempDir(), "b.wal")
+	w, _, err := OpenWAL(path, dim, 1, func(Op) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(dim, 12)
+	for _, op := range ops {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for from := 0; from <= len(ops); from++ {
+		blob, n, err := ReadWALFrames(path, dim, uint64(from), 0)
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if n != len(ops)-from {
+			t.Fatalf("from=%d: got %d frames, want %d", from, n, len(ops)-from)
+		}
+		decoded, err := DecodeFrames(blob, dim)
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		for i, op := range decoded {
+			if op.ID != ops[from+i].ID || op.Kind != ops[from+i].Kind {
+				t.Fatalf("from=%d op %d: got id=%d, want id=%d", from, i, op.ID, ops[from+i].ID)
+			}
+		}
+	}
+
+	// Byte budget: a single frame is at most walFrameLen+9+8*words bytes;
+	// asking for one byte must still deliver exactly one whole frame.
+	blob, n, err := ReadWALFrames(path, dim, 0, 1)
+	if err != nil || n != 1 {
+		t.Fatalf("maxBytes=1: n=%d err=%v", n, err)
+	}
+	if _, err := DecodeFrames(blob, dim); err != nil {
+		t.Fatalf("maxBytes=1 blob does not decode: %v", err)
+	}
+
+	if _, _, err := ReadWALFrames(path, dim, uint64(len(ops))+3, 0); err == nil {
+		t.Fatal("offset beyond the log must error")
+	}
+
+	// A torn in-flight append at the tail is not part of replicated
+	// state: the read stops before it without error.
+	if err := AppendTornFrame(path); err != nil {
+		t.Fatal(err)
+	}
+	_, n, err = ReadWALFrames(path, dim, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ops)-4 {
+		t.Fatalf("after torn tail: got %d frames, want %d", n, len(ops)-4)
+	}
+}

@@ -48,7 +48,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.inserts.Add(1)
-	writeJSON(w, http.StatusOK, InsertResponse{ID: id})
+	resp := InsertResponse{ID: id}
+	// The post-insert replication offset is the sequence number this op's
+	// frame carries when relayed (writes through the router are
+	// serialized, so offset-after == this op's seq).
+	if rep, ok := s.idx.(Replicator); ok {
+		resp.Offset = rep.ReplicationOffset()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleDelete serves POST /v1/delete.
@@ -73,5 +80,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.deletes.Add(1)
-	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: deleted})
+	resp := DeleteResponse{Deleted: deleted}
+	if rep, ok := s.idx.(Replicator); ok {
+		resp.Offset = rep.ReplicationOffset()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

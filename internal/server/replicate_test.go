@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/anns"
+	"repro/internal/hamming"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// newReplicaPair serves a WAL-backed primary and a WAL-less replica over
+// the same base build, the minimal topology the replication endpoints
+// exist for.
+func newReplicaPair(t *testing.T) (primary, replica *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	r := rng.New(31)
+	inst := workload.PlantedNN(r, testDim, 40, 8, 6)
+	build := func() *anns.Index {
+		pts := make([]anns.Point, len(inst.DB))
+		copy(pts, inst.DB)
+		ix, err := anns.Build(pts, anns.Options{Dimension: testDim, Rounds: 2, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	serve := func(wal string) *httptest.Server {
+		mx, err := anns.NewMutable(build(), anns.MutableConfig{Synchronous: true, MemtableCap: 8, WALPath: wal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(mx, Config{Dimension: testDim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Close()
+			mx.Close()
+		})
+		return hs
+	}
+	return serve(filepath.Join(dir, "primary.wal")), serve("")
+}
+
+// TestReplicateEndpoints drives the full relay loop over HTTP: mutate
+// the primary, read its frames via /v1/frames, apply them to the replica
+// via /v1/replicate, and require convergent offsets and byte-identical
+// answers — plus the 409-gap and duplicate-delivery contracts the router
+// relies on.
+func TestReplicateEndpoints(t *testing.T) {
+	primary, replica := newReplicaPair(t)
+	r := rng.New(77)
+
+	var lastOffset uint64
+	for i := 0; i < 12; i++ {
+		resp, body := post(t, primary.URL+"/v1/insert", InsertRequest{Point: EncodePoint(hamming.Random(r, testDim))})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d: %d %s", i, resp.StatusCode, body)
+		}
+		var ins InsertResponse
+		if err := json.Unmarshal(body, &ins); err != nil {
+			t.Fatal(err)
+		}
+		if ins.Offset != uint64(i+1) {
+			t.Fatalf("insert %d acked offset %d, want %d", i, ins.Offset, i+1)
+		}
+		lastOffset = ins.Offset
+	}
+	id := uint64(41)
+	resp, body := post(t, primary.URL+"/v1/delete", DeleteRequest{ID: &id})
+	var del DeleteResponse
+	if err := json.Unmarshal(body, &del); err != nil || !del.Deleted {
+		t.Fatalf("delete: %d %s (%v)", resp.StatusCode, body, err)
+	}
+	if del.Offset != lastOffset+1 {
+		t.Fatalf("delete acked offset %d, want %d", del.Offset, lastOffset+1)
+	}
+	total := del.Offset
+
+	// Frames from beyond a replica's offset are a 409 gap carrying the
+	// replica's applied offset, and apply nothing.
+	fetch := func(from uint64, maxBytes int) FramesResponse {
+		t.Helper()
+		resp, body := post(t, primary.URL+"/v1/frames", FramesRequest{From: from, MaxBytes: maxBytes})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("frames from %d: %d %s", from, resp.StatusCode, body)
+		}
+		var fr FramesResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatal(err)
+		}
+		return fr
+	}
+	fr := fetch(3, 0)
+	if fr.Count != int(total-3) || fr.Offset != total {
+		t.Fatalf("frames from 3: count=%d offset=%d, want %d/%d", fr.Count, fr.Offset, total-3, total)
+	}
+	resp, body = post(t, replica.URL+"/v1/replicate", ReplicateRequest{From: 3, Frames: fr.Frames})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("gap relay: %d %s, want 409", resp.StatusCode, body)
+	}
+	var rr ReplicateResponse
+	if err := json.Unmarshal(body, &rr); err != nil || rr.Offset != 0 {
+		t.Fatalf("gap answer must carry the replica offset 0: %+v (%v)", rr, err)
+	}
+
+	// The real relay: everything from 0, twice — the second delivery is a
+	// duplicate and must be a clean no-op at the same offset.
+	fr = fetch(0, 0)
+	if fr.Count != int(total) {
+		t.Fatalf("frames from 0: count=%d, want %d", fr.Count, total)
+	}
+	for pass := 0; pass < 2; pass++ {
+		resp, body = post(t, replica.URL+"/v1/replicate", ReplicateRequest{From: 0, Frames: fr.Frames})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("relay pass %d: %d %s", pass, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &rr); err != nil || rr.Offset != total {
+			t.Fatalf("relay pass %d: offset %d, want %d (%v)", pass, rr.Offset, total, err)
+		}
+	}
+
+	// An empty steady-state poll answers 200 with zero frames.
+	if fr = fetch(total, 0); fr.Count != 0 || fr.Frames != "" {
+		t.Fatalf("caught-up fetch: %+v", fr)
+	}
+
+	// Byte-identical serving: every query answers the same on both sides.
+	qr := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		q := QueryRequest{Point: EncodePoint(hamming.Random(qr, testDim))}
+		_, pb := post(t, primary.URL+"/v1/query", q)
+		_, rb := post(t, replica.URL+"/v1/query", q)
+		if string(pb) != string(rb) {
+			t.Fatalf("query %d diverged:\nprimary %s\nreplica %s", trial, pb, rb)
+		}
+	}
+
+	// Health reports write progress on both sides.
+	hr, err := http.Get(replica.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h Health
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ReplicationOffset == nil || *h.ReplicationOffset != total || h.NextID == nil {
+		t.Fatalf("replica healthz missing write progress: %+v", h)
+	}
+}
+
+// TestReplicateOnImmutableServer pins the typed 501s.
+func TestReplicateOnImmutableServer(t *testing.T) {
+	_, hs, _ := newTestServer(t, Config{})
+	if resp, _ := post(t, hs.URL+"/v1/replicate", ReplicateRequest{}); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("replicate on immutable: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, hs.URL+"/v1/frames", FramesRequest{}); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("frames on immutable: %d", resp.StatusCode)
+	}
+}
+
+// TestReplicateRejectsGarbage: a blob that does not decode as CRC-framed
+// WAL records is a 400, applies nothing, and counts a replication error.
+func TestReplicateRejectsGarbage(t *testing.T) {
+	_, replica := newReplicaPair(t)
+	if resp, _ := post(t, replica.URL+"/v1/replicate", ReplicateRequest{From: 0, Frames: "AAAA"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage frames: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(t, replica.URL+"/v1/replicate", ReplicateRequest{From: 0, Frames: "!!"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-base64 frames: %d, want 400", resp.StatusCode)
+	}
+}

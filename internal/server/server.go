@@ -156,6 +156,7 @@ type metrics struct {
 	probes, rounds              atomic.Int64
 	maxRounds, maxParallel      atomic.Int64
 	inserts, deletes, mutErrors atomic.Int64
+	replFrames, replErrors      atomic.Int64
 }
 
 func atomicMax(a *atomic.Int64, v int64) {
@@ -224,6 +225,8 @@ func New(idx Searcher, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
+	s.mux.HandleFunc("POST /v1/frames", s.handleFrames)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	for w := 0; w < cfg.Workers; w++ {
@@ -533,6 +536,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if o, ok := s.idx.(interface{ Options() anns.Options }); ok {
 		h.Seed = o.Options().Seed
 	}
+	// Mutable servers additionally report write progress: the router seeds
+	// its global ID counter from NextID and ranks replicas for promotion
+	// by ReplicationOffset.
+	if ms, ok := s.idx.(mutableStatser); ok {
+		st := ms.MutableStats()
+		h.NextID = &st.NextID
+		h.ReplicationOffset = &st.ReplicationOffset
+	}
 	writeJSON(w, http.StatusOK, h)
 }
 
@@ -540,42 +551,45 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Stats() StatsSnapshot {
 	up := time.Since(s.start)
 	snap := StatsSnapshot{
-		UptimeMS:         up.Milliseconds(),
-		Queries:          s.m.queries.Load(),
-		Batches:          s.m.batches.Load(),
-		Near:             s.m.near.Load(),
-		Errors:           s.m.errors.Load(),
-		Rejected:         s.m.rejected.Load(),
-		DeadlineExceeded: s.m.deadline.Load(),
-		Probes:           s.m.probes.Load(),
-		Rounds:           s.m.rounds.Load(),
-		MaxRounds:        s.m.maxRounds.Load(),
-		MaxParallel:      s.m.maxParallel.Load(),
-		QueueLen:         len(s.queue),
-		Workers:          s.cfg.Workers,
-		IndexSource:      s.cfg.Index.Source,
-		SnapshotVersion:  s.cfg.Index.SnapshotVersion,
-		IndexLoadMS:      s.cfg.Index.LoadDuration.Milliseconds(),
-		MappedBytes:      s.cfg.Index.MappedBytes,
-		Inserts:          s.m.inserts.Load(),
-		Deletes:          s.m.deletes.Load(),
-		MutationErrors:   s.m.mutErrors.Load(),
-		Cache:            CacheStatsOf(s.cache),
+		UptimeMS:          up.Milliseconds(),
+		Queries:           s.m.queries.Load(),
+		Batches:           s.m.batches.Load(),
+		Near:              s.m.near.Load(),
+		Errors:            s.m.errors.Load(),
+		Rejected:          s.m.rejected.Load(),
+		DeadlineExceeded:  s.m.deadline.Load(),
+		Probes:            s.m.probes.Load(),
+		Rounds:            s.m.rounds.Load(),
+		MaxRounds:         s.m.maxRounds.Load(),
+		MaxParallel:       s.m.maxParallel.Load(),
+		QueueLen:          len(s.queue),
+		Workers:           s.cfg.Workers,
+		IndexSource:       s.cfg.Index.Source,
+		SnapshotVersion:   s.cfg.Index.SnapshotVersion,
+		IndexLoadMS:       s.cfg.Index.LoadDuration.Milliseconds(),
+		MappedBytes:       s.cfg.Index.MappedBytes,
+		Inserts:           s.m.inserts.Load(),
+		Deletes:           s.m.deletes.Load(),
+		MutationErrors:    s.m.mutErrors.Load(),
+		ReplicatedFrames:  s.m.replFrames.Load(),
+		ReplicationErrors: s.m.replErrors.Load(),
+		Cache:             CacheStatsOf(s.cache),
 	}
 	if ms, ok := s.idx.(mutableStatser); ok {
 		st := ms.MutableStats()
 		snap.Mutable = &MutableStats{
-			LiveN:            st.LiveN,
-			Memtable:         st.Memtable,
-			SealedSegments:   st.Sealed,
-			SegmentsBuilt:    st.SegmentsBuilt,
-			Compactions:      st.Compactions,
-			Tombstones:       st.Tombstones,
-			NextID:           st.NextID,
-			WALReplayed:      st.WALReplayed,
-			WALBytes:         st.WALBytes,
-			LastCompactError: st.LastCompactError,
-			Generation:       st.Generation,
+			LiveN:             st.LiveN,
+			Memtable:          st.Memtable,
+			SealedSegments:    st.Sealed,
+			SegmentsBuilt:     st.SegmentsBuilt,
+			Compactions:       st.Compactions,
+			Tombstones:        st.Tombstones,
+			NextID:            st.NextID,
+			WALReplayed:       st.WALReplayed,
+			WALBytes:          st.WALBytes,
+			LastCompactError:  st.LastCompactError,
+			Generation:        st.Generation,
+			ReplicationOffset: st.ReplicationOffset,
 		}
 	}
 	if sec := up.Seconds(); sec > 0 {

@@ -62,9 +62,12 @@ type InsertRequest struct {
 // InsertResponse acknowledges an insert with the point's assigned
 // stable ID (the handle /v1/delete takes, and the value Result.Index
 // reports when this point answers a query). On a WAL-backed server the
-// insert is durable when this response is written.
+// insert is durable when this response is written. Offset is the
+// replication offset after this insert — the sequence number the op's
+// frame carries on the wire (present only on replicating tiers).
 type InsertResponse struct {
-	ID uint64 `json:"id"`
+	ID     uint64 `json:"id"`
+	Offset uint64 `json:"offset,omitempty"`
 }
 
 // DeleteRequest is the body of POST /v1/delete. ID is a pointer so a
@@ -73,9 +76,47 @@ type DeleteRequest struct {
 	ID *uint64 `json:"id"`
 }
 
-// DeleteResponse reports whether the ID named a live point.
+// DeleteResponse reports whether the ID named a live point. Offset is
+// the replication offset after the delete (unchanged when Deleted is
+// false — a dead target gains no WAL record and no frame).
 type DeleteResponse struct {
-	Deleted bool `json:"deleted"`
+	Deleted bool   `json:"deleted"`
+	Offset  uint64 `json:"offset,omitempty"`
+}
+
+// ReplicateRequest is the body of POST /v1/replicate: Frames is standard
+// base64 of concatenated CRC-framed WAL records (byte-identical to the
+// on-disk WAL format, §7), the first of which carries sequence number
+// From+1 — i.e. the sender believes the receiver's applied offset is
+// From.
+type ReplicateRequest struct {
+	From   uint64 `json:"from"`
+	Frames string `json:"frames"`
+}
+
+// ReplicateResponse reports the replica's applied offset after the call.
+// On 409 (replication gap) Offset tells the relay where to resume the
+// catch-up read; on 200 it equals From + the number of frames sent.
+type ReplicateResponse struct {
+	Offset uint64 `json:"offset"`
+	Error  string `json:"error,omitempty"`
+}
+
+// FramesRequest is the body of POST /v1/frames: the catch-up read for
+// the WAL records after applied offset From, up to MaxBytes of whole
+// frames (0 for no bound).
+type FramesRequest struct {
+	From     uint64 `json:"from"`
+	MaxBytes int    `json:"max_bytes,omitempty"`
+}
+
+// FramesResponse carries Count frames as base64 of their concatenated
+// wire bytes, plus the primary's applied offset at read time (so the
+// caller knows whether another round is needed).
+type FramesResponse struct {
+	Frames string `json:"frames,omitempty"`
+	Count  int    `json:"count"`
+	Offset uint64 `json:"offset"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -100,19 +141,30 @@ type MutableStats struct {
 	// mutation that can change a query's folded reply, and is the result
 	// cache's invalidation epoch.
 	Generation uint64 `json:"generation"`
+	// ReplicationOffset is the count of mutations applied since the base —
+	// the sequence number of the last applied WAL frame (§11). Two
+	// replicas at the same offset hold byte-identical state.
+	ReplicationOffset uint64 `json:"replication_offset"`
 }
 
 // Health is the body of GET /healthz. Seed is the served index's build
 // seed (0 when unknown): shards of one logical index carry distinct
 // derived seeds, so a router can verify a replica serves the shard its
 // position claims, not just an index of the right shape.
+// NextID and ReplicationOffset are present only on mutable servers: a
+// router uses them to seed global ID assignment and to rank replicas by
+// replication progress (promotion picks the max offset). They are
+// pointers so an immutable server is distinguishable from a mutable one
+// at offset 0.
 type Health struct {
-	Status   string `json:"status"`
-	N        int    `json:"n"`
-	Shards   int    `json:"shards"`
-	Dim      int    `json:"dim"`
-	Seed     uint64 `json:"seed,omitempty"`
-	UptimeMS int64  `json:"uptime_ms"`
+	Status            string  `json:"status"`
+	N                 int     `json:"n"`
+	Shards            int     `json:"shards"`
+	Dim               int     `json:"dim"`
+	Seed              uint64  `json:"seed,omitempty"`
+	UptimeMS          int64   `json:"uptime_ms"`
+	NextID            *uint64 `json:"next_id,omitempty"`
+	ReplicationOffset *uint64 `json:"replication_offset,omitempty"`
 }
 
 // StatsSnapshot is the body of GET /statsz: monotonic totals since start
@@ -142,10 +194,14 @@ type StatsSnapshot struct {
 	MappedBytes     int64  `json:"mapped_bytes,omitempty"`
 	// Mutation counters (zero on immutable servers) and, when the served
 	// index is a mutable tier, its internal state.
-	Inserts        int64         `json:"inserts"`
-	Deletes        int64         `json:"deletes"`
-	MutationErrors int64         `json:"mutation_errors,omitempty"`
-	Mutable        *MutableStats `json:"mutable,omitempty"`
+	Inserts        int64 `json:"inserts"`
+	Deletes        int64 `json:"deletes"`
+	MutationErrors int64 `json:"mutation_errors,omitempty"`
+	// Replication counters: frames applied via /v1/replicate and
+	// replication-surface errors (gaps, diverged streams, bad blobs).
+	ReplicatedFrames  int64         `json:"replicated_frames,omitempty"`
+	ReplicationErrors int64         `json:"replication_errors,omitempty"`
+	Mutable           *MutableStats `json:"mutable,omitempty"`
 	// Cache is the result-cache block (present only when Config.CacheEntries
 	// enabled one).
 	Cache *CacheStats `json:"cache,omitempty"`
