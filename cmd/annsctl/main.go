@@ -19,11 +19,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -344,6 +347,72 @@ func inspectServer(base string) {
 	}
 	fmt.Printf("served: %d queries (%d near, %d batches), %d errors\n",
 		snap.Queries, snap.Near, snap.Batches, snap.Errors)
+	inspectMetrics(client, base)
+}
+
+// inspectMetrics summarizes the server's /metricsz exposition: scrape
+// freshness and the top-N series by value, so one inspection entry point
+// covers both the JSON rollup and the Prometheus surface. A server built
+// before /metricsz existed just reports the endpoint as absent.
+func inspectMetrics(client *http.Client, base string) {
+	const topN = 10
+	t0 := time.Now()
+	resp, err := client.Get(base + "/metricsz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		fmt.Printf("metricsz: unavailable\n")
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		fmt.Printf("metricsz: %v\n", err)
+		return
+	}
+	elapsed := time.Since(t0)
+	type sample struct {
+		name  string
+		value float64
+	}
+	var samples []sample
+	series := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		series++
+		// Histogram expansion lines (cumulative buckets, _sum) would
+		// drown the counters in the top-N; rank only plain series and
+		// histogram _count totals.
+		name := line[:sp]
+		if strings.Contains(name, "_bucket") || strings.Contains(name, "_sum") {
+			continue
+		}
+		samples = append(samples, sample{name: name, value: v})
+	}
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].value != samples[j].value {
+			return samples[i].value > samples[j].value
+		}
+		return samples[i].name < samples[j].name
+	})
+	fmt.Printf("metricsz: %d series, scraped in %v\n", series, elapsed.Round(time.Millisecond))
+	for i, s := range samples {
+		if i >= topN {
+			break
+		}
+		fmt.Printf("  %-60s %g\n", s.name, s.value)
+	}
 }
 
 // getJSON fetches url and decodes the body into v.

@@ -53,7 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,10 +61,23 @@ import (
 
 	"repro/anns"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
+
+// Structured logging (log/slog JSON on stderr) replaces the scattered
+// log.Printf: boot lines, slow queries, and sampled traces all land in
+// one greppable stream.
+var logger = obs.NewLogger(os.Stderr)
+
+func infof(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", ":7080", "listen address")
@@ -97,14 +110,17 @@ func main() {
 	batchWorkers := flag.Int("batch-workers", 0, "per-batch worker pool (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("max-batch", 4096, "max points per /v1/batch request")
 	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests whose trace is logged (0..1)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log any request at or above this duration in full (0 = disabled)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	if *mmapServe {
 		if *snapPath == "" {
-			log.Fatalf("annsd: -mmap requires -snapshot")
+			fatalf("annsd: -mmap requires -snapshot")
 		}
 		if *mutable {
-			log.Fatalf("annsd: -mmap applies to the immutable serving tiers; the mutable tier owns its memory (see DESIGN.md §9)")
+			fatalf("annsd: -mmap applies to the immutable serving tiers; the mutable tier owns its memory (see DESIGN.md §9)")
 		}
 	}
 
@@ -127,7 +143,7 @@ func main() {
 		case "soph":
 			opts.Algorithm = anns.Sophisticated
 		default:
-			log.Fatalf("annsd: unknown -algo %q", *algo)
+			fatalf("annsd: unknown -algo %q", *algo)
 		}
 		return opts
 	}
@@ -141,9 +157,9 @@ func main() {
 			inst, err = spec.Generate()
 		}
 		if err != nil {
-			log.Fatalf("annsd: %v", err)
+			fatalf("annsd: %v", err)
 		}
-		log.Printf("workload: %s", inst)
+		infof("workload: %s", inst)
 		return inst
 	}
 
@@ -156,7 +172,7 @@ func main() {
 
 	if *mutable {
 		if *savePath != "" {
-			log.Fatalf("annsd: -mutable persists through -snapshot; -save-snapshot is not supported")
+			fatalf("annsd: -mutable persists through -snapshot; -save-snapshot is not supported")
 		}
 		walSyncEvery := *walSync
 		if walSyncEvery == 0 {
@@ -177,7 +193,7 @@ func main() {
 			// Single-process sharded mutable reference (DESIGN.md §11): the
 			// oracle a routed replicated cluster must match byte for byte.
 			if *snapPath != "" || *baseSnap != "" {
-				log.Fatalf("annsd: -mutable -shards builds from the workload flags; snapshots are not supported")
+				fatalf("annsd: -mutable -shards builds from the workload flags; snapshots are not supported")
 			}
 			mcfg.SnapshotPath = ""
 			start := time.Now()
@@ -186,34 +202,34 @@ func main() {
 			copy(points, inst.DB)
 			msx, err := anns.BuildMutableSharded(points, *shards, queryOpts(inst.D), mcfg)
 			if err != nil {
-				log.Fatalf("annsd: %v", err)
+				fatalf("annsd: %v", err)
 			}
 			info.LoadDuration = time.Since(start)
 			st := msx.MutableStats()
 			dim, idx, mclose = inst.D, msx, msx
-			log.Printf("mutable sharded tier: %d shards over n=%d in %v; wal=%q (per-shard suffixes)",
+			infof("mutable sharded tier: %d shards over n=%d in %v; wal=%q (per-shard suffixes)",
 				msx.Shards(), st.LiveN, info.LoadDuration.Round(time.Millisecond), *walPath)
 		case *baseSnap != "":
 			// Replica boot: immutable base + WAL only. No SnapshotPath — a
 			// compaction persist would truncate the WAL and desync this
 			// replica's offset from its peers.
 			if *snapPath != "" {
-				log.Fatalf("annsd: -base-snapshot and -snapshot are mutually exclusive (a replica never rewrites its base; see DESIGN.md §11)")
+				fatalf("annsd: -base-snapshot and -snapshot are mutually exclusive (a replica never rewrites its base; see DESIGN.md §11)")
 			}
 			mcfg.SnapshotPath = ""
 			start := time.Now()
 			f, err := os.Open(*baseSnap)
 			if err != nil {
-				log.Fatalf("annsd: %v", err)
+				fatalf("annsd: %v", err)
 			}
 			base, err := anns.LoadIndex(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("annsd: loading base snapshot %s: %v", *baseSnap, err)
+				fatalf("annsd: loading base snapshot %s: %v", *baseSnap, err)
 			}
 			mx, err := anns.NewMutable(base, mcfg)
 			if err != nil {
-				log.Fatalf("annsd: %v", err)
+				fatalf("annsd: %v", err)
 			}
 			info = server.IndexInfo{
 				Source:          "snapshot",
@@ -223,20 +239,20 @@ func main() {
 			}
 			st := mx.MutableStats()
 			dim, idx, mclose = mx.Options().Dimension, mx, mx
-			log.Printf("mutable replica: base %s (n=%d) + wal=%q replayed=%d, offset=%d in %v",
+			infof("mutable replica: base %s (n=%d) + wal=%q replayed=%d, offset=%d in %v",
 				*baseSnap, st.LiveN, *walPath, st.WALReplayed, st.ReplicationOffset,
 				info.LoadDuration.Round(time.Millisecond))
 		default:
 			mx := bootMutableSingle(&mcfg, *snapPath, loadInstance, queryOpts, &info)
 			st := mx.MutableStats()
 			dim, idx, mclose = mx.Options().Dimension, mx, mx
-			log.Printf("mutable tier: n=%d (memtable %d, %d sealed, %d tombstones) in %v; wal=%q replayed=%d",
+			infof("mutable tier: n=%d (memtable %d, %d sealed, %d tombstones) in %v; wal=%q replayed=%d",
 				st.LiveN, st.Memtable, st.Sealed, st.Tombstones,
 				info.LoadDuration.Round(time.Millisecond), *walPath, st.WALReplayed)
 		}
 	} else if *snapPath != "" {
 		if *savePath != "" {
-			log.Fatalf("annsd: -snapshot and -save-snapshot are mutually exclusive")
+			fatalf("annsd: -snapshot and -save-snapshot are mutually exclusive")
 		}
 		start := time.Now()
 		mode := anns.LoadHeap
@@ -245,7 +261,7 @@ func main() {
 		}
 		loaded, err := anns.OpenSnapshot(*snapPath, mode)
 		if err != nil {
-			log.Fatalf("annsd: loading snapshot %s: %v", *snapPath, err)
+			fatalf("annsd: loading snapshot %s: %v", *snapPath, err)
 		}
 		// The mapping (when mmap-backed) stays open for the life of the
 		// process: the served index borrows its storage from it.
@@ -255,7 +271,7 @@ func main() {
 			source = "mmap"
 		}
 		if loaded.FallbackReason != "" {
-			log.Printf("snapshot: mmap unavailable (%s); serving from the heap loader", loaded.FallbackReason)
+			infof("snapshot: mmap unavailable (%s); serving from the heap loader", loaded.FallbackReason)
 		}
 		info = server.IndexInfo{
 			Source:          source,
@@ -270,19 +286,19 @@ func main() {
 			// corrupt file is still fatal, just asynchronously.
 			go func() {
 				if err := loaded.VerifyChecksum(); err != nil {
-					log.Fatalf("annsd: snapshot %s failed post-boot checksum verification: %v", *snapPath, err)
+					fatalf("annsd: snapshot %s failed post-boot checksum verification: %v", *snapPath, err)
 				}
-				log.Printf("snapshot: background checksum verified (%d mapped bytes)", loaded.MappedBytes)
+				infof("snapshot: background checksum verified (%d mapped bytes)", loaded.MappedBytes)
 			}()
 		}
 		if sharded != nil {
 			idx, dim = sharded, sharded.Options().Dimension
-			log.Printf("index: loaded from snapshot %s in %v (source %s, format v%d, %d shards over n=%d, k=%d)",
+			infof("index: loaded from snapshot %s in %v (source %s, format v%d, %d shards over n=%d, k=%d)",
 				*snapPath, info.LoadDuration.Round(time.Millisecond), source, info.SnapshotVersion,
 				sharded.Shards(), sharded.Len(), sharded.Options().Rounds)
 		} else {
 			idx, dim = single, single.Options().Dimension
-			log.Printf("index: loaded from snapshot %s in %v (source %s, format v%d, n=%d, k=%d)",
+			infof("index: loaded from snapshot %s in %v (source %s, format v%d, n=%d, k=%d)",
 				*snapPath, info.LoadDuration.Round(time.Millisecond), source, info.SnapshotVersion,
 				single.Len(), single.Options().Rounds)
 		}
@@ -294,23 +310,23 @@ func main() {
 		copy(points, inst.DB)
 		built, err := anns.BuildSharded(points, *shards, opts)
 		if err != nil {
-			log.Fatalf("annsd: %v", err)
+			fatalf("annsd: %v", err)
 		}
 		info.LoadDuration = time.Since(start)
 		sp := built.Space()
-		log.Printf("index: built %d shards over n=%d in %v (k=%d, γ=%v, algo=%s); nominal log₂ cells %.1f",
+		infof("index: built %d shards over n=%d in %v (k=%d, γ=%v, algo=%s); nominal log₂ cells %.1f",
 			built.Shards(), built.Len(), info.LoadDuration.Round(time.Millisecond), *k, *gamma, *algo,
 			sp.NominalLog2Cells)
 		if *savePath != "" {
 			t0 := time.Now()
 			if err := saveSharded(*savePath, built); err != nil {
-				log.Fatalf("annsd: %v", err)
+				fatalf("annsd: %v", err)
 			}
 			size := int64(-1)
 			if st, err := os.Stat(*savePath); err == nil {
 				size = st.Size()
 			}
-			log.Printf("snapshot: saved %s (%d bytes) in %v", *savePath, size,
+			infof("snapshot: saved %s (%d bytes) in %v", *savePath, size,
 				time.Since(t0).Round(time.Millisecond))
 		}
 		idx, dim = built, inst.D
@@ -325,42 +341,56 @@ func main() {
 		DefaultTimeout: *timeout,
 		CacheEntries:   *cacheEntries,
 		Index:          info,
+		Trace: obs.TracerConfig{
+			Seed:      *seed,
+			Sample:    *traceSample,
+			SlowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
+			Logger:    logger,
+		},
 	})
 	if err != nil {
-		log.Fatalf("annsd: %v", err)
+		fatalf("annsd: %v", err)
+	}
+	if *debugAddr != "" {
+		go func() {
+			infof("debug/pprof on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.PprofMux()); err != nil {
+				infof("annsd: debug listener: %v", err)
+			}
+		}()
 	}
 	if *cacheEntries > 0 {
-		log.Printf("result cache: %d entries (epoch-invalidated)", *cacheEntries)
+		infof("result cache: %d entries (epoch-invalidated)", *cacheEntries)
 	} else {
-		log.Printf("result cache: disabled")
+		infof("result cache: disabled")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("serving on %s", *addr)
+	infof("serving on %s", *addr)
 
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatalf("annsd: %v", err)
+			fatalf("annsd: %v", err)
 		}
 	case <-ctx.Done():
 		// SIGTERM/SIGINT: stop accepting, answer every in-flight and
 		// queued request, then exit. CI teardown (`kill` + `wait`) relies
 		// on this being deterministic.
-		log.Printf("shutting down: draining in-flight requests and admission queue")
+		infof("shutting down: draining in-flight requests and admission queue")
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shctx); err != nil {
-			log.Printf("annsd: shutdown: %v", err)
+			infof("annsd: shutdown: %v", err)
 		}
 		if mclose != nil {
 			// Flush and close the WAL after the last mutation has been
 			// answered; the log alone can rebuild this state.
 			if err := mclose.Close(); err != nil {
-				log.Printf("annsd: closing mutable tier: %v", err)
+				infof("annsd: closing mutable tier: %v", err)
 			}
 		}
 		snap := srv.Stats()
@@ -386,18 +416,18 @@ func bootMutableSingle(mcfg *anns.MutableConfig, snapPath string, loadInstance f
 		default:
 			// Any other failure must not silently shadow (and later
 			// overwrite) an existing snapshot with a fresh build.
-			log.Fatalf("annsd: stat %s: %v", snapPath, err)
+			fatalf("annsd: stat %s: %v", snapPath, err)
 		}
 	}
 	if snapExists {
 		f, err := os.Open(snapPath)
 		if err != nil {
-			log.Fatalf("annsd: %v", err)
+			fatalf("annsd: %v", err)
 		}
 		mx, err := anns.LoadMutable(f, *mcfg)
 		f.Close()
 		if err != nil {
-			log.Fatalf("annsd: loading mutable snapshot %s: %v", snapPath, err)
+			fatalf("annsd: loading mutable snapshot %s: %v", snapPath, err)
 		}
 		*info = server.IndexInfo{
 			Source:          "snapshot",
@@ -415,12 +445,12 @@ func bootMutableSingle(mcfg *anns.MutableConfig, snapPath string, loadInstance f
 	opts := queryOpts(inst.D)
 	base, err := anns.Build(points, opts)
 	if err != nil {
-		log.Fatalf("annsd: %v", err)
+		fatalf("annsd: %v", err)
 	}
 	mcfg.Options = opts
 	mx, err := anns.NewMutable(base, *mcfg)
 	if err != nil {
-		log.Fatalf("annsd: %v", err)
+		fatalf("annsd: %v", err)
 	}
 	info.LoadDuration = time.Since(start)
 	return mx

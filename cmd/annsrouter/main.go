@@ -40,7 +40,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -49,8 +49,21 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/router"
 )
+
+// Structured logging (log/slog JSON on stderr) replaces the scattered
+// log.Printf: boot lines, slow queries, and sampled traces all land in
+// one greppable stream.
+var logger = obs.NewLogger(os.Stderr)
+
+func infof(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
 
 // shardFlags collects repeated -shard "POS=url[,url...]" assignments.
 type shardFlags map[int][]string
@@ -97,17 +110,21 @@ func main() {
 	evictAfter := flag.Int("evict-after", 2, "consecutive failures that evict a replica")
 	backoffBase := flag.Duration("backoff-base", 500*time.Millisecond, "initial eviction backoff")
 	backoffMax := flag.Duration("backoff-max", 8*time.Second, "eviction backoff cap")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests whose trace is logged (0..1)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log any request at or above this duration in full (0 = disabled)")
+	traceSeed := flag.Uint64("trace-seed", 1, "trace-ID derivation seed (fixed seed = reproducible IDs)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	if *manifest == "" {
-		log.Fatal("annsrouter: -manifest is required")
+		fatalf("annsrouter: -manifest is required")
 	}
 	m, err := router.LoadManifest(*manifest)
 	if err != nil {
-		log.Fatalf("annsrouter: %v", err)
+		fatalf("annsrouter: %v", err)
 	}
 	if len(shards) != m.Shards {
-		log.Fatalf("annsrouter: manifest has %d shards, -shard flags cover %d", m.Shards, len(shards))
+		fatalf("annsrouter: manifest has %d shards, -shard flags cover %d", m.Shards, len(shards))
 	}
 	replicas := make([][]string, m.Shards)
 	positions := make([]int, 0, len(shards))
@@ -117,7 +134,7 @@ func main() {
 	sort.Ints(positions)
 	for _, s := range positions {
 		if s >= m.Shards {
-			log.Fatalf("annsrouter: -shard %d out of range for %d shards", s, m.Shards)
+			fatalf("annsrouter: -shard %d out of range for %d shards", s, m.Shards)
 		}
 		replicas[s] = shards[s]
 	}
@@ -151,37 +168,51 @@ func main() {
 		Durability:     *durability,
 		Manifest:       m,
 		ManifestPath:   *manifest,
+		Trace: obs.TracerConfig{
+			Seed:      *traceSeed,
+			Sample:    *traceSample,
+			SlowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
+			Logger:    logger,
+		},
 	})
 	if err != nil {
-		log.Fatalf("annsrouter: %v", err)
+		fatalf("annsrouter: %v", err)
+	}
+	if *debugAddr != "" {
+		go func() {
+			infof("debug/pprof on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.PprofMux()); err != nil {
+				infof("annsrouter: debug listener: %v", err)
+			}
+		}()
 	}
 	for s, urls := range replicas {
-		log.Printf("shard %d: %d replicas: %s (primary position %d)", s, len(urls), strings.Join(urls, " "), m.Files[s].Primary)
+		infof("shard %d: %d replicas: %s (primary position %d)", s, len(urls), strings.Join(urls, " "), m.Files[s].Primary)
 	}
-	log.Printf("writes: durability=%s, placement epoch %d", *durability, m.Epoch)
+	infof("writes: durability=%s, placement epoch %d", *durability, m.Epoch)
 	if *cacheEntries > 0 {
-		log.Printf("result cache: %d entries (immutable snapshots: no invalidation needed)", *cacheEntries)
+		infof("result cache: %d entries (immutable snapshots: no invalidation needed)", *cacheEntries)
 	} else {
-		log.Printf("result cache: disabled")
+		infof("result cache: disabled")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- rt.ListenAndServe(*addr) }()
-	log.Printf("routing %d shards (n=%d, d=%d) on %s", m.Shards, m.N, m.Dimension, *addr)
+	infof("routing %d shards (n=%d, d=%d) on %s", m.Shards, m.N, m.Dimension, *addr)
 
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatalf("annsrouter: %v", err)
+			fatalf("annsrouter: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		infof("shutting down")
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := rt.Shutdown(shctx); err != nil {
-			log.Printf("annsrouter: shutdown: %v", err)
+			infof("annsrouter: shutdown: %v", err)
 		}
 		snap := rt.Stats()
 		fmt.Printf("routed %d queries (%d near, %d batches), %d errors, %d hedges (%d wins), %d failovers\n",

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/anns"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -204,8 +205,11 @@ func (c *Cluster) ClearFaults() {
 // tight probe/backoff cadence so detection and readmission happen in
 // milliseconds, a sub-second attempt timeout so hung replicas fail
 // over inside a trial, and an aggressive cold hedge so slow-replica
-// trials exercise hedging.
-func (c *Cluster) RouterConfig(onState func(shard int, url, state, reason string)) router.Config {
+// trials exercise hedging. onTrace, when non-nil, turns on per-request
+// tracing and receives every finished trace — the harness uses the
+// span stream to re-derive eviction detection latency independently of
+// the OnReplicaState hook (same incident, two witnesses).
+func (c *Cluster) RouterConfig(onState func(shard int, url, state, reason string), onTrace func(obs.TraceRecord)) router.Config {
 	var urls [][]string
 	sizes := make([]int, c.Shape.Shards)
 	seeds := make([]uint64, c.Shape.Shards)
@@ -234,6 +238,7 @@ func (c *Cluster) RouterConfig(onState func(shard int, url, state, reason string
 		HedgeCold:      10 * time.Millisecond,
 		HedgeMin:       1 * time.Millisecond,
 		OnReplicaState: onState,
+		Trace:          obs.TracerConfig{OnTrace: onTrace},
 	}
 }
 

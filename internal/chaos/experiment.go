@@ -133,6 +133,12 @@ type TrialMeasured struct {
 	// DetectionLatencyMS is fault-arm → target-eviction (-1 when the
 	// strategy does not expect an eviction or none was observed).
 	DetectionLatencyMS float64 `json:"detection_latency_ms"`
+	// SpanDetectionLatencyMS re-derives the same incident from the
+	// emitted trace spans alone: fault-arm → the first RPC span against
+	// the target whose outcome carries the "-evicted" suffix (-1 when no
+	// such span was emitted). Agreement with DetectionLatencyMS within
+	// scheduler noise is the observability acceptance check.
+	SpanDetectionLatencyMS float64 `json:"span_detection_latency_ms"`
 	// ReadmissionMS is heal → target-readmission (-1 when not waited on).
 	ReadmissionMS  float64 `json:"readmission_ms"`
 	Evictions      int64   `json:"evictions"`

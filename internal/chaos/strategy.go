@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/anns"
 	"repro/internal/hamming"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/router"
 	"repro/internal/segment"
@@ -105,7 +107,7 @@ func runTrial(cfg ExperimentConfig, cluster *Cluster, shape Shape, s strategy, t
 			TargetReplica: -1,
 			Queries:       cfg.Queries,
 		},
-		meas: TrialMeasured{DetectionLatencyMS: -1, ReadmissionMS: -1},
+		meas: TrialMeasured{DetectionLatencyMS: -1, SpanDetectionLatencyMS: -1, ReadmissionMS: -1},
 	}
 	start := time.Now()
 	err := s.run(t)
@@ -232,6 +234,52 @@ func (rec *stateRecorder) counts(targetURL string) (evictions, falseEvictions, r
 	return
 }
 
+// ---- trace recorder ----
+
+// traceRecorder collects every finished trace the trial's router emits
+// (via obs.TracerConfig.OnTrace). The span stream is a second,
+// independent witness to the incident: detection latency must be
+// re-derivable from the emitted spans alone, without the health-state
+// hook.
+type traceRecorder struct {
+	mu   sync.Mutex
+	recs []obs.TraceRecord
+}
+
+func (rec *traceRecorder) hook(r obs.TraceRecord) {
+	rec.mu.Lock()
+	rec.recs = append(rec.recs, r)
+	rec.mu.Unlock()
+}
+
+// firstEvictedSpan returns the earliest instant at or after since that
+// any span recorded eviction pressure against url — an RPC attempt
+// whose outcome carries the "-evicted" suffix, meaning that failure
+// crossed the router's eviction threshold. The instant is the trace
+// root plus the span's start offset plus its duration: when the failed
+// attempt finished and the eviction landed.
+func (rec *traceRecorder) firstEvictedSpan(url string, since time.Time) (time.Time, bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var best time.Time
+	found := false
+	for _, r := range rec.recs {
+		for _, s := range r.Spans {
+			if s.Replica != url || !strings.HasSuffix(s.Outcome, "-evicted") {
+				continue
+			}
+			at := r.Start.Add(time.Duration(s.StartUS+s.DurUS) * time.Microsecond)
+			if at.Before(since) {
+				continue
+			}
+			if !found || at.Before(best) {
+				best, found = at, true
+			}
+		}
+	}
+	return best, found
+}
+
 // ---- proxy-fault strategies ----
 
 // proxyStrategy is the shared flow for every fault injected at a
@@ -251,7 +299,8 @@ func (ps proxyStrategy) name() string { return ps.label }
 func (ps proxyStrategy) run(t *trial) error {
 	c := t.cluster
 	rec := &stateRecorder{}
-	rt, err := router.New(c.RouterConfig(rec.hook))
+	traces := &traceRecorder{}
+	rt, err := router.New(c.RouterConfig(rec.hook, traces.hook))
 	if err != nil {
 		return err
 	}
@@ -345,6 +394,12 @@ func (ps proxyStrategy) run(t *trial) error {
 	}
 	t.meas.Evictions, t.meas.FalseEvictions, t.meas.Readmissions = rec.counts(target.URL())
 	t.meas.FaultsInjected = target.Injected() - injected0
+	// The same incident, attributed from the span stream alone: the
+	// first "*-evicted" RPC span against the target is when the router
+	// condemned it, no health-state hook consulted.
+	if at, ok := traces.firstEvictedSpan(target.URL(), armedAt); ok {
+		t.meas.SpanDetectionLatencyMS = float64(at.Sub(armedAt).Microseconds()) / 1000
+	}
 	return nil
 }
 

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewLogger is the daemons' structured log: JSON records on w (stderr in
+// production). One line per record keeps the slow-query log greppable
+// and machine-parseable (CI asserts on it).
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil))
+}
+
+// PprofMux returns a mux serving net/http/pprof under /debug/pprof/,
+// for the daemons' -debug-addr listener. Kept off the serving mux so
+// profiling endpoints are never exposed on the query port.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

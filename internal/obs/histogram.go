@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// exportBounds are the coarse cumulative le= bounds (in seconds) the
+// exposition folds the fine geometric buckets into. The underlying
+// LogHistogram keeps 16 sub-buckets per octave for exact quantiles; the
+// scrape surface uses a conventional Prometheus ladder so dashboards and
+// alert rules stay portable.
+var exportBounds = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a concurrency-safe latency histogram: a mutex-wrapped
+// stats.LogHistogram recording nanoseconds. It backs both the /metricsz
+// histogram series and the exact per-shard quantiles in /statsz.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.LogHistogram
+}
+
+// NewHistogram returns an empty latency histogram (1µs..100s range).
+func NewHistogram() *Histogram {
+	return &Histogram{h: stats.NewLatencyHistogram()}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNanos(float64(d.Nanoseconds())) }
+
+// ObserveNanos records one observation in nanoseconds.
+func (h *Histogram) ObserveNanos(ns float64) {
+	h.mu.Lock()
+	h.h.Record(ns)
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Count()
+}
+
+// QuantileMS returns the q-quantile in milliseconds, or 0 when empty
+// (never NaN — the value feeds JSON marshalling in /statsz).
+func (h *Histogram) QuantileMS(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.h.Count() == 0 {
+		return 0
+	}
+	return h.h.Quantile(q) / 1e6
+}
+
+// Merge folds other into h. The clone-then-merge split keeps the two
+// locks from ever being held together, so concurrent A.Merge(B) and
+// B.Merge(A) cannot deadlock.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	snap := other.h.Clone()
+	other.mu.Unlock()
+	h.mu.Lock()
+	h.h.Merge(snap)
+	h.mu.Unlock()
+}
+
+// histSnapshot is one scrape's view: coarse cumulative buckets plus the
+// exact sum and count.
+type histSnapshot struct {
+	Buckets    []struct{ LE float64 }
+	Cumulative []uint64
+	SumSeconds float64
+	Count      uint64
+}
+
+// export folds the fine buckets into the coarse exposition ladder. Each
+// fine bucket [Lo,Hi) is attributed to the smallest coarse bound ≥ Hi
+// (its observations are all certainly ≤ that bound); overflow counts go
+// to +Inf only.
+func (h *Histogram) export() histSnapshot {
+	h.mu.Lock()
+	fine := h.h.NonEmpty()
+	sum := h.h.Sum()
+	count := h.h.Count()
+	h.mu.Unlock()
+
+	perBound := make([]uint64, len(exportBounds))
+	for _, b := range fine {
+		if math.IsInf(b.Hi, 1) {
+			continue // overflow: lands in +Inf via Count
+		}
+		hiSec := b.Hi / 1e9
+		placed := false
+		for i, le := range exportBounds {
+			if hiSec <= le {
+				perBound[i] += b.Count
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Above the top coarse bound but below histogram overflow:
+			// counted only in +Inf.
+			continue
+		}
+	}
+	snap := histSnapshot{
+		Buckets:    make([]struct{ LE float64 }, len(exportBounds)),
+		Cumulative: make([]uint64, len(exportBounds)),
+		SumSeconds: sum / 1e9,
+		Count:      count,
+	}
+	var cum uint64
+	for i, le := range exportBounds {
+		cum += perBound[i]
+		snap.Buckets[i].LE = le
+		snap.Cumulative[i] = cum
+	}
+	return snap
+}

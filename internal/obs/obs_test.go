@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	var queries float64 = 42
+	r.CounterFunc("anns_queries_total", "Total queries.", nil, func() float64 { return queries })
+	r.GaugeFunc("anns_in_flight", "In-flight requests.", Labels{"tier": "router"}, func() float64 { return 3 })
+	h := r.Histogram("anns_stage_seconds", "Per-stage latency.", Labels{"stage": "exec"})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+
+	req := httptest.NewRequest("GET", "/metricsz", nil)
+	w := httptest.NewRecorder()
+	r.ServeHTTP(w, req)
+
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# HELP anns_queries_total Total queries.",
+		"# TYPE anns_queries_total counter",
+		"anns_queries_total 42",
+		`anns_in_flight{tier="router"} 3`,
+		"# TYPE anns_stage_seconds histogram",
+		`anns_stage_seconds_bucket{stage="exec",le="0.0025"} 1`,
+		`anns_stage_seconds_bucket{stage="exec",le="+Inf"} 2`,
+		`anns_stage_seconds_count{stage="exec"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+	// _sum must be the exact ns sum scaled to seconds.
+	if !strings.Contains(body, `anns_stage_seconds_sum{stage="exec"} 0.032`) {
+		t.Errorf("exposition missing exact sum\n%s", body)
+	}
+}
+
+func TestRegistryExpositionByteStable(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("a_total", "A.", Labels{"b": "1", "a": "2"}, func() float64 { return 7 })
+	r.Histogram("lat_seconds", "Lat.", nil).Observe(time.Millisecond)
+	var b1, b2 strings.Builder
+	if err := r.Render(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Render(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("two scrapes of unchanged state differ:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	// Labels render sorted by key.
+	if !strings.Contains(b1.String(), `a_total{a="2",b="1"} 7`) {
+		t.Fatalf("labels not sorted:\n%s", b1.String())
+	}
+}
+
+func TestHistogramQuantileEmptyIsZero(t *testing.T) {
+	h := NewHistogram()
+	if got := h.QuantileMS(0.99); got != 0 {
+		t.Fatalf("empty QuantileMS = %v, want 0 (must stay JSON-marshalable)", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms, one observation each: p50 ≈ 500ms, p99 ≈ 990ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.QuantileMS(0.50)
+	if p50 < 450 || p50 > 550 {
+		t.Errorf("p50 = %v, want ≈500", p50)
+	}
+	p99 := h.QuantileMS(0.99)
+	if p99 < 930 || p99 > 1000 {
+		t.Errorf("p99 = %v, want ≈990", p99)
+	}
+}
+
+// Satellite 1: Quantile under concurrent Observe must be race-free and
+// land inside the observed range.
+func TestHistogramQuantileUnderConcurrency(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(time.Duration(1+(g*5000+i)%100) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 2000; i++ {
+			if q := h.QuantileMS(0.95); q != 0 && (q < 0.5 || q > 110) {
+				t.Errorf("mid-flight p95 = %v outside observed range", q)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-stop
+	if got := h.Count(); got != 20000 {
+		t.Fatalf("Count = %d, want 20000", got)
+	}
+}
+
+// Satellite 1: Merge while both sides take concurrent writes must not
+// race or lose the merged counts.
+func TestHistogramMergeUnderConcurrency(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	var wg sync.WaitGroup
+	for _, h := range []*Histogram{a, b} {
+		wg.Add(1)
+		go func(h *Histogram) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.Observe(time.Duration(1+i%50) * time.Millisecond)
+			}
+		}(h)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			a.Merge(b)
+		}
+	}()
+	wg.Wait()
+	// After the dust settles a holds its own 2000 plus 50 point-in-time
+	// snapshots of b; exact totals depend on interleaving but must be at
+	// least a's own writes and internally consistent with a final merge.
+	before := a.Count()
+	a.Merge(b)
+	if a.Count() != before+b.Count() {
+		t.Fatalf("final merge added %d, want %d", a.Count()-before, b.Count())
+	}
+	if q := a.QuantileMS(0.5); q < 0.5 || q > 55 {
+		t.Fatalf("post-merge p50 = %v outside observed range", q)
+	}
+}
+
+func TestTracerDeterministicIDs(t *testing.T) {
+	a := NewTracer(TracerConfig{Seed: 42, Sample: 1})
+	b := NewTracer(TracerConfig{Seed: 42, Sample: 1})
+	for i := 0; i < 5; i++ {
+		ia, ib := a.NextID(), b.NextID()
+		if ia != ib {
+			t.Fatalf("ID %d: %q vs %q — same seed must give same sequence", i, ia, ib)
+		}
+		if len(ia) != 16 {
+			t.Fatalf("ID %q not 16 hex digits", ia)
+		}
+	}
+	c := NewTracer(TracerConfig{Seed: 43, Sample: 1})
+	if a.NextID() == c.NextID() {
+		t.Fatal("different seeds gave identical IDs")
+	}
+}
+
+func TestTracerSamplingConsistentPerID(t *testing.T) {
+	tr := NewTracer(TracerConfig{Seed: 7, Sample: 0.5})
+	id := tr.NextID()
+	first := tr.sampled(id)
+	for i := 0; i < 10; i++ {
+		if tr.sampled(id) != first {
+			t.Fatal("sampling decision for a fixed ID flip-flopped")
+		}
+	}
+	// Rate sanity: of 2000 IDs roughly half sample in.
+	in := 0
+	for i := 0; i < 2000; i++ {
+		if tr.sampled(tr.NextID()) {
+			in++
+		}
+	}
+	if in < 800 || in > 1200 {
+		t.Fatalf("sample=0.5 admitted %d/2000", in)
+	}
+}
+
+func TestTraceSpansSortedAndNilSafe(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Add("exec", "", "ok", time.Now(), time.Millisecond) // must not panic
+	if nilTrace.Spans() != nil || nilTrace.ID() != "" {
+		t.Fatal("nil trace must be inert")
+	}
+
+	base := time.Unix(0, 0)
+	tr := NewTrace("abc", base)
+	tr.Add("merge", "", "ok", base.Add(30*time.Millisecond), time.Millisecond)
+	tr.Add("rpc", "b", "ok", base.Add(10*time.Millisecond), 20*time.Millisecond)
+	tr.Add("rpc", "a", "lost-hedge", base.Add(10*time.Millisecond), 20*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Replica != "a" || spans[1].Replica != "b" || spans[2].Stage != "merge" {
+		t.Fatalf("spans not in (start, stage, replica) order: %+v", spans)
+	}
+}
+
+func TestEncodeDecodeSpansRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Stage: "rpc", Replica: "http://x", StartUS: 10, DurUS: 20, Outcome: "ok"},
+		{Stage: "merge", StartUS: 30, DurUS: 1, Outcome: "ok"},
+	}
+	enc := EncodeSpans(spans)
+	got := DecodeSpans(enc)
+	if len(got) != 2 || got[0] != spans[0] || got[1] != spans[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if DecodeSpans("not json") != nil {
+		t.Fatal("malformed spans header must decode to nil")
+	}
+	if EncodeSpans(nil) != "" {
+		t.Fatal("no spans must encode to empty header")
+	}
+}
+
+func TestTracerBeginGating(t *testing.T) {
+	off := NewTracer(TracerConfig{})
+	if off.Enabled() || off.Begin("", time.Now()) != nil {
+		t.Fatal("tracer with no sink must be disabled")
+	}
+	var got []TraceRecord
+	on := NewTracer(TracerConfig{Seed: 1, OnTrace: func(r TraceRecord) { got = append(got, r) }})
+	tr := on.Begin("fixed-id", time.Unix(0, 0))
+	if tr == nil || tr.ID() != "fixed-id" {
+		t.Fatalf("Begin must adopt the provided ID, got %v", tr.ID())
+	}
+	tr.Add("exec", "", "ok", time.Unix(0, 0), time.Millisecond)
+	on.Finish(tr, "/v1/query", 2*time.Millisecond)
+	if len(got) != 1 || got[0].ID != "fixed-id" || len(got[0].Spans) != 1 {
+		t.Fatalf("OnTrace record = %+v", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package obs is the observability layer shared by both serving tiers:
+// a dependency-free Prometheus-text-exposition registry (counters,
+// gauges, and a histogram adapter over internal/stats.LogHistogram)
+// served at GET /metricsz, plus cross-tier request tracing (trace IDs,
+// span records, sampled/slow-query emission through log/slog).
+//
+// The registry deliberately reads, it does not own: counters and gauges
+// are func-backed series evaluated at scrape time against the serving
+// layers' existing atomic counter blocks, so /metricsz and /statsz can
+// never disagree about a total — they load the same atomics. Only the
+// per-stage latency histograms are owned here (the counter blocks have
+// no distribution state to borrow). See DESIGN.md §12.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels is one series' constant label set, rendered sorted by key.
+type Labels map[string]string
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel applies the exposition-format label escapes: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// series is one sample line: either func-backed (counter/gauge) or an
+// owned histogram.
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	value  func() float64
+	hist   *Histogram
+}
+
+// family is one metric name: its HELP/TYPE header and ordered series.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry is an ordered collection of metric families rendered in the
+// Prometheus text exposition format. Registration order is exposition
+// order, so scrapes are byte-stable for a fixed registry and state.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) add(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	f.series = append(f.series, s)
+}
+
+// CounterFunc registers a monotonically increasing series whose value is
+// read at scrape time. labels may be nil.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.add(name, help, "counter", &series{labels: labels.render(), value: fn})
+}
+
+// GaugeFunc registers a point-in-time series read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.add(name, help, "gauge", &series{labels: labels.render(), value: fn})
+}
+
+// RegisterHistogram attaches an existing latency histogram as one series
+// of the named family (per-stage and per-shard histograms share a family
+// under distinct labels).
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histogram) {
+	r.add(name, help, "histogram", &series{labels: labels.render(), hist: h})
+}
+
+// Histogram creates, registers, and returns an owned latency histogram
+// series (observations in nanoseconds, exposed in seconds).
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	h := NewHistogram()
+	r.RegisterHistogram(name, help, labels, h)
+	return h
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trip representation, no exponent surprises for the
+// integer-valued counters the serving tiers mostly export.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histLabels splices extra le= style pairs into a pre-rendered label set.
+func histLabels(base, extra string) string {
+	if base == "" {
+		return "{" + extra + "}"
+	}
+	return base[:len(base)-1] + "," + extra + "}"
+}
+
+// Render renders the full exposition. Families print in registration
+// order; histogram series expand into cumulative le buckets plus _sum
+// and _count.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	var sb strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			if s.hist == nil {
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, s.labels, formatValue(s.value()))
+				continue
+			}
+			snap := s.hist.export()
+			for i, b := range snap.Buckets {
+				le := strconv.FormatFloat(b.LE, 'g', -1, 64)
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name,
+					histLabels(s.labels, `le="`+le+`"`), snap.Cumulative[i])
+			}
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, histLabels(s.labels, `le="+Inf"`), snap.Count)
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, s.labels, formatValue(snap.SumSeconds))
+			fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ServeHTTP serves the exposition (GET /metricsz).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.Render(w)
+}

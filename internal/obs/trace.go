@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Header names for cross-tier trace propagation. The trace ID travels on
+// the request; span records travel back on the response. Both are
+// out-of-band: JSON bodies are untouched, so enabling tracing cannot
+// perturb answers or accounting (`annsload -compare` stays byte-clean).
+const (
+	TraceHeader = "X-Anns-Trace"
+	SpansHeader = "X-Anns-Spans"
+)
+
+// Span is one timed stage of a request: admission wait, execution, a
+// cache lookup, one shard RPC attempt, or the merge. Offsets are
+// microseconds relative to the trace root so a cross-process timeline
+// needs no clock agreement beyond the root's own monotonic reading.
+type Span struct {
+	Stage   string `json:"stage"`
+	Replica string `json:"replica,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Outcome string `json:"outcome"`
+}
+
+// Trace collects spans for one request. A nil *Trace is a valid no-op
+// receiver, so call sites stay unconditional and the untraced fast path
+// costs one nil check.
+type Trace struct {
+	id    string
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace rooted at start (the request's arrival instant
+// on whichever clock the caller runs — wall or virtual).
+func NewTrace(id string, start time.Time) *Trace {
+	return &Trace{id: id, start: start}
+}
+
+// ID returns the trace ID, or "" for a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the root instant.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Add appends one span. start must come from the same clock as the root.
+func (t *Trace) Add(stage, replica, outcome string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.AddSpan(Span{
+		Stage:   stage,
+		Replica: replica,
+		StartUS: start.Sub(t.start).Microseconds(),
+		DurUS:   dur.Microseconds(),
+		Outcome: outcome,
+	})
+}
+
+// AddSpan appends a pre-built span (used when rebasing remote spans).
+func (t *Trace) AddSpan(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns the collected spans sorted by (start, stage, replica) —
+// a deterministic timeline regardless of goroutine completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Replica < out[j].Replica
+	})
+	return out
+}
+
+// EncodeSpans serializes spans for the response header (compact JSON).
+func EncodeSpans(spans []Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(spans)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// DecodeSpans parses a spans header; malformed input yields nil (a
+// missing timeline, never a failed request).
+func DecodeSpans(s string) []Span {
+	if s == "" {
+		return nil
+	}
+	var out []Span
+	if err := json.Unmarshal([]byte(s), &out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// TraceRecord is one finished trace as handed to OnTrace and the log.
+type TraceRecord struct {
+	ID    string
+	Route string
+	Start time.Time
+	Dur   time.Duration
+	Spans []Span
+}
+
+// TracerConfig configures trace creation and emission for one daemon.
+type TracerConfig struct {
+	// Seed feeds trace-ID derivation; fixed seeds give reproducible IDs.
+	Seed uint64
+	// Sample is the fraction of requests traced and logged (0..1).
+	Sample float64
+	// SlowQuery, when >0, logs any request at or above this duration in
+	// full regardless of sampling.
+	SlowQuery time.Duration
+	// Logger receives trace/slow_query records; nil disables logging.
+	Logger *slog.Logger
+	// OnTrace, when set, observes every finished trace (chaos harness,
+	// tests). Traces are created whenever OnTrace is set even if neither
+	// Sample nor SlowQuery would emit them.
+	OnTrace func(TraceRecord)
+}
+
+// Tracer mints trace IDs and decides which finished traces to emit.
+type Tracer struct {
+	cfg     TracerConfig
+	mu      sync.Mutex
+	counter uint64
+}
+
+// NewTracer returns a tracer for cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	return &Tracer{cfg: cfg}
+}
+
+// Enabled reports whether this tracer ever wants a trace built. When
+// false, request paths skip span collection entirely (beyond honoring
+// an incoming TraceHeader from an upstream tier).
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	return t.cfg.Sample > 0 || t.cfg.SlowQuery > 0 || t.cfg.OnTrace != nil
+}
+
+// splitmix64 is the same mixing function the chaos harness uses for seed
+// derivation: cheap, well-distributed, and deterministic.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NextID mints a fresh trace ID: splitmix64 over seed⊕counter, rendered
+// as 16 lowercase hex digits. With a fixed seed the ID sequence is fully
+// deterministic.
+func (t *Tracer) NextID() string {
+	t.mu.Lock()
+	t.counter++
+	n := t.counter
+	t.mu.Unlock()
+	return fmt.Sprintf("%016x", splitmix64(t.cfg.Seed^n))
+}
+
+// sampled decides from the ID alone whether this trace is in the sample:
+// the low 53 bits, scaled to [0,1), compared against Sample. Determinism
+// falls out — the same ID always makes the same decision on every tier.
+func (t *Tracer) sampled(id string) bool {
+	if t.cfg.Sample >= 1 {
+		return true
+	}
+	if t.cfg.Sample <= 0 {
+		return false
+	}
+	v, err := strconv.ParseUint(id, 16, 64)
+	if err != nil {
+		return false
+	}
+	const mask = 1<<53 - 1
+	return float64(splitmix64(v)&mask)/float64(1<<53) < t.cfg.Sample
+}
+
+// Begin returns a trace for a request, or nil when tracing is off. id may
+// be "" to mint a fresh one (router ingress); a non-empty id adopts the
+// upstream tier's (shard honoring the router's header).
+func (t *Tracer) Begin(id string, start time.Time) *Trace {
+	if t == nil || !t.Enabled() {
+		return nil
+	}
+	if id == "" {
+		id = t.NextID()
+	}
+	return NewTrace(id, start)
+}
+
+// Finish emits the trace: a "slow_query" record when dur ≥ SlowQuery, a
+// "trace" record when sampled, and always to OnTrace when set.
+func (t *Tracer) Finish(tr *Trace, route string, dur time.Duration) {
+	if t == nil || tr == nil {
+		return
+	}
+	spans := tr.Spans()
+	rec := TraceRecord{ID: tr.id, Route: route, Start: tr.start, Dur: dur, Spans: spans}
+	if t.cfg.OnTrace != nil {
+		t.cfg.OnTrace(rec)
+	}
+	if t.cfg.Logger == nil {
+		return
+	}
+	slow := t.cfg.SlowQuery > 0 && dur >= t.cfg.SlowQuery
+	if !slow && !t.sampled(tr.id) {
+		return
+	}
+	msg := "trace"
+	if slow {
+		msg = "slow_query"
+	}
+	t.cfg.Logger.Info(msg,
+		slog.String("trace_id", tr.id),
+		slog.String("route", route),
+		slog.Float64("dur_ms", float64(dur.Microseconds())/1000),
+		slog.Any("spans", spans),
+	)
+}

@@ -1,0 +1,97 @@
+package router
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// buildRegistry wires the router's /metricsz: every /statsz field as a
+// func-backed series over the same atomics, per-shard request counters
+// and exact RPC latency histograms, and the merge/cache stage
+// histograms. Naming follows DESIGN.md §12 with an anns_router_ prefix
+// so a combined scrape of router + shards never collides.
+func (rt *Router) buildRegistry() {
+	reg := obs.NewRegistry()
+	rt.reg = reg
+
+	counter := func(name, help string, v func() int64) {
+		reg.CounterFunc(name, help, nil, func() float64 { return float64(v()) })
+	}
+	counter("anns_router_queries_total", "Merged point queries served (including cache hits).", rt.m.queries.Load)
+	counter("anns_router_near_total", "Merged near (lambda) queries served.", rt.m.near.Load)
+	counter("anns_router_batches_total", "Batch requests served.", rt.m.batches.Load)
+	counter("anns_router_errors_total", "Merged queries that failed on every shard.", rt.m.errors.Load)
+	counter("anns_router_rejected_total", "Requests rejected at max in-flight.", rt.m.rejected.Load)
+	counter("anns_router_deadline_exceeded_total", "Requests that hit their end-to-end deadline.", rt.m.deadline.Load)
+	counter("anns_router_probes_total", "Cells probed across merged answers.", rt.m.probes.Load)
+	counter("anns_router_rounds_total", "Probing rounds across merged answers.", rt.m.rounds.Load)
+	counter("anns_router_writes_total", "Acked mutations.", rt.m.writes.Load)
+	counter("anns_router_write_errors_total", "Failed mutations.", rt.m.writeErrors.Load)
+	counter("anns_router_replicated_frames_total", "WAL frames relayed to replicas.", rt.m.replications.Load)
+	counter("anns_router_replication_errors_total", "WAL relay failures.", rt.m.replicationErrs.Load)
+	counter("anns_router_promotions_total", "Primary promotions.", rt.m.promotions.Load)
+
+	reg.GaugeFunc("anns_router_uptime_seconds", "Router uptime (on the router's clock).", nil,
+		func() float64 { return rt.clock.Since(rt.start).Seconds() })
+	reg.GaugeFunc("anns_router_in_flight", "Admitted requests currently in flight.", nil,
+		func() float64 { return float64(len(rt.sem)) })
+	reg.GaugeFunc("anns_router_max_rounds", "Max probing rounds seen on one merged query.", nil,
+		func() float64 { return float64(rt.m.maxRounds.Load()) })
+	reg.GaugeFunc("anns_router_max_parallel", "Max intra-query parallelism seen.", nil,
+		func() float64 { return float64(rt.m.maxParallel.Load()) })
+	reg.GaugeFunc("anns_router_epoch", "Placement epoch (bumped on promotion).", nil,
+		func() float64 { return float64(rt.epoch.Load()) })
+	reg.GaugeFunc("anns_router_shards", "Shard positions routed.", nil,
+		func() float64 { return float64(len(rt.shards)) })
+
+	for _, sh := range rt.shards {
+		sh := sh
+		lbl := obs.Labels{"shard": strconv.Itoa(sh.pos)}
+		shardCounter := func(name, help string, v func() int64) {
+			reg.CounterFunc(name, help, lbl, func() float64 { return float64(v()) })
+		}
+		shardCounter("anns_router_shard_requests_total", "Requests routed to this shard.", sh.requests.Load)
+		shardCounter("anns_router_shard_errors_total", "Shard requests that failed on every replica.", sh.errors.Load)
+		shardCounter("anns_router_shard_hedges_total", "Hedged second attempts launched.", sh.hedges.Load)
+		shardCounter("anns_router_shard_hedge_wins_total", "Hedged attempts that won.", sh.hedgeWins.Load)
+		shardCounter("anns_router_shard_failovers_total", "Failover attempts launched.", sh.failovers.Load)
+		reg.GaugeFunc("anns_router_shard_healthy_replicas", "Healthy replicas in this shard's set.", lbl,
+			func() float64 {
+				n := 0
+				for _, rep := range sh.replicas {
+					if rep.healthy() {
+						n++
+					}
+				}
+				return float64(n)
+			})
+		reg.RegisterHistogram("anns_router_shard_rpc_seconds",
+			"Winning shard RPC latency (exact LogHistogram).", lbl, sh.rpc)
+	}
+
+	if rt.cache != nil {
+		cacheVal := func(v func(server.CacheStats) float64) func() float64 {
+			return func() float64 {
+				if cs := server.CacheStatsOf(rt.cache); cs != nil {
+					return v(*cs)
+				}
+				return 0
+			}
+		}
+		reg.CounterFunc("anns_router_cache_hits_total", "Result-cache hits.", nil,
+			cacheVal(func(c server.CacheStats) float64 { return float64(c.Hits) }))
+		reg.CounterFunc("anns_router_cache_misses_total", "Result-cache misses.", nil,
+			cacheVal(func(c server.CacheStats) float64 { return float64(c.Misses) }))
+		reg.CounterFunc("anns_router_cache_evictions_total", "Result-cache LRU evictions.", nil,
+			cacheVal(func(c server.CacheStats) float64 { return float64(c.Evictions) }))
+		reg.CounterFunc("anns_router_cache_invalidations_total", "Result-cache generation invalidations.", nil,
+			cacheVal(func(c server.CacheStats) float64 { return float64(c.Invalidations) }))
+		reg.GaugeFunc("anns_router_cache_entries", "Live result-cache entries.", nil,
+			cacheVal(func(c server.CacheStats) float64 { return float64(c.Entries) }))
+	}
+
+	rt.hMerge = reg.Histogram("anns_router_stage_seconds", "Per-stage router latency.", obs.Labels{"stage": "merge"})
+	rt.hCache = reg.Histogram("anns_router_stage_seconds", "Per-stage router latency.", obs.Labels{"stage": "cache_lookup"})
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Replica health states. The state machine (DESIGN.md §6.2):
@@ -204,8 +206,9 @@ func (r *replica) snapshot() ReplicaStats {
 	}
 }
 
-// shard is one shard position: its replica set, counters, and the
-// latency window that drives the hedge delay.
+// shard is one shard position: its replica set, counters, the latency
+// window that drives the hedge delay, and the exact RPC latency
+// histogram behind /statsz quantiles and /metricsz.
 type shard struct {
 	pos      int
 	replicas []*replica
@@ -218,7 +221,8 @@ type shard struct {
 	hedgeWins atomic.Int64
 	failovers atomic.Int64
 
-	lat *latWindow
+	lat *latWindow     // sampled window: hedge-delay policy only
+	rpc *obs.Histogram // exact distribution: reporting
 }
 
 // pick selects a replica for the next attempt, skipping any in tried.

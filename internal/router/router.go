@@ -30,6 +30,8 @@ import (
 	"time"
 
 	"repro/anns"
+	"repro/internal/cellprobe"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/server"
 )
@@ -133,6 +135,12 @@ type Config struct {
 	// synchronously from the probe and request paths — keep it fast and
 	// never call back into the Router from it.
 	OnReplicaState func(shard int, url, state, reason string)
+
+	// Trace configures request tracing and the slow-query log (obs). The
+	// zero value disables emission; requests arriving with an
+	// X-Anns-Trace header are still traced under that ID so a test or
+	// upstream tier can force a timeline.
+	Trace obs.TracerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -231,6 +239,12 @@ type Router struct {
 	m      metrics
 	cache  *qcache.Cache // nil when Config.CacheEntries == 0
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// Stage histograms: shard-reply merge and cache lookup. Per-shard
+	// RPC histograms live on each shard (replica.go).
+	hMerge, hCache *obs.Histogram
+
 	// Write-path state (writes.go). Mutations are serialized under
 	// writeMu — global ID assignment is an order, and sequential
 	// assignment is what keeps a routed cluster byte-identical to a
@@ -296,7 +310,7 @@ func New(cfg Config) (*Router, error) {
 		if len(urls) == 0 {
 			return nil, fmt.Errorf("router: shard %d has no replicas", s)
 		}
-		sh := &shard{pos: s, lat: newLatWindow(cfg.HedgeQuantile)}
+		sh := &shard{pos: s, lat: newLatWindow(cfg.HedgeQuantile), rpc: obs.NewHistogram()}
 		for _, u := range urls {
 			sh.replicas = append(sh.replicas, &replica{url: u})
 		}
@@ -319,6 +333,9 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/delete", rt.handleDelete)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
+	rt.tracer = obs.NewTracer(cfg.Trace)
+	rt.buildRegistry()
+	rt.mux.Handle("GET /metricsz", rt.reg)
 	// One synchronous sweep before serving: without it, every replica
 	// starts healthy and a misrouted one (swapped -shard flag) would
 	// merge wrong answers until the ticker's first firing. Replicas that
@@ -457,12 +474,15 @@ func (rt *Router) replicaSuccess(shardPos int, rep *replica, probe bool) {
 }
 
 // replicaFailure records a failure and fires the OnReplicaState hook
-// when the call crossed the eviction threshold.
-func (rt *Router) replicaFailure(shardPos int, rep *replica, evictAfter int, reason string) {
+// when the call crossed the eviction threshold. It reports whether this
+// failure evicted the replica, so the request path can stamp eviction
+// pressure onto trace spans.
+func (rt *Router) replicaFailure(shardPos int, rep *replica, evictAfter int, reason string) bool {
 	evicted := rep.reportFailure(rt.clock.Now(), evictAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
 	if evicted && rt.cfg.OnReplicaState != nil {
 		rt.cfg.OnReplicaState(shardPos, rep.url, StateEvicted, reason)
 	}
+	return evicted
 }
 
 // checkHealth fetches and validates one /healthz report. It returns a
@@ -540,9 +560,11 @@ func (e *httpError) Error() string {
 
 type attemptResult struct {
 	body    []byte
+	spans   string // X-Anns-Spans echoed by the replica (traced requests)
 	err     error
 	rep     *replica
 	hedge   bool
+	start   time.Time
 	latency time.Duration
 }
 
@@ -554,11 +576,12 @@ type attemptResult struct {
 // win: an undecodable body is converted to errCorruptReply and handled
 // like any replica failure (health pressure + failover) instead of
 // being dropped from the merge upstream.
-func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []byte, valid func([]byte) bool) ([]byte, error) {
+func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []byte, valid func([]byte) bool, tr *obs.Trace) ([]byte, error) {
 	sh.requests.Add(1)
 	primary := sh.pick(rt.clock.Now(), nil, true)
 	if primary == nil {
 		sh.errors.Add(1)
+		tr.Add("rpc", "", "no-replica", rt.clock.Now(), 0)
 		return nil, errNoReplica
 	}
 	// All attempts run under a derived context so the losing side of a
@@ -569,11 +592,19 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 	defer cancel()
 	tried := []*replica{primary}
 	resc := make(chan attemptResult, len(sh.replicas)+1)
+	traceID := tr.ID()
+	// launch is only called from this goroutine, so the attempt start it
+	// captures is also readable here without synchronization (used for
+	// the lost-hedge span below).
+	var primaryStart time.Time
 	launch := func(rep *replica, hedge bool) {
+		t0 := rt.clock.Now()
+		if rep == primary {
+			primaryStart = t0
+		}
 		go func() {
-			t0 := rt.clock.Now()
-			b, err := rt.post(ctx, rep.url+path, body)
-			resc <- attemptResult{body: b, err: err, rep: rep, hedge: hedge, latency: rt.clock.Since(t0)}
+			b, spans, err := rt.postTraced(ctx, rep.url+path, body, traceID)
+			resc <- attemptResult{body: b, spans: spans, err: err, rep: rep, hedge: hedge, start: t0, latency: rt.clock.Since(t0)}
 		}()
 	}
 	launch(primary, false)
@@ -621,10 +652,17 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 				// attempt is canceled, not reported). Jitter is safe: one
 				// success resets the consecutive-failure count.
 				if !primaryDone {
-					rt.replicaFailure(sh.pos, primary, rt.cfg.EvictAfter, "lost hedge race")
+					outcome := "lost-hedge"
+					if rt.replicaFailure(sh.pos, primary, rt.cfg.EvictAfter, "lost hedge race") {
+						outcome = "lost-hedge-evicted"
+					}
+					tr.Add("rpc", primary.url, outcome, primaryStart, rt.clock.Since(primaryStart))
 				}
 				rt.replicaSuccess(sh.pos, res.rep, false)
 				sh.lat.record(res.latency)
+				sh.rpc.Observe(res.latency)
+				tr.Add("rpc", res.rep.url, "ok", res.start, res.latency)
+				rt.rebaseRemoteSpans(tr, res)
 				if res.hedge {
 					sh.hedgeWins.Add(1)
 				}
@@ -634,9 +672,16 @@ func (rt *Router) shardDo(ctx context.Context, sh *shard, path string, body []by
 			var he *httpError
 			if errors.As(res.err, &he) && he.status < 500 {
 				sh.errors.Add(1)
+				tr.Add("rpc", res.rep.url, "client-error", res.start, res.latency)
 				return nil, res.err
 			}
-			rt.replicaFailure(sh.pos, res.rep, rt.cfg.EvictAfter, res.err.Error())
+			{
+				outcome := "error"
+				if rt.replicaFailure(sh.pos, res.rep, rt.cfg.EvictAfter, res.err.Error()) {
+					outcome = "error-evicted"
+				}
+				tr.Add("rpc", res.rep.url, outcome, res.start, res.latency)
+			}
 			if next := sh.pick(rt.clock.Now(), tried, true); next != nil {
 				tried = append(tried, next)
 				sh.failovers.Add(1)
@@ -671,30 +716,60 @@ func (rt *Router) attemptTimeout(ctx context.Context) time.Duration {
 // post runs one attempt against one replica URL under the per-attempt
 // timeout, returning the 200 body or an error.
 func (rt *Router) post(ctx context.Context, url string, body []byte) ([]byte, error) {
+	b, _, err := rt.postTraced(ctx, url, body, "")
+	return b, err
+}
+
+// postTraced is post with trace propagation: a non-empty traceID rides
+// out on X-Anns-Trace and the replica's X-Anns-Spans answer rides back.
+func (rt *Router) postTraced(ctx context.Context, url string, body []byte, traceID string) ([]byte, string, error) {
 	ctx, cancel := context.WithTimeout(ctx, rt.attemptTimeout(ctx))
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer resp.Body.Close()
+	spans := resp.Header.Get(obs.SpansHeader)
 	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg := string(b)
 		if len(msg) > 200 {
 			msg = msg[:200]
 		}
-		return nil, &httpError{status: resp.StatusCode, body: msg}
+		return nil, spans, &httpError{status: resp.StatusCode, body: msg}
 	}
-	return b, nil
+	return b, spans, nil
+}
+
+// rebaseRemoteSpans folds a replica's own stage spans into the router's
+// timeline: the replica reported offsets relative to its request arrival,
+// which the router approximates with the attempt's launch instant. The
+// replica column is stamped so a remote "execute" is attributable to the
+// host that ran it.
+func (rt *Router) rebaseRemoteSpans(tr *obs.Trace, res attemptResult) {
+	if tr == nil || res.spans == "" {
+		return
+	}
+	base := res.start.Sub(tr.Start()).Microseconds()
+	for _, sp := range obs.DecodeSpans(res.spans) {
+		sp.StartUS += base
+		if sp.Replica == "" {
+			sp.Replica = res.rep.url
+		}
+		tr.AddSpan(sp)
+	}
 }
 
 // ---- scatter-gather ----
@@ -725,7 +800,7 @@ func toWire(res anns.Result, errMsg string) server.QueryResponse {
 // and merges. near selects the λ-decision OK semantics (YES answers
 // only). answered reports whether at least one shard produced an answer
 // (for near, a NO from a shard counts as answered).
-func (rt *Router) scatterOne(ctx context.Context, path string, body []byte, near bool) (merged anns.Result, answered bool) {
+func (rt *Router) scatterOne(ctx context.Context, path string, body []byte, near bool, tr *obs.Trace) (merged anns.Result, answered bool) {
 	replies := make([]anns.ShardReply, len(rt.shards))
 	wireOK := make([]bool, len(rt.shards)) // shard answered at all (Error == "")
 	valid := func(raw []byte) bool {
@@ -737,7 +812,7 @@ func (rt *Router) scatterOne(ctx context.Context, path string, body []byte, near
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			raw, err := rt.shardDo(ctx, rt.shards[s], path, body, valid)
+			raw, err := rt.shardDo(ctx, rt.shards[s], path, body, valid, tr)
 			if err != nil {
 				return // transport-level failure: no accounting, not OK
 			}
@@ -755,7 +830,11 @@ func (rt *Router) scatterOne(ctx context.Context, path string, body []byte, near
 		}(s)
 	}
 	wg.Wait()
+	mStart := rt.clock.Now()
 	merged = anns.MergeShardReplies(replies, rt.global)
+	mDur := rt.clock.Since(mStart)
+	rt.hMerge.Observe(mDur)
+	tr.Add("merge", "", "ok", mStart, mDur)
 	for _, ok := range wireOK {
 		if ok {
 			answered = true
@@ -800,7 +879,57 @@ func (rt *Router) timeout(ms int) time.Duration {
 	return server.ClampTimeout(ms, rt.cfg.DefaultTimeout, rt.cfg.MaxTimeout)
 }
 
+// beginTrace starts a trace for one router request: a client- or
+// test-supplied X-Anns-Trace is adopted verbatim (deterministic IDs for
+// the propagation test), otherwise the router mints one when its tracer
+// is on. The root instant comes from the router's Clock so span offsets
+// are exact under VirtualClock.
+func (rt *Router) beginTrace(r *http.Request, start time.Time) *obs.Trace {
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		return obs.NewTrace(id, start)
+	}
+	return rt.tracer.Begin("", start)
+}
+
+// finishTrace stamps the trace ID on the response, echoes the assembled
+// span timeline when the request carried its own trace header, and emits
+// through the tracer. Must run before the response body is written.
+func (rt *Router) finishTrace(w http.ResponseWriter, r *http.Request, tr *obs.Trace, start time.Time) {
+	if tr == nil {
+		return
+	}
+	w.Header().Set(obs.TraceHeader, tr.ID())
+	if r.Header.Get(obs.TraceHeader) != "" {
+		if enc := obs.EncodeSpans(tr.Spans()); enc != "" {
+			w.Header().Set(obs.SpansHeader, enc)
+		}
+	}
+	rt.tracer.Finish(tr, r.URL.Path, rt.clock.Since(start))
+}
+
+// lookupCache is the router cache read plus stage accounting.
+func (rt *Router) lookupCache(key cellprobe.Addr, gen uint64, tr *obs.Trace) (server.QueryResponse, bool) {
+	if rt.cache == nil {
+		return server.QueryResponse{}, false
+	}
+	cStart := rt.clock.Now()
+	v, ok := rt.cache.Get(key, gen)
+	d := rt.clock.Since(cStart)
+	rt.hCache.Observe(d)
+	outcome := "miss"
+	if ok {
+		outcome = "hit"
+	}
+	tr.Add("cache_lookup", "", outcome, cStart, d)
+	if !ok {
+		return server.QueryResponse{}, false
+	}
+	return v.(server.QueryResponse), true
+}
+
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := rt.clock.Now()
+	tr := rt.beginTrace(r, start)
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -824,9 +953,10 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// stale answer can be cached but never served.
 	gen := rt.wgen.Load()
 	key := server.QueryCacheKey(x)
-	if v, ok := rt.cache.Get(key, gen); ok {
+	if v, ok := rt.lookupCache(key, gen, tr); ok {
 		rt.m.queries.Add(1)
-		writeJSON(w, http.StatusOK, v.(server.QueryResponse))
+		rt.finishTrace(w, r, tr, start)
+		writeJSON(w, http.StatusOK, v)
 		return
 	}
 	if !rt.admit(w) {
@@ -837,7 +967,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// The shard request body is the router request body: both ends speak
 	// internal/server's wire schema, so the point is forwarded verbatim.
-	merged, _ := rt.scatterOne(ctx, "/v1/query", body, false)
+	merged, _ := rt.scatterOne(ctx, "/v1/query", body, false, tr)
 	if rt.deadlineExpired(w, ctx) {
 		return
 	}
@@ -852,6 +982,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !failed {
 		rt.cache.Put(key, gen, resp)
 	}
+	rt.finishTrace(w, r, tr, start)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -869,6 +1000,8 @@ func (rt *Router) deadlineExpired(w http.ResponseWriter, ctx context.Context) bo
 }
 
 func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
+	start := rt.clock.Now()
+	tr := rt.beginTrace(r, start)
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -889,9 +1022,10 @@ func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
 	}
 	gen := rt.wgen.Load()
 	key := server.NearCacheKey(x, req.Lambda)
-	if v, ok := rt.cache.Get(key, gen); ok {
+	if v, ok := rt.lookupCache(key, gen, tr); ok {
 		rt.m.near.Add(1)
-		writeJSON(w, http.StatusOK, v.(server.QueryResponse))
+		rt.finishTrace(w, r, tr, start)
+		writeJSON(w, http.StatusOK, v)
 		return
 	}
 	if !rt.admit(w) {
@@ -900,7 +1034,7 @@ func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
 	defer rt.release()
 	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout(req.TimeoutMS))
 	defer cancel()
-	merged, answered := rt.scatterOne(ctx, "/v1/near", body, true)
+	merged, answered := rt.scatterOne(ctx, "/v1/near", body, true, tr)
 	if rt.deadlineExpired(w, ctx) {
 		return
 	}
@@ -917,10 +1051,13 @@ func (rt *Router) handleNear(w http.ResponseWriter, r *http.Request) {
 	if !failed {
 		rt.cache.Put(key, gen, resp)
 	}
+	rt.finishTrace(w, r, tr, start)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := rt.clock.Now()
+	tr := rt.beginTrace(r, start)
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -967,7 +1104,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			raw, err := rt.shardDo(ctx, rt.shards[s], "/v1/batch", body, valid)
+			raw, err := rt.shardDo(ctx, rt.shards[s], "/v1/batch", body, valid, tr)
 			if err != nil {
 				return
 			}
@@ -1016,6 +1153,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = toWire(merged, msg)
 	}
+	rt.finishTrace(w, r, tr, start)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -1071,7 +1209,9 @@ func (rt *Router) Stats() Stats {
 	}
 	var shardReqs int64
 	for _, sh := range rt.shards {
-		qs := sh.lat.quantiles(0.50, 0.95, 0.99)
+		// Quantiles come from the shard's exact LogHistogram over every
+		// successful RPC, not the 512-sample latWindow (which survives
+		// only to drive the hedge-delay policy).
 		ss := ShardStats{
 			Shard:        sh.pos,
 			Replicas:     len(sh.replicas),
@@ -1080,9 +1220,9 @@ func (rt *Router) Stats() Stats {
 			Hedges:       sh.hedges.Load(),
 			HedgeWins:    sh.hedgeWins.Load(),
 			Failovers:    sh.failovers.Load(),
-			P50MS:        qs[0],
-			P95MS:        qs[1],
-			P99MS:        qs[2],
+			P50MS:        sh.rpc.QuantileMS(0.50),
+			P95MS:        sh.rpc.QuantileMS(0.95),
+			P99MS:        sh.rpc.QuantileMS(0.99),
 			HedgeDelayMS: float64(sh.lat.hedgeDelay().Microseconds()) / 1000,
 		}
 		primary := int(sh.primary.Load())

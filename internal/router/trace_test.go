@@ -1,0 +1,273 @@
+package router
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// stubReplica is a hand-scripted shard replica for trace tests: healthz
+// always green, query behavior fixed per stub, and every received
+// X-Anns-Trace header recorded so propagation is assertable.
+type stubReplica struct {
+	ts *httptest.Server
+
+	mu       sync.Mutex
+	traceIDs []string
+}
+
+func (s *stubReplica) noteTrace(r *http.Request) {
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		s.mu.Lock()
+		s.traceIDs = append(s.traceIDs, id)
+		s.mu.Unlock()
+	}
+}
+
+func (s *stubReplica) sawTrace(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, got := range s.traceIDs {
+		if got == id {
+			return true
+		}
+	}
+	return false
+}
+
+// newStubReplica serves healthz green and delegates /v1/query to query.
+func newStubReplica(t *testing.T, query http.HandlerFunc) *stubReplica {
+	t.Helper()
+	s := &stubReplica{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		server.WriteJSON(w, http.StatusOK, server.Health{Status: "ok", N: 48, Shards: 1, Dim: testDim})
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		s.noteTrace(r)
+		query(w, r)
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+// liveWaiters reports how many unexpired virtual timers/tickers exist —
+// the test's synchronization point for "the hedge timer is armed".
+func liveWaiters(vc *VirtualClock) int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	n := 0
+	for _, w := range vc.waiters {
+		if !w.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+func awaitWaiters(t *testing.T, vc *VirtualClock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for liveWaiters(vc) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d virtual timers (have %d)", n, liveWaiters(vc))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// runTracedFailover stands up one shard with three scripted replicas —
+// A hangs (gray failure: green healthz, queries never answer), B
+// answers 500, C answers correctly with its own stage spans — drives
+// one traced query through hedge and failover on a virtual clock, and
+// returns the finished trace record plus the stubs.
+func runTracedFailover(t *testing.T, traceID string) (obs.TraceRecord, []*stubReplica) {
+	t.Helper()
+	// stop releases the hanging handler at teardown: with its request body
+	// unread, the server cannot see the router abandon the attempt, so
+	// r.Context() alone would wedge the stub's Close.
+	stop := make(chan struct{})
+	hang := newStubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	})
+	bad := newStubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "scripted failure", http.StatusInternalServerError)
+	})
+	good := newStubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		// A replica's own stage timeline rides back on the spans header
+		// (only for traced requests — this stub asserts the header came).
+		if r.Header.Get(obs.TraceHeader) == "" {
+			http.Error(w, "no trace header", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set(obs.SpansHeader, obs.EncodeSpans([]obs.Span{
+			{Stage: "execute", StartUS: 7, DurUS: 21, Outcome: "ok"},
+		}))
+		server.WriteJSON(w, http.StatusOK, server.QueryResponse{Index: 3, Distance: 4, Rounds: 1, Probes: 2})
+	})
+
+	// Registered after the stub servers, so it runs before their Close.
+	t.Cleanup(func() { close(stop) })
+
+	vc := NewVirtualClock(time.Unix(0, 0))
+	recc := make(chan obs.TraceRecord, 1)
+	rt := newRouter(t, Config{
+		Dimension:      testDim,
+		N:              48,
+		Replicas:       [][]string{{hang.ts.URL, bad.ts.URL, good.ts.URL}},
+		RequestTimeout: 30 * time.Second, // the hang must lose the hedge, not time out
+		HedgeCold:      10 * time.Millisecond,
+		HedgeMin:       time.Millisecond,
+		EvictAfter:     1, // first failure evicts: spans carry the pressure
+		ProbeInterval:  time.Hour,
+		Clock:          vc,
+		Trace:          obs.TracerConfig{OnTrace: func(r obs.TraceRecord) { recc <- r }},
+	})
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	point := server.EncodePoint(make([]uint64, testDim/64))
+	body := []byte(`{"point":"` + point + `"}`)
+	done := make(chan *http.Response, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, rts.URL+"/v1/query", strings.NewReader(string(body)))
+		if err != nil {
+			panic(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(obs.TraceHeader, traceID)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		done <- resp
+	}()
+
+	// The router holds one live waiter (the prober's ticker). The hedge
+	// timer is the second: once it exists the primary attempt against the
+	// hanging replica is in flight, and advancing 10ms virtual fires the
+	// hedge deterministically.
+	awaitWaiters(t, vc, 2)
+	vc.Advance(10 * time.Millisecond)
+
+	resp := <-done
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced query answered %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != traceID {
+		t.Fatalf("response trace header = %q, want %q", got, traceID)
+	}
+	if resp.Header.Get(obs.SpansHeader) == "" {
+		t.Fatal("client supplied a trace header but got no spans back")
+	}
+
+	select {
+	case rec := <-recc:
+		return rec, []*stubReplica{hang, bad, good}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnTrace never fired")
+		return obs.TraceRecord{}, nil
+	}
+}
+
+// normalizeSpans maps the stubs' random-port URLs to stable role names
+// and re-sorts under the trace's own (start, stage, replica) order. The
+// raw timeline's only run-to-run variance is the tie-break between the
+// two same-instant rpc spans, whose order follows the ephemeral port
+// numbers; with roles substituted the order is canonical.
+func normalizeSpans(spans []obs.Span, stubs []*stubReplica) []obs.Span {
+	names := map[string]string{
+		stubs[0].ts.URL: "replica-hang",
+		stubs[1].ts.URL: "replica-500",
+		stubs[2].ts.URL: "replica-good",
+	}
+	out := make([]obs.Span, len(spans))
+	copy(out, spans)
+	for i := range out {
+		if n, ok := names[out[i].Replica]; ok {
+			out[i].Replica = n
+		}
+	}
+	tr := obs.NewTrace("", time.Unix(0, 0))
+	for _, s := range out {
+		tr.AddSpan(s)
+	}
+	return tr.Spans()
+}
+
+// TestTracePropagationHedgeFailover drives one query through the full
+// incident the observability layer exists for — primary hangs, hedge
+// answers 500, failover wins — and requires the span tree to name the
+// loser, the winner, and the eviction pressure, with the trace ID
+// propagated to every replica attempt.
+func TestTracePropagationHedgeFailover(t *testing.T) {
+	const traceID = "00000000feedbeef"
+	rec, stubs := runTracedFailover(t, traceID)
+
+	if rec.ID != traceID {
+		t.Fatalf("trace ID = %q, want %q", rec.ID, traceID)
+	}
+	if rec.Route != "/v1/query" {
+		t.Fatalf("route = %q", rec.Route)
+	}
+	// Propagation: every replica that saw the query saw the trace ID.
+	for i, s := range stubs {
+		if !s.sawTrace(traceID) {
+			t.Errorf("replica %d never received the trace header", i)
+		}
+	}
+
+	// The span timeline, exactly: the primary loses the hedge race after
+	// 10 virtual ms and its loss carries the eviction (EvictAfter=1); the
+	// hedge's 500 evicts it too; the failover wins; the winner's own
+	// execute span is rebased into the router's timeline at the attempt
+	// launch offset and stamped with the winner's URL.
+	want := []obs.Span{
+		{Stage: "rpc", Replica: "replica-hang", StartUS: 0, DurUS: 10000, Outcome: "lost-hedge-evicted"},
+		{Stage: "merge", Replica: "", StartUS: 10000, DurUS: 0, Outcome: "ok"},
+		{Stage: "rpc", Replica: "replica-500", StartUS: 10000, DurUS: 0, Outcome: "error-evicted"},
+		{Stage: "rpc", Replica: "replica-good", StartUS: 10000, DurUS: 0, Outcome: "ok"},
+		{Stage: "execute", Replica: "replica-good", StartUS: 10007, DurUS: 21, Outcome: "ok"},
+	}
+	got := normalizeSpans(rec.Spans, stubs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d:\n%s", len(got), len(want), obs.EncodeSpans(got))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("span %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+	if rec.Dur != 10*time.Millisecond {
+		t.Errorf("trace dur = %v, want 10ms of virtual time", rec.Dur)
+	}
+}
+
+// TestTracePropagationByteStable runs the same scripted incident twice —
+// fresh router, fresh virtual clock, same injected trace ID — and
+// requires the serialized span timelines to be byte-identical. Replica
+// URLs differ between runs (fresh listeners), so the comparison
+// normalizes them by role; everything else must match exactly.
+func TestTracePropagationByteStable(t *testing.T) {
+	const traceID = "00000000feedbeef"
+	serialize := func(rec obs.TraceRecord, stubs []*stubReplica) string {
+		return rec.ID + "|" + rec.Dur.String() + "|" + obs.EncodeSpans(normalizeSpans(rec.Spans, stubs))
+	}
+	recA, stubsA := runTracedFailover(t, traceID)
+	recB, stubsB := runTracedFailover(t, traceID)
+	a, b := serialize(recA, stubsA), serialize(recB, stubsB)
+	if a != b {
+		t.Fatalf("two runs of the same scripted incident diverged:\n%s\n---\n%s", a, b)
+	}
+}

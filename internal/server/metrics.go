@@ -1,0 +1,100 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// buildRegistry wires /metricsz: every /statsz field as a func-backed
+// series reading the same atomics, plus the per-stage latency histograms
+// /statsz cannot express. Metric naming follows DESIGN.md §12:
+// anns_<noun>_total for counters, anns_<noun> for gauges,
+// anns_stage_seconds{stage=...} for the stage histograms.
+func (s *Server) buildRegistry() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+
+	counter := func(name, help string, v func() int64) {
+		reg.CounterFunc(name, help, nil, func() float64 { return float64(v()) })
+	}
+	counter("anns_queries_total", "Point queries served (including cache hits).", s.m.queries.Load)
+	counter("anns_near_total", "Near (lambda) queries served.", s.m.near.Load)
+	counter("anns_batches_total", "Batch requests served.", s.m.batches.Load)
+	counter("anns_errors_total", "Query executions that returned an error.", s.m.errors.Load)
+	counter("anns_rejected_total", "Requests rejected with a full admission queue.", s.m.rejected.Load)
+	counter("anns_deadline_exceeded_total", "Requests that hit their deadline before execution finished.", s.m.deadline.Load)
+	counter("anns_probes_total", "Cells probed across all queries.", s.m.probes.Load)
+	counter("anns_rounds_total", "Probing rounds across all queries.", s.m.rounds.Load)
+	counter("anns_inserts_total", "Accepted inserts.", s.m.inserts.Load)
+	counter("anns_deletes_total", "Accepted deletes.", s.m.deletes.Load)
+	counter("anns_mutation_errors_total", "Failed mutations.", s.m.mutErrors.Load)
+	counter("anns_replicated_frames_total", "WAL frames applied from replication.", s.m.replFrames.Load)
+	counter("anns_replication_errors_total", "Replication frames rejected.", s.m.replErrors.Load)
+
+	reg.GaugeFunc("anns_uptime_seconds", "Process uptime.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("anns_max_rounds", "Max probing rounds seen on one query.", nil,
+		func() float64 { return float64(s.m.maxRounds.Load()) })
+	reg.GaugeFunc("anns_max_parallel", "Max intra-query parallelism seen.", nil,
+		func() float64 { return float64(s.m.maxParallel.Load()) })
+	reg.GaugeFunc("anns_queue_depth", "Tasks waiting in the admission queue.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("anns_workers", "Worker pool size.", nil,
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("anns_index_points", "Points in the served index.", nil,
+		func() float64 { return float64(s.idx.Len()) })
+	reg.GaugeFunc("anns_index_load_seconds", "Build or snapshot-load duration.",
+		obs.Labels{"source": s.cfg.Index.Source},
+		func() float64 { return s.cfg.Index.LoadDuration.Seconds() })
+	if s.cfg.Index.MappedBytes > 0 {
+		reg.GaugeFunc("anns_mapped_bytes", "Bytes mmapped for zero-copy serving.", nil,
+			func() float64 { return float64(s.cfg.Index.MappedBytes) })
+	}
+
+	if s.cache != nil {
+		cacheCounter := func(name, help string, v func(CacheStats) uint64) {
+			reg.CounterFunc(name, help, nil, func() float64 {
+				if cs := CacheStatsOf(s.cache); cs != nil {
+					return float64(v(*cs))
+				}
+				return 0
+			})
+		}
+		cacheCounter("anns_cache_hits_total", "Result-cache hits.", func(c CacheStats) uint64 { return c.Hits })
+		cacheCounter("anns_cache_misses_total", "Result-cache misses.", func(c CacheStats) uint64 { return c.Misses })
+		cacheCounter("anns_cache_evictions_total", "Result-cache LRU evictions.", func(c CacheStats) uint64 { return c.Evictions })
+		cacheCounter("anns_cache_invalidations_total", "Result-cache generation invalidations.", func(c CacheStats) uint64 { return c.Invalidations })
+		reg.GaugeFunc("anns_cache_entries", "Live result-cache entries.", nil, func() float64 {
+			if cs := CacheStatsOf(s.cache); cs != nil {
+				return float64(cs.Entries)
+			}
+			return 0
+		})
+		reg.GaugeFunc("anns_cache_capacity", "Result-cache capacity.", nil, func() float64 {
+			if cs := CacheStatsOf(s.cache); cs != nil {
+				return float64(cs.Capacity)
+			}
+			return 0
+		})
+	}
+
+	if ms, ok := s.idx.(mutableStatser); ok {
+		mg := func(name, help string, v func() float64) { reg.GaugeFunc(name, help, nil, v) }
+		mg("anns_mutable_live_points", "Live (non-tombstoned) points.", func() float64 { return float64(ms.MutableStats().LiveN) })
+		mg("anns_mutable_memtable_points", "Points in the active memtable.", func() float64 { return float64(ms.MutableStats().Memtable) })
+		mg("anns_mutable_sealed_segments", "Sealed immutable segments.", func() float64 { return float64(ms.MutableStats().Sealed) })
+		mg("anns_mutable_tombstones", "Tombstoned IDs awaiting compaction.", func() float64 { return float64(ms.MutableStats().Tombstones) })
+		mg("anns_mutable_generation", "Index mutation epoch.", func() float64 { return float64(ms.MutableStats().Generation) })
+		mg("anns_replication_offset", "Highest applied WAL offset.", func() float64 { return float64(ms.MutableStats().ReplicationOffset) })
+		mg("anns_wal_bytes", "WAL size on disk.", func() float64 { return float64(ms.MutableStats().WALBytes) })
+		reg.CounterFunc("anns_segments_built_total", "Segments sealed and built.", nil,
+			func() float64 { return float64(ms.MutableStats().SegmentsBuilt) })
+		reg.CounterFunc("anns_compactions_total", "Completed compactions.", nil,
+			func() float64 { return float64(ms.MutableStats().Compactions) })
+	}
+
+	s.hWait = reg.Histogram("anns_stage_seconds", "Per-stage serving latency.", obs.Labels{"stage": "admission_wait"})
+	s.hExec = reg.Histogram("anns_stage_seconds", "Per-stage serving latency.", obs.Labels{"stage": "execute"})
+	s.hCache = reg.Histogram("anns_stage_seconds", "Per-stage serving latency.", obs.Labels{"stage": "cache_lookup"})
+}

@@ -26,6 +26,8 @@ import (
 	"time"
 
 	"repro/anns"
+	"repro/internal/cellprobe"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 )
 
@@ -92,6 +94,10 @@ type Config struct {
 	// Index describes where the served index came from (built in-process
 	// or loaded from a snapshot); surfaced verbatim on /statsz.
 	Index IndexInfo
+	// Trace configures request tracing and the slow-query log (obs). The
+	// zero value disables emission; incoming X-Anns-Trace headers are
+	// still honored so an upstream router always gets its spans back.
+	Trace obs.TracerConfig
 }
 
 // IndexInfo is the provenance of the served index: the build→snapshot→
@@ -147,6 +153,14 @@ type task struct {
 	run  func(sc *anns.Scratch)
 	done chan struct{}
 	ran  bool
+
+	// Stage timing, written by the worker before done closes (same
+	// synchronization contract as ran): when the task was enqueued, when
+	// execution began, and how long each stage took.
+	enq       time.Time
+	execStart time.Time
+	wait      time.Duration
+	exec      time.Duration
 }
 
 // metrics is the server's atomic counter block, exported via /statsz.
@@ -195,6 +209,13 @@ type Server struct {
 	cache *qcache.Cache // nil when Config.CacheEntries == 0
 	gen   generationer  // nil when the index is immutable (epoch 0)
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// Per-stage latency histograms (exact LogHistogram distributions,
+	// exposed on /metricsz): admission-queue wait, index execution, and
+	// cache lookup.
+	hWait, hExec, hCache *obs.Histogram
+
 	httpMu sync.Mutex
 	httpS  *http.Server
 }
@@ -220,6 +241,8 @@ func New(idx Searcher, cfg Config) (*Server, error) {
 	if g, ok := idx.(generationer); ok {
 		s.gen = g
 	}
+	s.tracer = obs.NewTracer(cfg.Trace)
+	s.buildRegistry()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/near", s.handleNear)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -229,6 +252,7 @@ func New(idx Searcher, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/frames", s.handleFrames)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.Handle("GET /metricsz", s.reg)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -274,8 +298,13 @@ func (s *Server) runTask(t *task, sc *anns.Scratch) {
 			s.m.errors.Add(1)
 		}
 	}()
+	t.execStart = time.Now()
+	t.wait = t.execStart.Sub(t.enq)
+	s.hWait.Observe(t.wait)
 	if t.ctx.Err() == nil {
 		t.run(sc)
+		t.exec = time.Since(t.execStart)
+		s.hExec.Observe(t.exec)
 		t.ran = true
 	}
 }
@@ -371,15 +400,17 @@ func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // admit queues run under a deadline of d and waits for it to finish.
 // It writes the 503/504 error answers itself and reports whether the
-// caller may write the success answer.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, d time.Duration, run func(ctx context.Context, sc *anns.Scratch)) bool {
+// caller may write the success answer. When tr is non-nil the admission
+// wait and execution stages are appended to it as spans.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, d time.Duration, tr *obs.Trace, run func(ctx context.Context, sc *anns.Scratch)) bool {
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	t := &task{ctx: ctx, run: func(sc *anns.Scratch) { run(ctx, sc) }, done: make(chan struct{})}
+	t := &task{ctx: ctx, run: func(sc *anns.Scratch) { run(ctx, sc) }, done: make(chan struct{}), enq: time.Now()}
 	select {
 	case s.queue <- t:
 	default:
 		s.m.rejected.Add(1)
+		tr.Add("admit", "", "rejected", time.Now(), 0)
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "admission queue full"})
 		return false
 	}
@@ -389,21 +420,54 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, d time.Duration, 
 		// skip it; that close races with ctx.Done below, so only t.ran
 		// distinguishes an answered request from an expired one.
 		if t.ran {
+			tr.Add("admission_wait", "", "ok", t.enq, t.wait)
+			tr.Add("execute", "", "ok", t.execStart, t.exec)
 			return true
 		}
 	case <-ctx.Done():
 	}
 	if err := ctx.Err(); err != nil {
 		s.m.deadline.Add(1)
+		tr.Add("admit", "", "deadline", t.enq, time.Since(t.enq))
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
 	} else {
 		// done closed, not ran, context live: the task panicked.
+		tr.Add("execute", "", "panic", t.execStart, 0)
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "internal error"})
 	}
 	return false
 }
 
+// beginTrace starts a trace for one request: adopting the upstream
+// router's X-Anns-Trace when present (so spans always flow back to the
+// tier assembling the timeline), else minting one locally when this
+// server's own tracer is on.
+func (s *Server) beginTrace(r *http.Request, start time.Time) *obs.Trace {
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		return obs.NewTrace(id, start)
+	}
+	return s.tracer.Begin("", start)
+}
+
+// finishTrace emits tr and, when the request carried an upstream trace
+// header, returns the collected spans on the response so the router can
+// rebase them into its own timeline. Must run before the response body
+// is written.
+func (s *Server) finishTrace(w http.ResponseWriter, r *http.Request, tr *obs.Trace, start time.Time) {
+	if tr == nil {
+		return
+	}
+	if r.Header.Get(obs.TraceHeader) != "" {
+		if enc := obs.EncodeSpans(tr.Spans()); enc != "" {
+			w.Header().Set(obs.SpansHeader, enc)
+		}
+	}
+	s.tracer.Finish(tr, r.URL.Path, time.Since(start))
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	tr := s.beginTrace(r, start)
 	var req QueryRequest
 	if !readBody(w, r, &req) {
 		return
@@ -414,17 +478,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := QueryCacheKey(x)
-	cached, gen, ok := s.cacheGet(key)
+	cached, gen, ok := s.lookupCache(key, tr)
 	if ok {
 		// A hit bypasses the admission queue and the worker pool entirely;
 		// it still counts as a served query, but adds no probe/round
 		// accounting — no cells were probed.
 		s.m.queries.Add(1)
+		s.finishTrace(w, r, tr, start)
 		writeJSON(w, http.StatusOK, cached)
 		return
 	}
 	var resp QueryResponse
-	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(_ context.Context, sc *anns.Scratch) {
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), tr, func(_ context.Context, sc *anns.Scratch) {
 		res, qerr := s.query(sc, x)
 		s.m.queries.Add(1)
 		s.m.record(res, qerr)
@@ -433,10 +498,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cachePut(key, gen, resp)
+	s.finishTrace(w, r, tr, start)
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// lookupCache is cacheGet plus stage accounting: the lookup latency
+// lands in the cache_lookup histogram and, when traced, a span.
+func (s *Server) lookupCache(key cellprobe.Addr, tr *obs.Trace) (QueryResponse, uint64, bool) {
+	if s.cache == nil {
+		return QueryResponse{}, 0, false
+	}
+	cStart := time.Now()
+	resp, gen, ok := s.cacheGet(key)
+	d := time.Since(cStart)
+	s.hCache.Observe(d)
+	outcome := "miss"
+	if ok {
+		outcome = "hit"
+	}
+	tr.Add("cache_lookup", "", outcome, cStart, d)
+	return resp, gen, ok
+}
+
 func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	tr := s.beginTrace(r, start)
 	var req NearRequest
 	if !readBody(w, r, &req) {
 		return
@@ -451,14 +537,15 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := NearCacheKey(x, req.Lambda)
-	cached, gen, ok := s.cacheGet(key)
+	cached, gen, ok := s.lookupCache(key, tr)
 	if ok {
 		s.m.near.Add(1)
+		s.finishTrace(w, r, tr, start)
 		writeJSON(w, http.StatusOK, cached)
 		return
 	}
 	var resp QueryResponse
-	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(_ context.Context, sc *anns.Scratch) {
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), tr, func(_ context.Context, sc *anns.Scratch) {
 		res, qerr := s.queryNear(sc, x, req.Lambda)
 		s.m.near.Add(1)
 		s.m.record(res, qerr)
@@ -467,10 +554,13 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cachePut(key, gen, resp)
+	s.finishTrace(w, r, tr, start)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	tr := s.beginTrace(r, start)
 	var req BatchRequest
 	if !readBody(w, r, &req) {
 		return
@@ -495,7 +585,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		xs[i] = x
 	}
 	var resp BatchResponse
-	if !s.admit(w, r, s.timeout(req.TimeoutMS), func(ctx context.Context, _ *anns.Scratch) {
+	if !s.admit(w, r, s.timeout(req.TimeoutMS), tr, func(ctx context.Context, _ *anns.Scratch) {
 		batch := s.idx.BatchQueryContext(ctx, xs, s.cfg.BatchWorkers)
 		s.m.batches.Add(1)
 		resp.Results = make([]QueryResponse, len(batch))
@@ -515,6 +605,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}) {
 		return
 	}
+	s.finishTrace(w, r, tr, start)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -73,6 +73,9 @@ func (h *LogHistogram) Record(x float64) {
 // Count returns the number of recorded observations.
 func (h *LogHistogram) Count() uint64 { return h.total }
 
+// Sum returns the exact sum of all recorded observations.
+func (h *LogHistogram) Sum() float64 { return h.sum }
+
 // Mean returns the exact mean of all recorded observations.
 func (h *LogHistogram) Mean() float64 {
 	if h.total == 0 {
@@ -168,6 +171,14 @@ func (h *LogHistogram) NonEmpty() []Bucket {
 		out = append(out, Bucket{Lo: top, Hi: math.Inf(1), Count: h.over})
 	}
 	return out
+}
+
+// Clone returns an independent deep copy of h.
+func (h *LogHistogram) Clone() *LogHistogram {
+	c := *h
+	c.counts = make([]uint64, len(h.counts))
+	copy(c.counts, h.counts)
+	return &c
 }
 
 // Merge folds other into h. Panics if the shapes differ.
